@@ -1,0 +1,1 @@
+bin/corpus_runner.ml: Arg Cmd Cmdliner Fd_appgen Fd_eval Term

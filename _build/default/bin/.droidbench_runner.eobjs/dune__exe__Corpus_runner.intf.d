@@ -1,0 +1,1 @@
+bin/corpus_runner.mli:

@@ -1,0 +1,1 @@
+bin/droidbench_runner.ml: Fd_eval

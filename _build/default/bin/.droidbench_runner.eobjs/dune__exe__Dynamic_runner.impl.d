@@ -1,0 +1,1 @@
+bin/dynamic_runner.ml: Fd_eval

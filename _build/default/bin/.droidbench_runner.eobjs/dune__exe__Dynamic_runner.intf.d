@@ -1,0 +1,1 @@
+bin/dynamic_runner.mli:

@@ -1,0 +1,1 @@
+bin/flowdroid_cli.ml: Arg Cmd Cmdliner Fd_callgraph Fd_core Fd_frontend Fd_ir Fun List Manpage Printf Term

@@ -1,0 +1,1 @@
+bin/flowdroid_cli.mli:

@@ -1,0 +1,1 @@
+bin/insecurebank_runner.ml: Fd_appgen Fd_core Fd_eval Fd_frontend List Option Printf Sys

@@ -1,0 +1,1 @@
+bin/insecurebank_runner.mli:

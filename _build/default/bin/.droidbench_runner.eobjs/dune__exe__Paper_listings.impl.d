@@ -1,0 +1,1 @@
+bin/paper_listings.ml: Array Bidi Build Config Fd_callgraph Fd_core Fd_frontend Fd_ir Infoflow List Option Printf Sys Taint Types

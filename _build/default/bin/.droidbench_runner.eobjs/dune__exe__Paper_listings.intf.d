@@ -1,0 +1,1 @@
+bin/paper_listings.mli:

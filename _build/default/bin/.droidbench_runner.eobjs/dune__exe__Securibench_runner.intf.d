@@ -1,0 +1,1 @@
+bin/securibench_runner.mli:

@@ -1,0 +1,30 @@
+(* RQ3: analyse the generated Play-profile / malware-profile corpora
+   and report runtime + leak statistics. *)
+open Cmdliner
+
+let profile =
+  let profile_conv =
+    Arg.enum
+      [ ("play", Fd_appgen.Generator.Play);
+        ("malware", Fd_appgen.Generator.Malware) ]
+  in
+  Arg.(value & opt profile_conv Fd_appgen.Generator.Malware
+       & info [ "profile" ] ~doc:"Corpus profile: play or malware.")
+
+let n =
+  Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of apps to generate.")
+
+let seed =
+  Arg.(value & opt int 20140609 & info [ "seed" ] ~doc:"Corpus seed.")
+
+let run profile n seed =
+  let t = Fd_eval.Corpus.run ~profile ~seed ~n () in
+  print_string (Fd_eval.Corpus.render t)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "corpus_runner"
+       ~doc:"RQ3 corpus analysis (generated Play/malware apps)")
+    Term.(const run $ profile $ n $ seed)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,9 @@
+(* Regenerates Table 1: DROIDBENCH results for FlowDroid and the two
+   simulated commercial comparators. *)
+let () =
+  let engines =
+    [ Fd_eval.Engines.appscan; Fd_eval.Engines.fortify;
+      Fd_eval.Engines.flowdroid () ]
+  in
+  let t = Fd_eval.Droidbench_table.run engines in
+  print_string (Fd_eval.Droidbench_table.render t)

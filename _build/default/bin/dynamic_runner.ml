@@ -1,0 +1,4 @@
+(* Static vs dynamic (TaintDroid-sim) comparison over DROIDBENCH. *)
+let () =
+  let t = Fd_eval.Dynamic_table.run () in
+  print_string (Fd_eval.Dynamic_table.render t)

@@ -1,0 +1,179 @@
+(* The FlowDroid command-line interface: analyse an app directory
+   (AndroidManifest.xml + res/layout/*.xml + *.jimple files) and
+   report the discovered source-to-sink flows. *)
+
+open Cmdliner
+module Config = Fd_core.Config
+
+let app_dir =
+  Arg.(
+    required
+    & pos 0 (some dir) None
+    & info [] ~docv:"APP_DIR"
+        ~doc:
+          "App directory: AndroidManifest.xml, res/layout/*.xml and µJimple \
+           (.jimple) source files.")
+
+let k_len =
+  Arg.(
+    value & opt int 5
+    & info [ "k"; "access-path-length" ]
+        ~doc:"Maximal access-path length (paper default: 5).")
+
+let no_lifecycle =
+  Arg.(value & flag & info [ "no-lifecycle" ] ~doc:"Disable the lifecycle model.")
+
+let no_callbacks =
+  Arg.(value & flag & info [ "no-callbacks" ] ~doc:"Disable callback discovery.")
+
+let no_alias =
+  Arg.(
+    value & flag
+    & info [ "no-alias" ] ~doc:"Disable the on-demand backward alias analysis.")
+
+let no_activation =
+  Arg.(
+    value & flag
+    & info [ "no-activation" ]
+        ~doc:"Disable activation statements (flow-insensitive aliases).")
+
+let rta =
+  Arg.(
+    value & flag
+    & info [ "rta" ] ~doc:"Use RTA instead of CHA for call-graph construction.")
+
+let sources_file =
+  Arg.(
+    value & opt (some file) None
+    & info [ "sources-sinks" ]
+        ~doc:"Sources/sinks configuration file (SuSi-style format).")
+
+let wrappers_file =
+  Arg.(
+    value & opt (some file) None
+    & info [ "taint-wrappers" ] ~doc:"Taint-wrapper (library shortcut) rules file.")
+
+let show_paths =
+  Arg.(value & flag & info [ "paths" ] ~doc:"Print full propagation paths.")
+
+let dump_dummy_main =
+  Arg.(
+    value & flag
+    & info [ "dump-dummy-main" ]
+        ~doc:"Print the generated dummy main method's CFG (Figure 1).")
+
+let xml_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "xml" ] ~docv:"FILE"
+        ~doc:"Write the results as a FlowDroid-style XML report to $(docv).")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let analyze dir k no_lc no_cb no_alias no_act rta sources wrappers show_paths
+    dump_dm xml_out =
+  let config =
+    {
+      Config.default with
+      Config.max_access_path = k;
+      Config.lifecycle = not no_lc;
+      Config.callbacks = not no_cb;
+      Config.alias_search = not no_alias;
+      Config.activation_statements = not no_act;
+      Config.cg_algorithm =
+        (if rta then Fd_callgraph.Callgraph.Rta else Fd_callgraph.Callgraph.Cha);
+    }
+  in
+  let defs =
+    match sources with
+    | Some f -> Fd_frontend.Sourcesink.of_string (read_file f)
+    | None -> Fd_frontend.Sourcesink.default ()
+  in
+  let wrappers =
+    match wrappers with
+    | Some f -> Fd_frontend.Rules.of_string (read_file f)
+    | None -> Fd_frontend.Rules.default_wrappers ()
+  in
+  match Fd_frontend.Apk.of_dir dir with
+  | exception Fd_frontend.Apk.Load_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | apk -> (
+      match
+        Fd_core.Infoflow.analyze_apk ~config ~defs ~wrappers
+          ~phase:(fun p -> Printf.eprintf "[phase] %s\n%!" p)
+          apk
+      with
+      | exception Fd_frontend.Apk.Load_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | result ->
+          let findings = result.Fd_core.Infoflow.r_findings in
+          Printf.printf "%d flow(s) found in %s (%.3f s, %d reachable methods)\n"
+            (List.length findings) dir
+            result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_time
+            result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_reachable;
+          List.iteri
+            (fun i (fd : Fd_core.Bidi.finding) ->
+              Printf.printf "%2d. [%s] %s\n      -> sink at %s\n" (i + 1)
+                (Fd_frontend.Sourcesink.string_of_category
+                   fd.Fd_core.Bidi.f_source.Fd_core.Taint.si_category)
+                fd.Fd_core.Bidi.f_source.Fd_core.Taint.si_desc
+                (Fd_callgraph.Icfg.string_of_node fd.Fd_core.Bidi.f_sink_node);
+              if show_paths then
+                List.iter
+                  (fun n ->
+                    Printf.printf "      via %s\n"
+                      (Fd_callgraph.Icfg.string_of_node n))
+                  fd.Fd_core.Bidi.f_path)
+            findings;
+          (match xml_out with
+          | Some path ->
+              let oc = open_out_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc (Fd_core.Report.to_xml_string result));
+              Printf.eprintf "wrote %s\n" path
+          | None -> ());
+          if dump_dm then begin
+            match
+              Fd_callgraph.Callgraph.body_of
+                result.Fd_core.Infoflow.r_icfg.Fd_callgraph.Icfg.cg
+                Fd_callgraph.Mkey.
+                  { mk_class = "dummyMainClass"; mk_name = "dummyMain";
+                    mk_arity = 0 }
+            with
+            | body ->
+                print_newline ();
+                print_endline "Generated dummy main (Figure 1 model):";
+                print_string (Fd_ir.Pretty.cfg_to_string body)
+            | exception Not_found -> ()
+          end;
+          if findings = [] then 0 else 2)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "flowdroid"
+       ~doc:
+         "Context-, flow-, field- and object-sensitive, lifecycle-aware \
+          taint analysis for Android apps (FlowDroid, PLDI 2014)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Analyses an Android app given as a directory containing \
+              AndroidManifest.xml, res/layout/*.xml and µJimple (.jimple) \
+              class sources.  Exit status: 0 when no flows are found, 2 \
+              when flows are reported, 1 on errors.";
+         ])
+    Term.(
+      const analyze $ app_dir $ k_len $ no_lifecycle $ no_callbacks $ no_alias
+      $ no_activation $ rta $ sources_file $ wrappers_file $ show_paths
+      $ dump_dummy_main $ xml_out)
+
+let () = exit (Cmd.eval' cmd)

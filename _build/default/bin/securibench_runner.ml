@@ -1,0 +1,11 @@
+(* Regenerates Table 2: SecuriBench-µ results for FlowDroid. *)
+let () =
+  let t = Fd_eval.Securibench_table.run () in
+  print_string (Fd_eval.Securibench_table.render t);
+  (* list any deviations from the expected counts, for debugging *)
+  List.iter
+    (fun (name, v) ->
+      if v.Fd_eval.Scoring.fn > 0 || v.Fd_eval.Scoring.fp > 0 then
+        Printf.printf "  %-18s tp=%d fp=%d fn=%d\n" name v.Fd_eval.Scoring.tp
+          v.Fd_eval.Scoring.fp v.Fd_eval.Scoring.fn)
+    t.Fd_eval.Securibench_table.per_case

@@ -1,0 +1,1 @@
+examples/dynamic_monitor.ml: Build Fd_core Fd_frontend Fd_interp Fd_ir List Option Printf Stmt String Types

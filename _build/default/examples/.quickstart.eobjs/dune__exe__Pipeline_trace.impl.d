@@ -1,0 +1,1 @@
+examples/pipeline_trace.ml: Fd_appgen Fd_callgraph Fd_core List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Build Fd_callgraph Fd_core Fd_frontend Fd_ir List Pretty Printf Types

@@ -1,0 +1,1 @@
+examples/textual_app.ml: Fd_callgraph Fd_core Fd_frontend Fd_ir Filename Fun List Option Printf Sys

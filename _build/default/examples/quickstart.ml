@@ -1,0 +1,89 @@
+(* Quickstart: build the paper's Listing 1 app with the µJimple DSL,
+   run the full FlowDroid pipeline on it, and print the findings and
+   the generated dummy-main control-flow graph (Figure 1).
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Fd_ir
+module B = Build
+module T = Types
+module FW = Fd_frontend.Framework
+module Apk = Fd_frontend.Apk
+
+(* --- 1. the app: an activity that reads a password field and sends
+       it via SMS when a button (bound in the layout XML) is clicked *)
+
+let layout =
+  {|<LinearLayout>
+  <EditText android:id="@+id/username" android:inputType="text"/>
+  <EditText android:id="@+id/pwdString" android:inputType="textPassword"/>
+  <Button android:id="@+id/button1" android:onClick="sendMessage"/>
+</LinearLayout>|}
+
+let cls = "de.ecspride.LeakageApp"
+let f_pwd = B.fld ~ty:(T.Ref "java.lang.String") cls "pwd"
+
+let activity =
+  B.cls cls ~super:"android.app.Activity"
+    ~fields:[ ("pwd", T.Ref "java.lang.String") ]
+    [
+      B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+          let this = B.this m in
+          let _ = B.param m 0 "savedState" in
+          B.vcall m this "android.app.Activity" "setContentView"
+            [ B.i Fd_frontend.Layout.layout_id_base ]);
+      B.meth "onRestart" (fun m ->
+          let this = B.this m in
+          let pt = B.local m "passwordText" ~ty:(T.Ref "android.widget.EditText") in
+          let pwd = B.local m "pwd" in
+          (* the id resolves to the password-typed EditText: a source *)
+          B.vcall m ~ret:pt this "android.app.Activity" "findViewById"
+            [ B.i (Fd_frontend.Layout.id_base + 1) ];
+          B.vcall m ~ret:pwd pt "android.widget.EditText" "toString" [];
+          B.store m this f_pwd (B.v pwd));
+      (* bound by android:onClick in the layout *)
+      B.meth "sendMessage" ~params:[ T.Ref "android.view.View" ] (fun m ->
+          let this = B.this m in
+          let _v = B.param m 0 "view" in
+          let p = B.local m "p" in
+          let sms = B.local m "sms" ~ty:(T.Ref "android.telephony.SmsManager") in
+          B.load m p this f_pwd;
+          B.scall m ~ret:sms "android.telephony.SmsManager" "getDefault" [];
+          B.vcall m sms "android.telephony.SmsManager" "sendTextMessage"
+            [ B.s "+44 020 7321 0905"; B.nul; B.v p; B.nul; B.nul ]);
+    ]
+
+let apk =
+  Apk.make "Quickstart"
+    ~manifest:(Apk.simple_manifest ~package:"de.ecspride" [ (FW.Activity, cls, []) ])
+    ~layouts:[ ("main", layout) ]
+    [ activity ]
+
+(* --- 2. analyse -------------------------------------------------- *)
+
+let () =
+  let result = Fd_core.Infoflow.analyze_apk apk in
+  Printf.printf "Found %d flow(s):\n"
+    (List.length result.Fd_core.Infoflow.r_findings);
+  List.iter
+    (fun (fd : Fd_core.Bidi.finding) ->
+      Printf.printf "  [%s] %s\n     leaks into %s\n"
+        (Fd_frontend.Sourcesink.string_of_category
+           fd.Fd_core.Bidi.f_source.Fd_core.Taint.si_category)
+        fd.Fd_core.Bidi.f_source.Fd_core.Taint.si_desc
+        (Fd_callgraph.Icfg.string_of_node fd.Fd_core.Bidi.f_sink_node))
+    result.Fd_core.Infoflow.r_findings;
+
+  (* --- 3. show the generated dummy main (Figure 1) --------------- *)
+  print_newline ();
+  print_endline
+    "Generated dummy main (the lifecycle model of Figure 1; 'p' is the";
+  print_endline "opaque predicate the analysis never evaluates):";
+  print_newline ();
+  let body =
+    Fd_callgraph.Callgraph.body_of
+      result.Fd_core.Infoflow.r_icfg.Fd_callgraph.Icfg.cg
+      Fd_callgraph.Mkey.
+        { mk_class = "dummyMainClass"; mk_name = "dummyMain"; mk_arity = 0 }
+  in
+  print_string (Pretty.cfg_to_string body)

@@ -1,0 +1,1 @@
+lib/appgen/generator.ml: Build Fd_frontend Fd_ir Fd_util List Printf Prng Types

@@ -1,0 +1,1 @@
+lib/appgen/insecurebank.ml: Build Fd_frontend Fd_ir Stmt Types

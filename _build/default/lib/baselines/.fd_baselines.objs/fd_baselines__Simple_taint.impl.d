@@ -1,0 +1,1 @@
+lib/baselines/simple_taint.ml: Body Callgraph Fd_callgraph Fd_core Fd_frontend Fd_ifds Fd_ir Hashtbl Icfg Jclass List Mkey Option Scene Stmt Types

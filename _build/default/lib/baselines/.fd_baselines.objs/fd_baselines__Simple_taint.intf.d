@@ -1,0 +1,1 @@
+lib/baselines/simple_taint.mli: Fd_frontend

@@ -1,0 +1,574 @@
+(** Simulated commercial comparators (Section 6.1).
+
+    IBM AppScan Source and HP Fortify SCA are closed tools; DESIGN.md's
+    substitution builds *genuinely simpler analyses* whose structural
+    weaknesses reproduce the per-category failures Table 1 attributes
+    to them, rather than hard-coding verdicts:
+
+    - both lack a lifecycle model: every method of every component (and
+      listener) class is an isolated entry point, so flows staged
+      through component state between callbacks are invisible;
+    - both ignore layout XML (no password-field sources);
+    - the {b AppScan-like} engine is field-insensitive (whole-object
+      tainting — the FieldSensitivity false positives) and drops taint
+      at array stores;
+    - the {b Fortify-like} engine is field-sensitive but treats static
+      fields in a flow-insensitive "special way" — a global set of
+      tainted statics — which is exactly what lets it find 4 of the 6
+      lifecycle leaks "by chance" (Section 6.1), and it analyses static
+      initialisers as entry points;
+    - both ship a more aggressive sink list ([Activity.setResult]
+      counts as a sink) and ignore the manifest's
+      enabled-components flag (the InactiveActivity/UnreachableCode
+      false positives).
+
+    The engines run on the textbook forward-only IFDS solver
+    ({!Fd_ifds.Ifds}); there is no on-demand alias analysis and no
+    activation machinery. *)
+
+open Fd_ir
+open Fd_callgraph
+module AP = Fd_core.Access_path
+module SS = Fd_frontend.Sourcesink
+
+type opts = {
+  name : string;
+  field_sensitive : bool;
+  whole_array : bool;  (** false: taint dies at array stores *)
+  global_statics : bool;  (** Fortify's flow-insensitive static model *)
+  param_sources : bool;
+  aggressive_sinks : bool;
+  clinit_entries : bool;
+  max_access_path : int;
+}
+
+(** The AppScan-Source-like configuration. *)
+let appscan_like =
+  {
+    name = "AppScan";
+    field_sensitive = false;
+    whole_array = false;
+    global_statics = false;
+    param_sources = true;
+    aggressive_sinks = true;
+    clinit_entries = false;
+    max_access_path = 1;
+  }
+
+(** The Fortify-SCA-like configuration. *)
+let fortify_like =
+  {
+    name = "Fortify";
+    field_sensitive = true;
+    whole_array = true;
+    global_statics = true;
+    param_sources = false;
+    aggressive_sinks = true;
+    clinit_entries = true;
+    max_access_path = 5;
+  }
+
+(* taint fact: an access path plus the source it came from *)
+type taint = { tp : AP.t; t_src_tag : string option; t_src_id : int }
+
+type fact = Zero | T of taint
+
+let fact_equal a b =
+  match (a, b) with
+  | Zero, Zero -> true
+  | T x, T y -> AP.equal x.tp y.tp && x.t_src_id = y.t_src_id
+  | _ -> false
+
+let fact_hash = function
+  | Zero -> 0
+  | T x -> Hashtbl.hash (AP.hash x.tp, x.t_src_id)
+
+type state = {
+  st_opts : opts;
+  st_icfg : Icfg.t;
+  st_scene : Scene.t;
+  st_mgr : Fd_core.Srcsink_mgr.t;
+  st_wrappers : Fd_frontend.Rules.t;
+  st_natives : Fd_frontend.Rules.t;
+  (* findings: (source tag, sink tag) pairs *)
+  mutable st_findings : (string option * string option) list;
+  (* Fortify's global static model *)
+  tainted_statics : (string * string, string option * int) Hashtbl.t;
+  mutable statics_changed : bool;
+}
+
+(* one mutable cell: the solver functor's flow functions read the
+   current run's state from here (runs are sequential) *)
+let current : state option ref = ref None
+let st () = Option.get !current
+
+module Problem = struct
+  type proc = Mkey.t
+  type node = Icfg.node
+  type nonrec fact = fact
+
+  let proc_equal = Mkey.equal
+  let proc_hash = Mkey.hash
+  let node_equal = Icfg.equal_node
+  let node_hash = Icfg.hash_node
+  let fact_equal = fact_equal
+  let fact_hash = fact_hash
+  let zero = Zero
+  let proc_of (n : Icfg.node) = n.Icfg.n_method
+  let start_of p = Icfg.start_node (st ()).st_icfg p
+  let succs n = Icfg.succs (st ()).st_icfg n
+  let is_exit n = Icfg.is_exit (st ()).st_icfg n
+
+  let callees n =
+    let s = st () in
+    match Icfg.invoke s.st_icfg n with
+    | None -> []
+    | Some inv ->
+        (* wrappers are exclusive here too *)
+        if Fd_core.Srcsink_mgr.wrapper_effects s.st_wrappers s.st_mgr inv <> None
+        then []
+        else Icfg.callees s.st_icfg n
+
+  let k () = (st ()).st_opts.max_access_path
+
+  let ap_of_lvalue lv =
+    let s = st () in
+    match lv with
+    | Stmt.Llocal x -> Some (AP.of_local x)
+    | Stmt.Lfield (x, f) ->
+        Some
+          (if s.st_opts.field_sensitive then AP.of_field x f
+           else AP.of_local x)
+    | Stmt.Lstatic f -> Some (AP.of_static f)
+    | Stmt.Larray (x, _) ->
+        if s.st_opts.whole_array then Some (AP.of_local x) else None
+
+  let aps_of_expr e =
+    let s = st () in
+    let fieldy x f =
+      if s.st_opts.field_sensitive then AP.of_field x f else AP.of_local x
+    in
+    match e with
+    | Stmt.Eimm (Stmt.Iloc y) -> [ AP.of_local y ]
+    | Stmt.Efield (y, f) -> [ fieldy y f ]
+    | Stmt.Estatic f -> [ AP.of_static f ]
+    | Stmt.Earray (y, _) -> [ AP.of_local y ]
+    | Stmt.Ebinop (_, a, b) ->
+        List.filter_map
+          (function Stmt.Iloc y -> Some (AP.of_local y) | _ -> None)
+          [ a; b ]
+    | Stmt.Eunop (_, a) | Stmt.Ecast (_, a) | Stmt.Einstanceof (a, _) ->
+        List.filter_map
+          (function Stmt.Iloc y -> Some (AP.of_local y) | _ -> None)
+          [ a ]
+    | Stmt.Elength y -> [ AP.of_local y ]
+    | _ -> []
+
+  let rebase_all ~from ~to_ (t : taint) =
+    match AP.rebase ~k:(k ()) ~from ~to_ t.tp with
+    | Some ap -> [ { t with tp = ap } ]
+    | None ->
+        (* reading below a tainted prefix also yields a tainted value *)
+        if AP.has_prefix ~prefix:t.tp from then [ { t with tp = to_ } ] else []
+
+  (* record/consult the Fortify-style global static set *)
+  let handle_static_store (t : taint) f =
+    let s = st () in
+    if s.st_opts.global_statics then begin
+      let key = (f.Types.f_class, f.Types.f_name) in
+      if not (Hashtbl.mem s.tainted_statics key) then begin
+        Hashtbl.replace s.tainted_statics key (t.t_src_tag, t.t_src_id);
+        s.statics_changed <- true
+      end;
+      false (* statics handled globally, not as flowing facts *)
+    end
+    else true
+
+  (* flow across a non-call statement; calls are dispatched to the
+     call-to-return function below (the generic solver routes calls
+     without analysable callees through normal_flow) *)
+  let plain_flow n (fact : fact) =
+    let s = st () in
+    let stmt = Icfg.stmt s.st_icfg n in
+    match fact with
+    | Zero -> (
+        let zs = [ Zero ] in
+        match stmt.Stmt.s_kind with
+        | Stmt.Identity (l, Stmt.Iparam i) when s.st_opts.param_sources -> (
+            let cls = n.Icfg.n_method.Mkey.mk_class in
+            let mname = n.Icfg.n_method.Mkey.mk_name in
+            match Fd_core.Srcsink_mgr.param_source s.st_mgr ~cls ~mname with
+            | Some (params, _) when List.mem i params ->
+                T
+                  {
+                    tp = AP.of_local l;
+                    t_src_tag = stmt.Stmt.s_tag;
+                    t_src_id = Icfg.hash_node n;
+                  }
+                :: zs
+            | _ -> zs)
+        | Stmt.Assign (Stmt.Lstatic f, e) when s.st_opts.global_statics -> (
+            (* a store of a *globally tainted* static's value? only
+               direct statics matter for Zero; loads handled below *)
+            ignore e;
+            ignore f;
+            zs)
+        | Stmt.Assign (Stmt.Llocal x, Stmt.Estatic f)
+          when s.st_opts.global_statics -> (
+            match Hashtbl.find_opt s.tainted_statics (f.Types.f_class, f.Types.f_name) with
+            | Some (tag, id) ->
+                T { tp = AP.of_local x; t_src_tag = tag; t_src_id = id } :: zs
+            | None -> zs)
+        | _ -> zs)
+    | T t -> (
+        match stmt.Stmt.s_kind with
+        | Stmt.Assign (lv, e) ->
+            let killed =
+              match lv with
+              | Stmt.Llocal x -> (
+                  match t.tp.AP.base with
+                  | AP.Bloc b -> Stmt.equal_local b x
+                  | AP.Bstatic _ -> false)
+              | _ -> false
+            in
+            let gens =
+              match ap_of_lvalue lv with
+              | None -> []
+              | Some lap ->
+                  List.concat_map
+                    (fun src_ap ->
+                      List.filter_map
+                        (fun (g : taint) ->
+                          (* static stores may divert into the global set *)
+                          match lv with
+                          | Stmt.Lstatic f ->
+                              if handle_static_store g f then Some (T g)
+                              else None
+                          | _ -> Some (T g))
+                        (rebase_all ~from:src_ap ~to_:lap t))
+                    (aps_of_expr e)
+            in
+            let survivors = if killed then [] else [ T t ] in
+            survivors @ gens
+        | _ -> [ T t ])
+
+  let params_of callee =
+    let s = st () in
+    match Callgraph.body_of s.st_icfg.Icfg.cg callee with
+    | exception Not_found -> (None, [])
+    | body -> Body.param_locals body
+
+  let call_flow n callee (fact : fact) =
+    let s = st () in
+    match fact with
+    | Zero -> [ Zero ]
+    | T t -> (
+        match Icfg.invoke s.st_icfg n with
+        | None -> []
+        | Some inv ->
+            let this_l, params = params_of callee in
+            let out = ref [] in
+            if AP.is_static t.tp && not s.st_opts.global_statics then
+              out := T t :: !out;
+            (match (inv.Stmt.i_recv, this_l) with
+            | Some r, Some tl ->
+                out :=
+                  List.map (fun g -> T g)
+                    (rebase_all ~from:(AP.of_local r) ~to_:(AP.of_local tl) t)
+                  @ !out
+            | _ -> ());
+            List.iteri
+              (fun i arg ->
+                match (arg, List.assoc_opt i params) with
+                | Stmt.Iloc a, Some p ->
+                    out :=
+                      List.map (fun g -> T g)
+                        (rebase_all ~from:(AP.of_local a) ~to_:(AP.of_local p) t)
+                      @ !out
+                | _ -> ())
+              inv.Stmt.i_args;
+            !out)
+
+  let return_flow ~call ~callee ~exit ~return_site (fact : fact) =
+    let s = st () in
+    ignore return_site;
+    match fact with
+    | Zero -> []
+    | T t -> (
+        match Icfg.invoke s.st_icfg call with
+        | None -> []
+        | Some inv ->
+            let this_l, params = params_of callee in
+            (* with whole-object tainting, receiver/argument taints map
+               back at any length; field-sensitive engines only map
+               back heap mutations (length > 0) *)
+            let min_len = if s.st_opts.field_sensitive then 1 else 0 in
+            let out = ref [] in
+            if AP.is_static t.tp && not s.st_opts.global_statics then
+              out := T t :: !out;
+            (match (inv.Stmt.i_recv, this_l) with
+            | Some r, Some tl when AP.length t.tp >= min_len ->
+                out :=
+                  List.map (fun g -> T g)
+                    (rebase_all ~from:(AP.of_local tl) ~to_:(AP.of_local r) t)
+                  @ !out
+            | _ -> ());
+            List.iteri
+              (fun i arg ->
+                match (arg, List.assoc_opt i params) with
+                | Stmt.Iloc a, Some p when AP.length t.tp >= min_len ->
+                    out :=
+                      List.map (fun g -> T g)
+                        (rebase_all ~from:(AP.of_local p) ~to_:(AP.of_local a) t)
+                      @ !out
+                | _ -> ())
+              inv.Stmt.i_args;
+            (match
+               ( (Icfg.stmt s.st_icfg exit).Stmt.s_kind,
+                 (Icfg.stmt s.st_icfg call).Stmt.s_kind )
+             with
+            | Stmt.Return (Some (Stmt.Iloc rl)), Stmt.Assign (Stmt.Llocal x, _)
+              ->
+                out :=
+                  List.map (fun g -> T g)
+                    (rebase_all ~from:(AP.of_local rl) ~to_:(AP.of_local x) t)
+                  @ !out
+            | _ -> ());
+            !out)
+
+  let report t sink_tag =
+    let s = st () in
+    let key = (t.t_src_tag, sink_tag) in
+    if not (List.mem key s.st_findings) then
+      s.st_findings <- key :: s.st_findings
+
+  let check_sink n (t : taint) =
+    let s = st () in
+    match Icfg.invoke s.st_icfg n with
+    | None -> ()
+    | Some inv ->
+        let is_sink =
+          Fd_core.Srcsink_mgr.sink s.st_mgr inv <> None
+          || s.st_opts.aggressive_sinks
+             && List.mem inv.Stmt.i_sig.Types.m_name [ "setResult" ]
+        in
+        if is_sink then
+          let stmt = Icfg.stmt s.st_icfg n in
+          if
+            List.exists
+              (function
+                | Stmt.Iloc a -> (
+                    match t.tp.AP.base with
+                    | AP.Bloc b -> Stmt.equal_local a b
+                    | AP.Bstatic _ -> false)
+                | Stmt.Iconst _ -> false)
+              inv.Stmt.i_args
+          then report t stmt.Stmt.s_tag
+
+  let ctr_flow n (fact : fact) =
+    let s = st () in
+    let stmt = Icfg.stmt s.st_icfg n in
+    match Icfg.invoke s.st_icfg n with
+    | None -> ( match fact with Zero -> [ Zero ] | T t -> [ T t ])
+    | Some inv -> (
+        let ret_local =
+          match stmt.Stmt.s_kind with
+          | Stmt.Assign (Stmt.Llocal x, Stmt.Einvoke _) -> Some x
+          | _ -> None
+        in
+        match fact with
+        | Zero -> (
+            (* sources *)
+            match ret_local with
+            | None -> [ Zero ]
+            | Some x -> (
+                match Fd_core.Srcsink_mgr.return_source s.st_mgr inv with
+                | Some _ ->
+                    [
+                      Zero;
+                      T
+                        {
+                          tp = AP.of_local x;
+                          t_src_tag = stmt.Stmt.s_tag;
+                          t_src_id = Icfg.hash_node n;
+                        };
+                    ]
+                | None -> [ Zero ]))
+        | T t ->
+            check_sink n t;
+            let effects =
+              match
+                Fd_core.Srcsink_mgr.wrapper_effects s.st_wrappers s.st_mgr inv
+              with
+              | Some effs -> Some effs
+              | None ->
+                  if Icfg.callees s.st_icfg n = [] then
+                    match
+                      Fd_core.Srcsink_mgr.wrapper_effects s.st_natives s.st_mgr
+                        inv
+                    with
+                    | Some effs -> Some effs
+                    | None ->
+                        Some
+                          Fd_frontend.Rules.
+                            [
+                              { eff_to = To_ret; eff_from = From_any_arg };
+                              { eff_to = To_ret; eff_from = From_recv };
+                            ]
+                  else None
+            in
+            let derived =
+              match effects with
+              | None -> []
+              | Some effs ->
+                  let arg_local i =
+                    match List.nth_opt inv.Stmt.i_args i with
+                    | Some (Stmt.Iloc a) -> Some a
+                    | _ -> None
+                  in
+                  let rooted l =
+                    match t.tp.AP.base with
+                    | AP.Bloc b -> Stmt.equal_local b l
+                    | AP.Bstatic _ -> false
+                  in
+                  List.filter_map
+                    (fun (eff : Fd_frontend.Rules.effect) ->
+                      let from_ok =
+                        match eff.Fd_frontend.Rules.eff_from with
+                        | Fd_frontend.Rules.From_recv -> (
+                            match inv.Stmt.i_recv with
+                            | Some r -> rooted r
+                            | None -> false)
+                        | Fd_frontend.Rules.From_any_arg ->
+                            List.exists
+                              (function
+                                | Stmt.Iloc a -> rooted a
+                                | Stmt.Iconst _ -> false)
+                              inv.Stmt.i_args
+                        | Fd_frontend.Rules.From_arg i -> (
+                            match arg_local i with
+                            | Some a -> rooted a
+                            | None -> false)
+                      in
+                      if not from_ok then None
+                      else
+                        let tgt =
+                          match eff.Fd_frontend.Rules.eff_to with
+                          | Fd_frontend.Rules.To_ret -> ret_local
+                          | Fd_frontend.Rules.To_recv -> inv.Stmt.i_recv
+                          | Fd_frontend.Rules.To_arg i -> arg_local i
+                        in
+                        Option.map
+                          (fun l -> T { t with tp = AP.of_local l })
+                          tgt)
+                    effs
+            in
+            let killed =
+              match (ret_local, t.tp.AP.base) with
+              | Some x, AP.Bloc b -> Stmt.equal_local x b
+              | _ -> false
+            in
+            (if killed then [] else [ T t ]) @ derived)
+
+  let call_to_return_flow = ctr_flow
+
+  let normal_flow n (fact : fact) =
+    if Icfg.invoke (st ()).st_icfg n <> None then ctr_flow n fact
+    else plain_flow n fact
+end
+
+module Solver = Fd_ifds.Ifds.Make (Problem)
+
+(* entry points: every bodied method of manifest-declared component
+   classes and of callback-listener classes, regardless of the enabled
+   flag; optionally static initialisers of every application class *)
+let entries opts (loaded : Fd_frontend.Apk.loaded) =
+  let scene = loaded.Fd_frontend.Apk.scene in
+  let manifest = loaded.Fd_frontend.Apk.manifest in
+  let comp_classes =
+    List.map
+      (fun (c : Fd_frontend.Manifest.component) -> c.Fd_frontend.Manifest.comp_class)
+      manifest.Fd_frontend.Manifest.components
+  in
+  let listener_classes =
+    List.filter_map
+      (fun (c : Jclass.t) ->
+        if
+          (not c.Jclass.c_phantom)
+          && Fd_frontend.Framework.is_callback_interface scene c.Jclass.c_name
+          && not c.Jclass.c_is_interface
+        then Some c.Jclass.c_name
+        else None)
+      (Scene.all_classes scene)
+  in
+  let of_class cls =
+    match Scene.find_class scene cls with
+    | None -> []
+    | Some c ->
+        List.filter_map
+          (fun (m : Jclass.jmethod) ->
+            if Jclass.has_body m && m.Jclass.jm_sig.Types.m_name <> "<clinit>"
+            then Some (Mkey.of_method c m)
+            else None)
+          c.Jclass.c_methods
+  in
+  let clinits =
+    if not opts.clinit_entries then []
+    else
+      List.concat_map
+        (fun (c : Jclass.t) ->
+          List.filter_map
+            (fun (m : Jclass.jmethod) ->
+              if Jclass.has_body m && m.Jclass.jm_sig.Types.m_name = "<clinit>"
+              then Some (Mkey.of_method c m)
+              else None)
+            c.Jclass.c_methods)
+        (Scene.application_classes scene)
+  in
+  List.sort_uniq Mkey.compare
+    (List.concat_map of_class (comp_classes @ listener_classes) @ clinits)
+
+(** [run opts apk] analyses [apk] and returns the findings as (source
+    tag, sink tag) pairs. *)
+let run opts apk =
+  let loaded = Fd_frontend.Apk.load apk in
+  let scene = loaded.Fd_frontend.Apk.scene in
+  let defs = SS.default () in
+  let mgr =
+    Fd_core.Srcsink_mgr.create_plain ~scene ~defs
+    (* deliberately no layout: the comparators do not model UI sources *)
+  in
+  let entry = entries opts loaded in
+  let cg = Callgraph.build scene ~entry () in
+  let icfg = Icfg.create cg in
+  let state =
+    {
+      st_opts = opts;
+      st_icfg = icfg;
+      st_scene = scene;
+      st_mgr = mgr;
+      st_wrappers = Fd_frontend.Rules.default_wrappers ();
+      st_natives = Fd_frontend.Rules.default_natives ();
+      st_findings = [];
+      tainted_statics = Hashtbl.create 7;
+      statics_changed = false;
+    }
+  in
+  current := Some state;
+  let seeds = List.map (fun m -> (Icfg.start_node icfg m, Zero)) entry in
+  (* the global-statics model needs iteration: statics discovered in
+     round i seed loads in round i+1 *)
+  let rec iterate n =
+    state.statics_changed <- false;
+    state.st_findings <- state.st_findings;
+    ignore (Solver.solve ~seeds);
+    if state.statics_changed && n < 5 then iterate (n + 1)
+  in
+  iterate 0;
+  current := None;
+  List.rev state.st_findings
+
+(** [run_appscan apk] / [run_fortify apk]: the two comparators. *)
+let run_appscan apk = run appscan_like apk
+
+let run_fortify apk = run fortify_like apk

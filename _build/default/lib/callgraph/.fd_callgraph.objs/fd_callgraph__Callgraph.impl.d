@@ -1,0 +1,1 @@
+lib/callgraph/callgraph.ml: Body Fd_ir Hashtbl Jclass List Mkey Option Queue Scene Stmt Types

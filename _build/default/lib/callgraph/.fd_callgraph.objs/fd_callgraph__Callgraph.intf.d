@@ -1,0 +1,1 @@
+lib/callgraph/callgraph.mli: Body Fd_ir Mkey Scene

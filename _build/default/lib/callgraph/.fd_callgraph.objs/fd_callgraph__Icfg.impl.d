@@ -1,0 +1,1 @@
+lib/callgraph/icfg.ml: Body Callgraph Fd_ir Hashtbl Int List Mkey Printf Stmt

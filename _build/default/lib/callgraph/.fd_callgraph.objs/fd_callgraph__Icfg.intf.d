@@ -1,0 +1,1 @@
+lib/callgraph/icfg.mli: Body Callgraph Fd_ir Hashtbl Mkey Stmt

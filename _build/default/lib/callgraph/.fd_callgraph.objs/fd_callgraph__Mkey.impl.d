@@ -1,0 +1,1 @@
+lib/callgraph/mkey.ml: Fd_ir Format Hashtbl Int Jclass List Printf Set String Types

@@ -1,0 +1,1 @@
+lib/callgraph/mkey.mli: Fd_ir Format Hashtbl Jclass Set Types

@@ -1,0 +1,40 @@
+(** Call-graph construction: CHA and RTA, computed on the fly from a
+    set of entry points (only reachable code contributes edges). *)
+
+open Fd_ir
+
+type algorithm =
+  | Cha  (** class hierarchy analysis: every override in the cone *)
+  | Rta
+      (** rapid type analysis: receivers restricted to classes
+          instantiated in reachable code (joint fixed point) *)
+
+type call_edge = { ce_caller : Mkey.t; ce_stmt : int; ce_target : Mkey.t }
+
+type t
+
+val build :
+  Scene.t -> entry:Mkey.t list -> ?algorithm:algorithm -> unit -> t
+(** [build scene ~entry ()] computes the call graph reachable from
+    [entry] (default {!Cha}). *)
+
+val callees : t -> Mkey.t -> int -> Mkey.t list
+(** [callees cg caller stmt_idx] — resolved targets of one call site;
+    empty when the call resolves only into the framework. *)
+
+val callers : t -> Mkey.t -> (Mkey.t * int) list
+(** the call sites that may invoke a method *)
+
+val is_reachable : t -> Mkey.t -> bool
+val reachable_methods : t -> Mkey.t list
+
+val body_of : t -> Mkey.t -> Body.t
+(** the body of a method (cached).  @raise Not_found for bodyless
+    methods. *)
+
+val edge_count : t -> int
+(** number of distinct (site, target) edges — a size metric for the
+    benchmarks *)
+
+val cg_scene : t -> Scene.t
+(** the scene the graph was built over *)

@@ -1,0 +1,1 @@
+lib/core/access_path.ml: Fd_ir Format Hashtbl List Stmt Types

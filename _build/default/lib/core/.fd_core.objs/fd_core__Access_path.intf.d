@@ -1,0 +1,1 @@
+lib/core/access_path.mli: Fd_ir Format Stmt Types

@@ -1,0 +1,1 @@
+lib/core/bidi.ml: Access_path Body Callgraph Config Fd_callgraph Fd_frontend Fd_ir Hashtbl Icfg Jclass List Mkey Option Printf Queue Scene Srcsink_mgr Stmt Taint Types

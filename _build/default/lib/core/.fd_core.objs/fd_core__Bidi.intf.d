@@ -1,0 +1,1 @@
+lib/core/bidi.mli: Config Fd_callgraph Fd_frontend Fd_ir Icfg Mkey Scene Srcsink_mgr Taint

@@ -1,0 +1,1 @@
+lib/core/icc.ml: Bidi Body Callgraph Fd_callgraph Fd_frontend Fd_ir Hashtbl Icfg List Mkey Option Scene Stmt String Taint Types

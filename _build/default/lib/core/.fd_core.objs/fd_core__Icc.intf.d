@@ -1,0 +1,1 @@
+lib/core/icc.mli: Bidi Fd_callgraph Fd_frontend Fd_ir Icfg Taint

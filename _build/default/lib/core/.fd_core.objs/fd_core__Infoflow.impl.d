@@ -1,0 +1,1 @@
+lib/core/infoflow.ml: Bidi Callgraph Config Fd_callgraph Fd_frontend Fd_ir Fd_lifecycle Icfg Jclass List Logs Mkey Scene Srcsink_mgr Sys Types

@@ -1,0 +1,1 @@
+lib/core/infoflow.mli: Bidi Config Fd_callgraph Fd_frontend Fd_ir Icfg Logs Mkey

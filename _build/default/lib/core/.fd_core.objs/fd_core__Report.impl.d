@@ -1,0 +1,1 @@
+lib/core/report.ml: Bidi Fd_callgraph Fd_frontend Fd_xml Icfg Infoflow List Option Printf String Taint

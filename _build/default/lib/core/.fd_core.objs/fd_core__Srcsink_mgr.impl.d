@@ -1,0 +1,1 @@
+lib/core/srcsink_mgr.ml: Fd_frontend Fd_ir Scene Stmt Types

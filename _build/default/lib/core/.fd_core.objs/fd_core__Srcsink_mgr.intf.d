@@ -1,0 +1,1 @@
+lib/core/srcsink_mgr.mli: Body Fd_frontend Fd_ir Scene Stmt

@@ -1,0 +1,1 @@
+lib/core/taint.ml: Access_path Fd_callgraph Fd_frontend Hashtbl Icfg Printf

@@ -1,0 +1,1 @@
+lib/core/taint.mli: Access_path Fd_callgraph Fd_frontend Icfg

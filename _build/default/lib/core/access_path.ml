@@ -1,0 +1,128 @@
+(** Access paths (Section 4.1).
+
+    An access path is [x.f.g] where [x] is a local (or a static field
+    for globals) and [f], [g] are fields, with a user-customisable
+    maximal length (5 by default).  An access path *implicitly
+    describes all objects reachable through it*: [x.f] covers [x.f.g],
+    [x.f.h], and so on — matching is therefore prefix matching, and
+    truncation at the maximal length only widens the abstraction. *)
+
+open Fd_ir
+
+type base =
+  | Bloc of Stmt.local
+  | Bstatic of Types.field_sig  (** static-field-rooted paths *)
+
+type t = {
+  base : base;
+  fields : Types.field_sig list;  (** outermost access first *)
+}
+
+let equal_base a b =
+  match (a, b) with
+  | Bloc x, Bloc y -> Stmt.equal_local x y
+  | Bstatic f, Bstatic g -> Types.equal_field_sig f g
+  | _ -> false
+
+let equal a b =
+  equal_base a.base b.base
+  && List.length a.fields = List.length b.fields
+  && List.for_all2 Types.equal_field_sig a.fields b.fields
+
+let compare_base a b =
+  match (a, b) with
+  | Bloc x, Bloc y -> Stmt.compare_local x y
+  | Bstatic f, Bstatic g -> Types.compare_field_sig f g
+  | Bloc _, Bstatic _ -> -1
+  | Bstatic _, Bloc _ -> 1
+
+let compare a b =
+  match compare_base a.base b.base with
+  | 0 -> List.compare Types.compare_field_sig a.fields b.fields
+  | c -> c
+
+let hash t =
+  Hashtbl.hash
+    ( (match t.base with
+      | Bloc l -> ("l", l.Stmt.l_name)
+      | Bstatic f -> ("s", f.Types.f_class ^ "#" ^ f.Types.f_name)),
+      List.map (fun f -> (f.Types.f_class, f.Types.f_name)) t.fields )
+
+let to_string t =
+  let b =
+    match t.base with
+    | Bloc l -> l.Stmt.l_name
+    | Bstatic f -> "<" ^ Types.string_of_field_sig f ^ ">"
+  in
+  List.fold_left (fun acc f -> acc ^ "." ^ f.Types.f_name) b t.fields
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(** [of_local l] is the length-0 path [l]. *)
+let of_local l = { base = Bloc l; fields = [] }
+
+(** [of_field l f] is [l.f]. *)
+let of_field l f = { base = Bloc l; fields = [ f ] }
+
+(** [of_static f] is the static-field root. *)
+let of_static f = { base = Bstatic f; fields = [] }
+
+(** [length t] is the number of field accesses. *)
+let length t = List.length t.fields
+
+(** [truncate ~k t] drops fields beyond the maximal length [k]; by the
+    implicit-suffix semantics this only widens the set of described
+    objects, never loses it. *)
+let truncate ~k t =
+  if length t <= k then t
+  else { t with fields = List.filteri (fun i _ -> i < k) t.fields }
+
+(** [append ~k t f] is [t.f], truncated to length [k]. *)
+let append ~k t f = truncate ~k { t with fields = t.fields @ [ f ] }
+
+(** [base_local t] is the base if it is a local. *)
+let base_local t = match t.base with Bloc l -> Some l | Bstatic _ -> None
+
+(** [is_static t] holds for static-field-rooted paths. *)
+let is_static t = match t.base with Bstatic _ -> true | Bloc _ -> false
+
+(** [has_prefix ~prefix t]: does [t] extend (or equal) [prefix]?  This
+    is the reading-direction match: if [prefix] is tainted then the
+    value at [t] is reachable from tainted data. *)
+let has_prefix ~prefix t =
+  equal_base prefix.base t.base
+  &&
+  let rec go ps ts =
+    match (ps, ts) with
+    | [], _ -> true
+    | p :: ps', t :: ts' -> Types.equal_field_sig p t && go ps' ts'
+    | _ :: _, [] -> false
+  in
+  go prefix.fields t.fields
+
+(** [covers ~taint t]: does a taint on [taint] make the value at [t]
+    tainted?  By the implicit-suffix semantics a taint on [x.f] covers
+    any [x.f....]; additionally, because truncation widens, a taint
+    on a *longer* path does not cover a shorter one — except that
+    FlowDroid reports an object as tainted as soon as any of its
+    sub-fields is tainted when it is passed somewhere whole, which is
+    the [reaches] relation below. *)
+let covers ~taint t = has_prefix ~prefix:taint t
+
+(** [reaches ~taint t]: is tainted data reachable from the value at
+    [t]?  True when one is a prefix of the other: a taint on [x.f]
+    makes [x] a carrier of tainted data (passing [x] to a sink leaks),
+    and a taint on [x] covers [x.f]. *)
+let reaches ~taint t = has_prefix ~prefix:taint t || has_prefix ~prefix:t taint
+
+(** [rebase ~k ~from ~to_ t] rewrites [t] by replacing its prefix
+    [from] with [to_], truncating to [k]: the core operation of every
+    assignment flow function.  [None] when [from] is not a prefix of
+    [t]. *)
+let rebase ~k ~from ~to_ t =
+  if not (has_prefix ~prefix:from t) then None
+  else begin
+    let rec drop n xs = if n = 0 then xs else drop (n - 1) (List.tl xs) in
+    let suffix = drop (List.length from.fields) t.fields in
+    Some (truncate ~k { base = to_.base; fields = to_.fields @ suffix })
+  end

@@ -1,0 +1,1040 @@
+(** The bidirectional taint solver: Algorithms 1 and 2 of the paper.
+
+    Two IFDS-style worklist solvers run interleaved over the same
+    inter-procedural CFG:
+
+    - the {b forward} solver propagates taint abstractions along
+      control flow, with the standard IFDS machinery (path edges, end
+      summaries, incoming sets per Naeem–Lhoták);
+    - the {b backward} solver is spawned on demand whenever a tainted
+      value is assigned to a heap location; it searches *upwards* for
+      aliases of the written access path.
+
+    The handover implements the two precision mechanisms Section 4.2
+    claims as novel:
+
+    + {b context injection}: a spawned backward edge inherits the
+      forward path edge's context [⟨sp, d1⟩] (and vice versa), so the
+      combined analysis never produces facts along unrealizable paths
+      with conflicting contexts (Figure 3).  The backward analysis
+      never returns into callers on its own — when it reaches a
+      method's first statement it hands the fact to the forward
+      solver, injecting its incoming information so the forward pass
+      returns only into the right callers.
+    + {b activation statements}: every alias is born *inactive*,
+      tagged with the heap-write statement that will make it tainted;
+      only once the forward analysis carries it across that statement
+      (or across a call that transitively contains it, tracked by the
+      global activation-site association) does it activate and become
+      able to trigger leak reports (Listing 3).
+
+    Both mechanisms can be disabled through {!Config.t} to reproduce
+    the naive handover and the Andromeda-style flow-insensitive
+    behaviour in the ablation benchmarks. *)
+
+open Fd_ir
+open Fd_callgraph
+module AP = Access_path
+module SS = Fd_frontend.Sourcesink
+
+type finding = {
+  f_source : Taint.source_info;
+  f_sink_node : Icfg.node;
+  f_sink_tag : string option;
+  f_sink_cat : SS.category;
+  f_path : Icfg.node list;
+}
+
+type ctx = { cx_proc : Mkey.t; cx_fact : Taint.fact }
+
+let equal_ctx a b =
+  Mkey.equal a.cx_proc b.cx_proc && Taint.equal a.cx_fact b.cx_fact
+
+let hash_ctx a = Hashtbl.hash (Mkey.hash a.cx_proc, Taint.hash a.cx_fact)
+
+module Edge_tbl = Hashtbl.Make (struct
+  type t = ctx * Icfg.node * Taint.fact
+
+  let equal (c1, n1, f1) (c2, n2, f2) =
+    equal_ctx c1 c2 && Icfg.equal_node n1 n2 && Taint.equal f1 f2
+
+  let hash (c, n, f) = Hashtbl.hash (hash_ctx c, Icfg.hash_node n, Taint.hash f)
+end)
+
+module Ctx_tbl = Hashtbl.Make (struct
+  type t = ctx
+
+  let equal = equal_ctx
+  let hash = hash_ctx
+end)
+
+module Node_tbl = Icfg.Node_tbl
+
+type solver = {
+  s_edges : unit Edge_tbl.t;
+  s_summaries : (Icfg.node * Taint.fact) list ref Ctx_tbl.t;
+      (** (proc entry context) -> exit facts *)
+  s_incoming : (Icfg.node * ctx) list ref Ctx_tbl.t;
+      (** (callee entry context) -> call sites with caller contexts *)
+  s_work : (ctx * Icfg.node * Taint.fact) Queue.t;
+}
+
+let mk_solver () =
+  {
+    s_edges = Edge_tbl.create 4096;
+    s_summaries = Ctx_tbl.create 256;
+    s_incoming = Ctx_tbl.create 256;
+    s_work = Queue.create ();
+  }
+
+type t = {
+  cfg : Config.t;
+  icfg : Icfg.t;
+  scene : Scene.t;
+  mgr : Srcsink_mgr.t;
+  wrappers : Fd_frontend.Rules.t;
+  natives : Fd_frontend.Rules.t;
+  fw : solver;
+  bw : solver;
+  mutable findings : finding list;
+  finding_keys : (string, unit) Hashtbl.t;
+  (* activation statement -> call sites whose completion implies the
+     activation has executed, and the methods those call sites live in *)
+  act_sites : unit Node_tbl.t Node_tbl.t;
+  act_methods : unit Mkey.Tbl.t Node_tbl.t;
+  (* forward results per node, for inspection and tests *)
+  results : Taint.t list ref Node_tbl.t;
+  mutable propagations : int;
+  mutable budget_exhausted : bool;
+}
+
+let create ~config ~icfg ~scene ~mgr ~wrappers ~natives =
+  {
+    cfg = config;
+    icfg;
+    scene;
+    mgr;
+    wrappers;
+    natives;
+    fw = mk_solver ();
+    bw = mk_solver ();
+    findings = [];
+    finding_keys = Hashtbl.create 64;
+    act_sites = Node_tbl.create 16;
+    act_methods = Node_tbl.create 16;
+    results = Node_tbl.create 1024;
+    propagations = 0;
+    budget_exhausted = false;
+  }
+
+let k t = t.cfg.Config.max_access_path
+
+(* ---------------- propagation ---------------- *)
+
+let record_result t n fact =
+  match fact with
+  | Taint.Zero -> ()
+  | Taint.T taint ->
+      let cell =
+        match Node_tbl.find_opt t.results n with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Node_tbl.replace t.results n c;
+            c
+      in
+      if not (List.exists (Taint.equal_taint taint) !cell) then
+        cell := taint :: !cell
+
+let propagate t solver cx n fact =
+  let key = (cx, n, fact) in
+  if not (Edge_tbl.mem solver.s_edges key) then begin
+    if t.propagations >= t.cfg.Config.max_propagations then
+      t.budget_exhausted <- true
+    else begin
+      t.propagations <- t.propagations + 1;
+      Edge_tbl.replace solver.s_edges key ();
+      if solver == t.fw then record_result t n fact;
+      Queue.add key solver.s_work
+    end
+  end
+
+let propagate_fw t cx n fact = propagate t t.fw cx n fact
+let propagate_bw t cx n fact = propagate t t.bw cx n fact
+
+let add_incoming solver cx_callee entry =
+  let cell =
+    match Ctx_tbl.find_opt solver.s_incoming cx_callee with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Ctx_tbl.replace solver.s_incoming cx_callee c;
+        c
+  in
+  if
+    not
+      (List.exists
+         (fun (n, cx) ->
+           Icfg.equal_node n (fst entry) && equal_ctx cx (snd entry))
+         !cell)
+  then cell := entry :: !cell
+
+let incoming_of solver cx_callee =
+  match Ctx_tbl.find_opt solver.s_incoming cx_callee with
+  | Some c -> !c
+  | None -> []
+
+let add_summary solver cx_callee exit_pair =
+  let cell =
+    match Ctx_tbl.find_opt solver.s_summaries cx_callee with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Ctx_tbl.replace solver.s_summaries cx_callee c;
+        c
+  in
+  if
+    List.exists
+      (fun (n, f) ->
+        Icfg.equal_node n (fst exit_pair) && Taint.equal f (snd exit_pair))
+      !cell
+  then false
+  else begin
+    cell := exit_pair :: !cell;
+    true
+  end
+
+let summaries_of solver cx_callee =
+  match Ctx_tbl.find_opt solver.s_summaries cx_callee with
+  | Some c -> !c
+  | None -> []
+
+(* ---------------- findings ---------------- *)
+
+let report t ~(source : Taint.source_info) ~sink_node ~sink_tag ~sink_cat
+    ~taint =
+  let key =
+    Printf.sprintf "%s|%s|%s"
+      (Icfg.string_of_node source.Taint.si_node)
+      (Option.value source.Taint.si_tag ~default:"")
+      (Icfg.string_of_node sink_node)
+  in
+  if not (Hashtbl.mem t.finding_keys key) then begin
+    Hashtbl.replace t.finding_keys key ();
+    t.findings <-
+      {
+        f_source = source;
+        f_sink_node = sink_node;
+        f_sink_tag = sink_tag;
+        f_sink_cat = sink_cat;
+        f_path = Taint.path taint @ [ sink_node ];
+      }
+      :: t.findings
+  end
+
+(* ---------------- activation machinery ---------------- *)
+
+let node_set_add tbl key node =
+  let set =
+    match Node_tbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+        let s = Node_tbl.create 4 in
+        Node_tbl.replace tbl key s;
+        s
+  in
+  Node_tbl.replace set node ()
+
+let mkey_set_add tbl key mk =
+  let set =
+    match Node_tbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+        let s = Mkey.Tbl.create 4 in
+        Node_tbl.replace tbl key s;
+        s
+  in
+  Mkey.Tbl.replace set mk ()
+
+let is_act_site t ~activation n =
+  match Node_tbl.find_opt t.act_sites activation with
+  | Some s -> Node_tbl.mem s n
+  | None -> false
+
+let act_method_implies t ~activation mk =
+  Mkey.equal activation.Icfg.n_method mk
+  ||
+  match Node_tbl.find_opt t.act_methods activation with
+  | Some s -> Mkey.Tbl.mem s mk
+  | None -> false
+
+(* activate an outgoing taint when it crosses its activation node or a
+   call site associated with it *)
+let maybe_activate t n (taint : Taint.t) =
+  if taint.Taint.active then taint
+  else
+    match taint.Taint.activation with
+    | Some a when Icfg.equal_node a n || is_act_site t ~activation:a n ->
+        Taint.activate taint ~at:n
+    | _ -> taint
+
+(* ---------------- access-path helpers ---------------- *)
+
+let ap_of_lvalue lv : AP.t =
+  match lv with
+  | Stmt.Llocal x -> AP.of_local x
+  | Stmt.Lfield (x, f) -> AP.of_field x f
+  | Stmt.Lstatic f -> AP.of_static f
+  | Stmt.Larray (x, _) -> AP.of_local x (* whole-array abstraction *)
+
+(* access paths readable from an expression, for taint matching: a
+   taint whose path extends one of these flows into the assignment *)
+let aps_of_expr (e : Stmt.expr) : AP.t list =
+  match e with
+  | Stmt.Eimm (Stmt.Iloc y) -> [ AP.of_local y ]
+  | Stmt.Eimm (Stmt.Iconst _) -> []
+  | Stmt.Efield (y, f) -> [ AP.of_field y f ]
+  | Stmt.Estatic f -> [ AP.of_static f ]
+  | Stmt.Earray (y, _) -> [ AP.of_local y ]
+  | Stmt.Ebinop (_, a, b) ->
+      List.filter_map
+        (function Stmt.Iloc y -> Some (AP.of_local y) | Stmt.Iconst _ -> None)
+        [ a; b ]
+  | Stmt.Eunop (_, a) | Stmt.Ecast (_, a) | Stmt.Einstanceof (a, _) ->
+      List.filter_map
+        (function Stmt.Iloc y -> Some (AP.of_local y) | Stmt.Iconst _ -> None)
+        [ a ]
+  | Stmt.Elength y -> [ AP.of_local y ]
+  | Stmt.Enew _ | Stmt.Enewarray _ | Stmt.Einvoke _ -> []
+
+(* a single-valued alias-preserving view of the rhs, used by the
+   backward analysis: only expressions that denote a heap location or
+   a copy can be rewritten through *)
+let alias_ap_of_expr (e : Stmt.expr) : AP.t option =
+  match e with
+  | Stmt.Eimm (Stmt.Iloc y) -> Some (AP.of_local y)
+  | Stmt.Ecast (_, Stmt.Iloc y) -> Some (AP.of_local y)
+  | Stmt.Efield (y, f) -> Some (AP.of_field y f)
+  | Stmt.Estatic f -> Some (AP.of_static f)
+  | Stmt.Earray (y, _) -> Some (AP.of_local y)
+  | _ -> None
+
+(* ---------------- backward spawning (Algorithm 1, line 16) -------- *)
+
+(* spawn an alias search for the heap access path [ap] written at node
+   [n], under the forward context [cx] (context injection) *)
+let spawn_alias_search t cx n (origin : Taint.t) ap =
+  if t.cfg.Config.alias_search && not (AP.is_static ap) then begin
+    let cx =
+      if t.cfg.Config.context_injection then cx
+      else { cx_proc = n.Icfg.n_method; cx_fact = Taint.Zero }
+    in
+    let alias =
+      if t.cfg.Config.activation_statements then
+        Taint.inactive_alias origin ~ap ~activation:n ~at:n
+      else
+        (* ablation: aliases are born active (flow-insensitive
+           Andromeda-style behaviour) *)
+        { origin with Taint.ap; Taint.active = true; Taint.activation = None;
+          Taint.pred = Some origin; Taint.at = Some n }
+    in
+    propagate_bw t cx n (Taint.T alias)
+  end
+
+(* ---------------- forward flow functions ---------------- *)
+
+(* taints generated across an assignment for an incoming taint *)
+let assign_gen t n lv e (taint : Taint.t) =
+  let lap = ap_of_lvalue lv in
+  let gen_from src_ap =
+    match AP.rebase ~k:(k t) ~from:src_ap ~to_:lap taint.Taint.ap with
+    | Some ap -> [ Taint.derive taint ~ap ~at:n ]
+    | None -> (
+        (* a tainted value reachable *below* the read path also flows:
+           reading x.f when x is tainted yields a tainted value *)
+        match e with
+        | Stmt.Ebinop _ | Stmt.Elength _ ->
+            (* operators collapse to a whole-value taint *)
+            if AP.has_prefix ~prefix:taint.Taint.ap src_ap then
+              [ Taint.derive taint ~ap:lap ~at:n ]
+            else []
+        | _ ->
+            if AP.has_prefix ~prefix:taint.Taint.ap src_ap then
+              [ Taint.derive taint ~ap:lap ~at:n ]
+            else [])
+  in
+  List.concat_map gen_from (aps_of_expr e)
+
+(* forward flow across a non-call statement; returns outgoing facts
+   and performs alias-search side effects *)
+let normal_flow t cx n (fact : Taint.fact) : Taint.fact list =
+  let stmt = Icfg.stmt t.icfg n in
+  match fact with
+  | Taint.Zero -> (
+      (* source generation at parameter identities (callback parameter
+         sources such as onLocationChanged) *)
+      match stmt.Stmt.s_kind with
+      | Stmt.Identity (l, Stmt.Iparam i) -> (
+          let cls = n.Icfg.n_method.Mkey.mk_class in
+          let mname = n.Icfg.n_method.Mkey.mk_name in
+          match Srcsink_mgr.param_source t.mgr ~cls ~mname with
+          | Some (params, cat) when List.mem i params ->
+              let source =
+                Taint.
+                  {
+                    si_category = cat;
+                    si_node = n;
+                    si_tag = stmt.Stmt.s_tag;
+                    si_desc = Printf.sprintf "parameter %d of %s.%s" i cls mname;
+                  }
+              in
+              [ Taint.Zero;
+                Taint.T (Taint.make ~ap:(AP.of_local l) ~source ~at:n ()) ]
+          | _ -> [ Taint.Zero ])
+      | _ -> [ Taint.Zero ])
+  | Taint.T taint -> (
+      let taint = maybe_activate t n taint in
+      match stmt.Stmt.s_kind with
+      | Stmt.Assign (lv, e) ->
+          let killed =
+            (* strong update on locals only: x = ... kills taints
+               rooted at x (heap locations are never strongly
+               updated) *)
+            match lv with
+            | Stmt.Llocal x -> (
+                match taint.Taint.ap.AP.base with
+                | AP.Bloc b -> Stmt.equal_local b x
+                | AP.Bstatic _ -> false)
+            | _ -> false
+          in
+          let gens = assign_gen t n lv e taint in
+          (* alias search for every taint newly written to the heap *)
+          List.iter
+            (fun (g : Taint.t) ->
+              match lv with
+              | Stmt.Lfield _ | Stmt.Larray _ ->
+                  spawn_alias_search t cx n g g.Taint.ap
+              | Stmt.Llocal _ | Stmt.Lstatic _ -> ())
+            gens;
+          let survivors = if killed then [] else [ Taint.T taint ] in
+          survivors @ List.map (fun g -> Taint.T g) gens
+      | Stmt.Identity (l, _) ->
+          (* identity statements bind parameters; call_flow already
+             rebased taints onto the parameter locals, so facts pass
+             through (nothing can be rooted at [l] before its
+             definition) *)
+          ignore l;
+          [ Taint.T taint ]
+      | Stmt.If _ | Stmt.Goto _ | Stmt.Nop | Stmt.Return _ | Stmt.Throw _ ->
+          [ Taint.T taint ]
+      | Stmt.InvokeStmt _ -> [ Taint.T taint ])
+
+(* map caller facts into a callee (argument passing) *)
+let call_flow t n (inv : Stmt.invoke) callee (fact : Taint.fact) :
+    Taint.fact list =
+  match fact with
+  | Taint.Zero -> [ Taint.Zero ]
+  | Taint.T taint -> (
+      (* no activation here: an activation associated with this call
+         site fires only once the call has *completed*, i.e. on the
+         call-to-return edge, not on entry into the callee *)
+      match Callgraph.body_of (t.icfg.Icfg.cg) callee with
+      | exception Not_found -> []
+      | body ->
+          let this_l, params = Body.param_locals body in
+          let mapped = ref [] in
+          (* static-rooted taints flow into callees unchanged *)
+          if AP.is_static taint.Taint.ap then
+            mapped := Taint.T taint :: !mapped;
+          (* receiver -> @this *)
+          (match (inv.Stmt.i_recv, this_l) with
+          | Some r, Some tl -> (
+              match
+                AP.rebase ~k:(k t) ~from:(AP.of_local r)
+                  ~to_:(AP.of_local tl) taint.Taint.ap
+              with
+              | Some ap -> mapped := Taint.T (Taint.derive taint ~ap ~at:n) :: !mapped
+              | None -> ())
+          | _ -> ());
+          (* actuals -> formals *)
+          List.iteri
+            (fun i arg ->
+              match arg with
+              | Stmt.Iloc a -> (
+                  match List.assoc_opt i params with
+                  | Some p -> (
+                      match
+                        AP.rebase ~k:(k t) ~from:(AP.of_local a)
+                          ~to_:(AP.of_local p) taint.Taint.ap
+                      with
+                      | Some ap ->
+                          mapped :=
+                            Taint.T (Taint.derive taint ~ap ~at:n) :: !mapped
+                      | None -> ())
+                  | None -> ())
+              | Stmt.Iconst _ -> ())
+            inv.Stmt.i_args;
+          !mapped)
+
+(* map callee exit facts back to the caller *)
+let return_flow t ~call:c ~callee ~exit_node (inv : Stmt.invoke)
+    (fact : Taint.fact) : Taint.fact list =
+  match fact with
+  | Taint.Zero -> []
+  | Taint.T taint -> (
+      match Callgraph.body_of (t.icfg.Icfg.cg) callee with
+      | exception Not_found -> []
+      | body ->
+          (* activation association: if this taint's activation lies in
+             the callee (transitively), completing this call implies the
+             activation executed (Section 4.2) *)
+          (match taint.Taint.activation with
+          | Some a when act_method_implies t ~activation:a callee ->
+              node_set_add t.act_sites a c;
+              mkey_set_add t.act_methods a c.Icfg.n_method
+          | _ -> ());
+          let this_l, params = Body.param_locals body in
+          let out = ref [] in
+          let add taint' =
+            out := taint' :: !out;
+            (* a heap taint arriving in the caller may have caller-side
+               aliases: spawn a new search at the call site *)
+            if
+              (not (AP.is_static taint'.Taint.ap))
+              && AP.length taint'.Taint.ap > 0
+            then ()
+          in
+          if AP.is_static taint.Taint.ap then
+            add (Taint.derive taint ~ap:taint.Taint.ap ~at:c);
+          (* @this -> receiver: only heap mutations travel back *)
+          (match (inv.Stmt.i_recv, this_l) with
+          | Some r, Some tl when AP.length taint.Taint.ap > 0 -> (
+              match
+                AP.rebase ~k:(k t) ~from:(AP.of_local tl)
+                  ~to_:(AP.of_local r) taint.Taint.ap
+              with
+              | Some ap -> add (Taint.derive taint ~ap ~at:c)
+              | None -> ())
+          | _ -> ());
+          (* formals -> actuals: only field-bearing paths (a callee
+             cannot reassign the caller's local itself) *)
+          List.iteri
+            (fun i arg ->
+              match (arg, List.assoc_opt i params) with
+              | Stmt.Iloc a, Some p when AP.length taint.Taint.ap > 0 -> (
+                  match
+                    AP.rebase ~k:(k t) ~from:(AP.of_local p)
+                      ~to_:(AP.of_local a) taint.Taint.ap
+                  with
+                  | Some ap -> add (Taint.derive taint ~ap ~at:c)
+                  | None -> ())
+              | _ -> ())
+            inv.Stmt.i_args;
+          (* return value *)
+          (match ((Icfg.stmt t.icfg exit_node).Stmt.s_kind,
+                  (Icfg.stmt t.icfg c).Stmt.s_kind) with
+          | Stmt.Return (Some (Stmt.Iloc rl)), Stmt.Assign (Stmt.Llocal x, _)
+            -> (
+              match
+                AP.rebase ~k:(k t) ~from:(AP.of_local rl)
+                  ~to_:(AP.of_local x) taint.Taint.ap
+              with
+              | Some ap -> add (Taint.derive taint ~ap ~at:c)
+              | None -> ())
+          | _ -> ());
+          List.map (fun tt -> Taint.T tt) !out)
+
+(* sink detection at a call site *)
+let check_sink t n (inv : Stmt.invoke) (fact : Taint.fact) =
+  match fact with
+  | Taint.Zero -> ()
+  | Taint.T taint ->
+      if taint.Taint.active then begin
+        match Srcsink_mgr.sink t.mgr inv with
+        | None -> ()
+        | Some cat ->
+            let stmt = Icfg.stmt t.icfg n in
+            let hits =
+              List.exists
+                (fun arg ->
+                  match arg with
+                  | Stmt.Iloc a -> (
+                      match taint.Taint.ap.AP.base with
+                      | AP.Bloc b -> Stmt.equal_local a b
+                      | AP.Bstatic _ -> false)
+                  | Stmt.Iconst _ -> false)
+                inv.Stmt.i_args
+            in
+            if hits then
+              report t ~source:taint.Taint.source ~sink_node:n
+                ~sink_tag:stmt.Stmt.s_tag ~sink_cat:cat ~taint
+      end
+
+(* source generation at a call site (return-value and UI sources);
+   requires the zero fact *)
+let gen_sources t n (inv : Stmt.invoke) : Taint.t list =
+  let stmt = Icfg.stmt t.icfg n in
+  let ret_local =
+    match stmt.Stmt.s_kind with
+    | Stmt.Assign (Stmt.Llocal x, Stmt.Einvoke _) -> Some x
+    | _ -> None
+  in
+  match ret_local with
+  | None -> []
+  | Some x -> (
+      let mk cat desc =
+        let source =
+          Taint.{ si_category = cat; si_node = n; si_tag = stmt.Stmt.s_tag;
+                  si_desc = desc }
+        in
+        [ Taint.make ~ap:(AP.of_local x) ~source ~at:n () ]
+      in
+      match Srcsink_mgr.return_source t.mgr inv with
+      | Some cat ->
+          mk cat
+            (Printf.sprintf "%s.%s()" inv.Stmt.i_sig.Types.m_class
+               inv.Stmt.i_sig.Types.m_name)
+      | None -> (
+          match
+            Srcsink_mgr.ui_source t.mgr
+              ~body:(Callgraph.body_of t.icfg.Icfg.cg n.Icfg.n_method)
+              ~at:n.Icfg.n_idx inv
+          with
+          | Some ctl ->
+              mk SS.Password
+                (Printf.sprintf "password field %s (layout %s)"
+                   ctl.Fd_frontend.Layout.ctl_name
+                   ctl.Fd_frontend.Layout.ctl_layout)
+          | None -> []))
+
+(* wrapper / native / default-model effects for one incoming fact *)
+let library_effects t n (inv : Stmt.invoke) effects (fact : Taint.fact) :
+    Taint.t list =
+  match fact with
+  | Taint.Zero -> []
+  | Taint.T taint ->
+      let taint = maybe_activate t n taint in
+      let stmt = Icfg.stmt t.icfg n in
+      let ret_local =
+        match stmt.Stmt.s_kind with
+        | Stmt.Assign (Stmt.Llocal x, Stmt.Einvoke _) -> Some x
+        | _ -> None
+      in
+      let arg_local i =
+        match List.nth_opt inv.Stmt.i_args i with
+        | Some (Stmt.Iloc a) -> Some a
+        | _ -> None
+      in
+      let origin_matches (origin : Fd_frontend.Rules.origin) =
+        let rooted l =
+          match taint.Taint.ap.AP.base with
+          | AP.Bloc b -> Stmt.equal_local b l
+          | AP.Bstatic _ -> false
+        in
+        match origin with
+        | Fd_frontend.Rules.From_recv -> (
+            match inv.Stmt.i_recv with Some r -> rooted r | None -> false)
+        | Fd_frontend.Rules.From_any_arg ->
+            List.exists
+              (function Stmt.Iloc a -> rooted a | Stmt.Iconst _ -> false)
+              inv.Stmt.i_args
+        | Fd_frontend.Rules.From_arg i -> (
+            match arg_local i with Some a -> rooted a | None -> false)
+      in
+      let target_local (tgt : Fd_frontend.Rules.target) =
+        match tgt with
+        | Fd_frontend.Rules.To_ret -> ret_local
+        | Fd_frontend.Rules.To_recv -> inv.Stmt.i_recv
+        | Fd_frontend.Rules.To_arg i -> arg_local i
+      in
+      List.filter_map
+        (fun (eff : Fd_frontend.Rules.effect) ->
+          if origin_matches eff.Fd_frontend.Rules.eff_from then
+            match target_local eff.Fd_frontend.Rules.eff_to with
+            | Some l ->
+                let g = Taint.derive taint ~ap:(AP.of_local l) ~at:n in
+                (* writing taint into the receiver/argument heap object
+                   may create aliases worth searching for *)
+                Some g
+            | None -> None
+          else None)
+        effects
+
+(* default model for un-modelled phantom/native methods: the return
+   value becomes tainted if the receiver or any argument is (the
+   paper's "neither entirely sound nor maximally precise, but the best
+   practical approximation") — and for *native* methods additionally
+   the arguments become tainted. *)
+let default_library_effects ~native : Fd_frontend.Rules.effect list =
+  let open Fd_frontend.Rules in
+  let base =
+    [ { eff_to = To_ret; eff_from = From_any_arg };
+      { eff_to = To_ret; eff_from = From_recv } ]
+  in
+  if native then
+    base
+    @ [ { eff_to = To_arg 0; eff_from = From_any_arg };
+        { eff_to = To_arg 1; eff_from = From_any_arg };
+        { eff_to = To_arg 2; eff_from = From_any_arg } ]
+  else base
+
+let is_native_target t (inv : Stmt.invoke) =
+  match
+    Scene.resolve_concrete t.scene inv.Stmt.i_sig.Types.m_class
+      (inv.Stmt.i_sig.Types.m_name, inv.Stmt.i_sig.Types.m_params)
+  with
+  | Some (_, m) -> m.Jclass.jm_native
+  | None -> false
+
+(* ---------------- forward solver main loop case: call node -------- *)
+
+let process_call_fw t cx n (fact : Taint.fact) inv =
+  check_sink t n inv fact;
+  let callees = Icfg.callees t.icfg n in
+  let wrapper = Srcsink_mgr.wrapper_effects t.wrappers t.mgr inv in
+  let stmt = Icfg.stmt t.icfg n in
+  let ret_local =
+    match stmt.Stmt.s_kind with
+    | Stmt.Assign (Stmt.Llocal x, Stmt.Einvoke _) -> Some x
+    | _ -> None
+  in
+  (* descend into analysable callees unless a wrapper shortcut is
+     defined (wrappers are exclusive, Section 5) *)
+  if callees <> [] && wrapper = None then
+    List.iter
+      (fun callee ->
+        let entry_facts = call_flow t n inv callee fact in
+        let s_callee = Icfg.start_node t.icfg callee in
+        List.iter
+          (fun d3 ->
+            let cx_callee = { cx_proc = callee; cx_fact = d3 } in
+            add_incoming t.fw cx_callee (n, cx);
+            propagate_fw t cx_callee s_callee d3;
+            List.iter
+              (fun (e, d4) ->
+                let rets =
+                  return_flow t ~call:n ~callee ~exit_node:e inv d4
+                in
+                List.iter
+                  (fun r ->
+                    List.iter
+                      (fun d5 ->
+                        (match d5 with
+                        | Taint.T tt when AP.length tt.Taint.ap > 0 ->
+                            spawn_alias_search t cx n tt tt.Taint.ap
+                        | _ -> ());
+                        propagate_fw t cx r d5)
+                      rets)
+                  (Icfg.succs t.icfg n))
+              (summaries_of t.fw cx_callee))
+          entry_facts)
+      callees;
+  (* call-to-return: sources, library models, pass-through *)
+  let derived =
+    match fact with
+    | Taint.Zero -> List.map (fun g -> Taint.T g) (gen_sources t n inv)
+    | Taint.T _ ->
+        let effects =
+          match wrapper with
+          | Some effs -> Some effs
+          | None ->
+              if callees = [] then
+                (* un-analysable target: explicit native rule or the
+                   default black-box model *)
+                match Srcsink_mgr.wrapper_effects t.natives t.mgr inv with
+                | Some effs -> Some effs
+                | None ->
+                    Some
+                      (default_library_effects
+                         ~native:(is_native_target t inv))
+              else None
+        in
+        (match effects with
+        | Some effs ->
+            List.map (fun g -> Taint.T g) (library_effects t n inv effs fact)
+        | None -> [])
+  in
+  (* heap writes performed by library effects (e.g. putExtra tainting
+     the receiver) get alias searches too *)
+  List.iter
+    (function
+      | Taint.T (g : Taint.t) -> (
+          match g.Taint.ap.AP.base with
+          | AP.Bloc l ->
+              let is_ret =
+                match ret_local with
+                | Some x -> Stmt.equal_local x l
+                | None -> false
+              in
+              if not is_ret then spawn_alias_search t cx n g g.Taint.ap
+          | AP.Bstatic _ -> ())
+      | Taint.Zero -> ())
+    derived;
+  let pass_through =
+    match fact with
+    | Taint.Zero -> [ Taint.Zero ]
+    | Taint.T taint ->
+        let taint = maybe_activate t n taint in
+        let killed =
+          match (ret_local, taint.Taint.ap.AP.base) with
+          | Some x, AP.Bloc b -> Stmt.equal_local x b
+          | _ -> false
+        in
+        if killed then [] else [ Taint.T taint ]
+  in
+  List.iter
+    (fun r ->
+      List.iter (fun d -> propagate_fw t cx r d) (pass_through @ derived))
+    (Icfg.succs t.icfg n)
+
+let process_exit_fw t cx n (fact : Taint.fact) =
+  if add_summary t.fw cx (n, fact) then
+    List.iter
+      (fun (c, caller_cx) ->
+        match Icfg.invoke t.icfg c with
+        | None -> ()
+        | Some inv ->
+            let rets =
+              return_flow t ~call:c ~callee:cx.cx_proc ~exit_node:n inv fact
+            in
+            List.iter
+              (fun r ->
+                List.iter
+                  (fun d5 ->
+                    (match d5 with
+                    | Taint.T tt when AP.length tt.Taint.ap > 0 ->
+                        spawn_alias_search t caller_cx c tt tt.Taint.ap
+                    | _ -> ());
+                    propagate_fw t caller_cx r d5)
+                  rets)
+              (Icfg.succs t.icfg c))
+      (incoming_of t.fw cx)
+
+let process_fw t cx n fact =
+  if Icfg.is_exit t.icfg n then begin
+    (* sinks can also sit on an exit-adjacent call; exits themselves
+       carry no invoke in µJimple *)
+    process_exit_fw t cx n fact
+  end
+  else
+    match Icfg.invoke t.icfg n with
+    | Some inv -> process_call_fw t cx n fact inv
+    | None ->
+        let outs = normal_flow t cx n fact in
+        List.iter
+          (fun m -> List.iter (fun d -> propagate_fw t cx m d) outs)
+          (Icfg.succs t.icfg n)
+
+(* ---------------- backward solver (Algorithm 2) ---------------- *)
+
+(* inject a discovered alias into the forward analysis at node [n] *)
+let inject_fw t cx n (alias : Taint.t) = propagate_fw t cx n (Taint.T alias)
+
+(* backward descent into a call's callees for a fact rooted at the
+   receiver or an actual argument: the callee may have created aliases
+   involving those objects (Algorithm 2, call-statement case) *)
+let backward_descend_args t cx m (inv : Stmt.invoke) (taint : Taint.t) =
+  List.iter
+    (fun callee ->
+      match Callgraph.body_of t.icfg.Icfg.cg callee with
+      | exception Not_found -> ()
+      | body ->
+          let this_l, params = Body.param_locals body in
+          let descend ap_from ap_to =
+            match
+              AP.rebase ~k:(k t) ~from:ap_from ~to_:ap_to taint.Taint.ap
+            with
+            | Some ap ->
+                let d = Taint.derive taint ~ap ~at:m in
+                let cx_callee = { cx_proc = callee; cx_fact = Taint.T d } in
+                add_incoming t.fw cx_callee (m, cx);
+                List.iter
+                  (fun e_idx ->
+                    propagate_bw t cx_callee
+                      Icfg.{ n_method = callee; n_idx = e_idx }
+                      (Taint.T d))
+                  (Body.exit_stmts body)
+            | None -> ()
+          in
+          (match (inv.Stmt.i_recv, this_l) with
+          | Some r, Some tl when AP.length taint.Taint.ap > 0 ->
+              descend (AP.of_local r) (AP.of_local tl)
+          | _ -> ());
+          List.iteri
+            (fun i arg ->
+              match (arg, List.assoc_opt i params) with
+              | Stmt.Iloc a, Some p when AP.length taint.Taint.ap > 0 ->
+                  descend (AP.of_local a) (AP.of_local p)
+              | _ -> ())
+            inv.Stmt.i_args)
+    (Icfg.callees t.icfg m)
+
+(* backward flow across the *predecessor* statement [m] for fact
+   valid before [n]; may inject forward facts and descend into
+   callees *)
+let backward_step t cx m (taint : Taint.t) =
+  let stmt = Icfg.stmt t.icfg m in
+  let continue_with tt = propagate_bw t cx m (Taint.T tt) in
+  match stmt.Stmt.s_kind with
+  | Stmt.Assign (lv, e) -> (
+      let lap = ap_of_lvalue lv in
+      let strong_def =
+        (* only a whole-local definition removes the path upstream *)
+        match lv with Stmt.Llocal _ -> true | _ -> false
+      in
+      if AP.has_prefix ~prefix:lap taint.Taint.ap then begin
+        (* the written location is (a prefix of) our alias: rewrite
+           through the assignment *)
+        match e with
+        | Stmt.Einvoke inv ->
+            (* value came from a callee's return: descend (Algorithm 2,
+               call-statement case) *)
+            let callees = Icfg.callees t.icfg m in
+            List.iter
+              (fun callee ->
+                match Callgraph.body_of t.icfg.Icfg.cg callee with
+                | exception Not_found -> ()
+                | body ->
+                    List.iter
+                      (fun e_idx ->
+                        let e_node =
+                          Icfg.{ n_method = callee; n_idx = e_idx }
+                        in
+                        match (Body.stmt body e_idx).Stmt.s_kind with
+                        | Stmt.Return (Some (Stmt.Iloc rl)) -> (
+                            match
+                              AP.rebase ~k:(k t) ~from:lap
+                                ~to_:(AP.of_local rl) taint.Taint.ap
+                            with
+                            | Some ap ->
+                                let d = Taint.derive taint ~ap ~at:m in
+                                let cx_callee =
+                                  { cx_proc = callee; cx_fact = Taint.T d }
+                                in
+                                add_incoming t.fw cx_callee (m, cx);
+                                propagate_bw t cx_callee e_node (Taint.T d)
+                            | None -> ())
+                        | _ -> ())
+                      (Body.exit_stmts body))
+              callees;
+            ignore inv
+        | Stmt.Enew _ | Stmt.Enewarray _ ->
+            (* freshly allocated: nothing aliases it upstream *)
+            ()
+        | _ -> (
+            match alias_ap_of_expr e with
+            | Some rap -> (
+                match
+                  AP.rebase ~k:(k t) ~from:lap ~to_:rap taint.Taint.ap
+                with
+                | Some ap ->
+                    let d = Taint.derive taint ~ap ~at:m in
+                    (* found an upstream alias: continue the search and
+                       hand it to the forward analysis (Algorithm 2,
+                       line 17) *)
+                    inject_fw t cx m d;
+                    continue_with d
+                | None -> ())
+            | None ->
+                (* rhs is a constant or operator result: value created
+                   here *)
+                ())
+      end
+      else begin
+        (* unrelated write; but the rhs may *read* our alias path,
+           making the lhs a downstream alias (Figure 2, step 7:
+           b = a.g with fact a.g.f gives alias b.f).  The alias holds
+           only *after* [m] (the statement defines it), so the forward
+           injection lands on [m]'s successors; and the new alias is
+           itself searched backward so chains of heap assignments
+           (o.a = c1; c1.a = c2; ...) compose. *)
+        ignore strong_def;
+        (match alias_ap_of_expr e with
+        | Some rap -> (
+            match AP.rebase ~k:(k t) ~from:rap ~to_:lap taint.Taint.ap with
+            | Some ap ->
+                let d = Taint.derive taint ~ap ~at:m in
+                List.iter (fun s -> inject_fw t cx s d) (Icfg.succs t.icfg m);
+                continue_with d
+            | None -> ())
+        | None -> ());
+        (* a call whose result is stored elsewhere may still have
+           mutated our alias's object through the arguments *)
+        (match e with
+        | Stmt.Einvoke inv -> backward_descend_args t cx m inv taint
+        | _ -> ());
+        (* does this statement *define* our base outright? then the
+           path does not exist upstream *)
+        let killed =
+          match lv with
+          | Stmt.Llocal x -> (
+              match taint.Taint.ap.AP.base with
+              | AP.Bloc b -> Stmt.equal_local b x
+              | AP.Bstatic _ -> false)
+          | _ -> false
+        in
+        if not killed then continue_with taint
+      end)
+  | Stmt.InvokeStmt inv ->
+      (* a call the fact merely passes: descend with facts rooted at
+         the receiver or actuals *)
+      backward_descend_args t cx m inv taint;
+      continue_with taint
+  | Stmt.Identity _ | Stmt.If _ | Stmt.Goto _ | Stmt.Nop | Stmt.Return _
+  | Stmt.Throw _ ->
+      continue_with taint
+
+let process_bw t cx n (fact : Taint.fact) =
+  match fact with
+  | Taint.Zero -> ()
+  | Taint.T taint ->
+      if n.Icfg.n_idx = 0 then begin
+        (* Algorithm 2, method's-first-statement case: hand over to the
+           forward analysis (which owns all returning into callers) and
+           kill the backward fact *)
+        ignore (add_summary t.bw cx (n, fact));
+        inject_fw t cx n taint
+      end
+      else
+        List.iter (fun m -> backward_step t cx m taint) (Icfg.preds t.icfg n)
+
+(* ---------------- driver ---------------- *)
+
+(** [run t ~entries] seeds the zero fact at each entry method and runs
+    both solvers to exhaustion (or to the propagation budget). *)
+let run t ~entries =
+  List.iter
+    (fun m ->
+      let cx = { cx_proc = m; cx_fact = Taint.Zero } in
+      propagate_fw t cx (Icfg.start_node t.icfg m) Taint.Zero)
+    entries;
+  let rec loop () =
+    if not (Queue.is_empty t.fw.s_work) then begin
+      let cx, n, fact = Queue.pop t.fw.s_work in
+      process_fw t cx n fact;
+      loop ()
+    end
+    else if not (Queue.is_empty t.bw.s_work) then begin
+      let cx, n, fact = Queue.pop t.bw.s_work in
+      process_bw t cx n fact;
+      loop ()
+    end
+  in
+  loop ();
+  t.findings <- List.rev t.findings
+
+(** [findings t] is the reported source-to-sink flows. *)
+let findings t = t.findings
+
+(** [results_at t n] is the taints that may hold just before [n]
+    (forward solver facts, for tests and inspection). *)
+let results_at t n =
+  match Node_tbl.find_opt t.results n with Some c -> !c | None -> []
+
+(** [propagation_count t] is the number of path-edge propagations
+    performed (the work metric reported by the benchmarks). *)
+let propagation_count t = t.propagations
+
+(** [budget_exhausted t] reports whether the propagation budget was
+    hit (results may then be incomplete). *)
+let budget_exhausted t = t.budget_exhausted

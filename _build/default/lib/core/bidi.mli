@@ -1,0 +1,58 @@
+(** The bidirectional taint solver: Algorithms 1 and 2 of the paper.
+
+    A forward IFDS taint solver interleaved with an on-demand backward
+    alias solver, with the paper's two precision mechanisms:
+    {e context injection} (a spawned backward edge inherits the forward
+    path edge's context [⟨sp, d1⟩], so no facts arise along
+    unrealizable paths — Figure 3) and {e activation statements}
+    (aliases are born inactive and only activate once the forward
+    analysis carries them across the heap write that taints them — or
+    across a call whose call tree contains it — Listing 3).
+
+    Both mechanisms, and the alias search itself, can be disabled
+    through {!Config.t} for the ablation benchmarks. *)
+
+open Fd_ir
+open Fd_callgraph
+
+type finding = {
+  f_source : Taint.source_info;
+  f_sink_node : Icfg.node;
+  f_sink_tag : string option;
+  f_sink_cat : Fd_frontend.Sourcesink.category;
+  f_path : Icfg.node list;  (** full propagation path, source first *)
+}
+
+type t
+
+val create :
+  config:Config.t ->
+  icfg:Icfg.t ->
+  scene:Scene.t ->
+  mgr:Srcsink_mgr.t ->
+  wrappers:Fd_frontend.Rules.t ->
+  natives:Fd_frontend.Rules.t ->
+  t
+
+val run : t -> entries:Mkey.t list -> unit
+(** [run t ~entries] seeds the zero fact at each entry method's start
+    point and runs both solvers to exhaustion (or to the propagation
+    budget). *)
+
+val findings : t -> finding list
+(** [findings t] is the reported source-to-sink flows, in discovery
+    order. *)
+
+val results_at : t -> Icfg.node -> Taint.t list
+(** [results_at t n] is the taints that may hold just before [n]
+    (forward-solver facts; for tests and inspection). *)
+
+val propagation_count : t -> int
+(** [propagation_count t] is the number of path-edge propagations
+    performed by both solvers (the work metric the benchmarks
+    report). *)
+
+val budget_exhausted : t -> bool
+(** [budget_exhausted t] reports whether
+    {!Config.t.max_propagations} was hit; results may then be
+    incomplete. *)

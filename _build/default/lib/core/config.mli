@@ -1,0 +1,32 @@
+(** Engine configuration: FlowDroid's defaults plus the ablation
+    switches the benchmark harness sweeps (DESIGN.md experiments
+    A1–A3, F3, L3). *)
+
+type t = {
+  max_access_path : int;
+      (** maximal access-path length [k]; the paper's default is 5 *)
+  lifecycle : bool;
+      (** model the component lifecycle via the dummy main; when off,
+          each lifecycle/callback method is analysed as an isolated
+          entry point (the comparator-tool behaviour) *)
+  callbacks : bool;  (** discover and include callbacks *)
+  per_component_callbacks : bool;
+      (** associate callbacks with their owning component (paper
+          default); off = all callbacks attached to every component *)
+  context_injection : bool;
+      (** inject the forward context into spawned backward searches
+          (Figure 3); off = the naive 0-rooted handover *)
+  activation_statements : bool;
+      (** flow-sensitive alias activation (Listing 3); off = aliases
+          are born active, i.e. Andromeda-style flow-insensitivity *)
+  alias_search : bool;
+      (** run the on-demand backward alias analysis at all *)
+  cg_algorithm : Fd_callgraph.Callgraph.algorithm;
+  max_propagations : int;
+      (** safety valve on solver work (path-edge budget) *)
+}
+
+val default : t
+(** The configuration the paper evaluates: k = 5, full lifecycle and
+    callback modelling, context injection and activation statements
+    on, CHA call graphs. *)

@@ -1,0 +1,50 @@
+(** EPICC-lite: inter-component communication resolution — the paper's
+    stated future work ("we plan to integrate FlowDroid with EPICC").
+
+    A constant-propagation-style intent analysis resolves each
+    intent-send site's possible target components (explicit constant
+    targets, or constant action strings matched against the manifest's
+    intent filters); flow composition then stitches a sending-side
+    flow [src → send(i)] to every receiving-side flow
+    [reception → sink] inside the resolved target, yielding transitive
+    leaks spanning components. *)
+
+open Fd_callgraph
+
+type target =
+  | Explicit of string  (** target component class *)
+  | Action of string  (** implicit: intent action string *)
+
+type send_site = {
+  ss_node : Icfg.node;  (** the startActivity / sendBroadcast call *)
+  ss_targets : string list;  (** resolved in-app receiving components *)
+}
+
+val send_sites : Icfg.t -> Fd_frontend.Manifest.t -> send_site list
+(** every intent-send call site in the analysed code, with its
+    resolved in-app targets *)
+
+type composed = {
+  comp_source : Taint.source_info;  (** the original sending-side source *)
+  comp_via : Icfg.node;  (** the resolved intent-send site *)
+  comp_target : string;  (** receiving component *)
+  comp_sink_node : Icfg.node;
+  comp_sink_tag : string option;
+  comp_sink_cat : Fd_frontend.Sourcesink.category;
+  comp_path : Icfg.node list;  (** concatenated sending+receiving path *)
+}
+
+val compose :
+  icfg:Icfg.t ->
+  scene:Fd_ir.Scene.t ->
+  manifest:Fd_frontend.Manifest.t ->
+  Bidi.finding list ->
+  composed list
+(** [compose findings] resolves intent sends among [findings] and
+    stitches them to reception-sourced flows.  The caller decides
+    whether to keep the raw send-as-sink findings (FlowDroid's
+    over-approximation) alongside. *)
+
+val composed_to_findings : composed list -> Bidi.finding list
+(** view composed flows as ordinary findings for uniform
+    scoring/reporting *)

@@ -1,0 +1,217 @@
+(** The analysis driver: Figure 4's pipeline.
+
+    [parse manifest] → [parse layout XMLs] → [parse code] →
+    [source/sink/entry-point detection] → [generate dummy main] →
+    [build call graph] → [perform taint analysis].
+
+    Two entry modes exist: {!analyze_apk} runs the full Android
+    pipeline; {!analyze_plain} analyses ordinary Java-style programs
+    with explicitly given entry points (SecuriBench Micro, the paper's
+    listings — RQ4's "nothing precludes applying FlowDroid to Java"). *)
+
+open Fd_ir
+open Fd_callgraph
+module FW = Fd_frontend.Framework
+
+type stats = {
+  st_time : float;  (** analysis wall time, seconds *)
+  st_reachable : int;  (** reachable methods in the final call graph *)
+  st_cg_edges : int;
+  st_propagations : int;  (** path-edge propagations of both solvers *)
+  st_budget_exhausted : bool;
+}
+
+type result = {
+  r_findings : Bidi.finding list;
+  r_entries : Mkey.t list;
+  r_stats : stats;
+  r_engine : Bidi.t;  (** for inspection (per-node taints) *)
+  r_icfg : Icfg.t;
+}
+
+type phase_hook = string -> unit
+(** called with a phase name as the pipeline advances (used by the
+    pipeline-trace example) *)
+
+let no_hook : phase_hook = fun _ -> ()
+
+let log_src = Logs.Src.create "flowdroid" ~doc:"FlowDroid analysis pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let run_engine ?(config = Config.default) ?(phase = no_hook) ~scene ~mgr
+    ~wrappers ~natives ~entries () =
+  let t0 = Sys.time () in
+  Log.debug (fun m ->
+      m "analysis starting with %d entry point(s)" (List.length entries));
+  phase "build call graph";
+  let cg =
+    Callgraph.build scene ~entry:entries ~algorithm:config.Config.cg_algorithm
+      ()
+  in
+  let icfg = Icfg.create cg in
+  phase "perform taint analysis";
+  let engine = Bidi.create ~config ~icfg ~scene ~mgr ~wrappers ~natives in
+  Bidi.run engine ~entries;
+  let t1 = Sys.time () in
+  if Bidi.budget_exhausted engine then
+    Log.warn (fun m ->
+        m "propagation budget (%d) exhausted: results may be incomplete"
+          config.Config.max_propagations);
+  Log.debug (fun m ->
+      m "done: %d finding(s), %d propagations, %.4fs"
+        (List.length (Bidi.findings engine))
+        (Bidi.propagation_count engine)
+        (t1 -. t0));
+  {
+    r_findings = Bidi.findings engine;
+    r_entries = entries;
+    r_stats =
+      {
+        st_time = t1 -. t0;
+        st_reachable = List.length (Callgraph.reachable_methods cg);
+        st_cg_edges = Callgraph.edge_count cg;
+        st_propagations = Bidi.propagation_count engine;
+        st_budget_exhausted = Bidi.budget_exhausted engine;
+      };
+    r_engine = engine;
+    r_icfg = icfg;
+  }
+
+(** [android_entries ~config loaded] computes the entry points for an
+    Android app: with lifecycle modelling on, the generated dummy
+    main; with it off, every lifecycle and callback method as an
+    isolated entry (the comparator-tool behaviour). *)
+let android_entries ~(config : Config.t) ~phase
+    (loaded : Fd_frontend.Apk.loaded) =
+  phase "source, sink and entry-point detection";
+  let ccs =
+    if config.Config.callbacks then Fd_lifecycle.Callbacks.discover_all loaded
+    else
+      (* callbacks off: lifecycle methods only *)
+      List.map
+        (fun (c : Fd_frontend.Manifest.component) ->
+          Fd_lifecycle.Callbacks.
+            {
+              cc_component = c.Fd_frontend.Manifest.comp_class;
+              cc_kind = c.Fd_frontend.Manifest.comp_kind;
+              cc_lifecycle =
+                Fd_lifecycle.Lifecycle.implemented_methods
+                  loaded.Fd_frontend.Apk.scene
+                  c.Fd_frontend.Manifest.comp_class
+                  c.Fd_frontend.Manifest.comp_kind
+                |> List.map (fun (decl, m) -> Mkey.of_method decl m);
+              cc_callbacks = [];
+              cc_listener_classes = [];
+              cc_async_tasks = [];
+              cc_fragments = [];
+            })
+        loaded.Fd_frontend.Apk.components
+  in
+  let ccs =
+    if config.Config.per_component_callbacks then ccs
+    else begin
+      (* ablation: every callback is attached to every component *)
+      let all_cbs =
+        List.concat_map (fun cc -> cc.Fd_lifecycle.Callbacks.cc_callbacks) ccs
+      in
+      let all_listeners =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun cc -> cc.Fd_lifecycle.Callbacks.cc_listener_classes)
+             ccs)
+      in
+      List.map
+        (fun cc ->
+          {
+            cc with
+            Fd_lifecycle.Callbacks.cc_callbacks =
+              List.map
+                (fun cb ->
+                  {
+                    cb with
+                    Fd_lifecycle.Callbacks.cb_on_component =
+                      cb.Fd_lifecycle.Callbacks.cb_class
+                      = cc.Fd_lifecycle.Callbacks.cc_component;
+                  })
+                all_cbs;
+            Fd_lifecycle.Callbacks.cc_listener_classes =
+              List.sort_uniq compare
+                (all_listeners
+                @ List.filter_map
+                    (fun cb ->
+                      if
+                        cb.Fd_lifecycle.Callbacks.cb_class
+                        <> cc.Fd_lifecycle.Callbacks.cc_component
+                      then Some cb.Fd_lifecycle.Callbacks.cb_class
+                      else None)
+                    all_cbs);
+          })
+        ccs
+    end
+  in
+  if config.Config.lifecycle then begin
+    phase "generate main method";
+    [ Fd_lifecycle.Dummy_main.generate loaded.Fd_frontend.Apk.scene ccs ]
+  end
+  else
+    List.concat_map
+      (fun cc ->
+        cc.Fd_lifecycle.Callbacks.cc_lifecycle
+        @ List.map
+            (fun cb ->
+              Mkey.of_sig
+                {
+                  cb.Fd_lifecycle.Callbacks.cb_method.Jclass.jm_sig with
+                  Types.m_class = cb.Fd_lifecycle.Callbacks.cb_class;
+                })
+            cc.Fd_lifecycle.Callbacks.cc_callbacks)
+      ccs
+    |> List.sort_uniq Mkey.compare
+
+(** [analyze_loaded ?config ?defs ?wrappers ?natives ?phase loaded]
+    analyses an already-loaded APK. *)
+let analyze_loaded ?(config = Config.default)
+    ?(defs = Fd_frontend.Sourcesink.default ())
+    ?(wrappers = Fd_frontend.Rules.default_wrappers ())
+    ?(natives = Fd_frontend.Rules.default_natives ()) ?(phase = no_hook)
+    (loaded : Fd_frontend.Apk.loaded) =
+  let scene = loaded.Fd_frontend.Apk.scene in
+  let mgr =
+    Srcsink_mgr.create ~scene ~defs ~layout:loaded.Fd_frontend.Apk.layout
+  in
+  let entries = android_entries ~config ~phase loaded in
+  run_engine ~config ~phase ~scene ~mgr ~wrappers ~natives ~entries ()
+
+(** [analyze_apk ?config apk] runs the full pipeline from an APK
+    bundle. *)
+let analyze_apk ?config ?defs ?wrappers ?natives ?(phase = no_hook) apk =
+  phase "parse manifest file";
+  phase "parse layout xmls";
+  phase "parse code";
+  let loaded = Fd_frontend.Apk.load apk in
+  analyze_loaded ?config ?defs ?wrappers ?natives ~phase loaded
+
+(** [analyze_plain ?config ~classes ~entries ~defs ()] analyses a
+    plain (non-Android) program: [classes] are added to a fresh scene
+    with the framework skeleton, [entries] are the explicit entry
+    points, [defs] the manually supplied sources and sinks (the
+    SecuriBench setup of Section 6.4).  With [~synthetic_main:true]
+    the entry points are wrapped in a generated main in which they can
+    run in any sequential order — FlowDroid's default entry-point
+    creator, needed when flows stage data in static state between
+    entry points. *)
+let analyze_plain ?(config = Config.default) ?(synthetic_main = false)
+    ~classes ~entries
+    ?(defs = Fd_frontend.Sourcesink.default ())
+    ?(wrappers = Fd_frontend.Rules.default_wrappers ())
+    ?(natives = Fd_frontend.Rules.default_natives ()) () =
+  let scene = FW.fresh_scene () in
+  List.iter (Scene.add_class scene) classes;
+  let mgr = Srcsink_mgr.create_plain ~scene ~defs in
+  let entries =
+    if synthetic_main then
+      [ Fd_lifecycle.Dummy_main.generate_plain scene entries ]
+    else entries
+  in
+  run_engine ~config ~scene ~mgr ~wrappers ~natives ~entries ()

@@ -1,0 +1,76 @@
+(** The analysis driver: Figure 4's pipeline.
+
+    [parse manifest] → [parse layout XMLs] → [parse code] →
+    [source/sink/entry-point detection] → [generate dummy main] →
+    [build call graph] → [perform taint analysis].
+
+    {!analyze_apk} runs the full Android pipeline; {!analyze_plain}
+    analyses ordinary Java-style programs with explicit entry points
+    (SecuriBench Micro, the paper's listings — RQ4). *)
+
+open Fd_callgraph
+
+type stats = {
+  st_time : float;  (** analysis wall time, seconds *)
+  st_reachable : int;  (** reachable methods in the final call graph *)
+  st_cg_edges : int;
+  st_propagations : int;  (** path-edge propagations of both solvers *)
+  st_budget_exhausted : bool;
+}
+
+type result = {
+  r_findings : Bidi.finding list;
+  r_entries : Mkey.t list;
+  r_stats : stats;
+  r_engine : Bidi.t;  (** for inspection (per-node taints) *)
+  r_icfg : Icfg.t;
+}
+
+type phase_hook = string -> unit
+(** called with a phase name as the pipeline advances (used by the
+    pipeline-trace example) *)
+
+val no_hook : phase_hook
+
+val log_src : Logs.src
+(** The [Logs] source the pipeline reports through ([flowdroid]):
+    phase progress at debug level, budget exhaustion at warning
+    level. *)
+
+val analyze_apk :
+  ?config:Config.t ->
+  ?defs:Fd_frontend.Sourcesink.t ->
+  ?wrappers:Fd_frontend.Rules.t ->
+  ?natives:Fd_frontend.Rules.t ->
+  ?phase:phase_hook ->
+  Fd_frontend.Apk.t ->
+  result
+(** [analyze_apk apk] runs the full pipeline from an APK bundle.
+    @raise Fd_frontend.Apk.Load_error on malformed inputs. *)
+
+val analyze_loaded :
+  ?config:Config.t ->
+  ?defs:Fd_frontend.Sourcesink.t ->
+  ?wrappers:Fd_frontend.Rules.t ->
+  ?natives:Fd_frontend.Rules.t ->
+  ?phase:phase_hook ->
+  Fd_frontend.Apk.loaded ->
+  result
+(** [analyze_loaded loaded] analyses an already-loaded APK. *)
+
+val analyze_plain :
+  ?config:Config.t ->
+  ?synthetic_main:bool ->
+  classes:Fd_ir.Jclass.t list ->
+  entries:Mkey.t list ->
+  ?defs:Fd_frontend.Sourcesink.t ->
+  ?wrappers:Fd_frontend.Rules.t ->
+  ?natives:Fd_frontend.Rules.t ->
+  unit ->
+  result
+(** [analyze_plain ~classes ~entries ()] analyses a plain (non-Android)
+    program with explicitly given entry points and manually supplied
+    sources/sinks.  With [~synthetic_main:true], the entry points are
+    wrapped in a generated main in which they can run in any sequential
+    order (FlowDroid's default entry-point creator) — required when
+    flows stage data in static state between entry points. *)

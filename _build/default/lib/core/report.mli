@@ -1,0 +1,17 @@
+(** Result reporting: FlowDroid-style XML output and text summaries.
+
+    Reports "include full path information" (Section 5): each result
+    carries the sink, the source, and the reconstructed chain of
+    propagation statements, in the XML shape FlowDroid's result files
+    use ([DataFlowResults]/[Results]/[Result]/[Sink]+[Sources]). *)
+
+val finding_to_xml : Bidi.finding -> Fd_xml.Xml.t
+val to_xml : Infoflow.result -> Fd_xml.Xml.t
+
+val to_xml_string : Infoflow.result -> string
+(** the rendered document, with XML declaration; parses back with
+    {!Fd_xml.Xml.parse_string} *)
+
+val summary : Infoflow.result -> string
+(** one-line digest: flow count by sink category, time, reachable
+    methods, propagations *)

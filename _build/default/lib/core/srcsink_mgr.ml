@@ -1,0 +1,104 @@
+(** The engine-facing source/sink manager.
+
+    Combines the configured source/sink lists ({!Fd_frontend.Sourcesink})
+    with the layout model: a [findViewById] call whose constant
+    argument resolves to a password control is a source — exactly the
+    case the paper gives for why code-only analysis cannot find all
+    sources.  Method matching walks the static receiver class and its
+    supertypes so a list entry on [android.content.Context] also
+    covers calls through [ContextWrapper] subclasses. *)
+
+open Fd_ir
+module SS = Fd_frontend.Sourcesink
+
+type t = {
+  scene : Scene.t;
+  defs : SS.t;
+  layout : Fd_frontend.Layout.t;
+}
+
+let create ~scene ~defs ~layout = { scene; defs; layout }
+
+(** [create_plain ~scene ~defs] is a manager with no layout (plain
+    Java programs: SecuriBench, the paper's listings). *)
+let create_plain ~scene ~defs =
+  { scene; defs; layout = Fd_frontend.Layout.parse [] }
+
+let rec first_some f = function
+  | [] -> None
+  | x :: xs -> ( match f x with Some r -> Some r | None -> first_some f xs)
+
+let with_supertypes t cls f =
+  match f cls with
+  | Some r -> Some r
+  | None -> first_some f (Scene.supertypes t.scene cls)
+
+(** [return_source t inv] classifies a call as a return-value source. *)
+let return_source t (inv : Stmt.invoke) =
+  let mname = inv.Stmt.i_sig.Types.m_name in
+  with_supertypes t inv.Stmt.i_sig.Types.m_class (fun cls ->
+      SS.is_return_source t.defs ~cls ~mname)
+
+(* resolve an int argument to a constant: either an immediate constant
+   or a local whose unique dominating definition in the same body is a
+   constant assignment (the straight-line constant propagation Jimple
+   performs before FlowDroid sees the code) *)
+let resolve_const_int body_opt at_idx (arg : Stmt.imm) =
+  match arg with
+  | Stmt.Iconst (Stmt.CInt id) -> Some id
+  | Stmt.Iloc l -> (
+      match body_opt with
+      | None -> None
+      | Some body ->
+          (* scan backwards from the call: the nearest definition of
+             [l] wins; anything but a constant store blocks *)
+          let rec scan i =
+            if i < 0 then None
+            else
+              let st = Fd_ir.Body.stmt body i in
+              match st.Stmt.s_kind with
+              | Stmt.Assign (Stmt.Llocal x, Stmt.Eimm (Stmt.Iconst (Stmt.CInt v)))
+                when Stmt.equal_local x l ->
+                  Some v
+              | _ when Stmt.def_local st = Some l -> None
+              | _ -> scan (i - 1)
+          in
+          scan (at_idx - 1))
+  | Stmt.Iconst _ -> None
+
+(** [ui_source t ?body ?at inv] classifies a [findViewById] call whose
+    id resolves to a sensitive (password) layout control.  The id may
+    be an immediate constant or a local defined by a straight-line
+    constant assignment in [body] before index [at].  Returns the
+    control when sensitive. *)
+let ui_source t ?body ?(at = 0) (inv : Stmt.invoke) =
+  if inv.Stmt.i_sig.Types.m_name <> "findViewById" then None
+  else
+    match inv.Stmt.i_args with
+    | [ arg ] -> (
+        match resolve_const_int body at arg with
+        | Some id -> (
+            match Fd_frontend.Layout.control_by_id t.layout id with
+            | Some c when c.Fd_frontend.Layout.ctl_password -> Some c
+            | _ -> None)
+        | None -> None)
+    | _ -> None
+
+(** [param_source t ~cls ~mname] — is parameter [i] of the callback
+    [mname], declared on [cls] or any supertype, a source (e.g.
+    [onLocationChanged])? *)
+let param_source t ~cls ~mname =
+  with_supertypes t cls (fun cls -> SS.param_source t.defs ~cls ~mname)
+
+(** [sink t inv] classifies a call as a sink. *)
+let sink t (inv : Stmt.invoke) =
+  let mname = inv.Stmt.i_sig.Types.m_name in
+  with_supertypes t inv.Stmt.i_sig.Types.m_class (fun cls ->
+      SS.is_sink t.defs ~cls ~mname)
+
+(** [wrapper_effects rules t inv] finds taint-wrapper effects for a
+    call, trying the static class then its supertypes. *)
+let wrapper_effects rules t (inv : Stmt.invoke) =
+  let mname = inv.Stmt.i_sig.Types.m_name in
+  with_supertypes t inv.Stmt.i_sig.Types.m_class (fun cls ->
+      Fd_frontend.Rules.lookup rules ~cls ~mname)

@@ -1,0 +1,40 @@
+(** The engine-facing source/sink manager: combines the configured
+    source/sink lists with the layout model (a [findViewById] call
+    whose id resolves to a password control is a source — the case the
+    paper gives for why code-only analysis cannot find all sources).
+    Method matching walks the static receiver class and its
+    supertypes. *)
+
+open Fd_ir
+module SS = Fd_frontend.Sourcesink
+
+type t
+
+val create :
+  scene:Scene.t -> defs:SS.t -> layout:Fd_frontend.Layout.t -> t
+
+val create_plain : scene:Scene.t -> defs:SS.t -> t
+(** no layout: plain Java programs (SecuriBench, the listings) *)
+
+val return_source : t -> Stmt.invoke -> SS.category option
+(** is the call a return-value source? *)
+
+val ui_source :
+  t -> ?body:Body.t -> ?at:int -> Stmt.invoke ->
+  Fd_frontend.Layout.control option
+(** is the call a [findViewById] whose id — an immediate constant or a
+    local with a straight-line constant definition in [body] before
+    index [at] — names a password control? *)
+
+val param_source :
+  t -> cls:string -> mname:string -> (int list * SS.category) option
+(** is a parameter of the callback (declared on [cls] or a supertype)
+    a source, e.g. [onLocationChanged]? *)
+
+val sink : t -> Stmt.invoke -> SS.category option
+
+val wrapper_effects :
+  Fd_frontend.Rules.t -> t -> Stmt.invoke ->
+  Fd_frontend.Rules.effect list option
+(** taint-wrapper effects for a call, trying the static class then its
+    supertypes *)

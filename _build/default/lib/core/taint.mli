@@ -1,0 +1,65 @@
+(** Taint abstractions: the data-flow facts of both IFDS solvers.
+
+    A taint is an access path plus the flow-sensitivity machinery of
+    Section 4.2: aliases discovered by the backward analysis are
+    {e inactive} and carry their {e activation statement} — the heap
+    write that made the alias tainted; only after the forward analysis
+    propagates them across that statement (or a call that transitively
+    executes it) do they activate and become able to cause leak
+    reports.
+
+    Predecessor/derivation links support full path reconstruction and
+    are excluded from equality and hashing, exactly as in FlowDroid. *)
+
+open Fd_callgraph
+
+type source_info = {
+  si_category : Fd_frontend.Sourcesink.category;
+  si_node : Icfg.node;  (** the statement that produced the source value *)
+  si_tag : string option;  (** ground-truth tag of the source statement *)
+  si_desc : string;  (** human-readable description *)
+}
+
+val equal_source : source_info -> source_info -> bool
+
+type t = {
+  ap : Access_path.t;
+  active : bool;
+  activation : Icfg.node option;
+      (** the heap-write statement that activates this alias; [None]
+          for taints created directly at sources *)
+  source : source_info;
+  pred : t option;  (** derivation link (excluded from equality) *)
+  at : Icfg.node option;  (** statement where this abstraction arose *)
+}
+
+type fact = Zero | T of t
+
+val equal_taint : t -> t -> bool
+val equal : fact -> fact -> bool
+val hash_taint : t -> int
+val hash : fact -> int
+
+val make :
+  ap:Access_path.t -> source:source_info -> at:Icfg.node -> unit -> t
+(** [make ~ap ~source ~at ()] is a fresh, active source taint. *)
+
+val derive : t -> ap:Access_path.t -> at:Icfg.node -> t
+(** [derive t ~ap ~at] rebases [t] onto a new access path, keeping
+    activation state and source, recording the derivation. *)
+
+val inactive_alias :
+  t -> ap:Access_path.t -> activation:Icfg.node -> at:Icfg.node -> t
+(** [inactive_alias t ~ap ~activation ~at] is the abstraction the
+    backward analysis propagates: same source, new path, inactive. *)
+
+val activate : t -> at:Icfg.node -> t
+(** [activate t ~at] turns an inactive alias into a reportable taint
+    (it crossed its activation statement). *)
+
+val to_string : t -> string
+val fact_to_string : fact -> string
+
+val path : t -> Icfg.node list
+(** [path t] reconstructs the statement trail from the source to this
+    abstraction, oldest first. *)

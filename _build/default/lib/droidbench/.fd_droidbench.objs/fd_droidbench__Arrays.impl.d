@@ -1,0 +1,1 @@
+lib/droidbench/arrays.ml: Bench_app Build Fd_ir Types

@@ -1,0 +1,1 @@
+lib/droidbench/bench_app.ml: Build Fd_frontend Fd_ir Types

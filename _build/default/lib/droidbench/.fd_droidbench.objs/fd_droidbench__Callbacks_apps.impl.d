@@ -1,0 +1,1 @@
+lib/droidbench/callbacks_apps.ml: Bench_app Build Fd_frontend Fd_ir List Types

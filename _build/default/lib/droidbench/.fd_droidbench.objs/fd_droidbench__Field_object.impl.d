@@ -1,0 +1,1 @@
+lib/droidbench/field_object.ml: Bench_app Build Fd_ir Stmt Types

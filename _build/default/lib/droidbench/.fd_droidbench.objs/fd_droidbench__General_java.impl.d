@@ -1,0 +1,1 @@
+lib/droidbench/general_java.ml: Bench_app Build Fd_ir Stmt Types

@@ -1,0 +1,1 @@
+lib/droidbench/implicit_flows.ml: Bench_app Build Fd_ir Stmt Types

@@ -1,0 +1,1 @@
+lib/droidbench/interapp.ml: Bench_app Build Fd_frontend Fd_ir Types

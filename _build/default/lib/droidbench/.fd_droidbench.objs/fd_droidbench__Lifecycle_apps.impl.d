@@ -1,0 +1,1 @@
+lib/droidbench/lifecycle_apps.ml: Bench_app Build Fd_frontend Fd_ir Printf Stmt Types

@@ -1,0 +1,1 @@
+lib/droidbench/suite.ml: Arrays Bench_app Callbacks_apps Extensions Field_object General_java Implicit_flows Interapp Lifecycle_apps List Misc_apps

@@ -1,0 +1,89 @@
+(** DROIDBENCH category "Arrays and Lists".
+
+    All three cases are precision traps: the tainted value is stored at
+    one index and a *different* index (or element) is leaked, so a
+    correct analysis should stay silent.  FlowDroid's conservative
+    whole-array/whole-collection abstraction (Section 4.1) reports all
+    three — the false positives visible in Table 1's first category. *)
+
+open Bench_app
+open Fd_ir
+module B = Build
+module T = Types
+
+let array_access1 =
+  let cls = "de.ecspride.ArrayAccess1" in
+  make "ArrayAccess1" ~category:"Arrays and Lists"
+    ~comment:
+      "IMEI stored in arr[0]; arr[1] is leaked. No real leak; \
+       index-insensitive array handling reports one."
+    ~expected:[]
+    (activity_app "ArrayAccess1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let arr = B.local m "arr" ~ty:(T.Array str_t) in
+                 let imei = B.local m "imei" in
+                 let out = B.local m "out" in
+                 B.newarray m arr str_t (B.i 2);
+                 B.astore m arr (B.i 1) (B.s "no taint");
+                 get_imei m imei;
+                 B.astore m arr (B.i 0) (B.v imei);
+                 B.aload m out arr (B.i 1);
+                 send_sms m (B.v out));
+           ];
+       ])
+
+let array_access2 =
+  let cls = "de.ecspride.ArrayAccess2" in
+  make "ArrayAccess2" ~category:"Arrays and Lists"
+    ~comment:
+      "Like ArrayAccess1 but the indices are computed; still no real \
+       leak."
+    ~expected:[]
+    (activity_app "ArrayAccess2" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let arr = B.local m "arr" ~ty:(T.Array str_t) in
+                 let imei = B.local m "imei" in
+                 let i = B.local m "i" ~ty:T.Int in
+                 let j = B.local m "j" ~ty:T.Int in
+                 let out = B.local m "out" in
+                 B.newarray m arr str_t (B.i 10);
+                 get_imei m imei;
+                 B.binop m i "*" (B.i 2) (B.i 2);
+                 B.astore m arr (B.v i) (B.v imei);
+                 B.binop m j "+" (B.i 1) (B.i 1);
+                 B.aload m out arr (B.v j);
+                 send_sms m (B.v out));
+           ];
+       ])
+
+let list_access1 =
+  let cls = "de.ecspride.ListAccess1" in
+  make "ListAccess1" ~category:"Arrays and Lists"
+    ~comment:
+      "IMEI added to a list after a clean element; element 0 is \
+       leaked. The whole-container collection model reports it."
+    ~expected:[]
+    (activity_app "ListAccess1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let l = B.local m "l" ~ty:(T.Ref "java.util.LinkedList") in
+                 let imei = B.local m "imei" in
+                 let out = B.local m "out" in
+                 B.newc m l "java.util.LinkedList" [];
+                 B.vcall m l "java.util.LinkedList" "add" [ B.s "clean" ];
+                 get_imei m imei;
+                 B.vcall m l "java.util.LinkedList" "add" [ B.v imei ];
+                 B.vcall m ~ret:out l "java.util.LinkedList" "get" [ B.i 0 ];
+                 send_sms m (B.v out));
+           ];
+       ])
+
+let all = [ array_access1; array_access2; list_access1 ]

@@ -1,0 +1,95 @@
+(** Benchmark-app infrastructure for the DROIDBENCH reproduction.
+
+    Each benchmark is an in-memory APK plus its ground truth: the
+    source/sink statement-tag pairs a correct analysis should report.
+    The evaluation harness (Fd_eval) runs the engines and scores
+    findings against these expectations.
+
+    Ground-truth convention: source statements carry tags starting
+    with ["src"], sink statements tags starting with ["sink"]; an
+    expectation names the pair (the source side is optional for
+    parameter sources whose identity statements are synthesised). *)
+
+open Fd_ir
+module B = Build
+module T = Types
+module FW = Fd_frontend.Framework
+module Apk = Fd_frontend.Apk
+
+type expectation = {
+  exp_src : string option;  (** source tag; [None] matches any source *)
+  exp_sink : string;  (** sink tag *)
+}
+
+type t = {
+  app_name : string;
+  app_category : string;
+  app_apk : Apk.t;
+  app_expected : expectation list;
+  app_comment : string;  (** the analysis challenge this case poses *)
+  app_excluded : bool;
+      (** excluded from Table 1 scoring — the implicit-flow cases the
+          paper's footnote 1 sets aside ("none of the tools, including
+          FlowDroid, was designed to analyze such flows") *)
+}
+
+let expect ?src sink = { exp_src = src; exp_sink = sink }
+
+(** [make name ~category ~comment ~expected apk] assembles a benchmark
+    case. *)
+let make name ~category ~comment ~expected ?(excluded = false) apk =
+  { app_name = name; app_category = category; app_apk = apk;
+    app_expected = expected; app_comment = comment; app_excluded = excluded }
+
+(** [activity_app name cls ?extra ?layouts classes] bundles an APK with
+    a single launcher activity [cls] (plus [extra] components). *)
+let activity_app name cls ?(extra = []) ?(layouts = []) classes =
+  let manifest =
+    Apk.simple_manifest ~package:"de.ecspride"
+      ((FW.Activity, cls, []) :: extra)
+  in
+  Apk.make name ~manifest ~layouts classes
+
+(* ---------------- code-emission helpers ---------------- *)
+
+let str_t = T.Ref "java.lang.String"
+
+(** [get_imei m ~tag ret] emits the canonical IMEI source:
+    [tm = new TelephonyManager; ret = tm.getDeviceId()]. *)
+let get_imei m ?(tag = "src-imei") ret =
+  let tm = B.local m "tm" ~ty:(T.Ref "android.telephony.TelephonyManager") in
+  B.newobj m tm "android.telephony.TelephonyManager";
+  B.vcall m ~tag ~ret tm "android.telephony.TelephonyManager" "getDeviceId" []
+
+(** [send_sms m ~tag data] emits the SMS sink. *)
+let send_sms m ?(tag = "sink-sms") data =
+  let sms = B.local m "sms" ~ty:(T.Ref "android.telephony.SmsManager") in
+  B.scall m ~ret:sms "android.telephony.SmsManager" "getDefault" [];
+  B.vcall m ~tag sms "android.telephony.SmsManager" "sendTextMessage"
+    [ B.s "+49 1234"; B.nul; data; B.nul; B.nul ]
+
+(** [log m ~tag data] emits the logging sink. *)
+let log m ?(tag = "sink-log") data =
+  B.scall m ~tag "android.util.Log" "i" [ B.s "TAG"; data ]
+
+(** [write_file m ~tag data] emits the file-write sink. *)
+let write_file m ?(tag = "sink-file") data =
+  let fos = B.local m "fos" ~ty:(T.Ref "java.io.FileOutputStream") in
+  B.newc m fos "java.io.FileOutputStream" [ B.s "out.bin" ];
+  B.vcall m ~tag fos "java.io.FileOutputStream" "write" [ data ]
+
+(** [on_create ?extra body] declares an [onCreate(Bundle)] that binds
+    [this] and the bundle and then runs [body this]. *)
+let on_create ?(params_used = false) body =
+  B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+      let this = B.this m in
+      let b = B.param m 0 "savedState" in
+      if not params_used then ignore b;
+      body m this)
+
+(** [simple_lifecycle_meth name body] declares a no-argument lifecycle
+    method. *)
+let simple_lifecycle_meth name body =
+  B.meth name (fun m ->
+      let this = B.this m in
+      body m this)

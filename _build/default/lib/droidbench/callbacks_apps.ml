@@ -1,0 +1,276 @@
+(** DROIDBENCH category "Callbacks": handlers registered in layout XML,
+    imperatively, as separate (anonymous-style) listener classes, and
+    by overriding framework methods. *)
+
+open Bench_app
+open Fd_ir
+module B = Build
+module T = Types
+
+let loc_t = T.Ref "android.location.Location"
+
+(* AnonymousClass1: a LocationListener registered in onCreate as a
+   separate class (modelling Java's anonymous inner class) receives the
+   location and sends it out directly. 1 leak. *)
+let anonymous_class1 =
+  let cls = "de.ecspride.AnonymousClass1" in
+  let lst = "de.ecspride.AnonymousClass1$1" in
+  make "AnonymousClass1" ~category:"Callbacks"
+    ~comment:
+      "An anonymous-class LocationListener leaks its parameter; the \
+       callback must be associated with the registering activity."
+    ~expected:[ expect ~src:"src-loc" "sink-sms" ]
+    (activity_app "AnonymousClass1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m this ->
+                 let lm =
+                   B.local m "lm" ~ty:(T.Ref "android.location.LocationManager")
+                 in
+                 let l = B.local m "l" ~ty:(T.Ref lst) in
+                 B.newobj m lm "android.location.LocationManager";
+                 B.newc m l lst [ B.v this ];
+                 B.vcall m lm "android.location.LocationManager"
+                   "requestLocationUpdates" [ B.v l ]);
+           ];
+         B.cls lst ~interfaces:[ "android.location.LocationListener" ]
+           ~fields:[ ("this$0", T.Ref cls) ]
+           [
+             B.meth "<init>" ~params:[ T.Ref cls ] (fun m ->
+                 let this = B.this m in
+                 let o = B.param m 0 "o" in
+                 B.store m this (B.fld lst "this$0") (B.v o));
+             B.meth "onLocationChanged" ~params:[ loc_t ] (fun m ->
+                 let _this = B.this m in
+                 let loc = B.param m 0 ~tag:"src-loc" "loc" in
+                 let lat = B.local m "lat" in
+                 B.vcall m ~ret:lat loc "android.location.Location"
+                   "getLatitude" [];
+                 send_sms m (B.v lat));
+           ];
+       ])
+
+(* Button1: XML-declared onClick handler leaks the IMEI stored by
+   onCreate. 1 leak. *)
+let button1 =
+  let cls = "de.ecspride.Button1" in
+  let layout =
+    {|<LinearLayout><Button android:id="@+id/button1" android:onClick="clickButton"/></LinearLayout>|}
+  in
+  make "Button1" ~category:"Callbacks"
+    ~comment:
+      "The click handler exists only in the layout XML; code-only \
+       analyses miss the component-callback association."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "Button1" cls
+       ~layouts:[ ("main", layout) ]
+       [
+         B.cls cls ~super:"android.app.Activity"
+           ~fields:[ ("imei", str_t) ]
+           [
+             on_create (fun m this ->
+                 let imei = B.local m "imei" in
+                 B.vcall m this "android.app.Activity" "setContentView"
+                   [ B.i Fd_frontend.Layout.layout_id_base ];
+                 get_imei m imei;
+                 B.store m this (B.fld cls "imei") (B.v imei));
+             B.meth "clickButton" ~params:[ T.Ref "android.view.View" ]
+               (fun m ->
+                 let this = B.this m in
+                 let _v = B.param m 0 "v" in
+                 let d = B.local m "d" in
+                 B.load m d this (B.fld cls "imei");
+                 send_sms m (B.v d));
+           ];
+       ])
+
+(* Button2: two real leaks through two handlers plus a would-be-killed
+   field overwrite that only a strong-update analysis can dismiss.
+   2 expected leaks; FlowDroid additionally reports the overwritten
+   field (the Table 1 false positive). *)
+let button2 =
+  let cls = "de.ecspride.Button2" in
+  let layout =
+    {|<LinearLayout>
+        <Button android:id="@+id/b1" android:onClick="clickA"/>
+        <Button android:id="@+id/b2" android:onClick="clickB"/>
+        <Button android:id="@+id/b3" android:onClick="clickC"/>
+      </LinearLayout>|}
+  in
+  make "Button2" ~category:"Callbacks"
+    ~comment:
+      "Three handlers: two leak for real; the third overwrites the \
+       tainted field with a constant before leaking it — dismissing it \
+       needs strong updates (must-alias), which FlowDroid forgoes."
+    ~expected:
+      [ expect ~src:"src-imei" "sink-sms-a"; expect ~src:"src-imei2" "sink-log-b" ]
+    (activity_app "Button2" cls
+       ~layouts:[ ("main", layout) ]
+       [
+         B.cls cls ~super:"android.app.Activity"
+           ~fields:[ ("imei", str_t); ("tmp", str_t) ]
+           [
+             on_create (fun m this ->
+                 let imei = B.local m "imei" in
+                 B.vcall m this "android.app.Activity" "setContentView"
+                   [ B.i Fd_frontend.Layout.layout_id_base ];
+                 get_imei m imei;
+                 B.store m this (B.fld cls "imei") (B.v imei));
+             B.meth "clickA" ~params:[ T.Ref "android.view.View" ] (fun m ->
+                 let this = B.this m in
+                 let _v = B.param m 0 "v" in
+                 let d = B.local m "d" in
+                 B.load m d this (B.fld cls "imei");
+                 send_sms m ~tag:"sink-sms-a" (B.v d));
+             B.meth "clickB" ~params:[ T.Ref "android.view.View" ] (fun m ->
+                 let _this = B.this m in
+                 let _v = B.param m 0 "v" in
+                 let d = B.local m "d" in
+                 get_imei m ~tag:"src-imei2" d;
+                 log m ~tag:"sink-log-b" (B.v d));
+             B.meth "clickC" ~params:[ T.Ref "android.view.View" ] (fun m ->
+                 let this = B.this m in
+                 let _v = B.param m 0 "v" in
+                 let d = B.local m "d" in
+                 let clean = B.local m "clean" in
+                 B.load m d this (B.fld cls "imei");
+                 B.store m this (B.fld cls "tmp") (B.v d);
+                 B.const m clean (B.s "clean");
+                 B.store m this (B.fld cls "tmp") (B.v clean);
+                 let out = B.local m "out" in
+                 B.load m out this (B.fld cls "tmp");
+                 send_sms m ~tag:"sink-sms-c" (B.v out));
+           ];
+       ])
+
+(* LocationLeak1: the activity itself is the LocationListener; latitude
+   and longitude are stored in fields and leaked when the activity is
+   paused. 2 leaks. *)
+let location_leak ~name ~separate_listener =
+  let cls = "de.ecspride." ^ name in
+  let lst = "de.ecspride." ^ name ^ "$Handler" in
+  let listener_classes =
+    if separate_listener then
+      [
+        B.cls lst ~interfaces:[ "android.location.LocationListener" ]
+          ~fields:[ ("this$0", T.Ref cls) ]
+          [
+            B.meth "<init>" ~params:[ T.Ref cls ] (fun m ->
+                let this = B.this m in
+                let o = B.param m 0 "o" in
+                B.store m this (B.fld lst "this$0") (B.v o));
+            B.meth "onLocationChanged" ~params:[ loc_t ] (fun m ->
+                let this = B.this m in
+                let loc = B.param m 0 ~tag:"src-loc" "loc" in
+                let o = B.local m "o" ~ty:(T.Ref cls) in
+                let lat = B.local m "lat" in
+                let lon = B.local m "lon" in
+                B.load m o this (B.fld lst "this$0");
+                B.vcall m ~ret:lat loc "android.location.Location"
+                  "getLatitude" [];
+                B.vcall m ~ret:lon loc "android.location.Location"
+                  "getLongitude" [];
+                B.store m o (B.fld cls "lat") (B.v lat);
+                B.store m o (B.fld cls "lon") (B.v lon));
+          ];
+      ]
+    else []
+  in
+  let activity_extra_ifaces =
+    if separate_listener then [] else [ "android.location.LocationListener" ]
+  in
+  let own_handler =
+    if separate_listener then []
+    else
+      [
+        B.meth "onLocationChanged" ~params:[ loc_t ] (fun m ->
+            let this = B.this m in
+            let loc = B.param m 0 ~tag:"src-loc" "loc" in
+            let lat = B.local m "lat" in
+            let lon = B.local m "lon" in
+            B.vcall m ~ret:lat loc "android.location.Location" "getLatitude" [];
+            B.vcall m ~ret:lon loc "android.location.Location" "getLongitude" [];
+            B.store m this (B.fld cls "lat") (B.v lat);
+            B.store m this (B.fld cls "lon") (B.v lon));
+      ]
+  in
+  make name ~category:"Callbacks"
+    ~comment:
+      "Location data arrives as a callback parameter, is stored in \
+       activity state and leaked from onPause: needs both the \
+       parameter-source model and the lifecycle ordering."
+    ~expected:[ expect ~src:"src-loc" "sink-lat"; expect ~src:"src-loc" "sink-lon" ]
+    (activity_app name cls
+       (List.concat
+          [
+            [
+              B.cls cls ~super:"android.app.Activity"
+                ~interfaces:activity_extra_ifaces
+                ~fields:[ ("lat", str_t); ("lon", str_t) ]
+                (List.concat
+                   [
+                     [
+                       on_create (fun m this ->
+                           let lm =
+                             B.local m "lm"
+                               ~ty:(T.Ref "android.location.LocationManager")
+                           in
+                           B.newobj m lm "android.location.LocationManager";
+                           if separate_listener then begin
+                             let l = B.local m "l" ~ty:(T.Ref lst) in
+                             B.newc m l lst [ B.v this ];
+                             B.vcall m lm "android.location.LocationManager"
+                               "requestLocationUpdates" [ B.v l ]
+                           end
+                           else
+                             B.vcall m lm "android.location.LocationManager"
+                               "requestLocationUpdates" [ B.v this ]);
+                       simple_lifecycle_meth "onPause" (fun m this ->
+                           let a = B.local m "a" in
+                           let o = B.local m "o" in
+                           B.load m a this (B.fld cls "lat");
+                           log m ~tag:"sink-lat" (B.v a);
+                           B.load m o this (B.fld cls "lon");
+                           log m ~tag:"sink-lon" (B.v o));
+                     ];
+                     own_handler;
+                   ]);
+            ];
+            listener_classes;
+          ]))
+
+let location_leak1 = location_leak ~name:"LocationLeak1" ~separate_listener:false
+let location_leak2 = location_leak ~name:"LocationLeak2" ~separate_listener:true
+
+(* MethodOverride1: the activity overrides a framework-driven method
+   (onLowMemory) that is registered nowhere; source and sink live
+   inside the overridden method, so the test isolates whether the
+   method is treated as framework-callable at all. 1 leak. *)
+let method_override1 =
+  let cls = "de.ecspride.MethodOverride1" in
+  make "MethodOverride1" ~category:"Callbacks"
+    ~comment:
+      "An overridden framework method (onLowMemory) acts as an \
+       undocumented callback; analyses must treat it as an entry."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "MethodOverride1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let x = B.local m "x" in
+                 B.const m x (B.s "created");
+                 log m ~tag:"sink-unused" (B.v x));
+             simple_lifecycle_meth "onLowMemory" (fun m _this ->
+                 let imei = B.local m "imei" in
+                 get_imei m imei;
+                 send_sms m (B.v imei));
+           ];
+       ])
+
+let all =
+  [
+    anonymous_class1; button1; button2; location_leak1; location_leak2;
+    method_override1;
+  ]

@@ -1,0 +1,447 @@
+(** DROIDBENCH extension cases.
+
+    The paper reports external groups contributing further micro
+    benchmarks to the suite (Section 6.1); this category collects the
+    kinds of cases that landed after 1.0, plus corners of this
+    implementation worth pinning.  They are kept outside Table 1's
+    scoring (the paper evaluates version 1.0) and exercised by their
+    own tests and benchmarks. *)
+
+open Bench_app
+open Fd_ir
+module B = Build
+module T = Types
+module FW = Fd_frontend.Framework
+
+let ext = "Extensions"
+
+(* deep nested field chains with a clean sibling *)
+let field_sensitivity5 =
+  let cls = "ext.FieldSensitivity5" in
+  let node = "ext.FS5Node" in
+  let fa = B.fld ~ty:(T.Ref node) node "a" in
+  let fb = B.fld ~ty:str_t node "b" in
+  let fc = B.fld ~ty:str_t node "c" in
+  make "FieldSensitivity5" ~category:ext ~excluded:true
+    ~comment:"three-level path o.a.a.b tainted; sibling o.a.a.c clean"
+    ~expected:[ expect ~src:"src-imei" "sink-deep" ]
+    (activity_app "FieldSensitivity5" cls
+       [
+         B.cls node ~fields:[ ("a", T.Ref node); ("b", str_t); ("c", str_t) ] [];
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let o = B.local m "o" and m1 = B.local m "m1" and m2 = B.local m "m2" in
+                 let x = B.local m "x" in
+                 let r1 = B.local m "r1" and r2 = B.local m "r2" in
+                 let vb = B.local m "vb" and vc = B.local m "vc" in
+                 B.newobj m o node;
+                 B.newobj m m1 node;
+                 B.newobj m m2 node;
+                 B.store m o fa (B.v m1);
+                 B.store m m1 fa (B.v m2);
+                 get_imei m x;
+                 B.store m m2 fb (B.v x);
+                 B.store m m2 fc (B.s "clean");
+                 B.load m r1 o fa;
+                 B.load m r2 r1 fa;
+                 B.load m vb r2 fb;
+                 send_sms m ~tag:"sink-deep" (B.v vb);
+                 B.load m vc r2 fc;
+                 send_sms m ~tag:"sink-clean" (B.v vc));
+           ];
+       ])
+
+(* objects from a shared factory; only one instance is tainted *)
+let object_sensitivity3 =
+  let cls = "ext.ObjectSensitivity3" in
+  let node = "ext.OS3Box" in
+  let fv = B.fld ~ty:str_t node "v" in
+  make "ObjectSensitivity3" ~category:ext ~excluded:true
+    ~comment:"factory-created siblings must not merge"
+    ~expected:[]
+    (activity_app "ObjectSensitivity3" cls
+       [
+         B.cls node ~fields:[ ("v", str_t) ] [];
+         B.cls "ext.OS3Factory"
+           [
+             B.meth "mk" ~static:true ~ret:(T.Ref node) (fun m ->
+                 let n = B.local m "n" ~ty:(T.Ref node) in
+                 B.newobj m n node;
+                 B.retv m (B.v n));
+           ];
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let a = B.local m "a" ~ty:(T.Ref node) in
+                 let b = B.local m "b" ~ty:(T.Ref node) in
+                 let x = B.local m "x" and out = B.local m "out" in
+                 B.scall m ~ret:a "ext.OS3Factory" "mk" [];
+                 B.scall m ~ret:b "ext.OS3Factory" "mk" [];
+                 get_imei m x;
+                 B.store m a fv (B.v x);
+                 B.load m out b fv;
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* a leak placed after an unconditional throw: dead at runtime *)
+let exceptions1 =
+  let cls = "ext.Exceptions1" in
+  make "Exceptions1" ~category:ext ~excluded:true
+    ~comment:"the sink sits behind an unconditional throw"
+    ~expected:[]
+    (activity_app "Exceptions1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let x = B.local m "x" and e = B.local m "e" in
+                 get_imei m x;
+                 B.newc m e "java.lang.RuntimeException" [];
+                 B.throw m (B.v e);
+                 send_sms m (B.v x));
+           ];
+       ])
+
+(* registration later removed: the over-approximation keeps the leak *)
+let location_leak3 =
+  let cls = "ext.LocationLeak3" in
+  make "LocationLeak3" ~category:ext ~excluded:true
+    ~comment:"listener unregistered again; the analysis soundly keeps \
+              the callback"
+    ~expected:[ expect "sink-log" ]
+    (activity_app "LocationLeak3" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           ~interfaces:[ "android.location.LocationListener" ]
+           ~fields:[ ("lat", str_t) ]
+           [
+             on_create (fun m this ->
+                 let lm = B.local m "lm" ~ty:(T.Ref "android.location.LocationManager") in
+                 B.newobj m lm "android.location.LocationManager";
+                 B.vcall m lm "android.location.LocationManager"
+                   "requestLocationUpdates" [ B.v this ];
+                 B.vcall m lm "android.location.LocationManager" "removeUpdates"
+                   [ B.v this ]);
+             B.meth "onLocationChanged"
+               ~params:[ T.Ref "android.location.Location" ] (fun m ->
+                 let this = B.this m in
+                 let loc = B.param m 0 ~tag:"src-loc" "loc" in
+                 let lat = B.local m "lat" in
+                 B.vcall m ~ret:lat loc "android.location.Location"
+                   "getLatitude" [];
+                 B.store m this (B.fld cls "lat") (B.v lat));
+             simple_lifecycle_meth "onStop" (fun m this ->
+                 let v = B.local m "v" in
+                 B.load m v this (B.fld cls "lat");
+                 log m (B.v v));
+           ];
+       ])
+
+(* reflection with a constant method name: a documented miss of this
+   reproduction (FlowDroid resolves constant-string reflection; we do
+   not implement reflective call edges at all) *)
+let reflection1 =
+  let cls = "ext.Reflection1" in
+  make "Reflection1" ~category:ext ~excluded:true
+    ~comment:"constant-string reflective sink invocation — a known \
+              gap of this reproduction (DESIGN.md limitations)"
+    ~expected:[ expect ~src:"src-imei" "sink-reflect" ]
+    (activity_app "Reflection1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m this ->
+                 let x = B.local m "x" in
+                 let mth = B.local m "mth" ~ty:(T.Ref "java.lang.reflect.Method") in
+                 get_imei m x;
+                 B.vcall m ~ret:mth this "java.lang.Class" "getMethod"
+                   [ B.s "leakViaSms" ];
+                 B.vcall m ~tag:"sink-reflect" mth "java.lang.reflect.Method"
+                   "invoke" [ B.v this; B.v x ]);
+             B.meth "leakViaSms" ~params:[ str_t ] (fun m ->
+                 let _this = B.this m in
+                 let p = B.param m 0 "p" in
+                 send_sms m (B.v p));
+           ];
+       ])
+
+(* a service stages data that an activity later leaks: inter-component
+   flow through app-global state *)
+let service_communication1 =
+  let act = "ext.SC1Activity" in
+  let svc = "ext.SC1Service" in
+  let g = B.fld ~ty:str_t "ext.SC1Globals" "stash" in
+  make "ServiceCommunication1" ~category:ext ~excluded:true
+    ~comment:"service-to-activity flow via app-global state; needs the \
+              all-orders component model"
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (Fd_frontend.Apk.make "ServiceCommunication1"
+       ~manifest:
+         (Fd_frontend.Apk.simple_manifest ~package:"ext"
+            [ (FW.Activity, act, []); (FW.Service, svc, []) ])
+       [
+         B.cls "ext.SC1Globals" ~fields:[ ("stash", str_t) ] [];
+         B.cls svc ~super:"android.app.Service"
+           [
+             B.meth "onStartCommand"
+               ~params:[ T.Ref "android.content.Intent"; T.Int; T.Int ]
+               ~ret:T.Int (fun m ->
+                 let _this = B.this m in
+                 let _i = B.param m 0 "i" in
+                 let x = B.local m "x" in
+                 get_imei m x;
+                 B.storestatic m g (B.v x);
+                 let r = B.local m "r" ~ty:T.Int in
+                 B.const m r (B.i 2);
+                 B.retv m (B.v r));
+           ];
+         B.cls act ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let v = B.local m "v" in
+                 B.loadstatic m v g;
+                 send_sms m (B.v v));
+           ];
+       ])
+
+(* data through a Bundle parcel *)
+let parcel1 =
+  let cls = "ext.Parcel1" in
+  make "Parcel1" ~category:ext ~excluded:true
+    ~comment:
+      "round trip through a Bundle (wrapper-modelled parcel); the \
+       Bundle read is additionally an ICC reception source under the \
+       over-approximate intent model, so the same sink reports twice"
+    ~expected:[ expect ~src:"src-imei" "sink-log"; expect "sink-log" ]
+    (activity_app "Parcel1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let b = B.local m "b" ~ty:(T.Ref "android.os.Bundle") in
+                 let x = B.local m "x" and y = B.local m "y" in
+                 B.newc m b "android.os.Bundle" [];
+                 get_imei m x;
+                 B.vcall m b "android.os.Bundle" "putString" [ B.s "k"; B.v x ];
+                 B.vcall m ~ret:y b "android.os.Bundle" "getString" [ B.s "k" ];
+                 log m (B.v y));
+           ];
+       ])
+
+(* a Runnable posted to a handler: threading sequentialised *)
+let threading1 =
+  let cls = "ext.Threading1" in
+  let run_cls = "ext.T1Task" in
+  make "Threading1" ~category:ext ~excluded:true
+    ~comment:"leak inside a posted Runnable; threads are modelled as \
+              sequentially scheduled callbacks"
+    ~expected:[ expect ~src:"src-imei" "sink-log" ]
+    (activity_app "Threading1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           ~fields:[ ("imei", str_t) ]
+           [
+             on_create (fun m this ->
+                 let x = B.local m "x" in
+                 let h = B.local m "h" ~ty:(T.Ref "android.os.Handler") in
+                 let r = B.local m "r" ~ty:(T.Ref run_cls) in
+                 get_imei m x;
+                 B.store m this (B.fld cls "imei") (B.v x);
+                 B.newobj m h "android.os.Handler";
+                 B.newc m r run_cls [ B.v this ];
+                 B.vcall m h "android.os.Handler" "post" [ B.v r ]);
+           ];
+         B.cls run_cls ~interfaces:[ "java.lang.Runnable" ]
+           ~fields:[ ("outer", T.Ref cls) ]
+           [
+             B.meth "<init>" ~params:[ T.Ref cls ] (fun m ->
+                 let this = B.this m in
+                 let o = B.param m 0 "o" in
+                 B.store m this (B.fld run_cls "outer") (B.v o));
+             B.meth "run" (fun m ->
+                 let this = B.this m in
+                 let o = B.local m "o" ~ty:(T.Ref cls) in
+                 let v = B.local m "v" in
+                 B.load m o this (B.fld run_cls "outer");
+                 B.load m v o (B.fld cls "imei");
+                 log m (B.v v));
+           ];
+       ])
+
+(* an instantiated but never-registered listener: its handler is not a
+   framework entry point *)
+let unregistered_callback1 =
+  let cls = "ext.UnregisteredCallback1" in
+  let lst = "ext.UC1Listener" in
+  make "UnregisteredCallback1" ~category:ext ~excluded:true
+    ~comment:"listener allocated but never registered: the handler \
+              must not become an entry point"
+    ~expected:[]
+    (activity_app "UnregisteredCallback1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m this ->
+                 let l = B.local m "l" ~ty:(T.Ref lst) in
+                 B.newc m l lst [ B.v this ]);
+           ];
+         B.cls lst ~interfaces:[ "android.view.View$OnClickListener" ]
+           [
+             B.meth "<init>" ~params:[ T.Ref cls ] (fun m ->
+                 let _ = B.this m in
+                 let _ = B.param m 0 "o" in
+                 B.ret m);
+             B.meth "onClick" ~params:[ T.Ref "android.view.View" ] (fun m ->
+                 let _ = B.this m in
+                 let _ = B.param m 0 "v" in
+                 let x = B.local m "x" in
+                 get_imei m x;
+                 send_sms m (B.v x));
+           ];
+       ])
+
+(* an even deeper variant of Figure 2's aliasing through helpers *)
+let deep_alias1 =
+  let cls = "ext.DeepAlias1" in
+  let node = "ext.DA1Node" in
+  let fn = B.fld ~ty:(T.Ref node) node "next" in
+  let fv = B.fld ~ty:str_t node "v" in
+  make "DeepAlias1" ~category:ext ~excluded:true
+    ~comment:"Figure 2 aliasing stretched over helper calls and a \
+              three-hop heap path"
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "DeepAlias1" cls
+       [
+         B.cls node ~fields:[ ("next", T.Ref node); ("v", str_t) ] [];
+         B.cls "ext.DA1Helper"
+           [
+             B.meth "taint" ~static:true ~params:[ T.Ref node; str_t ] (fun m ->
+                 let n = B.param m 0 "n" in
+                 let s = B.param m 1 "s" in
+                 let inner = B.local m "inner" ~ty:(T.Ref node) in
+                 B.load m inner n fn;
+                 B.store m inner fv (B.v s));
+             B.meth "alias" ~static:true ~params:[ T.Ref node ]
+               ~ret:(T.Ref node) (fun m ->
+                 let n = B.param m 0 "n" in
+                 let r = B.local m "r" ~ty:(T.Ref node) in
+                 B.load m r n fn;
+                 B.retv m (B.v r));
+           ];
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let a = B.local m "a" ~ty:(T.Ref node) in
+                 let inner = B.local m "inner" ~ty:(T.Ref node) in
+                 let b = B.local m "b" ~ty:(T.Ref node) in
+                 let x = B.local m "x" and out = B.local m "out" in
+                 B.newobj m a node;
+                 B.newobj m inner node;
+                 B.store m a fn (B.v inner);
+                 (* alias of a.next taken BEFORE the taint *)
+                 B.scall m ~ret:b "ext.DA1Helper" "alias" [ B.v a ];
+                 get_imei m x;
+                 B.scall m "ext.DA1Helper" "taint" [ B.v a; B.v x ];
+                 B.load m out b fv;
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* AsyncTask: the background result feeds onPostExecute — the linked
+   lifecycle the extended dummy main models *)
+let async_task1 =
+  let cls = "ext.AsyncTask1" in
+  let task = "ext.AT1Fetch" in
+  make "AsyncTask1" ~category:ext ~excluded:true
+    ~comment:
+      "doInBackground fetches the IMEI; its result reaches        onPostExecute, which logs it — the AsyncTask result link"
+    ~expected:[ expect ~src:"src-imei" "sink-log" ]
+    (activity_app "AsyncTask1" cls
+       [
+         B.cls task ~super:"android.os.AsyncTask"
+           [
+             B.meth "<init>" ~params:[ T.Ref cls ] (fun m ->
+                 let _ = B.this m in
+                 let _ = B.param m 0 "o" in
+                 B.ret m);
+             B.meth "doInBackground" ~params:[ T.Ref "java.lang.Object" ]
+               ~ret:str_t (fun m ->
+                 let _ = B.this m in
+                 let _ = B.param m 0 "args" in
+                 let imei = B.local m "imei" in
+                 get_imei m imei;
+                 B.retv m (B.v imei));
+             B.meth "onPostExecute" ~params:[ T.Ref "java.lang.Object" ]
+               (fun m ->
+                 let _ = B.this m in
+                 let r = B.param m 0 "result" in
+                 log m (B.v r));
+           ];
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m this ->
+                 let t = B.local m "t" ~ty:(T.Ref task) in
+                 B.newc m t task [ B.v this ];
+                 B.vcall m t task "execute" [ B.nul ]);
+           ];
+       ])
+
+(* Fragment lifecycle: the fragment stages data in its attached
+   activity, which later leaks it *)
+let fragment_lifecycle1 =
+  let act = "ext.FragmentLifecycle1" in
+  let frag = "ext.FL1Fragment" in
+  let f_host = B.fld ~ty:(T.Ref act) frag "host" in
+  let f_stash = B.fld ~ty:str_t act "stash" in
+  make "FragmentLifecycle1" ~category:ext ~excluded:true
+    ~comment:
+      "the fragment stores the IMEI in its host activity during        onCreate; the activity leaks it from onDestroy — needs the        fragment lifecycle attached to the component"
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "FragmentLifecycle1" act
+       [
+         B.cls frag ~super:"android.app.Fragment"
+           ~fields:[ ("host", T.Ref act) ]
+           [
+             B.meth "onAttach" ~params:[ T.Ref "android.app.Activity" ]
+               (fun m ->
+                 let this = B.this m in
+                 let a = B.param m 0 "a" in
+                 let cast = B.local m "cast" ~ty:(T.Ref act) in
+                 B.cast m cast (T.Ref act) (B.v a);
+                 B.store m this f_host (B.v cast));
+             B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+                 let this = B.this m in
+                 let _ = B.param m 0 "b" in
+                 let h = B.local m "h" ~ty:(T.Ref act) in
+                 let imei = B.local m "imei" in
+                 get_imei m imei;
+                 B.load m h this f_host;
+                 B.store m h f_stash (B.v imei));
+           ];
+         B.cls act ~super:"android.app.Activity"
+           ~fields:[ ("stash", str_t) ]
+           [
+             on_create (fun m _this ->
+                 let f = B.local m "f" ~ty:(T.Ref frag) in
+                 B.newc m f frag [];
+                 (* attach via a fragment transaction (framework call) *)
+                 let tr = B.local m "tr"
+                     ~ty:(T.Ref "android.app.FragmentTransaction") in
+                 B.newobj m tr "android.app.FragmentTransaction";
+                 B.vcall m tr "android.app.FragmentTransaction" "add"
+                   [ B.i 1; B.v f ]);
+             simple_lifecycle_meth "onDestroy" (fun m this ->
+                 let v = B.local m "v" in
+                 B.load m v this f_stash;
+                 send_sms m (B.v v));
+           ];
+       ])
+
+let all =
+  [
+    field_sensitivity5; object_sensitivity3; exceptions1; location_leak3;
+    reflection1; service_communication1; parcel1; threading1;
+    unregistered_callback1; deep_alias1; async_task1; fragment_lifecycle1;
+  ]

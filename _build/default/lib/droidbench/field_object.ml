@@ -1,0 +1,251 @@
+(** DROIDBENCH category "Field and Object Sensitivity": the cases that
+    separate whole-object taint models from access-path-based ones,
+    and context-insensitive heap models from object-sensitive ones. *)
+
+open Bench_app
+open Fd_ir
+module B = Build
+module T = Types
+
+let datacls = "de.ecspride.DataStore"
+let f_secret = B.fld ~ty:str_t datacls "secret"
+let f_pub = B.fld ~ty:str_t datacls "publicData"
+
+let data_store =
+  B.cls datacls
+    ~fields:[ ("secret", str_t); ("publicData", str_t) ]
+    [
+      B.meth "<init>" (fun m ->
+          let this = B.this m in
+          B.store m this f_pub (B.s "public"));
+      B.meth "setSecret" ~params:[ str_t ] (fun m ->
+          let this = B.this m in
+          let p = B.param m 0 "p" in
+          B.store m this f_secret (B.v p));
+      B.meth "getSecret" ~ret:str_t (fun m ->
+          let this = B.this m in
+          let r = B.local m "r" in
+          B.load m r this f_secret;
+          B.retv m (B.v r));
+      B.meth "getPublic" ~ret:str_t (fun m ->
+          let this = B.this m in
+          let r = B.local m "r" in
+          B.load m r this f_pub;
+          B.retv m (B.v r));
+    ]
+
+(* FieldSensitivity1: taint one field, leak the other (directly).
+   No leak. *)
+let field_sensitivity1 =
+  let cls = "de.ecspride.FieldSensitivity1" in
+  make "FieldSensitivity1" ~category:"Field and Object Sensitivity"
+    ~comment:"Taint ds.secret, leak ds.publicData: field-insensitive \
+              (whole-object) models report a false positive."
+    ~expected:[]
+    (activity_app "FieldSensitivity1" cls
+       [
+         data_store;
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let ds = B.local m "ds" ~ty:(T.Ref datacls) in
+                 let imei = B.local m "imei" in
+                 let out = B.local m "out" in
+                 B.newc m ds datacls [];
+                 get_imei m imei;
+                 B.store m ds f_secret (B.v imei);
+                 B.load m out ds f_pub;
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* FieldSensitivity2: same but through setter/getter methods.
+   No leak. *)
+let field_sensitivity2 =
+  let cls = "de.ecspride.FieldSensitivity2" in
+  make "FieldSensitivity2" ~category:"Field and Object Sensitivity"
+    ~comment:"Setter taints one field; the getter for the other field \
+              is leaked: needs interprocedural field sensitivity."
+    ~expected:[]
+    (activity_app "FieldSensitivity2" cls
+       [
+         data_store;
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let ds = B.local m "ds" ~ty:(T.Ref datacls) in
+                 let imei = B.local m "imei" in
+                 let out = B.local m "out" in
+                 B.newc m ds datacls [];
+                 get_imei m imei;
+                 B.vcall m ds datacls "setSecret" [ B.v imei ];
+                 B.vcall m ~ret:out ds datacls "getPublic" [];
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* FieldSensitivity3: taint and leak the same field (directly).
+   1 leak. *)
+let field_sensitivity3 =
+  let cls = "de.ecspride.FieldSensitivity3" in
+  make "FieldSensitivity3" ~category:"Field and Object Sensitivity"
+    ~comment:"The tainted field itself is leaked: the true-positive \
+              control for the category."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "FieldSensitivity3" cls
+       [
+         data_store;
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let ds = B.local m "ds" ~ty:(T.Ref datacls) in
+                 let imei = B.local m "imei" in
+                 let out = B.local m "out" in
+                 B.newc m ds datacls [];
+                 get_imei m imei;
+                 B.store m ds f_secret (B.v imei);
+                 B.load m out ds f_secret;
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* FieldSensitivity4: taint and leak the same field through accessor
+   methods. 1 leak. *)
+let field_sensitivity4 =
+  let cls = "de.ecspride.FieldSensitivity4" in
+  make "FieldSensitivity4" ~category:"Field and Object Sensitivity"
+    ~comment:"Setter/getter round trip of the tainted field."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "FieldSensitivity4" cls
+       [
+         data_store;
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let ds = B.local m "ds" ~ty:(T.Ref datacls) in
+                 let imei = B.local m "imei" in
+                 let out = B.local m "out" in
+                 B.newc m ds datacls [];
+                 get_imei m imei;
+                 B.vcall m ds datacls "setSecret" [ B.v imei ];
+                 B.vcall m ~ret:out ds datacls "getSecret" [];
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* InheritedObjects1: virtual dispatch decides whether the returned
+   value is tainted; with the concrete type created it is. 1 leak. *)
+let inherited_objects1 =
+  let cls = "de.ecspride.InheritedObjects1" in
+  let base = "de.ecspride.General" in
+  let varA = "de.ecspride.VarA" in
+  let varB = "de.ecspride.VarB" in
+  make "InheritedObjects1" ~category:"Field and Object Sensitivity"
+    ~comment:"The runtime type (VarA, which leaks) is chosen by a \
+              condition; the call goes through the superclass type."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "InheritedObjects1" cls
+       [
+         B.cls base [ B.meth "getInfo" ~ret:str_t (fun m ->
+             let _ = B.this m in
+             let r = B.local m "r" in
+             B.const m r (B.s "generic");
+             B.retv m (B.v r)) ];
+         B.cls varA ~super:base
+           [
+             B.meth "getInfo" ~ret:str_t (fun m ->
+                 let _ = B.this m in
+                 let r = B.local m "r" in
+                 get_imei m r;
+                 B.retv m (B.v r));
+           ];
+         B.cls varB ~super:base
+           [
+             B.meth "getInfo" ~ret:str_t (fun m ->
+                 let _ = B.this m in
+                 let r = B.local m "r" in
+                 B.const m r (B.s "harmless");
+                 B.retv m (B.v r));
+           ];
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let g = B.local m "g" ~ty:(T.Ref base) in
+                 let cond = B.local m "cond" ~ty:T.Int in
+                 let out = B.local m "out" in
+                 B.binop m cond "+" (B.i 1) (B.i 1);
+                 B.ifgoto m (B.v cond) Stmt.Ceq (B.i 0) "elseB";
+                 B.newc m g varA [];
+                 B.goto m "call";
+                 B.label m "elseB";
+                 B.newc m g varB [];
+                 B.label m "call";
+                 B.vcall m ~ret:out g base "getInfo" [];
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* ObjectSensitivity1: two distinct instances; the clean one is leaked.
+   No leak. *)
+let object_sensitivity1 =
+  let cls = "de.ecspride.ObjectSensitivity1" in
+  make "ObjectSensitivity1" ~category:"Field and Object Sensitivity"
+    ~comment:"ds1.secret is tainted; ds2.secret is leaked: allocation \
+              sites must stay apart."
+    ~expected:[]
+    (activity_app "ObjectSensitivity1" cls
+       [
+         data_store;
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let d1 = B.local m "d1" ~ty:(T.Ref datacls) in
+                 let d2 = B.local m "d2" ~ty:(T.Ref datacls) in
+                 let imei = B.local m "imei" in
+                 let out = B.local m "out" in
+                 B.newc m d1 datacls [];
+                 B.newc m d2 datacls [];
+                 get_imei m imei;
+                 B.store m d1 f_secret (B.v imei);
+                 B.load m out d2 f_secret;
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* ObjectSensitivity2: both instances flow through the same setter
+   (one tainted, one clean); the clean one is leaked.  This is the
+   Listing 2 situation: context injection must keep the contexts
+   apart.  No leak. *)
+let object_sensitivity2 =
+  let cls = "de.ecspride.ObjectSensitivity2" in
+  make "ObjectSensitivity2" ~category:"Field and Object Sensitivity"
+    ~comment:"Both objects pass through the same setter under \
+              different contexts; a context-insensitive heap merges \
+              them (the Listing 2 false positive)."
+    ~expected:[]
+    (activity_app "ObjectSensitivity2" cls
+       [
+         data_store;
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let d1 = B.local m "d1" ~ty:(T.Ref datacls) in
+                 let d2 = B.local m "d2" ~ty:(T.Ref datacls) in
+                 let imei = B.local m "imei" in
+                 let out = B.local m "out" in
+                 B.newc m d1 datacls [];
+                 B.newc m d2 datacls [];
+                 get_imei m imei;
+                 B.vcall m d1 datacls "setSecret" [ B.v imei ];
+                 B.vcall m d2 datacls "setSecret" [ B.s "clean" ];
+                 B.vcall m ~ret:out d2 datacls "getSecret" [];
+                 send_sms m (B.v out));
+           ];
+       ])
+
+let all =
+  [
+    field_sensitivity1; field_sensitivity2; field_sensitivity3;
+    field_sensitivity4; inherited_objects1; object_sensitivity1;
+    object_sensitivity2;
+  ]

@@ -1,0 +1,157 @@
+(** DROIDBENCH category "General Java": language-level challenges that
+    are not Android-specific. *)
+
+open Bench_app
+open Fd_ir
+module B = Build
+module T = Types
+
+(* Loop1: the taint survives a simple concatenation loop. 1 leak. *)
+let loop1 =
+  let cls = "de.ecspride.LoopExample1" in
+  make "Loop1" ~category:"General Java"
+    ~comment:"Taint flows through a string-building loop."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "Loop1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" in
+                 let obf = B.local m "obf" in
+                 let i = B.local m "i" ~ty:T.Int in
+                 B.const m obf (B.s "");
+                 get_imei m imei;
+                 B.const m i (B.i 0);
+                 B.label m "head";
+                 B.ifgoto m (B.v i) Stmt.Cge (B.i 10) "done";
+                 B.binop m obf "+" (B.v obf) (B.v imei);
+                 B.binop m i "+" (B.v i) (B.i 1);
+                 B.goto m "head";
+                 B.label m "done";
+                 send_sms m (B.v obf));
+           ];
+       ])
+
+(* Loop2: the taint is copied element-wise through an array inside a
+   loop. 1 leak. *)
+let loop2 =
+  let cls = "de.ecspride.LoopExample2" in
+  make "Loop2" ~category:"General Java"
+    ~comment:"Character-wise copying through an array in a loop."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "Loop2" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" ~ty:str_t in
+                 let chars = B.local m "chars" ~ty:(T.Array T.Char) in
+                 let buf = B.local m "buf" ~ty:(T.Array T.Char) in
+                 let i = B.local m "i" ~ty:T.Int in
+                 let c = B.local m "c" ~ty:T.Char in
+                 let out = B.local m "out" in
+                 get_imei m imei;
+                 B.vcall m ~ret:chars imei "java.lang.String" "toCharArray" [];
+                 B.newarray m buf T.Char (B.i 64);
+                 B.const m i (B.i 0);
+                 B.label m "head";
+                 B.ifgoto m (B.v i) Stmt.Cge (B.i 15) "done";
+                 B.aload m c chars (B.v i);
+                 B.astore m buf (B.v i) (B.v c);
+                 B.binop m i "+" (B.v i) (B.i 1);
+                 B.goto m "head";
+                 B.label m "done";
+                 B.scall m ~ret:out "java.lang.String" "valueOf" [ B.v buf ];
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* SourceCodeSpecific1: the leak sits behind data-independent
+   branching; both branches assign the payload. 1 leak. *)
+let source_code_specific1 =
+  let cls = "de.ecspride.SourceCodeSpecific1" in
+  make "SourceCodeSpecific1" ~category:"General Java"
+    ~comment:"Branch-heavy source-code idioms (conditional expression) \
+              around a real leak."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "SourceCodeSpecific1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" in
+                 let msg = B.local m "msg" in
+                 let sel = B.local m "sel" ~ty:T.Int in
+                 get_imei m imei;
+                 B.binop m sel "%" (B.i 7) (B.i 2);
+                 B.ifgoto m (B.v sel) Stmt.Ceq (B.i 0) "other";
+                 B.binop m msg "+" (B.s "a:") (B.v imei);
+                 B.goto m "send";
+                 B.label m "other";
+                 B.binop m msg "+" (B.s "b:") (B.v imei);
+                 B.label m "send";
+                 send_sms m (B.v msg));
+           ];
+       ])
+
+(* StaticInitialization1: the sink lives in a static initializer that
+   really runs at first use of the class — *after* the source.  Soot
+   (and our model) place static initializers at program start, so the
+   flow is missed: the Table 1 false negative. 1 expected leak. *)
+let static_initialization1 =
+  let cls = "de.ecspride.StaticInitialization1" in
+  let helper = "de.ecspride.StaticInitHelper" in
+  let g = B.fld ~ty:str_t cls "im" in
+  make "StaticInitialization1" ~category:"General Java"
+    ~comment:
+      "A static initializer executing between source and sink; \
+       modelling <clinit> at program start misses the flow."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "StaticInitialization1" cls
+       [
+         B.cls helper
+           [
+             B.meth "<clinit>" ~static:true (fun m ->
+                 let v = B.local m "v" in
+                 B.loadstatic m v g;
+                 send_sms m (B.v v));
+           ];
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" in
+                 let h = B.local m "h" ~ty:(T.Ref helper) in
+                 get_imei m imei;
+                 B.storestatic m g (B.v imei);
+                 (* first use of the helper class triggers <clinit>
+                    here at runtime *)
+                 B.newobj m h helper);
+           ];
+       ])
+
+(* UnreachableCode: a leak in code no entry point reaches. 0 leaks. *)
+let unreachable_code =
+  let cls = "de.ecspride.UnreachableCode" in
+  make "UnreachableCode" ~category:"General Java"
+    ~comment:"The leaking method is never called."
+    ~expected:[]
+    (activity_app "UnreachableCode" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let x = B.local m "x" in
+                 B.const m x (B.s "nothing");
+                 log m (B.v x));
+             B.meth "neverCalled" (fun m ->
+                 let _this = B.this m in
+                 let imei = B.local m "imei" in
+                 get_imei m imei;
+                 send_sms m (B.v imei));
+           ];
+       ])
+
+let all =
+  [ loop1; loop2; source_code_specific1; static_initialization1;
+    unreachable_code ]

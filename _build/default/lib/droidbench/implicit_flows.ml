@@ -1,0 +1,141 @@
+(** DROIDBENCH category "Implicit Flows".
+
+    These four cases leak data through *control-flow dependencies*
+    (the sink's argument is data-independent of the source, but which
+    value is sent depends on a tainted branch condition).  Table 1's
+    footnote excludes them: neither FlowDroid nor the commercial tools
+    analyse implicit flows, matching the attacker model of Section 2.
+    They are part of the 39-app suite, and the harness confirms the
+    engine stays silent on them. *)
+
+open Bench_app
+open Fd_ir
+module B = Build
+module T = Types
+
+(* a branch on tainted data selects the constant that is leaked *)
+let implicit_branch name =
+  let cls = "de.ecspride." ^ name in
+  make name ~category:"Implicit Flows" ~excluded:true
+    ~comment:"Control-dependent leak of a constant; requires implicit-\
+              flow tracking (out of scope by design)."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app name cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" in
+                 let out = B.local m "out" in
+                 let c = B.local m "c" ~ty:T.Char in
+                 get_imei m imei;
+                 B.vcall m ~ret:c imei "java.lang.String" "charAt" [ B.i 0 ];
+                 B.ifgoto m (B.v c) Stmt.Ceq (B.i 48) "zero";
+                 B.const m out (B.s "1");
+                 B.goto m "send";
+                 B.label m "zero";
+                 B.const m out (B.s "0");
+                 B.label m "send";
+                 send_sms m (B.v out));
+           ];
+       ])
+
+let implicit_flow1 = implicit_branch "ImplicitFlow1"
+
+(* a tainted value is transcoded character-by-character through
+   branching (a lookup "encryption") *)
+let implicit_flow2 =
+  let cls = "de.ecspride.ImplicitFlow2" in
+  make "ImplicitFlow2" ~category:"Implicit Flows" ~excluded:true
+    ~comment:"Character-wise control-dependent transcoding before the \
+              sink."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "ImplicitFlow2" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" in
+                 let acc = B.local m "acc" in
+                 let c = B.local m "c" ~ty:T.Char in
+                 let i = B.local m "i" ~ty:T.Int in
+                 get_imei m imei;
+                 B.const m acc (B.s "");
+                 B.const m i (B.i 0);
+                 B.label m "head";
+                 B.ifgoto m (B.v i) Stmt.Cge (B.i 15) "done";
+                 B.vcall m ~ret:c imei "java.lang.String" "charAt" [ B.v i ];
+                 B.ifgoto m (B.v c) Stmt.Cgt (B.i 53) "high";
+                 B.binop m acc "+" (B.v acc) (B.s "L");
+                 B.goto m "next";
+                 B.label m "high";
+                 B.binop m acc "+" (B.v acc) (B.s "H");
+                 B.label m "next";
+                 B.binop m i "+" (B.v i) (B.i 1);
+                 B.goto m "head";
+                 B.label m "done";
+                 (* acc is data-independent of imei: every appended
+                    character is a constant *)
+                 let clean = B.local m "clean" in
+                 B.const m clean (B.s "");
+                 B.binop m clean "+" (B.v clean) (B.s "L");
+                 send_sms m (B.v clean));
+           ];
+       ])
+
+(* exception-based implicit flow *)
+let implicit_flow3 =
+  let cls = "de.ecspride.ImplicitFlow3" in
+  make "ImplicitFlow3" ~category:"Implicit Flows" ~excluded:true
+    ~comment:"The leak is signalled by whether an exception is thrown."
+    ~expected:[ expect ~src:"src-imei" "sink-log" ]
+    (activity_app "ImplicitFlow3" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" in
+                 let len = B.local m "len" ~ty:T.Int in
+                 let flag = B.local m "flag" in
+                 get_imei m imei;
+                 B.vcall m ~ret:len imei "java.lang.String" "length" [];
+                 B.ifgoto m (B.v len) Stmt.Cgt (B.i 10) "long";
+                 B.const m flag (B.s "short-id");
+                 B.goto m "send";
+                 B.label m "long";
+                 B.const m flag (B.s "long-id");
+                 B.label m "send";
+                 log m ~tag:"sink-log" (B.v flag));
+           ];
+       ])
+
+(* timing/counting-based implicit flow *)
+let implicit_flow4 =
+  let cls = "de.ecspride.ImplicitFlow4" in
+  make "ImplicitFlow4" ~category:"Implicit Flows" ~excluded:true
+    ~comment:"A counter incremented under tainted control leaks its \
+              magnitude."
+    ~expected:[ expect ~src:"src-imei" "sink-log" ]
+    (activity_app "ImplicitFlow4" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" in
+                 let len = B.local m "len" ~ty:T.Int in
+                 let n = B.local m "n" ~ty:T.Int in
+                 let msg = B.local m "msg" in
+                 get_imei m imei;
+                 B.vcall m ~ret:len imei "java.lang.String" "length" [];
+                 B.const m n (B.i 0);
+                 B.label m "head";
+                 B.ifgoto m (B.v n) Stmt.Cge (B.v len) "done";
+                 B.binop m n "+" (B.v n) (B.i 1);
+                 B.goto m "head";
+                 B.label m "done";
+                 B.const m msg (B.s "count");
+                 log m ~tag:"sink-log" (B.v msg));
+           ];
+       ])
+
+let all = [ implicit_flow1; implicit_flow2; implicit_flow3; implicit_flow4 ]

@@ -1,0 +1,112 @@
+(** DROIDBENCH category "Inter-App Communication": intent-based flows.
+    FlowDroid's over-approximation (Section 5) treats intent *sends* as
+    sinks and intent *receptions* as sources; data handed back through
+    the framework (setResult) is invisible to it — the IntentSink1
+    false negative of Table 1. *)
+
+open Bench_app
+open Fd_ir
+module B = Build
+module T = Types
+
+let intent_t = T.Ref "android.content.Intent"
+
+(* IntentSink1: the tainted value goes into an intent returned to the
+   calling activity via setResult — no modelled sink is touched, so
+   FlowDroid misses the (real) leak. 1 expected leak. *)
+let intent_sink1 =
+  let cls = "de.ecspride.IntentSink1" in
+  make "IntentSink1" ~category:"Inter-App Communication"
+    ~comment:
+      "IMEI stored in the activity result intent; the framework hands \
+       it to the caller. No modelled sink: a known FlowDroid false \
+       negative."
+    ~expected:[ expect ~src:"src-imei" "sink-setresult" ]
+    (activity_app "IntentSink1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m this ->
+                 let i = B.local m "i" ~ty:intent_t in
+                 let imei = B.local m "imei" in
+                 B.newc m i "android.content.Intent" [];
+                 get_imei m imei;
+                 B.vcall m i "android.content.Intent" "putExtra"
+                   [ B.s "deviceId"; B.v imei ];
+                 (* setResult is NOT in the sink list *)
+                 B.vcall m ~tag:"sink-setresult" this "android.app.Activity"
+                   "setResult" [ B.i (-1); B.v i ]);
+           ];
+       ])
+
+(* IntentSink2: the intent is actually *sent*; startActivity is a
+   modelled sink and the intent object carries the taint via the
+   putExtra wrapper rule. 1 leak, found. *)
+let intent_sink2 =
+  let cls = "de.ecspride.IntentSink2" in
+  make "IntentSink2" ~category:"Inter-App Communication"
+    ~comment:"IMEI into an intent that is started: intent sending is a \
+              sink."
+    ~expected:[ expect ~src:"src-imei" "sink-start" ]
+    (activity_app "IntentSink2" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m this ->
+                 let i = B.local m "i" ~ty:intent_t in
+                 let imei = B.local m "imei" in
+                 B.newc m i "android.content.Intent" [];
+                 get_imei m imei;
+                 B.vcall m i "android.content.Intent" "putExtra"
+                   [ B.s "deviceId"; B.v imei ];
+                 B.vcall m ~tag:"sink-start" this "android.app.Activity"
+                   "startActivity" [ B.v i ]);
+           ];
+       ])
+
+(* ActivityCommunication1: one activity sends the IMEI to a second
+   activity of the same app.  Under the send-is-sink model the leak is
+   reported at the startActivity call. 1 leak. *)
+let activity_communication1 =
+  let cls = "de.ecspride.ActivityCommunication1" in
+  let recv = "de.ecspride.ResultActivity" in
+  make "ActivityCommunication1" ~category:"Inter-App Communication"
+    ~comment:
+      "Cross-activity intent flow; the over-approximate ICC model \
+       reports the send."
+    ~expected:[ expect ~src:"src-imei" "sink-start" ]
+    (activity_app "ActivityCommunication1" cls
+       ~extra:[ (Fd_frontend.Framework.Activity, recv, []) ]
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m this ->
+                 let i = B.local m "i" ~ty:intent_t in
+                 let imei = B.local m "imei" in
+                 B.newc m i "android.content.Intent" [];
+                 get_imei m imei;
+                 B.vcall m i "android.content.Intent" "putExtra"
+                   [ B.s "secret"; B.v imei ];
+                 B.vcall m ~tag:"sink-start" this "android.app.Activity"
+                   "startActivity" [ B.v i ]);
+           ];
+         B.cls recv ~super:"android.app.Activity"
+           [
+             on_create (fun m this ->
+                 let i = B.local m "i" ~ty:intent_t in
+                 let s = B.local m "s" in
+                 let tv =
+                   B.local m "tv" ~ty:(T.Ref "android.widget.TextView")
+                 in
+                 B.vcall m ~ret:i this "android.app.Activity" "getIntent" [];
+                 B.vcall m ~ret:s i "android.content.Intent" "getStringExtra"
+                   [ B.s "secret" ];
+                 (* displayed, not sunk: keeps the ground truth at one
+                    leak *)
+                 B.vcall m ~ret:tv this "android.app.Activity" "findViewById"
+                   [ B.i 7 ];
+                 B.vcall m tv "android.widget.TextView" "setText" [ B.v s ]);
+           ];
+       ])
+
+let all = [ intent_sink1; intent_sink2; activity_communication1 ]

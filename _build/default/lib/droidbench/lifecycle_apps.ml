@@ -1,0 +1,154 @@
+(** DROIDBENCH category "Lifecycle": flows that only exist along the
+    framework-driven ordering of component lifecycle methods.  Four of
+    the six cases stage the data through a static field — the detail
+    that lets Fortify-like tools find them "by chance" (Section 6.1)
+    while a missing lifecycle model still misses the other two. *)
+
+open Bench_app
+open Fd_ir
+module B = Build
+module T = Types
+
+let g_field name = B.fld ~ty:str_t "de.ecspride.G" name
+
+let g_class =
+  B.cls "de.ecspride.G"
+    ~fields:[ ("stash", str_t) ]
+    []
+
+(* BroadcastReceiverLifecycle1: the receiver stores the IMEI on the
+   first onReceive and leaks it on a later one.  The repetition in the
+   component loop provides the ordering. 1 leak (static field). *)
+let broadcast_receiver_lifecycle1 =
+  let cls = "de.ecspride.BroadcastReceiverLifecycle1" in
+  make "BroadcastReceiverLifecycle1" ~category:"Lifecycle"
+    ~comment:"Leak across two invocations of onReceive; requires \
+              modelling component repetition."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (Fd_frontend.Apk.make "BroadcastReceiverLifecycle1"
+       ~manifest:
+         (Fd_frontend.Apk.simple_manifest ~package:"de.ecspride"
+            [ (Fd_frontend.Framework.Receiver, cls, []) ])
+       [
+         g_class;
+         B.cls cls ~super:"android.content.BroadcastReceiver"
+           [
+             B.meth "onReceive"
+               ~params:
+                 [ T.Ref "android.content.Context"; T.Ref "android.content.Intent" ]
+               (fun m ->
+                 let _this = B.this m in
+                 let _c = B.param m 0 "c" in
+                 let _i = B.param m 1 "i" in
+                 let prev = B.local m "prev" in
+                 let imei = B.local m "imei" in
+                 B.loadstatic m prev (g_field "stash");
+                 B.ifgoto m (B.v prev) Stmt.Ceq B.nul "store";
+                 send_sms m (B.v prev);
+                 B.label m "store";
+                 get_imei m imei;
+                 B.storestatic m (g_field "stash") (B.v imei));
+           ];
+       ])
+
+let activity_lifecycle ~name ~store_in ~leak_in ~static_field =
+  let cls = "de.ecspride." ^ name in
+  let f_inst = B.fld ~ty:str_t cls "stash" in
+  let store m this imei =
+    if static_field then B.storestatic m (g_field "stash") (B.v imei)
+    else B.store m this f_inst (B.v imei)
+  in
+  let lload m this out =
+    if static_field then B.loadstatic m out (g_field "stash")
+    else B.load m out this f_inst
+  in
+  make name ~category:"Lifecycle"
+    ~comment:
+      (Printf.sprintf
+         "IMEI stored in %s, leaked in %s (%s field): only the \
+          lifecycle ordering connects them."
+         store_in leak_in
+         (if static_field then "static" else "instance"))
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app name cls
+       [
+         g_class;
+         B.cls cls ~super:"android.app.Activity"
+           ~fields:[ ("stash", str_t) ]
+           [
+             (if store_in = "onCreate" then
+                on_create (fun m this ->
+                    let imei = B.local m "imei" in
+                    get_imei m imei;
+                    store m this imei)
+              else
+                simple_lifecycle_meth store_in (fun m this ->
+                    let imei = B.local m "imei" in
+                    get_imei m imei;
+                    store m this imei));
+             simple_lifecycle_meth leak_in (fun m this ->
+                 let out = B.local m "out" in
+                 lload m this out;
+                 send_sms m (B.v out));
+           ];
+       ])
+
+(* four static-field cases (incl. the receiver above), two
+   instance-field cases *)
+let activity_lifecycle1 =
+  activity_lifecycle ~name:"ActivityLifecycle1" ~store_in:"onCreate"
+    ~leak_in:"onDestroy" ~static_field:true
+
+let activity_lifecycle2 =
+  activity_lifecycle ~name:"ActivityLifecycle2" ~store_in:"onStart"
+    ~leak_in:"onRestart" ~static_field:true
+
+let activity_lifecycle3 =
+  activity_lifecycle ~name:"ActivityLifecycle3" ~store_in:"onResume"
+    ~leak_in:"onPause" ~static_field:true
+
+let activity_lifecycle4 =
+  activity_lifecycle ~name:"ActivityLifecycle4" ~store_in:"onPause"
+    ~leak_in:"onResume" ~static_field:false
+
+(* ServiceLifecycle1: instance field across service lifecycle
+   methods. 1 leak. *)
+let service_lifecycle1 =
+  let cls = "de.ecspride.ServiceLifecycle1" in
+  let f_inst = B.fld ~ty:str_t cls "secret" in
+  make "ServiceLifecycle1" ~category:"Lifecycle"
+    ~comment:"Service stores the IMEI in onStartCommand and leaks it \
+              in onDestroy."
+    ~expected:[ expect ~src:"src-imei" "sink-log" ]
+    (Fd_frontend.Apk.make "ServiceLifecycle1"
+       ~manifest:
+         (Fd_frontend.Apk.simple_manifest ~package:"de.ecspride"
+            [ (Fd_frontend.Framework.Service, cls, []) ])
+       [
+         B.cls cls ~super:"android.app.Service"
+           ~fields:[ ("secret", str_t) ]
+           [
+             B.meth "onStartCommand"
+               ~params:[ T.Ref "android.content.Intent"; T.Int; T.Int ]
+               ~ret:T.Int
+               (fun m ->
+                 let this = B.this m in
+                 let _i = B.param m 0 "intent" in
+                 let imei = B.local m "imei" in
+                 get_imei m imei;
+                 B.store m this f_inst (B.v imei);
+                 let r = B.local m "r" ~ty:T.Int in
+                 B.const m r (B.i 1);
+                 B.retv m (B.v r));
+             simple_lifecycle_meth "onDestroy" (fun m this ->
+                 let out = B.local m "out" in
+                 B.load m out this f_inst;
+                 log m (B.v out));
+           ];
+       ])
+
+let all =
+  [
+    broadcast_receiver_lifecycle1; activity_lifecycle1; activity_lifecycle2;
+    activity_lifecycle3; activity_lifecycle4; service_lifecycle1;
+  ]

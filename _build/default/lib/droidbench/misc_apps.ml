@@ -1,0 +1,147 @@
+(** DROIDBENCH category "Miscellaneous Android-Specific". *)
+
+open Bench_app
+open Fd_ir
+module B = Build
+module T = Types
+
+(* PrivateDataLeak1: a password field read from the UI leaks via SMS —
+   the Listing 1 scenario. 1 leak. *)
+let private_data_leak1 =
+  let cls = "de.ecspride.PrivateDataLeak1" in
+  let layout =
+    {|<LinearLayout>
+        <EditText android:id="@+id/username" android:inputType="text"/>
+        <EditText android:id="@+id/pwdString" android:inputType="textPassword"/>
+        <Button android:id="@+id/b" android:onClick="sendMessage"/>
+      </LinearLayout>|}
+  in
+  let f_pwd = B.fld ~ty:str_t cls "pwd" in
+  make "PrivateDataLeak1" ~category:"Miscellaneous Android-Specific"
+    ~comment:
+      "The password field's sensitivity exists only in the layout XML \
+       (inputType); the leak crosses onRestart -> button callback."
+    ~expected:[ expect ~src:"src-pwd" "sink-sms" ]
+    (activity_app "PrivateDataLeak1" cls
+       ~layouts:[ ("main", layout) ]
+       [
+         B.cls cls ~super:"android.app.Activity"
+           ~fields:[ ("pwd", str_t) ]
+           [
+             on_create (fun m this ->
+                 B.vcall m this "android.app.Activity" "setContentView"
+                   [ B.i Fd_frontend.Layout.layout_id_base ]);
+             simple_lifecycle_meth "onRestart" (fun m this ->
+                 let et =
+                   B.local m "et" ~ty:(T.Ref "android.widget.EditText")
+                 in
+                 let p = B.local m "p" in
+                 B.vcall m ~tag:"src-pwd" ~ret:et this "android.app.Activity"
+                   "findViewById"
+                   [ B.i (Fd_frontend.Layout.id_base + 1) ];
+                 B.vcall m ~ret:p et "android.widget.EditText" "toString" [];
+                 B.store m this f_pwd (B.v p));
+             B.meth "sendMessage" ~params:[ T.Ref "android.view.View" ]
+               (fun m ->
+                 let this = B.this m in
+                 let _v = B.param m 0 "v" in
+                 let p = B.local m "p" in
+                 B.load m p this f_pwd;
+                 send_sms m (B.v p));
+           ];
+       ])
+
+(* PrivateDataLeak2: device id written to a file. 1 leak. *)
+let private_data_leak2 =
+  let cls = "de.ecspride.PrivateDataLeak2" in
+  make "PrivateDataLeak2" ~category:"Miscellaneous Android-Specific"
+    ~comment:"IMEI converted and written to a file output stream."
+    ~expected:[ expect ~src:"src-imei" "sink-file" ]
+    (activity_app "PrivateDataLeak2" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" ~ty:str_t in
+                 let bytes = B.local m "bytes" ~ty:(T.Array T.Char) in
+                 get_imei m imei;
+                 B.vcall m ~ret:bytes imei "java.lang.String" "getBytes" [];
+                 write_file m (B.v bytes));
+           ];
+       ])
+
+(* DirectLeak1: straight-line source-to-sink. 1 leak. *)
+let direct_leak1 =
+  let cls = "de.ecspride.DirectLeak1" in
+  make "DirectLeak1" ~category:"Miscellaneous Android-Specific"
+    ~comment:"The sanity-check case: source and sink in one method."
+    ~expected:[ expect ~src:"src-imei" "sink-sms" ]
+    (activity_app "DirectLeak1" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" in
+                 get_imei m imei;
+                 send_sms m (B.v imei));
+           ];
+       ])
+
+(* InactiveActivity: the leaking activity is disabled in the manifest.
+   0 leaks. *)
+let inactive_activity =
+  let main = "de.ecspride.MainActivity" in
+  let dead = "de.ecspride.InactiveActivity" in
+  make "InactiveActivity" ~category:"Miscellaneous Android-Specific"
+    ~comment:"The leaking component is android:enabled=\"false\": it \
+              can never run."
+    ~expected:[]
+    (Fd_frontend.Apk.make "InactiveActivity"
+       ~manifest:
+         (Fd_frontend.Apk.simple_manifest ~package:"de.ecspride"
+            [
+              (Fd_frontend.Framework.Activity, main, []);
+              (Fd_frontend.Framework.Activity, dead,
+               [ ("android:enabled", "false") ]);
+            ])
+       [
+         B.cls main ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let x = B.local m "x" in
+                 B.const m x (B.s "hello");
+                 log m (B.v x));
+           ];
+         B.cls dead ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let imei = B.local m "imei" in
+                 get_imei m imei;
+                 send_sms m (B.v imei));
+           ];
+       ])
+
+(* LogNoLeak: logging non-sensitive data only. 0 leaks. *)
+let log_no_leak =
+  let cls = "de.ecspride.LogNoLeak" in
+  make "LogNoLeak" ~category:"Miscellaneous Android-Specific"
+    ~comment:"A sink is called, but never with sensitive data."
+    ~expected:[]
+    (activity_app "LogNoLeak" cls
+       [
+         B.cls cls ~super:"android.app.Activity"
+           [
+             on_create (fun m _this ->
+                 let x = B.local m "x" in
+                 let y = B.local m "y" in
+                 B.const m x (B.s "app started");
+                 B.binop m y "+" (B.v x) (B.s "!");
+                 log m (B.v y));
+           ];
+       ])
+
+let all =
+  [
+    private_data_leak1; private_data_leak2; direct_leak1; inactive_activity;
+    log_no_leak;
+  ]

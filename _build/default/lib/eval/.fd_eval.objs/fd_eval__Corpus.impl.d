@@ -1,0 +1,1 @@
+lib/eval/corpus.ml: Config Engines Fd_appgen Fd_core Fd_util Infoflow List Printf Scoring Sys

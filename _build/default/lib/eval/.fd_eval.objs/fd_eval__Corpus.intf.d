@@ -1,0 +1,1 @@
+lib/eval/corpus.mli: Fd_appgen Fd_core

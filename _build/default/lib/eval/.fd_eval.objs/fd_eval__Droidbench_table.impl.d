@@ -1,0 +1,1 @@
+lib/eval/droidbench_table.ml: Bench_app Engines Fd_droidbench Fd_util List Printf Scoring Suite

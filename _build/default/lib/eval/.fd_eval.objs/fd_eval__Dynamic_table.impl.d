@@ -1,0 +1,1 @@
+lib/eval/dynamic_table.ml: Bench_app Engines Fd_droidbench Fd_frontend Fd_interp Fd_util List Printf Scoring Suite

@@ -1,0 +1,1 @@
+lib/eval/engines.ml: Bidi Config Fd_baselines Fd_callgraph Fd_core Fd_frontend Infoflow List Printf Scoring Taint

@@ -1,0 +1,1 @@
+lib/eval/engines.mli: Fd_core Fd_frontend Scoring

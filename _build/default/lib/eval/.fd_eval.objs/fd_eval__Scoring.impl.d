@@ -1,0 +1,1 @@
+lib/eval/scoring.ml: Fd_droidbench List String

@@ -1,0 +1,1 @@
+lib/eval/scoring.mli: Fd_droidbench

@@ -1,0 +1,1 @@
+lib/eval/securibench_table.ml: Engines Fd_callgraph Fd_core Fd_frontend Fd_securibench Fd_util List Printf Sb_case Sb_suite Scoring

@@ -1,0 +1,37 @@
+(** RQ3: corpus analysis — runtimes and leak statistics over the
+    generated Play-profile and malware-profile corpora. *)
+
+type app_stat = {
+  as_name : string;
+  as_classes : int;
+  as_time : float;
+  as_findings : int;
+  as_expected : int;
+  as_found_expected : int;  (** planted leaks that were recovered *)
+}
+
+type t = {
+  c_profile : Fd_appgen.Generator.profile;
+  c_stats : app_stat list;
+}
+
+val run :
+  ?config:Fd_core.Config.t ->
+  profile:Fd_appgen.Generator.profile ->
+  seed:int ->
+  n:int ->
+  unit ->
+  t
+
+type summary = {
+  s_apps : int;
+  s_avg_time : float;
+  s_min_time : float;
+  s_max_time : float;
+  s_leaks_per_app : float;
+  s_recall : float;  (** on planted ground truth *)
+  s_avg_classes : float;
+}
+
+val summarize : t -> summary
+val render : t -> string

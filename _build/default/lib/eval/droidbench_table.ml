@@ -1,0 +1,121 @@
+(** Table 1 regeneration: run a set of engines over the DROIDBENCH
+    suite and render the per-app marker table with the paper's summary
+    lines (sums, precision, recall, F-measure). *)
+
+open Fd_droidbench
+module Table = Fd_util.Table
+
+type app_result = {
+  ar_app : Bench_app.t;
+  ar_verdicts : (string * Scoring.verdict) list;  (** engine name -> verdict *)
+}
+
+type t = {
+  engines : string list;
+  rows : app_result list;
+  totals : (string * (int * int * int)) list;  (** name -> (tp, fp, fn) *)
+}
+
+(** [run ?apps engines] evaluates [engines] over the scored suite. *)
+let run ?(apps = Suite.scored) (engines : Engines.t list) =
+  let rows =
+    List.map
+      (fun (app : Bench_app.t) ->
+        {
+          ar_app = app;
+          ar_verdicts =
+            List.map
+              (fun (e : Engines.t) ->
+                let findings = e.Engines.eng_run app.Bench_app.app_apk in
+                ( e.Engines.eng_name,
+                  Scoring.score
+                    ~expected:
+                      (List.map Scoring.of_bench_expectation
+                         app.Bench_app.app_expected)
+                    ~findings ))
+              engines;
+        })
+      apps
+  in
+  let totals =
+    List.map
+      (fun (e : Engines.t) ->
+        let tp, fp, fn =
+          List.fold_left
+            (fun (tp, fp, fn) row ->
+              let v = List.assoc e.Engines.eng_name row.ar_verdicts in
+              (tp + v.Scoring.tp, fp + v.Scoring.fp, fn + v.Scoring.fn))
+            (0, 0, 0) rows
+        in
+        (e.Engines.eng_name, (tp, fp, fn)))
+      engines
+  in
+  { engines = List.map (fun (e : Engines.t) -> e.Engines.eng_name) engines;
+    rows; totals }
+
+(** [render t] produces the Table 1-style text table. *)
+let render t =
+  let header = "App Name" :: t.engines in
+  let body =
+    List.concat_map
+      (fun cat ->
+        let cat_rows =
+          List.filter
+            (fun r -> r.ar_app.Bench_app.app_category = cat)
+            t.rows
+        in
+        if cat_rows = [] then []
+        else
+          Table.Section cat
+          :: List.map
+               (fun r ->
+                 Table.Row
+                   (r.ar_app.Bench_app.app_name
+                   :: List.map
+                        (fun name ->
+                          Scoring.markers (List.assoc name r.ar_verdicts))
+                        t.engines))
+               cat_rows)
+      Suite.categories
+  in
+  let sums =
+    [
+      Table.Sep;
+      Table.Row
+        ("● correct, higher better"
+        :: List.map (fun n -> let tp, _, _ = List.assoc n t.totals in string_of_int tp) t.engines);
+      Table.Row
+        ("✱ false warn., lower better"
+        :: List.map (fun n -> let _, fp, _ = List.assoc n t.totals in string_of_int fp) t.engines);
+      Table.Row
+        ("○ missed, lower better"
+        :: List.map (fun n -> let _, _, fn = List.assoc n t.totals in string_of_int fn) t.engines);
+      Table.Row
+        ("Precision p = ●/(●+✱)"
+        :: List.map
+             (fun n ->
+               let tp, fp, _ = List.assoc n t.totals in
+               Table.pct tp (tp + fp))
+             t.engines);
+      Table.Row
+        ("Recall r = ●/(●+○)"
+        :: List.map
+             (fun n ->
+               let tp, _, fn = List.assoc n t.totals in
+               Table.pct tp (tp + fn))
+             t.engines);
+      Table.Row
+        ("F-measure 2pr/(p+r)"
+        :: List.map
+             (fun n ->
+               let tp, fp, fn = List.assoc n t.totals in
+               let p = Scoring.precision ~tp ~fp in
+               let r = Scoring.recall ~tp ~fn in
+               Printf.sprintf "%.2f" (Table.f_measure p r))
+             t.engines);
+    ]
+  in
+  Table.render (Table.make ~header (body @ sums))
+
+(** [totals_of t name] is the (tp, fp, fn) triple of one engine. *)
+let totals_of t name = List.assoc name t.totals

@@ -1,0 +1,21 @@
+(** The engines compared in the evaluation: FLOWDROID (this
+    repository's core), the two simulated commercial comparators, and
+    the ablation variants the benchmark harness sweeps. *)
+
+type t = {
+  eng_name : string;
+  eng_run : Fd_frontend.Apk.t -> Scoring.finding list;
+}
+
+val findings_of_result : Fd_core.Infoflow.result -> Scoring.finding list
+
+val flowdroid : ?config:Fd_core.Config.t -> ?name:string -> unit -> t
+val appscan : t
+val fortify : t
+
+val ablations : t list
+(** no-lifecycle, no-callbacks, no-context-injection, no-activation,
+    no-alias, global-callbacks, RTA *)
+
+val k_variant : int -> t
+(** FlowDroid at access-path bound [k] (the A1 sweep) *)

@@ -1,0 +1,73 @@
+(** Scoring analysis findings against benchmark ground truth. *)
+
+type finding = string option * string option
+(** (source tag, sink tag) as reported by an engine *)
+
+type expectation = string option * string
+(** (optional source tag, sink tag) — a leak the analysis should
+    report.  A [None] source matches any reported source (used for
+    synthesised parameter sources). *)
+
+type verdict = {
+  tp : int;  (** findings matching an expected leak *)
+  fp : int;  (** findings matching no expected leak *)
+  fn : int;  (** expected leaks no finding matched *)
+  matched : expectation list;
+  missed : expectation list;
+  spurious : finding list;
+}
+
+let expectation_matches ((esrc, esink) : expectation) ((src, sink) : finding) =
+  sink = Some esink
+  && match esrc with None -> true | Some es -> src = Some es
+
+(** [of_bench_expectation e] converts DROIDBENCH ground truth. *)
+let of_bench_expectation (e : Fd_droidbench.Bench_app.expectation) :
+    expectation =
+  (e.Fd_droidbench.Bench_app.exp_src, e.Fd_droidbench.Bench_app.exp_sink)
+
+(** [score ~expected ~findings] greedily matches each finding against
+    at most one expectation and each expectation against at most one
+    finding. *)
+let score ~expected ~findings =
+  let remaining = ref expected in
+  let matched = ref [] in
+  let spurious = ref [] in
+  List.iter
+    (fun f ->
+      match List.find_opt (fun e -> expectation_matches e f) !remaining with
+      | Some e ->
+          remaining := List.filter (fun e' -> e' != e) !remaining;
+          matched := e :: !matched
+      | None -> spurious := f :: !spurious)
+    findings;
+  {
+    tp = List.length !matched;
+    fp = List.length !spurious;
+    fn = List.length !remaining;
+    matched = List.rev !matched;
+    missed = !remaining;
+    spurious = List.rev !spurious;
+  }
+
+(** [precision ~tp ~fp] of aggregated counts. *)
+let precision ~tp ~fp =
+  if tp + fp = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fp)
+
+(** [recall ~tp ~fn] of aggregated counts. *)
+let recall ~tp ~fn =
+  if tp + fn = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fn)
+
+(** [markers v] renders a verdict the way Table 1 does: one "●" per
+    correct warning, "✱" per false warning, "○" per missed leak. *)
+let markers v =
+  String.concat " "
+    (List.concat
+       [
+         List.init v.tp (fun _ -> "\xe2\x97\x8f");
+         (* ● *)
+         List.init v.fp (fun _ -> "\xe2\x9c\xb1");
+         (* ✱ *)
+         List.init v.fn (fun _ -> "\xe2\x97\x8b");
+         (* ○ *)
+       ])

@@ -1,0 +1,30 @@
+(** Scoring analysis findings against benchmark ground truth. *)
+
+type finding = string option * string option
+(** (source tag, sink tag) as reported by an engine *)
+
+type expectation = string option * string
+(** (optional source tag, sink tag) — a leak the analysis should
+    report; a [None] source matches any reported source *)
+
+type verdict = {
+  tp : int;  (** findings matching an expected leak *)
+  fp : int;  (** findings matching no expected leak *)
+  fn : int;  (** expected leaks no finding matched *)
+  matched : expectation list;
+  missed : expectation list;
+  spurious : finding list;
+}
+
+val of_bench_expectation :
+  Fd_droidbench.Bench_app.expectation -> expectation
+
+val score : expected:expectation list -> findings:finding list -> verdict
+(** greedy one-to-one matching of findings against expectations *)
+
+val precision : tp:int -> fp:int -> float
+val recall : tp:int -> fn:int -> float
+
+val markers : verdict -> string
+(** the Table 1 rendering: "●" per correct warning, "✱" per false
+    warning, "○" per missed leak *)

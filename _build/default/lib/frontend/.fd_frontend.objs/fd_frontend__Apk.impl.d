@@ -1,0 +1,1 @@
+lib/frontend/apk.ml: Array Buffer Fd_ir Fd_xml Filename Framework Fun Jclass Layout Lexer List Manifest Parser Printf Scene String Sys

@@ -1,0 +1,1 @@
+lib/frontend/apk.mli: Fd_ir Framework Jclass Layout Manifest Scene

@@ -1,0 +1,1 @@
+lib/frontend/framework.ml: Fd_ir Jclass List Option Scene Types

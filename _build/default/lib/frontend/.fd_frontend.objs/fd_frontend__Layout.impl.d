@@ -1,0 +1,1 @@
+lib/frontend/layout.ml: Fd_xml Framework List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/manifest.ml: Fd_xml Framework List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/rules.ml: Fun Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/frontend/sourcesink.ml: Fun Hashtbl List String

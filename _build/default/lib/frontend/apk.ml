@@ -1,0 +1,202 @@
+(** The APK model.
+
+    A real APK is a zip archive holding [AndroidManifest.xml], layout
+    resources and Dalvik bytecode; FlowDroid unzips it and parses each
+    artefact (Figure 4).  Our model is the same bundle with µJimple in
+    place of Dalvik: a manifest XML document, named layout XML
+    documents, and classes (either already-built IR or textual µJimple
+    to be parsed).  [load] runs the whole frontend: XML parsing,
+    resource-id assignment, scene construction with the framework
+    skeleton installed. *)
+
+open Fd_ir
+
+type t = {
+  apk_name : string;
+  apk_manifest : string;  (** manifest XML source *)
+  apk_layouts : (string * string) list;  (** (layout name, XML source) *)
+  apk_classes : Jclass.t list;
+}
+
+type loaded = {
+  name : string;
+  manifest : Manifest.t;
+  layout : Layout.t;
+  scene : Scene.t;
+  components : Manifest.component list;  (** enabled components only *)
+}
+
+exception Load_error of string
+
+(** [make name ~manifest ?layouts classes] bundles an in-memory app. *)
+let make name ~manifest ?(layouts = []) classes =
+  { apk_name = name; apk_manifest = manifest; apk_layouts = layouts;
+    apk_classes = classes }
+
+(** [make_text name ~manifest ?layouts sources] bundles an app whose
+    code is given as textual µJimple compilation units. *)
+let make_text name ~manifest ?(layouts = []) sources =
+  let classes =
+    List.concat_map
+      (fun src ->
+        try Parser.parse_string src with
+        | Parser.Parse_error (line, msg) ->
+            raise (Load_error (Printf.sprintf "%s: parse error at line %d: %s" name line msg))
+        | Lexer.Lex_error (line, msg) ->
+            raise (Load_error (Printf.sprintf "%s: lex error at line %d: %s" name line msg)))
+      sources
+  in
+  make name ~manifest ~layouts classes
+
+(** [of_dir dir] reads an app from disk: [AndroidManifest.xml], every
+    [res/layout/*.xml] (alphabetical), and every [*.jimple] file
+    (recursively, alphabetical). *)
+let of_dir dir =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let manifest_path = Filename.concat dir "AndroidManifest.xml" in
+  if not (Sys.file_exists manifest_path) then
+    raise (Load_error (Printf.sprintf "%s: no AndroidManifest.xml" dir));
+  let manifest = read_file manifest_path in
+  let layout_dir = Filename.concat (Filename.concat dir "res") "layout" in
+  let layouts =
+    if Sys.file_exists layout_dir && Sys.is_directory layout_dir then
+      Sys.readdir layout_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".xml")
+      |> List.sort compare
+      |> List.map (fun f ->
+             ( Filename.remove_extension f,
+               read_file (Filename.concat layout_dir f) ))
+    else []
+  in
+  let rec jimple_files d =
+    Sys.readdir d |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun f ->
+           let p = Filename.concat d f in
+           if Sys.is_directory p then jimple_files p
+           else if Filename.check_suffix f ".jimple" then [ p ]
+           else [])
+  in
+  let sources = List.map read_file (jimple_files dir) in
+  make_text (Filename.basename dir) ~manifest ~layouts sources
+
+(** [load apk] runs the frontend: parses the manifest and layouts,
+    builds a scene containing the framework skeleton plus the app's
+    classes, and checks that every enabled manifest component resolves
+    to a class with the right framework superclass.
+    @raise Load_error on inconsistencies. *)
+let load apk =
+  let manifest =
+    try Manifest.parse apk.apk_manifest with
+    | Manifest.Malformed msg ->
+        raise (Load_error (Printf.sprintf "%s: bad manifest: %s" apk.apk_name msg))
+    | Fd_xml.Xml.Parse_error (pos, msg) ->
+        raise
+          (Load_error
+             (Printf.sprintf "%s: manifest XML error at offset %d: %s"
+                apk.apk_name pos msg))
+  in
+  let layout =
+    try Layout.parse apk.apk_layouts
+    with Fd_xml.Xml.Parse_error (pos, msg) ->
+      raise
+        (Load_error
+           (Printf.sprintf "%s: layout XML error at offset %d: %s" apk.apk_name
+              pos msg))
+  in
+  let scene = Framework.fresh_scene () in
+  List.iter
+    (fun c ->
+      try Scene.add_class scene c
+      with Scene.Duplicate_class n ->
+        raise (Load_error (Printf.sprintf "%s: duplicate class %s" apk.apk_name n)))
+    apk.apk_classes;
+  let components = Manifest.enabled_components manifest in
+  List.iter
+    (fun (c : Manifest.component) ->
+      match Scene.find_class scene c.Manifest.comp_class with
+      | None ->
+          raise
+            (Load_error
+               (Printf.sprintf "%s: manifest declares missing class %s"
+                  apk.apk_name c.Manifest.comp_class))
+      | Some _ -> (
+          match Framework.component_kind_of scene c.Manifest.comp_class with
+          | Some k when k = c.Manifest.comp_kind -> ()
+          | Some k ->
+              raise
+                (Load_error
+                   (Printf.sprintf
+                      "%s: %s declared as %s but extends the %s base class"
+                      apk.apk_name c.Manifest.comp_class
+                      (Framework.string_of_component_kind c.Manifest.comp_kind)
+                      (Framework.string_of_component_kind k)))
+          | None ->
+              raise
+                (Load_error
+                   (Printf.sprintf
+                      "%s: %s declared as %s but extends no component base \
+                       class"
+                      apk.apk_name c.Manifest.comp_class
+                      (Framework.string_of_component_kind c.Manifest.comp_kind)))))
+    components;
+  { name = apk.apk_name; manifest; layout; scene; components }
+
+(** [res_id loaded name] is the integer resource id of the layout
+    control with symbolic id [name].
+    @raise Load_error when no layout declares it. *)
+let res_id loaded name =
+  try Layout.res_id loaded.layout name
+  with Not_found ->
+    raise (Load_error (Printf.sprintf "%s: unknown resource id %S" loaded.name name))
+
+(** [layout_id loaded name] is the [R.layout] integer for a layout
+    file. *)
+let layout_id loaded name =
+  try Layout.layout_id loaded.layout name
+  with Not_found ->
+    raise (Load_error (Printf.sprintf "%s: unknown layout %S" loaded.name name))
+
+(* ------------------------------------------------------------------ *)
+(* Manifest-construction helpers for benchmark apps                    *)
+(* ------------------------------------------------------------------ *)
+
+(** [simple_manifest ~package comps] renders a minimal manifest
+    declaring [comps] as [(kind, class, extra-attrs)] with the first
+    activity as the launcher. *)
+let simple_manifest ~package comps =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n<manifest package=\"%s\">\n  <application>\n"
+       package);
+  let first_activity = ref true in
+  List.iter
+    (fun (kind, cls, attrs) ->
+      let tag = Framework.string_of_component_kind kind in
+      let attrs_s =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k v) attrs)
+      in
+      if kind = Framework.Activity && !first_activity then begin
+        first_activity := false;
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    <%s android:name=\"%s\"%s>\n\
+             \      <intent-filter>\n\
+             \        <action android:name=\"android.intent.action.MAIN\"/>\n\
+             \        <category android:name=\"android.intent.category.LAUNCHER\"/>\n\
+             \      </intent-filter>\n\
+             \    </%s>\n"
+             tag cls attrs_s tag)
+      end
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "    <%s android:name=\"%s\"%s/>\n" tag cls attrs_s))
+    comps;
+  Buffer.add_string buf "  </application>\n</manifest>\n";
+  Buffer.contents buf

@@ -1,0 +1,67 @@
+(** The APK model.
+
+    A real APK is a zip archive holding [AndroidManifest.xml], layout
+    resources and Dalvik bytecode; this model is the same bundle with
+    µJimple in place of Dalvik.  {!load} runs the whole frontend of
+    Figure 4's first stage: XML parsing, resource-id assignment, scene
+    construction with the framework skeleton installed, and
+    component-consistency checks. *)
+
+open Fd_ir
+
+type t = {
+  apk_name : string;
+  apk_manifest : string;  (** manifest XML source *)
+  apk_layouts : (string * string) list;  (** (layout name, XML source) *)
+  apk_classes : Jclass.t list;
+}
+
+type loaded = {
+  name : string;
+  manifest : Manifest.t;
+  layout : Layout.t;
+  scene : Scene.t;
+  components : Manifest.component list;  (** enabled components only *)
+}
+
+exception Load_error of string
+
+val make :
+  string -> manifest:string -> ?layouts:(string * string) list ->
+  Jclass.t list -> t
+(** [make name ~manifest ?layouts classes] bundles an in-memory app. *)
+
+val make_text :
+  string -> manifest:string -> ?layouts:(string * string) list ->
+  string list -> t
+(** [make_text name ~manifest ?layouts sources] bundles an app whose
+    code is textual µJimple compilation units.
+    @raise Load_error on parse errors (with the line number). *)
+
+val of_dir : string -> t
+(** [of_dir dir] reads an app from disk: [AndroidManifest.xml], every
+    [res/layout/*.xml] and every [*.jimple] file (recursively,
+    alphabetical).
+    @raise Load_error when the manifest is missing or code is
+    malformed. *)
+
+val load : t -> loaded
+(** [load apk] runs the frontend and validates that every enabled
+    manifest component resolves to a class with the right framework
+    superclass.
+    @raise Load_error on inconsistencies. *)
+
+val res_id : loaded -> string -> int
+(** the integer resource id of the layout control with the given
+    symbolic id.  @raise Load_error when no layout declares it. *)
+
+val layout_id : loaded -> string -> int
+(** the [R.layout] integer for a layout file name *)
+
+val simple_manifest :
+  package:string ->
+  (Framework.component_kind * string * (string * string) list) list ->
+  string
+(** [simple_manifest ~package comps] renders a minimal manifest
+    declaring [comps] as [(kind, class, extra-attributes)], with the
+    first activity as the MAIN/LAUNCHER entry. *)

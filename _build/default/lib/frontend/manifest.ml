@@ -1,0 +1,112 @@
+(** AndroidManifest.xml parsing.
+
+    The manifest declares the app's components; FlowDroid reads it to
+    know which classes are entry-point components, whether they are
+    enabled (disabled activities are filtered from the dummy main —
+    DroidBench's InactiveActivity test), and which activity is the
+    launcher. *)
+
+module X = Fd_xml.Xml
+
+type component = {
+  comp_kind : Framework.component_kind;
+  comp_class : string;  (** fully-qualified class name *)
+  comp_enabled : bool;
+  comp_exported : bool;
+  comp_actions : string list;  (** intent-filter actions *)
+  comp_categories : string list;
+  comp_main : bool;  (** carries MAIN/LAUNCHER intent filter *)
+}
+
+type t = {
+  package : string;
+  components : component list;
+  permissions : string list;  (** uses-permission entries *)
+}
+
+exception Malformed of string
+
+let main_action = "android.intent.action.MAIN"
+let launcher_category = "android.intent.category.LAUNCHER"
+
+(* resolve ".Relative" class names against the package *)
+let resolve_class ~package name =
+  if String.length name > 0 && name.[0] = '.' then package ^ name
+  else if String.contains name '.' then name
+  else if package = "" then name
+  else package ^ "." ^ name
+
+let bool_attr e name ~default =
+  match X.attr e name with
+  | Some "true" -> true
+  | Some "false" -> false
+  | Some v -> raise (Malformed (Printf.sprintf "attribute %s=%S is not a boolean" name v))
+  | None -> default
+
+let parse_component ~package kind e =
+  let name =
+    match X.attr e "android:name" with
+    | Some n -> resolve_class ~package n
+    | None -> raise (Malformed "component without android:name")
+  in
+  let actions =
+    List.filter_map
+      (fun a -> X.attr a "android:name")
+      (X.descendants_named e "action")
+  in
+  let categories =
+    List.filter_map
+      (fun c -> X.attr c "android:name")
+      (X.descendants_named e "category")
+  in
+  {
+    comp_kind = kind;
+    comp_class = name;
+    comp_enabled = bool_attr e "android:enabled" ~default:true;
+    comp_exported = bool_attr e "android:exported" ~default:false;
+    comp_actions = actions;
+    comp_categories = categories;
+    comp_main =
+      List.mem main_action actions && List.mem launcher_category categories;
+  }
+
+(** [parse xml_source] parses a manifest document.
+    @raise Malformed (or {!Fd_xml.Xml.Parse_error}) on bad input. *)
+let parse src =
+  let root = X.parse_string src in
+  if X.tag root <> "manifest" then
+    raise (Malformed "root element is not <manifest>");
+  let package = X.attr_dflt root "package" ~default:"" in
+  let apps = X.children_named root "application" in
+  let components =
+    List.concat_map
+      (fun app ->
+        List.concat_map
+          (fun (tag, kind) ->
+            List.map (parse_component ~package kind) (X.children_named app tag))
+          [
+            ("activity", Framework.Activity);
+            ("service", Framework.Service);
+            ("receiver", Framework.Receiver);
+            ("provider", Framework.Provider);
+          ])
+      apps
+  in
+  let permissions =
+    List.filter_map
+      (fun p -> X.attr p "android:name")
+      (X.children_named root "uses-permission")
+  in
+  { package; components; permissions }
+
+(** [enabled_components m] filters out components disabled in the
+    manifest (they can never run, so the lifecycle model excludes
+    them). *)
+let enabled_components m = List.filter (fun c -> c.comp_enabled) m.components
+
+(** [launcher m] is the MAIN/LAUNCHER activity if one is declared. *)
+let launcher m =
+  List.find_opt (fun c -> c.comp_main && c.comp_enabled) m.components
+
+(** [find m cls] is the component entry for class [cls], if any. *)
+let find m cls = List.find_opt (fun c -> c.comp_class = cls) m.components

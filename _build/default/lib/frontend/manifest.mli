@@ -1,0 +1,41 @@
+(** AndroidManifest.xml parsing.
+
+    The manifest declares the app's components; the analysis reads it
+    to know which classes are entry-point components, whether they are
+    enabled (disabled activities are filtered from the dummy main),
+    and which activity is the launcher. *)
+
+type component = {
+  comp_kind : Framework.component_kind;
+  comp_class : string;  (** fully-qualified class name *)
+  comp_enabled : bool;
+  comp_exported : bool;
+  comp_actions : string list;  (** intent-filter actions *)
+  comp_categories : string list;
+  comp_main : bool;  (** carries a MAIN/LAUNCHER intent filter *)
+}
+
+type t = {
+  package : string;
+  components : component list;
+  permissions : string list;  (** uses-permission entries *)
+}
+
+exception Malformed of string
+
+val main_action : string
+val launcher_category : string
+
+val parse : string -> t
+(** [parse xml_source] parses a manifest document; dot-relative
+    component names are resolved against the package.
+    @raise Malformed (or {!Fd_xml.Xml.Parse_error}) on bad input. *)
+
+val enabled_components : t -> component list
+(** components not disabled in the manifest (only these can run) *)
+
+val launcher : t -> component option
+(** the enabled MAIN/LAUNCHER activity, if declared *)
+
+val find : t -> string -> component option
+(** the component entry for a class, if any *)

@@ -1,0 +1,1 @@
+lib/ifds/ifds.ml: Hashtbl List Queue

@@ -1,0 +1,290 @@
+(** A generic IFDS solver.
+
+    Implements the tabulation algorithm of Reps, Horwitz and Sagiv
+    (POPL'95) for inter-procedural, finite, distributive subset
+    problems, with the practical extensions of Naeem, Lhoták and
+    Rodriguez (CC'10) that FlowDroid's solvers build on:
+
+    - the exploded supergraph is never materialised; flow functions
+      are applied on demand, so only facts that actually arise are
+      computed;
+    - *incoming sets* record which caller contexts entered each callee
+      context, so end summaries can be mapped back precisely when they
+      are discovered after the call was processed.
+
+    A {e path edge} [⟨sp, d1⟩ → ⟨n, d2⟩] states: if fact [d1] holds at
+    the start point [sp] of [n]'s procedure, then [d2] holds just
+    before [n].  The solver maintains the set of path edges in a
+    worklist-driven fixed point.
+
+    The specialised bidirectional taint solver of the paper
+    (Algorithms 1 and 2) lives in [Fd_core.Bidi]; this module is the
+    textbook single-direction algorithm, used by the comparator
+    baselines and as a reference implementation. *)
+
+module type PROBLEM = sig
+  type proc
+  (** procedure identifiers *)
+
+  type node
+  (** program points (statements) *)
+
+  type fact
+  (** data-flow facts; must include a distinguished zero fact *)
+
+  val proc_equal : proc -> proc -> bool
+  val proc_hash : proc -> int
+  val node_equal : node -> node -> bool
+  val node_hash : node -> int
+  val fact_equal : fact -> fact -> bool
+  val fact_hash : fact -> int
+  val zero : fact
+
+  val proc_of : node -> proc
+  (** the procedure containing a node *)
+
+  val start_of : proc -> node
+  (** the unique start point of a procedure *)
+
+  val succs : node -> node list
+  (** intra-procedural successors; for a call node these are its
+      return sites *)
+
+  val is_exit : node -> bool
+  (** return/throw nodes *)
+
+  val callees : node -> proc list
+  (** resolved targets when [node] is a call with analysable targets;
+      [[]] otherwise *)
+
+  val normal_flow : node -> fact -> fact list
+  (** flow across a non-call node to its successors *)
+
+  val call_flow : node -> proc -> fact -> fact list
+  (** flow from a call node into a callee (argument passing) *)
+
+  val return_flow :
+    call:node -> callee:proc -> exit:node -> return_site:node -> fact -> fact list
+  (** flow from a callee exit back to a return site of the call *)
+
+  val call_to_return_flow : node -> fact -> fact list
+  (** flow across a call on the caller's side (facts untouched by the
+      callee) *)
+end
+
+module Make (P : PROBLEM) = struct
+  module Ntbl = Hashtbl.Make (struct
+    type t = P.node
+
+    let equal = P.node_equal
+    let hash = P.node_hash
+  end)
+
+  module NFtbl = Hashtbl.Make (struct
+    type t = P.node * P.fact
+
+    let equal (n1, f1) (n2, f2) = P.node_equal n1 n2 && P.fact_equal f1 f2
+    let hash (n, f) = Hashtbl.hash (P.node_hash n, P.fact_hash f)
+  end)
+
+  module PFtbl = Hashtbl.Make (struct
+    type t = P.proc * P.fact
+
+    let equal (p1, f1) (p2, f2) = P.proc_equal p1 p2 && P.fact_equal f1 f2
+    let hash (p, f) = Hashtbl.hash (P.proc_hash p, P.fact_hash f)
+  end)
+
+  module Ftbl = Hashtbl.Make (struct
+    type t = P.fact
+
+    let equal = P.fact_equal
+    let hash = P.fact_hash
+  end)
+
+  type t = {
+    (* (sp, d1) -> set of (n, d2): all discovered path edges, grouped by
+       their context for summary application *)
+    path_edges : unit NFtbl.t NFtbl.t;
+    (* facts per node (the final analysis result) *)
+    results_facts : unit Ftbl.t Ntbl.t;
+    (* end summaries: (callee, entry fact) -> set of (exit node, exit fact) *)
+    end_summaries : unit NFtbl.t PFtbl.t;
+    (* incoming: (callee, entry fact) -> set of (call node, caller entry
+       context (sp,d1), caller fact at call) *)
+    incoming : unit NFtbl.t PFtbl.t; (* values keyed on (call node, d2) *)
+    incoming_ctx : ((P.node * P.fact) * (P.node * P.fact), unit) Hashtbl.t;
+    worklist : ((P.node * P.fact) * (P.node * P.fact)) Queue.t;
+    mutable edge_count : int;
+  }
+
+  let create () =
+    {
+      path_edges = NFtbl.create 256;
+      results_facts = Ntbl.create 256;
+      end_summaries = PFtbl.create 64;
+      incoming = PFtbl.create 64;
+      incoming_ctx = Hashtbl.create 256;
+      worklist = Queue.create ();
+      edge_count = 0;
+    }
+
+  let record_result t n d =
+    let tbl =
+      match Ntbl.find_opt t.results_facts n with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Ftbl.create 7 in
+          Ntbl.replace t.results_facts n tbl;
+          tbl
+    in
+    Ftbl.replace tbl d ()
+
+  (* propagate: add path edge if new and enqueue *)
+  let propagate t src tgt =
+    let set =
+      match NFtbl.find_opt t.path_edges src with
+      | Some s -> s
+      | None ->
+          let s = NFtbl.create 16 in
+          NFtbl.replace t.path_edges src s;
+          s
+    in
+    if not (NFtbl.mem set tgt) then begin
+      NFtbl.replace set tgt ();
+      t.edge_count <- t.edge_count + 1;
+      record_result t (fst tgt) (snd tgt);
+      Queue.add (src, tgt) t.worklist
+    end
+
+  let add_incoming t callee_ctx entry =
+    let set =
+      match PFtbl.find_opt t.incoming callee_ctx with
+      | Some s -> s
+      | None ->
+          let s = NFtbl.create 8 in
+          PFtbl.replace t.incoming callee_ctx s;
+          s
+    in
+    NFtbl.replace set entry ()
+
+  let add_summary t callee_ctx exit_pair =
+    let set =
+      match PFtbl.find_opt t.end_summaries callee_ctx with
+      | Some s -> s
+      | None ->
+          let s = NFtbl.create 8 in
+          PFtbl.replace t.end_summaries callee_ctx s;
+          s
+    in
+    if NFtbl.mem set exit_pair then false
+    else begin
+      NFtbl.replace set exit_pair ();
+      true
+    end
+
+  let process t ((sp, d1) as src) ((n, d2) : P.node * P.fact) =
+    let callees = P.callees n in
+    if callees <> [] then begin
+      (* a call node with analysable targets *)
+      List.iter
+        (fun callee ->
+          let entry_facts = P.call_flow n callee d2 in
+          let s_callee = P.start_of callee in
+          List.iter
+            (fun d3 ->
+              let callee_ctx = (callee, d3) in
+              (* remember the caller context for later summaries *)
+              add_incoming t callee_ctx (n, d2);
+              Hashtbl.replace t.incoming_ctx ((n, d2), (sp, d1)) ();
+              (* seed the callee *)
+              propagate t (s_callee, d3) (s_callee, d3);
+              (* apply already-known summaries *)
+              match PFtbl.find_opt t.end_summaries callee_ctx with
+              | None -> ()
+              | Some sums ->
+                  NFtbl.iter
+                    (fun (e, d4) () ->
+                      List.iter
+                        (fun r ->
+                          List.iter
+                            (fun d5 -> propagate t src (r, d5))
+                            (P.return_flow ~call:n ~callee ~exit:e
+                               ~return_site:r d4))
+                        (P.succs n))
+                    sums)
+            entry_facts)
+        callees;
+      (* call-to-return edge *)
+      List.iter
+        (fun r ->
+          List.iter
+            (fun d3 -> propagate t src (r, d3))
+            (P.call_to_return_flow n d2))
+        (P.succs n)
+    end
+    else if P.is_exit n then begin
+      (* install an end summary for this callee context and flow back
+         into every caller context recorded in the incoming set *)
+      let callee = P.proc_of n in
+      let callee_ctx = (callee, d1) in
+      if add_summary t callee_ctx (n, d2) then begin
+        (* sp must be the callee's start: context of this path edge *)
+        ignore sp;
+        match PFtbl.find_opt t.incoming callee_ctx with
+        | None -> ()
+        | Some inc ->
+            NFtbl.iter
+              (fun (c, dc) () ->
+                List.iter
+                  (fun r ->
+                    List.iter
+                      (fun d5 ->
+                        (* resume in every caller context that passed
+                           (c, dc) into this callee *)
+                        Hashtbl.iter
+                          (fun ((c', dc'), (spc, d1c)) () ->
+                            if P.node_equal c' c && P.fact_equal dc' dc then
+                              propagate t (spc, d1c) (r, d5))
+                          t.incoming_ctx)
+                      (P.return_flow ~call:c ~callee ~exit:n ~return_site:r d2))
+                  (P.succs c))
+              inc
+      end
+    end
+    else
+      (* plain intra-procedural node (includes calls with no analysable
+         callee: their flow is the caller's business via normal_flow) *)
+      List.iter
+        (fun m ->
+          List.iter (fun d3 -> propagate t src (m, d3)) (P.normal_flow n d2))
+        (P.succs n)
+
+  (** [solve ~seeds] runs the tabulation to a fixed point.  Each seed
+      [(n, d)] asserts that [d] holds just before [n] (typically
+      [(entry, zero)]). *)
+  let solve ~seeds =
+    let t = create () in
+    List.iter
+      (fun (n, d) ->
+        let sp = P.start_of (P.proc_of n) in
+        (* context: the zero fact at the procedure start; seeds are
+           unconditional *)
+        propagate t (sp, P.zero) (n, d);
+        if not (P.fact_equal d P.zero) then propagate t (sp, P.zero) (n, P.zero))
+      seeds;
+    while not (Queue.is_empty t.worklist) do
+      let src, tgt = Queue.pop t.worklist in
+      process t src tgt
+    done;
+    t
+
+  (** [results_at t n] is every fact that may hold just before [n]. *)
+  let results_at t n =
+    match Ntbl.find_opt t.results_facts n with
+    | None -> []
+    | Some tbl -> Ftbl.fold (fun d () acc -> d :: acc) tbl []
+
+  (** [edge_count t] is the number of discovered path edges (a size
+      metric for benchmarks). *)
+  let edge_count t = t.edge_count
+end

@@ -1,0 +1,1 @@
+lib/interp/builtins.ml: Array Buffer Char Fd_frontend Fd_ir Hashtbl Interp Labels List Option Printf Scene String Types Value

@@ -1,0 +1,1 @@
+lib/interp/builtins.mli: Interp

@@ -1,0 +1,1 @@
+lib/interp/droid_runner.ml: Builtins Fd_frontend Fd_ir Fd_lifecycle Hashtbl Interp Jclass Labels List Option Scene Types Value

@@ -1,0 +1,1 @@
+lib/interp/droid_runner.mli: Fd_frontend Fd_ir Value

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Body Fd_frontend Fd_ir Hashtbl Jclass Labels List Option Printf Scene Stmt Types Value

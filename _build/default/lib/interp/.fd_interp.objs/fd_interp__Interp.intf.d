@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Body Fd_frontend Fd_ir Hashtbl Labels Scene Types Value

@@ -1,0 +1,1 @@
+lib/interp/value.ml: Fd_frontend Fd_ir Hashtbl Printf Set

@@ -1,0 +1,1 @@
+lib/interp/value.mli: Fd_frontend Fd_ir Hashtbl Set

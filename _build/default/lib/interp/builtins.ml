@@ -1,0 +1,489 @@
+(** Framework models for the µJimple interpreter: the concrete
+    behaviour of the Android/JRE classes the benchmarks use.
+
+    Sources return realistic tainted data (labelled with the call
+    site's ground-truth tag), UI views hold per-control text that the
+    driver pre-populates (tainted for password fields), collections
+    and string builders behave concretely so the dynamic analysis gets
+    per-element precision — everything the static analysis
+    over-approximates.
+
+    Install into an interpreter state with {!install}. *)
+
+open Fd_ir
+open Value
+module SS = Fd_frontend.Sourcesink
+
+let str s = untainted (Vstr s)
+let vint i = untainted (Vint i)
+let vnull = untainted Vnull
+
+let join_all recv args =
+  List.fold_left
+    (fun acc (a : tvalue) -> join acc a.labels)
+    (match recv with Some (r : tvalue) -> r.labels | None -> Labels.empty)
+    args
+
+let string_of_tv (tv : tvalue) =
+  match tv.v with
+  | Vstr s -> s
+  | Vint i -> string_of_int i
+  | Vnull -> "null"
+  | Vobj id -> Printf.sprintf "obj#%d" id
+  | Varr id -> Printf.sprintf "arr#%d" id
+
+let map_key tv = string_of_tv tv
+
+let payload_of st (recv : tvalue option) =
+  match recv with
+  | Some { v = Vobj id; _ } -> Some (Interp.obj st id)
+  | _ -> None
+
+(* lazily create the view object for a layout control *)
+let view_for st (ctl : Fd_frontend.Layout.control) =
+  match Hashtbl.find_opt st.Interp.views ctl.Fd_frontend.Layout.ctl_id with
+  | Some id -> id
+  | None ->
+      let text =
+        if ctl.Fd_frontend.Layout.ctl_password then
+          with_labels
+            (Labels.singleton
+               (label ~category:SS.Password
+                  (Printf.sprintf "password field %s" ctl.Fd_frontend.Layout.ctl_name)))
+            (Vstr "s3cr3t-user-input")
+        else untainted (Vstr ("input:" ^ ctl.Fd_frontend.Layout.ctl_name))
+      in
+      let id =
+        Interp.alloc_obj st
+          ~payload:
+            (Pview { view_name = ctl.Fd_frontend.Layout.ctl_name; view_text = text })
+          ctl.Fd_frontend.Layout.ctl_class
+      in
+      Hashtbl.replace st.Interp.views ctl.Fd_frontend.Layout.ctl_id id;
+      id
+
+let src_label st ~tag ~category desc =
+  ignore st;
+  Labels.singleton (label ?tag ~category desc)
+
+(* the core dispatcher; [cls] is the statically named class, [runtime_cls]
+   the receiver's allocated class when available *)
+let call st ~tag ~cls ~runtime_cls ~mname ~recv ~args : tvalue option =
+  let either_cls c =
+    String.equal cls c || String.equal runtime_cls c
+    || Scene.is_subtype st.Interp.scene runtime_cls c
+    || Scene.is_subtype st.Interp.scene cls c
+  in
+  match mname with
+  (* ---------------- telephony sources ---------------- *)
+  | "getDeviceId" when either_cls "android.telephony.TelephonyManager" ->
+      Some
+        (with_labels
+           (src_label st ~tag ~category:SS.Imei "TelephonyManager.getDeviceId")
+           (Vstr "358240051111110"))
+  | "getSubscriberId" | "getSimSerialNumber" | "getLine1Number"
+    when either_cls "android.telephony.TelephonyManager" ->
+      Some
+        (with_labels
+           (src_label st ~tag ~category:SS.Imei ("TelephonyManager." ^ mname))
+           (Vstr "310260000000000"))
+  (* ---------------- location ---------------- *)
+  | "getLastKnownLocation" when either_cls "android.location.LocationManager"
+    ->
+      let loc = Interp.alloc_obj st "android.location.Location" in
+      let lbl = src_label st ~tag ~category:SS.Location "LocationManager.getLastKnownLocation" in
+      let o = Interp.obj st loc in
+      Hashtbl.replace o.h_fields "lat" (with_labels lbl (Vstr "49.87"));
+      Hashtbl.replace o.h_fields "lon" (with_labels lbl (Vstr "8.65"));
+      Some (with_labels lbl (Vobj loc))
+  | "getLatitude" | "getLongitude" when either_cls "android.location.Location"
+    -> (
+      match payload_of st recv with
+      | Some o ->
+          let f = if mname = "getLatitude" then "lat" else "lon" in
+          Some
+            (match Hashtbl.find_opt o.h_fields f with
+            | Some tv -> tv
+            | None ->
+                (* a Location the app constructed itself: propagate the
+                   object's labels *)
+                with_labels (join_all recv args) (Vstr "0.0"))
+      | None -> Some vnull)
+  | "requestLocationUpdates" | "removeUpdates"
+    when either_cls "android.location.LocationManager" ->
+      Some vnull
+  (* ---------------- UI ---------------- *)
+  | "setContentView" -> Some vnull
+  | "findViewById" -> (
+      match args with
+      | [ { v = Vint id; _ } ] -> (
+          match Fd_frontend.Layout.control_by_id st.Interp.layout id with
+          | Some ctl ->
+              let oid = view_for st ctl in
+              (* the call-site tag refines the password label for
+                 ground-truth matching *)
+              (match ((Interp.obj st oid).h_payload, tag) with
+              | Pview pv, Some _ when is_tainted pv.view_text ->
+                  pv.view_text <-
+                    {
+                      pv.view_text with
+                      labels =
+                        Labels.map
+                          (fun lb -> { lb with lb_tag = tag })
+                          pv.view_text.labels;
+                    }
+              | _ -> ());
+              Some (untainted (Vobj oid))
+          | None ->
+              Some (untainted (Vobj (Interp.alloc_obj st "android.view.View"))))
+      | _ -> Some vnull)
+  | "getText" | "toString"
+    when either_cls "android.widget.TextView"
+         || either_cls "android.widget.EditText" -> (
+      match payload_of st recv with
+      | Some { h_payload = Pview pv; _ } -> Some pv.view_text
+      | _ -> Some (with_labels (join_all recv args) (Vstr "")))
+  | "setText"
+    when either_cls "android.widget.TextView"
+         || either_cls "android.widget.EditText" -> (
+      match (payload_of st recv, args) with
+      | Some { h_payload = Pview pv; _ }, [ tv ] ->
+          pv.view_text <- tv;
+          Some vnull
+      | _ -> Some vnull)
+  | "setOnClickListener" | "setOnLongClickListener" | "setOnTouchListener" ->
+      Some vnull
+  (* ---------------- SMS / logging / net sinks: the sink event is
+     recorded generically by the interpreter before dispatch; here we
+     only provide the concrete no-op behaviour ---------------- *)
+  | "getDefault" when either_cls "android.telephony.SmsManager" ->
+      Some (untainted (Vobj (Interp.alloc_obj st "android.telephony.SmsManager")))
+  | "sendTextMessage" | "sendDataMessage"
+    when either_cls "android.telephony.SmsManager" ->
+      Some vnull
+  | ("d" | "e" | "i" | "v" | "w") when either_cls "android.util.Log" ->
+      Some (vint 1)
+  | "write" | "sendRequest" | "openConnection" | "putString" ->
+      (* stream/net/prefs sinks and Bundle.putString share names; for
+         Bundle/Map semantics fall through below when a payload exists *)
+      (match payload_of st recv with
+      | Some { h_payload = Pmap m; _ } -> (
+          match args with
+          | [ k; v ] ->
+              m := (map_key k, v) :: List.remove_assoc (map_key k) !m;
+              Some vnull
+          | _ -> Some vnull)
+      | _ -> Some vnull)
+  (* ---------------- intents / bundles ---------------- *)
+  | "<init>"
+    when either_cls "android.content.Intent"
+         || either_cls "android.os.Bundle" -> (
+      match payload_of st recv with
+      | Some o -> (
+          match o.h_payload with
+          | Pmap _ -> Some vnull
+          | _ ->
+              (* re-allocate with a map payload: constructor ran on a
+                 plain allocation *)
+              (match recv with
+              | Some { v = Vobj id; _ } ->
+                  Hashtbl.replace st.Interp.heap_objs id
+                    { o with h_payload = Pmap (ref []) }
+              | _ -> ());
+              Some vnull)
+      | None -> Some vnull)
+  | "putExtra" | "putExtras" -> (
+      match (payload_of st recv, args) with
+      | Some { h_payload = Pmap m; _ }, [ k; v ] ->
+          m := (map_key k, v) :: List.remove_assoc (map_key k) !m;
+          Some (Option.value recv ~default:vnull)
+      | _ -> Some (Option.value recv ~default:vnull))
+  | "getStringExtra" | "getString" -> (
+      match (payload_of st recv, args) with
+      | Some { h_payload = Pmap m; _ }, [ k ] ->
+          Some (Option.value (List.assoc_opt (map_key k) !m) ~default:vnull)
+      | _ -> Some vnull)
+  | "getExtras" -> Some (Option.value recv ~default:vnull)
+  | "getIntent" -> (
+      (* the intent the driver attached to the component instance *)
+      match payload_of st recv with
+      | Some o ->
+          Some
+            (Option.value
+               (Hashtbl.find_opt o.h_fields "__intent")
+               ~default:vnull)
+      | None -> Some vnull)
+  | "startActivity" | "startService" | "sendBroadcast"
+  | "startActivityForResult" -> (
+      match args with
+      | intent :: _ ->
+          st.Interp.sent_intents <- (mname, intent) :: st.Interp.sent_intents;
+          Some vnull
+      | [] -> Some vnull)
+  | "setResult" ->
+      (* handed back through the framework: not a monitored sink *)
+      Some vnull
+  (* ---------------- strings ---------------- *)
+  | "concat" -> (
+      match (recv, args) with
+      | Some r, [ a ] ->
+          Some
+            (with_labels (join_all recv args)
+               (Vstr (string_of_tv r ^ string_of_tv a)))
+      | _ -> None)
+  | "substring" -> (
+      match (recv, args) with
+      | Some r, ({ v = Vint i; _ } :: _) ->
+          let s = string_of_tv r in
+          let i = min (max i 0) (String.length s) in
+          Some
+            (with_labels (join_all recv args)
+               (Vstr (String.sub s i (String.length s - i))))
+      | _ -> None)
+  | "toLowerCase" ->
+      Option.map
+        (fun (r : tvalue) ->
+          with_labels r.labels (Vstr (String.lowercase_ascii (string_of_tv r))))
+        recv
+  | "toUpperCase" ->
+      Option.map
+        (fun (r : tvalue) ->
+          with_labels r.labels (Vstr (String.uppercase_ascii (string_of_tv r))))
+        recv
+  | "trim" ->
+      Option.map
+        (fun (r : tvalue) ->
+          with_labels r.labels (Vstr (String.trim (string_of_tv r))))
+        recv
+  | "intern" -> recv
+  | "valueOf" | "format" when either_cls "java.lang.String" -> (
+      match args with
+      | [ { v = Varr id; _ } ] ->
+          (* valueOf(char[]): rebuild the string from the cells, joining
+             the per-cell labels *)
+          let a = Interp.arr st id in
+          let buf = Buffer.create (Array.length a.a_cells) in
+          let lbl = ref Labels.empty in
+          Array.iter
+            (fun (c : tvalue) ->
+              lbl := join !lbl c.labels;
+              match c.v with
+              | Vint i when i > 0 && i < 256 -> Buffer.add_char buf (Char.chr i)
+              | _ -> ())
+            a.a_cells;
+          Some (with_labels !lbl (Vstr (Buffer.contents buf)))
+      | _ ->
+          Some
+            (with_labels (join_all recv args)
+               (Vstr (String.concat "" (List.map string_of_tv args)))))
+  | "charAt" -> (
+      match (recv, args) with
+      | Some r, [ { v = Vint i; _ } ] ->
+          let s = string_of_tv r in
+          let c = if i >= 0 && i < String.length s then s.[i] else ' ' in
+          Some (with_labels r.labels (Vint (Char.code c)))
+      | _ -> None)
+  | "length" when either_cls "java.lang.String" ->
+      Option.map
+        (fun (r : tvalue) ->
+          (* length is a benign projection: TaintDroid-style monitors
+             do not propagate here either *)
+          untainted (Vint (String.length (string_of_tv r))))
+        recv
+  | "isEmpty" when either_cls "java.lang.String" ->
+      Option.map
+        (fun (r : tvalue) ->
+          untainted (Vint (if string_of_tv r = "" then 1 else 0)))
+        recv
+  | "equals" ->
+      Some
+        (untainted
+           (Vint
+              (match (recv, args) with
+              | Some r, [ a ] -> if string_of_tv r = string_of_tv a then 1 else 0
+              | _ -> 0)))
+  | "toCharArray" | "getBytes" -> (
+      match recv with
+      | Some r ->
+          let s = string_of_tv r in
+          let id = Interp.alloc_arr st Types.Char (String.length s) in
+          let a = Interp.arr st id in
+          String.iteri
+            (fun i c -> a.a_cells.(i) <- with_labels r.labels (Vint (Char.code c)))
+            s;
+          Some (with_labels r.labels (Varr id))
+      | None -> None)
+  | "split" -> (
+      match recv with
+      | Some r ->
+          let parts = String.split_on_char ',' (string_of_tv r) in
+          let id = Interp.alloc_arr st (Types.Ref "java.lang.String") (List.length parts) in
+          let a = Interp.arr st id in
+          List.iteri (fun i p -> a.a_cells.(i) <- with_labels r.labels (Vstr p)) parts;
+          Some (with_labels r.labels (Varr id))
+      | None -> None)
+  (* ---------------- string builders ---------------- *)
+  | _
+    when either_cls "java.lang.StringBuilder"
+         || either_cls "java.lang.StringBuffer" -> (
+      let buf o =
+        match o.h_payload with
+        | Pbuffer b -> Some b
+        | _ -> None
+      in
+      match (mname, payload_of st recv) with
+      | "<init>", Some o -> (
+          match (buf o, recv) with
+          | None, Some { v = Vobj id; _ } ->
+              Hashtbl.replace st.Interp.heap_objs id
+                { o with h_payload = Pbuffer (ref ("", Labels.empty)) };
+              (* seed with a constructor argument if present *)
+              (match (args, (Interp.obj st id).h_payload) with
+              | [ a ], Pbuffer b -> b := (string_of_tv a, a.labels)
+              | _ -> ());
+              Some vnull
+          | _ -> Some vnull)
+      | ("append" | "insert"), Some o -> (
+          match (buf o, args) with
+          | Some b, a :: _ ->
+              let s, lbl = !b in
+              b := (s ^ string_of_tv a, join lbl a.labels);
+              Some (Option.value recv ~default:vnull)
+          | _ -> Some (Option.value recv ~default:vnull))
+      | "toString", Some o -> (
+          match buf o with
+          | Some b ->
+              let s, lbl = !b in
+              Some (with_labels lbl (Vstr s))
+          | None -> Some (str ""))
+      | _ -> Some vnull)
+  (* ---------------- collections ---------------- *)
+  | _
+    when either_cls "java.util.List" || either_cls "java.util.Set"
+         || either_cls "java.util.ArrayList"
+         || either_cls "java.util.LinkedList"
+         || either_cls "java.util.HashSet"
+         || either_cls "java.util.Iterator" -> (
+      let lst o = match o.h_payload with Plist l -> Some l | _ -> None in
+      match (mname, payload_of st recv) with
+      | "<init>", Some o -> (
+          match recv with
+          | Some { v = Vobj id; _ } when lst o = None ->
+              Hashtbl.replace st.Interp.heap_objs id
+                { o with h_payload = Plist (ref []) };
+              Some vnull
+          | _ -> Some vnull)
+      | "add", Some o -> (
+          match (lst o, args) with
+          | Some l, [ a ] ->
+              l := !l @ [ a ];
+              Some (vint 1)
+          | _ -> Some (vint 1))
+      | "get", Some o -> (
+          match (lst o, args) with
+          | Some l, [ { v = Vint i; _ } ] ->
+              Some (Option.value (List.nth_opt !l i) ~default:vnull)
+          | _ -> Some vnull)
+      | "remove", Some o -> (
+          match (lst o, args) with
+          | Some l, [ { v = Vint i; _ } ] ->
+              let removed = List.nth_opt !l i in
+              l := List.filteri (fun j _ -> j <> i) !l;
+              Some (Option.value removed ~default:vnull)
+          | _ -> Some vnull)
+      | "iterator", Some o -> (
+          match lst o with
+          | Some l ->
+              let it =
+                Interp.alloc_obj st ~payload:(Plist (ref !l)) "java.util.Iterator"
+              in
+              Some (untainted (Vobj it))
+          | None -> Some vnull)
+      | "next", Some o -> (
+          match lst o with
+          | Some l -> (
+              match !l with
+              | x :: rest ->
+                  l := rest;
+                  Some x
+              | [] -> Some vnull)
+          | None -> Some vnull)
+      | "hasNext", Some o -> (
+          match lst o with
+          | Some l -> Some (vint (if !l = [] then 0 else 1))
+          | None -> Some (vint 0))
+      | "toArray", Some o -> (
+          match lst o with
+          | Some l ->
+              let id =
+                Interp.alloc_arr st (Types.Ref "java.lang.Object") (List.length !l)
+              in
+              let a = Interp.arr st id in
+              List.iteri (fun i tv -> a.a_cells.(i) <- tv) !l;
+              Some (untainted (Varr id))
+          | None -> Some vnull)
+      | "size", Some o -> (
+          match lst o with
+          | Some l -> Some (vint (List.length !l))
+          | None -> Some (vint 0))
+      | _ -> Some vnull)
+  | _ when either_cls "java.util.Map" || either_cls "java.util.HashMap" -> (
+      let themap o = match o.h_payload with Pmap m -> Some m | _ -> None in
+      match (mname, payload_of st recv) with
+      | "<init>", Some o -> (
+          match recv with
+          | Some { v = Vobj id; _ } when themap o = None ->
+              Hashtbl.replace st.Interp.heap_objs id
+                { o with h_payload = Pmap (ref []) };
+              Some vnull
+          | _ -> Some vnull)
+      | "put", Some o -> (
+          match (themap o, args) with
+          | Some m, [ k; v ] ->
+              let key = map_key k in
+              let old = List.assoc_opt key !m in
+              m := (key, v) :: List.remove_assoc key !m;
+              Some (Option.value old ~default:vnull)
+          | _ -> Some vnull)
+      | "get", Some o -> (
+          match (themap o, args) with
+          | Some m, [ k ] ->
+              Some (Option.value (List.assoc_opt (map_key k) !m) ~default:vnull)
+          | _ -> Some vnull)
+      | ("keySet" | "values"), Some o -> (
+          match themap o with
+          | Some m ->
+              let pick (k, v) = if mname = "keySet" then str k else v in
+              let id =
+                Interp.alloc_obj st
+                  ~payload:(Plist (ref (List.map pick !m)))
+                  "java.util.HashSet"
+              in
+              Some (untainted (Vobj id))
+          | None -> Some vnull)
+      | _ -> Some vnull)
+  (* ---------------- System ---------------- *)
+  | "arraycopy" when either_cls "java.lang.System" -> (
+      match args with
+      | [ { v = Varr src; _ }; { v = Vint sp; _ }; { v = Varr dst; _ };
+          { v = Vint dp; _ }; { v = Vint n; _ } ] ->
+          let s = Interp.arr st src and d = Interp.arr st dst in
+          for i = 0 to n - 1 do
+            if
+              sp + i < Array.length s.a_cells
+              && dp + i < Array.length d.a_cells
+            then d.a_cells.(dp + i) <- s.a_cells.(sp + i)
+          done;
+          Some vnull
+      | _ -> Some vnull)
+  (* ---------------- emulator detection (the evasion demo) --------- *)
+  | "isDebuggerConnected" | "isMonitored" ->
+      (* a dynamic monitor IS attached: malware probing for it sees 1
+         (the Section 7 "Bouncerland" evasion) *)
+      Some (vint 1)
+  | "hashCode" -> Some (vint 42)
+  | _ -> None
+
+(** [install st] wires the framework model into an interpreter
+    state. *)
+let install st = st.Interp.builtin <- call

@@ -1,0 +1,513 @@
+(** A concrete interpreter for µJimple with dynamic taint tracking.
+
+    The execution substrate for the TaintDroid-style comparison
+    (Section 7 of the paper): values flow concretely, taint labels ride
+    on values, fields and array cells individually — so the dynamic
+    analysis is exactly as precise as the execution (no whole-array or
+    whole-container over-approximation, real strong updates) and
+    exactly as complete as the driven coverage.
+
+    Framework behaviour (telephony, UI views, intents, collections,
+    strings) is emulated by built-in models in {!Builtins}; application
+    classes execute their real µJimple bodies, with static
+    initialisers run at first use of a class (the dynamically correct
+    semantics that the static analysis deliberately gets wrong on
+    StaticInitialization1). *)
+
+open Fd_ir
+open Value
+module SS = Fd_frontend.Sourcesink
+
+exception Budget_exhausted
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type state = {
+  scene : Scene.t;
+  defs : SS.t;
+  layout : Fd_frontend.Layout.t;
+  heap_objs : (obj_id, hobj) Hashtbl.t;
+  heap_arrs : (obj_id, harr) Hashtbl.t;
+  statics : (string, tvalue) Hashtbl.t;
+  mutable next_id : int;
+  mutable leaks : leak list;
+  leak_keys : (string, unit) Hashtbl.t;
+  mutable steps : int;
+  max_steps : int;
+  clinit_done : (string, unit) Hashtbl.t;
+  views : (int, obj_id) Hashtbl.t;  (** resource id -> view object *)
+  mutable sent_intents : (string * tvalue) list;  (** send method, intent *)
+  mutable builtin : builtin_fn;
+      (** the framework model, installed by {!Builtins.install} (kept
+          as a state field to break the module cycle) *)
+}
+
+and builtin_fn =
+  state ->
+  tag:string option ->
+  cls:string ->
+  runtime_cls:string ->
+  mname:string ->
+  recv:tvalue option ->
+  args:tvalue list ->
+  tvalue option
+
+let create ?(max_steps = 2_000_000) ~scene ~defs ~layout () =
+  {
+    scene;
+    defs;
+    layout;
+    heap_objs = Hashtbl.create 256;
+    heap_arrs = Hashtbl.create 64;
+    statics = Hashtbl.create 32;
+    next_id = 1;
+    leaks = [];
+    leak_keys = Hashtbl.create 32;
+    steps = 0;
+    max_steps;
+    clinit_done = Hashtbl.create 16;
+    views = Hashtbl.create 16;
+    sent_intents = [];
+    builtin = (fun _ ~tag:_ ~cls:_ ~runtime_cls:_ ~mname:_ ~recv:_ ~args:_ -> None);
+  }
+
+let fresh_id st =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  id
+
+(** [alloc_obj st ?payload cls] allocates a heap object. *)
+let alloc_obj st ?(payload = Pnone) cls =
+  let id = fresh_id st in
+  Hashtbl.replace st.heap_objs id
+    { h_cls = cls; h_fields = Hashtbl.create 4; h_payload = payload };
+  id
+
+let alloc_arr st elem n =
+  let id = fresh_id st in
+  Hashtbl.replace st.heap_arrs id
+    { a_elem = elem; a_cells = Array.make (max n 0) (untainted Vnull) };
+  id
+
+let obj st id =
+  match Hashtbl.find_opt st.heap_objs id with
+  | Some o -> o
+  | None -> err "dangling object #%d" id
+
+let arr st id =
+  match Hashtbl.find_opt st.heap_arrs id with
+  | Some a -> a
+  | None -> err "dangling array #%d" id
+
+let static_key (f : Types.field_sig) = f.Types.f_class ^ "#" ^ f.Types.f_name
+
+let record_leak st ~labels ~sink_tag ~sink_cat ~where =
+  Labels.iter
+    (fun lb ->
+      let key =
+        Printf.sprintf "%s|%s|%s"
+          (Option.value lb.lb_tag ~default:lb.lb_desc)
+          (Option.value sink_tag ~default:"?")
+          where
+      in
+      if not (Hashtbl.mem st.leak_keys key) then begin
+        Hashtbl.replace st.leak_keys key ();
+        st.leaks <-
+          { lk_labels = [ lb ]; lk_sink_tag = sink_tag; lk_sink_cat = sink_cat;
+            lk_where = where }
+          :: st.leaks
+      end)
+    labels
+
+(* supertype-aware source/sink lookup (the dynamic monitor knows the
+   same lists as the static analysis) *)
+let rec first_some f = function
+  | [] -> None
+  | x :: xs -> ( match f x with Some r -> Some r | None -> first_some f xs)
+
+let with_supertypes st cls f =
+  match f cls with
+  | Some r -> Some r
+  | None -> first_some f (Scene.supertypes st.scene cls)
+
+let sink_category st ~cls ~mname =
+  with_supertypes st cls (fun cls -> SS.is_sink st.defs ~cls ~mname)
+
+let source_category st ~cls ~mname =
+  with_supertypes st cls (fun cls -> SS.is_return_source st.defs ~cls ~mname)
+
+(** [deep_labels st tv] collects taint labels reachable from [tv]
+    through object fields, payloads and array cells (bounded depth) —
+    what a TaintDroid-style monitor sees when a compound value crosses
+    the framework boundary (e.g. a tainted extra inside an intent
+    passed to [startActivity]). *)
+let deep_labels st tv =
+  let acc = ref tv.labels in
+  let seen = Hashtbl.create 8 in
+  let rec go depth (tv : tvalue) =
+    acc := join !acc tv.labels;
+    if depth > 0 then
+      match tv.v with
+      | Vobj id when not (Hashtbl.mem seen id) -> (
+          Hashtbl.replace seen id ();
+          match Hashtbl.find_opt st.heap_objs id with
+          | None -> ()
+          | Some o ->
+              Hashtbl.iter (fun _ f -> go (depth - 1) f) o.h_fields;
+              (match o.h_payload with
+              | Pnone -> ()
+              | Pbuffer b -> acc := join !acc (snd !b)
+              | Plist l -> List.iter (go (depth - 1)) !l
+              | Pmap m -> List.iter (fun (_, v) -> go (depth - 1) v) !m
+              | Pview pv -> go (depth - 1) pv.view_text))
+      | Varr id when not (Hashtbl.mem seen (-id - 1)) -> (
+          Hashtbl.replace seen (-id - 1) ();
+          match Hashtbl.find_opt st.heap_arrs id with
+          | None -> ()
+          | Some a -> Array.iter (go (depth - 1)) a.a_cells)
+      | _ -> ()
+  in
+  go 4 tv;
+  !acc
+
+(** [refine_tags st tag tv] rewrites the ground-truth tag on every
+    label reachable from [tv] (bounded depth, in place on the heap):
+    used when a tainted value crosses a tagged observation point such
+    as a parameter-source identity statement. *)
+let refine_tags st tag tv =
+  let seen = Hashtbl.create 8 in
+  let relabel labels = Labels.map (fun lb -> { lb with lb_tag = tag }) labels in
+  let rec go depth (tv : tvalue) =
+    let tv = { tv with labels = relabel tv.labels } in
+    (if depth > 0 then
+       match tv.v with
+       | Vobj id when not (Hashtbl.mem seen id) -> (
+           Hashtbl.replace seen id ();
+           match Hashtbl.find_opt st.heap_objs id with
+           | None -> ()
+           | Some o ->
+               let keys = Hashtbl.fold (fun k _ acc -> k :: acc) o.h_fields [] in
+               List.iter
+                 (fun k ->
+                   let f = Hashtbl.find o.h_fields k in
+                   Hashtbl.replace o.h_fields k (go (depth - 1) f))
+                 keys;
+               (match o.h_payload with
+               | Pbuffer b ->
+                   let str, lbl = !b in
+                   b := (str, relabel lbl)
+               | Plist l -> l := List.map (go (depth - 1)) !l
+               | Pmap m -> m := List.map (fun (k, v) -> (k, go (depth - 1) v)) !m
+               | Pview pv -> pv.view_text <- go (depth - 1) pv.view_text
+               | Pnone -> ()))
+       | Varr id when not (Hashtbl.mem seen (-id - 1)) -> (
+           Hashtbl.replace seen (-id - 1) ();
+           match Hashtbl.find_opt st.heap_arrs id with
+           | None -> ()
+           | Some a ->
+               Array.iteri (fun i c -> a.a_cells.(i) <- go (depth - 1) c) a.a_cells)
+       | _ -> ());
+    tv
+  in
+  go 4 tv
+
+(* ------------------------------------------------------------------ *)
+(* frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type frame = {
+  fr_method : Types.method_sig;
+  fr_locals : (string, tvalue) Hashtbl.t;
+  fr_this : tvalue option;
+  fr_args : tvalue list;
+}
+
+let local_get fr (l : Stmt.local) =
+  match Hashtbl.find_opt fr.fr_locals l.Stmt.l_name with
+  | Some tv -> tv
+  | None -> untainted Vnull
+
+let local_set fr (l : Stmt.local) tv = Hashtbl.replace fr.fr_locals l.Stmt.l_name tv
+
+(* run <clinit> at first use of a class *)
+let rec ensure_clinit st cls =
+  if not (Hashtbl.mem st.clinit_done cls) then begin
+    Hashtbl.replace st.clinit_done cls ();
+    match Scene.find_class st.scene cls with
+    | Some c -> (
+        match Jclass.find_method c "<clinit>" [] with
+        | Some m when Jclass.has_body m ->
+            ignore
+              (exec_body st m.Jclass.jm_sig (Option.get m.Jclass.jm_body)
+                 ~this:None ~args:[])
+        | _ -> ())
+    | None -> ()
+  end
+
+(* ---------------- expression evaluation ---------------- *)
+
+and eval_imm _st fr = function
+  | Stmt.Iloc l -> local_get fr l
+  | Stmt.Iconst (Stmt.CInt i) -> untainted (Vint i)
+  | Stmt.Iconst (Stmt.CStr s) -> untainted (Vstr s)
+  | Stmt.Iconst Stmt.CNull -> untainted Vnull
+  | Stmt.Iconst (Stmt.CClassRef c) -> untainted (Vstr c)
+
+and eval_binop op a b =
+  let labels = join a.labels b.labels in
+  let v =
+    match (op, a.v, b.v) with
+    | "+", Vint x, Vint y -> Vint (x + y)
+    | "-", Vint x, Vint y -> Vint (x - y)
+    | "*", Vint x, Vint y -> Vint (x * y)
+    | "/", Vint x, Vint y -> Vint (if y = 0 then 0 else x / y)
+    | "%", Vint x, Vint y -> Vint (if y = 0 then 0 else x mod y)
+    | "<<", Vint x, Vint y -> Vint (x lsl (y land 62))
+    | ">>", Vint x, Vint y -> Vint (x asr (y land 62))
+    | "+", Vstr x, Vstr y -> Vstr (x ^ y)
+    | "+", Vstr x, Vint y -> Vstr (x ^ string_of_int y)
+    | "+", Vint x, Vstr y -> Vstr (string_of_int x ^ y)
+    | "+", Vstr x, Vnull -> Vstr (x ^ "null")
+    | "+", Vnull, Vstr y -> Vstr ("null" ^ y)
+    | "+", Vstr x, (Vobj _ | Varr _) -> Vstr (x ^ "@obj")
+    | "+", (Vobj _ | Varr _), Vstr y -> Vstr ("@obj" ^ y)
+    | _, _, _ -> Vint 0
+  in
+  with_labels labels v
+
+and eval_cond st fr (c : Stmt.cond) =
+  let a = eval_imm st fr c.Stmt.c_left in
+  let b = eval_imm st fr c.Stmt.c_right in
+  let cmp =
+    match (a.v, b.v) with
+    | Vint x, Vint y -> compare x y
+    | Vstr x, Vstr y -> compare x y
+    | Vnull, Vnull -> 0
+    | Vnull, _ -> -1
+    | _, Vnull -> 1
+    | Vobj x, Vobj y | Varr x, Varr y -> compare x y
+    | _ -> -1
+  in
+  match c.Stmt.c_op with
+  | Stmt.Ceq -> cmp = 0
+  | Stmt.Cne -> cmp <> 0
+  | Stmt.Clt -> cmp < 0
+  | Stmt.Cle -> cmp <= 0
+  | Stmt.Cgt -> cmp > 0
+  | Stmt.Cge -> cmp >= 0
+
+and eval_expr st fr (e : Stmt.expr) ~tag : tvalue =
+  match e with
+  | Stmt.Eimm i -> eval_imm st fr i
+  | Stmt.Efield (x, f) -> (
+      match (local_get fr x).v with
+      | Vobj id -> (
+          let o = obj st id in
+          match Hashtbl.find_opt o.h_fields f.Types.f_name with
+          | Some tv -> tv
+          | None -> untainted Vnull)
+      | Vnull -> untainted Vnull
+      | _ -> err "field read on a non-object")
+  | Stmt.Estatic f ->
+      ensure_clinit st f.Types.f_class;
+      Option.value (Hashtbl.find_opt st.statics (static_key f))
+        ~default:(untainted Vnull)
+  | Stmt.Earray (x, i) -> (
+      match ((local_get fr x).v, (eval_imm st fr i).v) with
+      | Varr id, Vint idx ->
+          let a = arr st id in
+          if idx >= 0 && idx < Array.length a.a_cells then a.a_cells.(idx)
+          else untainted Vnull
+      | Vnull, _ -> untainted Vnull
+      | _ -> err "array read on a non-array")
+  | Stmt.Ebinop (op, a, b) -> eval_binop op (eval_imm st fr a) (eval_imm st fr b)
+  | Stmt.Eunop (_, a) ->
+      let tv = eval_imm st fr a in
+      let v = match tv.v with Vint x -> Vint (-x) | v -> v in
+      { tv with v }
+  | Stmt.Ecast (_, a) -> eval_imm st fr a
+  | Stmt.Einstanceof (a, ty) -> (
+      let tv = eval_imm st fr a in
+      match (tv.v, ty) with
+      | Vobj id, Types.Ref cls ->
+          let o = obj st id in
+          untainted (Vint (if Scene.is_subtype st.scene o.h_cls cls then 1 else 0))
+      | _ -> untainted (Vint 0))
+  | Stmt.Enew cls ->
+      ensure_clinit st cls;
+      untainted (Vobj (alloc_obj st cls))
+  | Stmt.Enewarray (elem, n) -> (
+      match (eval_imm st fr n).v with
+      | Vint len -> untainted (Varr (alloc_arr st elem len))
+      | _ -> err "non-integer array length")
+  | Stmt.Elength x -> (
+      match (local_get fr x).v with
+      | Varr id -> untainted (Vint (Array.length (arr st id).a_cells))
+      | _ -> untainted (Vint 0))
+  | Stmt.Einvoke inv -> invoke st fr inv ~tag
+
+(* ---------------- calls ---------------- *)
+
+and invoke st fr (inv : Stmt.invoke) ~tag : tvalue =
+  let args = List.map (eval_imm st fr) inv.Stmt.i_args in
+  let recv = Option.map (fun r -> local_get fr r) inv.Stmt.i_recv in
+  let static_cls = inv.Stmt.i_sig.Types.m_class in
+  let mname = inv.Stmt.i_sig.Types.m_name in
+  (* sink check first: the monitor sits at the framework boundary *)
+  (match sink_category st ~cls:static_cls ~mname with
+  | Some cat ->
+      let labels =
+        List.fold_left (fun acc a -> join acc (deep_labels st a)) Labels.empty args
+      in
+      if not (Labels.is_empty labels) then
+        record_leak st ~labels ~sink_tag:tag ~sink_cat:cat
+          ~where:(Printf.sprintf "%s.%s" static_cls mname)
+  | None -> ());
+  (* dispatch: the receiver's runtime class for virtual calls *)
+  let runtime_cls =
+    match (inv.Stmt.i_kind, recv) with
+    | Stmt.Virtual, Some { v = Vobj id; _ } -> (obj st id).h_cls
+    | _ -> static_cls
+  in
+  ensure_clinit st runtime_cls;
+  let resolved =
+    match
+      Scene.resolve_concrete st.scene runtime_cls
+        (mname, inv.Stmt.i_sig.Types.m_params)
+    with
+    | Some (_, m) when Jclass.has_body m -> Some m
+    | _ -> (
+        match
+          Scene.resolve_concrete st.scene static_cls
+            (mname, inv.Stmt.i_sig.Types.m_params)
+        with
+        | Some (_, m) when Jclass.has_body m -> Some m
+        | _ -> None)
+  in
+  match resolved with
+  | Some m ->
+      exec_body st m.Jclass.jm_sig (Option.get m.Jclass.jm_body) ~this:recv
+        ~args
+  | None -> (
+      (* framework model *)
+      match st.builtin st ~tag ~cls:static_cls ~runtime_cls ~mname ~recv ~args with
+      | Some tv -> tv
+      | None -> (
+          (* return-value sources declared in the config *)
+          match source_category st ~cls:static_cls ~mname with
+          | Some cat ->
+              let lb = label ?tag ~category:cat (static_cls ^ "." ^ mname) in
+              with_labels (Labels.singleton lb) (Vstr "sensitive-data")
+          | None ->
+              (* unmodelled: join the labels conservatively *)
+              let labels =
+                List.fold_left
+                  (fun acc a -> join acc a.labels)
+                  (match recv with Some r -> r.labels | None -> Labels.empty)
+                  args
+              in
+              with_labels labels Vnull))
+
+(* ---------------- statement execution ---------------- *)
+
+and exec_body st (msig : Types.method_sig) (body : Body.t) ~this ~args : tvalue
+    =
+  let fr =
+    { fr_method = msig; fr_locals = Hashtbl.create 8; fr_this = this;
+      fr_args = args }
+  in
+  let ret = ref (untainted Vnull) in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    st.steps <- st.steps + 1;
+    if st.steps > st.max_steps then raise Budget_exhausted;
+    let stmt = Body.stmt body !pc in
+    let tag = stmt.Stmt.s_tag in
+    (match stmt.Stmt.s_kind with
+    | Stmt.Identity (l, Stmt.Ithis _) ->
+        local_set fr l (Option.value this ~default:(untainted Vnull));
+        incr pc
+    | Stmt.Identity (l, Stmt.Iparam i) ->
+        let tv =
+          Option.value (List.nth_opt args i) ~default:(untainted Vnull)
+        in
+        (* ground-truth tags on parameter identities refine labels:
+           this parameter is a declared source observation point *)
+        let tv =
+          match tag with
+          | Some _ when not (Labels.is_empty (deep_labels st tv)) ->
+              refine_tags st tag tv
+          | _ -> tv
+        in
+        local_set fr l tv;
+        incr pc
+    | Stmt.Assign (lv, e) ->
+        let tv = eval_expr st fr e ~tag in
+        (match lv with
+        | Stmt.Llocal x -> local_set fr x tv
+        | Stmt.Lfield (x, f) -> (
+            match (local_get fr x).v with
+            | Vobj id -> Hashtbl.replace (obj st id).h_fields f.Types.f_name tv
+            | Vnull -> () (* NPE: swallowed, execution continues *)
+            | _ -> err "field write on a non-object")
+        | Stmt.Lstatic f ->
+            ensure_clinit st f.Types.f_class;
+            Hashtbl.replace st.statics (static_key f) tv
+        | Stmt.Larray (x, i) -> (
+            match ((local_get fr x).v, (eval_imm st fr i).v) with
+            | Varr id, Vint idx ->
+                let a = arr st id in
+                if idx >= 0 && idx < Array.length a.a_cells then
+                  a.a_cells.(idx) <- tv
+            | Vnull, _ -> ()
+            | _ -> err "array write on a non-array"));
+        incr pc
+    | Stmt.InvokeStmt inv ->
+        ignore (invoke st fr inv ~tag);
+        incr pc
+    | Stmt.If (c, tgt) -> if eval_cond st fr c then pc := tgt else incr pc
+    | Stmt.Goto tgt -> pc := tgt
+    | Stmt.Return None ->
+        running := false
+    | Stmt.Return (Some i) ->
+        ret := eval_imm st fr i;
+        running := false
+    | Stmt.Throw _ ->
+        (* exceptions terminate the frame (no handlers in µJimple) *)
+        running := false
+    | Stmt.Nop -> incr pc)
+  done;
+  !ret
+
+(* ------------------------------------------------------------------ *)
+(* public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [call st ~cls ~mname ~this ~args] invokes a method by name on a
+    class, running its real body when present.  Entry point for
+    drivers. *)
+let call st ~cls ~mname ~this ~args =
+  ensure_clinit st cls;
+  match Scene.resolve_concrete_named st.scene cls mname with
+  | Some (_, m) when Jclass.has_body m ->
+      exec_body st m.Jclass.jm_sig (Option.get m.Jclass.jm_body) ~this ~args
+  | _ -> untainted Vnull
+
+(** [new_instance st cls] allocates an instance and runs its no-arg
+    constructor if present. *)
+let new_instance st cls =
+  ensure_clinit st cls;
+  let id = alloc_obj st cls in
+  let tv = untainted (Vobj id) in
+  (match Scene.resolve_concrete st.scene cls ("<init>", []) with
+  | Some (_, m) when Jclass.has_body m ->
+      ignore
+        (exec_body st m.Jclass.jm_sig (Option.get m.Jclass.jm_body)
+           ~this:(Some tv) ~args:[])
+  | _ -> ());
+  tv
+
+(** [leaks st] returns the recorded leaks, oldest first. *)
+let leaks st = List.rev st.leaks

@@ -1,0 +1,76 @@
+(** A concrete interpreter for µJimple with dynamic taint tracking —
+    the TaintDroid-counterpart substrate (Section 7): labels ride on
+    values, fields and array cells individually; static initialisers
+    run at first use; framework behaviour comes from the installed
+    {!Builtins} model. *)
+
+open Fd_ir
+open Value
+
+exception Budget_exhausted
+exception Runtime_error of string
+
+type state = {
+  scene : Scene.t;
+  defs : Fd_frontend.Sourcesink.t;
+  layout : Fd_frontend.Layout.t;
+  heap_objs : (obj_id, hobj) Hashtbl.t;
+  heap_arrs : (obj_id, harr) Hashtbl.t;
+  statics : (string, tvalue) Hashtbl.t;
+  mutable next_id : int;
+  mutable leaks : leak list;
+  leak_keys : (string, unit) Hashtbl.t;
+  mutable steps : int;
+  max_steps : int;
+  clinit_done : (string, unit) Hashtbl.t;
+  views : (int, obj_id) Hashtbl.t;  (** resource id -> view object *)
+  mutable sent_intents : (string * tvalue) list;
+  mutable builtin : builtin_fn;  (** installed by {!Builtins.install} *)
+}
+
+and builtin_fn =
+  state ->
+  tag:string option ->
+  cls:string ->
+  runtime_cls:string ->
+  mname:string ->
+  recv:tvalue option ->
+  args:tvalue list ->
+  tvalue option
+
+val create :
+  ?max_steps:int ->
+  scene:Scene.t ->
+  defs:Fd_frontend.Sourcesink.t ->
+  layout:Fd_frontend.Layout.t ->
+  unit ->
+  state
+
+val alloc_obj : state -> ?payload:payload -> string -> obj_id
+val alloc_arr : state -> Types.typ -> int -> obj_id
+val obj : state -> obj_id -> hobj
+val arr : state -> obj_id -> harr
+
+val deep_labels : state -> tvalue -> Labels.t
+(** labels reachable through object fields, payloads and array cells
+    (bounded depth) — what the monitor sees when a compound value
+    crosses the framework boundary *)
+
+val exec_body :
+  state -> Types.method_sig -> Body.t -> this:tvalue option ->
+  args:tvalue list -> tvalue
+(** execute one method body.
+    @raise Budget_exhausted past [max_steps]
+    @raise Runtime_error on type confusion *)
+
+val call :
+  state -> cls:string -> mname:string -> this:tvalue option ->
+  args:tvalue list -> tvalue
+(** invoke a method by name on a class, running its real body when
+    present — the drivers' entry point *)
+
+val new_instance : state -> string -> tvalue
+(** allocate and run the no-argument constructor when present *)
+
+val leaks : state -> leak list
+(** recorded leaks, oldest first *)

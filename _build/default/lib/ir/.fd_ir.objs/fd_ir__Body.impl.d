@@ -1,0 +1,1 @@
+lib/ir/body.ml: Array List Printf Stmt

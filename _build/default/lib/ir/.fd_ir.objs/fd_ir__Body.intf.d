@@ -1,0 +1,1 @@
+lib/ir/body.mli: Stmt

@@ -1,0 +1,1 @@
+lib/ir/build.ml: Array Body Hashtbl Jclass List Printf Stmt Types

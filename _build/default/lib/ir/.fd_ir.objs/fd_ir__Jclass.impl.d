@@ -1,0 +1,1 @@
+lib/ir/jclass.ml: Body List Option String Types

@@ -1,0 +1,1 @@
+lib/ir/jclass.mli: Body Types

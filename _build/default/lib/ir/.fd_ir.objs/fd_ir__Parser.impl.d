@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Body Hashtbl Jclass Lexer List Option Printf Stmt String Types

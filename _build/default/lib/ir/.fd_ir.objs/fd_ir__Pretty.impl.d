@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Array Body Buffer Jclass List Printf Scene Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/pretty.mli: Body Jclass Scene

@@ -1,0 +1,1 @@
+lib/ir/scene.ml: Hashtbl Jclass List String Types

@@ -1,0 +1,1 @@
+lib/ir/scene.mli: Jclass Types

@@ -1,0 +1,1 @@
+lib/ir/types.ml: Format Int List Printf String

@@ -1,0 +1,148 @@
+(** Method bodies and their intra-procedural control-flow graphs.
+
+    A body is an array of statements; control flows from each
+    statement to its syntactic successor unless it branches or
+    returns.  Successor and predecessor maps are computed once when
+    the body is created — the backward alias analysis walks
+    predecessors as often as the forward analysis walks successors. *)
+
+open Stmt
+
+type t = {
+  locals : local list;
+  stmts : Stmt.t array;
+  succs : int list array;
+  preds : int list array;
+}
+
+exception Malformed of string
+
+let compute_succs stmts =
+  let n = Array.length stmts in
+  let check_target s tgt =
+    if tgt < 0 || tgt >= n then
+      raise
+        (Malformed
+           (Printf.sprintf "statement %d branches to invalid target %d"
+              s.s_idx tgt))
+  in
+  Array.map
+    (fun s ->
+      match s.s_kind with
+      | Return _ | Throw _ -> []
+      | Goto tgt ->
+          check_target s tgt;
+          [ tgt ]
+      | If (_, tgt) ->
+          check_target s tgt;
+          if s.s_idx + 1 >= n then
+            raise
+              (Malformed
+                 (Printf.sprintf
+                    "conditional at %d falls through past the end" s.s_idx));
+          if tgt = s.s_idx + 1 then [ tgt ] else [ s.s_idx + 1; tgt ]
+      | Assign _ | InvokeStmt _ | Identity _ | Nop ->
+          if s.s_idx + 1 >= n then
+            raise
+              (Malformed
+                 (Printf.sprintf "statement %d falls through past the end"
+                    s.s_idx))
+          else [ s.s_idx + 1 ])
+    stmts
+
+(** [create ~locals stmts] seals a statement list into a body,
+    re-indexing statements and computing the CFG.
+    @raise Malformed if a branch target is out of range or control can
+    fall off the end of the body. *)
+let create ~locals stmts =
+  let stmts =
+    Array.of_list (List.mapi (fun i s -> { s with s_idx = i }) stmts)
+  in
+  if Array.length stmts = 0 then raise (Malformed "empty body");
+  let succs = compute_succs stmts in
+  let preds = Array.make (Array.length stmts) [] in
+  Array.iteri
+    (fun i ss -> List.iter (fun j -> preds.(j) <- i :: preds.(j)) ss)
+    succs;
+  Array.iteri (fun j ps -> preds.(j) <- List.rev ps) preds;
+  { locals; stmts; succs; preds }
+
+let length b = Array.length b.stmts
+
+(** [stmt b i] is the [i]-th statement. *)
+let stmt b i = b.stmts.(i)
+
+(** [succs b i] is the control-flow successors of statement [i]. *)
+let succs b i = b.succs.(i)
+
+(** [preds b i] is the control-flow predecessors of statement [i]. *)
+let preds b i = b.preds.(i)
+
+(** [iter b f] applies [f] to every statement in index order. *)
+let iter b f = Array.iter f b.stmts
+
+(** [fold b f acc] folds [f] over the statements in index order. *)
+let fold b f acc = Array.fold_left (fun acc s -> f s acc) acc b.stmts
+
+(** [exit_stmts b] is the indices of all return/throw statements. *)
+let exit_stmts b =
+  fold b
+    (fun s acc ->
+      match s.s_kind with Return _ | Throw _ -> s.s_idx :: acc | _ -> acc)
+    []
+  |> List.rev
+
+(** [find_tagged b tag] returns the statements carrying ground-truth
+    marker [tag]. *)
+let find_tagged b tag =
+  fold b (fun s acc -> if s.s_tag = Some tag then s :: acc else acc) []
+  |> List.rev
+
+(** [param_locals b] maps parameter index to the local it is bound to
+    by an identity statement, and the [@this] local if present. *)
+let param_locals b =
+  fold b
+    (fun s (this, params) ->
+      match s.s_kind with
+      | Identity (l, Ithis _) -> (Some l, params)
+      | Identity (l, Iparam n) -> (this, (n, l) :: params)
+      | _ -> (this, params))
+    (None, [])
+
+(** [uses_local s l] holds when statement [s] reads local [l] (in any
+    operand position, including receiver and branch conditions). *)
+let uses_local s l =
+  let imm_uses = function Iloc x -> equal_local x l | Iconst _ -> false in
+  let expr_uses = function
+    | Eimm i -> imm_uses i
+    | Efield (x, _) -> equal_local x l
+    | Estatic _ -> false
+    | Earray (x, i) -> equal_local x l || imm_uses i
+    | Ebinop (_, a, b) -> imm_uses a || imm_uses b
+    | Eunop (_, a) -> imm_uses a
+    | Ecast (_, a) -> imm_uses a
+    | Einstanceof (a, _) -> imm_uses a
+    | Enew _ -> false
+    | Enewarray (_, n) -> imm_uses n
+    | Elength x -> equal_local x l
+    | Einvoke inv ->
+        (match inv.i_recv with Some r -> equal_local r l | None -> false)
+        || List.exists imm_uses inv.i_args
+  in
+  match s.s_kind with
+  | Assign (lv, e) ->
+      (match lv with
+      | Llocal _ -> false
+      | Lfield (x, _) -> equal_local x l
+      | Lstatic _ -> false
+      | Larray (x, i) -> equal_local x l || imm_uses i)
+      || expr_uses e
+  | InvokeStmt inv ->
+      (match inv.i_recv with Some r -> equal_local r l | None -> false)
+      || List.exists imm_uses inv.i_args
+  | Identity _ -> false
+  | If (c, _) -> imm_uses c.c_left || imm_uses c.c_right
+  | Goto _ | Nop -> false
+  | Return (Some i) -> imm_uses i
+  | Return None -> false
+  | Throw i -> imm_uses i

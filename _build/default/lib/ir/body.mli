@@ -1,0 +1,41 @@
+(** Method bodies and their intra-procedural control-flow graphs.
+    Successor and predecessor maps are computed once at creation — the
+    backward alias analysis walks predecessors as often as the forward
+    analysis walks successors. *)
+
+open Stmt
+
+type t = {
+  locals : local list;
+  stmts : Stmt.t array;
+  succs : int list array;
+  preds : int list array;
+}
+
+exception Malformed of string
+
+val create : locals:local list -> Stmt.t list -> t
+(** [create ~locals stmts] re-indexes the statements and computes the
+    CFG.
+    @raise Malformed if a branch target is out of range or control can
+    fall off the end. *)
+
+val length : t -> int
+val stmt : t -> int -> Stmt.t
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val iter : t -> (Stmt.t -> unit) -> unit
+val fold : t -> (Stmt.t -> 'a -> 'a) -> 'a -> 'a
+
+val exit_stmts : t -> int list
+(** indices of all return/throw statements *)
+
+val find_tagged : t -> string -> Stmt.t list
+(** statements carrying a ground-truth marker *)
+
+val param_locals : t -> local option * (int * local) list
+(** the [@this] local (if bound) and the parameter-index→local map
+    from the identity statements *)
+
+val uses_local : Stmt.t -> local -> bool
+(** does the statement read the local in any operand position? *)

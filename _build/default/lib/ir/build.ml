@@ -1,0 +1,310 @@
+(** Builder DSL for µJimple programs.
+
+    The benchmark suites (DroidBench, SecuriBench-µ, the paper's
+    listings) are authored with this module.  It provides an imperative
+    per-method statement buffer with symbolic labels, interned locals,
+    and an automatic trailing [return], so that a benchmark app reads
+    close to the Java it mirrors:
+
+    {[
+      let cls =
+        Build.cls "de.ecspride.MainActivity" ~super:"android.app.Activity"
+          [ Build.meth "onCreate" ~params:[ Types.Ref "android.os.Bundle" ]
+              (fun m ->
+                let this = Build.this m in
+                let imei = Build.local m "imei" in
+                Build.vcall m ~ret:imei imei_src "getDeviceId" [];
+                Build.vcall m ~tag:"sink" sms "sendTextMessage"
+                  [ Build.s "+49 1234"; Build.v imei ]) ]
+    ]} *)
+
+open Types
+open Stmt
+
+type pending_kind =
+  | Pplain of Stmt.kind  (** no label targets inside *)
+  | Pif of cond * string
+  | Pgoto of string
+
+type pending = {
+  p_kind : pending_kind;
+  p_tag : string option;
+  mutable p_labels : string list;  (** labels attached to this statement *)
+}
+
+type mb = {
+  mb_class : string;  (** enclosing class, for [@this] identities *)
+  mutable mb_rev : pending list;
+  mb_locals : (string, local) Hashtbl.t;
+  mutable mb_order : local list;  (** declaration order, reversed *)
+  mutable mb_pending_labels : string list;
+}
+
+exception Build_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Build_error s)) fmt
+
+(* ---------------- immediates ---------------- *)
+
+(** [i n] is the integer constant [n] as an immediate. *)
+let i n = Iconst (CInt n)
+
+(** [s str] is the string constant [str]. *)
+let s str = Iconst (CStr str)
+
+(** [nul] is the null constant. *)
+let nul = Iconst CNull
+
+(** [v l] uses local [l] as an immediate operand. *)
+let v l = Iloc l
+
+(** [fld ?ty cls name] builds a field signature. *)
+let fld = Types.mk_field
+
+(* ---------------- locals ---------------- *)
+
+(** [local m ?ty name] interns the local [name] in method [m],
+    declaring it on first use. *)
+let local m ?(ty = Ref Types.object_class) name =
+  match Hashtbl.find_opt m.mb_locals name with
+  | Some l -> l
+  | None ->
+      let l = { l_name = name; l_type = ty } in
+      Hashtbl.replace m.mb_locals name l;
+      m.mb_order <- l :: m.mb_order;
+      l
+
+let push m ?tag kind =
+  let p = { p_kind = kind; p_tag = tag; p_labels = m.mb_pending_labels } in
+  m.mb_pending_labels <- [];
+  m.mb_rev <- p :: m.mb_rev
+
+(** [this m] binds and returns the receiver local via an [@this]
+    identity statement (idempotent). *)
+let this m =
+  match Hashtbl.find_opt m.mb_locals "this" with
+  | Some l -> l
+  | None ->
+      let l = local m ~ty:(Ref m.mb_class) "this" in
+      push m (Pplain (Identity (l, Ithis m.mb_class)));
+      l
+
+(** [param m n ?ty ?tag name] binds parameter [n] to a fresh local via
+    an identity statement.  [tag] marks the identity statement, used
+    when the parameter is a ground-truth source (callback parameter
+    sources). *)
+let param m n ?(ty = Ref Types.object_class) ?tag name =
+  let l = local m ~ty name in
+  push m ?tag (Pplain (Identity (l, Iparam n)));
+  l
+
+(* ---------------- straight-line statements ---------------- *)
+
+(** [set m ?tag x e] emits [x = e]. *)
+let set m ?tag x (e : expr) = push m ?tag (Pplain (Assign (Llocal x, e)))
+
+(** [move m x y] emits the local-to-local copy [x = y]. *)
+let move m ?tag x y = set m ?tag x (Eimm (Iloc y))
+
+(** [const m x c] emits [x = c] for an immediate constant. *)
+let const m ?tag x c = set m ?tag x (Eimm c)
+
+(** [load m x y f] emits the field load [x = y.f]. *)
+let load m ?tag x y f = set m ?tag x (Efield (y, f))
+
+(** [store m y f value] emits the field store [y.f = value]. *)
+let store m ?tag y f value = push m ?tag (Pplain (Assign (Lfield (y, f), Eimm value)))
+
+(** [loadstatic m x f] emits [x = static f]. *)
+let loadstatic m ?tag x f = set m ?tag x (Estatic f)
+
+(** [storestatic m f value] emits [static f = value]. *)
+let storestatic m ?tag f value =
+  push m ?tag (Pplain (Assign (Lstatic f, Eimm value)))
+
+(** [aload m x y idx] emits the array load [x = y\[idx\]]. *)
+let aload m ?tag x y idx = set m ?tag x (Earray (y, idx))
+
+(** [astore m y idx value] emits the array store [y\[idx\] = value]. *)
+let astore m ?tag y idx value =
+  push m ?tag (Pplain (Assign (Larray (y, idx), Eimm value)))
+
+(** [binop m x op a b] emits [x = a op b]. *)
+let binop m ?tag x op a b = set m ?tag x (Ebinop (op, a, b))
+
+(** [cast m x ty a] emits [x = (ty) a]. *)
+let cast m ?tag x ty a = set m ?tag x (Ecast (ty, a))
+
+(** [newobj m x cls] emits the bare allocation [x = new cls] (without
+    running a constructor; see {!newc}). *)
+let newobj m ?tag x cls = set m ?tag x (Enew cls)
+
+(** [newarray m x ty len] emits [x = newarray ty\[len\]]. *)
+let newarray m ?tag x ty len = set m ?tag x (Enewarray (ty, len))
+
+(* ---------------- calls ---------------- *)
+
+let mk_invoke kind recv cls name args ret_ty =
+  {
+    i_kind = kind;
+    i_sig =
+      {
+        m_class = cls;
+        m_name = name;
+        m_params = List.map (fun _ -> Ref Types.object_class) args;
+        m_ret = ret_ty;
+      };
+    i_recv = recv;
+    i_args = args;
+  }
+
+let emit_call m ?tag ?ret inv =
+  match ret with
+  | None -> push m ?tag (Pplain (InvokeStmt inv))
+  | Some x -> push m ?tag (Pplain (Assign (Llocal x, Einvoke inv)))
+
+(** [vcall m ?tag ?ret recv cls name args] emits a virtual call
+    [ret = virtualinvoke recv.cls#name(args)] (result discarded when
+    [ret] is absent). *)
+let vcall m ?tag ?ret recv cls name args =
+  let ret_ty = match ret with Some l -> l.l_type | None -> Ref Types.object_class in
+  emit_call m ?tag ?ret (mk_invoke Virtual (Some recv) cls name args ret_ty)
+
+(** [scall m ?tag ?ret cls name args] emits a static call. *)
+let scall m ?tag ?ret cls name args =
+  let ret_ty = match ret with Some l -> l.l_type | None -> Ref Types.object_class in
+  emit_call m ?tag ?ret (mk_invoke Static None cls name args ret_ty)
+
+(** [spcall m ?tag ?ret recv cls name args] emits a special call
+    (constructors, super calls). *)
+let spcall m ?tag ?ret recv cls name args =
+  let ret_ty = match ret with Some l -> l.l_type | None -> Ref Types.object_class in
+  emit_call m ?tag ?ret (mk_invoke Special (Some recv) cls name args ret_ty)
+
+(** [newc m x cls args] allocates [x = new cls] and invokes the
+    constructor [specialinvoke x.cls#<init>(args)]. *)
+let newc m ?tag x cls args =
+  newobj m ?tag x cls;
+  spcall m x cls "<init>" args
+
+(* ---------------- control flow ---------------- *)
+
+(** [label m name] attaches label [name] to the next emitted
+    statement. *)
+let label m name = m.mb_pending_labels <- name :: m.mb_pending_labels
+
+(** [ifgoto m a op b target] emits [if a op b goto target]. *)
+let ifgoto m ?tag a op b target =
+  push m ?tag (Pif ({ c_op = op; c_left = a; c_right = b }, target))
+
+(** [goto m target] emits an unconditional jump. *)
+let goto m ?tag target = push m ?tag (Pgoto target)
+
+(** [ret m] emits [return]. *)
+let ret m = push m (Pplain (Return None))
+
+(** [retv m value] emits [return value]. *)
+let retv m ?tag value = push m ?tag (Return (Some value) |> fun k -> Pplain k)
+
+(** [throw m value] emits [throw value]. *)
+let throw m ?tag value = push m ?tag (Pplain (Throw value))
+
+(** [nop m] emits a no-op (useful as a label anchor). *)
+let nop m = push m (Pplain Nop)
+
+(* ---------------- sealing ---------------- *)
+
+let seal m : Body.t =
+  (* ensure the body ends in a return; attach any dangling labels to it *)
+  let needs_ret =
+    match m.mb_rev with
+    | [] -> true
+    | p :: _ -> (
+        m.mb_pending_labels <> []
+        ||
+        match p.p_kind with
+        | Pplain (Return _ | Throw _) | Pgoto _ -> false
+        | _ -> true)
+  in
+  if needs_ret then push m (Pplain (Return None));
+  let pendings = Array.of_list (List.rev m.mb_rev) in
+  let labels = Hashtbl.create 7 in
+  Array.iteri
+    (fun idx p ->
+      List.iter
+        (fun l ->
+          if Hashtbl.mem labels l then err "duplicate label %S" l;
+          Hashtbl.replace labels l idx)
+        p.p_labels)
+    pendings;
+  let target l =
+    match Hashtbl.find_opt labels l with
+    | Some idx -> idx
+    | None -> err "undefined label %S" l
+  in
+  let stmts =
+    Array.to_list
+      (Array.map
+         (fun p ->
+           let kind =
+             match p.p_kind with
+             | Pplain k -> k
+             | Pif (c, l) -> If (c, target l)
+             | Pgoto l -> Goto (target l)
+           in
+           { s_idx = 0; s_kind = kind; s_tag = p.p_tag })
+         pendings)
+  in
+  Body.create ~locals:(List.rev m.mb_order) stmts
+
+(* ---------------- methods and classes ---------------- *)
+
+type mspec = string -> Jclass.jmethod
+(** A method under construction, awaiting its declaring class name. *)
+
+(** [meth name ?static ?params ?ret build] declares a method whose body
+    is produced by running [build] on a fresh builder. *)
+let meth name ?(static = false) ?(params = []) ?(ret = Void) build : mspec =
+ fun cls_name ->
+  let m =
+    {
+      mb_class = cls_name;
+      mb_rev = [];
+      mb_locals = Hashtbl.create 7;
+      mb_order = [];
+      mb_pending_labels = [];
+    }
+  in
+  build m;
+  let body = seal m in
+  Jclass.mk_method ~static
+    { m_class = cls_name; m_name = name; m_params = params; m_ret = ret }
+    ~body
+
+(** [abstract_meth name ?params ?ret] declares a bodyless abstract
+    method. *)
+let abstract_meth name ?(params = []) ?(ret = Void) : mspec =
+ fun cls_name ->
+  Jclass.mk_method ~abstract:true
+    { m_class = cls_name; m_name = name; m_params = params; m_ret = ret }
+
+(** [native_meth name ?static ?params ?ret] declares a native method
+    (handled by the taint engine's native-call rules). *)
+let native_meth name ?(static = false) ?(params = []) ?(ret = Void) : mspec =
+ fun cls_name ->
+  Jclass.mk_method ~static ~native:true
+    { m_class = cls_name; m_name = name; m_params = params; m_ret = ret }
+
+(** [cls name ?super ?interfaces ?fields specs] assembles a class from
+    method specs; [fields] is a list of [(name, type)] pairs. *)
+let cls name ?(super = Types.object_class) ?(interfaces = []) ?(fields = [])
+    specs : Jclass.t =
+  Jclass.mk name ~super:(Some super) ~interfaces
+    ~fields:
+      (List.map (fun (fn, ty) -> { f_class = name; f_name = fn; f_type = ty }) fields)
+    ~methods:(List.map (fun spec -> spec name) specs)
+
+(** [iface name ?extends specs] assembles an interface. *)
+let iface name ?(extends = []) specs : Jclass.t =
+  Jclass.mk name ~is_interface:true ~interfaces:extends
+    ~methods:(List.map (fun spec -> spec name) specs)

@@ -1,0 +1,190 @@
+(** The scene: the global class table and class-hierarchy queries.
+
+    Mirrors Soot's [Scene].  Classes referenced but never defined
+    (framework classes beyond the modelled skeleton, third-party
+    libraries) are treated as *phantom*: they exist in the hierarchy
+    directly below [java.lang.Object] unless a skeleton entry says
+    otherwise, and their methods have no bodies. *)
+
+open Jclass
+
+type t = { classes : (string, Jclass.t) Hashtbl.t }
+
+exception Duplicate_class of string
+
+let create () = { classes = Hashtbl.create 97 }
+
+(** [add_class t c] registers [c].
+    @raise Duplicate_class if a class of the same name exists. *)
+let add_class t (c : Jclass.t) =
+  if Hashtbl.mem t.classes c.c_name then raise (Duplicate_class c.c_name);
+  Hashtbl.replace t.classes c.c_name c
+
+(** [add_or_replace t c] registers [c], replacing any previous
+    definition — used to upgrade a phantom skeleton entry to a real
+    class. *)
+let add_or_replace t (c : Jclass.t) = Hashtbl.replace t.classes c.c_name c
+
+(** [find_class t name] is the registered class, if any. *)
+let find_class t name = Hashtbl.find_opt t.classes name
+
+(** [mem t name] holds when [name] is registered. *)
+let mem t name = Hashtbl.mem t.classes name
+
+(** [resolve t name] is like {!find_class} but materialises a phantom
+    class (extending [java.lang.Object]) on a miss. *)
+let resolve t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some c -> c
+  | None ->
+      let c = Jclass.mk ~phantom:true name in
+      Hashtbl.replace t.classes name c;
+      c
+
+(** [all_classes t] lists every registered class (unspecified order). *)
+let all_classes t = Hashtbl.fold (fun _ c acc -> c :: acc) t.classes []
+
+(** [application_classes t] lists non-phantom classes: the code under
+    analysis. *)
+let application_classes t =
+  List.filter (fun c -> not c.c_phantom) (all_classes t)
+
+(** [superclasses t name] is the chain of strict superclasses of
+    [name], nearest first, ending at [java.lang.Object].  Cycles in
+    malformed input are cut off rather than looping. *)
+let superclasses t name =
+  let rec go seen acc name =
+    match find_class t name with
+    | Some { c_super = Some s; _ } when not (List.mem s seen) ->
+        go (s :: seen) (s :: acc) s
+    | Some _ -> acc
+    | None ->
+        if name = Types.object_class || List.mem Types.object_class seen then
+          acc
+        else Types.object_class :: acc
+  in
+  List.rev (go [ name ] [] name)
+
+let rec interfaces_closure t seen name =
+  if List.mem name !seen then ()
+  else begin
+    seen := name :: !seen;
+    match find_class t name with
+    | None -> ()
+    | Some c ->
+        List.iter (interfaces_closure t seen) c.c_interfaces;
+        (match c.c_super with
+        | Some s -> interfaces_closure t seen s
+        | None -> ())
+  end
+
+(** [supertypes t name] is all strict and non-strict supertypes of
+    [name]: the class itself, its superclasses, and all transitively
+    implemented interfaces. *)
+let supertypes t name =
+  let seen = ref [] in
+  interfaces_closure t seen name;
+  if List.mem Types.object_class !seen then !seen
+  else Types.object_class :: !seen
+
+(** [is_subtype t sub sup] decides the subtype relation, treating every
+    class as a subtype of [java.lang.Object] and of itself. *)
+let is_subtype t sub sup =
+  String.equal sub sup
+  || String.equal sup Types.object_class
+  || List.mem sup (supertypes t sub)
+
+(** [subtypes t name] is every *registered* class that is a subtype of
+    [name] (including [name] itself if registered).  This is the
+    class-cone CHA uses to enumerate dispatch targets. *)
+let subtypes t name =
+  List.filter (fun c -> is_subtype t c.c_name name) (all_classes t)
+
+(** [resolve_concrete t cls subsig] walks the superclass chain starting
+    at [cls] looking for a concrete (non-abstract) declaration of
+    [subsig]; this is runtime virtual dispatch for an exact receiver
+    class. *)
+let resolve_concrete t cls (name, params) =
+  let rec go cls =
+    match find_class t cls with
+    | None -> None
+    | Some c -> (
+        match Jclass.find_method c name params with
+        | Some m when not m.jm_abstract -> Some (c, m)
+        | _ -> ( match c.c_super with Some s -> go s | None -> None))
+  in
+  go cls
+
+(** [resolve_concrete_named t cls name] is {!resolve_concrete} matching
+    on the method name only (used where parameter types are not
+    statically known). *)
+let resolve_concrete_named t cls name =
+  let rec go cls =
+    match find_class t cls with
+    | None -> None
+    | Some c -> (
+        match Jclass.find_method_named c name with
+        | Some m when not m.jm_abstract -> Some (c, m)
+        | _ -> ( match c.c_super with Some s -> go s | None -> None))
+  in
+  go cls
+
+(** [dispatch_targets t ~static_type subsig] enumerates the concrete
+    methods a virtual call with declared receiver type [static_type]
+    may dispatch to, per Class Hierarchy Analysis: for every registered
+    subtype of [static_type], the concrete resolution of [subsig].
+    Duplicates (inherited methods shared by several subclasses) are
+    collapsed. *)
+let dispatch_targets t ~static_type ((name, params) as subsig) =
+  ignore params;
+  let seen = Hashtbl.create 7 in
+  let cone = subtypes t static_type in
+  let cone =
+    (* the static type itself might be unregistered (phantom on the fly) *)
+    if List.exists (fun c -> c.c_name = static_type) cone then cone
+    else
+      match find_class t static_type with
+      | Some c -> c :: cone
+      | None -> cone
+  in
+  List.filter_map
+    (fun c ->
+      if c.c_is_interface then None
+      else
+        match resolve_concrete t c.c_name subsig with
+        | Some (decl, m) ->
+            let key = (decl.c_name, name) in
+            if Hashtbl.mem seen key then None
+            else begin
+              Hashtbl.replace seen key ();
+              Some (decl, m)
+            end
+        | None -> None)
+    cone
+
+(** [find_method t msig] resolves a method signature to its declaration
+    by exact class lookup followed by a walk up the hierarchy. *)
+let find_method t (msig : Types.method_sig) =
+  match
+    resolve_concrete t msig.m_class (msig.m_name, msig.m_params)
+  with
+  | Some (c, m) -> Some (c, m)
+  | None -> (
+      (* abstract/interface declarations still resolve for signature
+         purposes *)
+      match find_class t msig.m_class with
+      | Some c -> (
+          match Jclass.find_method c msig.m_name msig.m_params with
+          | Some m -> Some (c, m)
+          | None -> None)
+      | None -> None)
+
+(** [methods_with_bodies t] lists every (class, method) pair carrying
+    code, the analysable universe. *)
+let methods_with_bodies t =
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (fun m -> if Jclass.has_body m then Some (c, m) else None)
+        c.c_methods)
+    (all_classes t)

@@ -1,0 +1,146 @@
+(** Types and symbol signatures for the µJimple IR.
+
+    µJimple is this repository's stand-in for Soot's Jimple: a typed,
+    three-address intermediate representation at exactly the level
+    FlowDroid's analyses operate on.  Signatures identify fields and
+    methods globally, as in Jimple's [<class: type name>] notation. *)
+
+type typ =
+  | Void
+  | Bool
+  | Char
+  | Int
+  | Long
+  | Float
+  | Double
+  | Ref of string  (** a class or interface type, by fully-qualified name *)
+  | Array of typ
+
+let rec equal_typ a b =
+  match (a, b) with
+  | Void, Void | Bool, Bool | Char, Char | Int, Int | Long, Long
+  | Float, Float | Double, Double ->
+      true
+  | Ref x, Ref y -> String.equal x y
+  | Array x, Array y -> equal_typ x y
+  | _ -> false
+
+let rec compare_typ a b =
+  let rank = function
+    | Void -> 0 | Bool -> 1 | Char -> 2 | Int -> 3 | Long -> 4
+    | Float -> 5 | Double -> 6 | Ref _ -> 7 | Array _ -> 8
+  in
+  match (a, b) with
+  | Ref x, Ref y -> String.compare x y
+  | Array x, Array y -> compare_typ x y
+  | _ -> Int.compare (rank a) (rank b)
+
+(** [string_of_typ t] renders [t] in Java source syntax,
+    e.g. ["int"], ["java.lang.String"], ["byte[]"]. *)
+let rec string_of_typ = function
+  | Void -> "void"
+  | Bool -> "boolean"
+  | Char -> "char"
+  | Int -> "int"
+  | Long -> "long"
+  | Float -> "float"
+  | Double -> "double"
+  | Ref c -> c
+  | Array t -> string_of_typ t ^ "[]"
+
+(** [typ_of_string s] inverts {!string_of_typ}; any dotted or plain
+    identifier that is not a primitive name is read as a class type. *)
+let rec typ_of_string s =
+  let n = String.length s in
+  if n > 2 && String.sub s (n - 2) 2 = "[]" then
+    Array (typ_of_string (String.sub s 0 (n - 2)))
+  else
+    match s with
+    | "void" -> Void
+    | "boolean" -> Bool
+    | "char" -> Char
+    | "int" -> Int
+    | "long" -> Long
+    | "float" -> Float
+    | "double" -> Double
+    | c -> Ref c
+
+(** [is_primitive t] holds for non-reference, non-array, non-void
+    types. *)
+let is_primitive = function
+  | Bool | Char | Int | Long | Float | Double -> true
+  | Void | Ref _ | Array _ -> false
+
+let pp_typ fmt t = Format.pp_print_string fmt (string_of_typ t)
+
+(* ------------------------------------------------------------------ *)
+
+type field_sig = {
+  f_class : string;  (** declaring class *)
+  f_name : string;
+  f_type : typ;
+}
+(** A global field identifier, written [class#name] in the textual
+    format. *)
+
+let equal_field_sig a b =
+  String.equal a.f_class b.f_class && String.equal a.f_name b.f_name
+
+let compare_field_sig a b =
+  match String.compare a.f_class b.f_class with
+  | 0 -> String.compare a.f_name b.f_name
+  | c -> c
+
+let mk_field ?(ty = Ref "java.lang.Object") f_class f_name =
+  { f_class; f_name; f_type = ty }
+
+let string_of_field_sig f = Printf.sprintf "%s#%s" f.f_class f.f_name
+let pp_field_sig fmt f = Format.pp_print_string fmt (string_of_field_sig f)
+
+(* ------------------------------------------------------------------ *)
+
+type method_sig = {
+  m_class : string;  (** declaring (or statically-resolved) class *)
+  m_name : string;
+  m_params : typ list;
+  m_ret : typ;
+}
+(** A global method identifier.  Virtual dispatch resolves the same
+    sub-signature (name, params, return) against the runtime class. *)
+
+let equal_method_sig a b =
+  String.equal a.m_class b.m_class
+  && String.equal a.m_name b.m_name
+  && List.length a.m_params = List.length b.m_params
+  && List.for_all2 equal_typ a.m_params b.m_params
+
+let compare_method_sig a b =
+  match String.compare a.m_class b.m_class with
+  | 0 -> (
+      match String.compare a.m_name b.m_name with
+      | 0 -> List.compare compare_typ a.m_params b.m_params
+      | c -> c)
+  | c -> c
+
+(** [sub_signature m] identifies [m] up to the declaring class: the key
+    used when resolving overrides along the class hierarchy. *)
+let sub_signature m = (m.m_name, m.m_params)
+
+let equal_sub_signature a b =
+  String.equal a.m_name b.m_name
+  && List.length a.m_params = List.length b.m_params
+  && List.for_all2 equal_typ a.m_params b.m_params
+
+let mk_method ?(params = []) ?(ret = Void) m_class m_name =
+  { m_class; m_name; m_params = params; m_ret = ret }
+
+let string_of_method_sig m =
+  Printf.sprintf "<%s: %s %s(%s)>" m.m_class (string_of_typ m.m_ret) m.m_name
+    (String.concat "," (List.map string_of_typ m.m_params))
+
+let pp_method_sig fmt m = Format.pp_print_string fmt (string_of_method_sig m)
+
+(** Well-known class names used throughout the Android model. *)
+let object_class = "java.lang.Object"
+
+let string_class = "java.lang.String"

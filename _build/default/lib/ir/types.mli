@@ -1,0 +1,69 @@
+(** Types and symbol signatures for the µJimple IR (the Jimple-level
+    representation all analysis phases operate on). *)
+
+type typ =
+  | Void
+  | Bool
+  | Char
+  | Int
+  | Long
+  | Float
+  | Double
+  | Ref of string  (** class or interface type, fully-qualified *)
+  | Array of typ
+
+val equal_typ : typ -> typ -> bool
+val compare_typ : typ -> typ -> int
+
+val string_of_typ : typ -> string
+(** Java source syntax: ["int"], ["java.lang.String"], ["byte[]"] *)
+
+val typ_of_string : string -> typ
+(** inverse of {!string_of_typ}; unknown names read as class types *)
+
+val is_primitive : typ -> bool
+val pp_typ : Format.formatter -> typ -> unit
+
+type field_sig = {
+  f_class : string;  (** declaring class *)
+  f_name : string;
+  f_type : typ;
+}
+(** global field identifier, written [class#name] in the textual
+    format *)
+
+val equal_field_sig : field_sig -> field_sig -> bool
+(** by declaring class and name *)
+
+val compare_field_sig : field_sig -> field_sig -> int
+val mk_field : ?ty:typ -> string -> string -> field_sig
+val string_of_field_sig : field_sig -> string
+val pp_field_sig : Format.formatter -> field_sig -> unit
+
+type method_sig = {
+  m_class : string;  (** declaring (or statically-resolved) class *)
+  m_name : string;
+  m_params : typ list;
+  m_ret : typ;
+}
+
+val equal_method_sig : method_sig -> method_sig -> bool
+val compare_method_sig : method_sig -> method_sig -> int
+
+val sub_signature : method_sig -> string * typ list
+(** identity up to the declaring class: the key for override
+    resolution *)
+
+val equal_sub_signature : method_sig -> method_sig -> bool
+val mk_method : ?params:typ list -> ?ret:typ -> string -> string -> method_sig
+
+val string_of_method_sig : method_sig -> string
+(** Jimple style: ["<a.B: void foo(int,java.lang.String)>"] *)
+
+val pp_method_sig : Format.formatter -> method_sig -> unit
+
+val object_class : string
+(** ["java.lang.Object"] *)
+
+val string_class : string
+(** ["java.lang.String"] *)

@@ -1,0 +1,1 @@
+lib/lifecycle/callbacks.ml: Body Callgraph Fd_callgraph Fd_frontend Fd_ir Hashtbl Jclass Lifecycle List Mkey Scene Stmt Types

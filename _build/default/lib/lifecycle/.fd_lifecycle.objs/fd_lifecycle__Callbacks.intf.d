@@ -1,0 +1,1 @@
+lib/lifecycle/callbacks.mli: Fd_callgraph Fd_frontend Fd_ir Jclass Mkey Scene

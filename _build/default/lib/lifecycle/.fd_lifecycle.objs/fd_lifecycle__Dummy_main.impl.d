@@ -1,0 +1,1 @@
+lib/lifecycle/dummy_main.ml: Build Callbacks Fd_callgraph Fd_frontend Fd_ir Hashtbl Jclass Lifecycle List Mkey Printf Scene Stmt Types

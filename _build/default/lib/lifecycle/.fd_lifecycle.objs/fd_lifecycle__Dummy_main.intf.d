@@ -1,0 +1,1 @@
+lib/lifecycle/dummy_main.mli: Callbacks Fd_callgraph Fd_ir Mkey Scene Types

@@ -1,0 +1,1 @@
+lib/lifecycle/lifecycle.ml: Fd_frontend Fd_ir Jclass List Scene Types

@@ -1,0 +1,278 @@
+(** Callback discovery (Section 3, "Callbacks").
+
+    For each component the paper's algorithm:
+
+    + builds a call graph starting at the component's implemented
+      lifecycle methods;
+    + scans reachable code for (a) imperative registrations — calls to
+      well-known framework registration methods taking a callback
+      interface — (b) [setContentView]/XML-declared handlers, and
+      (c) overridden framework methods;
+    + extends the entry set with the discovered handlers and repeats
+      until a fixed point, because callback handlers may register
+      further callbacks.
+
+    The per-component association this produces ("a button-click
+    handler is analysed only in the context of its activity") is what
+    distinguishes the precise dummy main from a global
+    all-callbacks-everywhere model; the [~per_component:false] ablation
+    reproduces the imprecise variant for the benchmarks. *)
+
+open Fd_ir
+open Fd_callgraph
+module FW = Fd_frontend.Framework
+
+type callback = {
+  cb_class : string;  (** class declaring the handler implementation *)
+  cb_method : Jclass.jmethod;
+  cb_on_component : bool;
+      (** handler lives on the component class itself (invoked on the
+          component instance rather than on a fresh listener) *)
+  cb_kind : kind;
+}
+
+and kind =
+  | Registered of string  (** via a registration call; payload = interface *)
+  | Xml_declared  (** android:onClick in a layout file *)
+  | Overridden  (** overrides a framework method *)
+
+type component_callbacks = {
+  cc_component : string;
+  cc_kind : FW.component_kind;
+  cc_lifecycle : Mkey.t list;  (** implemented lifecycle entry points *)
+  cc_callbacks : callback list;
+  cc_listener_classes : string list;
+      (** non-component classes whose instances receive callbacks; the
+          dummy main instantiates them *)
+  cc_async_tasks : string list;
+      (** AsyncTask subclasses executed by this component: the dummy
+          main drives [doInBackground] and feeds its result into
+          [onPostExecute] (extension feature) *)
+  cc_fragments : string list;
+      (** Fragment subclasses this component instantiates: the dummy
+          main runs their lifecycle attached to the component
+          (extension feature) *)
+}
+
+(* collect classes instantiated in the bodies reachable from [cg] *)
+let instantiated_classes cg =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun k ->
+      match Callgraph.body_of cg k with
+      | exception Not_found -> ()
+      | body ->
+          Body.iter body (fun s ->
+              match s.Stmt.s_kind with
+              | Stmt.Assign (_, Stmt.Enew c) -> Hashtbl.replace seen c ()
+              | _ -> ()))
+    (Callgraph.reachable_methods cg);
+  Hashtbl.fold (fun c () acc -> c :: acc) seen []
+
+(* scan reachable bodies for registration calls; returns the
+   interfaces that got a listener registered *)
+let registered_interfaces cg =
+  let ifaces = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      match Callgraph.body_of cg k with
+      | exception Not_found -> ()
+      | body ->
+          Body.iter body (fun s ->
+              match Stmt.invoke_of s with
+              | Some inv -> (
+                  match
+                    FW.registered_interface inv.Stmt.i_sig.Types.m_name
+                  with
+                  | Some iface -> Hashtbl.replace ifaces iface ()
+                  | None -> ())
+              | None -> ()))
+    (Callgraph.reachable_methods cg);
+  Hashtbl.fold (fun i () acc -> i :: acc) ifaces []
+
+(* layouts a component installs via setContentView(const) *)
+let layouts_used cg (layout : Fd_frontend.Layout.t) =
+  let used = ref [] in
+  List.iter
+    (fun k ->
+      match Callgraph.body_of cg k with
+      | exception Not_found -> ()
+      | body ->
+          Body.iter body (fun s ->
+              match Stmt.invoke_of s with
+              | Some inv
+                when inv.Stmt.i_sig.Types.m_name = "setContentView" -> (
+                  match inv.Stmt.i_args with
+                  | [ Stmt.Iconst (Stmt.CInt id) ] ->
+                      List.iter
+                        (fun (name, lid) ->
+                          if lid = id && not (List.mem name !used) then
+                            used := name :: !used)
+                        layout.Fd_frontend.Layout.layouts
+                  | _ -> ())
+              | _ -> ()))
+    (Callgraph.reachable_methods cg);
+  !used
+
+(** [discover scene layout ~component ~kind] runs the iterative
+    discovery for one component and returns its callback set. *)
+let discover scene (layout : Fd_frontend.Layout.t) ~component ~kind =
+  let lifecycle =
+    Lifecycle.implemented_methods scene component kind
+    |> List.map (fun (decl, m) -> Mkey.of_method decl m)
+  in
+  let found : (string * string, callback) Hashtbl.t = Hashtbl.create 8 in
+  let key (cb : callback) = (cb.cb_class, cb.cb_method.Jclass.jm_sig.Types.m_name) in
+  let add cb =
+    if Hashtbl.mem found (key cb) then false
+    else begin
+      Hashtbl.replace found (key cb) cb;
+      true
+    end
+  in
+  (* (c) overridden framework methods: independent of reachability *)
+  List.iter
+    (fun m ->
+      ignore
+        (add
+           {
+             cb_class = component;
+             cb_method = m;
+             cb_on_component = true;
+             cb_kind = Overridden;
+           }))
+    (FW.overridden_framework_callbacks scene component);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let entry =
+      lifecycle
+      @ List.map
+          (fun (_, cb) ->
+            Mkey.of_sig
+              { cb.cb_method.Jclass.jm_sig with Types.m_class = cb.cb_class })
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) found [])
+    in
+    if entry <> [] then begin
+      let cg = Callgraph.build scene ~entry () in
+      (* (a) imperative registrations *)
+      let ifaces = registered_interfaces cg in
+      let insts = component :: instantiated_classes cg in
+      List.iter
+        (fun iface ->
+          List.iter
+            (fun cls ->
+              if Scene.is_subtype scene cls iface then
+                List.iter
+                  (fun (iname, decl, meth) ->
+                    if iname = iface then
+                      let cb =
+                        {
+                          cb_class = cls;
+                          cb_method = meth;
+                          cb_on_component = cls = component;
+                          cb_kind = Registered iface;
+                        }
+                      in
+                      ignore decl;
+                      if add cb then changed := true)
+                  (FW.callback_methods_of scene cls))
+            insts)
+        ifaces;
+      (* (b) XML-declared handlers in the layouts this component
+         installs: handlers are methods on the component class taking a
+         View *)
+      List.iter
+        (fun lname ->
+          List.iter
+            (fun handler ->
+              match Scene.resolve_concrete_named scene component handler with
+              | Some (decl, meth)
+                when Jclass.has_body meth && not decl.Jclass.c_phantom ->
+                  let cb =
+                    {
+                      cb_class = component;
+                      cb_method = meth;
+                      cb_on_component = true;
+                      cb_kind = Xml_declared;
+                    }
+                  in
+                  if add cb then changed := true
+              | _ -> ())
+            (Fd_frontend.Layout.xml_callbacks layout lname))
+        (layouts_used cg layout)
+    end
+  done;
+  (* extension features: AsyncTask subclasses that reachable code
+     executes, and Fragment subclasses it instantiates *)
+  let final_entry =
+    lifecycle
+    @ List.map
+        (fun (_, cb) ->
+          Mkey.of_sig
+            { cb.cb_method.Jclass.jm_sig with Types.m_class = cb.cb_class })
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) found [])
+  in
+  let async_tasks, fragments =
+    if final_entry = [] then ([], [])
+    else begin
+      let cg = Callgraph.build scene ~entry:final_entry () in
+      let insts = instantiated_classes cg in
+      let executes_task =
+        List.exists
+          (fun k ->
+            match Callgraph.body_of cg k with
+            | exception Not_found -> false
+            | body ->
+                Body.fold body
+                  (fun s acc ->
+                    acc
+                    ||
+                    match Stmt.invoke_of s with
+                    | Some inv -> inv.Stmt.i_sig.Types.m_name = "execute"
+                    | None -> false)
+                  false)
+          (Callgraph.reachable_methods cg)
+      in
+      let tasks =
+        if executes_task then
+          List.filter
+            (fun c -> Scene.is_subtype scene c FW.async_task_class)
+            insts
+        else []
+      in
+      let frags =
+        List.filter (fun c -> Scene.is_subtype scene c FW.fragment_class) insts
+      in
+      (List.sort_uniq compare tasks, List.sort_uniq compare frags)
+    end
+  in
+  let callbacks = Hashtbl.fold (fun _ cb acc -> cb :: acc) found [] in
+  let listener_classes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun cb -> if cb.cb_on_component then None else Some cb.cb_class)
+         callbacks)
+  in
+  {
+    cc_component = component;
+    cc_kind = kind;
+    cc_lifecycle = lifecycle;
+    cc_callbacks =
+      List.sort
+        (fun a b -> compare (key a) (key b))
+        callbacks;
+    cc_listener_classes = listener_classes;
+    cc_async_tasks = async_tasks;
+    cc_fragments = fragments;
+  }
+
+(** [discover_all loaded] runs discovery for every enabled component of
+    a loaded app. *)
+let discover_all (loaded : Fd_frontend.Apk.loaded) =
+  List.map
+    (fun (c : Fd_frontend.Manifest.component) ->
+      discover loaded.Fd_frontend.Apk.scene loaded.Fd_frontend.Apk.layout
+        ~component:c.Fd_frontend.Manifest.comp_class
+        ~kind:c.Fd_frontend.Manifest.comp_kind)
+    loaded.Fd_frontend.Apk.components

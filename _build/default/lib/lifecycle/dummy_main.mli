@@ -1,0 +1,36 @@
+(** Dummy-main generation (Section 3, Figure 1).
+
+    Synthesises the per-app entry point in which all components run in
+    an arbitrary sequential order with repetition, each activity runs
+    Figure 1's lifecycle with its associated callbacks between resume
+    and pause, and — as extension features — fragments run attached to
+    their host and AsyncTasks run with the background result feeding
+    [onPostExecute].  All branching is on an opaque static-field read
+    that no analysis stage evaluates. *)
+
+open Fd_ir
+open Fd_callgraph
+
+val dummy_class_name : string
+(** ["dummyMainClass"] *)
+
+val dummy_method_name : string
+(** ["dummyMain"] *)
+
+val opaque_field : Types.field_sig
+(** the opaque predicate: a static int field of the dummy class *)
+
+val generate : Scene.t -> Callbacks.component_callbacks list -> Mkey.t
+(** [generate scene ccs] builds the dummy-main class for the given
+    per-component callback sets, registers it in [scene] (replacing a
+    previous one), and returns the entry-point key. *)
+
+val entry_of_plain_methods : Mkey.t list -> Mkey.t list
+(** identity — explicit entry points for non-Android programs *)
+
+val generate_plain : Scene.t -> Mkey.t list -> Mkey.t
+(** [generate_plain scene entries] is the non-Android equivalent
+    (FlowDroid's default entry-point creator): all given entry methods
+    callable in any sequential order and number behind opaque
+    branches — what lets static-field flows connect separately
+    declared entry points (SecuriBench's Inter group). *)

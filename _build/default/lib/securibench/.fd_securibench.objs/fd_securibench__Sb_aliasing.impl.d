@@ -1,0 +1,1 @@
+lib/securibench/sb_aliasing.ml: Build Fd_ir Sb_case Types

@@ -1,0 +1,1 @@
+lib/securibench/sb_arrays.ml: Build Fd_ir Jclass List Sb_case Types

@@ -1,0 +1,1 @@
+lib/securibench/sb_basic.ml: Build Fd_ir Fun List Printf Sb_case Stmt Types

@@ -1,0 +1,1 @@
+lib/securibench/sb_case.ml: Build Fd_ir Jclass Types

@@ -1,0 +1,1 @@
+lib/securibench/sb_misc_groups.ml: Build Fd_ir List Printf Sb_case Stmt Types

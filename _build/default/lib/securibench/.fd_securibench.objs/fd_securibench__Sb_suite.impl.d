@@ -1,0 +1,1 @@
+lib/securibench/sb_suite.ml: List Sb_aliasing Sb_arrays Sb_basic Sb_case Sb_collections Sb_misc_groups

@@ -1,0 +1,110 @@
+(** SecuriBench-µ group "Arrays": 9 expected leaks; the whole-array
+    abstraction additionally reports 6 false positives on reads of
+    clean elements (Table 2: TP 9/9, FP 6). *)
+
+open Sb_case
+open Fd_ir
+module B = Build
+module T = Types
+
+let e1 src sink = [ (Some src, sink) ]
+
+(* a real leak plus a clean-element read that whole-array tainting
+   cannot dismiss *)
+let mixed name =
+  simple name ~group:"Arrays"
+    ~comment:
+      "tainted and clean elements in one array: the clean read is a \
+       whole-array false positive"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let arr = B.local m "arr" ~ty:(T.Array str_t) in
+      let x = B.local m "x" in
+      let y = B.local m "y" and z = B.local m "z" in
+      B.newarray m arr str_t (B.i 4);
+      B.astore m arr (B.i 0) (B.s "clean");
+      get_param m ~tag:"s" req x;
+      B.astore m arr (B.i 1) (B.v x);
+      B.aload m y arr (B.i 1);
+      println m ~tag:"k" out (B.v y);
+      (* false-positive read *)
+      B.aload m z arr (B.i 0);
+      println m ~tag:"k-clean" out (B.v z))
+
+let arrays1 = mixed "Arrays1"
+let arrays2 = mixed "Arrays2"
+let arrays3 = mixed "Arrays3"
+let arrays4 = mixed "Arrays4"
+let arrays5 = mixed "Arrays5"
+let arrays6 = mixed "Arrays6"
+
+let arrays7 =
+  simple "Arrays7" ~group:"Arrays" ~comment:"store and read the same slot"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let arr = B.local m "arr" ~ty:(T.Array str_t) in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newarray m arr str_t (B.i 1);
+      get_param m ~tag:"s" req x;
+      B.astore m arr (B.i 0) (B.v x);
+      B.aload m y arr (B.i 0);
+      println m ~tag:"k" out (B.v y))
+
+let arrays8 =
+  simple "Arrays8" ~group:"Arrays" ~comment:"array passed through a call"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let arr = B.local m "arr" ~ty:(T.Array str_t) in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newarray m arr str_t (B.i 2);
+      get_param m ~tag:"s" req x;
+      B.astore m arr (B.i 0) (B.v x);
+      B.scall m ~ret:y "securibench.Arrays8" "first" [ B.v arr ];
+      println m ~tag:"k" out (B.v y))
+
+let arrays8 =
+  {
+    arrays8 with
+    sb_classes =
+      B.cls "securibench.Arrays8Helper" []
+      :: List.map
+           (fun (c : Jclass.t) ->
+             if c.Jclass.c_name = "securibench.Arrays8" then
+               { c with
+                 Jclass.c_methods =
+                   c.Jclass.c_methods
+                   @ [
+                       (B.meth "first" ~static:true
+                          ~params:[ T.Array str_t ] ~ret:str_t (fun m ->
+                            let a = B.param m 0 "a" in
+                            let r = B.local m "r" in
+                            B.aload m r a (B.i 0);
+                            B.retv m (B.v r)))
+                         "securibench.Arrays8";
+                     ];
+               }
+             else c)
+           arrays8.sb_classes;
+  }
+
+let arrays9 =
+  simple "Arrays9" ~group:"Arrays"
+    ~comment:"copy between arrays via System.arraycopy"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let a = B.local m "a" ~ty:(T.Array str_t) in
+      let b = B.local m "b" ~ty:(T.Array str_t) in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newarray m a str_t (B.i 2);
+      B.newarray m b str_t (B.i 2);
+      get_param m ~tag:"s" req x;
+      B.astore m a (B.i 0) (B.v x);
+      B.scall m "java.lang.System" "arraycopy"
+        [ B.v a; B.i 0; B.v b; B.i 0; B.i 2 ];
+      B.aload m y b (B.i 0);
+      println m ~tag:"k" out (B.v y))
+
+(* 6 mixed (1 TP + 1 FP each) + 3 plain = 9 TP, 6 FP *)
+let all =
+  [ arrays1; arrays2; arrays3; arrays4; arrays5; arrays6; arrays7; arrays8;
+    arrays9 ]

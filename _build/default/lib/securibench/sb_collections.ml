@@ -1,0 +1,236 @@
+(** SecuriBench-µ group "Collections": 14 expected leaks through the
+    container model; the whole-container abstraction adds 3 false
+    positives (Table 2: 14/14, FP 3). *)
+
+open Sb_case
+open Fd_ir
+module B = Build
+module T = Types
+
+let e1 src sink = [ (Some src, sink) ]
+
+let collections1 =
+  simple "Collections1" ~group:"Collections" ~comment:"list add/get"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let l = B.local m "l" ~ty:(T.Ref "java.util.ArrayList") in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newc m l "java.util.ArrayList" [];
+      get_param m ~tag:"s" req x;
+      B.vcall m l "java.util.ArrayList" "add" [ B.v x ];
+      B.vcall m ~ret:y l "java.util.ArrayList" "get" [ B.i 0 ];
+      println m ~tag:"k" out (B.v y))
+
+let collections2 =
+  simple "Collections2" ~group:"Collections" ~comment:"map put/get (same key)"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let h = B.local m "h" ~ty:(T.Ref "java.util.HashMap") in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newc m h "java.util.HashMap" [];
+      get_param m ~tag:"s" req x;
+      B.vcall m h "java.util.HashMap" "put" [ B.s "key"; B.v x ];
+      B.vcall m ~ret:y h "java.util.HashMap" "get" [ B.s "key" ];
+      println m ~tag:"k" out (B.v y))
+
+let collections3 =
+  simple "Collections3" ~group:"Collections"
+    ~comment:"map with distinct keys: the clean-key read is a \
+              whole-container false positive"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let h = B.local m "h" ~ty:(T.Ref "java.util.HashMap") in
+      let x = B.local m "x" and y = B.local m "y" and z = B.local m "z" in
+      B.newc m h "java.util.HashMap" [];
+      B.vcall m h "java.util.HashMap" "put" [ B.s "clean"; B.s "harmless" ];
+      get_param m ~tag:"s" req x;
+      B.vcall m h "java.util.HashMap" "put" [ B.s "dirty"; B.v x ];
+      B.vcall m ~ret:y h "java.util.HashMap" "get" [ B.s "dirty" ];
+      println m ~tag:"k" out (B.v y);
+      B.vcall m ~ret:z h "java.util.HashMap" "get" [ B.s "clean" ];
+      println m ~tag:"k-clean" out (B.v z))
+
+let collections4 =
+  simple "Collections4" ~group:"Collections" ~comment:"iterator traversal"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let l = B.local m "l" ~ty:(T.Ref "java.util.LinkedList") in
+      let it = B.local m "it" ~ty:(T.Ref "java.util.Iterator") in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newc m l "java.util.LinkedList" [];
+      get_param m ~tag:"s" req x;
+      B.vcall m l "java.util.LinkedList" "add" [ B.v x ];
+      B.vcall m ~ret:it l "java.util.LinkedList" "iterator" [];
+      B.vcall m ~ret:y it "java.util.Iterator" "next" [];
+      println m ~tag:"k" out (B.v y))
+
+let collections5 =
+  simple "Collections5" ~group:"Collections" ~comment:"set membership"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let st = B.local m "st" ~ty:(T.Ref "java.util.HashSet") in
+      let it = B.local m "it" ~ty:(T.Ref "java.util.Iterator") in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newc m st "java.util.HashSet" [];
+      get_param m ~tag:"s" req x;
+      B.vcall m st "java.util.HashSet" "add" [ B.v x ];
+      B.vcall m ~ret:it st "java.util.HashSet" "iterator" [];
+      B.vcall m ~ret:y it "java.util.Iterator" "next" [];
+      println m ~tag:"k" out (B.v y))
+
+let collections6 =
+  simple "Collections6" ~group:"Collections"
+    ~comment:"list index confusion: clean slot read still flagged \
+              (false positive)"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let l = B.local m "l" ~ty:(T.Ref "java.util.ArrayList") in
+      let x = B.local m "x" and y = B.local m "y" and z = B.local m "z" in
+      B.newc m l "java.util.ArrayList" [];
+      B.vcall m l "java.util.ArrayList" "add" [ B.s "benign" ];
+      get_param m ~tag:"s" req x;
+      B.vcall m l "java.util.ArrayList" "add" [ B.v x ];
+      B.vcall m ~ret:y l "java.util.ArrayList" "get" [ B.i 1 ];
+      println m ~tag:"k" out (B.v y);
+      B.vcall m ~ret:z l "java.util.ArrayList" "get" [ B.i 0 ];
+      println m ~tag:"k-clean" out (B.v z))
+
+let collections7 =
+  simple "Collections7" ~group:"Collections"
+    ~comment:"removal does not untaint the container (false positive)"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let l = B.local m "l" ~ty:(T.Ref "java.util.ArrayList") in
+      let x = B.local m "x" and y = B.local m "y" and z = B.local m "z" in
+      B.newc m l "java.util.ArrayList" [];
+      get_param m ~tag:"s" req x;
+      B.vcall m l "java.util.ArrayList" "add" [ B.v x ];
+      B.vcall m ~ret:y l "java.util.ArrayList" "get" [ B.i 0 ];
+      println m ~tag:"k" out (B.v y);
+      B.vcall m ~ret:z l "java.util.ArrayList" "remove" [ B.i 0 ];
+      (* after removal the list is clean at runtime *)
+      let w = B.local m "w" in
+      B.vcall m ~ret:w l "java.util.ArrayList" "get" [ B.i 0 ];
+      println m ~tag:"k-after-remove" out (B.v w))
+
+let collections8 =
+  simple "Collections8" ~group:"Collections" ~comment:"map keySet traversal"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let h = B.local m "h" ~ty:(T.Ref "java.util.HashMap") in
+      let ks = B.local m "ks" ~ty:(T.Ref "java.util.Set") in
+      let it = B.local m "it" ~ty:(T.Ref "java.util.Iterator") in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newc m h "java.util.HashMap" [];
+      get_param m ~tag:"s" req x;
+      (* the tainted value is the key *)
+      B.vcall m h "java.util.HashMap" "put" [ B.v x; B.s "v" ];
+      B.vcall m ~ret:ks h "java.util.HashMap" "keySet" [];
+      B.vcall m ~ret:it ks "java.util.Set" "iterator" [];
+      B.vcall m ~ret:y it "java.util.Iterator" "next" [];
+      println m ~tag:"k" out (B.v y))
+
+let collections9 =
+  simple "Collections9" ~group:"Collections"
+    ~comment:"container passed through a helper" ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let l = B.local m "l" ~ty:(T.Ref "java.util.ArrayList") in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newc m l "java.util.ArrayList" [];
+      get_param m ~tag:"s" req x;
+      B.vcall m l "java.util.ArrayList" "add" [ B.v x ];
+      B.scall m ~ret:y "securibench.C9Helper" "first" [ B.v l ];
+      println m ~tag:"k" out (B.v y))
+
+let c9_helper =
+  B.cls "securibench.C9Helper"
+    [
+      B.meth "first" ~static:true ~params:[ T.Ref "java.util.ArrayList" ]
+        ~ret:str_t (fun m ->
+          let l = B.param m 0 "l" in
+          let r = B.local m "r" in
+          B.vcall m ~ret:r l "java.util.ArrayList" "get" [ B.i 0 ];
+          B.retv m (B.v r));
+    ]
+
+let collections9 =
+  { collections9 with sb_classes = c9_helper :: collections9.sb_classes }
+
+let collections10 =
+  simple "Collections10" ~group:"Collections"
+    ~comment:"two containers, two leaks"
+    ~expected:[ (Some "s1", "k1"); (Some "s2", "k2") ]
+    (fun m _this req out ->
+      let l1 = B.local m "l1" ~ty:(T.Ref "java.util.ArrayList") in
+      let l2 = B.local m "l2" ~ty:(T.Ref "java.util.LinkedList") in
+      let a = B.local m "a" and b = B.local m "b" in
+      let ya = B.local m "ya" and yb = B.local m "yb" in
+      B.newc m l1 "java.util.ArrayList" [];
+      B.newc m l2 "java.util.LinkedList" [];
+      get_param m ~tag:"s1" ~pname:"p1" req a;
+      get_param m ~tag:"s2" ~pname:"p2" req b;
+      B.vcall m l1 "java.util.ArrayList" "add" [ B.v a ];
+      B.vcall m l2 "java.util.LinkedList" "add" [ B.v b ];
+      B.vcall m ~ret:ya l1 "java.util.ArrayList" "get" [ B.i 0 ];
+      B.vcall m ~ret:yb l2 "java.util.LinkedList" "get" [ B.i 0 ];
+      println m ~tag:"k1" out (B.v ya);
+      println m ~tag:"k2" out (B.v yb))
+
+let collections11 =
+  simple "Collections11" ~group:"Collections"
+    ~comment:"nested containers: list inside a map"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let h = B.local m "h" ~ty:(T.Ref "java.util.HashMap") in
+      let l = B.local m "l" ~ty:(T.Ref "java.util.ArrayList") in
+      let l2 = B.local m "l2" ~ty:(T.Ref "java.util.ArrayList") in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newc m h "java.util.HashMap" [];
+      B.newc m l "java.util.ArrayList" [];
+      get_param m ~tag:"s" req x;
+      B.vcall m l "java.util.ArrayList" "add" [ B.v x ];
+      B.vcall m h "java.util.HashMap" "put" [ B.s "k"; B.v l ];
+      B.vcall m ~ret:l2 h "java.util.HashMap" "get" [ B.s "k" ];
+      B.vcall m ~ret:y l2 "java.util.ArrayList" "get" [ B.i 0 ];
+      println m ~tag:"k" out (B.v y))
+
+let collections12 =
+  simple "Collections12" ~group:"Collections"
+    ~comment:"toArray round trip"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let l = B.local m "l" ~ty:(T.Ref "java.util.ArrayList") in
+      let arr = B.local m "arr" ~ty:(T.Array str_t) in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newc m l "java.util.ArrayList" [];
+      get_param m ~tag:"s" req x;
+      B.vcall m l "java.util.ArrayList" "add" [ B.v x ];
+      B.vcall m ~ret:arr l "java.util.ArrayList" "toArray" [];
+      B.aload m y arr (B.i 0);
+      println m ~tag:"k" out (B.v y))
+
+(* TP: 1+1+1+1+1+1+1+1+1+2+1+1 = 13... plus Collections13 below = 14;
+   FP: Collections3, Collections6, Collections7 = 3 *)
+let collections13 =
+  simple "Collections13" ~group:"Collections"
+    ~comment:"value stored under a tainted key, whole map leaked"
+    ~expected:(e1 "s" "k")
+    (fun m _this req out ->
+      let h = B.local m "h" ~ty:(T.Ref "java.util.HashMap") in
+      let vs = B.local m "vs" ~ty:(T.Ref "java.util.Set") in
+      let it = B.local m "it" ~ty:(T.Ref "java.util.Iterator") in
+      let x = B.local m "x" and y = B.local m "y" in
+      B.newc m h "java.util.HashMap" [];
+      get_param m ~tag:"s" req x;
+      B.vcall m h "java.util.HashMap" "put" [ B.s "id"; B.v x ];
+      B.vcall m ~ret:vs h "java.util.HashMap" "values" [];
+      B.vcall m ~ret:it vs "java.util.Set" "iterator" [];
+      B.vcall m ~ret:y it "java.util.Iterator" "next" [];
+      println m ~tag:"k" out (B.v y))
+
+let all =
+  [
+    collections1; collections2; collections3; collections4; collections5;
+    collections6; collections7; collections8; collections9; collections10;
+    collections11; collections12; collections13;
+  ]

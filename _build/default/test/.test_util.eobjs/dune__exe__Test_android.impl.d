@@ -1,0 +1,1 @@
+test/test_android.ml: Alcotest Bidi Build Config Fd_callgraph Fd_core Fd_frontend Fd_ir Fd_lifecycle Infoflow Jclass List Option Pretty Scene Stmt String Taint Types

@@ -1,0 +1,1 @@
+test/test_bidi_edge.ml: Alcotest Bidi Build Fd_callgraph Fd_core Fd_frontend Fd_ir Infoflow List Option Printf Stmt Taint Types

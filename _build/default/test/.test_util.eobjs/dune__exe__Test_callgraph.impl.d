@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Alcotest Body Build Callgraph Fd_callgraph Fd_ir Icfg Jclass List Mkey Printf QCheck QCheck_alcotest Scene Stmt Types

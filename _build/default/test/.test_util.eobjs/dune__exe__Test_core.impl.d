@@ -1,0 +1,1 @@
+test/test_core.ml: Access_path Alcotest Bidi Build Config Fd_callgraph Fd_core Fd_frontend Fd_ir Infoflow List Option Printf QCheck QCheck_alcotest Stmt Taint Types

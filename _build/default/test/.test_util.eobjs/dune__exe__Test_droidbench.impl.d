@@ -1,0 +1,1 @@
+test/test_droidbench.ml: Alcotest Droidbench_table Engines Fd_droidbench Fd_eval Lazy List Option Printf Scoring String

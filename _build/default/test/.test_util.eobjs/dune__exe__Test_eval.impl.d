@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Fd_appgen Fd_core Fd_eval Fd_frontend Fd_xml List Printf String

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Apk Build Fd_frontend Fd_ir Fd_xml Framework Jclass Layout List Manifest Option Printf Rules Scene Sourcesink Sys

@@ -1,0 +1,1 @@
+test/test_icc.ml: Alcotest Bidi Build Fd_core Fd_frontend Fd_ir Icc Infoflow List Printf Stmt Taint Types

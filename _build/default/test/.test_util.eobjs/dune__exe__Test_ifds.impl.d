@@ -1,0 +1,1 @@
+test/test_ifds.ml: Alcotest Array Fd_ifds Fun Hashtbl List Printf String

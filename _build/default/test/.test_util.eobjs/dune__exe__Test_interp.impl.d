@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Build Droid_runner Fd_core Fd_droidbench Fd_eval Fd_frontend Fd_interp Fd_ir Fd_securibench List Option Stmt Types

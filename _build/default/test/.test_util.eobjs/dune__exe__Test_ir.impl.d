@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Body Build Fd_ir Jclass Lexer List Option Parser Pretty Printf QCheck QCheck_alcotest Scene Stmt String Types

@@ -1,0 +1,1 @@
+test/test_lifecycle.ml: Alcotest Build Callbacks Dummy_main Fd_callgraph Fd_frontend Fd_ir Fd_lifecycle Jclass Lifecycle List Option Pretty Scene String Types

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Build Fd_appgen Fd_callgraph Fd_core Fd_frontend Fd_interp Fd_ir Fun List Printf QCheck QCheck_alcotest Types

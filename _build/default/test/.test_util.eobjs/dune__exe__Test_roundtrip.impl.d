@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: Alcotest Body Fd_core Fd_droidbench Fd_frontend Fd_ir Jclass List Pretty Printf Types

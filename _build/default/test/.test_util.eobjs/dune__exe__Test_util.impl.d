@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fd_util Fun List Printf Prng QCheck QCheck_alcotest String Table

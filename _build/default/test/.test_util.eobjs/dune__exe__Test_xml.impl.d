@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Fd_xml List Printf QCheck QCheck_alcotest

@@ -1,0 +1,409 @@
+(* End-to-end Android tests: the paper's Listing 1 app through the full
+   pipeline (manifest, layout, callback discovery, dummy main, taint
+   analysis), plus lifecycle/callback unit checks. *)
+
+open Fd_ir
+open Fd_core
+module B = Build
+module T = Types
+module FW = Fd_frontend.Framework
+module Apk = Fd_frontend.Apk
+
+(* ---------------- the Listing 1 app ---------------- *)
+
+let layout_main =
+  {|<?xml version="1.0" encoding="utf-8"?>
+<LinearLayout>
+  <EditText android:id="@+id/username" android:inputType="text"/>
+  <EditText android:id="@+id/pwdString" android:inputType="textPassword"/>
+  <Button android:id="@+id/button1" android:onClick="sendMessage"/>
+</LinearLayout>|}
+
+(* resource ids are assigned in declaration order *)
+let id_username = Fd_frontend.Layout.id_base
+let id_pwd = Fd_frontend.Layout.id_base + 1
+let layout_id = Fd_frontend.Layout.layout_id_base
+
+let user_cls = "de.ecspride.User"
+let pwd_cls = "de.ecspride.Password"
+let app_cls = "de.ecspride.LeakageApp"
+let f_user = B.fld ~ty:(T.Ref user_cls) app_cls "user"
+let f_uname = B.fld ~ty:(T.Ref "java.lang.String") user_cls "name"
+let f_upwd = B.fld ~ty:(T.Ref pwd_cls) user_cls "pwd"
+let f_pstr = B.fld ~ty:(T.Ref "java.lang.String") pwd_cls "pwdString"
+
+let password_class =
+  B.cls pwd_cls
+    ~fields:[ ("pwdString", T.Ref "java.lang.String") ]
+    [
+      B.meth "<init>" ~params:[ T.Ref "java.lang.String" ] (fun m ->
+          let this = B.this m in
+          let p = B.param m 0 "p" in
+          B.store m this f_pstr (B.v p));
+      B.meth "getPassword" ~ret:(T.Ref "java.lang.String") (fun m ->
+          let this = B.this m in
+          let r = B.local m "r" in
+          B.load m r this f_pstr;
+          B.retv m (B.v r));
+    ]
+
+let user_class =
+  B.cls user_cls
+    ~fields:[ ("name", T.Ref "java.lang.String"); ("pwd", T.Ref pwd_cls) ]
+    [
+      B.meth "<init>"
+        ~params:[ T.Ref "java.lang.String"; T.Ref "java.lang.String" ]
+        (fun m ->
+          let this = B.this m in
+          let n = B.param m 0 "n" in
+          let p = B.param m 1 "p" in
+          let pw = B.local m "pw" ~ty:(T.Ref pwd_cls) in
+          B.store m this f_uname (B.v n);
+          B.newc m pw pwd_cls [ B.v p ];
+          B.store m this f_upwd (B.v pw));
+      B.meth "getName" ~ret:(T.Ref "java.lang.String") (fun m ->
+          let this = B.this m in
+          let r = B.local m "r" in
+          B.load m r this f_uname;
+          B.retv m (B.v r));
+      B.meth "getpwd" ~ret:(T.Ref pwd_cls) (fun m ->
+          let this = B.this m in
+          let r = B.local m "r" ~ty:(T.Ref pwd_cls) in
+          B.load m r this f_upwd;
+          B.retv m (B.v r));
+    ]
+
+let leakage_activity =
+  B.cls app_cls ~super:"android.app.Activity"
+    ~fields:[ ("user", T.Ref user_cls) ]
+    [
+      B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+          let this = B.this m in
+          let _ = B.param m 0 "savedState" in
+          B.vcall m this "android.app.Activity" "setContentView"
+            [ B.i layout_id ]);
+      B.meth "onRestart" (fun m ->
+          let this = B.this m in
+          let ut = B.local m "usernameText" ~ty:(T.Ref "android.widget.EditText") in
+          let pt = B.local m "passwordText" ~ty:(T.Ref "android.widget.EditText") in
+          let uname = B.local m "uname" and pwd = B.local m "pwd" in
+          let u = B.local m "u" ~ty:(T.Ref user_cls) in
+          B.vcall m ~ret:ut this "android.app.Activity" "findViewById"
+            [ B.i id_username ];
+          B.vcall m ~tag:"src-pwd" ~ret:pt this "android.app.Activity"
+            "findViewById" [ B.i id_pwd ];
+          B.vcall m ~ret:uname ut "android.widget.EditText" "toString" [];
+          B.vcall m ~ret:pwd pt "android.widget.EditText" "toString" [];
+          B.ifgoto m (B.v uname) Stmt.Ceq B.nul "out";
+          B.newc m u user_cls [ B.v uname; B.v pwd ];
+          B.store m this f_user (B.v u);
+          B.label m "out";
+          B.ret m);
+      (* callback declared only in the layout XML *)
+      B.meth "sendMessage" ~params:[ T.Ref "android.view.View" ] (fun m ->
+          let this = B.this m in
+          let _view = B.param m 0 "view" in
+          let u = B.local m "u" ~ty:(T.Ref user_cls) in
+          let pw = B.local m "pw" ~ty:(T.Ref pwd_cls) in
+          let ps = B.local m "ps" in
+          let obf = B.local m "obf" in
+          let c = B.local m "c" in
+          let name = B.local m "name" in
+          let msg = B.local m "msg" in
+          let sms = B.local m "sms" ~ty:(T.Ref "android.telephony.SmsManager") in
+          B.load m u this f_user;
+          B.ifgoto m (B.v u) Stmt.Ceq B.nul "out";
+          B.vcall m ~ret:pw u user_cls "getpwd" [];
+          B.vcall m ~ret:ps pw pwd_cls "getPassword" [];
+          B.const m obf (B.s "");
+          B.label m "loop";
+          (* for (char c : pwdString.toCharArray()) obf += c + "_" *)
+          B.vcall m ~ret:c ps "java.lang.String" "charAt" [ B.i 0 ];
+          B.binop m obf "+" (B.v obf) (B.v c);
+          B.ifgoto m (B.v obf) Stmt.Cne B.nul "loop";
+          B.vcall m ~ret:name u user_cls "getName" [];
+          B.binop m msg "+" (B.v name) (B.v obf);
+          B.scall m ~ret:sms "android.telephony.SmsManager" "getDefault" [];
+          B.vcall m ~tag:"sink-sms" sms "android.telephony.SmsManager"
+            "sendTextMessage"
+            [ B.s "+44 020 7321 0905"; B.nul; B.v msg; B.nul; B.nul ];
+          B.label m "out";
+          B.ret m);
+    ]
+
+let leakage_apk ?(enabled = true) () =
+  let manifest =
+    Apk.simple_manifest ~package:"de.ecspride"
+      [
+        ( FW.Activity,
+          app_cls,
+          if enabled then [] else [ ("android:enabled", "false") ] );
+      ]
+  in
+  Apk.make "LeakageApp" ~manifest
+    ~layouts:[ ("activity_main", layout_main) ]
+    [ leakage_activity; user_class; password_class ]
+
+let flow_pairs (r : Infoflow.result) =
+  List.map
+    (fun (fd : Bidi.finding) ->
+      ( Option.value fd.Bidi.f_source.Taint.si_tag ~default:"?",
+        Option.value fd.Bidi.f_sink_tag ~default:"?" ))
+    r.Infoflow.r_findings
+  |> List.sort_uniq compare
+
+(* ---------------- pipeline-stage tests ---------------- *)
+
+let test_callback_discovery () =
+  let loaded = Apk.load (leakage_apk ()) in
+  let ccs = Fd_lifecycle.Callbacks.discover_all loaded in
+  match ccs with
+  | [ cc ] ->
+      Alcotest.(check string) "component" app_cls
+        cc.Fd_lifecycle.Callbacks.cc_component;
+      let names =
+        List.map
+          (fun cb ->
+            cb.Fd_lifecycle.Callbacks.cb_method.Jclass.jm_sig.T.m_name)
+          cc.Fd_lifecycle.Callbacks.cc_callbacks
+      in
+      Alcotest.(check (list string)) "xml callback found" [ "sendMessage" ] names;
+      Alcotest.(check int) "lifecycle entries" 2
+        (List.length cc.Fd_lifecycle.Callbacks.cc_lifecycle)
+  | _ -> Alcotest.fail "expected exactly one component"
+
+let test_dummy_main_shape () =
+  let loaded = Apk.load (leakage_apk ()) in
+  let ccs = Fd_lifecycle.Callbacks.discover_all loaded in
+  let entry =
+    Fd_lifecycle.Dummy_main.generate loaded.Apk.scene ccs
+  in
+  Alcotest.(check string) "entry class" "dummyMainClass" entry.Fd_callgraph.Mkey.mk_class;
+  let dc = Option.get (Scene.find_class loaded.Apk.scene "dummyMainClass") in
+  let dm = Option.get (Jclass.find_method_named dc "dummyMain") in
+  let body = Option.get dm.Jclass.jm_body in
+  let printed = Pretty.body_to_string body in
+  let contains needle =
+    let n = String.length needle and h = String.length printed in
+    let rec go i = i + n <= h && (String.sub printed i n = needle || go (i + 1)) in
+    go 0
+  in
+  (* Figure 1's structure: lifecycle calls present, callback between
+     resume and pause *)
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " present") true (contains s))
+    [ "onCreate"; "onRestart"; "sendMessage" ];
+  (* the app does not implement onPause: it must not be called *)
+  Alcotest.(check bool) "no onPause call" false (contains "onPause");
+  (* the opaque predicate drives all branching *)
+  Alcotest.(check bool) "opaque predicate read" true
+    (contains "static dummyMainClass#p")
+
+let test_listing1_end_to_end () =
+  let r = Infoflow.analyze_apk (leakage_apk ()) in
+  let pairs = flow_pairs r in
+  Alcotest.(check (list (pair string string)))
+    "password leaks to SMS; username does not"
+    [ ("src-pwd", "sink-sms") ]
+    pairs
+
+let test_inactive_activity () =
+  (* the same app with the activity disabled in the manifest must
+     produce no findings (DroidBench's InactiveActivity) *)
+  let r = Infoflow.analyze_apk (leakage_apk ~enabled:false ()) in
+  Alcotest.(check (list (pair string string))) "no leak when disabled" []
+    (flow_pairs r)
+
+let test_lifecycle_off_misses () =
+  (* without the lifecycle model, onRestart's write to this.user and
+     sendMessage's read are disconnected entry points: the leak is
+     missed — the comparator-tool failure mode *)
+  let config = { Config.default with Config.lifecycle = false } in
+  let r = Infoflow.analyze_apk ~config (leakage_apk ()) in
+  Alcotest.(check (list (pair string string))) "missed without lifecycle" []
+    (flow_pairs r)
+
+let test_callbacks_off_misses () =
+  let config = { Config.default with Config.callbacks = false } in
+  let r = Infoflow.analyze_apk ~config (leakage_apk ()) in
+  Alcotest.(check (list (pair string string))) "missed without callbacks" []
+    (flow_pairs r)
+
+(* ---------------- imperative callback registration ---------------- *)
+
+let button_app () =
+  (* activity registers a click listener in code; the listener leaks the
+     IMEI stored by onCreate into a field of the activity *)
+  let act = "t.BtnActivity" in
+  let lst = "t.ClickListener" in
+  let f_data = B.fld ~ty:(T.Ref "java.lang.String") act "data" in
+  let f_outer = B.fld ~ty:(T.Ref act) lst "outer" in
+  let activity =
+    B.cls act ~super:"android.app.Activity"
+      ~fields:[ ("data", T.Ref "java.lang.String") ]
+      [
+        B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+            let this = B.this m in
+            let _ = B.param m 0 "b" in
+            let tm = B.local m "tm" ~ty:(T.Ref "android.telephony.TelephonyManager") in
+            let imei = B.local m "imei" in
+            let btn = B.local m "btn" ~ty:(T.Ref "android.widget.Button") in
+            let l = B.local m "l" ~ty:(T.Ref lst) in
+            B.newobj m tm "android.telephony.TelephonyManager";
+            B.vcall m ~tag:"src-imei" ~ret:imei tm
+              "android.telephony.TelephonyManager" "getDeviceId" [];
+            B.store m this f_data (B.v imei);
+            B.vcall m ~ret:btn this "android.app.Activity" "findViewById"
+              [ B.i 1 ];
+            B.newc m l lst [ B.v this ];
+            B.vcall m btn "android.widget.Button" "setOnClickListener" [ B.v l ]);
+      ]
+  in
+  let listener =
+    B.cls lst ~interfaces:[ "android.view.View$OnClickListener" ]
+      ~fields:[ ("outer", T.Ref act) ]
+      [
+        B.meth "<init>" ~params:[ T.Ref act ] (fun m ->
+            let this = B.this m in
+            let o = B.param m 0 "o" in
+            B.store m this f_outer (B.v o));
+        B.meth "onClick" ~params:[ T.Ref "android.view.View" ] (fun m ->
+            let this = B.this m in
+            let _ = B.param m 0 "v" in
+            let o = B.local m "o" ~ty:(T.Ref act) in
+            let d = B.local m "d" in
+            B.load m o this f_outer;
+            B.load m d o f_data;
+            B.scall m ~tag:"sink-log" "android.util.Log" "i"
+              [ B.s "TAG"; B.v d ]);
+      ]
+  in
+  let manifest = Apk.simple_manifest ~package:"t" [ (FW.Activity, act, []) ] in
+  Apk.make "ButtonApp" ~manifest [ activity; listener ]
+
+let test_imperative_callback_leak () =
+  let r = Infoflow.analyze_apk (button_app ()) in
+  Alcotest.(check (list (pair string string)))
+    "IMEI flows into the registered listener's log"
+    [ ("src-imei", "sink-log") ]
+    (flow_pairs r)
+
+(* ---------------- location callback parameter source -------------- *)
+
+let location_app () =
+  let act = "t.LocActivity" in
+  let f_loc = B.fld ~ty:(T.Ref "android.location.Location") act "lastLoc" in
+  let activity =
+    B.cls act ~super:"android.app.Activity"
+      ~interfaces:[ "android.location.LocationListener" ]
+      ~fields:[ ("lastLoc", T.Ref "android.location.Location") ]
+      [
+        B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+            let this = B.this m in
+            let _ = B.param m 0 "b" in
+            let lm = B.local m "lm" ~ty:(T.Ref "android.location.LocationManager") in
+            B.newobj m lm "android.location.LocationManager";
+            B.vcall m lm "android.location.LocationManager"
+              "requestLocationUpdates" [ B.v this ]);
+        B.meth "onLocationChanged"
+          ~params:[ T.Ref "android.location.Location" ] (fun m ->
+            let this = B.this m in
+            let loc = B.param m 0 "loc" in
+            B.store m this f_loc (B.v loc));
+        B.meth "onDestroy" (fun m ->
+            let this = B.this m in
+            let l = B.local m "l" ~ty:(T.Ref "android.location.Location") in
+            let lat = B.local m "lat" in
+            B.load m l this f_loc;
+            B.vcall m ~ret:lat l "android.location.Location" "getLatitude" [];
+            B.scall m ~tag:"sink-log" "android.util.Log" "d"
+              [ B.s "loc"; B.v lat ]);
+      ]
+  in
+  let manifest = Apk.simple_manifest ~package:"t" [ (FW.Activity, act, []) ] in
+  Apk.make "LocApp" ~manifest [ activity ]
+
+let test_location_callback_source () =
+  let r = Infoflow.analyze_apk (location_app ()) in
+  let sinks = List.map snd (flow_pairs r) in
+  Alcotest.(check (list string))
+    "location parameter leaks into the log at shutdown"
+    [ "sink-log" ] (List.sort_uniq compare sinks)
+
+(* the resource id reaches findViewById through a local, not an
+   immediate constant: resolved by the straight-line constant
+   propagation (Jimple-style) *)
+let indirect_id_app () =
+  let cls = "t.IndirectId" in
+  let layout =
+    {|<LinearLayout><EditText android:id="@+id/pw" android:inputType="textPassword"/></LinearLayout>|}
+  in
+  let activity =
+    B.cls cls ~super:"android.app.Activity"
+      [
+        B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+            let this = B.this m in
+            let _ = B.param m 0 "b" in
+            let id = B.local m "id" ~ty:T.Int in
+            let et = B.local m "et" ~ty:(T.Ref "android.widget.EditText") in
+            let p = B.local m "p" in
+            B.const m id (B.i Fd_frontend.Layout.id_base);
+            B.vcall m ~tag:"src-pw" ~ret:et this "android.app.Activity"
+              "findViewById" [ B.v id ];
+            B.vcall m ~ret:p et "android.widget.EditText" "toString" [];
+            B.scall m ~tag:"sink-log" "android.util.Log" "i"
+              [ B.s "t"; B.v p ]);
+      ]
+  in
+  Apk.make "IndirectId"
+    ~manifest:(Apk.simple_manifest ~package:"t" [ (FW.Activity, cls, []) ])
+    ~layouts:[ ("main", layout) ]
+    [ activity ]
+
+let test_indirect_resource_id () =
+  let r = Infoflow.analyze_apk (indirect_id_app ()) in
+  Alcotest.(check (list (pair string string)))
+    "constant-propagated id is a source"
+    [ ("src-pw", "sink-log") ]
+    (flow_pairs r)
+
+let test_budget_exhaustion_static () =
+  (* a tiny propagation budget: the engine stops and reports the
+     exhaustion instead of looping *)
+  let config = { Config.default with Config.max_propagations = 50 } in
+  let r = Infoflow.analyze_apk ~config (leakage_apk ()) in
+  Alcotest.(check bool) "budget flagged" true
+    r.Infoflow.r_stats.Infoflow.st_budget_exhausted
+
+let () =
+  Alcotest.run "fd_android"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "callback discovery" `Quick test_callback_discovery;
+          Alcotest.test_case "dummy main (Figure 1)" `Quick test_dummy_main_shape;
+        ] );
+      ( "listing1",
+        [
+          Alcotest.test_case "end to end" `Quick test_listing1_end_to_end;
+          Alcotest.test_case "inactive activity" `Quick test_inactive_activity;
+          Alcotest.test_case "no lifecycle -> miss" `Quick
+            test_lifecycle_off_misses;
+          Alcotest.test_case "no callbacks -> miss" `Quick
+            test_callbacks_off_misses;
+        ] );
+      ( "callbacks",
+        [
+          Alcotest.test_case "imperative registration" `Quick
+            test_imperative_callback_leak;
+          Alcotest.test_case "location parameter source" `Quick
+            test_location_callback_source;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "indirect resource id" `Quick
+            test_indirect_resource_id;
+          Alcotest.test_case "propagation budget" `Quick
+            test_budget_exhaustion_static;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* Edge-case tests for the bidirectional solver: recursion carrying
+   taint, taint through overridden methods on [this], multiple sources
+   into one sink, aliasing through recursion, and solver termination
+   on pathological shapes. *)
+
+open Fd_ir
+open Fd_core
+module B = Build
+module T = Types
+module SS = Fd_frontend.Sourcesink
+
+let test_defs =
+  SS.create
+    [
+      SS.Return_source { cls = "t.Source"; mname = "secret"; cat = SS.Generic };
+      SS.Sink { cls = "t.Sink"; mname = "leak"; cat = SS.Generic };
+    ]
+
+let analyze ?config classes entries =
+  Infoflow.analyze_plain ?config ~classes
+    ~entries:
+      (List.map
+         (fun (c, m) ->
+           Fd_callgraph.Mkey.{ mk_class = c; mk_name = m; mk_arity = 0 })
+         entries)
+    ~defs:test_defs ()
+
+let flow_pairs (r : Infoflow.result) =
+  List.map
+    (fun (fd : Bidi.finding) ->
+      ( Option.value fd.Bidi.f_source.Taint.si_tag ~default:"?",
+        Option.value fd.Bidi.f_sink_tag ~default:"?" ))
+    r.Infoflow.r_findings
+  |> List.sort_uniq compare
+
+let check ?config name classes entries expected =
+  Alcotest.(check (list (pair string string)))
+    name
+    (List.sort_uniq compare expected)
+    (flow_pairs (analyze ?config classes entries))
+
+let src m ?tag x = B.scall m ?tag ~ret:x "t.Source" "secret" []
+let snk m ?tag x = B.scall m ?tag "t.Sink" "leak" [ B.v x ]
+
+(* taint carried through direct recursion on the heap *)
+let test_recursive_heap_taint () =
+  let node = "t.RNode" in
+  let fv = B.fld node "v" in
+  let fn = B.fld ~ty:(T.Ref node) node "next" in
+  let c =
+    B.cls "t.Rec"
+      [
+        (* walk to the end of a chain and read the value *)
+        B.meth "last" ~static:true ~params:[ T.Ref node ]
+          ~ret:(T.Ref "java.lang.String") (fun m ->
+            let p = B.param m 0 "p" in
+            let nxt = B.local m "nxt" ~ty:(T.Ref node) in
+            let r = B.local m "r" in
+            B.load m nxt p fn;
+            B.ifgoto m (B.v nxt) Stmt.Ceq B.nul "base";
+            B.scall m ~ret:r "t.Rec" "last" [ B.v nxt ];
+            B.retv m (B.v r);
+            B.label m "base";
+            B.load m r p fv;
+            B.retv m (B.v r));
+        B.meth "main" ~static:true (fun m ->
+            let a = B.local m "a" and b = B.local m "b" and cl = B.local m "c" in
+            let x = B.local m "x" and out = B.local m "out" in
+            B.newobj m a node;
+            B.newobj m b node;
+            B.newobj m cl node;
+            B.store m a fn (B.v b);
+            B.store m b fn (B.v cl);
+            src m ~tag:"s" x;
+            B.store m cl fv (B.v x);
+            B.scall m ~ret:out "t.Rec" "last" [ B.v a ];
+            snk m ~tag:"k" out);
+      ]
+  in
+  check "recursion over the heap" [ B.cls "t.RNode" ~fields:[ ("v", T.Ref "java.lang.String"); ("next", T.Ref node) ] []; c ]
+    [ ("t.Rec", "main") ]
+    [ ("s", "k") ]
+
+(* taint staged in [this] across an override chain *)
+let test_this_through_overrides () =
+  let base = "t.OBase" in
+  let sub = "t.OSub" in
+  let f = B.fld base "stash" in
+  let classes =
+    [
+      B.cls base
+        ~fields:[ ("stash", T.Ref "java.lang.String") ]
+        [
+          B.meth "put" ~params:[ T.Ref "java.lang.String" ] (fun m ->
+              let this = B.this m in
+              let p = B.param m 0 "p" in
+              B.store m this f (B.v p));
+          B.meth "get" ~ret:(T.Ref "java.lang.String") (fun m ->
+              let this = B.this m in
+              let r = B.local m "r" in
+              B.load m r this f;
+              B.retv m (B.v r));
+        ];
+      B.cls sub ~super:base
+        [
+          (* the override decorates but still stages through super's
+             field via a super call *)
+          B.meth "put" ~params:[ T.Ref "java.lang.String" ] (fun m ->
+              let this = B.this m in
+              let p = B.param m 0 "p" in
+              let d = B.local m "d" in
+              B.binop m d "+" (B.s ">") (B.v p);
+              B.spcall m this base "put" [ B.v d ]);
+        ];
+      B.cls "t.OMain"
+        [
+          B.meth "main" ~static:true (fun m ->
+              let o = B.local m "o" ~ty:(T.Ref base) in
+              let x = B.local m "x" and out = B.local m "out" in
+              B.newc m o sub [];
+              src m ~tag:"s" x;
+              B.vcall m o base "put" [ B.v x ];
+              B.vcall m ~ret:out o base "get" [];
+              snk m ~tag:"k" out);
+        ];
+    ]
+  in
+  check "this-field through override + super call" classes
+    [ ("t.OMain", "main") ]
+    [ ("s", "k") ]
+
+(* two distinct sources reaching the same sink produce two findings *)
+let test_two_sources_one_sink () =
+  let c =
+    B.cls "t.Two"
+      [
+        B.meth "main" ~static:true (fun m ->
+            let a = B.local m "a" and b = B.local m "b" and j = B.local m "j" in
+            src m ~tag:"s1" a;
+            src m ~tag:"s2" b;
+            B.binop m j "+" (B.v a) (B.v b);
+            snk m ~tag:"k" j);
+      ]
+  in
+  check "two sources, one sink" [ c ] [ ("t.Two", "main") ]
+    [ ("s1", "k"); ("s2", "k") ]
+
+(* mutually recursive methods exchanging the taint *)
+let test_mutual_recursion () =
+  let c =
+    B.cls "t.Mut"
+      [
+        B.meth "ping" ~static:true ~params:[ T.Ref "java.lang.String"; T.Int ]
+          ~ret:(T.Ref "java.lang.String") (fun m ->
+            let p = B.param m 0 "p" in
+            let n = B.param m 1 "n" in
+            let r = B.local m "r" in
+            B.ifgoto m (B.v n) Stmt.Cle (B.i 0) "base";
+            let n' = B.local m "n2" ~ty:T.Int in
+            B.binop m n' "-" (B.v n) (B.i 1);
+            B.scall m ~ret:r "t.Mut" "pong" [ B.v p; B.v n' ];
+            B.retv m (B.v r);
+            B.label m "base";
+            B.retv m (B.v p));
+        B.meth "pong" ~static:true ~params:[ T.Ref "java.lang.String"; T.Int ]
+          ~ret:(T.Ref "java.lang.String") (fun m ->
+            let p = B.param m 0 "p" in
+            let n = B.param m 1 "n" in
+            let r = B.local m "r" in
+            B.scall m ~ret:r "t.Mut" "ping" [ B.v p; B.v n ];
+            B.retv m (B.v r));
+        B.meth "main" ~static:true (fun m ->
+            let x = B.local m "x" and out = B.local m "out" in
+            src m ~tag:"s" x;
+            B.scall m ~ret:out "t.Mut" "ping" [ B.v x; B.i 5 ];
+            snk m ~tag:"k" out);
+      ]
+  in
+  check "mutual recursion" [ c ] [ ("t.Mut", "main") ] [ ("s", "k") ]
+
+(* the alias of an alias: x -> y -> z chains through two heap cells *)
+let test_alias_of_alias () =
+  let node = "t.ANode" in
+  let f = B.fld node "f" in
+  let c =
+    B.cls "t.AA"
+      [
+        B.meth "main" ~static:true (fun m ->
+            let o = B.local m "o" in
+            let p = B.local m "p" and q = B.local m "q" in
+            let x = B.local m "x" and out = B.local m "out" in
+            B.newobj m o node;
+            B.move m p o;
+            B.move m q p;
+            src m ~tag:"s" x;
+            B.store m o f (B.v x);
+            B.load m out q f;
+            snk m ~tag:"k" out);
+      ]
+  in
+  check "alias chains" [ B.cls node ~fields:[ ("f", T.Ref "java.lang.Object") ] []; c ]
+    [ ("t.AA", "main") ]
+    [ ("s", "k") ]
+
+(* a sink receiving an untainted sibling while the tainted value flows
+   elsewhere: no cross-contamination between findings *)
+let test_no_cross_contamination () =
+  let c =
+    B.cls "t.NC"
+      [
+        B.meth "main" ~static:true (fun m ->
+            let a = B.local m "a" and b = B.local m "b" in
+            src m ~tag:"s" a;
+            B.const m b (B.s "benign");
+            snk m ~tag:"k-clean" b;
+            snk m ~tag:"k-dirty" a);
+      ]
+  in
+  check "no cross contamination" [ c ] [ ("t.NC", "main") ]
+    [ ("s", "k-dirty") ]
+
+(* a long linear pipeline: solver terminates quickly and keeps the
+   taint end to end *)
+let test_long_pipeline () =
+  let n = 40 in
+  let meths =
+    List.init n (fun i ->
+        B.meth
+          (Printf.sprintf "step%d" i)
+          ~static:true
+          ~params:[ T.Ref "java.lang.String" ]
+          ~ret:(T.Ref "java.lang.String")
+          (fun m ->
+            let p = B.param m 0 "p" in
+            if i + 1 < n then begin
+              let r = B.local m "r" in
+              B.scall m ~ret:r "t.Pipe" (Printf.sprintf "step%d" (i + 1))
+                [ B.v p ];
+              B.retv m (B.v r)
+            end
+            else B.retv m (B.v p)))
+  in
+  let c =
+    B.cls "t.Pipe"
+      (meths
+      @ [
+          B.meth "main" ~static:true (fun m ->
+              let x = B.local m "x" and out = B.local m "out" in
+              src m ~tag:"s" x;
+              B.scall m ~ret:out "t.Pipe" "step0" [ B.v x ];
+              snk m ~tag:"k" out);
+        ])
+  in
+  let r = analyze [ c ] [ ("t.Pipe", "main") ] in
+  Alcotest.(check (list (pair string string))) "taint survives 40 hops"
+    [ ("s", "k") ]
+    (flow_pairs r);
+  Alcotest.(check bool) "bounded work" true
+    (r.Infoflow.r_stats.Infoflow.st_propagations < 100_000)
+
+let () =
+  Alcotest.run "fd_bidi_edge"
+    [
+      ( "edge-cases",
+        [
+          Alcotest.test_case "recursive heap taint" `Quick
+            test_recursive_heap_taint;
+          Alcotest.test_case "override + super" `Quick test_this_through_overrides;
+          Alcotest.test_case "two sources" `Quick test_two_sources_one_sink;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "alias of alias" `Quick test_alias_of_alias;
+          Alcotest.test_case "no cross contamination" `Quick
+            test_no_cross_contamination;
+          Alcotest.test_case "long pipeline" `Quick test_long_pipeline;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Tests for the EPICC-lite ICC resolution extension (Fd_core.Icc):
+   intent-target resolution and end-to-end flow composition. *)
+
+open Fd_ir
+open Fd_core
+module B = Build
+module T = Types
+module FW = Fd_frontend.Framework
+module Apk = Fd_frontend.Apk
+
+let intent_t = T.Ref "android.content.Intent"
+
+(* sender activity: IMEI into an explicit intent to Receiver, started;
+   receiver activity: reads the extra and logs it *)
+let app ~explicit ~receiver_logs =
+  let send_cls = "icc.Sender" in
+  let recv_cls = "icc.Receiver" in
+  let sender =
+    B.cls send_cls ~super:"android.app.Activity"
+      [
+        B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+            let this = B.this m in
+            let _ = B.param m 0 "b" in
+            let i = B.local m "i" ~ty:intent_t in
+            let imei = B.local m "imei" in
+            let tm =
+              B.local m "tm" ~ty:(T.Ref "android.telephony.TelephonyManager")
+            in
+            B.newobj m i "android.content.Intent";
+            (if explicit then
+               B.spcall m i "android.content.Intent" "<init>"
+                 [ Stmt.Iconst (Stmt.CClassRef recv_cls) ]
+             else begin
+               B.spcall m i "android.content.Intent" "<init>" [];
+               B.vcall m i "android.content.Intent" "setAction"
+                 [ B.s "icc.action.SHOW" ]
+             end);
+            B.newobj m tm "android.telephony.TelephonyManager";
+            B.vcall m ~tag:"src-imei" ~ret:imei tm
+              "android.telephony.TelephonyManager" "getDeviceId" [];
+            B.vcall m i "android.content.Intent" "putExtra"
+              [ B.s "id"; B.v imei ];
+            B.vcall m ~tag:"sink-send" this "android.app.Activity"
+              "startActivity" [ B.v i ]);
+      ]
+  in
+  let receiver =
+    B.cls recv_cls ~super:"android.app.Activity"
+      [
+        B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+            let this = B.this m in
+            let _ = B.param m 0 "b" in
+            let i = B.local m "i" ~ty:intent_t in
+            let s = B.local m "s" in
+            B.vcall m ~ret:i this "android.app.Activity" "getIntent" [];
+            B.vcall m ~tag:"src-extra" ~ret:s i "android.content.Intent"
+              "getStringExtra" [ B.s "id" ];
+            if receiver_logs then
+              B.scall m ~tag:"sink-log" "android.util.Log" "i"
+                [ B.s "rx"; B.v s ]
+            else begin
+              let tv = B.local m "tv" ~ty:(T.Ref "android.widget.TextView") in
+              B.vcall m ~ret:tv this "android.app.Activity" "findViewById"
+                [ B.i 3 ];
+              B.vcall m tv "android.widget.TextView" "setText" [ B.v s ]
+            end);
+      ]
+  in
+  let manifest =
+    Printf.sprintf
+      {|<manifest package="icc">
+  <application>
+    <activity android:name="icc.Sender">
+      <intent-filter>
+        <action android:name="android.intent.action.MAIN"/>
+        <category android:name="android.intent.category.LAUNCHER"/>
+      </intent-filter>
+    </activity>
+    <activity android:name="icc.Receiver">
+      <intent-filter>
+        <action android:name="icc.action.SHOW"/>
+      </intent-filter>
+    </activity>
+  </application>
+</manifest>|}
+  in
+  Apk.make "IccApp" ~manifest [ sender; receiver ]
+
+let run_with_icc apk =
+  let loaded = Apk.load apk in
+  let result = Infoflow.analyze_loaded loaded in
+  let composed =
+    Icc.compose ~icfg:result.Infoflow.r_icfg
+      ~scene:loaded.Apk.scene ~manifest:loaded.Apk.manifest
+      result.Infoflow.r_findings
+  in
+  (result, composed)
+
+let test_explicit_intent_composition () =
+  let _, composed = run_with_icc (app ~explicit:true ~receiver_logs:true) in
+  match composed with
+  | [ c ] ->
+      Alcotest.(check string) "resolved target" "icc.Receiver"
+        c.Icc.comp_target;
+      Alcotest.(check (option string)) "original source"
+        (Some "src-imei") c.Icc.comp_source.Taint.si_tag;
+      Alcotest.(check (option string)) "transitive sink"
+        (Some "sink-log") c.Icc.comp_sink_tag;
+      Alcotest.(check bool) "path spans both components" true
+        (List.length c.Icc.comp_path > 3)
+  | cs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly 1 composed flow, got %d"
+           (List.length cs))
+
+let test_action_intent_composition () =
+  let _, composed = run_with_icc (app ~explicit:false ~receiver_logs:true) in
+  Alcotest.(check int) "implicit action resolved" 1 (List.length composed);
+  Alcotest.(check string) "target via intent filter" "icc.Receiver"
+    (List.hd composed).Icc.comp_target
+
+let test_no_receiving_sink_no_composition () =
+  (* the receiver only displays the value: nothing composes *)
+  let _, composed = run_with_icc (app ~explicit:true ~receiver_logs:false) in
+  Alcotest.(check int) "no composed flow" 0 (List.length composed)
+
+let test_composed_as_findings () =
+  let _, composed = run_with_icc (app ~explicit:true ~receiver_logs:true) in
+  let fds = Icc.composed_to_findings composed in
+  Alcotest.(check int) "one finding view" 1 (List.length fds);
+  let fd = List.hd fds in
+  Alcotest.(check bool) "keeps original source" true
+    (fd.Bidi.f_source.Taint.si_tag = Some "src-imei")
+
+let test_unresolvable_target_ignored () =
+  (* an intent whose target class is outside the app composes with
+     nothing (it still shows up as the over-approximate send-sink
+     finding) *)
+  let cls = "icc.External" in
+  let sender =
+    B.cls cls ~super:"android.app.Activity"
+      [
+        B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+            let this = B.this m in
+            let _ = B.param m 0 "b" in
+            let i = B.local m "i" ~ty:intent_t in
+            let imei = B.local m "imei" in
+            let tm =
+              B.local m "tm" ~ty:(T.Ref "android.telephony.TelephonyManager")
+            in
+            B.newobj m i "android.content.Intent";
+            B.spcall m i "android.content.Intent" "<init>"
+              [ Stmt.Iconst (Stmt.CClassRef "other.app.Activity") ];
+            B.newobj m tm "android.telephony.TelephonyManager";
+            B.vcall m ~tag:"src" ~ret:imei tm
+              "android.telephony.TelephonyManager" "getDeviceId" [];
+            B.vcall m i "android.content.Intent" "putExtra" [ B.s "x"; B.v imei ];
+            B.vcall m ~tag:"sink-send" this "android.app.Activity"
+              "startActivity" [ B.v i ]);
+      ]
+  in
+  let apk =
+    Apk.make "ExtApp"
+      ~manifest:(Apk.simple_manifest ~package:"icc" [ (FW.Activity, cls, []) ])
+      [ sender ]
+  in
+  let result, composed = run_with_icc apk in
+  Alcotest.(check int) "no composition" 0 (List.length composed);
+  Alcotest.(check bool) "raw send finding kept" true
+    (List.exists
+       (fun (fd : Bidi.finding) -> fd.Bidi.f_sink_tag = Some "sink-send")
+       result.Infoflow.r_findings)
+
+let () =
+  Alcotest.run "fd_icc"
+    [
+      ( "composition",
+        [
+          Alcotest.test_case "explicit intent" `Quick
+            test_explicit_intent_composition;
+          Alcotest.test_case "implicit action" `Quick
+            test_action_intent_composition;
+          Alcotest.test_case "no receiving sink" `Quick
+            test_no_receiving_sink_no_composition;
+          Alcotest.test_case "findings view" `Quick test_composed_as_findings;
+          Alcotest.test_case "external target" `Quick
+            test_unresolvable_target_ignored;
+        ] );
+    ]

@@ -1,0 +1,528 @@
+(* Tests for the µJimple IR: types, bodies/CFG, scene & hierarchy,
+   builder DSL, pretty-printer and textual parser round-trip. *)
+
+open Fd_ir
+module T = Types
+module S = Stmt
+module B = Build
+
+(* ---------------- types ---------------- *)
+
+let test_typ_string_roundtrip () =
+  let cases =
+    [ "void"; "boolean"; "char"; "int"; "long"; "float"; "double";
+      "java.lang.String"; "int[]"; "java.lang.Object[][]" ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (T.string_of_typ (T.typ_of_string s)))
+    cases
+
+let test_typ_equal () =
+  Alcotest.(check bool) "ref eq" true (T.equal_typ (T.Ref "a.B") (T.Ref "a.B"));
+  Alcotest.(check bool) "ref ne" false (T.equal_typ (T.Ref "a.B") (T.Ref "a.C"));
+  Alcotest.(check bool) "array" true
+    (T.equal_typ (T.Array T.Int) (T.Array T.Int));
+  Alcotest.(check bool) "array ne" false (T.equal_typ (T.Array T.Int) T.Int)
+
+let test_method_sig_string () =
+  let m = T.mk_method ~params:[ T.Int; T.Ref "java.lang.String" ] ~ret:T.Void
+      "a.B" "foo" in
+  Alcotest.(check string) "jimple style"
+    "<a.B: void foo(int,java.lang.String)>"
+    (T.string_of_method_sig m)
+
+(* ---------------- builder & body ---------------- *)
+
+let simple_class () =
+  B.cls "t.Simple"
+    [
+      B.meth "run" (fun m ->
+          let this = B.this m in
+          let x = B.local m "x" in
+          let y = B.local m "y" in
+          B.const m x (B.i 1);
+          B.label m "loop";
+          B.binop m y "+" (B.v x) (B.i 1);
+          B.ifgoto m (B.v y) S.Clt (B.i 10) "loop";
+          B.vcall m this "t.Simple" "helper" [ B.v y ]);
+    ]
+
+let body_of cls name =
+  match Jclass.find_method_named cls name with
+  | Some m -> Option.get m.Jclass.jm_body
+  | None -> Alcotest.fail ("method not found: " ^ name)
+
+let test_builder_basic () =
+  let c = simple_class () in
+  let b = body_of c "run" in
+  (* this-identity, x=1, y=x+1, if, call, auto return *)
+  Alcotest.(check int) "6 statements" 6 (Body.length b);
+  (match (Body.stmt b 0).S.s_kind with
+  | S.Identity (_, S.Ithis "t.Simple") -> ()
+  | _ -> Alcotest.fail "expected @this identity first");
+  match (Body.stmt b 5).S.s_kind with
+  | S.Return None -> ()
+  | _ -> Alcotest.fail "expected auto-appended return"
+
+let test_cfg_succs_preds () =
+  let c = simple_class () in
+  let b = body_of c "run" in
+  (* stmt 3 is the conditional: succs are fall-through 4 and target 2 *)
+  Alcotest.(check (list int)) "if succs" [ 4; 2 ] (Body.succs b 3);
+  Alcotest.(check (list int)) "loop head preds" [ 1; 3 ] (Body.preds b 2);
+  Alcotest.(check (list int)) "return succs" [] (Body.succs b 5)
+
+let test_label_resolution_error () =
+  Alcotest.check_raises "undefined label"
+    (B.Build_error "undefined label \"nowhere\"") (fun () ->
+      ignore
+        (B.cls "t.Bad" [ B.meth "m" (fun m -> B.goto m "nowhere") ]))
+
+let test_duplicate_label_error () =
+  Alcotest.check_raises "duplicate label"
+    (B.Build_error "duplicate label \"l\"") (fun () ->
+      ignore
+        (B.cls "t.Bad2"
+           [
+             B.meth "m" (fun m ->
+                 B.label m "l";
+                 B.nop m;
+                 B.label m "l";
+                 B.nop m;
+                 B.goto m "l");
+           ]))
+
+let test_local_interning () =
+  let c =
+    B.cls "t.Intern"
+      [
+        B.meth "m" (fun m ->
+            let a = B.local m "v" in
+            let b = B.local m "v" in
+            Alcotest.(check bool) "same local" true (a == b);
+            B.const m a (B.i 0));
+      ]
+  in
+  let b = body_of c "m" in
+  Alcotest.(check int) "one local" 1 (List.length b.Body.locals)
+
+let test_goto_no_auto_return () =
+  (* a body ending in goto back into itself must not get an extra
+     return *)
+  let c =
+    B.cls "t.Loop"
+      [
+        B.meth "m" (fun m ->
+            B.label m "top";
+            B.nop m;
+            B.goto m "top");
+      ]
+  in
+  let b = body_of c "m" in
+  Alcotest.(check int) "2 stmts" 2 (Body.length b)
+
+let test_exit_stmts () =
+  let c =
+    B.cls "t.Exits"
+      [
+        B.meth "m" (fun m ->
+            let x = B.local m "x" in
+            B.const m x (B.i 0);
+            B.ifgoto m (B.v x) S.Ceq (B.i 0) "out";
+            B.retv m (B.v x);
+            B.label m "out";
+            B.ret m);
+      ]
+  in
+  let b = body_of c "m" in
+  Alcotest.(check (list int)) "two exits" [ 2; 3 ] (Body.exit_stmts b)
+
+let test_find_tagged () =
+  let c =
+    B.cls "t.Tagged"
+      [
+        B.meth "m" (fun m ->
+            let x = B.local m "x" in
+            B.const m ~tag:"src" x (B.s "secret");
+            B.scall m ~tag:"sink" "t.Sink" "leak" [ B.v x ]);
+      ]
+  in
+  let b = body_of c "m" in
+  Alcotest.(check int) "one src" 1 (List.length (Body.find_tagged b "src"));
+  Alcotest.(check int) "one sink" 1 (List.length (Body.find_tagged b "sink"));
+  Alcotest.(check int) "none" 0 (List.length (Body.find_tagged b "zzz"))
+
+let test_uses_local () =
+  let c =
+    B.cls "t.Uses"
+      [
+        B.meth "m" (fun m ->
+            let x = B.local m "x" and y = B.local m "y" in
+            B.const m x (B.i 1);
+            B.move m y x;
+            B.store m y (B.fld "t.Uses" "f") (B.v x));
+      ]
+  in
+  let b = body_of c "m" in
+  let x = S.mk_local "x" and y = S.mk_local "y" in
+  Alcotest.(check bool) "x=1 doesn't use x" false (Body.uses_local (Body.stmt b 0) x);
+  Alcotest.(check bool) "y=x uses x" true (Body.uses_local (Body.stmt b 1) x);
+  Alcotest.(check bool) "y.f=x uses both" true
+    (Body.uses_local (Body.stmt b 2) x && Body.uses_local (Body.stmt b 2) y)
+
+(* ---------------- scene & hierarchy ---------------- *)
+
+let hierarchy_scene () =
+  let sc = Scene.create () in
+  Scene.add_class sc (Jclass.mk "java.lang.Object" ~super:None);
+  Scene.add_class sc
+    (B.iface "t.Listener" [ B.abstract_meth "onEvent" ~params:[ T.Int ] ]);
+  Scene.add_class sc (B.cls "t.Base" [ B.meth "m" (fun m -> B.ret m) ]);
+  Scene.add_class sc
+    (B.cls "t.Mid" ~super:"t.Base" ~interfaces:[ "t.Listener" ]
+       [ B.meth "onEvent" ~params:[ T.Int ] (fun m -> B.ret m) ]);
+  Scene.add_class sc
+    (B.cls "t.Leaf" ~super:"t.Mid" [ B.meth "m" (fun m -> B.ret m) ]);
+  sc
+
+let test_subtyping () =
+  let sc = hierarchy_scene () in
+  Alcotest.(check bool) "leaf <: base" true (Scene.is_subtype sc "t.Leaf" "t.Base");
+  Alcotest.(check bool) "leaf <: listener (via mid)" true
+    (Scene.is_subtype sc "t.Leaf" "t.Listener");
+  Alcotest.(check bool) "base not <: mid" false
+    (Scene.is_subtype sc "t.Base" "t.Mid");
+  Alcotest.(check bool) "anything <: Object" true
+    (Scene.is_subtype sc "t.Base" "java.lang.Object");
+  Alcotest.(check bool) "reflexive" true (Scene.is_subtype sc "t.Mid" "t.Mid")
+
+let test_phantom_resolve () =
+  let sc = hierarchy_scene () in
+  let c = Scene.resolve sc "android.app.Activity" in
+  Alcotest.(check bool) "phantom" true c.Jclass.c_phantom;
+  Alcotest.(check bool) "now registered" true (Scene.mem sc "android.app.Activity");
+  Alcotest.(check bool) "phantom <: Object" true
+    (Scene.is_subtype sc "android.app.Activity" "java.lang.Object")
+
+let test_dispatch () =
+  let sc = hierarchy_scene () in
+  (* m declared on Base, overridden on Leaf: call with static type Base
+     can dispatch to Base.m (for Base/Mid receivers) or Leaf.m *)
+  let targets = Scene.dispatch_targets sc ~static_type:"t.Base" ("m", []) in
+  let names =
+    List.sort compare
+      (List.map (fun ((c : Jclass.t), _) -> c.Jclass.c_name) targets)
+  in
+  Alcotest.(check (list string)) "CHA targets" [ "t.Base"; "t.Leaf" ] names;
+  (* dispatch on the interface type reaches the implementor *)
+  let tgts2 =
+    Scene.dispatch_targets sc ~static_type:"t.Listener" ("onEvent", [ T.Int ])
+  in
+  Alcotest.(check (list string)) "interface dispatch" [ "t.Mid" ]
+    (List.map (fun ((c : Jclass.t), _) -> c.Jclass.c_name) tgts2)
+
+let test_resolve_concrete_inherited () =
+  let sc = hierarchy_scene () in
+  (* Mid inherits m from Base *)
+  match Scene.resolve_concrete sc "t.Mid" ("m", []) with
+  | Some (c, _) -> Alcotest.(check string) "declared on Base" "t.Base" c.Jclass.c_name
+  | None -> Alcotest.fail "resolution failed"
+
+let test_duplicate_class () =
+  let sc = hierarchy_scene () in
+  Alcotest.check_raises "duplicate" (Scene.Duplicate_class "t.Base") (fun () ->
+      Scene.add_class sc (B.cls "t.Base" []))
+
+let test_superclasses_chain () =
+  let sc = hierarchy_scene () in
+  Alcotest.(check (list string)) "chain"
+    [ "t.Mid"; "t.Base"; "java.lang.Object" ]
+    (Scene.superclasses sc "t.Leaf")
+
+(* ---------------- pretty / parser round-trip ---------------- *)
+
+let leakage_like () =
+  let user_t = T.Ref "de.User" in
+  B.cls "de.LeakageApp" ~super:"android.app.Activity"
+    ~fields:[ ("user", user_t) ]
+    [
+      B.meth "onRestart" (fun m ->
+          let this = B.this m in
+          let et = B.local m "et" ~ty:(T.Ref "android.widget.EditText") in
+          let pwd = B.local m "pwd" in
+          let u = B.local m "u" ~ty:user_t in
+          B.vcall m ~ret:et this "android.app.Activity" "findViewById"
+            [ B.i 42 ];
+          B.vcall m ~ret:pwd et "android.widget.EditText" "toString" [];
+          B.ifgoto m (B.v pwd) S.Ceq B.nul "out";
+          B.newc m u "de.User" [ B.v pwd ];
+          B.store m this (B.fld "de.LeakageApp" "user") (B.v u);
+          B.label m "out";
+          B.ret m);
+      B.meth "sendMessage" ~params:[ T.Ref "android.view.View" ] (fun m ->
+          let this = B.this m in
+          let _view = B.param m 0 "view" in
+          let u = B.local m "u" in
+          let p = B.local m "p" in
+          let sms = B.local m "sms" in
+          let obf = B.local m "obf" in
+          B.load m u this (B.fld "de.LeakageApp" "user");
+          B.ifgoto m (B.v u) S.Ceq B.nul "out";
+          B.vcall m ~ret:p u "de.User" "getPassword" [];
+          B.const m obf (B.s "");
+          B.label m "loop";
+          B.binop m obf "+" (B.v obf) (B.v p);
+          B.ifgoto m (B.v obf) S.Cne B.nul "loop";
+          B.scall m ~ret:sms "android.telephony.SmsManager" "getDefault" [];
+          B.vcall m ~tag:"sms-sink" sms "android.telephony.SmsManager"
+            "sendTextMessage"
+            [ B.s "+44 020"; B.nul; B.v obf; B.nul; B.nul ];
+          B.label m "out";
+          B.ret m);
+      B.native_meth "nativeHelper" ~params:[ T.Ref "java.lang.Object" ]
+        ~ret:(T.Ref "java.lang.Object");
+    ]
+
+let norm_class (c : Jclass.t) = Pretty.class_to_string c
+
+let test_roundtrip_leakage () =
+  let c = leakage_like () in
+  let printed = Pretty.class_to_string c in
+  match Parser.parse_string printed with
+  | [ c2 ] ->
+      Alcotest.(check string) "round-trip stable" printed (norm_class c2)
+  | cs -> Alcotest.fail (Printf.sprintf "expected 1 class, got %d" (List.length cs))
+
+let test_parse_handwritten () =
+  let src =
+    {|
+// a hand-written µJimple unit
+class t.Handwritten extends java.lang.Object implements t.I {
+  field data : java.lang.String;
+  static method void main() {
+    local o : t.Handwritten;
+    local s : java.lang.String;
+    local arr : int[];
+    o = new t.Handwritten;
+    specialinvoke o.t.Handwritten#<init>();
+    s = staticinvoke t.Source#secret() @"src";
+    o.t.Handwritten#data = s;
+    s = o.t.Handwritten#data;
+    arr = newarray int[10];
+    arr[0] = 5;
+    static t.G#cache = s;
+    s = static t.G#cache;
+   top:
+    if s == null goto done;
+    staticinvoke t.Sink#leak(s) @"snk";
+    goto top;
+   done:
+    return;
+  }
+}
+interface t.I {
+  abstract method void poke(int);
+}
+|}
+  in
+  match Parser.parse_string src with
+  | [ c; i ] ->
+      Alcotest.(check string) "class name" "t.Handwritten" c.Jclass.c_name;
+      Alcotest.(check bool) "interface flag" true i.Jclass.c_is_interface;
+      Alcotest.(check (list string)) "implements" [ "t.I" ] c.Jclass.c_interfaces;
+      let m = Option.get (Jclass.find_method_named c "main") in
+      Alcotest.(check bool) "static" true m.Jclass.jm_static;
+      let b = Option.get m.Jclass.jm_body in
+      (* tags survived *)
+      Alcotest.(check int) "src tag" 1 (List.length (Body.find_tagged b "src"));
+      Alcotest.(check int) "snk tag" 1 (List.length (Body.find_tagged b "snk"));
+      (* parse -> print -> parse is stable *)
+      let p1 = Pretty.class_to_string c in
+      (match Parser.parse_string p1 with
+      | [ c2 ] -> Alcotest.(check string) "stable" p1 (Pretty.class_to_string c2)
+      | _ -> Alcotest.fail "re-parse failed")
+  | cs -> Alcotest.fail (Printf.sprintf "expected 2 classes, got %d" (List.length cs))
+
+let test_parse_errors () =
+  let bad =
+    [
+      "class {";
+      "class A extends {";
+      "class A { field x }";
+      "class A { method void m() { x = ; } }";
+      "class A { method void m() { goto missing; } }";
+      "class A { method void m() { if x == goto l; } }";
+      "klass A {}";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Parser.parse_string src with
+      | exception Parser.Parse_error _ -> ()
+      | exception Lexer.Lex_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "expected parse error on %S" src))
+    bad
+
+let test_parse_comments_and_ops () =
+  let src =
+    {|
+class t.Ops {
+  method int f(int, int) {
+    local a : int; local b : int; local c : int;
+    a := @parameter0;
+    b := @parameter1;
+    /* block comment */
+    c = a + b;
+    c = a - b;
+    c = a * b;
+    c = c << a;
+    c = neg c;
+    if a < b goto l;
+    if a >= b goto l;
+   l:
+    return c;
+  }
+}
+|}
+  in
+  match Parser.parse_string src with
+  | [ c ] ->
+      let m = Option.get (Jclass.find_method_named c "f") in
+      let b = Option.get m.Jclass.jm_body in
+      Alcotest.(check int) "stmt count" 10 (Body.length b);
+      let p = Pretty.class_to_string c in
+      (match Parser.parse_string p with
+      | [ c2 ] -> Alcotest.(check string) "stable" p (Pretty.class_to_string c2)
+      | _ -> Alcotest.fail "re-parse failed")
+  | _ -> Alcotest.fail "parse failed"
+
+(* property: every DSL-built random straight-line body round-trips *)
+
+let gen_prog : Jclass.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 1 12 in
+  let* ops = list_size (return n) (int_bound 6) in
+  return
+    (B.cls "t.Rand"
+       [
+         B.meth "m" (fun m ->
+             let x = B.local m "x" and y = B.local m "y" in
+             B.const m x (B.i 0);
+             B.const m y (B.s "s");
+             List.iter
+               (fun op ->
+                 match op with
+                 | 0 -> B.move m x y
+                 | 1 -> B.binop m x "+" (B.v x) (B.v y)
+                 | 2 -> B.store m x (B.fld "t.Rand" "f") (B.v y)
+                 | 3 -> B.load m y x (B.fld "t.Rand" "f")
+                 | 4 -> B.scall m ~ret:y "t.Lib" "id" [ B.v x ]
+                 | 5 -> B.newc m x "t.Rand" []
+                 | _ -> B.cast m y (T.Ref "java.lang.String") (B.v x))
+               ops);
+       ])
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"pretty/parse round-trip (random programs)" ~count:100
+    (QCheck.make ~print:Pretty.class_to_string gen_prog) (fun c ->
+      let p = Pretty.class_to_string c in
+      match Parser.parse_string p with
+      | [ c2 ] -> Pretty.class_to_string c2 = p
+      | _ -> false)
+
+(* fuzz: arbitrary input never crashes the textual frontend with
+   anything other than its declared exceptions *)
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser is total (errors are Parse/Lex_error)"
+    ~count:500
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 200) QCheck.Gen.printable)
+    (fun src ->
+      match Parser.parse_string src with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true
+      | exception _ -> false)
+
+(* fuzz around valid programs: mutate a printed class by deleting a
+   random slice; must never crash with an unexpected exception *)
+let prop_parser_mutation =
+  QCheck.Test.make ~name:"parser survives mutations of valid programs"
+    ~count:300
+    QCheck.(pair (int_bound 1000) (pair small_nat small_nat))
+    (fun (seed, (ofs, len)) ->
+      ignore seed;
+      let valid = Pretty.class_to_string (simple_class ()) in
+      let n = String.length valid in
+      let ofs = ofs mod n in
+      let len = min len (n - ofs) in
+      let mutated =
+        String.sub valid 0 ofs ^ String.sub valid (ofs + len) (n - ofs - len)
+      in
+      match Parser.parse_string mutated with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true
+      | exception _ -> false)
+
+let prop_body_succs_in_range =
+  QCheck.Test.make ~name:"all successors are valid indices" ~count:100
+    (QCheck.make ~print:Pretty.class_to_string gen_prog) (fun c ->
+      List.for_all
+        (fun (m : Jclass.jmethod) ->
+          match m.Jclass.jm_body with
+          | None -> true
+          | Some b ->
+              let ok = ref true in
+              Body.iter b (fun s ->
+                  List.iter
+                    (fun j -> if j < 0 || j >= Body.length b then ok := false)
+                    (Body.succs b s.S.s_idx));
+              !ok)
+        c.Jclass.c_methods)
+
+let () =
+  Alcotest.run "fd_ir"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "string round-trip" `Quick test_typ_string_roundtrip;
+          Alcotest.test_case "equality" `Quick test_typ_equal;
+          Alcotest.test_case "method sig printing" `Quick test_method_sig_string;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "basic" `Quick test_builder_basic;
+          Alcotest.test_case "cfg succs/preds" `Quick test_cfg_succs_preds;
+          Alcotest.test_case "undefined label" `Quick test_label_resolution_error;
+          Alcotest.test_case "duplicate label" `Quick test_duplicate_label_error;
+          Alcotest.test_case "local interning" `Quick test_local_interning;
+          Alcotest.test_case "no auto-return after goto" `Quick
+            test_goto_no_auto_return;
+          Alcotest.test_case "exit stmts" `Quick test_exit_stmts;
+          Alcotest.test_case "tags" `Quick test_find_tagged;
+          Alcotest.test_case "uses_local" `Quick test_uses_local;
+        ] );
+      ( "scene",
+        [
+          Alcotest.test_case "subtyping" `Quick test_subtyping;
+          Alcotest.test_case "phantoms" `Quick test_phantom_resolve;
+          Alcotest.test_case "CHA dispatch" `Quick test_dispatch;
+          Alcotest.test_case "inherited resolution" `Quick
+            test_resolve_concrete_inherited;
+          Alcotest.test_case "duplicate class" `Quick test_duplicate_class;
+          Alcotest.test_case "superclass chain" `Quick test_superclasses_chain;
+        ] );
+      ( "text",
+        [
+          Alcotest.test_case "round-trip LeakageApp" `Quick test_roundtrip_leakage;
+          Alcotest.test_case "hand-written unit" `Quick test_parse_handwritten;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments and operators" `Quick
+            test_parse_comments_and_ops;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_print_parse_roundtrip; prop_body_succs_in_range;
+            prop_parser_total; prop_parser_mutation ] );
+    ]

@@ -1,0 +1,186 @@
+(* Cross-cutting property tests over the engines:
+
+   - soundness on the supported fragment: any leak the concrete
+     interpreter observes on a generated app must also be reported by
+     the static analysis (dynamic ⊆ static);
+   - over-approximation ordering: shortening the access-path bound k
+     never loses findings (truncation widens);
+   - determinism: repeated analyses agree;
+   - no sources -> no findings. *)
+
+open Fd_ir
+module B = Build
+module T = Types
+module Gen = Fd_appgen.Generator
+
+let static_findings ?(config = Fd_core.Config.default) apk =
+  let r = Fd_core.Infoflow.analyze_apk ~config apk in
+  List.map
+    (fun (fd : Fd_core.Bidi.finding) ->
+      ( fd.Fd_core.Bidi.f_source.Fd_core.Taint.si_tag,
+        fd.Fd_core.Bidi.f_sink_tag ))
+    r.Fd_core.Infoflow.r_findings
+  |> List.sort_uniq compare
+
+let dynamic_findings apk =
+  match Fd_frontend.Apk.load apk with
+  | exception Fd_frontend.Apk.Load_error _ -> []
+  | loaded ->
+      Fd_interp.Droid_runner.findings (Fd_interp.Droid_runner.run loaded)
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+(* --- dynamic ⊆ static on generated apps --- *)
+
+let prop_dynamic_subset_of_static profile =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "dynamic leaks are a subset of static findings (%s)"
+         (Gen.string_of_profile profile))
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let app = Gen.generate ~profile ~seed 0 in
+      let s = static_findings app.Gen.ga_apk in
+      let d = dynamic_findings app.Gen.ga_apk in
+      subset d s)
+
+(* --- static recall on planted ground truth --- *)
+
+let prop_static_finds_planted =
+  QCheck.Test.make ~name:"static analysis recovers every planted leak"
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let app = Gen.generate ~profile:Gen.Malware ~seed 1 in
+      let s = static_findings app.Gen.ga_apk in
+      List.for_all
+        (fun (src, snk) -> List.mem (src, Some snk) s)
+        app.Gen.ga_expected)
+
+(* --- k-monotonicity --- *)
+
+let prop_k_monotone =
+  QCheck.Test.make
+    ~name:"shrinking the access-path bound never loses findings" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let app = Gen.generate ~profile:Gen.Play ~seed 2 in
+      let at k =
+        static_findings
+          ~config:{ Fd_core.Config.default with Fd_core.Config.max_access_path = k }
+          app.Gen.ga_apk
+      in
+      let k5 = at 5 and k1 = at 1 in
+      subset k5 k1)
+
+(* --- determinism --- *)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"analysis is deterministic" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let app = Gen.generate ~profile:Gen.Malware ~seed 3 in
+      static_findings app.Gen.ga_apk = static_findings app.Gen.ga_apk)
+
+(* --- no sources, no findings --- *)
+
+let prop_no_source_no_finding =
+  QCheck.Test.make ~name:"sink-only programs never report" ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 0 1000))
+    (fun (n, salt) ->
+      let cls = "p.NoSrc" in
+      let apk =
+        Fd_frontend.Apk.make "NoSrc"
+          ~manifest:
+            (Fd_frontend.Apk.simple_manifest ~package:"p"
+               [ (Fd_frontend.Framework.Activity, cls, []) ])
+          [
+            B.cls cls ~super:"android.app.Activity"
+              [
+                B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ]
+                  (fun m ->
+                    let _this = B.this m in
+                    let _ = B.param m 0 "b" in
+                    (* n constant flows into sinks, salted values *)
+                    List.iter
+                      (fun i ->
+                        let x = B.local m (Printf.sprintf "x%d" i) in
+                        B.const m x (B.s (Printf.sprintf "v%d" (i + salt)));
+                        B.scall m "android.util.Log" "i" [ B.s "t"; B.v x ])
+                      (List.init n Fun.id));
+              ];
+          ]
+      in
+      static_findings apk = [] && dynamic_findings apk = [])
+
+(* --- disabling precision features never reduces static findings on
+       the generated corpus (they are all over-approximations) --- *)
+
+let prop_naive_handover_superset =
+  QCheck.Test.make
+    ~name:"naive handover reports a superset of the precise engine"
+    ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let app = Gen.generate ~profile:Gen.Play ~seed 4 in
+      let precise = static_findings app.Gen.ga_apk in
+      let naive =
+        static_findings
+          ~config:
+            { Fd_core.Config.default with Fd_core.Config.context_injection = false }
+          app.Gen.ga_apk
+      in
+      subset precise naive)
+
+(* --- disabling callback discovery only removes findings --- *)
+
+let prop_callbacks_monotone =
+  QCheck.Test.make
+    ~name:"disabling callbacks never adds findings" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let app = Gen.generate ~profile:Gen.Malware ~seed 5 in
+      let off =
+        static_findings
+          ~config:{ Fd_core.Config.default with Fd_core.Config.callbacks = false }
+          app.Gen.ga_apk
+      in
+      let on = static_findings app.Gen.ga_apk in
+      subset off on)
+
+(* --- RTA is at most as coarse as CHA on generated apps --- *)
+
+let prop_rta_subset_of_cha =
+  QCheck.Test.make ~name:"RTA findings are a subset of CHA findings"
+    ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let app = Gen.generate ~profile:Gen.Play ~seed 6 in
+      let rta =
+        static_findings
+          ~config:
+            { Fd_core.Config.default with
+              Fd_core.Config.cg_algorithm = Fd_callgraph.Callgraph.Rta }
+          app.Gen.ga_apk
+      in
+      let cha = static_findings app.Gen.ga_apk in
+      subset rta cha)
+
+let () =
+  Alcotest.run "fd_properties"
+    [
+      ( "engine-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_dynamic_subset_of_static Gen.Malware;
+            prop_dynamic_subset_of_static Gen.Play;
+            prop_static_finds_planted;
+            prop_k_monotone;
+            prop_deterministic;
+            prop_no_source_no_finding;
+            prop_naive_handover_superset;
+            prop_callbacks_monotone;
+            prop_rta_subset_of_cha;
+          ] );
+    ]

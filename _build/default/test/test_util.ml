@@ -1,0 +1,191 @@
+(* Tests for Fd_util: the PRNG and the table renderer. *)
+
+open Fd_util
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_bounds () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int t 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_prng_range () =
+  let t = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Prng.range t 3 7 in
+    Alcotest.(check bool) "in [3,7]" true (x >= 3 && x <= 7)
+  done
+
+let test_prng_range_singleton () =
+  let t = Prng.create 9 in
+  Alcotest.(check int) "lo=hi" 5 (Prng.range t 5 5)
+
+let test_prng_invalid () =
+  let t = Prng.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0));
+  Alcotest.check_raises "empty choose"
+    (Invalid_argument "Prng.choose: empty list") (fun () ->
+      ignore (Prng.choose t []))
+
+let test_prng_float () =
+  let t = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Prng.float t 1.0 in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_prng_choose () =
+  let t = Prng.create 5 in
+  for _ = 1 to 100 do
+    let x = Prng.choose t [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem x [ 1; 2; 3 ])
+  done
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create 8 in
+  let xs = List.init 50 Fun.id in
+  let ys = Prng.shuffle t xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort compare ys)
+
+let test_prng_poisson_mean () =
+  let t = Prng.create 99 in
+  let n = 20_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Prng.poisson t 1.85
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "poisson mean %.3f near 1.85" mean)
+    true
+    (mean > 1.7 && mean < 2.0)
+
+let test_prng_poisson_zero () =
+  let t = Prng.create 1 in
+  Alcotest.(check int) "lambda<=0 gives 0" 0 (Prng.poisson t 0.0)
+
+let test_prng_split_independent () =
+  let t = Prng.create 13 in
+  let a = Prng.split t in
+  let b = Prng.split t in
+  let xs = List.init 10 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+(* Table *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_table_alignment () =
+  let t =
+    Table.make ~header:[ "App"; "Found" ]
+      [ Table.Row [ "A1"; "yes" ]; Table.Row [ "LongerName"; "no" ] ]
+  in
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "header starts with App" true
+        (String.length header >= 3 && String.sub header 0 3 = "App")
+  | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "mentions LongerName" true (contains s "LongerName")
+
+let test_table_section_and_sep () =
+  let t =
+    Table.make ~header:[ "a"; "b" ]
+      [ Table.Section "Lifecycle"; Table.Row [ "x"; "y" ]; Table.Sep ]
+  in
+  let s = Table.render t in
+  Alcotest.(check bool) "section rendered" true (contains s "== Lifecycle")
+
+let test_pct () =
+  Alcotest.(check string) "93%" "93%" (Table.pct 26 28);
+  Alcotest.(check string) "n/a" "n/a" (Table.pct 1 0);
+  Alcotest.(check string) "100%" "100%" (Table.pct 5 5)
+
+let test_f_measure () =
+  let f = Table.f_measure 0.86 0.93 in
+  Alcotest.(check bool) "f near 0.89" true (abs_float (f -. 0.894) < 0.01);
+  Alcotest.(check (float 0.0001)) "degenerate" 0.0 (Table.f_measure 0.0 0.0)
+
+(* property tests *)
+
+let prop_prng_int_in_bounds =
+  QCheck.Test.make ~name:"prng int in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let t = Prng.create seed in
+      let x = Prng.int t bound in
+      x >= 0 && x < bound)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let t = Prng.create seed in
+      List.sort compare (Prng.shuffle t xs) = List.sort compare xs)
+
+let prop_table_render_line_count =
+  QCheck.Test.make ~name:"table renders one line per row (+2 for header)"
+    ~count:200
+    QCheck.(small_list (small_list printable_string))
+    (fun rows ->
+      let rows = List.map (fun r -> Table.Row ("x" :: r)) rows in
+      let t = Table.make ~header:[ "h" ] rows in
+      let s = Table.render t in
+      let nlines =
+        String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+      in
+      nlines = List.length rows + 2)
+
+let () =
+  Alcotest.run "fd_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "different seeds" `Quick test_prng_different_seeds;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "range" `Quick test_prng_range;
+          Alcotest.test_case "range singleton" `Quick test_prng_range_singleton;
+          Alcotest.test_case "invalid args" `Quick test_prng_invalid;
+          Alcotest.test_case "float bounds" `Quick test_prng_float;
+          Alcotest.test_case "choose member" `Quick test_prng_choose;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_prng_shuffle_permutation;
+          Alcotest.test_case "poisson mean" `Slow test_prng_poisson_mean;
+          Alcotest.test_case "poisson zero" `Quick test_prng_poisson_zero;
+          Alcotest.test_case "split independence" `Quick
+            test_prng_split_independent;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "sections" `Quick test_table_section_and_sep;
+          Alcotest.test_case "pct" `Quick test_pct;
+          Alcotest.test_case "f-measure" `Quick test_f_measure;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_prng_int_in_bounds;
+            prop_shuffle_is_permutation;
+            prop_table_render_line_count;
+          ] );
+    ]
