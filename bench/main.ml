@@ -25,6 +25,28 @@ let section title =
   Printf.printf "%s\n" title;
   line ()
 
+(* per-section observability: each Part-1 artefact runs with a fresh
+   metric registry and trace, and its snapshot is collected into
+   BENCH_obs.json next to the human-readable output *)
+let obs_sections : (string * Fd_obs.Json.t) list ref = ref []
+
+let with_obs name f =
+  Fd_obs.Metrics.reset ();
+  Fd_obs.Trace.reset ();
+  Fd_obs.Trace.with_span name f;
+  obs_sections := (name, Fd_obs.Export.stats_json ()) :: !obs_sections
+
+let write_obs_json path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Fd_obs.Json.to_string ~indent:1
+           (Fd_obs.Json.Obj (List.rev !obs_sections))
+        ^ "\n"));
+  Printf.printf "wrote %s\n" path
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: tables and figures                                          *)
 (* ------------------------------------------------------------------ *)
@@ -230,11 +252,12 @@ let benchmark () =
   print_newline ()
 
 let () =
-  table1 ();
-  table2 ();
-  rq2 ();
-  rq3 ();
-  ablation_table ();
-  dynamic_comparison ();
+  with_obs "table1" table1;
+  with_obs "table2" table2;
+  with_obs "rq2" rq2;
+  with_obs "rq3" rq3;
+  with_obs "ablations" ablation_table;
+  with_obs "dynamic" dynamic_comparison;
   figures ();
-  benchmark ()
+  benchmark ();
+  write_obs_json "BENCH_obs.json"

@@ -1,9 +1,133 @@
 (* Regenerates Table 1: DROIDBENCH results for FlowDroid and the two
-   simulated commercial comparators. *)
+   simulated commercial comparators.
+
+   Observability options:
+     --app NAME         run FlowDroid on one benchmark case only
+     --stats-json FILE  write the metrics snapshot (+ phase durations)
+     --trace-out FILE   write a Chrome trace_event file
+     --dump DIR         write the selected app (or every app) to DIR as
+                        an on-disk app directory usable with
+                        flowdroid_cli *)
+
+let usage () =
+  prerr_endline
+    "usage: droidbench_runner [--app NAME] [--stats-json FILE] [--trace-out \
+     FILE] [--dump DIR]";
+  exit 1
+
+let app_name = ref None
+let stats_json = ref None
+let trace_out = ref None
+let dump_dir = ref None
+
 let () =
-  let engines =
-    [ Fd_eval.Engines.appscan; Fd_eval.Engines.fortify;
-      Fd_eval.Engines.flowdroid () ]
+  let rec parse = function
+    | [] -> ()
+    | "--app" :: v :: rest ->
+        app_name := Some v;
+        parse rest
+    | "--stats-json" :: v :: rest ->
+        stats_json := Some v;
+        parse rest
+    | "--trace-out" :: v :: rest ->
+        trace_out := Some v;
+        parse rest
+    | "--dump" :: v :: rest ->
+        dump_dir := Some v;
+        parse rest
+    | _ -> usage ()
   in
-  let t = Fd_eval.Droidbench_table.run engines in
-  print_string (Fd_eval.Droidbench_table.render t)
+  parse (List.tl (Array.to_list Sys.argv))
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Unix.mkdir d 0o755
+    end
+  in
+  go dir
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* write an in-memory APK as the on-disk app-directory layout
+   flowdroid_cli consumes: AndroidManifest.xml, res/layout/*.xml and
+   one .jimple unit per class *)
+let dump_app dir (apk : Fd_frontend.Apk.t) =
+  let root = Filename.concat dir apk.Fd_frontend.Apk.apk_name in
+  mkdir_p root;
+  write_file
+    (Filename.concat root "AndroidManifest.xml")
+    apk.Fd_frontend.Apk.apk_manifest;
+  (match apk.Fd_frontend.Apk.apk_layouts with
+  | [] -> ()
+  | layouts ->
+      let ldir = Filename.concat (Filename.concat root "res") "layout" in
+      mkdir_p ldir;
+      List.iter
+        (fun (name, src) ->
+          write_file (Filename.concat ldir (name ^ ".xml")) src)
+        layouts);
+  List.iter
+    (fun cls ->
+      write_file
+        (Filename.concat root (cls.Fd_ir.Jclass.c_name ^ ".jimple"))
+        (Fd_ir.Pretty.class_to_string cls))
+    apk.Fd_frontend.Apk.apk_classes;
+  Printf.printf "dumped %s\n" root
+
+let find_app name =
+  match Fd_droidbench.Suite.find name with
+  | Some app -> app
+  | None ->
+      Printf.eprintf "error: no DroidBench case named %S\n" name;
+      exit 1
+
+let run_one (app : Fd_droidbench.Bench_app.t) =
+  let result =
+    Fd_core.Infoflow.analyze_apk app.Fd_droidbench.Bench_app.app_apk
+  in
+  Printf.printf "%s: %d flow(s), %d propagations\n"
+    app.Fd_droidbench.Bench_app.app_name
+    (List.length result.Fd_core.Infoflow.r_findings)
+    result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_propagations
+
+let () =
+  (match !dump_dir with
+  | Some dir ->
+      (match !app_name with
+      | Some name -> dump_app dir (find_app name).Fd_droidbench.Bench_app.app_apk
+      | None ->
+          List.iter
+            (fun (a : Fd_droidbench.Bench_app.t) ->
+              dump_app dir a.Fd_droidbench.Bench_app.app_apk)
+            Fd_droidbench.Suite.all);
+      exit 0
+  | None -> ());
+  (match !app_name with
+  | Some name -> run_one (find_app name)
+  | None ->
+      let engines =
+        [ Fd_eval.Engines.appscan; Fd_eval.Engines.fortify;
+          Fd_eval.Engines.flowdroid () ]
+      in
+      let t = Fd_eval.Droidbench_table.run engines in
+      print_string (Fd_eval.Droidbench_table.render t));
+  let write_out what path =
+    try
+      what ~path;
+      Printf.eprintf "wrote %s\n" path
+    with Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  (match !stats_json with
+  | Some path -> write_out Fd_obs.Export.write_stats_json path
+  | None -> ());
+  match !trace_out with
+  | Some path -> write_out Fd_obs.Export.write_chrome_trace path
+  | None -> ()

@@ -68,6 +68,22 @@ let xml_out =
     & info [ "xml" ] ~docv:"FILE"
         ~doc:"Write the results as a FlowDroid-style XML report to $(docv).")
 
+let stats_json_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the observability snapshot (ifds.*, bidi.*, cg.*, \
+           frontend.* metrics and per-phase durations) as JSON to $(docv).")
+
+let trace_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event file of the pipeline phases to \
+           $(docv); open it in chrome://tracing or Perfetto.")
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -75,7 +91,9 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let analyze dir k no_lc no_cb no_alias no_act rta sources wrappers show_paths
-    dump_dm xml_out =
+    dump_dm xml_out stats_json_out trace_out =
+  Fd_obs.Metrics.reset ();
+  Fd_obs.Trace.reset ();
   let config =
     {
       Config.default with
@@ -131,6 +149,21 @@ let analyze dir k no_lc no_cb no_alias no_act rta sources wrappers show_paths
                       (Fd_callgraph.Icfg.string_of_node n))
                   fd.Fd_core.Bidi.f_path)
             findings;
+          let write_error = ref false in
+          let write_out what path =
+            try
+              what ~path;
+              Printf.eprintf "wrote %s\n" path
+            with Sys_error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              write_error := true
+          in
+          (match stats_json_out with
+          | Some path -> write_out Fd_obs.Export.write_stats_json path
+          | None -> ());
+          (match trace_out with
+          | Some path -> write_out Fd_obs.Export.write_chrome_trace path
+          | None -> ());
           (match xml_out with
           | Some path ->
               let oc = open_out_bin path in
@@ -154,7 +187,7 @@ let analyze dir k no_lc no_cb no_alias no_act rta sources wrappers show_paths
                 print_string (Fd_ir.Pretty.cfg_to_string body)
             | exception Not_found -> ()
           end;
-          if findings = [] then 0 else 2)
+          if !write_error then 1 else if findings = [] then 0 else 2)
 
 let cmd =
   Cmd.v
@@ -174,6 +207,6 @@ let cmd =
     Term.(
       const analyze $ app_dir $ k_len $ no_lifecycle $ no_callbacks $ no_alias
       $ no_activation $ rta $ sources_file $ wrappers_file $ show_paths
-      $ dump_dummy_main $ xml_out)
+      $ dump_dummy_main $ xml_out $ stats_json_out $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

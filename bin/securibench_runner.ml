@@ -1,4 +1,28 @@
-(* Regenerates Table 2: SecuriBench-µ results for FlowDroid. *)
+(* Regenerates Table 2: SecuriBench-µ results for FlowDroid.
+
+   Observability options:
+     --stats-json FILE  write the metrics snapshot (+ phase durations)
+     --trace-out FILE   write a Chrome trace_event file *)
+
+let stats_json = ref None
+let trace_out = ref None
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--stats-json" :: v :: rest ->
+        stats_json := Some v;
+        parse rest
+    | "--trace-out" :: v :: rest ->
+        trace_out := Some v;
+        parse rest
+    | _ ->
+        prerr_endline
+          "usage: securibench_runner [--stats-json FILE] [--trace-out FILE]";
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
 let () =
   let t = Fd_eval.Securibench_table.run () in
   print_string (Fd_eval.Securibench_table.render t);
@@ -8,4 +32,18 @@ let () =
       if v.Fd_eval.Scoring.fn > 0 || v.Fd_eval.Scoring.fp > 0 then
         Printf.printf "  %-18s tp=%d fp=%d fn=%d\n" name v.Fd_eval.Scoring.tp
           v.Fd_eval.Scoring.fp v.Fd_eval.Scoring.fn)
-    t.Fd_eval.Securibench_table.per_case
+    t.Fd_eval.Securibench_table.per_case;
+  let write_out what path =
+    try
+      what ~path;
+      Printf.eprintf "wrote %s\n" path
+    with Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  (match !stats_json with
+  | Some path -> write_out Fd_obs.Export.write_stats_json path
+  | None -> ());
+  match !trace_out with
+  | Some path -> write_out Fd_obs.Export.write_chrome_trace path
+  | None -> ()

@@ -14,6 +14,13 @@
     "supergraph on demand" the paper relies on). *)
 
 open Fd_ir
+module M = Fd_obs.Metrics
+
+let m_sites = M.counter "cg.call_sites_resolved"
+let m_iterations = M.counter "cg.fixpoint_iterations"
+let g_reachable = M.gauge "cg.reachable_methods"
+let g_edges = M.gauge "cg.edges"
+let g_instantiated = M.gauge "cg.instantiated_classes"
 
 type algorithm = Cha | Rta
 
@@ -87,6 +94,7 @@ let resolve_invoke scene algorithm ~instantiated (inv : Stmt.invoke) =
     reachable from [entry].  For {!Rta} the instantiated-class set and
     the reachable set are iterated to a joint fixed point. *)
 let build scene ~entry ?(algorithm = Cha) () =
+  Fd_obs.Trace.with_span "callgraph.build" @@ fun () ->
   let cg =
     {
       cg_scene = scene;
@@ -108,6 +116,7 @@ let build scene ~entry ?(algorithm = Cha) () =
      later-discovered allocations enable earlier virtual sites *)
   while !changed do
     changed := false;
+    M.incr m_iterations;
     Mkey.Tbl.reset cg.cg_reachable;
     Hashtbl.reset cg.cg_out;
     Hashtbl.reset cg.cg_in;
@@ -147,6 +156,7 @@ let build scene ~entry ?(algorithm = Cha) () =
                     resolve_invoke scene algorithm ~instantiated inv
                   in
                   if targets <> [] then begin
+                    M.incr m_sites;
                     Hashtbl.replace cg.cg_out (k, s.Stmt.s_idx) targets;
                     List.iter
                       (fun tgt ->
@@ -161,6 +171,10 @@ let build scene ~entry ?(algorithm = Cha) () =
     (* CHA converges in one pass *)
     if algorithm = Cha then changed := false
   done;
+  M.set_int g_reachable (Mkey.Tbl.length cg.cg_reachable);
+  M.set_int g_edges
+    (Hashtbl.fold (fun _ tgts acc -> acc + List.length tgts) cg.cg_out 0);
+  M.set_int g_instantiated (Hashtbl.length instantiated);
   cg
 
 (** [callees cg caller stmt_idx] is the resolved targets of the call

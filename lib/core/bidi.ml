@@ -37,6 +37,29 @@ open Fd_callgraph
 module AP = Access_path
 module SS = Fd_frontend.Sourcesink
 
+(* solver metrics (namespaces: ifds.* for the shared tabulation
+   machinery — the same counters the generic [Fd_ifds] solver uses —
+   and bidi.* for the bidirectional-specific mechanisms); handles are
+   resolved once so hot-path updates are single field increments *)
+module M = Fd_obs.Metrics
+
+let m_path_edges = M.counter "ifds.path_edges"
+let m_worklist_pushes = M.counter "ifds.worklist_pushes"
+let m_worklist_pops = M.counter "ifds.worklist_pops"
+let m_summaries = M.counter "ifds.summaries_installed"
+let m_summary_apps = M.counter "ifds.summary_applications"
+let m_flow_normal = M.counter "ifds.flow.normal"
+let m_flow_call = M.counter "ifds.flow.call"
+let m_flow_return = M.counter "ifds.flow.return"
+let m_flow_c2r = M.counter "ifds.flow.call_to_return"
+let m_fw_props = M.counter "bidi.fw_propagations"
+let m_bw_props = M.counter "bidi.bw_propagations"
+let m_alias_queries = M.counter "bidi.alias_queries"
+let m_fw_injections = M.counter "bidi.fw_injections"
+let m_bw_steps = M.counter "bidi.backward_steps"
+let m_activations = M.counter "bidi.activations"
+let m_findings = M.counter "core.findings"
+
 type finding = {
   f_source : Taint.source_info;
   f_sink_node : Icfg.node;
@@ -153,8 +176,14 @@ let propagate t solver cx n fact =
       t.budget_exhausted <- true
     else begin
       t.propagations <- t.propagations + 1;
+      M.incr m_path_edges;
+      M.incr m_worklist_pushes;
+      if solver == t.fw then begin
+        M.incr m_fw_props;
+        record_result t n fact
+      end
+      else M.incr m_bw_props;
       Edge_tbl.replace solver.s_edges key ();
-      if solver == t.fw then record_result t n fact;
       Queue.add key solver.s_work
     end
   end
@@ -201,6 +230,7 @@ let add_summary solver cx_callee exit_pair =
   then false
   else begin
     cell := exit_pair :: !cell;
+    M.incr m_summaries;
     true
   end
 
@@ -221,6 +251,7 @@ let report t ~(source : Taint.source_info) ~sink_node ~sink_tag ~sink_cat
   in
   if not (Hashtbl.mem t.finding_keys key) then begin
     Hashtbl.replace t.finding_keys key ();
+    M.incr m_findings;
     t.findings <-
       {
         f_source = source;
@@ -275,6 +306,7 @@ let maybe_activate t n (taint : Taint.t) =
   else
     match taint.Taint.activation with
     | Some a when Icfg.equal_node a n || is_act_site t ~activation:a n ->
+        M.incr m_activations;
         Taint.activate taint ~at:n
     | _ -> taint
 
@@ -325,6 +357,7 @@ let alias_ap_of_expr (e : Stmt.expr) : AP.t option =
    [n], under the forward context [cx] (context injection) *)
 let spawn_alias_search t cx n (origin : Taint.t) ap =
   if t.cfg.Config.alias_search && not (AP.is_static ap) then begin
+    M.incr m_alias_queries;
     let cx =
       if t.cfg.Config.context_injection then cx
       else { cx_proc = n.Icfg.n_method; cx_fact = Taint.Zero }
@@ -368,6 +401,7 @@ let assign_gen t n lv e (taint : Taint.t) =
 (* forward flow across a non-call statement; returns outgoing facts
    and performs alias-search side effects *)
 let normal_flow t cx n (fact : Taint.fact) : Taint.fact list =
+  M.incr m_flow_normal;
   let stmt = Icfg.stmt t.icfg n in
   match fact with
   | Taint.Zero -> (
@@ -432,6 +466,7 @@ let normal_flow t cx n (fact : Taint.fact) : Taint.fact list =
 (* map caller facts into a callee (argument passing) *)
 let call_flow t n (inv : Stmt.invoke) callee (fact : Taint.fact) :
     Taint.fact list =
+  M.incr m_flow_call;
   match fact with
   | Taint.Zero -> [ Taint.Zero ]
   | Taint.T taint -> (
@@ -479,6 +514,7 @@ let call_flow t n (inv : Stmt.invoke) callee (fact : Taint.fact) :
 (* map callee exit facts back to the caller *)
 let return_flow t ~call:c ~callee ~exit_node (inv : Stmt.invoke)
     (fact : Taint.fact) : Taint.fact list =
+  M.incr m_flow_return;
   match fact with
   | Taint.Zero -> []
   | Taint.T taint -> (
@@ -712,6 +748,7 @@ let process_call_fw t cx n (fact : Taint.fact) inv =
             propagate_fw t cx_callee s_callee d3;
             List.iter
               (fun (e, d4) ->
+                M.incr m_summary_apps;
                 let rets =
                   return_flow t ~call:n ~callee ~exit_node:e inv d4
                 in
@@ -730,6 +767,7 @@ let process_call_fw t cx n (fact : Taint.fact) inv =
           entry_facts)
       callees;
   (* call-to-return: sources, library models, pass-through *)
+  M.incr m_flow_c2r;
   let derived =
     match fact with
     | Taint.Zero -> List.map (fun g -> Taint.T g) (gen_sources t n inv)
@@ -828,7 +866,9 @@ let process_fw t cx n fact =
 (* ---------------- backward solver (Algorithm 2) ---------------- *)
 
 (* inject a discovered alias into the forward analysis at node [n] *)
-let inject_fw t cx n (alias : Taint.t) = propagate_fw t cx n (Taint.T alias)
+let inject_fw t cx n (alias : Taint.t) =
+  M.incr m_fw_injections;
+  propagate_fw t cx n (Taint.T alias)
 
 (* backward descent into a call's callees for a fact rooted at the
    receiver or an actual argument: the callee may have created aliases
@@ -873,6 +913,7 @@ let backward_descend_args t cx m (inv : Stmt.invoke) (taint : Taint.t) =
    valid before [n]; may inject forward facts and descend into
    callees *)
 let backward_step t cx m (taint : Taint.t) =
+  M.incr m_bw_steps;
   let stmt = Icfg.stmt t.icfg m in
   let continue_with tt = propagate_bw t cx m (Taint.T tt) in
   match stmt.Stmt.s_kind with
@@ -1011,11 +1052,13 @@ let run t ~entries =
   let rec loop () =
     if not (Queue.is_empty t.fw.s_work) then begin
       let cx, n, fact = Queue.pop t.fw.s_work in
+      M.incr m_worklist_pops;
       process_fw t cx n fact;
       loop ()
     end
     else if not (Queue.is_empty t.bw.s_work) then begin
       let cx, n, fact = Queue.pop t.bw.s_work in
+      M.incr m_worklist_pops;
       process_bw t cx n fact;
       loop ()
     end

@@ -19,6 +19,10 @@ type stats = {
   st_cg_edges : int;
   st_propagations : int;  (** path-edge propagations of both solvers *)
   st_budget_exhausted : bool;
+  st_metrics : Fd_obs.Metrics.snapshot;
+      (** registry snapshot taken when the run finished (counters are
+          process-cumulative; reset before the run for per-run
+          numbers) *)
 }
 
 type result = {
@@ -39,8 +43,13 @@ let log_src = Logs.Src.create "flowdroid" ~doc:"FlowDroid analysis pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* run latency histograms: real samples for the log-scale buckets *)
+let h_analysis = Fd_obs.Metrics.histogram "core.analysis_seconds"
+let h_solve = Fd_obs.Metrics.histogram "ifds.solve_seconds"
+
 let run_engine ?(config = Config.default) ?(phase = no_hook) ~scene ~mgr
     ~wrappers ~natives ~entries () =
+  Fd_obs.Metrics.time h_analysis @@ fun () ->
   let t0 = Sys.time () in
   Log.debug (fun m ->
       m "analysis starting with %d entry point(s)" (List.length entries));
@@ -52,7 +61,8 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ~scene ~mgr
   let icfg = Icfg.create cg in
   phase "perform taint analysis";
   let engine = Bidi.create ~config ~icfg ~scene ~mgr ~wrappers ~natives in
-  Bidi.run engine ~entries;
+  Fd_obs.Trace.with_span "taint.solve" (fun () ->
+      Fd_obs.Metrics.time h_solve (fun () -> Bidi.run engine ~entries));
   let t1 = Sys.time () in
   if Bidi.budget_exhausted engine then
     Log.warn (fun m ->
@@ -73,6 +83,7 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ~scene ~mgr
         st_cg_edges = Callgraph.edge_count cg;
         st_propagations = Bidi.propagation_count engine;
         st_budget_exhausted = Bidi.budget_exhausted engine;
+        st_metrics = Fd_obs.Metrics.snapshot ();
       };
     r_engine = engine;
     r_icfg = icfg;
@@ -84,6 +95,7 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ~scene ~mgr
     isolated entry (the comparator-tool behaviour). *)
 let android_entries ~(config : Config.t) ~phase
     (loaded : Fd_frontend.Apk.loaded) =
+  Fd_obs.Trace.with_span "lifecycle.entrypoints" @@ fun () ->
   phase "source, sink and entry-point detection";
   let ccs =
     if config.Config.callbacks then Fd_lifecycle.Callbacks.discover_all loaded

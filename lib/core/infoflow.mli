@@ -16,6 +16,11 @@ type stats = {
   st_cg_edges : int;
   st_propagations : int;  (** path-edge propagations of both solvers *)
   st_budget_exhausted : bool;
+  st_metrics : Fd_obs.Metrics.snapshot;
+      (** registry snapshot taken when the run finished: the [ifds.*],
+          [bidi.*], [cg.*], [frontend.*] and [lifecycle.*] series.
+          Counters are process-cumulative; call {!Fd_obs.Metrics.reset}
+          before the run for per-run numbers. *)
 }
 
 type result = {

@@ -10,6 +10,12 @@
     skeleton installed. *)
 
 open Fd_ir
+module M = Fd_obs.Metrics
+
+let m_units = M.counter "frontend.jimple_units_parsed"
+let g_classes = M.gauge "frontend.classes"
+let g_layouts = M.gauge "frontend.layouts"
+let g_components = M.gauge "frontend.components"
 
 type t = {
   apk_name : string;
@@ -39,6 +45,7 @@ let make_text name ~manifest ?(layouts = []) sources =
   let classes =
     List.concat_map
       (fun src ->
+        M.incr m_units;
         try Parser.parse_string src with
         | Parser.Parse_error (line, msg) ->
             raise (Load_error (Printf.sprintf "%s: parse error at line %d: %s" name line msg))
@@ -90,6 +97,7 @@ let of_dir dir =
     to a class with the right framework superclass.
     @raise Load_error on inconsistencies. *)
 let load apk =
+  Fd_obs.Trace.with_span "frontend.load" @@ fun () ->
   let manifest =
     try Manifest.parse apk.apk_manifest with
     | Manifest.Malformed msg ->
@@ -144,6 +152,9 @@ let load apk =
                       apk.apk_name c.Manifest.comp_class
                       (Framework.string_of_component_kind c.Manifest.comp_kind)))))
     components;
+  M.set_int g_classes (List.length apk.apk_classes);
+  M.set_int g_layouts (List.length apk.apk_layouts);
+  M.set_int g_components (List.length components);
   { name = apk.apk_name; manifest; layout; scene; components }
 
 (** [res_id loaded name] is the integer resource id of the layout

@@ -72,6 +72,21 @@ module type PROBLEM = sig
       callee) *)
 end
 
+(* solver-wide metrics, shared with the specialised bidirectional
+   solver in [Fd_core.Bidi] (both are IFDS tabulations): handles are
+   resolved once so the hot-path cost is a single field increment *)
+module M = Fd_obs.Metrics
+
+let m_path_edges = M.counter "ifds.path_edges"
+let m_worklist_pushes = M.counter "ifds.worklist_pushes"
+let m_worklist_pops = M.counter "ifds.worklist_pops"
+let m_summaries = M.counter "ifds.summaries_installed"
+let m_summary_apps = M.counter "ifds.summary_applications"
+let m_flow_normal = M.counter "ifds.flow.normal"
+let m_flow_call = M.counter "ifds.flow.call"
+let m_flow_return = M.counter "ifds.flow.return"
+let m_flow_c2r = M.counter "ifds.flow.call_to_return"
+
 module Make (P : PROBLEM) = struct
   module Ntbl = Hashtbl.Make (struct
     type t = P.node
@@ -152,6 +167,8 @@ module Make (P : PROBLEM) = struct
     if not (NFtbl.mem set tgt) then begin
       NFtbl.replace set tgt ();
       t.edge_count <- t.edge_count + 1;
+      M.incr m_path_edges;
+      M.incr m_worklist_pushes;
       record_result t (fst tgt) (snd tgt);
       Queue.add (src, tgt) t.worklist
     end
@@ -179,6 +196,7 @@ module Make (P : PROBLEM) = struct
     if NFtbl.mem set exit_pair then false
     else begin
       NFtbl.replace set exit_pair ();
+      M.incr m_summaries;
       true
     end
 
@@ -188,6 +206,7 @@ module Make (P : PROBLEM) = struct
       (* a call node with analysable targets *)
       List.iter
         (fun callee ->
+          M.incr m_flow_call;
           let entry_facts = P.call_flow n callee d2 in
           let s_callee = P.start_of callee in
           List.iter
@@ -204,8 +223,10 @@ module Make (P : PROBLEM) = struct
               | Some sums ->
                   NFtbl.iter
                     (fun (e, d4) () ->
+                      M.incr m_summary_apps;
                       List.iter
                         (fun r ->
+                          M.incr m_flow_return;
                           List.iter
                             (fun d5 -> propagate t src (r, d5))
                             (P.return_flow ~call:n ~callee ~exit:e
@@ -215,6 +236,7 @@ module Make (P : PROBLEM) = struct
             entry_facts)
         callees;
       (* call-to-return edge *)
+      M.incr m_flow_c2r;
       List.iter
         (fun r ->
           List.iter
@@ -235,6 +257,7 @@ module Make (P : PROBLEM) = struct
         | Some inc ->
             NFtbl.iter
               (fun (c, dc) () ->
+                M.incr m_flow_return;
                 List.iter
                   (fun r ->
                     List.iter
@@ -251,13 +274,15 @@ module Make (P : PROBLEM) = struct
               inc
       end
     end
-    else
+    else begin
       (* plain intra-procedural node (includes calls with no analysable
          callee: their flow is the caller's business via normal_flow) *)
+      M.incr m_flow_normal;
       List.iter
         (fun m ->
           List.iter (fun d3 -> propagate t src (m, d3)) (P.normal_flow n d2))
         (P.succs n)
+    end
 
   (** [solve ~seeds] runs the tabulation to a fixed point.  Each seed
       [(n, d)] asserts that [d] holds just before [n] (typically
@@ -274,6 +299,7 @@ module Make (P : PROBLEM) = struct
       seeds;
     while not (Queue.is_empty t.worklist) do
       let src, tgt = Queue.pop t.worklist in
+      M.incr m_worklist_pops;
       process t src tgt
     done;
     t

@@ -266,6 +266,15 @@ let emit_component scene m p (cc : Callbacks.component_callbacks) idx =
     previous one, so re-analysis with different settings works), and
     returns the entry-point key. *)
 let generate scene (ccs : Callbacks.component_callbacks list) =
+  Fd_obs.Trace.with_span "lifecycle.dummy_main" @@ fun () ->
+  Fd_obs.Metrics.set_int
+    (Fd_obs.Metrics.gauge "lifecycle.components")
+    (List.length ccs);
+  Fd_obs.Metrics.set_int
+    (Fd_obs.Metrics.gauge "lifecycle.callbacks")
+    (List.fold_left
+       (fun acc cc -> acc + List.length cc.Callbacks.cc_callbacks)
+       0 ccs);
   let dummy =
     Jclass.mk dummy_class_name ~fields:[ opaque_field ]
       ~methods:
@@ -304,6 +313,7 @@ let entry_of_plain_methods keys = keys
     lets static-field flows connect separately declared entry points
     (the Inter group). *)
 let generate_plain scene (entries : Mkey.t list) =
+  Fd_obs.Trace.with_span "lifecycle.dummy_main" @@ fun () ->
   let dummy =
     Jclass.mk dummy_class_name ~fields:[ opaque_field ]
       ~methods:

@@ -1,0 +1,28 @@
+let stats_json () =
+  match Metrics.to_json () with
+  | Json.Obj fields ->
+      Json.Obj
+        (fields
+        @ [
+            ( "phases",
+              Json.Obj
+                (List.map
+                   (fun (name, dur, n) ->
+                     ( name,
+                       Json.Obj
+                         [ ("seconds", Json.Float dur); ("count", Json.Int n) ]
+                     ))
+                   (Trace.aggregate ())) );
+          ])
+  | other -> other
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_stats_json ~path =
+  write_file path (Json.to_string ~indent:1 (stats_json ()) ^ "\n")
+
+let write_chrome_trace ~path = write_file path (Trace.to_chrome_string () ^ "\n")

@@ -1,0 +1,14 @@
+(** File export of the observability state, shared by the CLI, the
+    benchmark runners and the bench harness. *)
+
+val stats_json : unit -> Json.t
+(** one object combining the metric registry snapshot ({!Metrics}) and
+    the per-phase aggregate durations ({!Trace.aggregate}):
+    [{"counters": …, "gauges": …, "histograms": …, "phases": {name:
+    {"seconds": s, "count": n}}}] *)
+
+val write_stats_json : path:string -> unit
+(** write [stats_json ()] pretty-printed to [path] *)
+
+val write_chrome_trace : path:string -> unit
+(** write {!Trace.to_chrome_string} to [path] *)

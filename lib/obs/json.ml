@@ -1,0 +1,275 @@
+(** A minimal JSON value type with a serialiser and parser, in the
+    style of the repository's XML module: no external dependencies,
+    byte offsets in errors, round-trip tested. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+
+(* ---------------- serialisation ---------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string ?indent v =
+  let buf = Buffer.create 256 in
+  let nl depth =
+    match indent with
+    | None -> ()
+    | Some step ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (depth * step) ' ')
+  in
+  let rec emit depth v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (depth + 1);
+            emit (depth + 1) item)
+          items;
+        nl depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (depth + 1);
+            escape_string buf k;
+            Buffer.add_char buf ':';
+            if indent <> None then Buffer.add_char buf ' ';
+            emit (depth + 1) item)
+          fields;
+        nl depth;
+        Buffer.add_char buf '}'
+  in
+  emit 0 v;
+  Buffer.contents buf
+
+(* ---------------- parsing ---------------- *)
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (st.pos, msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> error st (Printf.sprintf "expected %C" c)
+
+let literal st word v =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.src then error st "truncated \\u escape";
+  let s = String.sub st.src st.pos 4 in
+  st.pos <- st.pos + 4;
+  match int_of_string_opt ("0x" ^ s) with
+  | Some code -> code
+  | None -> error st "bad \\u escape"
+
+(* encode a code point as UTF-8 *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string_lit st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | None -> error st "unterminated escape"
+        | Some c ->
+            st.pos <- st.pos + 1;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' -> add_utf8 buf (parse_hex4 st)
+            | _ -> error st "bad escape");
+            go ())
+    | Some c ->
+        st.pos <- st.pos + 1;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.src && is_num_char st.src.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> String (parse_string_lit st)
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value st ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          st.pos <- st.pos + 1;
+          items := parse_value st :: !items;
+          skip_ws st
+        done;
+        expect st ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          let k = parse_string_lit st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          st.pos <- st.pos + 1;
+          fields := field () :: !fields;
+          skip_ws st
+        done;
+        expect st '}';
+        Obj (List.rev !fields)
+      end
+  | Some ('0' .. '9' | '-') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected %C" c)
+
+let parse_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | String x, String y -> x = y
+  | List xs, List ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && equal v1 v2)
+           xs ys
+  | _ -> false
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None

@@ -1,0 +1,30 @@
+(** A minimal JSON value type with a serialiser and parser, used by the
+    observability layer for metric snapshots and Chrome trace files.
+    Self-contained so that [fd_obs] stays dependency-free. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+(** byte offset of the failure and a description *)
+
+val to_string : ?indent:int -> t -> string
+(** [to_string v] serialises [v]; with [~indent] the output is
+    pretty-printed with that step.  Floats are emitted with enough
+    digits to round-trip; NaN and infinities degrade to [null]. *)
+
+val parse_string : string -> t
+(** [parse_string s] parses one JSON document.
+    @raise Parse_error on malformed input. *)
+
+val equal : t -> t -> bool
+(** structural equality; object member order is significant *)
+
+val member : string -> t -> t option
+(** [member k v] is the value of field [k] when [v] is an object *)

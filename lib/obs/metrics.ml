@@ -1,0 +1,174 @@
+(** The global metrics registry: named counters, gauges and log-scale
+    histograms with O(1) hot-path updates (see the interface for the
+    usage discipline). *)
+
+type counter = { mutable c_val : int }
+type gauge = { mutable g_val : float }
+
+(* log2 buckets over seconds: bucket [i] covers
+   (2^(i-bucket_offset-1), 2^(i-bucket_offset)], i.e. from ~1µs up to
+   ~2^11 s; out-of-range samples clamp to the edge buckets *)
+let bucket_offset = 20
+let bucket_count = 32
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_val = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_val = 0. } in
+      Hashtbl.replace gauges name g;
+      g
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_count = 0;
+          h_sum = 0.;
+          h_min = infinity;
+          h_max = neg_infinity;
+          h_buckets = Array.make bucket_count 0;
+        }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let incr c = c.c_val <- c.c_val + 1
+let add c n = c.c_val <- c.c_val + n
+let value c = c.c_val
+let set g v = g.g_val <- v
+let set_int g v = g.g_val <- float_of_int v
+let gauge_value g = g.g_val
+
+let bucket_index v =
+  if v <= 0. then 0
+  else
+    let i = bucket_offset + int_of_float (Float.ceil (Float.log2 v)) in
+    if i < 0 then 0 else if i >= bucket_count then bucket_count - 1 else i
+
+let bucket_upper i = Float.pow 2. (float_of_int (i - bucket_offset))
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_index v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+
+let nonempty_buckets h =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then acc := (bucket_upper i, h.h_buckets.(i)) :: !acc
+  done;
+  !acc
+
+let hist_buckets = nonempty_buckets
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_val <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_val <- 0.) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity;
+      Array.fill h.h_buckets 0 bucket_count 0)
+    histograms
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : (string * float) list;
+  sn_histograms : (string * hist_summary) list;
+}
+
+and hist_summary = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (float * int) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun name v acc -> (name, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () =
+  {
+    sn_counters = sorted_bindings counters (fun c -> c.c_val);
+    sn_gauges = sorted_bindings gauges (fun g -> g.g_val);
+    sn_histograms =
+      sorted_bindings histograms (fun h ->
+          {
+            hs_count = h.h_count;
+            hs_sum = h.h_sum;
+            hs_min = (if h.h_count = 0 then 0. else h.h_min);
+            hs_max = (if h.h_count = 0 then 0. else h.h_max);
+            hs_buckets = nonempty_buckets h;
+          });
+  }
+
+let counter_value name =
+  match Hashtbl.find_opt counters name with Some c -> c.c_val | None -> 0
+
+let snapshot_to_json sn =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) sn.sn_counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) sn.sn_gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, hs) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.Int hs.hs_count);
+                     ("sum", Json.Float hs.hs_sum);
+                     ("min", Json.Float hs.hs_min);
+                     ("max", Json.Float hs.hs_max);
+                     ( "buckets",
+                       Json.List
+                         (List.map
+                            (fun (le, n) ->
+                              Json.Obj
+                                [ ("le", Json.Float le); ("count", Json.Int n) ])
+                            hs.hs_buckets) );
+                   ] ))
+             sn.sn_histograms) );
+    ]
+
+let to_json () = snapshot_to_json (snapshot ())

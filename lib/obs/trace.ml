@@ -1,0 +1,127 @@
+(** Span-based phase tracing (see the interface).  Spans are stored in
+    a growable array in start order, so a parent always precedes its
+    children; the open-span stack holds indices into that array. *)
+
+type span = {
+  sp_name : string;
+  sp_start : float;
+  sp_dur : float;
+  sp_depth : int;
+  sp_parent : int;
+}
+
+(* growable span store *)
+let store : span array ref = ref (Array.make 64 { sp_name = ""; sp_start = 0.; sp_dur = 0.; sp_depth = 0; sp_parent = -1 })
+let count = ref 0
+let open_stack : int list ref = ref []
+let epoch = ref nan
+
+let now () = Unix.gettimeofday ()
+
+let push sp =
+  if !count = Array.length !store then begin
+    let bigger = Array.make (2 * !count) sp in
+    Array.blit !store 0 bigger 0 !count;
+    store := bigger
+  end;
+  !store.(!count) <- sp;
+  incr count;
+  !count - 1
+
+let begin_span name =
+  let t = now () in
+  if Float.is_nan !epoch then epoch := t;
+  let parent = match !open_stack with [] -> -1 | p :: _ -> p in
+  let idx =
+    push
+      {
+        sp_name = name;
+        sp_start = t -. !epoch;
+        sp_dur = 0.;
+        sp_depth = List.length !open_stack;
+        sp_parent = parent;
+      }
+  in
+  open_stack := idx :: !open_stack
+
+let end_span () =
+  match !open_stack with
+  | [] -> invalid_arg "Trace.end_span: no open span"
+  | idx :: rest ->
+      open_stack := rest;
+      let sp = !store.(idx) in
+      !store.(idx) <- { sp with sp_dur = now () -. !epoch -. sp.sp_start }
+
+let with_span name f =
+  begin_span name;
+  Fun.protect ~finally:end_span f
+
+let depth () = List.length !open_stack
+
+let spans () = Array.to_list (Array.sub !store 0 !count)
+
+let aggregate () =
+  let tbl : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun sp ->
+      let dur, n =
+        match Hashtbl.find_opt tbl sp.sp_name with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref 0., ref 0) in
+            Hashtbl.replace tbl sp.sp_name cell;
+            cell
+      in
+      dur := !dur +. sp.sp_dur;
+      n := !n + 1)
+    (Array.sub !store 0 !count);
+  Hashtbl.fold (fun name (dur, n) acc -> (name, !dur, !n) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let reset () =
+  count := 0;
+  open_stack := [];
+  epoch := nan
+
+let to_chrome_json () =
+  let events =
+    List.map
+      (fun sp ->
+        Json.Obj
+          [
+            ("name", Json.String sp.sp_name);
+            ("cat", Json.String "flowdroid");
+            ("ph", Json.String "X");
+            ("ts", Json.Float (sp.sp_start *. 1e6));
+            ("dur", Json.Float (sp.sp_dur *. 1e6));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+          ])
+      (spans ())
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ]
+
+let to_chrome_string () = Json.to_string ~indent:1 (to_chrome_json ())
+
+let summary () =
+  let buf = Buffer.create 256 in
+  let all = Array.sub !store 0 !count in
+  Array.iter
+    (fun sp ->
+      let share =
+        if sp.sp_parent < 0 then ""
+        else
+          let p = all.(sp.sp_parent) in
+          if p.sp_dur > 0. then
+            Printf.sprintf "  (%.0f%% of %s)" (100. *. sp.sp_dur /. p.sp_dur)
+              p.sp_name
+          else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%-*s %10.3f ms%s\n"
+           (String.make (2 * sp.sp_depth) ' ')
+           (32 - (2 * sp.sp_depth))
+           sp.sp_name (sp.sp_dur *. 1e3) share))
+    all;
+  Buffer.contents buf

@@ -1,0 +1,285 @@
+(* Tests for Fd_obs: the metrics registry, the span tracer and the
+   JSON utilities the observability layer exports through. *)
+
+module M = Fd_obs.Metrics
+module T = Fd_obs.Trace
+module J = Fd_obs.Json
+
+(* every test starts from a clean registry and trace so that tests do
+   not observe each other's metrics (the reset-isolation contract) *)
+let fresh () =
+  M.reset ();
+  T.reset ()
+
+(* ---------------- counters and gauges ---------------- *)
+
+let test_counter_basics () =
+  fresh ();
+  let c = M.counter "test.c" in
+  Alcotest.(check int) "starts at zero" 0 (M.value c);
+  M.incr c;
+  M.incr c;
+  M.add c 40;
+  Alcotest.(check int) "incr and add" 42 (M.value c);
+  Alcotest.(check int) "lookup by name" 42 (M.counter_value "test.c");
+  Alcotest.(check int) "unknown name is 0" 0 (M.counter_value "test.absent")
+
+let test_counter_identity () =
+  fresh ();
+  let a = M.counter "test.same" and b = M.counter "test.same" in
+  M.incr a;
+  Alcotest.(check int) "one registration per name" 1 (M.value b)
+
+let test_gauge () =
+  fresh ();
+  let g = M.gauge "test.g" in
+  M.set g 2.5;
+  Alcotest.(check (float 0.0)) "set" 2.5 (M.gauge_value g);
+  M.set_int g 7;
+  Alcotest.(check (float 0.0)) "set_int" 7.0 (M.gauge_value g)
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram_semantics () =
+  fresh ();
+  let h = M.histogram "test.h" in
+  Alcotest.(check int) "empty" 0 (M.hist_count h);
+  List.iter (M.observe h) [ 0.001; 0.002; 0.004; 1.0 ];
+  Alcotest.(check int) "count" 4 (M.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 1.007 (M.hist_sum h);
+  let buckets = M.hist_buckets h in
+  Alcotest.(check int) "bucket total" 4
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 buckets);
+  (* bucket upper bounds are sorted and each sample is <= its bound *)
+  let bounds = List.map fst buckets in
+  Alcotest.(check bool) "bounds ascending" true
+    (List.sort compare bounds = bounds);
+  List.iter
+    (fun (le, _) -> Alcotest.(check bool) "log-scale bound" true (le > 0.))
+    buckets
+
+let test_histogram_extremes () =
+  fresh ();
+  let h = M.histogram "test.extreme" in
+  (* zero, negative and huge samples clamp into the edge buckets
+     instead of escaping the array *)
+  List.iter (M.observe h) [ 0.0; -1.0; 1e12 ];
+  Alcotest.(check int) "count" 3 (M.hist_count h);
+  Alcotest.(check int) "bucket total" 3
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (M.hist_buckets h))
+
+let test_time () =
+  fresh ();
+  let h = M.histogram "test.time" in
+  let x = M.time h (fun () -> 42) in
+  Alcotest.(check int) "result passes through" 42 x;
+  Alcotest.(check int) "one sample" 1 (M.hist_count h);
+  (* the observation happens even when the timed function raises *)
+  (try M.time h (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "sample on raise" 2 (M.hist_count h)
+
+(* ---------------- reset isolation ---------------- *)
+
+let test_reset_isolates () =
+  fresh ();
+  let c = M.counter "test.reset.c" in
+  let g = M.gauge "test.reset.g" in
+  let h = M.histogram "test.reset.h" in
+  M.add c 10;
+  M.set g 3.0;
+  M.observe h 0.5;
+  M.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (M.value c);
+  Alcotest.(check (float 0.0)) "gauge zeroed" 0.0 (M.gauge_value g);
+  Alcotest.(check int) "histogram emptied" 0 (M.hist_count h);
+  Alcotest.(check bool) "histogram buckets emptied" true (M.hist_buckets h = []);
+  (* the handle survives the reset: no re-registration needed *)
+  M.incr c;
+  Alcotest.(check int) "handle still live" 1 (M.counter_value "test.reset.c")
+
+(* ---------------- span tracing ---------------- *)
+
+let test_span_nesting () =
+  fresh ();
+  Alcotest.(check int) "no open span" 0 (T.depth ());
+  T.with_span "outer" (fun () ->
+      Alcotest.(check int) "outer open" 1 (T.depth ());
+      T.with_span "inner" (fun () ->
+          Alcotest.(check int) "inner open" 2 (T.depth ()));
+      Alcotest.(check int) "inner closed" 1 (T.depth ()));
+  Alcotest.(check int) "balanced" 0 (T.depth ());
+  let spans = T.spans () in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let outer = List.nth spans 0 and inner = List.nth spans 1 in
+  Alcotest.(check string) "start order" "outer" outer.T.sp_name;
+  Alcotest.(check int) "outer top-level" 0 outer.T.sp_depth;
+  Alcotest.(check int) "inner nested" 1 inner.T.sp_depth;
+  Alcotest.(check int) "inner's parent is outer" 0 inner.T.sp_parent;
+  Alcotest.(check bool) "inner within outer" true
+    (inner.T.sp_start >= outer.T.sp_start
+    && inner.T.sp_start +. inner.T.sp_dur
+       <= outer.T.sp_start +. outer.T.sp_dur +. 1e-6)
+
+let test_span_balance_on_raise () =
+  fresh ();
+  (try T.with_span "raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "closed despite raise" 0 (T.depth ());
+  Alcotest.check_raises "unmatched end_span"
+    (Invalid_argument "Trace.end_span: no open span") (fun () -> T.end_span ())
+
+let test_span_aggregate () =
+  fresh ();
+  T.with_span "phase" (fun () -> ());
+  T.with_span "phase" (fun () -> T.with_span "sub" (fun () -> ()));
+  match T.aggregate () with
+  | [ ("phase", _, n_phase); ("sub", _, n_sub) ] ->
+      Alcotest.(check int) "phase count" 2 n_phase;
+      Alcotest.(check int) "sub count" 1 n_sub
+  | other ->
+      Alcotest.failf "unexpected aggregate of %d entries" (List.length other)
+
+let test_trace_reset () =
+  fresh ();
+  T.with_span "gone" (fun () -> ());
+  T.reset ();
+  Alcotest.(check int) "spans dropped" 0 (List.length (T.spans ()));
+  Alcotest.(check int) "stack cleared" 0 (T.depth ())
+
+(* ---------------- JSON round-trips ---------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("null", J.Null);
+        ("flags", J.List [ J.Bool true; J.Bool false ]);
+        ("n", J.Int (-42));
+        ("pi", J.Float 3.25);
+        ("s", J.String "a \"quoted\"\n\tstring \\ with escapes");
+        ("empty_obj", J.Obj []);
+        ("empty_list", J.List []);
+      ]
+  in
+  Alcotest.(check bool) "compact round-trip" true
+    (J.equal v (J.parse_string (J.to_string v)));
+  Alcotest.(check bool) "indented round-trip" true
+    (J.equal v (J.parse_string (J.to_string ~indent:2 v)))
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match J.parse_string s with
+      | exception J.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+let test_snapshot_roundtrip () =
+  fresh ();
+  M.add (M.counter "ifds.path_edges") 5742;
+  M.set (M.gauge "cg.edges") 17.0;
+  M.observe (M.histogram "core.analysis_seconds") 0.016;
+  T.with_span "taint.solve" (fun () -> ());
+  let json = Fd_obs.Export.stats_json () in
+  let reparsed = J.parse_string (J.to_string ~indent:1 json) in
+  Alcotest.(check bool) "stats JSON round-trips" true (J.equal json reparsed);
+  (match J.member "counters" reparsed with
+  | Some (J.Obj counters) ->
+      Alcotest.(check bool) "counter preserved" true
+        (List.assoc_opt "ifds.path_edges" counters = Some (J.Int 5742))
+  | _ -> Alcotest.fail "no counters object");
+  match J.member "phases" reparsed with
+  | Some (J.Obj phases) ->
+      Alcotest.(check bool) "phase recorded" true
+        (List.mem_assoc "taint.solve" phases)
+  | _ -> Alcotest.fail "no phases object"
+
+let test_chrome_trace_valid () =
+  fresh ();
+  T.with_span "a" (fun () -> T.with_span "b" (fun () -> ()));
+  T.with_span "c" (fun () -> ());
+  let doc = J.parse_string (T.to_chrome_string ()) in
+  match J.member "traceEvents" doc with
+  | Some (J.List events) ->
+      Alcotest.(check int) "one event per span" 3 (List.length events);
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun k ->
+              Alcotest.(check bool)
+                (Printf.sprintf "event has %s" k)
+                true
+                (J.member k ev <> None))
+            [ "name"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+          Alcotest.(check bool) "complete event" true
+            (J.member "ph" ev = Some (J.String "X")))
+        events
+  | _ -> Alcotest.fail "no traceEvents array"
+
+(* the engine actually feeds the registry: analysing one app yields
+   non-zero solver counters and a solve phase *)
+let test_engine_populates_registry () =
+  fresh ();
+  let app =
+    match Fd_droidbench.Suite.find "DirectLeak1" with
+    | Some a -> a.Fd_droidbench.Bench_app.app_apk
+    | None -> Alcotest.fail "DirectLeak1 missing from the suite"
+  in
+  let result = Fd_core.Infoflow.analyze_apk app in
+  Alcotest.(check bool) "found the leak" true
+    (result.Fd_core.Infoflow.r_findings <> []);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s > 0" name)
+        true
+        (M.counter_value name > 0))
+    [
+      "ifds.path_edges"; "ifds.worklist_pops"; "ifds.flow.normal";
+      "bidi.fw_propagations"; "core.findings";
+    ];
+  (* the snapshot in the result record agrees with the registry *)
+  let sn = result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_metrics in
+  Alcotest.(check bool) "snapshot has path edges" true
+    (List.assoc_opt "ifds.path_edges" sn.M.sn_counters
+    = Some (M.counter_value "ifds.path_edges"));
+  Alcotest.(check bool) "solve phase traced" true
+    (List.exists (fun (n, _, _) -> n = "taint.solve") (T.aggregate ()))
+
+let () =
+  Alcotest.run "fd_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "counter identity" `Quick test_counter_identity;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram semantics" `Quick
+            test_histogram_semantics;
+          Alcotest.test_case "histogram extremes" `Quick
+            test_histogram_extremes;
+          Alcotest.test_case "time" `Quick test_time;
+          Alcotest.test_case "reset isolates" `Quick test_reset_isolates;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "balance on raise" `Quick
+            test_span_balance_on_raise;
+          Alcotest.test_case "aggregate" `Quick test_span_aggregate;
+          Alcotest.test_case "reset" `Quick test_trace_reset;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "snapshot round-trip" `Quick
+            test_snapshot_roundtrip;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_valid;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "engine populates registry" `Quick
+            test_engine_populates_registry;
+        ] );
+    ]
