@@ -17,14 +17,32 @@ let n =
 let seed =
   Arg.(value & opt int 20140609 & info [ "seed" ] ~doc:"Corpus seed.")
 
-let run profile n seed =
-  let t = Fd_eval.Corpus.run ~profile ~seed ~n () in
-  print_string (Fd_eval.Corpus.render t)
+let deadline =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:"Wall-clock deadline per app; expired apps report partial \
+              results.")
+
+let run profile n seed deadline =
+  let config =
+    { Fd_core.Config.default with Fd_core.Config.deadline_s = deadline }
+  in
+  let t = Fd_eval.Corpus.run ~config ~profile ~seed ~n () in
+  print_string (Fd_eval.Corpus.render t);
+  (* per-app outcome rows for anything that did not complete cleanly *)
+  List.iter
+    (fun (s : Fd_eval.Corpus.app_stat) ->
+      if not (Fd_resilience.Outcome.is_complete s.Fd_eval.Corpus.as_outcome)
+      then
+        Printf.printf "  %-24s outcome: %s\n" s.Fd_eval.Corpus.as_name
+          (Fd_resilience.Outcome.to_string s.Fd_eval.Corpus.as_outcome))
+    t.Fd_eval.Corpus.c_stats
 
 let cmd =
   Cmd.v
     (Cmd.info "corpus_runner"
        ~doc:"RQ3 corpus analysis (generated Play/malware apps)")
-    Term.(const run $ profile $ n $ seed)
+    Term.(const run $ profile $ n $ seed $ deadline)
 
 let () = exit (Cmd.eval cmd)

@@ -7,18 +7,33 @@
      --trace-out FILE   write a Chrome trace_event file
      --dump DIR         write the selected app (or every app) to DIR as
                         an on-disk app directory usable with
-                        flowdroid_cli *)
+                        flowdroid_cli
+
+   Resilience options:
+     --deadline SECS    wall-clock deadline per analysis run
+     --outcomes         print per-app termination states after the table
+     --chaos-rate P     fault-injection smoke run: corrupt each app's
+                        µJimple at rate P, inject solver faults at rate
+                        P, analyse leniently under the degradation
+                        ladder, and report per-app outcomes (exit 1 if
+                        any exception escapes the barrier)
+     --chaos-seed N     PRNG seed for --chaos-rate (default 20140609) *)
 
 let usage () =
   prerr_endline
     "usage: droidbench_runner [--app NAME] [--stats-json FILE] [--trace-out \
-     FILE] [--dump DIR]";
+     FILE] [--dump DIR] [--deadline SECS] [--outcomes] [--chaos-rate P] \
+     [--chaos-seed N]";
   exit 1
 
 let app_name = ref None
 let stats_json = ref None
 let trace_out = ref None
 let dump_dir = ref None
+let deadline = ref None
+let show_outcomes = ref false
+let chaos_rate = ref None
+let chaos_seed = ref 20140609
 
 let () =
   let rec parse = function
@@ -35,9 +50,30 @@ let () =
     | "--dump" :: v :: rest ->
         dump_dir := Some v;
         parse rest
+    | "--deadline" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some s -> deadline := Some s
+        | None -> usage ());
+        parse rest
+    | "--outcomes" :: rest ->
+        show_outcomes := true;
+        parse rest
+    | "--chaos-rate" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some p -> chaos_rate := Some p
+        | None -> usage ());
+        parse rest
+    | "--chaos-seed" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some s -> chaos_seed := s
+        | None -> usage ());
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv))
+
+let base_config () =
+  { Fd_core.Config.default with Fd_core.Config.deadline_s = !deadline }
 
 let mkdir_p dir =
   let rec go d =
@@ -89,12 +125,83 @@ let find_app name =
 
 let run_one (app : Fd_droidbench.Bench_app.t) =
   let result =
-    Fd_core.Infoflow.analyze_apk app.Fd_droidbench.Bench_app.app_apk
+    Fd_core.Infoflow.analyze_apk ~config:(base_config ())
+      app.Fd_droidbench.Bench_app.app_apk
   in
   Printf.printf "%s: %d flow(s), %d propagations\n"
     app.Fd_droidbench.Bench_app.app_name
     (List.length result.Fd_core.Infoflow.r_findings)
-    result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_propagations
+    result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_propagations;
+  let o = result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_outcome in
+  if not (Fd_resilience.Outcome.is_complete o) then
+    Printf.printf "outcome: %s\n" (Fd_resilience.Outcome.to_string o)
+
+(* --chaos-rate: the fault-injection smoke run.  Each app's µJimple is
+   re-rendered through the pretty-printer, corrupted at rate P, parsed
+   leniently, and analysed under the degradation ladder with
+   solver-step faults injected at rate P.  Everything runs under the
+   crash barrier: an escaped exception is the only failure mode. *)
+let run_chaos rate =
+  let chaos = Fd_resilience.Chaos.create ~seed:!chaos_seed ~rate in
+  let config = base_config () in
+  let escaped = ref 0 in
+  let dist = Hashtbl.create 7 in
+  let bump key =
+    Hashtbl.replace dist key (1 + Option.value (Hashtbl.find_opt dist key) ~default:0)
+  in
+  List.iter
+    (fun (app : Fd_droidbench.Bench_app.t) ->
+      let apk = app.Fd_droidbench.Bench_app.app_apk in
+      let label = app.Fd_droidbench.Bench_app.app_name in
+      match
+        Fd_resilience.Barrier.protect ~label (fun () ->
+            let sources =
+              List.map
+                (fun cls ->
+                  Fd_resilience.Chaos.corrupt_string chaos
+                    (Fd_ir.Pretty.class_to_string cls))
+                apk.Fd_frontend.Apk.apk_classes
+            in
+            let corrupted =
+              Fd_frontend.Apk.make_text ~mode:`Lenient label
+                ~manifest:apk.Fd_frontend.Apk.apk_manifest
+                ~layouts:apk.Fd_frontend.Apk.apk_layouts sources
+            in
+            Fd_core.Infoflow.analyze_with_fallback ~config ~mode:`Lenient
+              ~chaos corrupted)
+      with
+      | Ok fb ->
+          let c =
+            Fd_core.Infoflow.string_of_completeness
+              fb.Fd_core.Infoflow.fb_completeness
+          in
+          bump c;
+          Printf.printf "%-28s %-22s %d flow(s), %d diag(s)\n" label c
+            (List.length fb.Fd_core.Infoflow.fb_result.Fd_core.Infoflow.r_findings)
+            (List.length fb.Fd_core.Infoflow.fb_result.Fd_core.Infoflow.r_diags)
+      | Error o ->
+          (* Fallback_failed lands here: every rung crashed but the
+             barrier held — still not an escaped exception *)
+          bump (Fd_resilience.Outcome.to_string o);
+          Printf.printf "%-28s %s\n" label (Fd_resilience.Outcome.to_string o)
+      | exception e ->
+          incr escaped;
+          Printf.printf "%-28s ESCAPED: %s\n" label (Printexc.to_string e))
+    Fd_droidbench.Suite.all;
+  Printf.printf "\nchaos run: seed=%d rate=%.2f, %d app(s), %d fault(s) injected\n"
+    !chaos_seed rate
+    (List.length Fd_droidbench.Suite.all)
+    (Fd_resilience.Chaos.faults_injected chaos);
+  Printf.printf "outcomes: %s\n"
+    (String.concat ", "
+       (List.sort compare
+          (Hashtbl.fold
+             (fun k n acc -> Printf.sprintf "%s: %d" k n :: acc)
+             dist [])));
+  if !escaped > 0 then begin
+    Printf.eprintf "error: %d exception(s) escaped the barrier\n" !escaped;
+    exit 1
+  end
 
 let () =
   (match !dump_dir with
@@ -108,15 +215,28 @@ let () =
             Fd_droidbench.Suite.all);
       exit 0
   | None -> ());
-  (match !app_name with
-  | Some name -> run_one (find_app name)
-  | None ->
+  (match (!chaos_rate, !app_name) with
+  | Some rate, _ -> run_chaos rate
+  | None, Some name -> run_one (find_app name)
+  | None, None ->
       let engines =
         [ Fd_eval.Engines.appscan; Fd_eval.Engines.fortify;
-          Fd_eval.Engines.flowdroid () ]
+          Fd_eval.Engines.flowdroid ~config:(base_config ()) () ]
       in
       let t = Fd_eval.Droidbench_table.run engines in
-      print_string (Fd_eval.Droidbench_table.render t));
+      print_string (Fd_eval.Droidbench_table.render t);
+      if !show_outcomes then begin
+        print_newline ();
+        print_endline "Per-app termination states (non-complete only):";
+        (match Fd_eval.Droidbench_table.render_outcomes t with
+        | "" -> print_endline "  all runs complete"
+        | s -> print_string s);
+        Printf.printf "outcome distribution: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (k, n) -> Printf.sprintf "%s: %d" k n)
+                (Fd_eval.Droidbench_table.outcome_distribution t)))
+      end);
   let write_out what path =
     try
       what ~path;

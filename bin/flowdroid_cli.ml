@@ -53,6 +53,34 @@ let wrappers_file =
     value & opt (some file) None
     & info [ "taint-wrappers" ] ~doc:"Taint-wrapper (library shortcut) rules file.")
 
+let deadline =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline for the taint analysis; on expiry the \
+           solver stops cooperatively and the partial results are \
+           reported with outcome deadline-exceeded (exit status 3).")
+
+let lenient =
+  Arg.(
+    value & flag
+    & info [ "lenient" ]
+        ~doc:
+          "Lenient frontend: skip malformed components, layouts and \
+           µJimple units (reported as warnings) instead of aborting; \
+           analyse what remains.")
+
+let fallback =
+  Arg.(
+    value & flag
+    & info [ "fallback" ]
+        ~doc:
+          "On budget/deadline exhaustion or crash, retry under \
+           progressively cheaper configurations (the degradation \
+           ladder) and report the best result with a completeness \
+           marker.")
+
 let show_paths =
   Arg.(value & flag & info [ "paths" ] ~doc:"Print full propagation paths.")
 
@@ -90,14 +118,15 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let analyze dir k no_lc no_cb no_alias no_act rta sources wrappers show_paths
-    dump_dm xml_out stats_json_out trace_out =
+let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
+    sources wrappers show_paths dump_dm xml_out stats_json_out trace_out =
   Fd_obs.Metrics.reset ();
   Fd_obs.Trace.reset ();
   let config =
     {
       Config.default with
       Config.max_access_path = k;
+      Config.deadline_s = deadline;
       Config.lifecycle = not no_lc;
       Config.callbacks = not no_cb;
       Config.alias_search = not no_alias;
@@ -106,6 +135,7 @@ let analyze dir k no_lc no_cb no_alias no_act rta sources wrappers show_paths
         (if rta then Fd_callgraph.Callgraph.Rta else Fd_callgraph.Callgraph.Cha);
     }
   in
+  let mode = if lenient then `Lenient else `Strict in
   let defs =
     match sources with
     | Some f -> Fd_frontend.Sourcesink.of_string (read_file f)
@@ -116,20 +146,42 @@ let analyze dir k no_lc no_cb no_alias no_act rta sources wrappers show_paths
     | Some f -> Fd_frontend.Rules.of_string (read_file f)
     | None -> Fd_frontend.Rules.default_wrappers ()
   in
-  match Fd_frontend.Apk.of_dir dir with
+  let phase p = Printf.eprintf "[phase] %s\n%!" p in
+  match Fd_frontend.Apk.of_dir ~mode dir with
   | exception Fd_frontend.Apk.Load_error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
   | apk -> (
-      match
-        Fd_core.Infoflow.analyze_apk ~config ~defs ~wrappers
-          ~phase:(fun p -> Printf.eprintf "[phase] %s\n%!" p)
-          apk
-      with
+      let run () =
+        if fallback then begin
+          let fb =
+            Fd_core.Infoflow.analyze_with_fallback ~config ~defs ~wrappers
+              ~phase ~mode apk
+          in
+          (fb.Fd_core.Infoflow.fb_result, Some fb)
+        end
+        else
+          ( Fd_core.Infoflow.analyze_apk ~config ~defs ~wrappers ~phase ~mode
+              apk,
+            None )
+      in
+      match run () with
       | exception Fd_frontend.Apk.Load_error msg ->
           Printf.eprintf "error: %s\n" msg;
           1
-      | result ->
+      | exception Fd_core.Infoflow.Fallback_failed attempts ->
+          Printf.eprintf "error: every degradation-ladder rung crashed:\n";
+          List.iter
+            (fun (a : Fd_core.Infoflow.attempt) ->
+              Printf.eprintf "  %s: %s\n" a.Fd_core.Infoflow.at_label
+                (Fd_resilience.Outcome.to_string a.Fd_core.Infoflow.at_outcome))
+            attempts;
+          1
+      | result, fb_opt ->
+          List.iter
+            (fun d ->
+              Printf.eprintf "warning: %s\n" (Fd_resilience.Diag.to_string d))
+            result.Fd_core.Infoflow.r_diags;
           let findings = result.Fd_core.Infoflow.r_findings in
           Printf.printf "%d flow(s) found in %s (%.3f s, %d reachable methods)\n"
             (List.length findings) dir
@@ -166,11 +218,15 @@ let analyze dir k no_lc no_cb no_alias no_act rta sources wrappers show_paths
           | None -> ());
           (match xml_out with
           | Some path ->
+              let doc =
+                match fb_opt with
+                | Some fb -> Fd_core.Report.fallback_to_xml_string fb
+                | None -> Fd_core.Report.to_xml_string result
+              in
               let oc = open_out_bin path in
               Fun.protect
                 ~finally:(fun () -> close_out oc)
-                (fun () ->
-                  output_string oc (Fd_core.Report.to_xml_string result));
+                (fun () -> output_string oc doc);
               Printf.eprintf "wrote %s\n" path
           | None -> ());
           if dump_dm then begin
@@ -187,7 +243,27 @@ let analyze dir k no_lc no_cb no_alias no_act rta sources wrappers show_paths
                 print_string (Fd_ir.Pretty.cfg_to_string body)
             | exception Not_found -> ()
           end;
-          if !write_error then 1 else if findings = [] then 0 else 2)
+          let incomplete =
+            match fb_opt with
+            | Some fb -> (
+                print_endline (Fd_core.Report.fallback_summary fb);
+                match fb.Fd_core.Infoflow.fb_completeness with
+                | Fd_core.Infoflow.Partial _ -> true
+                | Fd_core.Infoflow.Precise | Fd_core.Infoflow.Degraded _ ->
+                    false)
+            | None ->
+                let complete =
+                  Fd_resilience.Outcome.is_complete
+                    result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_outcome
+                in
+                if not complete then
+                  print_endline (Fd_core.Report.outcome_line result);
+                not complete
+          in
+          if !write_error then 1
+          else if incomplete then 3
+          else if findings = [] then 0
+          else 2)
 
 let cmd =
   Cmd.v
@@ -202,11 +278,14 @@ let cmd =
              "Analyses an Android app given as a directory containing \
               AndroidManifest.xml, res/layout/*.xml and µJimple (.jimple) \
               class sources.  Exit status: 0 when no flows are found, 2 \
-              when flows are reported, 1 on errors.";
+              when flows are reported, 3 when the analysis terminated \
+              early (deadline, budget or crash — results are a partial \
+              under-approximation), 1 on errors.";
          ])
     Term.(
-      const analyze $ app_dir $ k_len $ no_lifecycle $ no_callbacks $ no_alias
-      $ no_activation $ rta $ sources_file $ wrappers_file $ show_paths
-      $ dump_dummy_main $ xml_out $ stats_json_out $ trace_out)
+      const analyze $ app_dir $ k_len $ deadline $ lenient $ fallback
+      $ no_lifecycle $ no_callbacks $ no_alias $ no_activation $ rta
+      $ sources_file $ wrappers_file $ show_paths $ dump_dummy_main $ xml_out
+      $ stats_json_out $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -33,6 +33,31 @@ let () =
         Printf.printf "  %-18s tp=%d fp=%d fn=%d\n" name v.Fd_eval.Scoring.tp
           v.Fd_eval.Scoring.fp v.Fd_eval.Scoring.fn)
     t.Fd_eval.Securibench_table.per_case;
+  (* per-case termination states: list the cases the barrier had to
+     degrade or give up on, then the overall distribution *)
+  let outcomes = t.Fd_eval.Securibench_table.per_case_outcomes in
+  List.iter
+    (fun (name, o) ->
+      if not (Fd_resilience.Outcome.is_complete o) then
+        Printf.printf "  %-18s outcome: %s\n" name
+          (Fd_resilience.Outcome.to_string o))
+    outcomes;
+  let dist =
+    List.fold_left
+      (fun acc (_, o) ->
+        let key =
+          match o with
+          | Fd_resilience.Outcome.Crashed _ -> "crashed"
+          | o -> Fd_resilience.Outcome.to_string o
+        in
+        let prev = Option.value (List.assoc_opt key acc) ~default:0 in
+        (key, prev + 1) :: List.remove_assoc key acc)
+      [] outcomes
+    |> List.sort compare
+  in
+  Printf.printf "outcomes: %s\n"
+    (String.concat ", "
+       (List.map (fun (k, n) -> Printf.sprintf "%s: %d" k n) dist));
   let write_out what path =
     try
       what ~path;

@@ -561,7 +561,7 @@ let run opts apk =
   let rec iterate n =
     state.statics_changed <- false;
     state.st_findings <- state.st_findings;
-    ignore (Solver.solve ~seeds);
+    ignore (Solver.solve ~seeds ());
     if state.statics_changed && n < 5 then iterate (n + 1)
   in
   iterate 0;

@@ -127,11 +127,17 @@ type t = {
   act_methods : unit Mkey.Tbl.t Node_tbl.t;
   (* forward results per node, for inspection and tests *)
   results : Taint.t list ref Node_tbl.t;
-  mutable propagations : int;
-  mutable budget_exhausted : bool;
+  budget : Fd_resilience.Budget.t;
 }
 
-let create ~config ~icfg ~scene ~mgr ~wrappers ~natives =
+let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+        Fd_resilience.Budget.create ?deadline_s:config.Config.deadline_s
+          ~max_propagations:config.Config.max_propagations ()
+  in
   {
     cfg = config;
     icfg;
@@ -146,8 +152,7 @@ let create ~config ~icfg ~scene ~mgr ~wrappers ~natives =
     act_sites = Node_tbl.create 16;
     act_methods = Node_tbl.create 16;
     results = Node_tbl.create 1024;
-    propagations = 0;
-    budget_exhausted = false;
+    budget;
   }
 
 let k t = t.cfg.Config.max_access_path
@@ -172,10 +177,7 @@ let record_result t n fact =
 let propagate t solver cx n fact =
   let key = (cx, n, fact) in
   if not (Edge_tbl.mem solver.s_edges key) then begin
-    if t.propagations >= t.cfg.Config.max_propagations then
-      t.budget_exhausted <- true
-    else begin
-      t.propagations <- t.propagations + 1;
+    if Fd_resilience.Budget.tick t.budget then begin
       M.incr m_path_edges;
       M.incr m_worklist_pushes;
       if solver == t.fw then begin
@@ -1050,7 +1052,11 @@ let run t ~entries =
       propagate_fw t cx (Icfg.start_node t.icfg m) Taint.Zero)
     entries;
   let rec loop () =
-    if not (Queue.is_empty t.fw.s_work) then begin
+    (* cooperative stop: once the budget trips (cap, deadline or
+       cancellation) the remaining worklist is abandoned — results so
+       far stay valid as a partial under-approximation *)
+    if Fd_resilience.Budget.stopped t.budget then ()
+    else if not (Queue.is_empty t.fw.s_work) then begin
       let cx, n, fact = Queue.pop t.fw.s_work in
       M.incr m_worklist_pops;
       process_fw t cx n fact;
@@ -1076,8 +1082,18 @@ let results_at t n =
 
 (** [propagation_count t] is the number of path-edge propagations
     performed (the work metric reported by the benchmarks). *)
-let propagation_count t = t.propagations
+let propagation_count t = Fd_resilience.Budget.propagations t.budget
+
+(** [outcome t] is the typed termination state of the solve:
+    [Complete], or the budget's stop reason. *)
+let outcome t = Fd_resilience.Budget.outcome t.budget
+
+(** [budget t] is the engine's budget handle (e.g. for cooperative
+    cancellation from a signal handler). *)
+let budget t = t.budget
 
 (** [budget_exhausted t] reports whether the propagation budget was
-    hit (results may then be incomplete). *)
-let budget_exhausted t = t.budget_exhausted
+    hit (results may then be incomplete); see {!outcome} for the full
+    taxonomy. *)
+let budget_exhausted t =
+  Fd_resilience.Outcome.equal (outcome t) Fd_resilience.Outcome.Budget_exhausted

@@ -26,13 +26,19 @@ type finding = {
 type t
 
 val create :
+  ?budget:Fd_resilience.Budget.t ->
   config:Config.t ->
   icfg:Icfg.t ->
   scene:Scene.t ->
   mgr:Srcsink_mgr.t ->
   wrappers:Fd_frontend.Rules.t ->
   natives:Fd_frontend.Rules.t ->
+  unit ->
   t
+(** [create ~config … ()] builds an engine.  Without [?budget] one is
+    derived from the config ([max_propagations] plus [deadline_s]);
+    pass an explicit budget to share a deadline across phases or to
+    enable cooperative cancellation / chaos injection. *)
 
 val run : t -> entries:Mkey.t list -> unit
 (** [run t ~entries] seeds the zero fact at each entry method's start
@@ -52,7 +58,16 @@ val propagation_count : t -> int
     performed by both solvers (the work metric the benchmarks
     report). *)
 
+val outcome : t -> Fd_resilience.Outcome.t
+(** [outcome t] is the typed termination state of the solve:
+    [Complete], [Budget_exhausted], [Deadline_exceeded] or
+    [Cancelled].  On any state but [Complete] the findings are a
+    partial under-approximation. *)
+
+val budget : t -> Fd_resilience.Budget.t
+(** the engine's budget handle (for cooperative cancellation) *)
+
 val budget_exhausted : t -> bool
 (** [budget_exhausted t] reports whether
     {!Config.t.max_propagations} was hit; results may then be
-    incomplete. *)
+    incomplete.  See {!outcome} for the full taxonomy. *)

@@ -26,6 +26,11 @@ type t = {
       (** safety valve on solver work (path-edge budget); analyses of
           generated corpora are bounded, mirroring FlowDroid's
           timeouts *)
+  deadline_s : float option;
+      (** wall-clock deadline for the solve, in seconds; [None] =
+          unlimited.  Checked cooperatively inside the worklist loops;
+          expiry yields a [Deadline_exceeded] outcome with partial
+          results rather than an abort. *)
 }
 
 (** [default] is the configuration the paper evaluates: k = 5, full
@@ -42,4 +47,35 @@ let default =
     alias_search = true;
     cg_algorithm = Fd_callgraph.Callgraph.Cha;
     max_propagations = 2_000_000;
+    deadline_s = None;
   }
+
+(** [degradation_ladder config] is the sequence of progressively
+    cheaper configurations the fallback driver retries under when a
+    run exhausts its budget: the original, then access-path bounds
+    3 and 1, then k = 1 with the alias search disabled — trading
+    field-sensitivity precision for termination the way FlowDroid
+    trades precision for timeouts.  Rungs no cheaper than the one
+    before them are dropped, so a ladder starting from an already
+    cheap config is short. *)
+let degradation_ladder config =
+  let rung label c = (label, c) in
+  let candidates =
+    [
+      rung "full" config;
+      rung "k=3" { config with max_access_path = min 3 config.max_access_path };
+      rung "k=1" { config with max_access_path = min 1 config.max_access_path };
+      rung "k=1,no-alias"
+        { config with
+          max_access_path = min 1 config.max_access_path;
+          alias_search = false;
+        };
+    ]
+  in
+  (* drop rungs identical to their predecessor (already-cheap bases) *)
+  let rec dedup = function
+    | (l1, c1) :: (_, c2) :: rest when c1 = c2 -> dedup ((l1, c1) :: rest)
+    | r :: rest -> r :: dedup rest
+    | [] -> []
+  in
+  dedup candidates

@@ -24,9 +24,19 @@ type t = {
   cg_algorithm : Fd_callgraph.Callgraph.algorithm;
   max_propagations : int;
       (** safety valve on solver work (path-edge budget) *)
+  deadline_s : float option;
+      (** wall-clock deadline for the solve, in seconds; [None] =
+          unlimited.  Expiry yields a [Deadline_exceeded] outcome with
+          partial results rather than an abort. *)
 }
 
 val default : t
 (** The configuration the paper evaluates: k = 5, full lifecycle and
     callback modelling, context injection and activation statements
-    on, CHA call graphs. *)
+    on, CHA call graphs, no deadline. *)
+
+val degradation_ladder : t -> (string * t) list
+(** [(label, config)] rungs for the fallback driver: the original
+    config, then [k = 3], [k = 1], and [k = 1] with the alias search
+    off — each strictly cheaper than the last (already-cheap bases
+    yield shorter ladders). *)

@@ -18,7 +18,9 @@ type stats = {
   st_reachable : int;  (** reachable methods in the final call graph *)
   st_cg_edges : int;
   st_propagations : int;  (** path-edge propagations of both solvers *)
-  st_budget_exhausted : bool;
+  st_outcome : Fd_resilience.Outcome.t;
+      (** typed termination state; anything but [Complete] means the
+          findings are a partial under-approximation *)
   st_metrics : Fd_obs.Metrics.snapshot;
       (** registry snapshot taken when the run finished (counters are
           process-cumulative; reset before the run for per-run
@@ -31,6 +33,9 @@ type result = {
   r_stats : stats;
   r_engine : Bidi.t;  (** for inspection (per-node taints) *)
   r_icfg : Icfg.t;
+  r_diags : Fd_resilience.Diag.t list;
+      (** frontend diagnostics (lenient-mode skips); [[]] in strict
+          mode *)
 }
 
 type phase_hook = string -> unit
@@ -47,8 +52,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 let h_analysis = Fd_obs.Metrics.histogram "core.analysis_seconds"
 let h_solve = Fd_obs.Metrics.histogram "ifds.solve_seconds"
 
-let run_engine ?(config = Config.default) ?(phase = no_hook) ~scene ~mgr
-    ~wrappers ~natives ~entries () =
+let run_engine ?(config = Config.default) ?(phase = no_hook) ?budget
+    ?(diags = []) ~scene ~mgr ~wrappers ~natives ~entries () =
   Fd_obs.Metrics.time h_analysis @@ fun () ->
   let t0 = Sys.time () in
   Log.debug (fun m ->
@@ -60,14 +65,17 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ~scene ~mgr
   in
   let icfg = Icfg.create cg in
   phase "perform taint analysis";
-  let engine = Bidi.create ~config ~icfg ~scene ~mgr ~wrappers ~natives in
+  let engine =
+    Bidi.create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives ()
+  in
   Fd_obs.Trace.with_span "taint.solve" (fun () ->
       Fd_obs.Metrics.time h_solve (fun () -> Bidi.run engine ~entries));
   let t1 = Sys.time () in
-  if Bidi.budget_exhausted engine then
+  let outcome = Bidi.outcome engine in
+  if not (Fd_resilience.Outcome.is_complete outcome) then
     Log.warn (fun m ->
-        m "propagation budget (%d) exhausted: results may be incomplete"
-          config.Config.max_propagations);
+        m "solve stopped early (%s): results may be incomplete"
+          (Fd_resilience.Outcome.to_string outcome));
   Log.debug (fun m ->
       m "done: %d finding(s), %d propagations, %.4fs"
         (List.length (Bidi.findings engine))
@@ -82,11 +90,12 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ~scene ~mgr
         st_reachable = List.length (Callgraph.reachable_methods cg);
         st_cg_edges = Callgraph.edge_count cg;
         st_propagations = Bidi.propagation_count engine;
-        st_budget_exhausted = Bidi.budget_exhausted engine;
+        st_outcome = outcome;
         st_metrics = Fd_obs.Metrics.snapshot ();
       };
     r_engine = engine;
     r_icfg = icfg;
+    r_diags = diags;
   }
 
 (** [android_entries ~config loaded] computes the entry points for an
@@ -187,22 +196,25 @@ let analyze_loaded ?(config = Config.default)
     ?(defs = Fd_frontend.Sourcesink.default ())
     ?(wrappers = Fd_frontend.Rules.default_wrappers ())
     ?(natives = Fd_frontend.Rules.default_natives ()) ?(phase = no_hook)
-    (loaded : Fd_frontend.Apk.loaded) =
+    ?budget (loaded : Fd_frontend.Apk.loaded) =
   let scene = loaded.Fd_frontend.Apk.scene in
   let mgr =
     Srcsink_mgr.create ~scene ~defs ~layout:loaded.Fd_frontend.Apk.layout
   in
   let entries = android_entries ~config ~phase loaded in
-  run_engine ~config ~phase ~scene ~mgr ~wrappers ~natives ~entries ()
+  run_engine ~config ~phase ?budget ~diags:loaded.Fd_frontend.Apk.diags ~scene
+    ~mgr ~wrappers ~natives ~entries ()
 
-(** [analyze_apk ?config apk] runs the full pipeline from an APK
-    bundle. *)
-let analyze_apk ?config ?defs ?wrappers ?natives ?(phase = no_hook) apk =
+(** [analyze_apk ?config ?mode apk] runs the full pipeline from an APK
+    bundle; [mode] selects strict (default) or lenient frontend
+    parsing. *)
+let analyze_apk ?config ?defs ?wrappers ?natives ?(phase = no_hook) ?mode
+    ?budget apk =
   phase "parse manifest file";
   phase "parse layout xmls";
   phase "parse code";
-  let loaded = Fd_frontend.Apk.load apk in
-  analyze_loaded ?config ?defs ?wrappers ?natives ~phase loaded
+  let loaded = Fd_frontend.Apk.load ?mode apk in
+  analyze_loaded ?config ?defs ?wrappers ?natives ~phase ?budget loaded
 
 (** [analyze_plain ?config ~classes ~entries ~defs ()] analyses a
     plain (non-Android) program: [classes] are added to a fresh scene
@@ -227,3 +239,128 @@ let analyze_plain ?(config = Config.default) ?(synthetic_main = false)
     else entries
   in
   run_engine ~config ~scene ~mgr ~wrappers ~natives ~entries ()
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Outcome = Fd_resilience.Outcome
+
+let m_ladder_retries = Fd_obs.Metrics.counter "resilience.ladder_retries"
+let m_degraded_runs = Fd_obs.Metrics.counter "resilience.degraded_runs"
+
+type attempt = {
+  at_label : string;  (** ladder rung, e.g. ["full"], ["k=3"] *)
+  at_outcome : Outcome.t;
+  at_findings : int;
+  at_time : float;
+}
+
+type completeness =
+  | Precise  (** the first rung completed: full-precision results *)
+  | Degraded of string  (** completed at the named cheaper rung *)
+  | Partial of string
+      (** no rung completed; results are the named rung's partial
+          under-approximation *)
+
+type fallback = {
+  fb_result : result;
+  fb_attempts : attempt list;  (** in execution order *)
+  fb_completeness : completeness;
+}
+
+exception Fallback_failed of attempt list
+(** every ladder rung crashed without producing any result *)
+
+let string_of_completeness = function
+  | Precise -> "precise"
+  | Degraded label -> "degraded(" ^ label ^ ")"
+  | Partial label -> "partial(" ^ label ^ ")"
+
+(** [with_fallback ~config run] drives [run] down the degradation
+    ladder: the base config first, then progressively cheaper rungs
+    ([k] 5→3→1, then no alias search) until one completes — mirroring
+    how FlowDroid trades precision for termination under a timeout.
+    An incomplete or crashed rung triggers the next one; when no rung
+    completes, the last rung that produced {e any} result is returned
+    with a [Partial] marker.
+    @raise Fallback_failed when every rung crashed. *)
+let with_fallback ~(config : Config.t) (run : label:string -> Config.t -> result)
+    =
+  let ladder = Config.degradation_ladder config in
+  let rec go attempts best = function
+    | [] -> (
+        match best with
+        | Some (label, result) ->
+            Fd_obs.Metrics.incr m_degraded_runs;
+            {
+              fb_result = result;
+              fb_attempts = List.rev attempts;
+              fb_completeness = Partial label;
+            }
+        | None -> raise (Fallback_failed (List.rev attempts)))
+    | (label, cfg) :: rest -> (
+        if attempts <> [] then Fd_obs.Metrics.incr m_ladder_retries;
+        let t0 = Sys.time () in
+        match
+          Fd_resilience.Barrier.protect ~label (fun () -> run ~label cfg)
+        with
+        | Ok result ->
+            let at =
+              {
+                at_label = label;
+                at_outcome = result.r_stats.st_outcome;
+                at_findings = List.length result.r_findings;
+                at_time = Sys.time () -. t0;
+              }
+            in
+            if Outcome.is_complete result.r_stats.st_outcome then begin
+              let attempts = List.rev (at :: attempts) in
+              if List.length attempts > 1 then
+                Fd_obs.Metrics.incr m_degraded_runs;
+              {
+                fb_result = result;
+                fb_attempts = attempts;
+                fb_completeness =
+                  (if List.length attempts = 1 then Precise
+                   else Degraded label);
+              }
+            end
+            else
+              (* keep the partial result in case no rung completes;
+                 later rungs overwrite earlier ones (they got further
+                 through their cheaper state space) *)
+              go (at :: attempts) (Some (label, result)) rest
+        | Error outcome ->
+            let at =
+              {
+                at_label = label;
+                at_outcome = outcome;
+                at_findings = 0;
+                at_time = Sys.time () -. t0;
+              }
+            in
+            go (at :: attempts) best rest)
+  in
+  go [] None ladder
+
+(** [analyze_with_fallback ?config ?mode apk] is {!analyze_apk} under
+    the degradation ladder: when a run exhausts its budget or crashes,
+    it is retried under progressively cheaper configs and the final
+    report carries a completeness marker.
+    @raise Fd_frontend.Apk.Load_error when the (strict-mode) frontend
+    rejects the app;
+    @raise Fallback_failed when every ladder rung crashed. *)
+let analyze_with_fallback ?(config = Config.default) ?defs ?wrappers ?natives
+    ?(phase = no_hook) ?mode ?chaos apk =
+  phase "parse manifest file";
+  phase "parse layout xmls";
+  phase "parse code";
+  let loaded = Fd_frontend.Apk.load ?mode apk in
+  with_fallback ~config (fun ~label:_ cfg ->
+      let budget =
+        Fd_resilience.Budget.create ?deadline_s:cfg.Config.deadline_s
+          ~max_propagations:cfg.Config.max_propagations ?chaos ()
+      in
+      analyze_loaded ~config:cfg ?defs ?wrappers ?natives ~phase ~budget
+        loaded)

@@ -15,12 +15,15 @@ type stats = {
   st_reachable : int;  (** reachable methods in the final call graph *)
   st_cg_edges : int;
   st_propagations : int;  (** path-edge propagations of both solvers *)
-  st_budget_exhausted : bool;
+  st_outcome : Fd_resilience.Outcome.t;
+      (** typed termination state; anything but [Complete] means the
+          findings are a partial under-approximation *)
   st_metrics : Fd_obs.Metrics.snapshot;
       (** registry snapshot taken when the run finished: the [ifds.*],
-          [bidi.*], [cg.*], [frontend.*] and [lifecycle.*] series.
-          Counters are process-cumulative; call {!Fd_obs.Metrics.reset}
-          before the run for per-run numbers. *)
+          [bidi.*], [cg.*], [frontend.*], [lifecycle.*] and
+          [resilience.*] series.  Counters are process-cumulative;
+          call {!Fd_obs.Metrics.reset} before the run for per-run
+          numbers. *)
 }
 
 type result = {
@@ -29,6 +32,9 @@ type result = {
   r_stats : stats;
   r_engine : Bidi.t;  (** for inspection (per-node taints) *)
   r_icfg : Icfg.t;
+  r_diags : Fd_resilience.Diag.t list;
+      (** frontend diagnostics (lenient-mode skips); [[]] in strict
+          mode *)
 }
 
 type phase_hook = string -> unit
@@ -48,10 +54,15 @@ val analyze_apk :
   ?wrappers:Fd_frontend.Rules.t ->
   ?natives:Fd_frontend.Rules.t ->
   ?phase:phase_hook ->
+  ?mode:Fd_frontend.Apk.mode ->
+  ?budget:Fd_resilience.Budget.t ->
   Fd_frontend.Apk.t ->
   result
 (** [analyze_apk apk] runs the full pipeline from an APK bundle.
-    @raise Fd_frontend.Apk.Load_error on malformed inputs. *)
+    [mode] selects strict (default) or lenient frontend parsing;
+    [budget] overrides the config-derived work/deadline budget.
+    @raise Fd_frontend.Apk.Load_error on malformed inputs (strict
+    mode). *)
 
 val analyze_loaded :
   ?config:Config.t ->
@@ -59,6 +70,7 @@ val analyze_loaded :
   ?wrappers:Fd_frontend.Rules.t ->
   ?natives:Fd_frontend.Rules.t ->
   ?phase:phase_hook ->
+  ?budget:Fd_resilience.Budget.t ->
   Fd_frontend.Apk.loaded ->
   result
 (** [analyze_loaded loaded] analyses an already-loaded APK. *)
@@ -79,3 +91,62 @@ val analyze_plain :
     wrapped in a generated main in which they can run in any sequential
     order (FlowDroid's default entry-point creator) — required when
     flows stage data in static state between entry points. *)
+
+(** {1 Degradation ladder}
+
+    When a run exhausts its budget (propagation cap or wall-clock
+    deadline) or crashes, {!analyze_with_fallback} retries it under
+    progressively cheaper configurations
+    ({!Config.degradation_ladder}) so a hostile app still yields a
+    terminating, tagged result — precision is traded for termination
+    the way FlowDroid trades it under timeouts. *)
+
+type attempt = {
+  at_label : string;  (** ladder rung, e.g. ["full"], ["k=3"] *)
+  at_outcome : Fd_resilience.Outcome.t;
+  at_findings : int;
+  at_time : float;  (** CPU seconds spent on this rung *)
+}
+
+type completeness =
+  | Precise  (** the first rung completed: full-precision results *)
+  | Degraded of string  (** completed at the named cheaper rung *)
+  | Partial of string
+      (** no rung completed; results are the named rung's partial
+          under-approximation *)
+
+type fallback = {
+  fb_result : result;
+  fb_attempts : attempt list;  (** in execution order *)
+  fb_completeness : completeness;
+}
+
+exception Fallback_failed of attempt list
+(** every ladder rung crashed without producing any result *)
+
+val string_of_completeness : completeness -> string
+(** [precise], [degraded(label)] or [partial(label)] *)
+
+val with_fallback :
+  config:Config.t -> (label:string -> Config.t -> result) -> fallback
+(** [with_fallback ~config run] drives [run] down the degradation
+    ladder until a rung completes; crashes are caught by an exception
+    barrier and count as failed rungs.
+    @raise Fallback_failed when every rung crashed. *)
+
+val analyze_with_fallback :
+  ?config:Config.t ->
+  ?defs:Fd_frontend.Sourcesink.t ->
+  ?wrappers:Fd_frontend.Rules.t ->
+  ?natives:Fd_frontend.Rules.t ->
+  ?phase:phase_hook ->
+  ?mode:Fd_frontend.Apk.mode ->
+  ?chaos:Fd_resilience.Chaos.t ->
+  Fd_frontend.Apk.t ->
+  fallback
+(** {!analyze_apk} under the ladder.  [chaos] attaches a fault
+    harness to each rung's budget (solver-step faults, for the
+    resilience tests).
+    @raise Fd_frontend.Apk.Load_error on strict-mode frontend
+    rejection;
+    @raise Fallback_failed when every rung crashed. *)

@@ -56,14 +56,29 @@ let finding_to_xml (fd : Bidi.finding) =
             ] );
       ] )
 
-(** [to_xml result] serialises a whole analysis result. *)
-let to_xml (result : Infoflow.result) =
+(* TerminationState values mirror FlowDroid's result-file vocabulary,
+   extended with the deadline/cancel/crash states of the resilience
+   layer *)
+let termination_state (o : Fd_resilience.Outcome.t) =
+  match o with
+  | Fd_resilience.Outcome.Complete -> "Success"
+  | Fd_resilience.Outcome.Budget_exhausted -> "DataFlowIncomplete"
+  | Fd_resilience.Outcome.Deadline_exceeded -> "DataFlowTimeout"
+  | Fd_resilience.Outcome.Cancelled -> "Cancelled"
+  | Fd_resilience.Outcome.Crashed _ -> "Crashed"
+
+(** [to_xml ?completeness result] serialises a whole analysis result;
+    [completeness] (from the degradation ladder) is attached as an
+    attribute when given. *)
+let to_xml ?completeness (result : Infoflow.result) =
   let stats = result.Infoflow.r_stats in
   X.Element
     ( "DataFlowResults",
-      [ ("FileFormatVersion", "100"); ("TerminationState",
-         if stats.Infoflow.st_budget_exhausted then "DataFlowIncomplete"
-         else "Success") ],
+      [ ("FileFormatVersion", "100");
+        ("TerminationState", termination_state stats.Infoflow.st_outcome) ]
+      @ (match completeness with
+        | Some c -> [ ("Completeness", c) ]
+        | None -> []),
       [
         X.Element
           ( "Results",
@@ -91,9 +106,17 @@ let to_xml (result : Infoflow.result) =
             ] );
       ] )
 
-(** [to_xml_string result] renders the XML document. *)
-let to_xml_string result =
-  "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n" ^ X.to_string (to_xml result)
+(** [to_xml_string ?completeness result] renders the XML document. *)
+let to_xml_string ?completeness result =
+  "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n"
+  ^ X.to_string (to_xml ?completeness result)
+
+(** [fallback_to_xml_string fb] renders a ladder run: the winning
+    result stamped with its completeness marker. *)
+let fallback_to_xml_string (fb : Infoflow.fallback) =
+  to_xml_string
+    ~completeness:(Infoflow.string_of_completeness fb.Infoflow.fb_completeness)
+    fb.Infoflow.fb_result
 
 (** [summary result] is a short human-readable digest. *)
 let summary (result : Infoflow.result) =
@@ -117,3 +140,22 @@ let summary (result : Infoflow.result) =
     result.Infoflow.r_stats.Infoflow.st_time
     result.Infoflow.r_stats.Infoflow.st_reachable
     result.Infoflow.r_stats.Infoflow.st_propagations
+
+(** [outcome_line result] is the one-line [outcome:] summary the CLI
+    prints for incomplete runs. *)
+let outcome_line (result : Infoflow.result) =
+  Printf.sprintf "outcome: %s"
+    (Fd_resilience.Outcome.to_string result.Infoflow.r_stats.Infoflow.st_outcome)
+
+(** [fallback_summary fb] is a one-line digest of a ladder run:
+    completeness, per-rung outcomes, final flow count. *)
+let fallback_summary (fb : Infoflow.fallback) =
+  Printf.sprintf "outcome: %s [%s]; %d flow(s)"
+    (Infoflow.string_of_completeness fb.Infoflow.fb_completeness)
+    (String.concat "; "
+       (List.map
+          (fun (a : Infoflow.attempt) ->
+            Printf.sprintf "%s: %s" a.Infoflow.at_label
+              (Fd_resilience.Outcome.to_string a.Infoflow.at_outcome))
+          fb.Infoflow.fb_attempts))
+    (List.length fb.Infoflow.fb_result.Infoflow.r_findings)

@@ -6,12 +6,34 @@
     use ([DataFlowResults]/[Results]/[Result]/[Sink]+[Sources]). *)
 
 val finding_to_xml : Bidi.finding -> Fd_xml.Xml.t
-val to_xml : Infoflow.result -> Fd_xml.Xml.t
 
-val to_xml_string : Infoflow.result -> string
+val termination_state : Fd_resilience.Outcome.t -> string
+(** the FlowDroid-style [TerminationState] attribute value:
+    [Success], [DataFlowIncomplete], [DataFlowTimeout], [Cancelled]
+    or [Crashed] *)
+
+val to_xml : ?completeness:string -> Infoflow.result -> Fd_xml.Xml.t
+(** [to_xml ?completeness result] serialises the result; the root
+    element carries a [TerminationState] attribute from the run's
+    outcome, plus a [Completeness] attribute when the degradation
+    ladder supplied one. *)
+
+val to_xml_string : ?completeness:string -> Infoflow.result -> string
 (** the rendered document, with XML declaration; parses back with
     {!Fd_xml.Xml.parse_string} *)
+
+val fallback_to_xml_string : Infoflow.fallback -> string
+(** a ladder run's winning result, stamped with its completeness
+    marker *)
 
 val summary : Infoflow.result -> string
 (** one-line digest: flow count by sink category, time, reachable
     methods, propagations *)
+
+val outcome_line : Infoflow.result -> string
+(** [outcome: <state>] — the one-line summary the CLI prints for
+    incomplete runs *)
+
+val fallback_summary : Infoflow.fallback -> string
+(** one-line digest of a ladder run: completeness, per-rung outcomes,
+    final flow count *)

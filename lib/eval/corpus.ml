@@ -12,6 +12,8 @@ type app_stat = {
   as_findings : int;
   as_expected : int;
   as_found_expected : int;  (** planted leaks that were recovered *)
+  as_outcome : Fd_resilience.Outcome.t;
+      (** barrier outcome; a crashed app scores zero findings *)
 }
 
 type t = {
@@ -19,16 +21,36 @@ type t = {
   c_stats : app_stat list;
 }
 
-(** [run ~profile ~seed ~n ()] generates and analyses a corpus. *)
+(** [run ~profile ~seed ~n ()] generates and analyses a corpus.  Each
+    app runs under the crash barrier with one degraded retry, so one
+    hostile app cannot abort the batch. *)
 let run ?(config = Config.default) ~profile ~seed ~n () =
   let apps = Fd_appgen.Generator.corpus ~profile ~seed n in
   let stats =
     List.map
       (fun (ga : Fd_appgen.Generator.gen_app) ->
         let t0 = Sys.time () in
-        let result = Infoflow.analyze_apk ~config ga.Fd_appgen.Generator.ga_apk in
+        let findings, outcome =
+          match
+            Fd_resilience.Barrier.protect_with_retry
+              ~label:ga.Fd_appgen.Generator.ga_name
+              (fun () ->
+                let r = Infoflow.analyze_apk ~config ga.Fd_appgen.Generator.ga_apk in
+                (Engines.findings_of_result r,
+                 r.Infoflow.r_stats.Infoflow.st_outcome))
+              ~retry:(fun () ->
+                let r =
+                  Infoflow.analyze_apk
+                    ~config:(Engines.degraded_config config)
+                    ga.Fd_appgen.Generator.ga_apk
+                in
+                (Engines.findings_of_result r,
+                 r.Infoflow.r_stats.Infoflow.st_outcome))
+          with
+          | Ok (fs, o) -> (fs, o)
+          | Error o -> ([], o)
+        in
         let t1 = Sys.time () in
-        let findings = Engines.findings_of_result result in
         let v =
           Scoring.score ~expected:ga.Fd_appgen.Generator.ga_expected ~findings
         in
@@ -39,10 +61,25 @@ let run ?(config = Config.default) ~profile ~seed ~n () =
           as_findings = List.length findings;
           as_expected = List.length ga.Fd_appgen.Generator.ga_expected;
           as_found_expected = v.Scoring.tp;
+          as_outcome = outcome;
         })
       apps
   in
   { c_profile = profile; c_stats = stats }
+
+(** [outcome_distribution t] counts apps per termination state. *)
+let outcome_distribution t =
+  List.fold_left
+    (fun acc s ->
+      let key =
+        match s.as_outcome with
+        | Fd_resilience.Outcome.Crashed _ -> "crashed"
+        | o -> Fd_resilience.Outcome.to_string o
+      in
+      let prev = Option.value (List.assoc_opt key acc) ~default:0 in
+      (key, prev + 1) :: List.remove_assoc key acc)
+    [] t.c_stats
+  |> List.sort compare
 
 type summary = {
   s_apps : int;
@@ -96,4 +133,10 @@ let render t =
            [ "reported leaks per app"; Printf.sprintf "%.2f" s.s_leaks_per_app ];
          Table.Row
            [ "recall on planted leaks"; Printf.sprintf "%.0f%%" (100. *. s.s_recall) ];
+         Table.Row
+           [ "outcomes";
+             String.concat ", "
+               (List.map
+                  (fun (k, n) -> Printf.sprintf "%s: %d" k n)
+                  (outcome_distribution t)) ];
        ])

@@ -8,6 +8,8 @@ type app_stat = {
   as_findings : int;
   as_expected : int;
   as_found_expected : int;  (** planted leaks that were recovered *)
+  as_outcome : Fd_resilience.Outcome.t;
+      (** barrier outcome; a crashed app scores zero findings *)
 }
 
 type t = {
@@ -34,4 +36,8 @@ type summary = {
 }
 
 val summarize : t -> summary
+
+val outcome_distribution : t -> (string * int) list
+(** apps per termination state ([complete], [crashed], …), sorted *)
+
 val render : t -> string

@@ -8,6 +8,9 @@ module Table = Fd_util.Table
 type app_result = {
   ar_app : Bench_app.t;
   ar_verdicts : (string * Scoring.verdict) list;  (** engine name -> verdict *)
+  ar_outcomes : (string * Engines.protected_result) list;
+      (** engine name -> barrier outcome (crashes show up here, not as
+          exceptions) *)
 }
 
 type t = {
@@ -16,24 +19,34 @@ type t = {
   totals : (string * (int * int * int)) list;  (** name -> (tp, fp, fn) *)
 }
 
-(** [run ?apps engines] evaluates [engines] over the scored suite. *)
+(** [run ?apps engines] evaluates [engines] over the scored suite.
+    Each engine runs under the crash barrier (with one degraded retry
+    when available), so a hostile case can never abort the table; a
+    crashed run scores its expectations as misses. *)
 let run ?(apps = Suite.scored) (engines : Engines.t list) =
   let rows =
     List.map
       (fun (app : Bench_app.t) ->
+        let protected_runs =
+          List.map
+            (fun (e : Engines.t) ->
+              ( e.Engines.eng_name,
+                Engines.run_protected e app.Bench_app.app_apk ))
+            engines
+        in
         {
           ar_app = app;
           ar_verdicts =
             List.map
-              (fun (e : Engines.t) ->
-                let findings = e.Engines.eng_run app.Bench_app.app_apk in
-                ( e.Engines.eng_name,
+              (fun (name, pr) ->
+                ( name,
                   Scoring.score
                     ~expected:
                       (List.map Scoring.of_bench_expectation
                          app.Bench_app.app_expected)
-                    ~findings ))
-              engines;
+                    ~findings:pr.Engines.pr_findings ))
+              protected_runs;
+          ar_outcomes = protected_runs;
         })
       apps
   in
@@ -119,3 +132,56 @@ let render t =
 
 (** [totals_of t name] is the (tp, fp, fn) triple of one engine. *)
 let totals_of t name = List.assoc name t.totals
+
+(** [outcome_rows t] is one line per app: the per-engine termination
+    state ([complete], [crashed: …], with a [degraded] marker when the
+    retry supplied the findings). *)
+let outcome_rows t =
+  List.map
+    (fun r ->
+      ( r.ar_app.Bench_app.app_name,
+        List.map
+          (fun (name, (pr : Engines.protected_result)) ->
+            let s = Fd_resilience.Outcome.to_string pr.Engines.pr_outcome in
+            (name, if pr.Engines.pr_degraded then s ^ " (degraded)" else s))
+          r.ar_outcomes ))
+    t.rows
+
+(** [outcome_distribution t] counts apps per termination state,
+    aggregated over every engine run (the CHANGES.md statistic). *)
+let outcome_distribution t =
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc (_, (pr : Engines.protected_result)) ->
+          let key =
+            match pr.Engines.pr_outcome with
+            | Fd_resilience.Outcome.Crashed _ -> "crashed"
+            | o -> Fd_resilience.Outcome.to_string o
+          in
+          let key = if pr.Engines.pr_degraded then key ^ "+degraded" else key in
+          let prev = Option.value (List.assoc_opt key acc) ~default:0 in
+          (key, prev + 1) :: List.remove_assoc key acc)
+        acc r.ar_outcomes)
+    [] t.rows
+  |> List.sort compare
+
+(** [render_outcomes t] is a text table of {!outcome_rows}, listing
+    only apps where some engine did not complete cleanly (empty string
+    when every run completed). *)
+let render_outcomes t =
+  let interesting =
+    List.filter
+      (fun (_, cells) ->
+        List.exists (fun (_, s) -> s <> "complete") cells)
+      (outcome_rows t)
+  in
+  if interesting = [] then ""
+  else
+    Table.render
+      (Table.make
+         ~header:("App Name" :: t.engines)
+         (List.map
+            (fun (app, cells) ->
+              Table.Row (app :: List.map (fun n -> List.assoc n cells) t.engines))
+            interesting))

@@ -7,6 +7,8 @@ open Fd_core
 type t = {
   eng_name : string;
   eng_run : Fd_frontend.Apk.t -> Scoring.finding list;
+  eng_degraded : (Fd_frontend.Apk.t -> Scoring.finding list) option;
+      (** cheapest-rung variant, used as the barrier's one retry *)
 }
 
 let findings_of_result (r : Infoflow.result) : Scoring.finding list =
@@ -15,11 +17,22 @@ let findings_of_result (r : Infoflow.result) : Scoring.finding list =
       (fd.Bidi.f_source.Taint.si_tag, fd.Bidi.f_sink_tag))
     r.Infoflow.r_findings
 
+(* the last rung of the degradation ladder for [config] *)
+let degraded_config config =
+  match List.rev (Config.degradation_ladder config) with
+  | (_, c) :: _ -> c
+  | [] -> config
+
 (** [flowdroid ?config ?name ()] wraps the core engine. *)
 let flowdroid ?(config = Config.default) ?(name = "FlowDroid") () =
   {
     eng_name = name;
     eng_run = (fun apk -> findings_of_result (Infoflow.analyze_apk ~config apk));
+    eng_degraded =
+      Some
+        (fun apk ->
+          findings_of_result
+            (Infoflow.analyze_apk ~config:(degraded_config config) apk));
   }
 
 (** [appscan] — the AppScan-Source-like comparator. *)
@@ -27,6 +40,7 @@ let appscan =
   {
     eng_name = "AppScan";
     eng_run = Fd_baselines.Simple_taint.run_appscan;
+    eng_degraded = None;
   }
 
 (** [fortify] — the Fortify-SCA-like comparator. *)
@@ -34,7 +48,46 @@ let fortify =
   {
     eng_name = "Fortify";
     eng_run = Fd_baselines.Simple_taint.run_fortify;
+    eng_degraded = None;
   }
+
+(** {2 Crash-isolated runs} *)
+
+type protected_result = {
+  pr_findings : Scoring.finding list;  (** [[]] when every attempt crashed *)
+  pr_outcome : Fd_resilience.Outcome.t;
+      (** [Complete], or the first attempt's [Crashed] when nothing
+          succeeded *)
+  pr_degraded : bool;  (** the findings came from the degraded retry *)
+}
+
+let m_retries = Fd_obs.Metrics.counter "resilience.retries"
+
+(** [run_protected e apk] runs [e] under an exception barrier; when
+    the primary run crashes and the engine has a degraded variant, it
+    gets one retry.  Never raises. *)
+let run_protected (e : t) apk =
+  match Fd_resilience.Barrier.protect ~label:e.eng_name (fun () -> e.eng_run apk) with
+  | Ok fs ->
+      { pr_findings = fs; pr_outcome = Fd_resilience.Outcome.Complete;
+        pr_degraded = false }
+  | Error first -> (
+      match e.eng_degraded with
+      | None -> { pr_findings = []; pr_outcome = first; pr_degraded = false }
+      | Some run -> (
+          Fd_obs.Metrics.incr m_retries;
+          match
+            Fd_resilience.Barrier.protect
+              ~label:(e.eng_name ^ " (degraded)")
+              (fun () -> run apk)
+          with
+          | Ok fs ->
+              { pr_findings = fs; pr_outcome = Fd_resilience.Outcome.Complete;
+                pr_degraded = true }
+          | Error _ ->
+              (* report the primary failure; the degraded crash is
+                 secondary *)
+              { pr_findings = []; pr_outcome = first; pr_degraded = true }))
 
 (** Ablations of the FlowDroid engine (DESIGN.md experiments). *)
 let ablations =

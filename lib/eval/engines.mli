@@ -5,9 +5,29 @@
 type t = {
   eng_name : string;
   eng_run : Fd_frontend.Apk.t -> Scoring.finding list;
+  eng_degraded : (Fd_frontend.Apk.t -> Scoring.finding list) option;
+      (** cheapest-rung variant, used as the barrier's one retry;
+          [None] for the comparator baselines *)
 }
 
 val findings_of_result : Fd_core.Infoflow.result -> Scoring.finding list
+
+val degraded_config : Fd_core.Config.t -> Fd_core.Config.t
+(** the last rung of {!Fd_core.Config.degradation_ladder} for a
+    config — what the barrier's retry runs under *)
+
+type protected_result = {
+  pr_findings : Scoring.finding list;  (** [[]] when every attempt crashed *)
+  pr_outcome : Fd_resilience.Outcome.t;
+      (** [Complete], or the first attempt's [Crashed] when nothing
+          succeeded *)
+  pr_degraded : bool;  (** the findings came from the degraded retry *)
+}
+
+val run_protected : t -> Fd_frontend.Apk.t -> protected_result
+(** [run_protected e apk] runs [e] under an exception barrier; when
+    the primary run crashes and the engine has a degraded variant, it
+    gets one retry.  Never raises. *)
 
 val flowdroid : ?config:Fd_core.Config.t -> ?name:string -> unit -> t
 val appscan : t

@@ -12,7 +12,13 @@ type group_result = {
   gr_na : bool;
 }
 
-type t = { group_results : group_result list; per_case : (string * Scoring.verdict) list }
+type t = {
+  group_results : group_result list;
+  per_case : (string * Scoring.verdict) list;
+  per_case_outcomes : (string * Fd_resilience.Outcome.t) list;
+      (** barrier outcome per case; anything but [Complete] means the
+          case's verdict scored empty findings *)
+}
 
 (** [run_case ?config case] analyses one case with the core engine and
     the suite's manually supplied sources/sinks. *)
@@ -33,10 +39,33 @@ let run_case ?(config = Fd_core.Config.default) (case : Sb_case.t) =
     ~expected:(List.map (fun (s, k) -> (s, k)) case.Sb_case.sb_expected)
     ~findings
 
-(** [run ?config ()] evaluates the whole suite. *)
+(* one case under the crash barrier, with a degraded retry: a crash
+   scores as zero findings instead of aborting the suite *)
+let run_case_protected ?(config = Fd_core.Config.default) (case : Sb_case.t) =
+  match
+    Fd_resilience.Barrier.protect_with_retry ~label:case.Sb_case.sb_name
+      (fun () -> run_case ~config case)
+      ~retry:(fun () ->
+        run_case ~config:(Engines.degraded_config config) case)
+  with
+  | Ok v -> (v, Fd_resilience.Outcome.Complete)
+  | Error o ->
+      ( Scoring.score
+          ~expected:(List.map (fun (s, k) -> (s, k)) case.Sb_case.sb_expected)
+          ~findings:[],
+        o )
+
+(** [run ?config ()] evaluates the whole suite; each case runs under
+    the crash barrier. *)
 let run ?config () =
-  let per_case =
-    List.map (fun c -> (c.Sb_case.sb_name, run_case ?config c)) Sb_suite.all
+  let protected_runs =
+    List.map
+      (fun c -> (c.Sb_case.sb_name, run_case_protected ?config c))
+      Sb_suite.all
+  in
+  let per_case = List.map (fun (n, (v, _)) -> (n, v)) protected_runs in
+  let per_case_outcomes =
+    List.map (fun (n, (_, o)) -> (n, o)) protected_runs
   in
   let group_results =
     List.map
@@ -62,7 +91,7 @@ let run ?config () =
         end)
       Sb_suite.groups
   in
-  { group_results; per_case }
+  { group_results; per_case; per_case_outcomes }
 
 (** [totals t] is (found, expected, fp) over the implemented groups. *)
 let totals t =

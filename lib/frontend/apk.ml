@@ -13,15 +13,20 @@ open Fd_ir
 module M = Fd_obs.Metrics
 
 let m_units = M.counter "frontend.jimple_units_parsed"
+let m_skipped = M.counter "frontend.units_skipped"
 let g_classes = M.gauge "frontend.classes"
 let g_layouts = M.gauge "frontend.layouts"
 let g_components = M.gauge "frontend.components"
+
+type mode = [ `Strict | `Lenient ]
 
 type t = {
   apk_name : string;
   apk_manifest : string;  (** manifest XML source *)
   apk_layouts : (string * string) list;  (** (layout name, XML source) *)
   apk_classes : Jclass.t list;
+  apk_diags : Fd_resilience.Diag.t list;
+      (** diagnostics collected while bundling (lenient parse skips) *)
 }
 
 type loaded = {
@@ -30,86 +35,164 @@ type loaded = {
   layout : Layout.t;
   scene : Scene.t;
   components : Manifest.component list;  (** enabled components only *)
+  diags : Fd_resilience.Diag.t list;
+      (** bundle diagnostics plus lenient-load skips; [[]] in strict
+          mode *)
 }
 
 exception Load_error of string
 
 (** [make name ~manifest ?layouts classes] bundles an in-memory app. *)
-let make name ~manifest ?(layouts = []) classes =
+let make name ~manifest ?(layouts = []) ?(diags = []) classes =
   { apk_name = name; apk_manifest = manifest; apk_layouts = layouts;
-    apk_classes = classes }
+    apk_classes = classes; apk_diags = diags }
 
 (** [make_text name ~manifest ?layouts sources] bundles an app whose
-    code is given as textual µJimple compilation units. *)
-let make_text name ~manifest ?(layouts = []) sources =
+    code is given as textual µJimple compilation units.  In lenient
+    mode an unparsable unit is dropped with a diagnostic instead of
+    aborting the bundle. *)
+let make_text ?(mode = `Strict) name ~manifest ?(layouts = []) ?(diags = [])
+    sources =
+  let collected = ref [] in
+  let failed ~line kind msg =
+    match mode with
+    | `Strict ->
+        raise
+          (Load_error
+             (Printf.sprintf "%s: %s error at line %d: %s" name kind line msg))
+    | `Lenient ->
+        M.incr m_skipped;
+        collected :=
+          Fd_resilience.Diag.make ~line ~file:name
+            (Printf.sprintf "skipped unit: %s error: %s" kind msg)
+          :: !collected;
+        []
+  in
   let classes =
     List.concat_map
       (fun src ->
         M.incr m_units;
-        try Parser.parse_string src with
-        | Parser.Parse_error (line, msg) ->
-            raise (Load_error (Printf.sprintf "%s: parse error at line %d: %s" name line msg))
-        | Lexer.Lex_error (line, msg) ->
-            raise (Load_error (Printf.sprintf "%s: lex error at line %d: %s" name line msg)))
+        match Parser.parse_string src with
+        | cs -> cs
+        | exception Parser.Parse_error (line, msg) -> failed ~line "parse" msg
+        | exception Lexer.Lex_error (line, msg) -> failed ~line "lex" msg)
       sources
   in
-  make name ~manifest ~layouts classes
+  make name ~manifest ~layouts ~diags:(diags @ List.rev !collected) classes
 
 (** [of_dir dir] reads an app from disk: [AndroidManifest.xml], every
     [res/layout/*.xml] (alphabetical), and every [*.jimple] file
-    (recursively, alphabetical). *)
-let of_dir dir =
+    (recursively, alphabetical).  All I/O failures surface as
+    {!Load_error} carrying the offending path — never a bare
+    [Sys_error].  In lenient mode an unreadable file is skipped with a
+    diagnostic (the manifest stays mandatory). *)
+let of_dir ?(mode = `Strict) dir =
+  let io_diags = ref [] in
   let read_file path =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      raise (Load_error (Printf.sprintf "%s: I/O error: %s" path msg))
   in
-  let manifest_path = Filename.concat dir "AndroidManifest.xml" in
-  if not (Sys.file_exists manifest_path) then
-    raise (Load_error (Printf.sprintf "%s: no AndroidManifest.xml" dir));
-  let manifest = read_file manifest_path in
-  let layout_dir = Filename.concat (Filename.concat dir "res") "layout" in
-  let layouts =
-    if Sys.file_exists layout_dir && Sys.is_directory layout_dir then
-      Sys.readdir layout_dir |> Array.to_list
-      |> List.filter (fun f -> Filename.check_suffix f ".xml")
-      |> List.sort compare
-      |> List.map (fun f ->
-             ( Filename.remove_extension f,
-               read_file (Filename.concat layout_dir f) ))
-    else []
+  let read_opt path =
+    match read_file path with
+    | s -> Some s
+    | exception Load_error msg when mode = `Lenient ->
+        io_diags := Fd_resilience.Diag.make ~file:path msg :: !io_diags;
+        None
   in
-  let rec jimple_files d =
-    Sys.readdir d |> Array.to_list |> List.sort compare
-    |> List.concat_map (fun f ->
-           let p = Filename.concat d f in
-           if Sys.is_directory p then jimple_files p
-           else if Filename.check_suffix f ".jimple" then [ p ]
-           else [])
-  in
-  let sources = List.map read_file (jimple_files dir) in
-  make_text (Filename.basename dir) ~manifest ~layouts sources
+  try
+    let manifest_path = Filename.concat dir "AndroidManifest.xml" in
+    if not (Sys.file_exists manifest_path) then
+      raise (Load_error (Printf.sprintf "%s: no AndroidManifest.xml" dir));
+    let manifest = read_file manifest_path in
+    let layout_dir = Filename.concat (Filename.concat dir "res") "layout" in
+    let layouts =
+      if Sys.file_exists layout_dir && Sys.is_directory layout_dir then
+        Sys.readdir layout_dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".xml")
+        |> List.sort compare
+        |> List.filter_map (fun f ->
+               match read_opt (Filename.concat layout_dir f) with
+               | Some src -> Some (Filename.remove_extension f, src)
+               | None -> None)
+      else []
+    in
+    let rec jimple_files d =
+      Sys.readdir d |> Array.to_list |> List.sort compare
+      |> List.concat_map (fun f ->
+             let p = Filename.concat d f in
+             if Sys.is_directory p then jimple_files p
+             else if Filename.check_suffix f ".jimple" then [ p ]
+             else [])
+    in
+    let sources = List.filter_map read_opt (jimple_files dir) in
+    make_text ~mode (Filename.basename dir) ~manifest ~layouts
+      ~diags:(List.rev !io_diags) sources
+  with Sys_error msg ->
+    raise (Load_error (Printf.sprintf "%s: I/O error: %s" dir msg))
 
 (** [load apk] runs the frontend: parses the manifest and layouts,
     builds a scene containing the framework skeleton plus the app's
     classes, and checks that every enabled manifest component resolves
     to a class with the right framework superclass.
-    @raise Load_error on inconsistencies. *)
-let load apk =
+
+    In the default strict mode any inconsistency raises {!Load_error}.
+    In lenient mode the offending artefact — a malformed manifest
+    component, an unparsable layout, a duplicate class, a component
+    whose class is missing or has the wrong superclass — is skipped
+    with a structured diagnostic and the rest of the app is loaded.
+    @raise Load_error on inconsistencies (strict mode), or when even
+    lenient loading cannot recover (e.g. a layout batch failure). *)
+let load ?(mode = `Strict) apk =
   Fd_obs.Trace.with_span "frontend.load" @@ fun () ->
+  let diags = ref [] in
+  let diag ?line ~file msg =
+    M.incr m_skipped;
+    diags := Fd_resilience.Diag.make ?line ~file msg :: !diags
+  in
   let manifest =
-    try Manifest.parse apk.apk_manifest with
-    | Manifest.Malformed msg ->
-        raise (Load_error (Printf.sprintf "%s: bad manifest: %s" apk.apk_name msg))
-    | Fd_xml.Xml.Parse_error (pos, msg) ->
-        raise
-          (Load_error
-             (Printf.sprintf "%s: manifest XML error at offset %d: %s"
-                apk.apk_name pos msg))
+    match mode with
+    | `Strict -> (
+        try Manifest.parse apk.apk_manifest with
+        | Manifest.Malformed msg ->
+            raise
+              (Load_error
+                 (Printf.sprintf "%s: bad manifest: %s" apk.apk_name msg))
+        | Fd_xml.Xml.Parse_error (pos, msg) ->
+            raise
+              (Load_error
+                 (Printf.sprintf "%s: manifest XML error at offset %d: %s"
+                    apk.apk_name pos msg)))
+    | `Lenient ->
+        let m, skipped = Manifest.parse_lenient apk.apk_manifest in
+        List.iter
+          (fun msg -> diag ~file:(apk.apk_name ^ "/AndroidManifest.xml") msg)
+          skipped;
+        m
+  in
+  let layout_srcs =
+    match mode with
+    | `Strict -> apk.apk_layouts
+    | `Lenient ->
+        (* pre-validate each layout so one bad file only drops itself *)
+        List.filter
+          (fun (lname, src) ->
+            match Fd_xml.Xml.parse_string src with
+            | _ -> true
+            | exception Fd_xml.Xml.Parse_error (pos, msg) ->
+                diag
+                  ~file:(apk.apk_name ^ "/res/layout/" ^ lname ^ ".xml")
+                  (Printf.sprintf "skipped layout: XML error at offset %d: %s"
+                     pos msg);
+                false)
+          apk.apk_layouts
   in
   let layout =
-    try Layout.parse apk.apk_layouts
+    try Layout.parse layout_srcs
     with Fd_xml.Xml.Parse_error (pos, msg) ->
       raise
         (Load_error
@@ -120,42 +203,58 @@ let load apk =
   List.iter
     (fun c ->
       try Scene.add_class scene c
-      with Scene.Duplicate_class n ->
-        raise (Load_error (Printf.sprintf "%s: duplicate class %s" apk.apk_name n)))
+      with Scene.Duplicate_class n -> (
+        match mode with
+        | `Strict ->
+            raise
+              (Load_error
+                 (Printf.sprintf "%s: duplicate class %s" apk.apk_name n))
+        | `Lenient ->
+            diag ~file:apk.apk_name
+              (Printf.sprintf "skipped duplicate class %s" n)))
     apk.apk_classes;
-  let components = Manifest.enabled_components manifest in
-  List.iter
-    (fun (c : Manifest.component) ->
-      match Scene.find_class scene c.Manifest.comp_class with
-      | None ->
-          raise
-            (Load_error
-               (Printf.sprintf "%s: manifest declares missing class %s"
-                  apk.apk_name c.Manifest.comp_class))
-      | Some _ -> (
-          match Framework.component_kind_of scene c.Manifest.comp_class with
-          | Some k when k = c.Manifest.comp_kind -> ()
-          | Some k ->
-              raise
-                (Load_error
-                   (Printf.sprintf
-                      "%s: %s declared as %s but extends the %s base class"
-                      apk.apk_name c.Manifest.comp_class
-                      (Framework.string_of_component_kind c.Manifest.comp_kind)
-                      (Framework.string_of_component_kind k)))
-          | None ->
-              raise
-                (Load_error
-                   (Printf.sprintf
-                      "%s: %s declared as %s but extends no component base \
-                       class"
-                      apk.apk_name c.Manifest.comp_class
-                      (Framework.string_of_component_kind c.Manifest.comp_kind)))))
-    components;
+  (* Ok () / Error msg, without the apk-name prefix *)
+  let component_check (c : Manifest.component) =
+    match Scene.find_class scene c.Manifest.comp_class with
+    | None ->
+        Error
+          (Printf.sprintf "manifest declares missing class %s"
+             c.Manifest.comp_class)
+    | Some _ -> (
+        match Framework.component_kind_of scene c.Manifest.comp_class with
+        | Some k when k = c.Manifest.comp_kind -> Ok ()
+        | Some k ->
+            Error
+              (Printf.sprintf "%s declared as %s but extends the %s base class"
+                 c.Manifest.comp_class
+                 (Framework.string_of_component_kind c.Manifest.comp_kind)
+                 (Framework.string_of_component_kind k))
+        | None ->
+            Error
+              (Printf.sprintf
+                 "%s declared as %s but extends no component base class"
+                 c.Manifest.comp_class
+                 (Framework.string_of_component_kind c.Manifest.comp_kind)))
+  in
+  let components =
+    List.filter
+      (fun (c : Manifest.component) ->
+        match component_check c with
+        | Ok () -> true
+        | Error msg -> (
+            match mode with
+            | `Strict -> raise (Load_error (apk.apk_name ^ ": " ^ msg))
+            | `Lenient ->
+                diag ~file:(apk.apk_name ^ "/AndroidManifest.xml")
+                  ("skipped component: " ^ msg);
+                false))
+      (Manifest.enabled_components manifest)
+  in
   M.set_int g_classes (List.length apk.apk_classes);
   M.set_int g_layouts (List.length apk.apk_layouts);
   M.set_int g_components (List.length components);
-  { name = apk.apk_name; manifest; layout; scene; components }
+  { name = apk.apk_name; manifest; layout; scene; components;
+    diags = apk.apk_diags @ List.rev !diags }
 
 (** [res_id loaded name] is the integer resource id of the layout
     control with symbolic id [name].

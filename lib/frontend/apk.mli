@@ -9,11 +9,19 @@
 
 open Fd_ir
 
+type mode = [ `Strict | `Lenient ]
+(** [`Strict] (the default) raises {!Load_error} on the first
+    malformed artefact; [`Lenient] skips the offending component,
+    layout or compilation unit, records a {!Fd_resilience.Diag.t},
+    and analyses the rest. *)
+
 type t = {
   apk_name : string;
   apk_manifest : string;  (** manifest XML source *)
   apk_layouts : (string * string) list;  (** (layout name, XML source) *)
   apk_classes : Jclass.t list;
+  apk_diags : Fd_resilience.Diag.t list;
+      (** diagnostics collected while bundling (lenient parse skips) *)
 }
 
 type loaded = {
@@ -22,34 +30,48 @@ type loaded = {
   layout : Layout.t;
   scene : Scene.t;
   components : Manifest.component list;  (** enabled components only *)
+  diags : Fd_resilience.Diag.t list;
+      (** bundle diagnostics plus lenient-load skips; [[]] in strict
+          mode *)
 }
 
 exception Load_error of string
 
 val make :
   string -> manifest:string -> ?layouts:(string * string) list ->
-  Jclass.t list -> t
+  ?diags:Fd_resilience.Diag.t list -> Jclass.t list -> t
 (** [make name ~manifest ?layouts classes] bundles an in-memory app. *)
 
 val make_text :
-  string -> manifest:string -> ?layouts:(string * string) list ->
+  ?mode:mode -> string -> manifest:string ->
+  ?layouts:(string * string) list -> ?diags:Fd_resilience.Diag.t list ->
   string list -> t
 (** [make_text name ~manifest ?layouts sources] bundles an app whose
-    code is textual µJimple compilation units.
-    @raise Load_error on parse errors (with the line number). *)
+    code is textual µJimple compilation units.  In lenient mode an
+    unparsable unit is dropped with a diagnostic carrying the line
+    number.
+    @raise Load_error on parse errors in strict mode (with the line
+    number). *)
 
-val of_dir : string -> t
+val of_dir : ?mode:mode -> string -> t
 (** [of_dir dir] reads an app from disk: [AndroidManifest.xml], every
     [res/layout/*.xml] and every [*.jimple] file (recursively,
-    alphabetical).
-    @raise Load_error when the manifest is missing or code is
-    malformed. *)
+    alphabetical).  All I/O failures — nonexistent or unreadable
+    directory, unreadable file — surface as {!Load_error} carrying
+    the offending path, never a bare [Sys_error].  In lenient mode an
+    unreadable or unparsable file is skipped with a diagnostic; the
+    manifest stays mandatory.
+    @raise Load_error when the manifest is missing, the directory is
+    unreadable, or code is malformed (strict mode). *)
 
-val load : t -> loaded
+val load : ?mode:mode -> t -> loaded
 (** [load apk] runs the frontend and validates that every enabled
     manifest component resolves to a class with the right framework
-    superclass.
-    @raise Load_error on inconsistencies. *)
+    superclass.  In lenient mode a malformed manifest component, an
+    unparsable layout, a duplicate class, or a component failing
+    validation is skipped with a diagnostic ([loaded.diags]) and the
+    rest of the app is loaded.
+    @raise Load_error on inconsistencies (strict mode). *)
 
 val res_id : loaded -> string -> int
 (** the integer resource id of the layout control with the given

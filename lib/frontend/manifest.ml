@@ -99,6 +99,51 @@ let parse src =
   in
   { package; components; permissions }
 
+(** [parse_lenient xml_source] parses a manifest document, skipping
+    malformed components instead of raising.  Returns the (possibly
+    partial) manifest plus a message per skipped item; an unparsable
+    document yields an empty manifest with one message. *)
+let parse_lenient src =
+  let empty = { package = ""; components = []; permissions = [] } in
+  match X.parse_string src with
+  | exception X.Parse_error (pos, msg) ->
+      (empty, [ Printf.sprintf "manifest XML error at offset %d: %s" pos msg ])
+  | root ->
+      if X.tag root <> "manifest" then
+        (empty, [ "root element is not <manifest>" ])
+      else begin
+        let skipped = ref [] in
+        let package = X.attr_dflt root "package" ~default:"" in
+        let apps = X.children_named root "application" in
+        let components =
+          List.concat_map
+            (fun app ->
+              List.concat_map
+                (fun (tag, kind) ->
+                  List.filter_map
+                    (fun e ->
+                      try Some (parse_component ~package kind e)
+                      with Malformed msg ->
+                        skipped :=
+                          Printf.sprintf "skipped <%s>: %s" tag msg :: !skipped;
+                        None)
+                    (X.children_named app tag))
+                [
+                  ("activity", Framework.Activity);
+                  ("service", Framework.Service);
+                  ("receiver", Framework.Receiver);
+                  ("provider", Framework.Provider);
+                ])
+            apps
+        in
+        let permissions =
+          List.filter_map
+            (fun p -> X.attr p "android:name")
+            (X.children_named root "uses-permission")
+        in
+        ({ package; components; permissions }, List.rev !skipped)
+      end
+
 (** [enabled_components m] filters out components disabled in the
     manifest (they can never run, so the lifecycle model excludes
     them). *)

@@ -31,6 +31,12 @@ val parse : string -> t
     component names are resolved against the package.
     @raise Malformed (or {!Fd_xml.Xml.Parse_error}) on bad input. *)
 
+val parse_lenient : string -> t * string list
+(** [parse_lenient xml_source] parses a manifest, skipping malformed
+    components instead of raising; returns the partial manifest plus
+    one message per skipped item.  An unparsable document yields an
+    empty manifest and a single message.  Never raises. *)
+
 val enabled_components : t -> component list
 (** components not disabled in the manifest (only these can run) *)
 

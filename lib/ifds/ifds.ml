@@ -130,9 +130,10 @@ module Make (P : PROBLEM) = struct
     incoming_ctx : ((P.node * P.fact) * (P.node * P.fact), unit) Hashtbl.t;
     worklist : ((P.node * P.fact) * (P.node * P.fact)) Queue.t;
     mutable edge_count : int;
+    budget : Fd_resilience.Budget.t;
   }
 
-  let create () =
+  let create ?(budget = Fd_resilience.Budget.unlimited ()) () =
     {
       path_edges = NFtbl.create 256;
       results_facts = Ntbl.create 256;
@@ -141,6 +142,7 @@ module Make (P : PROBLEM) = struct
       incoming_ctx = Hashtbl.create 256;
       worklist = Queue.create ();
       edge_count = 0;
+      budget;
     }
 
   let record_result t n d =
@@ -165,12 +167,14 @@ module Make (P : PROBLEM) = struct
           s
     in
     if not (NFtbl.mem set tgt) then begin
-      NFtbl.replace set tgt ();
-      t.edge_count <- t.edge_count + 1;
-      M.incr m_path_edges;
-      M.incr m_worklist_pushes;
-      record_result t (fst tgt) (snd tgt);
-      Queue.add (src, tgt) t.worklist
+      if Fd_resilience.Budget.tick t.budget then begin
+        NFtbl.replace set tgt ();
+        t.edge_count <- t.edge_count + 1;
+        M.incr m_path_edges;
+        M.incr m_worklist_pushes;
+        record_result t (fst tgt) (snd tgt);
+        Queue.add (src, tgt) t.worklist
+      end
     end
 
   let add_incoming t callee_ctx entry =
@@ -284,11 +288,12 @@ module Make (P : PROBLEM) = struct
         (P.succs n)
     end
 
-  (** [solve ~seeds] runs the tabulation to a fixed point.  Each seed
-      [(n, d)] asserts that [d] holds just before [n] (typically
+  (** [solve ?budget ~seeds ()] runs the tabulation to a fixed point
+      (or until [budget] trips — check {!outcome} afterwards).  Each
+      seed [(n, d)] asserts that [d] holds just before [n] (typically
       [(entry, zero)]). *)
-  let solve ~seeds =
-    let t = create () in
+  let solve ?budget ~seeds () =
+    let t = create ?budget () in
     List.iter
       (fun (n, d) ->
         let sp = P.start_of (P.proc_of n) in
@@ -297,12 +302,19 @@ module Make (P : PROBLEM) = struct
         propagate t (sp, P.zero) (n, d);
         if not (P.fact_equal d P.zero) then propagate t (sp, P.zero) (n, P.zero))
       seeds;
-    while not (Queue.is_empty t.worklist) do
+    while
+      (not (Queue.is_empty t.worklist))
+      && not (Fd_resilience.Budget.stopped t.budget)
+    do
       let src, tgt = Queue.pop t.worklist in
       M.incr m_worklist_pops;
       process t src tgt
     done;
     t
+
+  (** [outcome t] is the typed termination state of the solve
+      ([Complete] unless the budget tripped). *)
+  let outcome t = Fd_resilience.Budget.outcome t.budget
 
   (** [results_at t n] is every fact that may hold just before [n]. *)
   let results_at t n =

@@ -1,0 +1,34 @@
+(** Crash isolation for batch runners (see the .mli). *)
+
+let m_crashes = Fd_obs.Metrics.counter "resilience.crashes_caught"
+let m_retries = Fd_obs.Metrics.counter "resilience.retries"
+
+let message label exn =
+  let base =
+    match exn with
+    | Chaos.Fault site -> Printf.sprintf "injected fault at %s" site
+    | e -> Printexc.to_string e
+  in
+  Printf.sprintf "%s: %s" label base
+
+let protect ~label f =
+  match f () with
+  | v -> Ok v
+  | exception Stack_overflow ->
+      Fd_obs.Metrics.incr m_crashes;
+      Error (Outcome.Crashed (message label Stack_overflow))
+  | exception e ->
+      Fd_obs.Metrics.incr m_crashes;
+      Error (Outcome.Crashed (message label e))
+
+let protect_with_retry ~label f ~retry =
+  match protect ~label f with
+  | Ok v -> Ok v
+  | Error first -> (
+      Fd_obs.Metrics.incr m_retries;
+      match protect ~label:(label ^ " (retry)") retry with
+      | Ok v -> Ok v
+      | Error _ ->
+          (* report the first failure: the retry ran degraded, its
+             crash is secondary *)
+          Error first)

@@ -1,0 +1,20 @@
+(** Crash isolation for batch runners.
+
+    [protect] runs one app's analysis under an exception barrier so a
+    hostile input can never take the whole batch down: any exception —
+    including {!Chaos.Fault} and [Stack_overflow] — is converted into
+    an [Error (Crashed msg)] outcome and counted under
+    [resilience.crashes_caught]. *)
+
+val protect :
+  label:string -> (unit -> 'a) -> ('a, Outcome.t) result
+(** [protect ~label f] is [Ok (f ())], or [Error (Crashed msg)] when
+    [f] raises; [label] prefixes the message so per-app reports name
+    the offender. *)
+
+val protect_with_retry :
+  label:string -> (unit -> 'a) -> retry:(unit -> 'a) -> ('a, Outcome.t) result
+(** [protect_with_retry ~label f ~retry] runs [f] under the barrier
+    and, when it crashes, gives [retry] (typically the same analysis
+    under a degraded config) one more chance before giving up.  A
+    successful retry bumps [resilience.retries]. *)

@@ -1,0 +1,14 @@
+(** Structured diagnostics for the lenient frontend (see the .mli). *)
+
+let m_diags = Fd_obs.Metrics.counter "resilience.diagnostics"
+
+type t = { d_file : string; d_line : int option; d_msg : string }
+
+let make ?line ~file msg =
+  Fd_obs.Metrics.incr m_diags;
+  { d_file = file; d_line = line; d_msg = msg }
+
+let to_string d =
+  match d.d_line with
+  | Some l -> Printf.sprintf "%s:%d: %s" d.d_file l d.d_msg
+  | None -> Printf.sprintf "%s: %s" d.d_file d.d_msg

@@ -1,0 +1,21 @@
+(** Structured diagnostics for the lenient frontend.
+
+    When parsing runs in lenient mode, a malformed manifest component,
+    layout file or µJimple unit is skipped instead of aborting the
+    load; each skip is recorded as one diagnostic carrying the file
+    (or artefact name), the line when known, and a message.  The
+    [resilience.diagnostics] counter tracks how many were emitted
+    process-wide. *)
+
+type t = {
+  d_file : string;  (** artefact name: file path, layout name, … *)
+  d_line : int option;  (** 1-based line when the parser knows it *)
+  d_msg : string;
+}
+
+val make : ?line:int -> file:string -> string -> t
+(** [make ~file msg] records one diagnostic (and bumps the
+    [resilience.diagnostics] counter). *)
+
+val to_string : t -> string
+(** ["file:line: msg"] (line omitted when unknown) *)

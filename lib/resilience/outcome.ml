@@ -1,0 +1,27 @@
+(** The typed termination state of an analysis run (see the .mli). *)
+
+type t =
+  | Complete
+  | Budget_exhausted
+  | Deadline_exceeded
+  | Cancelled
+  | Crashed of string
+
+let is_complete = function Complete -> true | _ -> false
+
+let severity = function
+  | Complete -> 0
+  | Budget_exhausted -> 1
+  | Deadline_exceeded -> 2
+  | Cancelled -> 3
+  | Crashed _ -> 4
+
+let equal a b = severity a = severity b
+let worst a b = if severity a >= severity b then a else b
+
+let to_string = function
+  | Complete -> "complete"
+  | Budget_exhausted -> "budget-exhausted"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Cancelled -> "cancelled"
+  | Crashed msg -> "crashed: " ^ msg

@@ -372,8 +372,8 @@ let test_budget_exhaustion_static () =
      exhaustion instead of looping *)
   let config = { Config.default with Config.max_propagations = 50 } in
   let r = Infoflow.analyze_apk ~config (leakage_apk ()) in
-  Alcotest.(check bool) "budget flagged" true
-    r.Infoflow.r_stats.Infoflow.st_budget_exhausted
+  Alcotest.(check string) "budget flagged" "budget-exhausted"
+    (Fd_resilience.Outcome.to_string r.Infoflow.r_stats.Infoflow.st_outcome)
 
 let () =
   Alcotest.run "fd_android"

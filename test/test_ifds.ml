@@ -134,7 +134,7 @@ let setup () =
       code = [| CopyFrom ("t", "p"); Exit |];
     }
 
-let solve () = S.solve ~seeds:[ (("main", 0), P.zero) ]
+let solve () = S.solve ~seeds:[ (("main", 0), P.zero) ] ()
 
 let test_uninit_basics () =
   setup ();
