@@ -251,6 +251,32 @@ let benchmark () =
     (List.sort compare !rows);
   print_newline ()
 
+(* the performance-gate summary: one timed iteration of the
+   check_perf.sh workload, plus the interning/dedup counters it turns
+   on.  The full gate (repeats, --jobs determinism check,
+   BENCH_perf.json) is [sh bench/check_perf.sh]. *)
+let perf_summary () =
+  section "Performance: gate workload (see bench/check_perf.sh)";
+  let engines =
+    [ Fd_eval.Engines.flowdroid (); Fd_eval.Engines.appscan;
+      Fd_eval.Engines.fortify ]
+  in
+  (* warm-up fills the lazy framework/rules templates *)
+  ignore (Fd_eval.Droidbench_table.run engines);
+  Fd_obs.Metrics.reset ();
+  let t0 = Unix.gettimeofday () in
+  ignore (Fd_eval.Droidbench_table.run engines);
+  ignore (Fd_eval.Securibench_table.run ());
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "full table workload: %.4f s (sequential)\n" dt;
+  List.iter
+    (fun name ->
+      Printf.printf "%-32s %d\n" name (Fd_obs.Metrics.counter_value name))
+    [ "ifds.worklist_pushes"; "ifds.worklist_dedup_hits" ];
+  Printf.printf "jobs: --jobs N on the runners (or FLOWDROID_JOBS) fans the \
+                 per-app loops out over N domains\n";
+  print_newline ()
+
 let () =
   with_obs "table1" table1;
   with_obs "table2" table2;
@@ -259,5 +285,6 @@ let () =
   with_obs "ablations" ablation_table;
   with_obs "dynamic" dynamic_comparison;
   figures ();
+  perf_summary ();
   benchmark ();
   write_obs_json "BENCH_obs.json"

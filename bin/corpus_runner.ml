@@ -24,11 +24,19 @@ let deadline =
         ~doc:"Wall-clock deadline per app; expired apps report partial \
               results.")
 
-let run profile n seed deadline =
+let jobs =
+  Arg.(
+    value & opt int (Fd_util.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Fan the per-app loop out over $(docv) domains; results \
+              are bit-identical at any job count (default: \
+              FLOWDROID_JOBS, else 1).")
+
+let run profile n seed deadline jobs =
   let config =
     { Fd_core.Config.default with Fd_core.Config.deadline_s = deadline }
   in
-  let t = Fd_eval.Corpus.run ~config ~profile ~seed ~n () in
+  let t = Fd_eval.Corpus.run ~config ~jobs ~profile ~seed ~n () in
   print_string (Fd_eval.Corpus.render t);
   (* per-app outcome rows for anything that did not complete cleanly *)
   List.iter
@@ -43,6 +51,6 @@ let cmd =
   Cmd.v
     (Cmd.info "corpus_runner"
        ~doc:"RQ3 corpus analysis (generated Play/malware apps)")
-    Term.(const run $ profile $ n $ seed $ deadline)
+    Term.(const run $ profile $ n $ seed $ deadline $ jobs)
 
 let () = exit (Cmd.eval cmd)

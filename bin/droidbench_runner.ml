@@ -9,6 +9,11 @@
                         an on-disk app directory usable with
                         flowdroid_cli
 
+   Performance options:
+     --jobs N           fan the per-app loop out over N domains
+                        (default: $FLOWDROID_JOBS, else 1); the table
+                        is bit-identical at any job count
+
    Resilience options:
      --deadline SECS    wall-clock deadline per analysis run
      --outcomes         print per-app termination states after the table
@@ -22,8 +27,8 @@
 let usage () =
   prerr_endline
     "usage: droidbench_runner [--app NAME] [--stats-json FILE] [--trace-out \
-     FILE] [--dump DIR] [--deadline SECS] [--outcomes] [--chaos-rate P] \
-     [--chaos-seed N]";
+     FILE] [--dump DIR] [--jobs N] [--deadline SECS] [--outcomes] \
+     [--chaos-rate P] [--chaos-seed N]";
   exit 1
 
 let app_name = ref None
@@ -34,6 +39,7 @@ let deadline = ref None
 let show_outcomes = ref false
 let chaos_rate = ref None
 let chaos_seed = ref 20140609
+let jobs = ref (Fd_util.Pool.default_jobs ())
 
 let () =
   let rec parse = function
@@ -54,6 +60,11 @@ let () =
         (match float_of_string_opt v with
         | Some s -> deadline := Some s
         | None -> usage ());
+        parse rest
+    | "--jobs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> jobs := n
+        | _ -> usage ());
         parse rest
     | "--outcomes" :: rest ->
         show_outcomes := true;
@@ -223,7 +234,7 @@ let () =
         [ Fd_eval.Engines.appscan; Fd_eval.Engines.fortify;
           Fd_eval.Engines.flowdroid ~config:(base_config ()) () ]
       in
-      let t = Fd_eval.Droidbench_table.run engines in
+      let t = Fd_eval.Droidbench_table.run ~jobs:!jobs engines in
       print_string (Fd_eval.Droidbench_table.render t);
       if !show_outcomes then begin
         print_newline ();

@@ -2,10 +2,16 @@
 
    Observability options:
      --stats-json FILE  write the metrics snapshot (+ phase durations)
-     --trace-out FILE   write a Chrome trace_event file *)
+     --trace-out FILE   write a Chrome trace_event file
+
+   Performance options:
+     --jobs N           fan the per-case loop out over N domains
+                        (default: $FLOWDROID_JOBS, else 1); the table
+                        is bit-identical at any job count *)
 
 let stats_json = ref None
 let trace_out = ref None
+let jobs = ref (Fd_util.Pool.default_jobs ())
 
 let () =
   let rec parse = function
@@ -16,15 +22,23 @@ let () =
     | "--trace-out" :: v :: rest ->
         trace_out := Some v;
         parse rest
+    | "--jobs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            prerr_endline "error: --jobs expects a positive integer";
+            exit 1);
+        parse rest
     | _ ->
         prerr_endline
-          "usage: securibench_runner [--stats-json FILE] [--trace-out FILE]";
+          "usage: securibench_runner [--stats-json FILE] [--trace-out FILE] \
+           [--jobs N]";
         exit 1
   in
   parse (List.tl (Array.to_list Sys.argv))
 
 let () =
-  let t = Fd_eval.Securibench_table.run () in
+  let t = Fd_eval.Securibench_table.run ~jobs:!jobs () in
   print_string (Fd_eval.Securibench_table.render t);
   (* list any deviations from the expected counts, for debugging *)
   List.iter

@@ -97,10 +97,14 @@ type state = {
   mutable statics_changed : bool;
 }
 
-(* one mutable cell: the solver functor's flow functions read the
-   current run's state from here (runs are sequential) *)
-let current : state option ref = ref None
-let st () = Option.get !current
+(* one mutable cell per domain: the solver functor's flow functions
+   read the current run's state from here.  Runs are sequential within
+   a domain; domain-local storage keeps parallel app-level runs
+   ({!Fd_util.Pool}) from clobbering each other's state *)
+let current : state option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let st () = Option.get (Domain.DLS.get current)
 
 module Problem = struct
   type proc = Mkey.t
@@ -554,7 +558,7 @@ let run opts apk =
       statics_changed = false;
     }
   in
-  current := Some state;
+  Domain.DLS.set current (Some state);
   let seeds = List.map (fun m -> (Icfg.start_node icfg m, Zero)) entry in
   (* the global-statics model needs iteration: statics discovered in
      round i seed loads in round i+1 *)
@@ -565,7 +569,7 @@ let run opts apk =
     if state.statics_changed && n < 5 then iterate (n + 1)
   in
   iterate 0;
-  current := None;
+  Domain.DLS.set current None;
   List.rev state.st_findings
 
 (** [run_appscan apk] / [run_fortify apk]: the two comparators. *)

@@ -8,32 +8,62 @@ open Fd_ir
 
 type node = { n_method : Mkey.t; n_idx : int }
 
-let equal_node a b = Mkey.equal a.n_method b.n_method && a.n_idx = b.n_idx
+let equal_node a b =
+  a == b || (a.n_idx = b.n_idx && Mkey.equal a.n_method b.n_method)
 
 let compare_node a b =
   match Mkey.compare a.n_method b.n_method with
   | 0 -> Int.compare a.n_idx b.n_idx
   | c -> c
 
-let hash_node a = Hashtbl.hash (Mkey.hash a.n_method, a.n_idx)
+let hash_node a = Fd_util.Intern.combine (Mkey.hash a.n_method) a.n_idx
 
 let string_of_node n = Printf.sprintf "%s@%d" (Mkey.to_string n.n_method) n.n_idx
 
-type t = { cg : Callgraph.t }
+module Node_tbl = Hashtbl.Make (struct
+  type t = node
 
-let create cg = { cg }
+  let equal = equal_node
+  let hash = hash_node
+end)
+
+type t = {
+  cg : Callgraph.t;
+  (* per-node memo caches: the call graph is immutable once built, and
+     the generic IFDS solver asks for the same successor lists and
+     statements once per propagated fact — caching turns the repeated
+     method-key lookups and node-list rebuilds into one node hash *)
+  ic_succs : node list Node_tbl.t;
+  ic_stmts : Stmt.t Node_tbl.t;
+}
+
+let create cg =
+  { cg; ic_succs = Node_tbl.create 256; ic_stmts = Node_tbl.create 256 }
 
 (** [body g m] is the body of method [m] (must be reachable). *)
 let body g m = Callgraph.body_of g.cg m
 
 (** [stmt g n] is the statement at node [n]. *)
-let stmt g n = Body.stmt (body g n.n_method) n.n_idx
+let stmt g n =
+  match Node_tbl.find_opt g.ic_stmts n with
+  | Some s -> s
+  | None ->
+      let s = Body.stmt (body g n.n_method) n.n_idx in
+      Node_tbl.replace g.ic_stmts n s;
+      s
 
 (** [succs g n] is the intra-procedural successor nodes of [n]. *)
 let succs g n =
-  List.map
-    (fun i -> { n_method = n.n_method; n_idx = i })
-    (Body.succs (body g n.n_method) n.n_idx)
+  match Node_tbl.find_opt g.ic_succs n with
+  | Some ss -> ss
+  | None ->
+      let ss =
+        List.map
+          (fun i -> { n_method = n.n_method; n_idx = i })
+          (Body.succs (body g n.n_method) n.n_idx)
+      in
+      Node_tbl.replace g.ic_succs n ss;
+      ss
 
 (** [preds g n] is the intra-procedural predecessor nodes of [n]. *)
 let preds g n =
@@ -71,10 +101,3 @@ let is_exit g n =
   match (stmt g n).Stmt.s_kind with
   | Stmt.Return _ | Stmt.Throw _ -> true
   | _ -> false
-
-module Node_tbl = Hashtbl.Make (struct
-  type t = node
-
-  let equal = equal_node
-  let hash = hash_node
-end)

@@ -15,7 +15,15 @@ val hash_node : node -> int
 val string_of_node : node -> string
 (** e.g. ["a.B.m/2@7"]. *)
 
-type t = { cg : Callgraph.t }
+module Node_tbl : Hashtbl.S with type key = node
+
+type t = private {
+  cg : Callgraph.t;
+  ic_succs : node list Node_tbl.t;  (** internal memo cache *)
+  ic_stmts : Stmt.t Node_tbl.t;  (** internal memo cache *)
+}
+(** construct with {!create}; the [cg] field is readable (solvers drop
+    down to raw {!Callgraph} queries), the caches are internal *)
 
 val create : Callgraph.t -> t
 
@@ -49,5 +57,3 @@ val callers : t -> Mkey.t -> node list
 val is_call : t -> node -> bool
 val invoke : t -> node -> Stmt.invoke option
 val is_exit : t -> node -> bool
-
-module Node_tbl : Hashtbl.S with type key = node

@@ -9,9 +9,10 @@ open Fd_ir
 type t = { mk_class : string; mk_name : string; mk_arity : int }
 
 let equal a b =
-  String.equal a.mk_class b.mk_class
-  && String.equal a.mk_name b.mk_name
-  && a.mk_arity = b.mk_arity
+  a == b
+  || (String.equal a.mk_class b.mk_class
+     && String.equal a.mk_name b.mk_name
+     && a.mk_arity = b.mk_arity)
 
 let compare a b =
   match String.compare a.mk_class b.mk_class with
@@ -21,7 +22,13 @@ let compare a b =
       | c -> c)
   | c -> c
 
-let hash a = Hashtbl.hash (a.mk_class, a.mk_name, a.mk_arity)
+(* fold the three components explicitly: the tuple version hashed the
+   strings through [Hashtbl.hash]'s node budget, colliding on long
+   common-prefix class names *)
+let hash a =
+  Fd_util.Intern.combine
+    (Fd_util.Intern.combine (Hashtbl.hash a.mk_class) (Hashtbl.hash a.mk_name))
+    a.mk_arity
 
 (** [of_sig s] keys a method signature. *)
 let of_sig (s : Types.method_sig) =

@@ -24,10 +24,14 @@ let equal_base a b =
   | Bstatic f, Bstatic g -> Types.equal_field_sig f g
   | _ -> false
 
+let rec equal_fields xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs', y :: ys' -> Types.equal_field_sig x y && equal_fields xs' ys'
+  | _ -> false
+
 let equal a b =
-  equal_base a.base b.base
-  && List.length a.fields = List.length b.fields
-  && List.for_all2 Types.equal_field_sig a.fields b.fields
+  a == b || (equal_base a.base b.base && equal_fields a.fields b.fields)
 
 let compare_base a b =
   match (a, b) with
@@ -41,12 +45,16 @@ let compare a b =
   | 0 -> List.compare Types.compare_field_sig a.fields b.fields
   | c -> c
 
+(* a fold over the base and *every* field segment: [Hashtbl.hash]
+   stops at its meaningful-node limit, so paths differing only deep in
+   the chain used to collide (and the old version allocated a whole
+   shadow list per hash) *)
+let hash_base = function
+  | Bloc l -> Fd_util.Intern.combine 1 (Stmt.hash_local l)
+  | Bstatic f -> Fd_util.Intern.combine 2 (Types.hash_field_sig f)
+
 let hash t =
-  Hashtbl.hash
-    ( (match t.base with
-      | Bloc l -> ("l", l.Stmt.l_name)
-      | Bstatic f -> ("s", f.Types.f_class ^ "#" ^ f.Types.f_name)),
-      List.map (fun f -> (f.Types.f_class, f.Types.f_name)) t.fields )
+  Fd_util.Intern.fold_hash Types.hash_field_sig (hash_base t.base) t.fields
 
 let to_string t =
   let b =

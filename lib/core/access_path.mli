@@ -21,7 +21,11 @@ type t = {
 val equal : t -> t -> bool
 val equal_base : base -> base -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** a fold over the base and {e every} field segment — paths that
+    differ only deep in the chain hash apart (consistent with
+    {!equal}) *)
 
 val to_string : t -> string
 (** e.g. ["x.f.g"] or ["<C#f>.g"] for static roots. *)

@@ -68,45 +68,114 @@ type finding = {
   f_path : Icfg.node list;
 }
 
-type ctx = { cx_proc : Mkey.t; cx_fact : Taint.fact }
+(* ---------------- interned solver state ----------------
 
-let equal_ctx a b =
-  Mkey.equal a.cx_proc b.cx_proc && Taint.equal a.cx_fact b.cx_fact
+   Facts, contexts and program points are interned into dense integer
+   ids at the propagation boundary; every solver table is then keyed
+   on small int tuples (O(1) compares, no repeated deep structural
+   hashing), and the per-node / per-method views the flow functions
+   consume — statement, successors, predecessors, callees, parameter
+   locals, source/sink classifications — are resolved once and cached
+   against the id.  All pools live inside the engine value, so
+   engines on different domains never share mutable state. *)
 
-let hash_ctx a = Hashtbl.hash (Mkey.hash a.cx_proc, Taint.hash a.cx_fact)
+let m_dedup_hits = M.counter "ifds.worklist_dedup_hits"
+let g_intern_facts = M.gauge "intern.facts.size"
+let g_intern_fact_hits = M.gauge "intern.facts.hits"
+let g_intern_fact_misses = M.gauge "intern.facts.misses"
+let g_intern_nodes = M.gauge "intern.nodes.size"
+let g_intern_methods = M.gauge "intern.methods.size"
+let g_intern_ctxs = M.gauge "intern.ctxs.size"
 
-module Edge_tbl = Hashtbl.Make (struct
-  type t = ctx * Icfg.node * Taint.fact
+module Int_tbl = Hashtbl.Make (Int)
 
-  let equal (c1, n1, f1) (c2, n2, f2) =
-    equal_ctx c1 c2 && Icfg.equal_node n1 n2 && Taint.equal f1 f2
+module I2_tbl = Hashtbl.Make (struct
+  type t = int * int
 
-  let hash (c, n, f) = Hashtbl.hash (hash_ctx c, Icfg.hash_node n, Taint.hash f)
+  let equal (a, b) (c, d) = a = c && b = d
+  let hash (a, b) = Fd_util.Intern.combine a b
 end)
 
-module Ctx_tbl = Hashtbl.Make (struct
-  type t = ctx
+module I3_tbl = Hashtbl.Make (struct
+  type t = int * int * int
 
-  let equal = equal_ctx
-  let hash = hash_ctx
+  let equal (a, b, c) (d, e, f) = a = d && b = e && c = f
+  let hash (a, b, c) = Fd_util.Intern.combine (Fd_util.Intern.combine a b) c
+end)
+
+module Fact_pool = Fd_util.Intern.Make (struct
+  type t = Taint.fact
+
+  let equal = Taint.equal
+  let hash = Taint.hash
 end)
 
 module Node_tbl = Icfg.Node_tbl
 
+(* per-method view: body, parameter binding and exit points, resolved
+   once per method instead of per call edge *)
+type minfo = {
+  mi_id : int;
+  mi_key : Mkey.t;
+  mi_body : Body.t option;  (** [None] for un-analysable targets *)
+  mi_this : Stmt.local option;
+  mi_params : (int * Stmt.local) list;
+  mi_exits : int list;
+  mutable mi_start_ni : ninfo option;
+  mutable mi_exit_nis : ninfo list option;
+}
+
+(* per-node view: everything the solver used to recompute on every
+   worklist pop (each recomputation re-hashed the method key's
+   strings) *)
+and ninfo = {
+  ni_id : int;
+  ni_node : Icfg.node;
+  ni_minfo : minfo;
+  ni_stmt : Stmt.t;
+  ni_invoke : Stmt.invoke option;
+  ni_is_exit : bool;
+  mutable ni_succs : ninfo list option;
+  mutable ni_preds : ninfo list option;
+  mutable ni_callees : minfo list option;
+  mutable ni_call : callinfo option;  (** cached call-site data *)
+  mutable ni_zero_gen : Taint.t list option;
+      (** parameter-source taints generated under the zero fact *)
+}
+
+(* node-constant call-site classifications (sink category, wrapper /
+   native / default library model, return local, generated sources) *)
+and callinfo = {
+  ci_sink : SS.category option;
+  ci_wrapper : Fd_frontend.Rules.effect list option;
+  ci_ret : Stmt.local option;
+  ci_sources : Taint.t list;
+  ci_c2r : Fd_frontend.Rules.effect list option;
+      (** effects applied on the call-to-return edge *)
+}
+
+type cctx = { cc_id : int; cc_proc : minfo; cc_fact : Taint.fact }
+(** an IFDS context [⟨sp, d1⟩], interned: equal contexts are the same
+    value and carry the same id *)
+
 type solver = {
-  s_edges : unit Edge_tbl.t;
-  s_summaries : (Icfg.node * Taint.fact) list ref Ctx_tbl.t;
-      (** (proc entry context) -> exit facts *)
-  s_incoming : (Icfg.node * ctx) list ref Ctx_tbl.t;
-      (** (callee entry context) -> call sites with caller contexts *)
-  s_work : (ctx * Icfg.node * Taint.fact) Queue.t;
+  s_edges : unit I3_tbl.t;  (** path edges, keyed (ctx, node, fact) ids *)
+  s_summaries : (ninfo * Taint.fact) list ref Int_tbl.t;
+      (** (proc entry context id) -> exit facts *)
+  s_sum_seen : unit I3_tbl.t;  (** (ctx, exit node, fact) ids *)
+  s_incoming : (ninfo * cctx) list ref Int_tbl.t;
+      (** (callee entry context id) -> call sites with caller contexts *)
+  s_inc_seen : unit I3_tbl.t;  (** (ctx, call node, caller ctx) ids *)
+  s_work : (cctx * ninfo * Taint.fact) Queue.t;
 }
 
 let mk_solver () =
   {
-    s_edges = Edge_tbl.create 4096;
-    s_summaries = Ctx_tbl.create 256;
-    s_incoming = Ctx_tbl.create 256;
+    s_edges = I3_tbl.create 512;
+    s_summaries = Int_tbl.create 256;
+    s_sum_seen = I3_tbl.create 256;
+    s_incoming = Int_tbl.create 256;
+    s_inc_seen = I3_tbl.create 256;
     s_work = Queue.create ();
   }
 
@@ -117,6 +186,14 @@ type t = {
   mgr : Srcsink_mgr.t;
   wrappers : Fd_frontend.Rules.t;
   natives : Fd_frontend.Rules.t;
+  (* interning pools — one set per engine instance *)
+  facts : Fact_pool.pool;
+  minfos : minfo Mkey.Tbl.t;
+  mutable n_minfos : int;
+  ninfos : ninfo Node_tbl.t;
+  mutable n_ninfos : int;
+  cctxs : cctx I2_tbl.t;  (** (method id, fact id) -> context *)
+  mutable n_cctxs : int;
   fw : solver;
   bw : solver;
   mutable findings : finding list;
@@ -125,8 +202,9 @@ type t = {
      activation has executed, and the methods those call sites live in *)
   act_sites : unit Node_tbl.t Node_tbl.t;
   act_methods : unit Mkey.Tbl.t Node_tbl.t;
-  (* forward results per node, for inspection and tests *)
-  results : Taint.t list ref Node_tbl.t;
+  (* forward results per node id, for inspection and tests *)
+  results_list : Taint.t list ref Int_tbl.t;
+  results_seen : unit I2_tbl.t;  (** (node id, fact id) *)
   budget : Fd_resilience.Budget.t;
 }
 
@@ -145,99 +223,237 @@ let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
     mgr;
     wrappers;
     natives;
+    facts = Fact_pool.create ~size:512 ();
+    minfos = Mkey.Tbl.create 256;
+    n_minfos = 0;
+    ninfos = Node_tbl.create 512;
+    n_ninfos = 0;
+    cctxs = I2_tbl.create 256;
+    n_cctxs = 0;
     fw = mk_solver ();
     bw = mk_solver ();
     findings = [];
     finding_keys = Hashtbl.create 64;
     act_sites = Node_tbl.create 16;
     act_methods = Node_tbl.create 16;
-    results = Node_tbl.create 1024;
+    results_list = Int_tbl.create 256;
+    results_seen = I2_tbl.create 256;
     budget;
   }
 
 let k t = t.cfg.Config.max_access_path
 
+(* ---------------- program-view resolution ---------------- *)
+
+let minfo_of t mk =
+  match Mkey.Tbl.find_opt t.minfos mk with
+  | Some mi -> mi
+  | None ->
+      let body =
+        match Callgraph.body_of t.icfg.Icfg.cg mk with
+        | b -> Some b
+        | exception Not_found -> None
+      in
+      let this_l, params =
+        match body with Some b -> Body.param_locals b | None -> (None, [])
+      in
+      let exits =
+        match body with Some b -> Body.exit_stmts b | None -> []
+      in
+      let mi =
+        {
+          mi_id = t.n_minfos;
+          mi_key = mk;
+          mi_body = body;
+          mi_this = this_l;
+          mi_params = params;
+          mi_exits = exits;
+          mi_start_ni = None;
+          mi_exit_nis = None;
+        }
+      in
+      t.n_minfos <- t.n_minfos + 1;
+      Mkey.Tbl.replace t.minfos mk mi;
+      mi
+
+let ninfo_of t (n : Icfg.node) =
+  match Node_tbl.find_opt t.ninfos n with
+  | Some ni -> ni
+  | None ->
+      let mi = minfo_of t n.Icfg.n_method in
+      let body = match mi.mi_body with Some b -> b | None -> raise Not_found in
+      let stmt = Body.stmt body n.Icfg.n_idx in
+      let ni =
+        {
+          ni_id = t.n_ninfos;
+          ni_node = n;
+          ni_minfo = mi;
+          ni_stmt = stmt;
+          ni_invoke = Stmt.invoke_of stmt;
+          ni_is_exit =
+            (match stmt.Stmt.s_kind with
+            | Stmt.Return _ | Stmt.Throw _ -> true
+            | _ -> false);
+          ni_succs = None;
+          ni_preds = None;
+          ni_callees = None;
+          ni_call = None;
+          ni_zero_gen = None;
+        }
+      in
+      t.n_ninfos <- t.n_ninfos + 1;
+      Node_tbl.replace t.ninfos n ni;
+      ni
+
+let node_at mi idx = Icfg.{ n_method = mi.mi_key; n_idx = idx }
+
+let succs t (ni : ninfo) =
+  match ni.ni_succs with
+  | Some s -> s
+  | None ->
+      let body = Option.get ni.ni_minfo.mi_body in
+      let s =
+        List.map
+          (fun i -> ninfo_of t (node_at ni.ni_minfo i))
+          (Body.succs body ni.ni_node.Icfg.n_idx)
+      in
+      ni.ni_succs <- Some s;
+      s
+
+let preds t (ni : ninfo) =
+  match ni.ni_preds with
+  | Some s -> s
+  | None ->
+      let body = Option.get ni.ni_minfo.mi_body in
+      let s =
+        List.map
+          (fun i -> ninfo_of t (node_at ni.ni_minfo i))
+          (Body.preds body ni.ni_node.Icfg.n_idx)
+      in
+      ni.ni_preds <- Some s;
+      s
+
+let callees t (ni : ninfo) =
+  match ni.ni_callees with
+  | Some cs -> cs
+  | None ->
+      let cs =
+        List.map (minfo_of t)
+          (Callgraph.callees t.icfg.Icfg.cg ni.ni_node.Icfg.n_method
+             ni.ni_node.Icfg.n_idx)
+      in
+      ni.ni_callees <- Some cs;
+      cs
+
+let start_ni t (mi : minfo) =
+  match mi.mi_start_ni with
+  | Some ni -> ni
+  | None ->
+      let ni = ninfo_of t (node_at mi 0) in
+      mi.mi_start_ni <- Some ni;
+      ni
+
+let exit_nis t (mi : minfo) =
+  match mi.mi_exit_nis with
+  | Some nis -> nis
+  | None ->
+      let nis = List.map (fun i -> ninfo_of t (node_at mi i)) mi.mi_exits in
+      mi.mi_exit_nis <- Some nis;
+      nis
+
+(* intern a fact: id plus the canonical (first-seen) representative,
+   so downstream equality checks hit the physical-equality fast
+   path *)
+let intern_fact t fact =
+  let fid = Fact_pool.id t.facts fact in
+  (fid, Fact_pool.value t.facts fid)
+
+let cctx t (mi : minfo) fact =
+  let fid, fact = intern_fact t fact in
+  let key = (mi.mi_id, fid) in
+  match I2_tbl.find_opt t.cctxs key with
+  | Some c -> c
+  | None ->
+      let c = { cc_id = t.n_cctxs; cc_proc = mi; cc_fact = fact } in
+      t.n_cctxs <- t.n_cctxs + 1;
+      I2_tbl.replace t.cctxs key c;
+      c
+
 (* ---------------- propagation ---------------- *)
 
-let record_result t n fact =
+let record_result t (ni : ninfo) fid fact =
   match fact with
   | Taint.Zero -> ()
   | Taint.T taint ->
-      let cell =
-        match Node_tbl.find_opt t.results n with
-        | Some c -> c
-        | None ->
-            let c = ref [] in
-            Node_tbl.replace t.results n c;
-            c
-      in
-      if not (List.exists (Taint.equal_taint taint) !cell) then
+      let key = (ni.ni_id, fid) in
+      if not (I2_tbl.mem t.results_seen key) then begin
+        I2_tbl.replace t.results_seen key ();
+        let cell =
+          match Int_tbl.find_opt t.results_list ni.ni_id with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Int_tbl.replace t.results_list ni.ni_id c;
+              c
+        in
         cell := taint :: !cell
-
-let propagate t solver cx n fact =
-  let key = (cx, n, fact) in
-  if not (Edge_tbl.mem solver.s_edges key) then begin
-    if Fd_resilience.Budget.tick t.budget then begin
-      M.incr m_path_edges;
-      M.incr m_worklist_pushes;
-      if solver == t.fw then begin
-        M.incr m_fw_props;
-        record_result t n fact
       end
-      else M.incr m_bw_props;
-      Edge_tbl.replace solver.s_edges key ();
-      Queue.add key solver.s_work
+
+let propagate t solver cx (ni : ninfo) fact =
+  let fid, fact = intern_fact t fact in
+  let key = (cx.cc_id, ni.ni_id, fid) in
+  if I3_tbl.mem solver.s_edges key then M.incr m_dedup_hits
+  else if Fd_resilience.Budget.tick t.budget then begin
+    M.incr m_path_edges;
+    M.incr m_worklist_pushes;
+    if solver == t.fw then begin
+      M.incr m_fw_props;
+      record_result t ni fid fact
     end
+    else M.incr m_bw_props;
+    I3_tbl.replace solver.s_edges key ();
+    Queue.add (cx, ni, fact) solver.s_work
   end
 
-let propagate_fw t cx n fact = propagate t t.fw cx n fact
-let propagate_bw t cx n fact = propagate t t.bw cx n fact
+let propagate_fw t cx ni fact = propagate t t.fw cx ni fact
+let propagate_bw t cx ni fact = propagate t t.bw cx ni fact
 
-let add_incoming solver cx_callee entry =
-  let cell =
-    match Ctx_tbl.find_opt solver.s_incoming cx_callee with
-    | Some c -> c
-    | None ->
-        let c = ref [] in
-        Ctx_tbl.replace solver.s_incoming cx_callee c;
-        c
-  in
-  if
-    not
-      (List.exists
-         (fun (n, cx) ->
-           Icfg.equal_node n (fst entry) && equal_ctx cx (snd entry))
-         !cell)
-  then cell := entry :: !cell
+let int_cell tbl id =
+  match Int_tbl.find_opt tbl id with
+  | Some c -> c
+  | None ->
+      let c = ref [] in
+      Int_tbl.replace tbl id c;
+      c
+
+let add_incoming t solver cx_callee ((ni : ninfo), (caller_cx : cctx)) =
+  ignore t;
+  let key = (cx_callee.cc_id, ni.ni_id, caller_cx.cc_id) in
+  if not (I3_tbl.mem solver.s_inc_seen key) then begin
+    I3_tbl.replace solver.s_inc_seen key ();
+    let cell = int_cell solver.s_incoming cx_callee.cc_id in
+    cell := (ni, caller_cx) :: !cell
+  end
 
 let incoming_of solver cx_callee =
-  match Ctx_tbl.find_opt solver.s_incoming cx_callee with
+  match Int_tbl.find_opt solver.s_incoming cx_callee.cc_id with
   | Some c -> !c
   | None -> []
 
-let add_summary solver cx_callee exit_pair =
-  let cell =
-    match Ctx_tbl.find_opt solver.s_summaries cx_callee with
-    | Some c -> c
-    | None ->
-        let c = ref [] in
-        Ctx_tbl.replace solver.s_summaries cx_callee c;
-        c
-  in
-  if
-    List.exists
-      (fun (n, f) ->
-        Icfg.equal_node n (fst exit_pair) && Taint.equal f (snd exit_pair))
-      !cell
-  then false
+let add_summary t solver cx_callee ((ni : ninfo), fact) =
+  let fid, fact = intern_fact t fact in
+  let key = (cx_callee.cc_id, ni.ni_id, fid) in
+  if I3_tbl.mem solver.s_sum_seen key then false
   else begin
-    cell := exit_pair :: !cell;
+    I3_tbl.replace solver.s_sum_seen key ();
+    let cell = int_cell solver.s_summaries cx_callee.cc_id in
+    cell := (ni, fact) :: !cell;
     M.incr m_summaries;
     true
   end
 
 let summaries_of solver cx_callee =
-  match Ctx_tbl.find_opt solver.s_summaries cx_callee with
+  match Int_tbl.find_opt solver.s_summaries cx_callee.cc_id with
   | Some c -> !c
   | None -> []
 
@@ -290,16 +506,19 @@ let mkey_set_add tbl key mk =
   Mkey.Tbl.replace set mk ()
 
 let is_act_site t ~activation n =
+  Node_tbl.length t.act_sites > 0
+  &&
   match Node_tbl.find_opt t.act_sites activation with
   | Some s -> Node_tbl.mem s n
   | None -> false
 
 let act_method_implies t ~activation mk =
   Mkey.equal activation.Icfg.n_method mk
-  ||
-  match Node_tbl.find_opt t.act_methods activation with
-  | Some s -> Mkey.Tbl.mem s mk
-  | None -> false
+  || (Node_tbl.length t.act_methods > 0
+     &&
+     match Node_tbl.find_opt t.act_methods activation with
+     | Some s -> Mkey.Tbl.mem s mk
+     | None -> false)
 
 (* activate an outgoing taint when it crosses its activation node or a
    call site associated with it *)
@@ -356,13 +575,14 @@ let alias_ap_of_expr (e : Stmt.expr) : AP.t option =
 (* ---------------- backward spawning (Algorithm 1, line 16) -------- *)
 
 (* spawn an alias search for the heap access path [ap] written at node
-   [n], under the forward context [cx] (context injection) *)
-let spawn_alias_search t cx n (origin : Taint.t) ap =
+   [ni], under the forward context [cx] (context injection) *)
+let spawn_alias_search t cx (ni : ninfo) (origin : Taint.t) ap =
   if t.cfg.Config.alias_search && not (AP.is_static ap) then begin
     M.incr m_alias_queries;
+    let n = ni.ni_node in
     let cx =
       if t.cfg.Config.context_injection then cx
-      else { cx_proc = n.Icfg.n_method; cx_fact = Taint.Zero }
+      else cctx t ni.ni_minfo Taint.Zero
     in
     let alias =
       if t.cfg.Config.activation_statements then
@@ -370,10 +590,9 @@ let spawn_alias_search t cx n (origin : Taint.t) ap =
       else
         (* ablation: aliases are born active (flow-insensitive
            Andromeda-style behaviour) *)
-        { origin with Taint.ap; Taint.active = true; Taint.activation = None;
-          Taint.pred = Some origin; Taint.at = Some n }
+        Taint.active_alias origin ~ap ~at:n
     in
-    propagate_bw t cx n (Taint.T alias)
+    propagate_bw t cx ni (Taint.T alias)
   end
 
 (* ---------------- forward flow functions ---------------- *)
@@ -400,34 +619,48 @@ let assign_gen t n lv e (taint : Taint.t) =
   in
   List.concat_map gen_from (aps_of_expr e)
 
+(* parameter-source taints generated at [ni] under the zero fact
+   (callback parameter sources such as onLocationChanged); the result
+   is node-constant, so it is computed once and cached *)
+let zero_gen t (ni : ninfo) =
+  match ni.ni_zero_gen with
+  | Some g -> g
+  | None ->
+      let n = ni.ni_node in
+      let stmt = ni.ni_stmt in
+      let g =
+        match stmt.Stmt.s_kind with
+        | Stmt.Identity (l, Stmt.Iparam i) -> (
+            let cls = n.Icfg.n_method.Mkey.mk_class in
+            let mname = n.Icfg.n_method.Mkey.mk_name in
+            match Srcsink_mgr.param_source t.mgr ~cls ~mname with
+            | Some (params, cat) when List.mem i params ->
+                let source =
+                  Taint.
+                    {
+                      si_category = cat;
+                      si_node = n;
+                      si_tag = stmt.Stmt.s_tag;
+                      si_desc =
+                        Printf.sprintf "parameter %d of %s.%s" i cls mname;
+                    }
+                in
+                [ Taint.make ~ap:(AP.of_local l) ~source ~at:n () ]
+            | _ -> [])
+        | _ -> []
+      in
+      ni.ni_zero_gen <- Some g;
+      g
+
 (* forward flow across a non-call statement; returns outgoing facts
    and performs alias-search side effects *)
-let normal_flow t cx n (fact : Taint.fact) : Taint.fact list =
+let normal_flow t cx (ni : ninfo) (fact : Taint.fact) : Taint.fact list =
   M.incr m_flow_normal;
-  let stmt = Icfg.stmt t.icfg n in
+  let n = ni.ni_node in
+  let stmt = ni.ni_stmt in
   match fact with
-  | Taint.Zero -> (
-      (* source generation at parameter identities (callback parameter
-         sources such as onLocationChanged) *)
-      match stmt.Stmt.s_kind with
-      | Stmt.Identity (l, Stmt.Iparam i) -> (
-          let cls = n.Icfg.n_method.Mkey.mk_class in
-          let mname = n.Icfg.n_method.Mkey.mk_name in
-          match Srcsink_mgr.param_source t.mgr ~cls ~mname with
-          | Some (params, cat) when List.mem i params ->
-              let source =
-                Taint.
-                  {
-                    si_category = cat;
-                    si_node = n;
-                    si_tag = stmt.Stmt.s_tag;
-                    si_desc = Printf.sprintf "parameter %d of %s.%s" i cls mname;
-                  }
-              in
-              [ Taint.Zero;
-                Taint.T (Taint.make ~ap:(AP.of_local l) ~source ~at:n ()) ]
-          | _ -> [ Taint.Zero ])
-      | _ -> [ Taint.Zero ])
+  | Taint.Zero ->
+      Taint.Zero :: List.map (fun g -> Taint.T g) (zero_gen t ni)
   | Taint.T taint -> (
       let taint = maybe_activate t n taint in
       match stmt.Stmt.s_kind with
@@ -449,7 +682,7 @@ let normal_flow t cx n (fact : Taint.fact) : Taint.fact list =
             (fun (g : Taint.t) ->
               match lv with
               | Stmt.Lfield _ | Stmt.Larray _ ->
-                  spawn_alias_search t cx n g g.Taint.ap
+                  spawn_alias_search t cx ni g g.Taint.ap
               | Stmt.Llocal _ | Stmt.Lstatic _ -> ())
             gens;
           let survivors = if killed then [] else [ Taint.T taint ] in
@@ -466,8 +699,8 @@ let normal_flow t cx n (fact : Taint.fact) : Taint.fact list =
       | Stmt.InvokeStmt _ -> [ Taint.T taint ])
 
 (* map caller facts into a callee (argument passing) *)
-let call_flow t n (inv : Stmt.invoke) callee (fact : Taint.fact) :
-    Taint.fact list =
+let call_flow t (ni : ninfo) (inv : Stmt.invoke) (callee : minfo)
+    (fact : Taint.fact) : Taint.fact list =
   M.incr m_flow_call;
   match fact with
   | Taint.Zero -> [ Taint.Zero ]
@@ -475,10 +708,11 @@ let call_flow t n (inv : Stmt.invoke) callee (fact : Taint.fact) :
       (* no activation here: an activation associated with this call
          site fires only once the call has *completed*, i.e. on the
          call-to-return edge, not on entry into the callee *)
-      match Callgraph.body_of (t.icfg.Icfg.cg) callee with
-      | exception Not_found -> []
-      | body ->
-          let this_l, params = Body.param_locals body in
+      match callee.mi_body with
+      | None -> []
+      | Some _ ->
+          let n = ni.ni_node in
+          let this_l = callee.mi_this and params = callee.mi_params in
           let mapped = ref [] in
           (* static-rooted taints flow into callees unchanged *)
           if AP.is_static taint.Taint.ap then
@@ -514,24 +748,25 @@ let call_flow t n (inv : Stmt.invoke) callee (fact : Taint.fact) :
           !mapped)
 
 (* map callee exit facts back to the caller *)
-let return_flow t ~call:c ~callee ~exit_node (inv : Stmt.invoke)
-    (fact : Taint.fact) : Taint.fact list =
+let return_flow t ~call:(cni : ninfo) ~(callee : minfo) ~exit_ni:(eni : ninfo)
+    (inv : Stmt.invoke) (fact : Taint.fact) : Taint.fact list =
   M.incr m_flow_return;
   match fact with
   | Taint.Zero -> []
   | Taint.T taint -> (
-      match Callgraph.body_of (t.icfg.Icfg.cg) callee with
-      | exception Not_found -> []
-      | body ->
+      match callee.mi_body with
+      | None -> []
+      | Some _ ->
+          let c = cni.ni_node in
           (* activation association: if this taint's activation lies in
              the callee (transitively), completing this call implies the
              activation executed (Section 4.2) *)
           (match taint.Taint.activation with
-          | Some a when act_method_implies t ~activation:a callee ->
+          | Some a when act_method_implies t ~activation:a callee.mi_key ->
               node_set_add t.act_sites a c;
               mkey_set_add t.act_methods a c.Icfg.n_method
           | _ -> ());
-          let this_l, params = Body.param_locals body in
+          let this_l = callee.mi_this and params = callee.mi_params in
           let out = ref [] in
           let add taint' =
             out := taint' :: !out;
@@ -569,8 +804,7 @@ let return_flow t ~call:c ~callee ~exit_node (inv : Stmt.invoke)
               | _ -> ())
             inv.Stmt.i_args;
           (* return value *)
-          (match ((Icfg.stmt t.icfg exit_node).Stmt.s_kind,
-                  (Icfg.stmt t.icfg c).Stmt.s_kind) with
+          (match (eni.ni_stmt.Stmt.s_kind, cni.ni_stmt.Stmt.s_kind) with
           | Stmt.Return (Some (Stmt.Iloc rl)), Stmt.Assign (Stmt.Llocal x, _)
             -> (
               match
@@ -583,15 +817,15 @@ let return_flow t ~call:c ~callee ~exit_node (inv : Stmt.invoke)
           List.map (fun tt -> Taint.T tt) !out)
 
 (* sink detection at a call site *)
-let check_sink t n (inv : Stmt.invoke) (fact : Taint.fact) =
+let check_sink t (ni : ninfo) (ci : callinfo) (inv : Stmt.invoke)
+    (fact : Taint.fact) =
   match fact with
   | Taint.Zero -> ()
   | Taint.T taint ->
       if taint.Taint.active then begin
-        match Srcsink_mgr.sink t.mgr inv with
+        match ci.ci_sink with
         | None -> ()
         | Some cat ->
-            let stmt = Icfg.stmt t.icfg n in
             let hits =
               List.exists
                 (fun arg ->
@@ -604,19 +838,15 @@ let check_sink t n (inv : Stmt.invoke) (fact : Taint.fact) =
                 inv.Stmt.i_args
             in
             if hits then
-              report t ~source:taint.Taint.source ~sink_node:n
-                ~sink_tag:stmt.Stmt.s_tag ~sink_cat:cat ~taint
+              report t ~source:taint.Taint.source ~sink_node:ni.ni_node
+                ~sink_tag:ni.ni_stmt.Stmt.s_tag ~sink_cat:cat ~taint
       end
 
 (* source generation at a call site (return-value and UI sources);
-   requires the zero fact *)
-let gen_sources t n (inv : Stmt.invoke) : Taint.t list =
-  let stmt = Icfg.stmt t.icfg n in
-  let ret_local =
-    match stmt.Stmt.s_kind with
-    | Stmt.Assign (Stmt.Llocal x, Stmt.Einvoke _) -> Some x
-    | _ -> None
-  in
+   the result is node-constant and cached in the callinfo *)
+let gen_sources t (ni : ninfo) (inv : Stmt.invoke) ret_local : Taint.t list =
+  let n = ni.ni_node in
+  let stmt = ni.ni_stmt in
   match ret_local with
   | None -> []
   | Some x -> (
@@ -635,7 +865,7 @@ let gen_sources t n (inv : Stmt.invoke) : Taint.t list =
       | None -> (
           match
             Srcsink_mgr.ui_source t.mgr
-              ~body:(Callgraph.body_of t.icfg.Icfg.cg n.Icfg.n_method)
+              ~body:(Option.get ni.ni_minfo.mi_body)
               ~at:n.Icfg.n_idx inv
           with
           | Some ctl ->
@@ -646,18 +876,13 @@ let gen_sources t n (inv : Stmt.invoke) : Taint.t list =
           | None -> []))
 
 (* wrapper / native / default-model effects for one incoming fact *)
-let library_effects t n (inv : Stmt.invoke) effects (fact : Taint.fact) :
-    Taint.t list =
+let library_effects t (ni : ninfo) ret_local (inv : Stmt.invoke) effects
+    (fact : Taint.fact) : Taint.t list =
   match fact with
   | Taint.Zero -> []
   | Taint.T taint ->
+      let n = ni.ni_node in
       let taint = maybe_activate t n taint in
-      let stmt = Icfg.stmt t.icfg n in
-      let ret_local =
-        match stmt.Stmt.s_kind with
-        | Stmt.Assign (Stmt.Llocal x, Stmt.Einvoke _) -> Some x
-        | _ -> None
-      in
       let arg_local i =
         match List.nth_opt inv.Stmt.i_args i with
         | Some (Stmt.Iloc a) -> Some a
@@ -726,72 +951,95 @@ let is_native_target t (inv : Stmt.invoke) =
 
 (* ---------------- forward solver main loop case: call node -------- *)
 
-let process_call_fw t cx n (fact : Taint.fact) inv =
-  check_sink t n inv fact;
-  let callees = Icfg.callees t.icfg n in
-  let wrapper = Srcsink_mgr.wrapper_effects t.wrappers t.mgr inv in
-  let stmt = Icfg.stmt t.icfg n in
-  let ret_local =
-    match stmt.Stmt.s_kind with
-    | Stmt.Assign (Stmt.Llocal x, Stmt.Einvoke _) -> Some x
-    | _ -> None
-  in
+(* resolve the node-constant call-site data once: sink category,
+   wrapper shortcut, return local, generated sources and the effect
+   list applied on the call-to-return edge *)
+let callinfo_of t (ni : ninfo) (inv : Stmt.invoke) =
+  match ni.ni_call with
+  | Some ci -> ci
+  | None ->
+      let ret_local =
+        match ni.ni_stmt.Stmt.s_kind with
+        | Stmt.Assign (Stmt.Llocal x, Stmt.Einvoke _) -> Some x
+        | _ -> None
+      in
+      let wrapper = Srcsink_mgr.wrapper_effects t.wrappers t.mgr inv in
+      let c2r =
+        match wrapper with
+        | Some effs -> Some effs
+        | None ->
+            if callees t ni = [] then
+              (* un-analysable target: explicit native rule or the
+                 default black-box model *)
+              Some
+                (match Srcsink_mgr.wrapper_effects t.natives t.mgr inv with
+                | Some effs -> effs
+                | None ->
+                    default_library_effects ~native:(is_native_target t inv))
+            else None
+      in
+      let ci =
+        {
+          ci_sink = Srcsink_mgr.sink t.mgr inv;
+          ci_wrapper = wrapper;
+          ci_ret = ret_local;
+          ci_sources = gen_sources t ni inv ret_local;
+          ci_c2r = c2r;
+        }
+      in
+      ni.ni_call <- Some ci;
+      ci
+
+let process_call_fw t cx (ni : ninfo) (fact : Taint.fact) inv =
+  let ci = callinfo_of t ni inv in
+  check_sink t ni ci inv fact;
+  let callee_list = callees t ni in
+  let node_succs = succs t ni in
   (* descend into analysable callees unless a wrapper shortcut is
      defined (wrappers are exclusive, Section 5) *)
-  if callees <> [] && wrapper = None then
+  if callee_list <> [] && ci.ci_wrapper = None then
     List.iter
-      (fun callee ->
-        let entry_facts = call_flow t n inv callee fact in
-        let s_callee = Icfg.start_node t.icfg callee in
-        List.iter
-          (fun d3 ->
-            let cx_callee = { cx_proc = callee; cx_fact = d3 } in
-            add_incoming t.fw cx_callee (n, cx);
-            propagate_fw t cx_callee s_callee d3;
-            List.iter
-              (fun (e, d4) ->
-                M.incr m_summary_apps;
-                let rets =
-                  return_flow t ~call:n ~callee ~exit_node:e inv d4
-                in
-                List.iter
-                  (fun r ->
-                    List.iter
-                      (fun d5 ->
-                        (match d5 with
-                        | Taint.T tt when AP.length tt.Taint.ap > 0 ->
-                            spawn_alias_search t cx n tt tt.Taint.ap
-                        | _ -> ());
-                        propagate_fw t cx r d5)
-                      rets)
-                  (Icfg.succs t.icfg n))
-              (summaries_of t.fw cx_callee))
-          entry_facts)
-      callees;
+      (fun (callee : minfo) ->
+        let entry_facts = call_flow t ni inv callee fact in
+        if entry_facts <> [] then begin
+          let s_callee = start_ni t callee in
+          List.iter
+            (fun d3 ->
+              let cx_callee = cctx t callee d3 in
+              add_incoming t t.fw cx_callee (ni, cx);
+              propagate_fw t cx_callee s_callee d3;
+              List.iter
+                (fun (e, d4) ->
+                  M.incr m_summary_apps;
+                  let rets =
+                    return_flow t ~call:ni ~callee ~exit_ni:e inv d4
+                  in
+                  List.iter
+                    (fun r ->
+                      List.iter
+                        (fun d5 ->
+                          (match d5 with
+                          | Taint.T tt when AP.length tt.Taint.ap > 0 ->
+                              spawn_alias_search t cx ni tt tt.Taint.ap
+                          | _ -> ());
+                          propagate_fw t cx r d5)
+                        rets)
+                    node_succs)
+                (summaries_of t.fw cx_callee))
+            entry_facts
+        end)
+      callee_list;
   (* call-to-return: sources, library models, pass-through *)
   M.incr m_flow_c2r;
   let derived =
     match fact with
-    | Taint.Zero -> List.map (fun g -> Taint.T g) (gen_sources t n inv)
-    | Taint.T _ ->
-        let effects =
-          match wrapper with
-          | Some effs -> Some effs
-          | None ->
-              if callees = [] then
-                (* un-analysable target: explicit native rule or the
-                   default black-box model *)
-                match Srcsink_mgr.wrapper_effects t.natives t.mgr inv with
-                | Some effs -> Some effs
-                | None ->
-                    Some
-                      (default_library_effects
-                         ~native:(is_native_target t inv))
-              else None
-        in
-        (match effects with
+    | Taint.Zero -> List.map (fun g -> Taint.T g) ci.ci_sources
+    | Taint.T _ -> (
+        match ci.ci_c2r with
         | Some effs ->
-            List.map (fun g -> Taint.T g) (library_effects t n inv effs fact)
+            List.map
+              (fun g -> Taint.T g)
+              (library_effects t ni ci.ci_ret inv effs fact)
         | None -> [])
   in
   (* heap writes performed by library effects (e.g. putExtra tainting
@@ -802,11 +1050,11 @@ let process_call_fw t cx n (fact : Taint.fact) inv =
           match g.Taint.ap.AP.base with
           | AP.Bloc l ->
               let is_ret =
-                match ret_local with
+                match ci.ci_ret with
                 | Some x -> Stmt.equal_local x l
                 | None -> false
               in
-              if not is_ret then spawn_alias_search t cx n g g.Taint.ap
+              if not is_ret then spawn_alias_search t cx ni g g.Taint.ap
           | AP.Bstatic _ -> ())
       | Taint.Zero -> ())
     derived;
@@ -814,9 +1062,9 @@ let process_call_fw t cx n (fact : Taint.fact) inv =
     match fact with
     | Taint.Zero -> [ Taint.Zero ]
     | Taint.T taint ->
-        let taint = maybe_activate t n taint in
+        let taint = maybe_activate t ni.ni_node taint in
         let killed =
-          match (ret_local, taint.Taint.ap.AP.base) with
+          match (ci.ci_ret, taint.Taint.ap.AP.base) with
           | Some x, AP.Bloc b -> Stmt.equal_local x b
           | _ -> false
         in
@@ -825,17 +1073,17 @@ let process_call_fw t cx n (fact : Taint.fact) inv =
   List.iter
     (fun r ->
       List.iter (fun d -> propagate_fw t cx r d) (pass_through @ derived))
-    (Icfg.succs t.icfg n)
+    node_succs
 
-let process_exit_fw t cx n (fact : Taint.fact) =
-  if add_summary t.fw cx (n, fact) then
+let process_exit_fw t cx (ni : ninfo) (fact : Taint.fact) =
+  if add_summary t t.fw cx (ni, fact) then
     List.iter
-      (fun (c, caller_cx) ->
-        match Icfg.invoke t.icfg c with
+      (fun ((c : ninfo), caller_cx) ->
+        match c.ni_invoke with
         | None -> ()
         | Some inv ->
             let rets =
-              return_flow t ~call:c ~callee:cx.cx_proc ~exit_node:n inv fact
+              return_flow t ~call:c ~callee:cx.cc_proc ~exit_ni:ni inv fact
             in
             List.iter
               (fun r ->
@@ -847,55 +1095,54 @@ let process_exit_fw t cx n (fact : Taint.fact) =
                     | _ -> ());
                     propagate_fw t caller_cx r d5)
                   rets)
-              (Icfg.succs t.icfg c))
+              (succs t c))
       (incoming_of t.fw cx)
 
-let process_fw t cx n fact =
-  if Icfg.is_exit t.icfg n then begin
+let process_fw t cx (ni : ninfo) fact =
+  if ni.ni_is_exit then begin
     (* sinks can also sit on an exit-adjacent call; exits themselves
        carry no invoke in µJimple *)
-    process_exit_fw t cx n fact
+    process_exit_fw t cx ni fact
   end
   else
-    match Icfg.invoke t.icfg n with
-    | Some inv -> process_call_fw t cx n fact inv
+    match ni.ni_invoke with
+    | Some inv -> process_call_fw t cx ni fact inv
     | None ->
-        let outs = normal_flow t cx n fact in
+        let outs = normal_flow t cx ni fact in
         List.iter
           (fun m -> List.iter (fun d -> propagate_fw t cx m d) outs)
-          (Icfg.succs t.icfg n)
+          (succs t ni)
 
 (* ---------------- backward solver (Algorithm 2) ---------------- *)
 
-(* inject a discovered alias into the forward analysis at node [n] *)
-let inject_fw t cx n (alias : Taint.t) =
+(* inject a discovered alias into the forward analysis at node [ni] *)
+let inject_fw t cx (ni : ninfo) (alias : Taint.t) =
   M.incr m_fw_injections;
-  propagate_fw t cx n (Taint.T alias)
+  propagate_fw t cx ni (Taint.T alias)
 
 (* backward descent into a call's callees for a fact rooted at the
    receiver or an actual argument: the callee may have created aliases
    involving those objects (Algorithm 2, call-statement case) *)
-let backward_descend_args t cx m (inv : Stmt.invoke) (taint : Taint.t) =
+let backward_descend_args t cx (mni : ninfo) (inv : Stmt.invoke)
+    (taint : Taint.t) =
   List.iter
-    (fun callee ->
-      match Callgraph.body_of t.icfg.Icfg.cg callee with
-      | exception Not_found -> ()
-      | body ->
-          let this_l, params = Body.param_locals body in
+    (fun (callee : minfo) ->
+      match callee.mi_body with
+      | None -> ()
+      | Some _ ->
+          let m = mni.ni_node in
+          let this_l = callee.mi_this and params = callee.mi_params in
           let descend ap_from ap_to =
             match
               AP.rebase ~k:(k t) ~from:ap_from ~to_:ap_to taint.Taint.ap
             with
             | Some ap ->
                 let d = Taint.derive taint ~ap ~at:m in
-                let cx_callee = { cx_proc = callee; cx_fact = Taint.T d } in
-                add_incoming t.fw cx_callee (m, cx);
+                let cx_callee = cctx t callee (Taint.T d) in
+                add_incoming t t.fw cx_callee (mni, cx);
                 List.iter
-                  (fun e_idx ->
-                    propagate_bw t cx_callee
-                      Icfg.{ n_method = callee; n_idx = e_idx }
-                      (Taint.T d))
-                  (Body.exit_stmts body)
+                  (fun e_ni -> propagate_bw t cx_callee e_ni (Taint.T d))
+                  (exit_nis t callee)
             | None -> ()
           in
           (match (inv.Stmt.i_recv, this_l) with
@@ -909,15 +1156,16 @@ let backward_descend_args t cx m (inv : Stmt.invoke) (taint : Taint.t) =
                   descend (AP.of_local a) (AP.of_local p)
               | _ -> ())
             inv.Stmt.i_args)
-    (Icfg.callees t.icfg m)
+    (callees t mni)
 
 (* backward flow across the *predecessor* statement [m] for fact
    valid before [n]; may inject forward facts and descend into
    callees *)
-let backward_step t cx m (taint : Taint.t) =
+let backward_step t cx (mni : ninfo) (taint : Taint.t) =
   M.incr m_bw_steps;
-  let stmt = Icfg.stmt t.icfg m in
-  let continue_with tt = propagate_bw t cx m (Taint.T tt) in
+  let m = mni.ni_node in
+  let stmt = mni.ni_stmt in
+  let continue_with tt = propagate_bw t cx mni (Taint.T tt) in
   match stmt.Stmt.s_kind with
   | Stmt.Assign (lv, e) -> (
       let lap = ap_of_lvalue lv in
@@ -932,18 +1180,14 @@ let backward_step t cx m (taint : Taint.t) =
         | Stmt.Einvoke inv ->
             (* value came from a callee's return: descend (Algorithm 2,
                call-statement case) *)
-            let callees = Icfg.callees t.icfg m in
             List.iter
-              (fun callee ->
-                match Callgraph.body_of t.icfg.Icfg.cg callee with
-                | exception Not_found -> ()
-                | body ->
+              (fun (callee : minfo) ->
+                match callee.mi_body with
+                | None -> ()
+                | Some _ ->
                     List.iter
-                      (fun e_idx ->
-                        let e_node =
-                          Icfg.{ n_method = callee; n_idx = e_idx }
-                        in
-                        match (Body.stmt body e_idx).Stmt.s_kind with
+                      (fun (e_ni : ninfo) ->
+                        match e_ni.ni_stmt.Stmt.s_kind with
                         | Stmt.Return (Some (Stmt.Iloc rl)) -> (
                             match
                               AP.rebase ~k:(k t) ~from:lap
@@ -951,15 +1195,13 @@ let backward_step t cx m (taint : Taint.t) =
                             with
                             | Some ap ->
                                 let d = Taint.derive taint ~ap ~at:m in
-                                let cx_callee =
-                                  { cx_proc = callee; cx_fact = Taint.T d }
-                                in
-                                add_incoming t.fw cx_callee (m, cx);
-                                propagate_bw t cx_callee e_node (Taint.T d)
+                                let cx_callee = cctx t callee (Taint.T d) in
+                                add_incoming t t.fw cx_callee (mni, cx);
+                                propagate_bw t cx_callee e_ni (Taint.T d)
                             | None -> ())
                         | _ -> ())
-                      (Body.exit_stmts body))
-              callees;
+                      (exit_nis t callee))
+              (callees t mni);
             ignore inv
         | Stmt.Enew _ | Stmt.Enewarray _ ->
             (* freshly allocated: nothing aliases it upstream *)
@@ -975,7 +1217,7 @@ let backward_step t cx m (taint : Taint.t) =
                     (* found an upstream alias: continue the search and
                        hand it to the forward analysis (Algorithm 2,
                        line 17) *)
-                    inject_fw t cx m d;
+                    inject_fw t cx mni d;
                     continue_with d
                 | None -> ())
             | None ->
@@ -997,14 +1239,14 @@ let backward_step t cx m (taint : Taint.t) =
             match AP.rebase ~k:(k t) ~from:rap ~to_:lap taint.Taint.ap with
             | Some ap ->
                 let d = Taint.derive taint ~ap ~at:m in
-                List.iter (fun s -> inject_fw t cx s d) (Icfg.succs t.icfg m);
+                List.iter (fun s -> inject_fw t cx s d) (succs t mni);
                 continue_with d
             | None -> ())
         | None -> ());
         (* a call whose result is stored elsewhere may still have
            mutated our alias's object through the arguments *)
         (match e with
-        | Stmt.Einvoke inv -> backward_descend_args t cx m inv taint
+        | Stmt.Einvoke inv -> backward_descend_args t cx mni inv taint
         | _ -> ());
         (* does this statement *define* our base outright? then the
            path does not exist upstream *)
@@ -1021,25 +1263,24 @@ let backward_step t cx m (taint : Taint.t) =
   | Stmt.InvokeStmt inv ->
       (* a call the fact merely passes: descend with facts rooted at
          the receiver or actuals *)
-      backward_descend_args t cx m inv taint;
+      backward_descend_args t cx mni inv taint;
       continue_with taint
   | Stmt.Identity _ | Stmt.If _ | Stmt.Goto _ | Stmt.Nop | Stmt.Return _
   | Stmt.Throw _ ->
       continue_with taint
 
-let process_bw t cx n (fact : Taint.fact) =
+let process_bw t cx (ni : ninfo) (fact : Taint.fact) =
   match fact with
   | Taint.Zero -> ()
   | Taint.T taint ->
-      if n.Icfg.n_idx = 0 then begin
+      if ni.ni_node.Icfg.n_idx = 0 then begin
         (* Algorithm 2, method's-first-statement case: hand over to the
            forward analysis (which owns all returning into callers) and
            kill the backward fact *)
-        ignore (add_summary t.bw cx (n, fact));
-        inject_fw t cx n taint
+        ignore (add_summary t t.bw cx (ni, fact));
+        inject_fw t cx ni taint
       end
-      else
-        List.iter (fun m -> backward_step t cx m taint) (Icfg.preds t.icfg n)
+      else List.iter (fun m -> backward_step t cx m taint) (preds t ni)
 
 (* ---------------- driver ---------------- *)
 
@@ -1048,8 +1289,9 @@ let process_bw t cx n (fact : Taint.fact) =
 let run t ~entries =
   List.iter
     (fun m ->
-      let cx = { cx_proc = m; cx_fact = Taint.Zero } in
-      propagate_fw t cx (Icfg.start_node t.icfg m) Taint.Zero)
+      let start = ninfo_of t (Icfg.start_node t.icfg m) in
+      let cx = cctx t start.ni_minfo Taint.Zero in
+      propagate_fw t cx start Taint.Zero)
     entries;
   let rec loop () =
     (* cooperative stop: once the budget trips (cap, deadline or
@@ -1057,19 +1299,26 @@ let run t ~entries =
        far stay valid as a partial under-approximation *)
     if Fd_resilience.Budget.stopped t.budget then ()
     else if not (Queue.is_empty t.fw.s_work) then begin
-      let cx, n, fact = Queue.pop t.fw.s_work in
+      let cx, ni, fact = Queue.pop t.fw.s_work in
       M.incr m_worklist_pops;
-      process_fw t cx n fact;
+      process_fw t cx ni fact;
       loop ()
     end
     else if not (Queue.is_empty t.bw.s_work) then begin
-      let cx, n, fact = Queue.pop t.bw.s_work in
+      let cx, ni, fact = Queue.pop t.bw.s_work in
       M.incr m_worklist_pops;
-      process_bw t cx n fact;
+      process_bw t cx ni fact;
       loop ()
     end
   in
   loop ();
+  (* publish pool statistics so the interning layer is observable *)
+  M.set_int g_intern_facts (Fact_pool.size t.facts);
+  M.set_int g_intern_fact_hits (Fact_pool.hits t.facts);
+  M.set_int g_intern_fact_misses (Fact_pool.misses t.facts);
+  M.set_int g_intern_nodes t.n_ninfos;
+  M.set_int g_intern_methods t.n_minfos;
+  M.set_int g_intern_ctxs t.n_cctxs;
   t.findings <- List.rev t.findings
 
 (** [findings t] is the reported source-to-sink flows. *)
@@ -1078,7 +1327,12 @@ let findings t = t.findings
 (** [results_at t n] is the taints that may hold just before [n]
     (forward solver facts, for tests and inspection). *)
 let results_at t n =
-  match Node_tbl.find_opt t.results n with Some c -> !c | None -> []
+  match Node_tbl.find_opt t.ninfos n with
+  | None -> []
+  | Some ni -> (
+      match Int_tbl.find_opt t.results_list ni.ni_id with
+      | Some c -> !c
+      | None -> [])
 
 (** [propagation_count t] is the number of path-edge propagations
     performed (the work metric reported by the benchmarks). *)

@@ -35,18 +35,22 @@ type t = {
   (* --- path reconstruction only; excluded from equality --- *)
   pred : t option;
   at : Icfg.node option;  (** statement where this abstraction arose *)
+  mutable t_memo : int;
+      (** cached {!hash_taint} (0 = not yet computed); taints are
+          hashed once per solver-table interning, then reused *)
 }
 
 type fact = Zero | T of t
 
 let equal_taint a b =
-  Access_path.equal a.ap b.ap
-  && a.active = b.active
-  && (match (a.activation, b.activation) with
-     | None, None -> true
-     | Some x, Some y -> Icfg.equal_node x y
-     | _ -> false)
-  && equal_source a.source b.source
+  a == b
+  || (Access_path.equal a.ap b.ap
+     && a.active = b.active
+     && (match (a.activation, b.activation) with
+        | None, None -> true
+        | Some x, Some y -> Icfg.equal_node x y
+        | _ -> false)
+     && equal_source a.source b.source)
 
 let equal a b =
   match (a, b) with
@@ -54,39 +58,56 @@ let equal a b =
   | T x, T y -> equal_taint x y
   | _ -> false
 
+(* a fold over every equality-relevant component ([Hashtbl.hash]'s
+   node limit used to drop deep access-path segments), memoised in
+   [t_memo] since taints are immutable once built *)
 let hash_taint t =
-  Hashtbl.hash
-    ( Access_path.hash t.ap,
-      t.active,
-      (match t.activation with
-      | None -> 0
-      | Some n -> Icfg.hash_node n),
-      Icfg.hash_node t.source.si_node )
+  if t.t_memo <> 0 then t.t_memo
+  else begin
+    let ( ** ) = Fd_util.Intern.combine in
+    let h = Access_path.hash t.ap ** if t.active then 3 else 5 in
+    let h =
+      h ** (match t.activation with None -> 0 | Some n -> Icfg.hash_node n)
+    in
+    let h = h ** Icfg.hash_node t.source.si_node in
+    let h = h ** Hashtbl.hash t.source.si_tag in
+    let h = if h = 0 then 1 else h in
+    t.t_memo <- h;
+    h
+  end
 
 let hash = function Zero -> 0 | T t -> hash_taint t
 
 (** [make ~ap ~source ~at ()] is a fresh, active source taint. *)
 let make ~ap ~source ~at () =
-  { ap; active = true; activation = None; source; pred = None; at = Some at }
+  { ap; active = true; activation = None; source; pred = None; at = Some at;
+    t_memo = 0 }
 
 (** [derive t ~ap ~at] is [t] rebased onto a new access path at
     statement [at], keeping activation state and source, and recording
     the derivation for path reconstruction. *)
 let derive t ~ap ~at =
-  { t with ap; pred = Some t; at = Some at }
+  { t with ap; pred = Some t; at = Some at; t_memo = 0 }
 
 (** [inactive_alias t ~ap ~activation ~at] is the abstraction the
     backward analysis propagates: same source, new path, inactive,
     activated at [activation]. *)
 let inactive_alias t ~ap ~activation ~at =
   { t with ap; active = false; activation = Some activation; pred = Some t;
-    at = Some at }
+    at = Some at; t_memo = 0 }
+
+(** [active_alias t ~ap ~at] is the ablation variant of
+    {!inactive_alias}: the alias is born active with no activation
+    statement (flow-insensitive Andromeda-style handover). *)
+let active_alias t ~ap ~at =
+  { t with ap; active = true; activation = None; pred = Some t; at = Some at;
+    t_memo = 0 }
 
 (** [activate t ~at] turns an inactive alias into a reportable taint
     (it crossed its activation statement). *)
 let activate t ~at =
   if t.active then t
-  else { t with active = true; pred = Some t; at = Some at }
+  else { t with active = true; pred = Some t; at = Some at; t_memo = 0 }
 
 let to_string t =
   Printf.sprintf "%s%s%s" (Access_path.to_string t.ap)

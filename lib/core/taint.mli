@@ -31,13 +31,20 @@ type t = {
   source : source_info;
   pred : t option;  (** derivation link (excluded from equality) *)
   at : Icfg.node option;  (** statement where this abstraction arose *)
+  mutable t_memo : int;
+      (** cached {!hash_taint}; construct taints only through the
+          functions below so the cache is reset on every copy *)
 }
 
 type fact = Zero | T of t
 
 val equal_taint : t -> t -> bool
 val equal : fact -> fact -> bool
+
 val hash_taint : t -> int
+(** a memoised fold over every equality-relevant component, access
+    path in full (consistent with {!equal_taint}) *)
+
 val hash : fact -> int
 
 val make :
@@ -52,6 +59,10 @@ val inactive_alias :
   t -> ap:Access_path.t -> activation:Icfg.node -> at:Icfg.node -> t
 (** [inactive_alias t ~ap ~activation ~at] is the abstraction the
     backward analysis propagates: same source, new path, inactive. *)
+
+val active_alias : t -> ap:Access_path.t -> at:Icfg.node -> t
+(** [active_alias t ~ap ~at] is the ablation variant of
+    {!inactive_alias}: born active, no activation statement. *)
 
 val activate : t -> at:Icfg.node -> t
 (** [activate t ~at] turns an inactive alias into a reportable taint

@@ -21,15 +21,18 @@ type t = {
   c_stats : app_stat list;
 }
 
-(** [run ~profile ~seed ~n ()] generates and analyses a corpus.  Each
-    app runs under the crash barrier with one degraded retry, so one
-    hostile app cannot abort the batch. *)
-let run ?(config = Config.default) ~profile ~seed ~n () =
+(** [run ?jobs ~profile ~seed ~n ()] generates and analyses a corpus.
+    Each app runs under the crash barrier with one degraded retry, so
+    one hostile app cannot abort the batch.  [jobs] fans the per-app
+    loop out over that many domains ({!Fd_util.Pool.map}); per-app
+    times are wall-clock, so they stay meaningful under parallelism
+    (CPU time would aggregate all workers). *)
+let run ?(config = Config.default) ?jobs ~profile ~seed ~n () =
   let apps = Fd_appgen.Generator.corpus ~profile ~seed n in
   let stats =
-    List.map
+    Fd_util.Pool.map ?jobs
       (fun (ga : Fd_appgen.Generator.gen_app) ->
-        let t0 = Sys.time () in
+        let t0 = Unix.gettimeofday () in
         let findings, outcome =
           match
             Fd_resilience.Barrier.protect_with_retry
@@ -50,7 +53,7 @@ let run ?(config = Config.default) ~profile ~seed ~n () =
           | Ok (fs, o) -> (fs, o)
           | Error o -> ([], o)
         in
-        let t1 = Sys.time () in
+        let t1 = Unix.gettimeofday () in
         let v =
           Scoring.score ~expected:ga.Fd_appgen.Generator.ga_expected ~findings
         in

@@ -19,11 +19,15 @@ type t = {
 
 val run :
   ?config:Fd_core.Config.t ->
+  ?jobs:int ->
   profile:Fd_appgen.Generator.profile ->
   seed:int ->
   n:int ->
   unit ->
   t
+(** [jobs] fans the per-app loop out over that many domains
+    ({!Fd_util.Pool.map}); results are bit-identical at any job
+    count *)
 
 type summary = {
   s_apps : int;

@@ -19,13 +19,17 @@ type t = {
   totals : (string * (int * int * int)) list;  (** name -> (tp, fp, fn) *)
 }
 
-(** [run ?apps engines] evaluates [engines] over the scored suite.
-    Each engine runs under the crash barrier (with one degraded retry
-    when available), so a hostile case can never abort the table; a
-    crashed run scores its expectations as misses. *)
-let run ?(apps = Suite.scored) (engines : Engines.t list) =
+(** [run ?jobs ?apps engines] evaluates [engines] over the scored
+    suite.  Each engine runs under the crash barrier (with one
+    degraded retry when available), so a hostile case can never abort
+    the table; a crashed run scores its expectations as misses.
+
+    [jobs] fans the per-app loop out over that many domains
+    ({!Fd_util.Pool.map}); each app still runs its solvers
+    sequentially, and the result is bit-identical at any job count. *)
+let run ?jobs ?(apps = Suite.scored) (engines : Engines.t list) =
   let rows =
-    List.map
+    Fd_util.Pool.map ?jobs
       (fun (app : Bench_app.t) ->
         let protected_runs =
           List.map

@@ -55,11 +55,13 @@ let run_case_protected ?(config = Fd_core.Config.default) (case : Sb_case.t) =
           ~findings:[],
         o )
 
-(** [run ?config ()] evaluates the whole suite; each case runs under
-    the crash barrier. *)
-let run ?config () =
+(** [run ?jobs ?config ()] evaluates the whole suite; each case runs
+    under the crash barrier.  [jobs] fans the per-case loop out over
+    that many domains ({!Fd_util.Pool.map}); results are bit-identical
+    at any job count. *)
+let run ?jobs ?config () =
   let protected_runs =
-    List.map
+    Fd_util.Pool.map ?jobs
       (fun c -> (c.Sb_case.sb_name, run_case_protected ?config c))
       Sb_suite.all
   in

@@ -201,11 +201,17 @@ let install scene =
            ~methods:(List.map (fun (mn, ps) -> am mn ~params:ps iname) meths)))
     callback_interfaces
 
-(** [fresh_scene ()] is a new scene with the skeleton installed. *)
-let fresh_scene () =
-  let sc = Scene.create () in
-  install sc;
-  sc
+(** [fresh_scene ()] is a new scene with the skeleton installed.  The
+    skeleton is built once into a template and copied per call — the
+    install itself is pure, and every analysis run starts from one. *)
+let fresh_scene =
+  let template =
+    lazy
+      (let sc = Scene.create () in
+       install sc;
+       sc)
+  in
+  fun () -> Scene.copy (Lazy.force template)
 
 (** [component_kind_of scene cls] classifies an application class by
     its framework superclass, or [None] if it is not a component. *)

@@ -205,8 +205,15 @@ let default_native_config =
 java.lang.String getChars : arg2<-recv
 |}
 
-(** [default_wrappers ()] parses {!default_wrapper_config}. *)
-let default_wrappers () = of_string default_wrapper_config
+(** [default_wrappers ()] parses {!default_wrapper_config}.  The parse
+    is shared: rule sets are read-only after construction, and the
+    defaults are requested once per analysed app. *)
+let default_wrappers =
+  let memo = lazy (of_string default_wrapper_config) in
+  fun () -> Lazy.force memo
 
-(** [default_natives ()] parses {!default_native_config}. *)
-let default_natives () = of_string default_native_config
+(** [default_natives ()] parses {!default_native_config} (shared, see
+    {!default_wrappers}). *)
+let default_natives =
+  let memo = lazy (of_string default_native_config) in
+  fun () -> Lazy.force memo

@@ -267,5 +267,9 @@ let default_config =
 % behaviour the paper reports for DroidBench's IntentSink1.
 |}
 
-(** [default ()] is the parsed default configuration. *)
-let default () = of_string default_config
+(** [default ()] is the parsed default configuration.  The parse is
+    shared: definitions are read-only after construction and requested
+    once per analysed app. *)
+let default =
+  let memo = lazy (of_string default_config) in
+  fun () -> Lazy.force memo

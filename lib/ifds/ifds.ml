@@ -17,6 +17,13 @@
     before [n].  The solver maintains the set of path edges in a
     worklist-driven fixed point.
 
+    Internally every proc, node and fact is hash-consed into a
+    per-solver {!Fd_util.Intern} pool, so the tabulation tables are
+    keyed by small integer tuples instead of deep structural values:
+    one structural hash per distinct value, integer mixing afterwards.
+    Pools are per-solver instance, so independent solves (including
+    solves running on different domains) share nothing.
+
     The specialised bidirectional taint solver of the paper
     (Algorithms 1 and 2) lives in [Fd_core.Bidi]; this module is the
     textbook single-direction algorithm, used by the comparator
@@ -80,202 +87,290 @@ module M = Fd_obs.Metrics
 let m_path_edges = M.counter "ifds.path_edges"
 let m_worklist_pushes = M.counter "ifds.worklist_pushes"
 let m_worklist_pops = M.counter "ifds.worklist_pops"
+let m_dedup_hits = M.counter "ifds.worklist_dedup_hits"
 let m_summaries = M.counter "ifds.summaries_installed"
 let m_summary_apps = M.counter "ifds.summary_applications"
 let m_flow_normal = M.counter "ifds.flow.normal"
 let m_flow_call = M.counter "ifds.flow.call"
 let m_flow_return = M.counter "ifds.flow.return"
 let m_flow_c2r = M.counter "ifds.flow.call_to_return"
+let g_intern_nodes = M.gauge "intern.ifds.nodes.size"
+let g_intern_procs = M.gauge "intern.ifds.procs.size"
+let g_intern_facts = M.gauge "intern.ifds.facts.size"
+let g_intern_hits = M.gauge "intern.ifds.facts.hits"
+let g_intern_misses = M.gauge "intern.ifds.facts.misses"
 
 module Make (P : PROBLEM) = struct
-  module Ntbl = Hashtbl.Make (struct
+  module Node_pool = Fd_util.Intern.Make (struct
     type t = P.node
 
     let equal = P.node_equal
     let hash = P.node_hash
   end)
 
-  module NFtbl = Hashtbl.Make (struct
-    type t = P.node * P.fact
+  module Proc_pool = Fd_util.Intern.Make (struct
+    type t = P.proc
 
-    let equal (n1, f1) (n2, f2) = P.node_equal n1 n2 && P.fact_equal f1 f2
-    let hash (n, f) = Hashtbl.hash (P.node_hash n, P.fact_hash f)
+    let equal = P.proc_equal
+    let hash = P.proc_hash
   end)
 
-  module PFtbl = Hashtbl.Make (struct
-    type t = P.proc * P.fact
-
-    let equal (p1, f1) (p2, f2) = P.proc_equal p1 p2 && P.fact_equal f1 f2
-    let hash (p, f) = Hashtbl.hash (P.proc_hash p, P.fact_hash f)
-  end)
-
-  module Ftbl = Hashtbl.Make (struct
+  module Fact_pool = Fd_util.Intern.Make (struct
     type t = P.fact
 
     let equal = P.fact_equal
     let hash = P.fact_hash
   end)
 
+  module Int_tbl = Hashtbl.Make (Int)
+
+  module I2_tbl = Hashtbl.Make (struct
+    type t = int * int
+
+    let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+    let hash (a, b) = Fd_util.Intern.combine a b
+  end)
+
+  module I4_tbl = Hashtbl.Make (struct
+    type t = int * int * int * int
+
+    let equal (a1, b1, c1, d1) (a2, b2, c2, d2) =
+      a1 = a2 && b1 = b2 && c1 = c2 && d1 = d2
+
+    let hash (a, b, c, d) =
+      Fd_util.Intern.combine
+        (Fd_util.Intern.combine (Fd_util.Intern.combine a b) c)
+        d
+  end)
+
+  (* a worklist item: both pairs carry the canonical (pooled)
+     representatives alongside their ids, so downstream flow functions
+     hit the pools' [==] fast paths *)
+  type item = {
+    it_sp : P.node;
+    it_d1 : P.fact;
+    it_sp_id : int;
+    it_d1_id : int;
+    it_n : P.node;
+    it_d2 : P.fact;
+    it_n_id : int;
+    it_d2_id : int;
+  }
+
   type t = {
-    (* (sp, d1) -> set of (n, d2): all discovered path edges, grouped by
-       their context for summary application *)
-    path_edges : unit NFtbl.t NFtbl.t;
-    (* facts per node (the final analysis result) *)
-    results_facts : unit Ftbl.t Ntbl.t;
-    (* end summaries: (callee, entry fact) -> set of (exit node, exit fact) *)
-    end_summaries : unit NFtbl.t PFtbl.t;
-    (* incoming: (callee, entry fact) -> set of (call node, caller entry
-       context (sp,d1), caller fact at call) *)
-    incoming : unit NFtbl.t PFtbl.t; (* values keyed on (call node, d2) *)
-    incoming_ctx : ((P.node * P.fact) * (P.node * P.fact), unit) Hashtbl.t;
-    worklist : ((P.node * P.fact) * (P.node * P.fact)) Queue.t;
+    nodes : Node_pool.pool;
+    procs : Proc_pool.pool;
+    facts : Fact_pool.pool;
+    (* all discovered path edges, as id quadruples
+       (sp, d1, n, d2) — membership is the only query the tabulation
+       needs, so a flat set replaces the old two-level grouping *)
+    path_edges : unit I4_tbl.t;
+    (* facts per node (the final analysis result): node id -> facts,
+       with a flat (node, fact) seen set for dedup *)
+    results_facts : P.fact list ref Int_tbl.t;
+    results_seen : unit I2_tbl.t;
+    (* end summaries: (callee, entry fact) ids -> exit pairs *)
+    end_summaries : (P.node * int * P.fact * int) list ref I2_tbl.t;
+    sum_seen : unit I4_tbl.t;
+    (* incoming: (callee, entry fact) ids -> caller-side (call, fact)
+       pairs that entered that context *)
+    incoming : (P.node * int * P.fact * int) list ref I2_tbl.t;
+    inc_seen : unit I4_tbl.t;
+    (* caller contexts per call-site pair: (call, fact) ids -> the
+       (sp, d1) contexts whose path edges reached the call with that
+       fact.  Indexed, where the previous representation required a
+       full-table scan per discovered summary. *)
+    incoming_ctx : (P.node * int * P.fact * int) list ref I2_tbl.t;
+    ctx_seen : unit I4_tbl.t;
+    worklist : item Queue.t;
     mutable edge_count : int;
     budget : Fd_resilience.Budget.t;
   }
 
   let create ?(budget = Fd_resilience.Budget.unlimited ()) () =
     {
-      path_edges = NFtbl.create 256;
-      results_facts = Ntbl.create 256;
-      end_summaries = PFtbl.create 64;
-      incoming = PFtbl.create 64;
-      incoming_ctx = Hashtbl.create 256;
+      nodes = Node_pool.create ~size:512 ();
+      procs = Proc_pool.create ~size:64 ();
+      facts = Fact_pool.create ~size:512 ();
+      path_edges = I4_tbl.create 1024;
+      results_facts = Int_tbl.create 256;
+      results_seen = I2_tbl.create 1024;
+      end_summaries = I2_tbl.create 64;
+      sum_seen = I4_tbl.create 256;
+      incoming = I2_tbl.create 64;
+      inc_seen = I4_tbl.create 256;
+      incoming_ctx = I2_tbl.create 256;
+      ctx_seen = I4_tbl.create 512;
       worklist = Queue.create ();
       edge_count = 0;
       budget;
     }
 
-  let record_result t n d =
-    let tbl =
-      match Ntbl.find_opt t.results_facts n with
-      | Some tbl -> tbl
-      | None ->
-          let tbl = Ftbl.create 7 in
-          Ntbl.replace t.results_facts n tbl;
-          tbl
-    in
-    Ftbl.replace tbl d ()
+  let int_cell tbl key =
+    match Int_tbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Int_tbl.replace tbl key c;
+        c
 
-  (* propagate: add path edge if new and enqueue *)
-  let propagate t src tgt =
-    let set =
-      match NFtbl.find_opt t.path_edges src with
-      | Some s -> s
-      | None ->
-          let s = NFtbl.create 16 in
-          NFtbl.replace t.path_edges src s;
-          s
-    in
-    if not (NFtbl.mem set tgt) then begin
-      if Fd_resilience.Budget.tick t.budget then begin
-        NFtbl.replace set tgt ();
-        t.edge_count <- t.edge_count + 1;
-        M.incr m_path_edges;
-        M.incr m_worklist_pushes;
-        record_result t (fst tgt) (snd tgt);
-        Queue.add (src, tgt) t.worklist
-      end
+  let i2_cell tbl key =
+    match I2_tbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        I2_tbl.replace tbl key c;
+        c
+
+  let record_result t n_id d d_id =
+    if not (I2_tbl.mem t.results_seen (n_id, d_id)) then begin
+      I2_tbl.replace t.results_seen (n_id, d_id) ();
+      let c = int_cell t.results_facts n_id in
+      c := d :: !c
     end
 
-  let add_incoming t callee_ctx entry =
-    let set =
-      match PFtbl.find_opt t.incoming callee_ctx with
-      | Some s -> s
-      | None ->
-          let s = NFtbl.create 8 in
-          PFtbl.replace t.incoming callee_ctx s;
-          s
-    in
-    NFtbl.replace set entry ()
+  (* propagate: add the path edge if new and enqueue; a duplicate is a
+     saved worklist push (counted) *)
+  let propagate t ~sp ~sp_id ~d1 ~d1_id n d2 =
+    let n_id = Node_pool.id t.nodes n in
+    let n = Node_pool.value t.nodes n_id in
+    let d2_id = Fact_pool.id t.facts d2 in
+    let d2 = Fact_pool.value t.facts d2_id in
+    let key = (sp_id, d1_id, n_id, d2_id) in
+    if I4_tbl.mem t.path_edges key then M.incr m_dedup_hits
+    else if Fd_resilience.Budget.tick t.budget then begin
+      I4_tbl.replace t.path_edges key ();
+      t.edge_count <- t.edge_count + 1;
+      M.incr m_path_edges;
+      M.incr m_worklist_pushes;
+      record_result t n_id d2 d2_id;
+      Queue.add
+        {
+          it_sp = sp;
+          it_d1 = d1;
+          it_sp_id = sp_id;
+          it_d1_id = d1_id;
+          it_n = n;
+          it_d2 = d2;
+          it_n_id = n_id;
+          it_d2_id = d2_id;
+        }
+        t.worklist
+    end
 
-  let add_summary t callee_ctx exit_pair =
-    let set =
-      match PFtbl.find_opt t.end_summaries callee_ctx with
-      | Some s -> s
-      | None ->
-          let s = NFtbl.create 8 in
-          PFtbl.replace t.end_summaries callee_ctx s;
-          s
-    in
-    if NFtbl.mem set exit_pair then false
+  let add_incoming t callee_key (n, n_id, d, d_id) =
+    let cp, cf = callee_key in
+    if not (I4_tbl.mem t.inc_seen (cp, cf, n_id, d_id)) then begin
+      I4_tbl.replace t.inc_seen (cp, cf, n_id, d_id) ();
+      let c = i2_cell t.incoming callee_key in
+      c := (n, n_id, d, d_id) :: !c
+    end
+
+  let add_ctx t call_key (sp, sp_id, d1, d1_id) =
+    let cn, cf = call_key in
+    if not (I4_tbl.mem t.ctx_seen (cn, cf, sp_id, d1_id)) then begin
+      I4_tbl.replace t.ctx_seen (cn, cf, sp_id, d1_id) ();
+      let c = i2_cell t.incoming_ctx call_key in
+      c := (sp, sp_id, d1, d1_id) :: !c
+    end
+
+  let add_summary t callee_key (e, e_id, d, d_id) =
+    let cp, cf = callee_key in
+    if I4_tbl.mem t.sum_seen (cp, cf, e_id, d_id) then false
     else begin
-      NFtbl.replace set exit_pair ();
+      I4_tbl.replace t.sum_seen (cp, cf, e_id, d_id) ();
+      let c = i2_cell t.end_summaries callee_key in
+      c := (e, e_id, d, d_id) :: !c;
       M.incr m_summaries;
       true
     end
 
-  let process t ((sp, d1) as src) ((n, d2) : P.node * P.fact) =
+  let process t (it : item) =
+    let sp = it.it_sp
+    and sp_id = it.it_sp_id
+    and d1 = it.it_d1
+    and d1_id = it.it_d1_id in
+    let n = it.it_n and d2 = it.it_d2 in
+    let propagate_src = propagate t ~sp ~sp_id ~d1 ~d1_id in
     let callees = P.callees n in
     if callees <> [] then begin
       (* a call node with analysable targets *)
       List.iter
         (fun callee ->
           M.incr m_flow_call;
+          let callee_id = Proc_pool.id t.procs callee in
           let entry_facts = P.call_flow n callee d2 in
           let s_callee = P.start_of callee in
           List.iter
             (fun d3 ->
-              let callee_ctx = (callee, d3) in
+              let d3_id = Fact_pool.id t.facts d3 in
+              let d3 = Fact_pool.value t.facts d3_id in
+              let callee_key = (callee_id, d3_id) in
               (* remember the caller context for later summaries *)
-              add_incoming t callee_ctx (n, d2);
-              Hashtbl.replace t.incoming_ctx ((n, d2), (sp, d1)) ();
+              add_incoming t callee_key (n, it.it_n_id, d2, it.it_d2_id);
+              add_ctx t (it.it_n_id, it.it_d2_id) (sp, sp_id, d1, d1_id);
               (* seed the callee *)
-              propagate t (s_callee, d3) (s_callee, d3);
+              let sc_id = Node_pool.id t.nodes s_callee in
+              let s_callee = Node_pool.value t.nodes sc_id in
+              propagate t ~sp:s_callee ~sp_id:sc_id ~d1:d3 ~d1_id:d3_id
+                s_callee d3;
               (* apply already-known summaries *)
-              match PFtbl.find_opt t.end_summaries callee_ctx with
+              match I2_tbl.find_opt t.end_summaries callee_key with
               | None -> ()
               | Some sums ->
-                  NFtbl.iter
-                    (fun (e, d4) () ->
+                  List.iter
+                    (fun (e, _, d4, _) ->
                       M.incr m_summary_apps;
                       List.iter
                         (fun r ->
                           M.incr m_flow_return;
                           List.iter
-                            (fun d5 -> propagate t src (r, d5))
+                            (fun d5 -> propagate_src r d5)
                             (P.return_flow ~call:n ~callee ~exit:e
                                ~return_site:r d4))
                         (P.succs n))
-                    sums)
+                    !sums)
             entry_facts)
         callees;
       (* call-to-return edge *)
       M.incr m_flow_c2r;
       List.iter
         (fun r ->
-          List.iter
-            (fun d3 -> propagate t src (r, d3))
-            (P.call_to_return_flow n d2))
+          List.iter (fun d3 -> propagate_src r d3) (P.call_to_return_flow n d2))
         (P.succs n)
     end
     else if P.is_exit n then begin
       (* install an end summary for this callee context and flow back
          into every caller context recorded in the incoming set *)
       let callee = P.proc_of n in
-      let callee_ctx = (callee, d1) in
-      if add_summary t callee_ctx (n, d2) then begin
-        (* sp must be the callee's start: context of this path edge *)
-        ignore sp;
-        match PFtbl.find_opt t.incoming callee_ctx with
+      let callee_id = Proc_pool.id t.procs callee in
+      let callee_key = (callee_id, d1_id) in
+      if add_summary t callee_key (n, it.it_n_id, d2, it.it_d2_id) then begin
+        match I2_tbl.find_opt t.incoming callee_key with
         | None -> ()
         | Some inc ->
-            NFtbl.iter
-              (fun (c, dc) () ->
+            List.iter
+              (fun (c, c_id, _dc, dc_id) ->
                 M.incr m_flow_return;
+                (* the caller contexts that passed (c, dc) into this
+                   callee, via the index (no table scan) *)
+                let ctxs =
+                  match I2_tbl.find_opt t.incoming_ctx (c_id, dc_id) with
+                  | None -> []
+                  | Some c -> !c
+                in
                 List.iter
                   (fun r ->
                     List.iter
                       (fun d5 ->
-                        (* resume in every caller context that passed
-                           (c, dc) into this callee *)
-                        Hashtbl.iter
-                          (fun ((c', dc'), (spc, d1c)) () ->
-                            if P.node_equal c' c && P.fact_equal dc' dc then
-                              propagate t (spc, d1c) (r, d5))
-                          t.incoming_ctx)
+                        List.iter
+                          (fun (spc, spc_id, d1c, d1c_id) ->
+                            propagate t ~sp:spc ~sp_id:spc_id ~d1:d1c
+                              ~d1_id:d1c_id r d5)
+                          ctxs)
                       (P.return_flow ~call:c ~callee ~exit:n ~return_site:r d2))
                   (P.succs c))
-              inc
+              !inc
       end
     end
     else begin
@@ -284,7 +379,7 @@ module Make (P : PROBLEM) = struct
       M.incr m_flow_normal;
       List.iter
         (fun m ->
-          List.iter (fun d3 -> propagate t src (m, d3)) (P.normal_flow n d2))
+          List.iter (fun d3 -> propagate_src m d3) (P.normal_flow n d2))
         (P.succs n)
     end
 
@@ -297,19 +392,29 @@ module Make (P : PROBLEM) = struct
     List.iter
       (fun (n, d) ->
         let sp = P.start_of (P.proc_of n) in
+        let sp_id = Node_pool.id t.nodes sp in
+        let sp = Node_pool.value t.nodes sp_id in
+        let z_id = Fact_pool.id t.facts P.zero in
+        let z = Fact_pool.value t.facts z_id in
         (* context: the zero fact at the procedure start; seeds are
            unconditional *)
-        propagate t (sp, P.zero) (n, d);
-        if not (P.fact_equal d P.zero) then propagate t (sp, P.zero) (n, P.zero))
+        propagate t ~sp ~sp_id ~d1:z ~d1_id:z_id n d;
+        if not (P.fact_equal d P.zero) then
+          propagate t ~sp ~sp_id ~d1:z ~d1_id:z_id n P.zero)
       seeds;
     while
       (not (Queue.is_empty t.worklist))
       && not (Fd_resilience.Budget.stopped t.budget)
     do
-      let src, tgt = Queue.pop t.worklist in
+      let it = Queue.pop t.worklist in
       M.incr m_worklist_pops;
-      process t src tgt
+      process t it
     done;
+    M.set_int g_intern_nodes (Node_pool.size t.nodes);
+    M.set_int g_intern_procs (Proc_pool.size t.procs);
+    M.set_int g_intern_facts (Fact_pool.size t.facts);
+    M.set_int g_intern_hits (Fact_pool.hits t.facts);
+    M.set_int g_intern_misses (Fact_pool.misses t.facts);
     t
 
   (** [outcome t] is the typed termination state of the solve
@@ -318,9 +423,12 @@ module Make (P : PROBLEM) = struct
 
   (** [results_at t n] is every fact that may hold just before [n]. *)
   let results_at t n =
-    match Ntbl.find_opt t.results_facts n with
+    match Node_pool.find_id t.nodes n with
     | None -> []
-    | Some tbl -> Ftbl.fold (fun d () acc -> d :: acc) tbl []
+    | Some n_id -> (
+        match Int_tbl.find_opt t.results_facts n_id with
+        | None -> []
+        | Some c -> !c)
 
   (** [edge_count t] is the number of discovered path edges (a size
       metric for benchmarks). *)

@@ -8,22 +8,67 @@
 
 open Jclass
 
-type t = { classes : (string, Jclass.t) Hashtbl.t }
+type t = {
+  classes : (string, Jclass.t) Hashtbl.t;
+  (* memoised hierarchy queries — call graphs are rebuilt several
+     times per app (callback discovery iterates), and every virtual
+     site asks for its dispatch cone each build, so these dominate
+     construction time when recomputed; any class-table mutation
+     clears them *)
+  sc_supertypes : (string, string list) Hashtbl.t;
+  sc_subtypes : (string, Jclass.t list) Hashtbl.t;
+  sc_dispatch :
+    (string * string * Types.typ list, (Jclass.t * Jclass.jmethod) list)
+    Hashtbl.t;
+  sc_concrete :
+    (string * string * Types.typ list, (Jclass.t * Jclass.jmethod) option)
+    Hashtbl.t;
+}
 
 exception Duplicate_class of string
 
-let create () = { classes = Hashtbl.create 97 }
+let create () =
+  {
+    classes = Hashtbl.create 97;
+    sc_supertypes = Hashtbl.create 97;
+    sc_subtypes = Hashtbl.create 97;
+    sc_dispatch = Hashtbl.create 97;
+    sc_concrete = Hashtbl.create 97;
+  }
+
+(** [copy t] is an independent scene with the same classes: mutations
+    of either copy never affect the other.  [Jclass.t] values are
+    immutable, so the class table is copied shallowly; the memo caches
+    are still valid for the copied table and are shared content-wise
+    the same way. *)
+let copy t =
+  {
+    classes = Hashtbl.copy t.classes;
+    sc_supertypes = Hashtbl.copy t.sc_supertypes;
+    sc_subtypes = Hashtbl.copy t.sc_subtypes;
+    sc_dispatch = Hashtbl.copy t.sc_dispatch;
+    sc_concrete = Hashtbl.copy t.sc_concrete;
+  }
+
+let invalidate t =
+  Hashtbl.reset t.sc_supertypes;
+  Hashtbl.reset t.sc_subtypes;
+  Hashtbl.reset t.sc_dispatch;
+  Hashtbl.reset t.sc_concrete
 
 (** [add_class t c] registers [c].
     @raise Duplicate_class if a class of the same name exists. *)
 let add_class t (c : Jclass.t) =
   if Hashtbl.mem t.classes c.c_name then raise (Duplicate_class c.c_name);
+  invalidate t;
   Hashtbl.replace t.classes c.c_name c
 
 (** [add_or_replace t c] registers [c], replacing any previous
     definition — used to upgrade a phantom skeleton entry to a real
     class. *)
-let add_or_replace t (c : Jclass.t) = Hashtbl.replace t.classes c.c_name c
+let add_or_replace t (c : Jclass.t) =
+  invalidate t;
+  Hashtbl.replace t.classes c.c_name c
 
 (** [find_class t name] is the registered class, if any. *)
 let find_class t name = Hashtbl.find_opt t.classes name
@@ -38,6 +83,7 @@ let resolve t name =
   | Some c -> c
   | None ->
       let c = Jclass.mk ~phantom:true name in
+      invalidate t;
       Hashtbl.replace t.classes name c;
       c
 
@@ -82,10 +128,17 @@ let rec interfaces_closure t seen name =
     [name]: the class itself, its superclasses, and all transitively
     implemented interfaces. *)
 let supertypes t name =
-  let seen = ref [] in
-  interfaces_closure t seen name;
-  if List.mem Types.object_class !seen then !seen
-  else Types.object_class :: !seen
+  match Hashtbl.find_opt t.sc_supertypes name with
+  | Some sups -> sups
+  | None ->
+      let seen = ref [] in
+      interfaces_closure t seen name;
+      let sups =
+        if List.mem Types.object_class !seen then !seen
+        else Types.object_class :: !seen
+      in
+      Hashtbl.replace t.sc_supertypes name sups;
+      sups
 
 (** [is_subtype t sub sup] decides the subtype relation, treating every
     class as a subtype of [java.lang.Object] and of itself. *)
@@ -98,22 +151,35 @@ let is_subtype t sub sup =
     [name] (including [name] itself if registered).  This is the
     class-cone CHA uses to enumerate dispatch targets. *)
 let subtypes t name =
-  List.filter (fun c -> is_subtype t c.c_name name) (all_classes t)
+  match Hashtbl.find_opt t.sc_subtypes name with
+  | Some subs -> subs
+  | None ->
+      let subs =
+        List.filter (fun c -> is_subtype t c.c_name name) (all_classes t)
+      in
+      Hashtbl.replace t.sc_subtypes name subs;
+      subs
 
 (** [resolve_concrete t cls subsig] walks the superclass chain starting
     at [cls] looking for a concrete (non-abstract) declaration of
     [subsig]; this is runtime virtual dispatch for an exact receiver
     class. *)
 let resolve_concrete t cls (name, params) =
-  let rec go cls =
-    match find_class t cls with
-    | None -> None
-    | Some c -> (
-        match Jclass.find_method c name params with
-        | Some m when not m.jm_abstract -> Some (c, m)
-        | _ -> ( match c.c_super with Some s -> go s | None -> None))
-  in
-  go cls
+  let key = (cls, name, params) in
+  match Hashtbl.find_opt t.sc_concrete key with
+  | Some r -> r
+  | None ->
+      let rec go cls =
+        match find_class t cls with
+        | None -> None
+        | Some c -> (
+            match Jclass.find_method c name params with
+            | Some m when not m.jm_abstract -> Some (c, m)
+            | _ -> ( match c.c_super with Some s -> go s | None -> None))
+      in
+      let r = go cls in
+      Hashtbl.replace t.sc_concrete key r;
+      r
 
 (** [resolve_concrete_named t cls name] is {!resolve_concrete} matching
     on the method name only (used where parameter types are not
@@ -135,7 +201,15 @@ let resolve_concrete_named t cls name =
     subtype of [static_type], the concrete resolution of [subsig].
     Duplicates (inherited methods shared by several subclasses) are
     collapsed. *)
-let dispatch_targets t ~static_type ((name, params) as subsig) =
+let rec dispatch_targets t ~static_type ((name, params) as subsig) =
+  match Hashtbl.find_opt t.sc_dispatch (static_type, name, params) with
+  | Some ts -> ts
+  | None ->
+      let ts = dispatch_targets_uncached t ~static_type subsig in
+      Hashtbl.replace t.sc_dispatch (static_type, name, params) ts;
+      ts
+
+and dispatch_targets_uncached t ~static_type ((name, params) as subsig) =
   ignore params;
   let seen = Hashtbl.create 7 in
   let cone = subtypes t static_type in

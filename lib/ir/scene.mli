@@ -13,6 +13,11 @@ exception Duplicate_class of string
 
 val create : unit -> t
 
+val copy : t -> t
+(** an independent scene with the same classes; mutations of either
+    copy never affect the other (used to stamp out per-app scenes from
+    the framework-skeleton template) *)
+
 val add_class : t -> Jclass.t -> unit
 (** @raise Duplicate_class if a class of the same name exists. *)
 

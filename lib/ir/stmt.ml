@@ -14,8 +14,9 @@ type local = { l_name : string; l_type : typ }
     name within their method; the builder interns them so that equal
     names are physically shared. *)
 
-let equal_local a b = String.equal a.l_name b.l_name
+let equal_local a b = a == b || String.equal a.l_name b.l_name
 let compare_local a b = String.compare a.l_name b.l_name
+let hash_local l = Hashtbl.hash l.l_name
 let pp_local fmt l = Format.pp_print_string fmt l.l_name
 let mk_local ?(ty = Ref Types.object_class) l_name = { l_name; l_type = ty }
 

@@ -25,6 +25,17 @@ let rec equal_typ a b =
   | Array x, Array y -> equal_typ x y
   | _ -> false
 
+let rec hash_typ = function
+  | Void -> 1
+  | Bool -> 2
+  | Char -> 3
+  | Int -> 4
+  | Long -> 5
+  | Float -> 6
+  | Double -> 7
+  | Ref c -> Fd_util.Intern.combine 8 (Hashtbl.hash c)
+  | Array t -> Fd_util.Intern.combine 9 (hash_typ t)
+
 let rec compare_typ a b =
   let rank = function
     | Void -> 0 | Bool -> 1 | Char -> 2 | Int -> 3 | Long -> 4
@@ -84,7 +95,12 @@ type field_sig = {
     format. *)
 
 let equal_field_sig a b =
-  String.equal a.f_class b.f_class && String.equal a.f_name b.f_name
+  a == b || (String.equal a.f_class b.f_class && String.equal a.f_name b.f_name)
+
+(* hash exactly the fields [equal_field_sig] compares (the value type
+   is deliberately excluded, as in Jimple field resolution) *)
+let hash_field_sig f =
+  Fd_util.Intern.combine (Hashtbl.hash f.f_class) (Hashtbl.hash f.f_name)
 
 let compare_field_sig a b =
   match String.compare a.f_class b.f_class with
@@ -121,6 +137,14 @@ let compare_method_sig a b =
       | 0 -> List.compare compare_typ a.m_params b.m_params
       | c -> c)
   | c -> c
+
+(* hash the fields [equal_method_sig] compares: class, name and every
+   parameter type — a fold, so signatures differing only in a late
+   parameter still hash apart *)
+let hash_method_sig m =
+  Fd_util.Intern.fold_hash hash_typ
+    (Fd_util.Intern.combine (Hashtbl.hash m.m_class) (Hashtbl.hash m.m_name))
+    m.m_params
 
 (** [sub_signature m] identifies [m] up to the declaring class: the key
     used when resolving overrides along the class hierarchy. *)

@@ -15,6 +15,10 @@ type typ =
 val equal_typ : typ -> typ -> bool
 val compare_typ : typ -> typ -> int
 
+val hash_typ : typ -> int
+(** structural fold over the whole type, arbitrarily deep arrays
+    included (unlike [Hashtbl.hash], which truncates) *)
+
 val string_of_typ : typ -> string
 (** Java source syntax: ["int"], ["java.lang.String"], ["byte[]"] *)
 
@@ -36,6 +40,11 @@ val equal_field_sig : field_sig -> field_sig -> bool
 (** by declaring class and name *)
 
 val compare_field_sig : field_sig -> field_sig -> int
+
+val hash_field_sig : field_sig -> int
+(** consistent with {!equal_field_sig}: hashes declaring class and
+    name, both in full *)
+
 val mk_field : ?ty:typ -> string -> string -> field_sig
 val string_of_field_sig : field_sig -> string
 val pp_field_sig : Format.formatter -> field_sig -> unit
@@ -49,6 +58,10 @@ type method_sig = {
 
 val equal_method_sig : method_sig -> method_sig -> bool
 val compare_method_sig : method_sig -> method_sig -> int
+
+val hash_method_sig : method_sig -> int
+(** consistent with {!equal_method_sig}: folds over class, name and
+    {e every} parameter type *)
 
 val sub_signature : method_sig -> string * typ list
 (** identity up to the declaring class: the key for override

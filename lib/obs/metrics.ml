@@ -1,9 +1,17 @@
 (** The global metrics registry: named counters, gauges and log-scale
     histograms with O(1) hot-path updates (see the interface for the
-    usage discipline). *)
+    usage discipline).
 
-type counter = { mutable c_val : int }
-type gauge = { mutable g_val : float }
+    Domain-safety: counters and gauges are [Atomic.t] cells, histogram
+    observations take a per-histogram mutex, and the name→handle
+    registries are guarded by one registry mutex — so app-level
+    parallel runs (see {!Fd_util.Pool}) can share the registry without
+    torn updates.  Snapshots are not a consistent cut across metrics
+    (each cell is read atomically but at slightly different times),
+    which is fine for reporting. *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 (* log2 buckets over seconds: bucket [i] covers
    (2^(i-bucket_offset-1), 2^(i-bucket_offset)], i.e. from ~1µs up to
@@ -12,6 +20,7 @@ let bucket_offset = 20
 let bucket_count = 32
 
 type histogram = {
+  h_lock : Mutex.t;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -19,48 +28,46 @@ type histogram = {
   h_buckets : int array;
 }
 
+let registry_lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_val = 0 } in
-      Hashtbl.replace counters name c;
-      c
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
-let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g_val = 0. } in
-      Hashtbl.replace gauges name g;
-      g
+let register tbl name fresh =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some v -> v
+      | None ->
+          let v = fresh () in
+          Hashtbl.replace tbl name v;
+          v)
+
+let counter name = register counters name (fun () -> Atomic.make 0)
+let gauge name = register gauges name (fun () -> Atomic.make 0.)
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          h_count = 0;
-          h_sum = 0.;
-          h_min = infinity;
-          h_max = neg_infinity;
-          h_buckets = Array.make bucket_count 0;
-        }
-      in
-      Hashtbl.replace histograms name h;
-      h
+  register histograms name (fun () ->
+      {
+        h_lock = Mutex.create ();
+        h_count = 0;
+        h_sum = 0.;
+        h_min = infinity;
+        h_max = neg_infinity;
+        h_buckets = Array.make bucket_count 0;
+      })
 
-let incr c = c.c_val <- c.c_val + 1
-let add c n = c.c_val <- c.c_val + n
-let value c = c.c_val
-let set g v = g.g_val <- v
-let set_int g v = g.g_val <- float_of_int v
-let gauge_value g = g.g_val
+let incr c = Atomic.incr c
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let value c = Atomic.get c
+let set g v = Atomic.set g v
+let set_int g v = Atomic.set g (float_of_int v)
+let gauge_value g = Atomic.get g
 
 let bucket_index v =
   if v <= 0. then 0
@@ -71,12 +78,14 @@ let bucket_index v =
 let bucket_upper i = Float.pow 2. (float_of_int (i - bucket_offset))
 
 let observe h v =
+  Mutex.lock h.h_lock;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v;
   let i = bucket_index v in
-  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+  Mutex.unlock h.h_lock
 
 let time h f =
   let t0 = Unix.gettimeofday () in
@@ -95,16 +104,19 @@ let nonempty_buckets h =
 let hist_buckets = nonempty_buckets
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_val <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g_val <- 0.) gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_count <- 0;
-      h.h_sum <- 0.;
-      h.h_min <- infinity;
-      h.h_max <- neg_infinity;
-      Array.fill h.h_buckets 0 bucket_count 0)
-    histograms
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g 0.) gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Mutex.lock h.h_lock;
+          h.h_count <- 0;
+          h.h_sum <- 0.;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity;
+          Array.fill h.h_buckets 0 bucket_count 0;
+          Mutex.unlock h.h_lock)
+        histograms)
 
 type snapshot = {
   sn_counters : (string * int) list;
@@ -125,22 +137,31 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot () =
-  {
-    sn_counters = sorted_bindings counters (fun c -> c.c_val);
-    sn_gauges = sorted_bindings gauges (fun g -> g.g_val);
-    sn_histograms =
-      sorted_bindings histograms (fun h ->
-          {
-            hs_count = h.h_count;
-            hs_sum = h.h_sum;
-            hs_min = (if h.h_count = 0 then 0. else h.h_min);
-            hs_max = (if h.h_count = 0 then 0. else h.h_max);
-            hs_buckets = nonempty_buckets h;
-          });
-  }
+  locked (fun () ->
+      {
+        sn_counters = sorted_bindings counters Atomic.get;
+        sn_gauges = sorted_bindings gauges Atomic.get;
+        sn_histograms =
+          sorted_bindings histograms (fun h ->
+              Mutex.lock h.h_lock;
+              let hs =
+                {
+                  hs_count = h.h_count;
+                  hs_sum = h.h_sum;
+                  hs_min = (if h.h_count = 0 then 0. else h.h_min);
+                  hs_max = (if h.h_count = 0 then 0. else h.h_max);
+                  hs_buckets = nonempty_buckets h;
+                }
+              in
+              Mutex.unlock h.h_lock;
+              hs);
+      })
 
 let counter_value name =
-  match Hashtbl.find_opt counters name with Some c -> c.c_val | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> Atomic.get c
+      | None -> 0)
 
 let snapshot_to_json sn =
   Json.Obj

@@ -10,7 +10,12 @@
     ([ifds.path_edges], [bidi.alias_queries], [cg.edges], …); the
     snapshot and JSON export sort them so output is deterministic.
     [reset] zeroes every value but keeps registrations, so tests (and
-    successive benchmark sections) are isolated from each other. *)
+    successive benchmark sections) are isolated from each other.
+
+    The registry is domain-safe: counters and gauges are atomic cells,
+    histograms observe under a per-histogram mutex, and registration
+    is serialised — parallel app-level runs ({!Fd_util.Pool}) may
+    share every handle. *)
 
 type counter
 type gauge

@@ -10,7 +10,12 @@
     - per-phase aggregate durations ({!aggregate}) for stats JSON.
 
     Timestamps are wall-clock, relative to the first span after the
-    last {!reset}. *)
+    last {!reset}.
+
+    Domain-safety: each domain records into its own store (hot path is
+    lock-free); read-outs merge all stores in worker order, and the
+    Chrome export labels each span with its worker's tid so parallel
+    app runs render as separate tracks. *)
 
 type span = {
   sp_name : string;

@@ -1,0 +1,99 @@
+(** Hash-consing pools: map structurally-equal values to small dense
+    integer ids (see the interface for the design rationale). *)
+
+(* ------------------------------------------------------------------ *)
+(* hash combinators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Boost-style mixing: asymmetric, so [combine a b <> combine b a],
+   and every bit of both operands reaches the result.  The magic
+   constant is the 64-bit golden ratio truncated to OCaml's 63-bit
+   int range. *)
+let golden = 0x4f1bbcdcbfa53e0b (* 0x9e3779b97f4a7c15 lsr 1 *)
+
+let combine h v = (h lxor (v + golden + (h lsl 6) + (h lsr 2))) land max_int
+
+let fold_hash hash_elt seed xs =
+  List.fold_left (fun h x -> combine h (hash_elt x)) seed xs
+
+(* ------------------------------------------------------------------ *)
+(* pools                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (T : HASHED) = struct
+  module Tbl = Hashtbl.Make (T)
+
+  type pool = {
+    p_ids : int Tbl.t;
+    mutable p_values : T.t array;  (** id -> value, dense *)
+    mutable p_next : int;
+    mutable p_hits : int;
+    mutable p_misses : int;
+    (* one-slot cache: interning the same physical value twice in a
+       row (e.g. the same fact propagated to each CFG successor) skips
+       the structural hash entirely *)
+    mutable p_last : T.t option;
+    mutable p_last_id : int;
+  }
+
+  let create ?(size = 256) () =
+    {
+      p_ids = Tbl.create size;
+      p_values = [||];
+      p_next = 0;
+      p_hits = 0;
+      p_misses = 0;
+      p_last = None;
+      p_last_id = -1;
+    }
+
+  let grow p v =
+    let cap = Array.length p.p_values in
+    if p.p_next = cap then begin
+      let bigger = Array.make (max 64 (2 * cap)) v in
+      Array.blit p.p_values 0 bigger 0 cap;
+      p.p_values <- bigger
+    end;
+    p.p_values.(p.p_next) <- v;
+    p.p_next <- p.p_next + 1
+
+  let id p v =
+    match p.p_last with
+    | Some last when last == v ->
+        p.p_hits <- p.p_hits + 1;
+        p.p_last_id
+    | _ ->
+        let i =
+          match Tbl.find_opt p.p_ids v with
+          | Some i ->
+              p.p_hits <- p.p_hits + 1;
+              i
+          | None ->
+              let i = p.p_next in
+              grow p v;
+              Tbl.replace p.p_ids v i;
+              p.p_misses <- p.p_misses + 1;
+              i
+        in
+        p.p_last <- Some v;
+        p.p_last_id <- i;
+        i
+
+  let find_id p v = Tbl.find_opt p.p_ids v
+  let value p i = p.p_values.(i)
+  let size p = p.p_next
+  let hits p = p.p_hits
+  let misses p = p.p_misses
+
+  let iter p f =
+    for i = 0 to p.p_next - 1 do
+      f i p.p_values.(i)
+    done
+end

@@ -1,0 +1,60 @@
+(** Hash-consing pools: intern structurally-equal values into small
+    dense integer ids.
+
+    The IFDS solvers spend much of their time hashing and comparing
+    deep structures (access paths, taint abstractions, method keys) as
+    hash-table keys.  A pool assigns each distinct value — "distinct"
+    by the value type's own [equal] — a dense id [0, 1, 2, …]; after
+    one structural hash at interning time, every further table
+    operation is integer-keyed: O(1), allocation-free, and immune to
+    the polymorphic-hash depth truncation that makes deep access paths
+    collide.
+
+    Pools are {e not} thread-safe; the intended discipline is one pool
+    per solver instance (solvers are sequential — app-level
+    parallelism gives each domain its own solvers, see
+    {!Fd_util.Pool}).
+
+    The module also exposes the fold-style hash combinators the
+    explicit [hash] functions of [Access_path], [Taint] and [Mkey] are
+    built from. *)
+
+val combine : int -> int -> int
+(** [combine h v] mixes hash value [v] into accumulator [h];
+    asymmetric and non-truncating, never negative. *)
+
+val fold_hash : ('a -> int) -> int -> 'a list -> int
+(** [fold_hash hash_elt seed xs] combines the hash of every element of
+    [xs] into [seed] — unlike [Hashtbl.hash], no element is ever
+    skipped. *)
+
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (T : HASHED) : sig
+  type pool
+
+  val create : ?size:int -> unit -> pool
+
+  val id : pool -> T.t -> int
+  (** [id p v] is the unique dense id of [v] in [p], interning it on
+      first sight.  [id p a = id p b] iff [T.equal a b].  A one-slot
+      cache makes re-interning the same physical value O(1) without
+      re-hashing. *)
+
+  val find_id : pool -> T.t -> int option
+  (** like {!id} but never interns *)
+
+  val value : pool -> int -> T.t
+  (** [value p i] is the representative interned under id [i] *)
+
+  val size : pool -> int
+  val hits : pool -> int
+  val misses : pool -> int
+
+  val iter : pool -> (int -> T.t -> unit) -> unit
+end

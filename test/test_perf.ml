@@ -1,0 +1,142 @@
+(* Tests for the performance layer (PR 3):
+
+   - the interning pools: equal values get equal ids (and nothing
+     else does), ids round-trip through [value], the one-slot cache
+     keeps counters honest;
+   - the explicit hash functions: consistent with [equal], and — the
+     regression the fold-based hashes exist for — sensitive to
+     differences arbitrarily deep in an access path, where the
+     polymorphic hash's depth cutoff made deep paths collide;
+   - the domain pool: [Pool.map] preserves order and determinism at
+     any job count;
+   - the app-level parallelism contract: the DroidBench and
+     SecuriBench tables render bit-identically at --jobs 1 and
+     --jobs 4. *)
+
+open Fd_ir
+module AP = Fd_core.Access_path
+module Intern = Fd_util.Intern
+module Pool = Fd_util.Pool
+
+let loc name = Stmt.mk_local name
+let fld name = Types.mk_field "t.C" name
+let ap base fields = { AP.base = AP.Bloc (loc base); AP.fields }
+
+(* ---------------- generators ---------------- *)
+
+let gen_ap =
+  QCheck.Gen.(
+    let* base = oneofl [ "x"; "y"; "z" ] in
+    let* fields = list_size (int_bound 12) (oneofl [ "f"; "g"; "h" ]) in
+    return (ap base (List.map fld fields)))
+
+let arb_ap = QCheck.make ~print:AP.to_string gen_ap
+let arb_ap_pair = QCheck.pair arb_ap arb_ap
+
+(* ---------------- interning ---------------- *)
+
+module Ap_pool = Intern.Make (struct
+  type t = AP.t
+
+  let equal = AP.equal
+  let hash = AP.hash
+end)
+
+let prop_intern_id_iff_equal =
+  QCheck.Test.make ~name:"intern: same id <=> structurally equal" ~count:500
+    arb_ap_pair (fun (a, b) ->
+      let p = Ap_pool.create () in
+      Bool.equal (Ap_pool.id p a = Ap_pool.id p b) (AP.equal a b))
+
+let prop_intern_value_roundtrip =
+  QCheck.Test.make ~name:"intern: value (id v) is equal to v" ~count:500
+    arb_ap (fun a ->
+      let p = Ap_pool.create () in
+      AP.equal a (Ap_pool.value p (Ap_pool.id p a)))
+
+let test_intern_counters () =
+  let p = Ap_pool.create () in
+  let a = ap "x" [ fld "f" ] and a' = ap "x" [ fld "f" ] in
+  let b = ap "y" [] in
+  let ia = Ap_pool.id p a in
+  Alcotest.(check int) "dense from 0" 0 ia;
+  Alcotest.(check int) "structural re-intern" ia (Ap_pool.id p a');
+  Alcotest.(check bool) "distinct value, distinct id" true
+    (Ap_pool.id p b <> ia);
+  Alcotest.(check int) "two distinct values" 2 (Ap_pool.size p);
+  Alcotest.(check (option int)) "find_id never interns" None
+    (Ap_pool.find_id p (ap "z" []));
+  Alcotest.(check int) "find_id did not grow the pool" 2 (Ap_pool.size p)
+
+(* ---------------- explicit hashes ---------------- *)
+
+let prop_hash_consistent_with_equal =
+  QCheck.Test.make ~name:"AP.hash: equal paths hash equal" ~count:500
+    arb_ap (fun a ->
+      let copy = { AP.base = a.AP.base; AP.fields = a.AP.fields } in
+      AP.hash a = AP.hash copy)
+
+(* regression: [Hashtbl.hash] stops after ~10 "meaningful" nodes, so
+   structural keys differing only deep in the field chain collided and
+   the solver tables degenerated into linked-list scans.  The explicit
+   fold visits every segment. *)
+let test_deep_hash_no_truncation () =
+  let deep tail =
+    ap "x" (List.init 14 (fun i -> fld (Printf.sprintf "f%d" i)) @ [ fld tail ])
+  in
+  let a = deep "left" and b = deep "right" in
+  Alcotest.(check bool) "paths differ" false (AP.equal a b);
+  Alcotest.(check bool) "polymorphic hash truncates (sanity)" true
+    (Hashtbl.hash a = Hashtbl.hash b);
+  Alcotest.(check bool) "explicit hash reaches the tail" true
+    (AP.hash a <> AP.hash b)
+
+(* ---------------- domain pool ---------------- *)
+
+let prop_pool_map_ordered =
+  QCheck.Test.make ~name:"Pool.map: ordered, complete, any job count"
+    ~count:50
+    QCheck.(pair (int_range 1 6) (list_of_size (Gen.int_bound 40) small_int))
+    (fun (jobs, xs) ->
+      Pool.map ~jobs (fun x -> x * x) xs = List.map (fun x -> x * x) xs)
+
+(* ---------------- --jobs determinism on the real tables ---------------- *)
+
+let test_droidbench_jobs_deterministic () =
+  let engines = [ Fd_eval.Engines.flowdroid (); Fd_eval.Engines.appscan ] in
+  let render t =
+    Fd_eval.Droidbench_table.render t
+    ^ Fd_eval.Droidbench_table.render_outcomes t
+  in
+  let seq = render (Fd_eval.Droidbench_table.run ~jobs:1 engines) in
+  let par = render (Fd_eval.Droidbench_table.run ~jobs:4 engines) in
+  Alcotest.(check string) "droidbench table identical at jobs 1 vs 4" seq par
+
+let test_securibench_jobs_deterministic () =
+  let seq = Fd_eval.Securibench_table.render (Fd_eval.Securibench_table.run ~jobs:1 ()) in
+  let par = Fd_eval.Securibench_table.render (Fd_eval.Securibench_table.run ~jobs:4 ()) in
+  Alcotest.(check string) "securibench table identical at jobs 1 vs 4" seq par
+
+let () =
+  Alcotest.run "fd_perf"
+    [
+      ( "intern",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_intern_id_iff_equal; prop_intern_value_roundtrip ]
+        @ [ Alcotest.test_case "pool counters and density" `Quick
+              test_intern_counters ] );
+      ( "hash",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_hash_consistent_with_equal ]
+        @ [ Alcotest.test_case "deep paths hash apart" `Quick
+              test_deep_hash_no_truncation ] );
+      ( "pool",
+        List.map QCheck_alcotest.to_alcotest [ prop_pool_map_ordered ] );
+      ( "jobs-determinism",
+        [
+          Alcotest.test_case "droidbench --jobs invariant" `Quick
+            test_droidbench_jobs_deterministic;
+          Alcotest.test_case "securibench --jobs invariant" `Quick
+            test_securibench_jobs_deterministic;
+        ] );
+    ]
