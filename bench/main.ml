@@ -96,6 +96,17 @@ let rq3 () =
   print_string (Fd_eval.Corpus.render malware);
   print_newline ()
 
+let differential_validation () =
+  section "Differential validation (static vs dynamic vs ground truth)";
+  List.iter
+    (fun profile ->
+      let c =
+        Fd_diffcheck.Diffcheck.campaign ~profile ~seed:20140609 ~n:100 ()
+      in
+      print_string (Fd_diffcheck.Diffcheck.render c);
+      print_newline ())
+    [ Fd_appgen.Generator.Play; Fd_appgen.Generator.Malware ]
+
 let ablation_table () =
   section "Ablations over DROIDBENCH (A1–A3, F3, L3 of DESIGN.md)";
   let engines =
@@ -282,6 +293,7 @@ let () =
   with_obs "table2" table2;
   with_obs "rq2" rq2;
   with_obs "rq3" rq3;
+  with_obs "diffcheck" differential_validation;
   with_obs "ablations" ablation_table;
   with_obs "dynamic" dynamic_comparison;
   figures ();

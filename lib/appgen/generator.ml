@@ -30,11 +30,49 @@ type profile = Play | Malware
 
 let string_of_profile = function Play -> "play" | Malware -> "malware"
 
+(** The documented Table 1 limitation categories (DESIGN.md §5).  The
+    generator plants constructs exercising each one, tagged so the
+    differential harness ({!Fd_diffcheck}) can classify the resulting
+    static-vs-dynamic disagreements as {e explained} rather than as
+    solver divergences. *)
+type limitation =
+  | Lim_array_index
+      (** a tainted element taints the whole array → static FP on a
+          read of a different index *)
+  | Lim_strong_update
+      (** no strong updates on heap locations → static FP after the
+          field is overwritten with clean data *)
+  | Lim_clinit
+      (** static initialisers modelled at program start → static FN
+          when [<clinit>] actually runs between source and sink *)
+  | Lim_reflection
+      (** no reflective call edges → static FN on constant-string
+          [Method.invoke] dispatch *)
+
+let string_of_limitation = function
+  | Lim_array_index -> "array-index"
+  | Lim_strong_update -> "strong-update"
+  | Lim_clinit -> "clinit-placement"
+  | Lim_reflection -> "reflection"
+
+(** [limitation_is_fp l] — the category manifests as a spurious static
+    finding; otherwise it manifests as a missed real leak. *)
+let limitation_is_fp = function
+  | Lim_array_index | Lim_strong_update -> true
+  | Lim_clinit | Lim_reflection -> false
+
 type gen_app = {
   ga_name : string;
   ga_profile : profile;
   ga_apk : Apk.t;
-  ga_expected : (string option * string) list;  (** planted ground truth *)
+  ga_expected : (string option * string) list;
+      (** planted ground truth the static analysis must recover *)
+  ga_limits : ((string option * string) * limitation) list;
+      (** planted limitation constructs, keyed by (source tag, sink
+          tag).  FP categories are {e not} real leaks (and not in
+          [ga_expected]); FN categories are real leaks the static
+          analysis is documented to miss (also not in [ga_expected],
+          so recall on [ga_expected] stays a static-engine promise) *)
   ga_classes : int;  (** size metrics for reporting *)
 }
 
@@ -205,6 +243,100 @@ let emit_benign m rng ~relays ~idx =
       B.binop m b "+" (B.v a) (B.s "y")
 
 (* ------------------------------------------------------------------ *)
+(* limitation plants                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each plant is a self-contained construct exercising one documented
+   imprecision, with its own (limsrcN, limsnkN) tag pair so the
+   differential harness can look the category up by key.  None of the
+   emitters draws from the rng: the kind choice happens up front in
+   [generate], keeping the app deterministic in the draw order. *)
+
+let lim_source m ~tag ~j ret =
+  let tm =
+    B.local m
+      (Printf.sprintf "ltm%d" j)
+      ~ty:(T.Ref "android.telephony.TelephonyManager")
+  in
+  B.newobj m tm "android.telephony.TelephonyManager";
+  B.vcall m ~tag ~ret tm "android.telephony.TelephonyManager" "getDeviceId" []
+
+let lim_sink m ~tag data =
+  B.scall m ~tag "android.util.Log" "i" [ B.s "lim"; data ]
+
+(* arr[0] := tainted; sink(arr[1]) — the static analysis taints the
+   whole array (§4.1), the dynamic monitor tracks per cell *)
+let emit_lim_array m ~j ~src_tag ~snk_tag =
+  let arr = B.local m (Printf.sprintf "limarr%d" j) ~ty:(T.Array str_t) in
+  B.newarray m arr str_t (B.i 2);
+  let x = B.local m (Printf.sprintf "limx%d" j) in
+  lim_source m ~tag:src_tag ~j x;
+  B.astore m arr (B.i 0) (B.v x);
+  let y = B.local m (Printf.sprintf "limy%d" j) in
+  B.aload m y arr (B.i 1);
+  lim_sink m ~tag:snk_tag (B.v y)
+
+(* o.val := tainted; o.val := "clean"; sink(o.val) — no strong updates
+   on heap locations keeps the stale taint alive statically *)
+let emit_lim_strong_update m ~box_cls ~j ~src_tag ~snk_tag =
+  let f = B.fld ~ty:str_t box_cls "v" in
+  let o = B.local m (Printf.sprintf "limo%d" j) ~ty:(T.Ref box_cls) in
+  B.newobj m o box_cls;
+  let x = B.local m (Printf.sprintf "limx%d" j) in
+  lim_source m ~tag:src_tag ~j x;
+  B.store m o f (B.v x);
+  B.store m o f (B.s "clean");
+  let y = B.local m (Printf.sprintf "limy%d" j) in
+  B.load m y o f;
+  lim_sink m ~tag:snk_tag (B.v y)
+
+(* store tainted into a static field, then trigger the helper's
+   <clinit> (which reads the field and sinks it) via first use — the
+   static model runs initialisers at program start and misses the
+   flow; the interpreter runs them at first use and observes it *)
+let emit_lim_clinit m ~cls ~helper ~j ~src_tag =
+  let g = B.fld ~ty:str_t cls (Printf.sprintf "limstash%d" j) in
+  let x = B.local m (Printf.sprintf "limx%d" j) in
+  lim_source m ~tag:src_tag ~j x;
+  B.storestatic m g (B.v x);
+  let h = B.local m (Printf.sprintf "limh%d" j) ~ty:(T.Ref helper) in
+  B.newobj m h helper
+
+(* the <clinit> helper class for [emit_lim_clinit] *)
+let lim_clinit_helper ~cls ~helper ~j ~snk_tag =
+  let g = B.fld ~ty:str_t cls (Printf.sprintf "limstash%d" j) in
+  B.cls helper
+    [
+      B.meth "<clinit>" ~static:true (fun m ->
+          let v = B.local m "v" in
+          B.loadstatic m v g;
+          lim_sink m ~tag:snk_tag (B.v v));
+    ]
+
+(* constant-string reflective dispatch to a sinking method — no
+   reflective call edges statically; the interpreter's Method model
+   executes the real body *)
+let emit_lim_reflection m ~j ~src_tag =
+  let this = B.this m in
+  let x = B.local m (Printf.sprintf "limx%d" j) in
+  lim_source m ~tag:src_tag ~j x;
+  let mth =
+    B.local m
+      (Printf.sprintf "limmth%d" j)
+      ~ty:(T.Ref "java.lang.reflect.Method")
+  in
+  B.vcall m ~ret:mth this "java.lang.Class" "getMethod"
+    [ B.s (Printf.sprintf "limleak%d" j) ];
+  B.vcall m mth "java.lang.reflect.Method" "invoke" [ B.v this; B.v x ]
+
+(* the reflectively invoked method for [emit_lim_reflection] *)
+let lim_reflection_target ~j ~snk_tag =
+  B.meth (Printf.sprintf "limleak%d" j) ~params:[ str_t ] (fun m ->
+      let _this = B.this m in
+      let p = B.param m 0 "p" in
+      lim_sink m ~tag:snk_tag (B.v p))
+
+(* ------------------------------------------------------------------ *)
 (* app assembly                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -217,7 +349,12 @@ let profile_params = function
 
 (** [generate ~profile ~seed index] produces one deterministic app. *)
 let generate ~profile ~seed index =
-  let rng = Prng.create (seed + (index * 7919)) in
+  (* mix, don't add: [seed + index * 7919] collides for distinct
+     pairs — (s + 7919, 0) and (s, 1) yielded identical apps.
+     [Intern.combine] is asymmetric and non-linear, so every
+     (seed, index) pair gets its own stream.  Note: this changes the
+     per-app digests of every previously generated corpus. *)
+  let rng = Prng.create (Intern.combine seed index) in
   let (`Params (min_u, max_u, max_comp, leak_model, sinks, benign_per)) =
     profile_params profile
   in
@@ -278,6 +415,65 @@ let generate ~profile ~seed index =
         slot_cls = cls)
       leak_specs
   in
+  (* limitation plants: constructs exercising the documented Table 1
+     imprecision categories, distributed over the components like the
+     ordinary leaks *)
+  let n_lims = if Prng.float rng 1.0 < 0.6 then Prng.range rng 1 2 else 0 in
+  let lim_specs =
+    List.init n_lims (fun j ->
+        ( j,
+          Prng.choose rng
+            [ Lim_array_index; Lim_strong_update; Lim_clinit; Lim_reflection ]
+        ))
+  in
+  let lim_slot j = fst (List.nth slots (j mod List.length slots)) in
+  let lims_for cls = List.filter (fun (j, _) -> lim_slot j = cls) lim_specs in
+  let box_cls = pkg ^ ".Box" in
+  let helper_for j = Printf.sprintf "%s.LimClinit%d" pkg j in
+  let lim_src_tag j = Printf.sprintf "limsrc%d" j in
+  let lim_snk_tag j = Printf.sprintf "limsnk%d" j in
+  let emit_lims m cls =
+    List.iter
+      (fun (j, lim) ->
+        let src_tag = lim_src_tag j and snk_tag = lim_snk_tag j in
+        match lim with
+        | Lim_array_index -> emit_lim_array m ~j ~src_tag ~snk_tag
+        | Lim_strong_update ->
+            emit_lim_strong_update m ~box_cls ~j ~src_tag ~snk_tag
+        | Lim_clinit ->
+            emit_lim_clinit m ~cls ~helper:(helper_for j) ~j ~src_tag
+        | Lim_reflection -> emit_lim_reflection m ~j ~src_tag)
+      (lims_for cls)
+  in
+  let lim_extra_methods cls =
+    List.filter_map
+      (fun (j, lim) ->
+        match lim with
+        | Lim_reflection ->
+            Some (lim_reflection_target ~j ~snk_tag:(lim_snk_tag j))
+        | _ -> None)
+      (lims_for cls)
+  in
+  let lim_classes =
+    List.filter_map
+      (fun (j, lim) ->
+        match lim with
+        | Lim_clinit ->
+            Some
+              (lim_clinit_helper ~cls:(lim_slot j) ~helper:(helper_for j) ~j
+                 ~snk_tag:(lim_snk_tag j))
+        | _ -> None)
+      lim_specs
+    @
+    if List.exists (fun (_, l) -> l = Lim_strong_update) lim_specs then
+      [ B.cls box_cls ~fields:[ ("v", str_t) ] [] ]
+    else []
+  in
+  let ga_limits =
+    List.map
+      (fun (j, lim) -> ((Some (lim_src_tag j), lim_snk_tag j), lim))
+      lim_specs
+  in
   let emit_leaks m cls =
     List.iter
       (fun (i, src, sink) ->
@@ -287,22 +483,25 @@ let generate ~profile ~seed index =
         in
         expected := pair :: !expected)
       (leaks_for cls);
+    emit_lims m cls;
     List.iteri (fun j () -> emit_benign m rng ~relays:relay_names ~idx:j)
       (List.init benign_per (fun _ -> ()))
   in
   let main_activity =
     B.cls main_cls ~super:"android.app.Activity"
-      [
-        Build.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
-            let _this = B.this m in
-            let _ = B.param m 0 "b" in
-            emit_leaks m main_cls);
-        Build.meth "onDestroy" (fun m ->
-            let _this = B.this m in
-            List.iteri
-              (fun j () -> emit_benign m rng ~relays:relay_names ~idx:(100 + j))
-              (List.init 2 (fun _ -> ())));
-      ]
+      ([
+         Build.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+             let _this = B.this m in
+             let _ = B.param m 0 "b" in
+             emit_leaks m main_cls);
+         Build.meth "onDestroy" (fun m ->
+             let _this = B.this m in
+             List.iteri
+               (fun j () ->
+                 emit_benign m rng ~relays:relay_names ~idx:(100 + j))
+               (List.init 2 (fun _ -> ())));
+       ]
+      @ lim_extra_methods main_cls)
   in
   let extra_classes =
     List.map
@@ -310,32 +509,34 @@ let generate ~profile ~seed index =
         match kind with
         | FW.Service ->
             B.cls cls ~super:"android.app.Service"
-              [
-                Build.meth "onStartCommand"
-                  ~params:[ T.Ref "android.content.Intent"; T.Int; T.Int ]
-                  ~ret:T.Int
-                  (fun m ->
-                    let _this = B.this m in
-                    let _i = B.param m 0 "i" in
-                    emit_leaks m cls;
-                    let r = B.local m "r" ~ty:T.Int in
-                    B.const m r (B.i 1);
-                    B.retv m (B.v r));
-              ]
+              ([
+                 Build.meth "onStartCommand"
+                   ~params:[ T.Ref "android.content.Intent"; T.Int; T.Int ]
+                   ~ret:T.Int
+                   (fun m ->
+                     let _this = B.this m in
+                     let _i = B.param m 0 "i" in
+                     emit_leaks m cls;
+                     let r = B.local m "r" ~ty:T.Int in
+                     B.const m r (B.i 1);
+                     B.retv m (B.v r));
+               ]
+              @ lim_extra_methods cls)
         | _ ->
             B.cls cls ~super:"android.content.BroadcastReceiver"
-              [
-                Build.meth "onReceive"
-                  ~params:
-                    [ T.Ref "android.content.Context";
-                      T.Ref "android.content.Intent" ]
-                  (fun m ->
-                    let _this = B.this m in
-                    let _c = B.param m 0 "c" in
-                    let intent = B.param m 1 "intent" in
-                    ignore intent;
-                    emit_leaks m cls);
-              ])
+              ([
+                 Build.meth "onReceive"
+                   ~params:
+                     [ T.Ref "android.content.Context";
+                       T.Ref "android.content.Intent" ]
+                   (fun m ->
+                     let _this = B.this m in
+                     let _c = B.param m 0 "c" in
+                     let intent = B.param m 1 "intent" in
+                     ignore intent;
+                     emit_leaks m cls);
+               ]
+              @ lim_extra_methods cls))
       extra
   in
   let manifest =
@@ -343,12 +544,15 @@ let generate ~profile ~seed index =
       ((FW.Activity, main_cls, [])
       :: List.map (fun (k, c) -> (k, c, [])) extra)
   in
-  let classes = main_activity :: extra_classes @ List.map snd relays in
+  let classes =
+    (main_activity :: extra_classes) @ lim_classes @ List.map snd relays
+  in
   {
     ga_name = Printf.sprintf "%s-%04d" (string_of_profile profile) index;
     ga_profile = profile;
     ga_apk = Apk.make (Printf.sprintf "gen%d" index) ~manifest classes;
     ga_expected = List.rev !expected;
+    ga_limits = ga_limits;
     ga_classes = List.length classes;
   }
 

@@ -1,0 +1,137 @@
+(** Verdict classification for the differential soundness harness.
+
+    For one app we hold three views of "what leaks": the static
+    engine's findings, the thorough-coverage dynamic interpreter's
+    observations, and the generator's planted ground truth (ordinary
+    leaks plus tagged limitation constructs).  Every leak key —
+    a (source tag, sink tag) pair — lands in exactly one bucket:
+
+    - {b confirmed}: the static engine reported it and either the
+      dynamic monitor observed it or it matches planted ground truth
+      (the dynamic side is bounded by driver coverage, so ground truth
+      corroborates static-only true findings);
+    - {b explained-FN} / {b explained-FP}: the disagreement maps to a
+      documented Table 1 limitation category (index-insensitive
+      arrays, missing strong updates, clinit placement, reflection) —
+      a planted construct carrying that category's tag pair;
+    - {b unexercised}: a planted FP construct the static engine did
+      {e not} report — the engine is more precise than the documented
+      limitation (tracked so plant regressions are visible);
+    - {b DIVERGENCE}: everything else — a dynamically observed leak
+      the static engine misses, a static finding with no ground-truth
+      or limitation explanation, or planted ground truth neither
+      engine saw.  Divergences are solver bugs until proven otherwise:
+      the minimizer shrinks them and the campaign gate fails on any. *)
+
+module Gen = Fd_appgen.Generator
+
+type key = string option * string option
+(** (source tag, sink tag) — the common currency of static findings,
+    dynamic observations and planted ground truth *)
+
+type divergence =
+  | Spurious_static
+      (** a static finding with no ground-truth or limitation
+          explanation *)
+  | Missed_dynamic
+      (** a dynamically observed (hence real) leak the static engine
+          misses *)
+  | Missed_ground_truth
+      (** a planted ordinary leak neither engine observed — the
+          static-recall promise is broken *)
+
+type bucket =
+  | Confirmed
+  | Explained_fn of Gen.limitation
+  | Explained_fp of Gen.limitation
+  | Unexercised of Gen.limitation
+  | Divergence of divergence
+
+type leak_verdict = {
+  v_key : key;
+  v_bucket : bucket;
+  v_static : bool;  (** reported by the static engine *)
+  v_dynamic : bool;  (** observed by the dynamic monitor *)
+  v_truth : bool;  (** in [ga_expected] (ordinary planted leaks) *)
+}
+
+let string_of_divergence = function
+  | Spurious_static -> "spurious-static"
+  | Missed_dynamic -> "missed-dynamic"
+  | Missed_ground_truth -> "missed-ground-truth"
+
+let string_of_bucket = function
+  | Confirmed -> "confirmed"
+  | Explained_fn l ->
+      Printf.sprintf "explained-FN(%s)" (Gen.string_of_limitation l)
+  | Explained_fp l ->
+      Printf.sprintf "explained-FP(%s)" (Gen.string_of_limitation l)
+  | Unexercised l ->
+      Printf.sprintf "unexercised(%s)" (Gen.string_of_limitation l)
+  | Divergence d -> Printf.sprintf "DIVERGENCE(%s)" (string_of_divergence d)
+
+let is_divergence = function Divergence _ -> true | _ -> false
+
+let equal_bucket (a : bucket) (b : bucket) = a = b
+
+let string_of_key ((src, snk) : key) =
+  Printf.sprintf "%s->%s"
+    (Option.value src ~default:"?")
+    (Option.value snk ~default:"?")
+
+(** [classify ~static ~dynamic ~expected ~limits] buckets every key in
+    the union of the four views.  Output is sorted by key, so equal
+    inputs render identically regardless of discovery order. *)
+let classify ~(static : key list) ~(dynamic : key list)
+    ~(expected : (string option * string) list)
+    ~(limits : ((string option * string) * Gen.limitation) list) :
+    leak_verdict list =
+  let truth_keys =
+    List.map (fun (src, snk) -> (src, Some snk)) expected
+  in
+  let limit_of : key -> Gen.limitation option =
+    let tbl =
+      List.map (fun ((src, snk), l) -> (((src, Some snk) : key), l)) limits
+    in
+    fun k -> List.assoc_opt k tbl
+  in
+  let keys =
+    List.sort_uniq compare
+      (static @ dynamic @ truth_keys
+      @ List.map (fun ((src, snk), _) -> (src, Some snk)) limits)
+  in
+  List.map
+    (fun k ->
+      let s = List.mem k static in
+      let d = List.mem k dynamic in
+      let gt = List.mem k truth_keys in
+      let lim = limit_of k in
+      let bucket =
+        match (s, d) with
+        | true, true -> Confirmed
+        | true, false -> (
+            if gt then Confirmed
+            else
+              match lim with
+              | Some l when Gen.limitation_is_fp l -> Explained_fp l
+              | _ -> Divergence Spurious_static)
+        | false, true -> (
+            match lim with
+            | Some l when not (Gen.limitation_is_fp l) -> Explained_fn l
+            | _ -> Divergence Missed_dynamic)
+        | false, false -> (
+            (* the key came from ground truth or a plant *)
+            if gt then Divergence Missed_ground_truth
+            else
+              match lim with
+              | Some l when not (Gen.limitation_is_fp l) ->
+                  (* a real leak the static engine is documented to
+                     miss; the dynamic driver's coverage did not reach
+                     it either (e.g. reflection without an interpreter
+                     model) *)
+                  Explained_fn l
+              | Some l -> Unexercised l
+              | None -> assert false)
+      in
+      { v_key = k; v_bucket = bucket; v_static = s; v_dynamic = d; v_truth = gt })
+    keys

@@ -476,6 +476,70 @@ let call st ~tag ~cls ~runtime_cls ~mname ~recv ~args : tvalue option =
           done;
           Some vnull
       | _ -> Some vnull)
+  (* ---------------- reflection ---------------- *)
+  (* A dynamic monitor executes reflective calls like any other
+     (Section 7) — the method handle is a concrete value, so the
+     dispatch is exact.  The static analysis deliberately builds no
+     reflective call edges (DESIGN.md §5 limitations), which makes
+     these flows the canonical statics-miss/dynamics-find category the
+     differential harness classifies as explained-FN(reflection). *)
+  | "forName" when either_cls "java.lang.Class" -> (
+      match args with
+      | { v = Vstr target; _ } :: _ ->
+          let id = Interp.alloc_obj st "java.lang.Class" in
+          Hashtbl.replace (Interp.obj st id).h_fields "__target"
+            (str target);
+          Some (untainted (Vobj id))
+      | _ -> Some vnull)
+  | "getClass" -> (
+      match recv with
+      | Some { v = Vobj rid; _ } ->
+          let id = Interp.alloc_obj st "java.lang.Class" in
+          Hashtbl.replace (Interp.obj st id).h_fields "__target"
+            (str (Interp.obj st rid).h_cls);
+          Some (untainted (Vobj id))
+      | _ -> Some vnull)
+  | "getMethod" | "getDeclaredMethod" -> (
+      (* the receiver is either a Class handle (getClass/forName) or —
+         the DroidBench idiom — the instance itself statically typed
+         as java.lang.Class; resolve the target class accordingly *)
+      let target_cls =
+        match recv with
+        | Some { v = Vobj rid; _ } -> (
+            let o = Interp.obj st rid in
+            if String.equal o.h_cls "java.lang.Class" then
+              match Hashtbl.find_opt o.h_fields "__target" with
+              | Some { v = Vstr c; _ } -> Some c
+              | _ -> None
+            else Some o.h_cls)
+        | _ -> None
+      in
+      match (target_cls, args) with
+      | Some tc, { v = Vstr mname'; _ } :: _ ->
+          let id = Interp.alloc_obj st "java.lang.reflect.Method" in
+          let o = Interp.obj st id in
+          Hashtbl.replace o.h_fields "__cls" (str tc);
+          Hashtbl.replace o.h_fields "__mname" (str mname');
+          Some (untainted (Vobj id))
+      | _ -> Some vnull)
+  | "invoke" when either_cls "java.lang.reflect.Method" -> (
+      match recv with
+      | Some { v = Vobj rid; _ } -> (
+          let o = Interp.obj st rid in
+          match
+            ( Hashtbl.find_opt o.h_fields "__cls",
+              Hashtbl.find_opt o.h_fields "__mname" )
+          with
+          | Some { v = Vstr tc; _ }, Some { v = Vstr mn; _ } ->
+              let this, margs =
+                match args with
+                | ({ v = Vobj _; _ } as t) :: rest -> (Some t, rest)
+                | _ :: rest -> (None, rest)
+                | [] -> (None, [])
+              in
+              Some (Interp.call st ~cls:tc ~mname:mn ~this ~args:margs)
+          | _ -> Some vnull)
+      | _ -> Some vnull)
   (* ---------------- emulator detection (the evasion demo) --------- *)
   | "isDebuggerConnected" | "isMonitored" ->
       (* a dynamic monitor IS attached: malware probing for it sees 1

@@ -87,7 +87,17 @@ module Make (T : HASHED) = struct
         i
 
   let find_id p v = Tbl.find_opt p.p_ids v
-  let value p i = p.p_values.(i)
+
+  (* [p_values] has spare capacity filled with whatever value [grow]
+     last copied in, so indexing past [p_next] would silently return
+     an unrelated (but valid-looking) interned value — bound-check
+     against the allocated prefix, not the physical array. *)
+  let value p i =
+    if i < 0 || i >= p.p_next then
+      invalid_arg
+        (Printf.sprintf "Intern.value: id %d out of bounds (size %d)" i
+           p.p_next);
+    p.p_values.(i)
   let size p = p.p_next
   let hits p = p.p_hits
   let misses p = p.p_misses

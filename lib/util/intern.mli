@@ -50,7 +50,10 @@ module Make (T : HASHED) : sig
   (** like {!id} but never interns *)
 
   val value : pool -> int -> T.t
-  (** [value p i] is the representative interned under id [i] *)
+  (** [value p i] is the representative interned under id [i].
+      @raise Invalid_argument when [i] was never allocated ([i < 0] or
+      [i >= size p]) — unallocated slots inside the array's spare
+      capacity hold garbage and are never exposed. *)
 
   val size : pool -> int
   val hits : pool -> int

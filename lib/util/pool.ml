@@ -42,16 +42,22 @@ let map ?(jobs = 1) f xs =
     M.set_int g_jobs jobs;
     let workers = min jobs (max n 1) in
     let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    (* the calling domain is worker 0: no idle coordinator *)
-    let own = worker () in
+    (* the calling domain is worker 0: no idle coordinator.  Whatever
+       happens, every spawned domain is joined exactly once before we
+       return or re-raise — a failure in any worker (including worker
+       0) must not leak domains or lose the other workers' exceptions.
+       The first failure in worker order wins; all are wrapped
+       uniformly in [Worker_failed]. *)
+    let own = match worker () with c -> Ok c | exception e -> Error e in
+    let joined =
+      List.map
+        (fun d -> match Domain.join d with c -> Ok c | exception e -> Error e)
+        spawned
+    in
     let counts =
-      own
-      :: List.map
-           (fun d ->
-             match Domain.join d with
-             | c -> c
-             | exception e -> raise (Worker_failed e))
-           spawned
+      List.map
+        (function Ok c -> c | Error e -> raise (Worker_failed e))
+        (own :: joined)
     in
     List.iteri
       (fun i c -> M.add (M.counter (Printf.sprintf "pool.tasks.d%d" i)) c)

@@ -18,10 +18,14 @@
     [pool.tasks], [pool.tasks.d<i>] per worker, [pool.jobs]). *)
 
 exception Worker_failed of exn
-(** a worker domain died; the original exception is attached.
-    Per-app crash isolation should happen {e inside} [f] (the eval
-    loops run each app under [Fd_resilience.Barrier]), so this
-    escaping indicates a harness bug, not an app failure. *)
+(** a worker died; the original exception is attached.  Raised
+    uniformly whether the failing worker was a spawned domain or the
+    calling domain itself, and only after {e every} spawned domain has
+    been joined — a throwing [f] never leaks domains.  When several
+    workers fail, the first in worker order wins.  Per-app crash
+    isolation should happen {e inside} [f] (the eval loops run each
+    app under [Fd_resilience.Barrier]), so this escaping indicates a
+    harness bug, not an app failure. *)
 
 val default_jobs : unit -> int
 (** [FLOWDROID_JOBS] from the environment, else 1 *)

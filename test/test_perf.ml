@@ -54,6 +54,25 @@ let prop_intern_value_roundtrip =
       let p = Ap_pool.create () in
       AP.equal a (Ap_pool.value p (Ap_pool.id p a)))
 
+(* regression: [grow] fills the spare capacity with the inserted
+   value, so before the bound check [value p i] for an unallocated id
+   returned an unrelated valid-looking value instead of failing *)
+let test_intern_value_bounds () =
+  let p = Ap_pool.create () in
+  let a = ap "x" [ fld "f" ] in
+  ignore (Ap_pool.id p a);
+  Alcotest.(check bool) "allocated id round-trips" true
+    (AP.equal a (Ap_pool.value p 0));
+  let expect_invalid i =
+    match Ap_pool.value p i with
+    | _ -> Alcotest.failf "value %d on a 1-element pool must raise" i
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid 1;
+  (* inside the physical array's spare capacity — the garbage zone *)
+  expect_invalid 17;
+  expect_invalid (-1)
+
 let test_intern_counters () =
   let p = Ap_pool.create () in
   let a = ap "x" [ fld "f" ] and a' = ap "x" [ fld "f" ] in
@@ -100,6 +119,63 @@ let prop_pool_map_ordered =
     (fun (jobs, xs) ->
       Pool.map ~jobs (fun x -> x * x) xs = List.map (fun x -> x * x) xs)
 
+(* regression: a throwing [f] on the calling-domain worker used to
+   leave the spawned domains unjoined (leaked domains, lost
+   exceptions), and only join-time failures were wrapped.  Now any
+   worker failure joins everything first and surfaces uniformly as
+   [Worker_failed]. *)
+let test_pool_worker_failure () =
+  let boom = Failure "boom" in
+  (* every worker throws on its first claimed item — including worker
+     0 (the calling domain), the previously-leaking path *)
+  (match Pool.map ~jobs:4 (fun _ -> raise boom) [ 1; 2; 3; 4; 5; 6 ] with
+  | _ -> Alcotest.fail "a throwing f must not produce a result"
+  | exception Pool.Worker_failed (Failure msg) when String.equal msg "boom" ->
+      ()
+  | exception e ->
+      Alcotest.failf "expected Worker_failed (Failure boom), got %s"
+        (Printexc.to_string e));
+  (* a single poisoned item among good ones, repeated so the failing
+     item lands on different workers across iterations *)
+  for _ = 1 to 20 do
+    match
+      Pool.map ~jobs:3 (fun x -> if x = 13 then raise boom else x)
+        [ 1; 13; 2; 3; 4; 5; 6; 7 ]
+    with
+    | _ -> Alcotest.fail "poisoned batch must fail"
+    | exception Pool.Worker_failed _ -> ()
+  done;
+  (* the pool is still usable afterwards: nothing hung, nothing leaked *)
+  Alcotest.(check (list int)) "pool survives failures" [ 2; 4; 6 ]
+    (Pool.map ~jobs:3 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+(* ---------------- generator seed mixing ---------------- *)
+
+(* regression: [Prng.create (seed + index * 7919)] made distinct
+   (seed, index) pairs collide — (s + 7919, 0) and (s, 1) yielded
+   identical apps.  [Intern.combine] mixing keeps every pair's stream
+   distinct. *)
+let test_generator_seed_mixing () =
+  let fingerprint (ga : Fd_appgen.Generator.gen_app) =
+    String.concat "\n"
+      (List.map Pretty.class_to_string
+         ga.Fd_appgen.Generator.ga_apk.Fd_frontend.Apk.apk_classes)
+  in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun profile ->
+          let a =
+            Fd_appgen.Generator.generate ~profile ~seed:(seed + 7919) 0
+          in
+          let b = Fd_appgen.Generator.generate ~profile ~seed 1 in
+          Alcotest.(check bool)
+            (Printf.sprintf "apps (s+7919, 0) and (s, 1) differ at s=%d" seed)
+            false
+            (String.equal (fingerprint a) (fingerprint b)))
+        [ Fd_appgen.Generator.Play; Fd_appgen.Generator.Malware ])
+    [ 7; 100; 20140609 ]
+
 (* ---------------- --jobs determinism on the real tables ---------------- *)
 
 let test_droidbench_jobs_deterministic () =
@@ -123,15 +199,28 @@ let () =
       ( "intern",
         List.map QCheck_alcotest.to_alcotest
           [ prop_intern_id_iff_equal; prop_intern_value_roundtrip ]
-        @ [ Alcotest.test_case "pool counters and density" `Quick
-              test_intern_counters ] );
+        @ [
+            Alcotest.test_case "pool counters and density" `Quick
+              test_intern_counters;
+            Alcotest.test_case "value bound-checks unallocated ids" `Quick
+              test_intern_value_bounds;
+          ] );
       ( "hash",
         List.map QCheck_alcotest.to_alcotest
           [ prop_hash_consistent_with_equal ]
         @ [ Alcotest.test_case "deep paths hash apart" `Quick
               test_deep_hash_no_truncation ] );
       ( "pool",
-        List.map QCheck_alcotest.to_alcotest [ prop_pool_map_ordered ] );
+        List.map QCheck_alcotest.to_alcotest [ prop_pool_map_ordered ]
+        @ [
+            Alcotest.test_case "throwing f joins all domains" `Quick
+              test_pool_worker_failure;
+          ] );
+      ( "generator",
+        [
+          Alcotest.test_case "seed/index mixing is collision-free" `Quick
+            test_generator_seed_mixing;
+        ] );
       ( "jobs-determinism",
         [
           Alcotest.test_case "droidbench --jobs invariant" `Quick
