@@ -22,6 +22,18 @@ let profile =
 let seed =
   Arg.(value & opt int 20140609 & info [ "seed" ] ~doc:"Corpus seed.")
 
+let precision =
+  Arg.(
+    value & opt string "none"
+    & info [ "precision" ] ~docv:"PASSES"
+        ~env:(Cmd.Env.info "FLOWDROID_PRECISION")
+        ~doc:
+          "Opt-in precision passes for the static engine ($(b,all), \
+           $(b,none), or a comma-separated subset of $(b,must-alias), \
+           $(b,array-index), $(b,reflection), $(b,clinit)).  Verdict \
+           classification follows: a category whose pass is enabled \
+           is no longer an accepted explanation for a disagreement.")
+
 let count =
   Arg.(
     value & opt int 200
@@ -70,7 +82,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let campaign_json (c : Dc.campaign) =
+let campaign_json ~passes (c : Dc.campaign) =
   let buckets =
     String.concat ","
       (List.map
@@ -91,11 +103,19 @@ let campaign_json (c : Dc.campaign) =
              (Dc.divergences ar))
          (Dc.divergent_reports c))
   in
+  (* the "precision" field appears only when a pass is on, so the
+     default JSON stays bit-identical *)
+  let precision_field =
+    if Fd_core.Config.precision_enabled passes then
+      Printf.sprintf "\"precision\":\"%s\","
+        (json_escape (Fd_core.Config.string_of_precision passes))
+    else ""
+  in
   Printf.sprintf
-    "{\"profile\":\"%s\",\"seed\":%d,\"apps\":%d,\"keys\":%d,\
+    "{\"profile\":\"%s\",\"seed\":%d,%s\"apps\":%d,\"keys\":%d,\
      \"digest\":\"%s\",\"buckets\":{%s},\"divergences\":[%s]}"
     (Gen.string_of_profile c.Dc.cp_profile)
-    c.Dc.cp_seed
+    c.Dc.cp_seed precision_field
     (List.length c.Dc.cp_reports)
     (Dc.total_keys c) (Dc.digest c) buckets divs
 
@@ -106,7 +126,7 @@ let regenerate ~profile ~seed ~count name =
     (fun (ga : Gen.gen_app) -> ga.Gen.ga_name = name)
     (Gen.corpus ~profile ~seed count)
 
-let minimize_divergences ~profile ~seed ~count (c : Dc.campaign) =
+let minimize_divergences ~config ~profile ~seed ~count (c : Dc.campaign) =
   List.iter
     (fun (ar : Dc.app_report) ->
       match regenerate ~profile ~seed ~count ar.Dc.ar_name with
@@ -115,7 +135,7 @@ let minimize_divergences ~profile ~seed ~count (c : Dc.campaign) =
           List.iter
             (fun (v : Verdict.leak_verdict) ->
               let small =
-                Minimize.minimize ~expected:ga.Gen.ga_expected
+                Minimize.minimize ~config ~expected:ga.Gen.ga_expected
                   ~limits:ga.Gen.ga_limits ~target:v ga.Gen.ga_apk
               in
               Printf.printf
@@ -130,7 +150,7 @@ let minimize_divergences ~profile ~seed ~count (c : Dc.campaign) =
 
 (* one minimized reproducer per explained bucket label: the canonical
    on-disk witness of each documented limitation category *)
-let emit_explained_repros ~profile ~seed ~count ~dir (c : Dc.campaign) =
+let emit_explained_repros ~config ~profile ~seed ~count ~dir (c : Dc.campaign) =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun (ar : Dc.app_report) ->
@@ -144,7 +164,7 @@ let emit_explained_repros ~profile ~seed ~count ~dir (c : Dc.campaign) =
               | Some ga ->
                   Hashtbl.add seen v.Verdict.v_bucket ();
                   let small =
-                    Minimize.minimize ~expected:ga.Gen.ga_expected
+                    Minimize.minimize ~config ~expected:ga.Gen.ga_expected
                       ~limits:ga.Gen.ga_limits ~target:v ga.Gen.ga_apk
                   in
                   let label = Verdict.string_of_bucket v.Verdict.v_bucket in
@@ -174,24 +194,38 @@ let emit_explained_repros ~profile ~seed ~count ~dir (c : Dc.campaign) =
         ar.Dc.ar_verdicts)
     c.Dc.cp_reports
 
-let run which seed count jobs do_min json emit_dir =
+let run which seed precision count jobs do_min json emit_dir =
+  let module Config = Fd_core.Config in
+  match Config.precision_of_string precision with
+  | Error msg ->
+      Printf.eprintf "error: --precision: %s\n" msg;
+      exit 1
+  | Ok passes ->
+  let config = { Config.default with Config.precision = passes } in
+  let enabled = Config.precision_enabled passes in
   let profiles =
     match which with One p -> [ p ] | Both -> [ Gen.Play; Gen.Malware ]
   in
   let n_div = ref 0 in
   List.iter
     (fun profile ->
-      let c = Dc.campaign ~jobs ~profile ~seed ~n:count () in
+      let c = Dc.campaign ~config ~jobs ~profile ~seed ~n:count () in
       n_div :=
         !n_div
         + List.fold_left
             (fun a ar -> a + List.length (Dc.divergences ar))
             0 c.Dc.cp_reports;
-      if json then print_endline (campaign_json c)
-      else print_string (Dc.render c);
-      if do_min then minimize_divergences ~profile ~seed ~count c;
+      if json then print_endline (campaign_json ~passes c)
+      else begin
+        (* precision line only when a pass is on: the default table
+           stays bit-identical *)
+        if enabled then
+          Printf.printf "precision: %s\n" (Config.string_of_precision passes);
+        print_string (Dc.render c)
+      end;
+      if do_min then minimize_divergences ~config ~profile ~seed ~count c;
       Option.iter
-        (fun dir -> emit_explained_repros ~profile ~seed ~count ~dir c)
+        (fun dir -> emit_explained_repros ~config ~profile ~seed ~count ~dir c)
         emit_dir)
     profiles;
   if !n_div > 0 then begin
@@ -206,7 +240,7 @@ let cmd =
          "Differential validation: static IFDS vs dynamic interpreter \
           vs planted ground truth over generated corpora.")
     Term.(
-      const run $ profile $ seed $ count $ jobs $ minimize_flag $ json
-      $ emit_explained)
+      const run $ profile $ seed $ precision $ count $ jobs $ minimize_flag
+      $ json $ emit_explained)
 
 let () = exit (Cmd.eval cmd)

@@ -9,6 +9,13 @@
                         an on-disk app directory usable with
                         flowdroid_cli
 
+   Precision options:
+     --precision SPEC   opt-in precision passes (all, none, or a
+                        comma-separated subset of must-alias,
+                        array-index, reflection, clinit; default:
+                        $FLOWDROID_PRECISION, else none); reported in
+                        the output only when a pass is enabled
+
    Performance options:
      --jobs N           fan the per-app loop out over N domains
                         (default: $FLOWDROID_JOBS, else 1); the table
@@ -26,9 +33,9 @@
 
 let usage () =
   prerr_endline
-    "usage: droidbench_runner [--app NAME] [--stats-json FILE] [--trace-out \
-     FILE] [--dump DIR] [--jobs N] [--deadline SECS] [--outcomes] \
-     [--chaos-rate P] [--chaos-seed N]";
+    "usage: droidbench_runner [--app NAME] [--precision SPEC] [--stats-json \
+     FILE] [--trace-out FILE] [--dump DIR] [--jobs N] [--deadline SECS] \
+     [--outcomes] [--chaos-rate P] [--chaos-seed N]";
   exit 1
 
 let app_name = ref None
@@ -40,6 +47,12 @@ let show_outcomes = ref false
 let chaos_rate = ref None
 let chaos_seed = ref 20140609
 let jobs = ref (Fd_util.Pool.default_jobs ())
+
+let precision =
+  ref
+    (match Sys.getenv_opt "FLOWDROID_PRECISION" with
+    | Some s when s <> "" -> s
+    | _ -> "none")
 
 let () =
   let rec parse = function
@@ -79,12 +92,33 @@ let () =
         | Some s -> chaos_seed := s
         | None -> usage ());
         parse rest
+    | "--precision" :: v :: rest ->
+        precision := v;
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv))
 
+let precision_passes () =
+  match Fd_core.Config.precision_of_string !precision with
+  | Ok p -> p
+  | Error msg ->
+      Printf.eprintf "error: --precision: %s\n" msg;
+      exit 1
+
 let base_config () =
-  { Fd_core.Config.default with Fd_core.Config.deadline_s = !deadline }
+  {
+    Fd_core.Config.default with
+    Fd_core.Config.deadline_s = !deadline;
+    Fd_core.Config.precision = precision_passes ();
+  }
+
+(* mention precision only when a pass is on: default output unchanged *)
+let precision_note () =
+  let p = precision_passes () in
+  if Fd_core.Config.precision_enabled p then
+    Printf.sprintf ", precision: %s" (Fd_core.Config.string_of_precision p)
+  else ""
 
 let mkdir_p dir =
   let rec go d =
@@ -139,10 +173,11 @@ let run_one (app : Fd_droidbench.Bench_app.t) =
     Fd_core.Infoflow.analyze_apk ~config:(base_config ())
       app.Fd_droidbench.Bench_app.app_apk
   in
-  Printf.printf "%s: %d flow(s), %d propagations\n"
+  Printf.printf "%s: %d flow(s), %d propagations%s\n"
     app.Fd_droidbench.Bench_app.app_name
     (List.length result.Fd_core.Infoflow.r_findings)
-    result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_propagations;
+    result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_propagations
+    (precision_note ());
   let o = result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_outcome in
   if not (Fd_resilience.Outcome.is_complete o) then
     Printf.printf "outcome: %s\n" (Fd_resilience.Outcome.to_string o)
@@ -235,6 +270,11 @@ let () =
           Fd_eval.Engines.flowdroid ~config:(base_config ()) () ]
       in
       let t = Fd_eval.Droidbench_table.run ~jobs:!jobs engines in
+      (match precision_note () with
+      | "" -> ()
+      | note ->
+          Printf.printf "FlowDroid configuration%s\n"
+            note);
       print_string (Fd_eval.Droidbench_table.render t);
       if !show_outcomes then begin
         print_newline ();

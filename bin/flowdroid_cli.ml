@@ -42,6 +42,30 @@ let rta =
     value & flag
     & info [ "rta" ] ~doc:"Use RTA instead of CHA for call-graph construction.")
 
+let precision =
+  Arg.(
+    value & opt string "none"
+    & info [ "precision" ] ~docv:"PASSES"
+        ~env:(Cmd.Env.info "FLOWDROID_PRECISION")
+        ~doc:
+          "Opt-in precision passes: $(b,all), $(b,none), or a \
+           comma-separated subset of $(b,must-alias) (strong updates \
+           through must-aliased bases), $(b,array-index) \
+           (constant-index array cells), $(b,reflection) \
+           (constant-string reflective call edges) and $(b,clinit) \
+           (first-use-site class-initialiser placement).  All passes \
+           default to off; the default output is unchanged.")
+
+let lint_flag =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Lint the app's µJimple sources (use-before-def locals, \
+           duplicate/undefined branch labels, call-arity mismatches) \
+           and exit without analysing: status 0 when clean, 1 when \
+           issues are found.")
+
 let sources_file =
   Arg.(
     value & opt (some file) None
@@ -118,10 +142,76 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* [--lint]: per-file token-level label checks, then IR-level checks
+   over whatever parses (parse failures are reported and skipped so
+   one broken unit does not hide the others' issues) *)
+let run_lint dir =
+  let rec jimple_files d =
+    Sys.readdir d |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun f ->
+           let p = Filename.concat d f in
+           if Sys.is_directory p then jimple_files p
+           else if Filename.check_suffix f ".jimple" then [ p ]
+           else [])
+  in
+  let issues = ref 0 in
+  let report i =
+    incr issues;
+    print_endline (Fd_ir.Lint.string_of_issue i)
+  in
+  let classes =
+    List.concat_map
+      (fun path ->
+        let src = read_file path in
+        List.iter report (Fd_ir.Lint.lint_source ~file:path src);
+        match Fd_ir.Parser.parse_string src with
+        | cs -> List.map (fun c -> (path, c)) cs
+        | exception Fd_ir.Parser.Parse_error (line, msg) ->
+            incr issues;
+            Printf.printf "%s:%d: parse-error: %s\n" path line msg;
+            []
+        | exception Fd_ir.Lexer.Lex_error (line, msg) ->
+            incr issues;
+            Printf.printf "%s:%d: lex-error: %s\n" path line msg;
+            [])
+      (jimple_files dir)
+  in
+  let by_class =
+    List.map (fun (p, (c : Fd_ir.Jclass.t)) -> (c.Fd_ir.Jclass.c_name, p)) classes
+  in
+  List.iter
+    (fun (i : Fd_ir.Lint.issue) ->
+      (* resolve Class.method back to its file when we can *)
+      let cls =
+        match String.rindex_opt i.Fd_ir.Lint.li_where '.' with
+        | Some j -> String.sub i.Fd_ir.Lint.li_where 0 j
+        | None -> i.Fd_ir.Lint.li_where
+      in
+      match List.assoc_opt cls by_class with
+      | Some f -> report { i with Fd_ir.Lint.li_where = f ^ ": " ^ i.Fd_ir.Lint.li_where }
+      | None -> report i)
+    (Fd_ir.Lint.lint_classes (List.map snd classes));
+  if !issues = 0 then begin
+    Printf.printf "lint: clean (%d class(es))\n" (List.length classes);
+    0
+  end
+  else begin
+    Printf.printf "lint: %d issue(s)\n" !issues;
+    1
+  end
+
 let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
-    sources wrappers show_paths dump_dm xml_out stats_json_out trace_out =
+    precision lint sources wrappers show_paths dump_dm xml_out stats_json_out
+    trace_out =
   Fd_obs.Metrics.reset ();
   Fd_obs.Trace.reset ();
+  if lint then run_lint dir
+  else
+  match Config.precision_of_string precision with
+  | Error msg ->
+      Printf.eprintf "error: --precision: %s\n" msg;
+      1
+  | Ok precision ->
   let config =
     {
       Config.default with
@@ -133,6 +223,7 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
       Config.activation_statements = not no_act;
       Config.cg_algorithm =
         (if rta then Fd_callgraph.Callgraph.Rta else Fd_callgraph.Callgraph.Cha);
+      Config.precision;
     }
   in
   let mode = if lenient then `Lenient else `Strict in
@@ -183,10 +274,20 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
               Printf.eprintf "warning: %s\n" (Fd_resilience.Diag.to_string d))
             result.Fd_core.Infoflow.r_diags;
           let findings = result.Fd_core.Infoflow.r_findings in
-          Printf.printf "%d flow(s) found in %s (%.3f s, %d reachable methods)\n"
+          (* only mention precision when a pass is on: the default
+             output stays bit-identical *)
+          let precision_note =
+            if Config.precision_enabled precision then
+              Printf.sprintf ", precision: %s"
+                (Config.string_of_precision precision)
+            else ""
+          in
+          Printf.printf
+            "%d flow(s) found in %s (%.3f s, %d reachable methods%s)\n"
             (List.length findings) dir
             result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_time
-            result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_reachable;
+            result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_reachable
+            precision_note;
           List.iteri
             (fun i (fd : Fd_core.Bidi.finding) ->
               Printf.printf "%2d. [%s] %s\n      -> sink at %s\n" (i + 1)
@@ -285,7 +386,7 @@ let cmd =
     Term.(
       const analyze $ app_dir $ k_len $ deadline $ lenient $ fallback
       $ no_lifecycle $ no_callbacks $ no_alias $ no_activation $ rta
-      $ sources_file $ wrappers_file $ show_paths $ dump_dummy_main $ xml_out
-      $ stats_json_out $ trace_out)
+      $ precision $ lint_flag $ sources_file $ wrappers_file $ show_paths
+      $ dump_dummy_main $ xml_out $ stats_json_out $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

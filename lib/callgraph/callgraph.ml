@@ -40,6 +40,14 @@ type t = {
   cg_in : (Mkey.t, (Mkey.t * int) list) Hashtbl.t;
   cg_reachable : unit Mkey.Tbl.t;
   cg_bodies : Body.t Mkey.Tbl.t;
+  (* precision-pass edge tables, kept apart from [cg_out] so the
+     default library model of unresolved calls (and every flags-off
+     code path) is untouched.  Empty unless the corresponding pass is
+     enabled at build time. *)
+  cg_clinit : (Mkey.t * int, Mkey.t list) Hashtbl.t;
+      (* first-use static-access site -> <clinit> methods it triggers *)
+  cg_refl : (Mkey.t * int, Mkey.t list) Hashtbl.t;
+      (* Method.invoke site -> constant-string-resolved targets *)
 }
 
 let find_body scene (k : Mkey.t) =
@@ -90,10 +98,60 @@ let resolve_invoke scene algorithm ~instantiated (inv : Stmt.invoke) =
                    in
                    if reaches then Some (Mkey.of_method decl m) else None)
 
-(** [build scene ~entry ?algorithm ()] computes the call graph
-    reachable from [entry].  For {!Rta} the instantiated-class set and
-    the reachable set are iterated to a joint fixed point. *)
-let build scene ~entry ?(algorithm = Cha) () =
+(* the <clinit> key of a class, when it has one with a body *)
+let clinit_key scene cls =
+  let k = { Mkey.mk_class = cls; mk_name = "<clinit>"; mk_arity = 0 } in
+  match find_body scene k with Some _ -> Some k | None -> None
+
+(* the classes whose static members one statement touches: an
+   allocation, a static field access, or a static invoke — the JVM's
+   <clinit> trigger events (JLS 12.4.1) *)
+let static_use_classes (s : Stmt.t) : string list =
+  let of_lv = function Stmt.Lstatic f -> [ f.Types.f_class ] | _ -> [] in
+  let of_expr = function
+    | Stmt.Enew c -> [ c ]
+    | Stmt.Estatic f -> [ f.Types.f_class ]
+    | _ -> []
+  in
+  let of_inv = function
+    | Some ({ Stmt.i_kind = Stmt.Static; _ } as inv) ->
+        [ inv.Stmt.i_sig.Types.m_class ]
+    | _ -> []
+  in
+  match s.Stmt.s_kind with
+  | Stmt.Assign (lv, e) ->
+      of_lv lv @ of_expr e @ of_inv (Stmt.invoke_of s)
+  | _ -> of_inv (Stmt.invoke_of s)
+
+(* resolve one reflective Method.invoke site against the scene using
+   the intraprocedural constant propagation: the receiver must be a
+   Method handle with a known (class, name), and the target's arity is
+   the argument count minus the leading this-argument — mirroring the
+   interpreter's concrete [invoke] model *)
+let resolve_reflective scene cp (s : Stmt.t) (inv : Stmt.invoke) :
+    Mkey.t list =
+  match inv.Stmt.i_recv with
+  | None -> []
+  | Some r -> (
+      match Fd_precision.Const_prop.value_at cp ~at:s.Stmt.s_idx r with
+      | Some (Fd_precision.Const_prop.Vmethod (cls, name)) -> (
+          let arity = max 0 (List.length inv.Stmt.i_args - 1) in
+          let params = List.init arity (fun _ -> Types.Ref Types.object_class) in
+          match Scene.resolve_concrete scene cls (name, params) with
+          | Some (decl, m) when Jclass.has_body m -> [ Mkey.of_method decl m ]
+          | _ -> [])
+      | _ -> [])
+
+(** [build scene ~entry ?algorithm ?clinit_first_use ?reflection ()]
+    computes the call graph reachable from [entry].  For {!Rta} the
+    instantiated-class set and the reachable set are iterated to a
+    joint fixed point.  [clinit_first_use] and [reflection] enable the
+    precision-pass edge tables ({!clinit_callees}, {!refl_callees}):
+    first-use-site [<clinit>] edges and constant-string-resolved
+    reflective call edges; both default to off and leave [cg_out]
+    untouched. *)
+let build scene ~entry ?(algorithm = Cha) ?(clinit_first_use = false)
+    ?(reflection = false) () =
   Fd_obs.Trace.with_span "callgraph.build" @@ fun () ->
   let cg =
     {
@@ -104,7 +162,20 @@ let build scene ~entry ?(algorithm = Cha) () =
       cg_in = Hashtbl.create 256;
       cg_reachable = Mkey.Tbl.create 256;
       cg_bodies = Mkey.Tbl.create 256;
+      cg_clinit = Hashtbl.create (if clinit_first_use then 64 else 1);
+      cg_refl = Hashtbl.create (if reflection then 64 else 1);
     }
+  in
+  (* constant-propagation results per method, shared across fixpoint
+     iterations (bodies are immutable) *)
+  let cp_cache : Fd_precision.Const_prop.t Mkey.Tbl.t = Mkey.Tbl.create 16 in
+  let const_prop_of k body =
+    match Mkey.Tbl.find_opt cp_cache k with
+    | Some cp -> cp
+    | None ->
+        let cp = Fd_precision.Const_prop.analyze body in
+        Mkey.Tbl.replace cp_cache k cp;
+        cp
   in
   let instantiated : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   (* entry-point receivers count as instantiated for RTA *)
@@ -120,12 +191,18 @@ let build scene ~entry ?(algorithm = Cha) () =
     Mkey.Tbl.reset cg.cg_reachable;
     Hashtbl.reset cg.cg_out;
     Hashtbl.reset cg.cg_in;
+    Hashtbl.reset cg.cg_clinit;
+    Hashtbl.reset cg.cg_refl;
     let worklist = Queue.create () in
     let reach k =
       if not (Mkey.Tbl.mem cg.cg_reachable k) then begin
         Mkey.Tbl.replace cg.cg_reachable k ();
         Queue.add k worklist
       end
+    in
+    let add_in tgt site =
+      let prev = Option.value (Hashtbl.find_opt cg.cg_in tgt) ~default:[] in
+      Hashtbl.replace cg.cg_in tgt (site :: prev)
     in
     List.iter reach entry;
     while not (Queue.is_empty worklist) do
@@ -140,6 +217,9 @@ let build scene ~entry ?(algorithm = Cha) () =
       with
       | None -> ()
       | Some body ->
+          (* classes whose <clinit> edge this method already owns: the
+             pass places the edge at the *first* use per class *)
+          let clinit_seen = Hashtbl.create 4 in
           Body.iter body (fun s ->
               (* record allocations for RTA *)
               (match s.Stmt.s_kind with
@@ -149,6 +229,31 @@ let build scene ~entry ?(algorithm = Cha) () =
                     changed := true
                   end
               | _ -> ());
+              if clinit_first_use then begin
+                let triggered =
+                  List.filter_map
+                    (fun c ->
+                      (* a method of C never re-triggers C's own
+                         initialiser (it is already running or done) *)
+                      if
+                        String.equal c k.Mkey.mk_class
+                        || Hashtbl.mem clinit_seen c
+                      then None
+                      else begin
+                        Hashtbl.replace clinit_seen c ();
+                        clinit_key scene c
+                      end)
+                    (static_use_classes s)
+                in
+                if triggered <> [] then begin
+                  Hashtbl.replace cg.cg_clinit (k, s.Stmt.s_idx) triggered;
+                  List.iter
+                    (fun tgt ->
+                      add_in tgt (k, s.Stmt.s_idx);
+                      reach tgt)
+                    triggered
+                end
+              end;
               match Stmt.invoke_of s with
               | None -> ()
               | Some inv ->
@@ -160,12 +265,26 @@ let build scene ~entry ?(algorithm = Cha) () =
                     Hashtbl.replace cg.cg_out (k, s.Stmt.s_idx) targets;
                     List.iter
                       (fun tgt ->
-                        let prev =
-                          Option.value (Hashtbl.find_opt cg.cg_in tgt) ~default:[]
-                        in
-                        Hashtbl.replace cg.cg_in tgt ((k, s.Stmt.s_idx) :: prev);
+                        add_in tgt (k, s.Stmt.s_idx);
                         reach tgt)
                       targets
+                  end;
+                  if
+                    reflection
+                    && inv.Stmt.i_sig.Types.m_class = "java.lang.reflect.Method"
+                    && inv.Stmt.i_sig.Types.m_name = "invoke"
+                  then begin
+                    let rtargets =
+                      resolve_reflective scene (const_prop_of k body) s inv
+                    in
+                    if rtargets <> [] then begin
+                      Hashtbl.replace cg.cg_refl (k, s.Stmt.s_idx) rtargets;
+                      List.iter
+                        (fun tgt ->
+                          add_in tgt (k, s.Stmt.s_idx);
+                          reach tgt)
+                        rtargets
+                    end
                   end)
     done;
     (* CHA converges in one pass *)
@@ -181,6 +300,34 @@ let build scene ~entry ?(algorithm = Cha) () =
     site, empty when the call resolves only into the framework. *)
 let callees cg caller stmt_idx =
   Option.value (Hashtbl.find_opt cg.cg_out (caller, stmt_idx)) ~default:[]
+
+(** [clinit_callees cg caller stmt_idx] — the [<clinit>] methods the
+    statement triggers under first-use placement; empty unless the
+    graph was built with [~clinit_first_use:true]. *)
+let clinit_callees cg caller stmt_idx =
+  Option.value (Hashtbl.find_opt cg.cg_clinit (caller, stmt_idx)) ~default:[]
+
+(** [refl_callees cg caller stmt_idx] — constant-string-resolved
+    reflective targets of a [Method.invoke] site; empty unless the
+    graph was built with [~reflection:true]. *)
+let refl_callees cg caller stmt_idx =
+  Option.value (Hashtbl.find_opt cg.cg_refl (caller, stmt_idx)) ~default:[]
+
+(** [clinit_sites cg callee] — every (caller, stmt) site whose
+    first-use edge triggers [callee] (a [<clinit>] method). *)
+let clinit_sites cg callee =
+  Hashtbl.fold
+    (fun site tgts acc ->
+      if List.exists (Mkey.equal callee) tgts then site :: acc else acc)
+    cg.cg_clinit []
+
+(** [refl_sites cg callee] — every reflective call site resolving to
+    [callee]. *)
+let refl_sites cg callee =
+  Hashtbl.fold
+    (fun site tgts acc ->
+      if List.exists (Mkey.equal callee) tgts then site :: acc else acc)
+    cg.cg_refl []
 
 (** [callers cg callee] is the call sites that may invoke [callee]. *)
 let callers cg callee =

@@ -14,13 +14,38 @@ type call_edge = { ce_caller : Mkey.t; ce_stmt : int; ce_target : Mkey.t }
 type t
 
 val build :
-  Scene.t -> entry:Mkey.t list -> ?algorithm:algorithm -> unit -> t
+  Scene.t ->
+  entry:Mkey.t list ->
+  ?algorithm:algorithm ->
+  ?clinit_first_use:bool ->
+  ?reflection:bool ->
+  unit ->
+  t
 (** [build scene ~entry ()] computes the call graph reachable from
-    [entry] (default {!Cha}). *)
+    [entry] (default {!Cha}).  [clinit_first_use] adds first-use-site
+    [<clinit>] edges and [reflection] adds constant-string-resolved
+    reflective call edges (both precision passes, default off); the
+    extra edges live in separate tables so {!callees} — and every
+    flags-off consumer — is unaffected. *)
 
 val callees : t -> Mkey.t -> int -> Mkey.t list
 (** [callees cg caller stmt_idx] — resolved targets of one call site;
     empty when the call resolves only into the framework. *)
+
+val clinit_callees : t -> Mkey.t -> int -> Mkey.t list
+(** the [<clinit>] methods a statement triggers under first-use
+    placement; empty unless built with [~clinit_first_use:true] *)
+
+val refl_callees : t -> Mkey.t -> int -> Mkey.t list
+(** constant-string-resolved targets of a [Method.invoke] site; empty
+    unless built with [~reflection:true] *)
+
+val clinit_sites : t -> Mkey.t -> (Mkey.t * int) list
+(** every (caller, stmt) first-use site triggering the given
+    [<clinit>] method *)
+
+val refl_sites : t -> Mkey.t -> (Mkey.t * int) list
+(** every reflective call site resolving to the given method *)
 
 val callers : t -> Mkey.t -> (Mkey.t * int) list
 (** the call sites that may invoke a method *)

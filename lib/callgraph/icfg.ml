@@ -90,6 +90,27 @@ let callers g m =
     (fun (caller, idx) -> { n_method = caller; n_idx = idx })
     (Callgraph.callers g.cg m)
 
+(** [clinit_callees g n] — the [<clinit>] methods node [n] triggers
+    under the first-use precision pass (empty when the pass is off). *)
+let clinit_callees g n = Callgraph.clinit_callees g.cg n.n_method n.n_idx
+
+(** [refl_callees g n] — constant-string-resolved reflective targets
+    of an invoke node (empty when the pass is off). *)
+let refl_callees g n = Callgraph.refl_callees g.cg n.n_method n.n_idx
+
+(** [clinit_sites g m] — every node whose first-use edge triggers the
+    [<clinit>] method [m]. *)
+let clinit_sites g m =
+  List.map
+    (fun (caller, idx) -> { n_method = caller; n_idx = idx })
+    (Callgraph.clinit_sites g.cg m)
+
+(** [refl_sites g m] — every reflective call node resolving to [m]. *)
+let refl_sites g m =
+  List.map
+    (fun (caller, idx) -> { n_method = caller; n_idx = idx })
+    (Callgraph.refl_sites g.cg m)
+
 (** [is_call g n] holds when node [n] contains an invoke. *)
 let is_call g n = Stmt.is_call (stmt g n)
 

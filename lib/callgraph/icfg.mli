@@ -54,6 +54,20 @@ val callees : t -> node -> Mkey.t list
 val callers : t -> Mkey.t -> node list
 (** the call nodes that may invoke a method *)
 
+val clinit_callees : t -> node -> Mkey.t list
+(** the [<clinit>] methods a node triggers under first-use placement;
+    empty when the precision pass is off *)
+
+val refl_callees : t -> node -> Mkey.t list
+(** constant-string-resolved reflective targets of an invoke node;
+    empty when the precision pass is off *)
+
+val clinit_sites : t -> Mkey.t -> node list
+(** every node whose first-use edge triggers the given [<clinit>] *)
+
+val refl_sites : t -> Mkey.t -> node list
+(** every reflective call node resolving to the given method *)
+
 val is_call : t -> node -> bool
 val invoke : t -> node -> Stmt.invoke option
 val is_exit : t -> node -> bool

@@ -134,3 +134,26 @@ let rebase ~k ~from ~to_ t =
     let suffix = drop (List.length from.fields) t.fields in
     Some (truncate ~k { base = to_.base; fields = to_.fields @ suffix })
   end
+
+(* ------------------------------------------------------------------ *)
+(* constant-index array cells (precision pass, Config.array_index)     *)
+(* ------------------------------------------------------------------ *)
+
+(* the reserved declaring-class marker of index pseudo-fields; no real
+   µJimple field can carry it (class names never start with '<') *)
+let index_class = "<array>"
+
+(** [index_field i] is the pseudo-field [<idx:i>] denoting the [i]-th
+    cell of an array; access paths treat it like any other field, so
+    k-limiting and prefix matching apply unchanged.  (Pure constructor
+    — field_sig equality is structural, so no memoisation is needed
+    and the function stays domain-safe.) *)
+let index_field i =
+  {
+    Types.f_class = index_class;
+    f_name = Printf.sprintf "<idx:%d>" i;
+    f_type = Types.Ref Types.object_class;
+  }
+
+(** [is_index_field f] recognises {!index_field} pseudo-fields. *)
+let is_index_field (f : Types.field_sig) = String.equal f.Types.f_class index_class

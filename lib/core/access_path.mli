@@ -73,3 +73,12 @@ val rebase : k:int -> from:t -> to_:t -> t -> t option
     [from] with [to_], truncating to [k] — the core operation of every
     assignment flow function.  [None] when [from] is not a prefix of
     [t]. *)
+
+val index_field : int -> Types.field_sig
+(** [index_field i] — the [<idx:i>] pseudo-field denoting the [i]-th
+    cell of an array under the constant-index precision pass; treated
+    like any other field by k-limiting and prefix matching. *)
+
+val is_index_field : Types.field_sig -> bool
+(** recognises {!index_field} pseudo-fields (reserved declaring class
+    ["<array>"]) *)

@@ -206,6 +206,9 @@ type t = {
   results_list : Taint.t list ref Int_tbl.t;
   results_seen : unit I2_tbl.t;  (** (node id, fact id) *)
   budget : Fd_resilience.Budget.t;
+  (* per-method must-alias results, computed lazily when the
+     strong-update precision pass is on *)
+  ma_cache : Fd_precision.Must_alias.t Mkey.Tbl.t;
 }
 
 let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
@@ -239,9 +242,11 @@ let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
     results_list = Int_tbl.create 256;
     results_seen = I2_tbl.create 256;
     budget;
+    ma_cache = Mkey.Tbl.create 16;
   }
 
 let k t = t.cfg.Config.max_access_path
+let prec t = t.cfg.Config.precision
 
 (* ---------------- program-view resolution ---------------- *)
 
@@ -533,22 +538,32 @@ let maybe_activate t n (taint : Taint.t) =
 
 (* ---------------- access-path helpers ---------------- *)
 
-let ap_of_lvalue lv : AP.t =
+(* [arr] gates the constant-index precision pass (Config.array_index):
+   when on, [a[c]] with a compile-time-constant index denotes the
+   pseudo-field cell [a.<idx:c>]; every other index keeps the
+   whole-array abstraction *)
+
+let array_cell ~arr x i : AP.t =
+  match i with
+  | Stmt.Iconst (Stmt.CInt c) when arr -> AP.of_field x (AP.index_field c)
+  | _ -> AP.of_local x (* whole-array abstraction *)
+
+let ap_of_lvalue ~arr lv : AP.t =
   match lv with
   | Stmt.Llocal x -> AP.of_local x
   | Stmt.Lfield (x, f) -> AP.of_field x f
   | Stmt.Lstatic f -> AP.of_static f
-  | Stmt.Larray (x, _) -> AP.of_local x (* whole-array abstraction *)
+  | Stmt.Larray (x, i) -> array_cell ~arr x i
 
 (* access paths readable from an expression, for taint matching: a
    taint whose path extends one of these flows into the assignment *)
-let aps_of_expr (e : Stmt.expr) : AP.t list =
+let aps_of_expr ~arr (e : Stmt.expr) : AP.t list =
   match e with
   | Stmt.Eimm (Stmt.Iloc y) -> [ AP.of_local y ]
   | Stmt.Eimm (Stmt.Iconst _) -> []
   | Stmt.Efield (y, f) -> [ AP.of_field y f ]
   | Stmt.Estatic f -> [ AP.of_static f ]
-  | Stmt.Earray (y, _) -> [ AP.of_local y ]
+  | Stmt.Earray (y, i) -> [ array_cell ~arr y i ]
   | Stmt.Ebinop (_, a, b) ->
       List.filter_map
         (function Stmt.Iloc y -> Some (AP.of_local y) | Stmt.Iconst _ -> None)
@@ -563,14 +578,27 @@ let aps_of_expr (e : Stmt.expr) : AP.t list =
 (* a single-valued alias-preserving view of the rhs, used by the
    backward analysis: only expressions that denote a heap location or
    a copy can be rewritten through *)
-let alias_ap_of_expr (e : Stmt.expr) : AP.t option =
+let alias_ap_of_expr ~arr (e : Stmt.expr) : AP.t option =
   match e with
   | Stmt.Eimm (Stmt.Iloc y) -> Some (AP.of_local y)
   | Stmt.Ecast (_, Stmt.Iloc y) -> Some (AP.of_local y)
   | Stmt.Efield (y, f) -> Some (AP.of_field y f)
   | Stmt.Estatic f -> Some (AP.of_static f)
-  | Stmt.Earray (y, _) -> Some (AP.of_local y)
+  | Stmt.Earray (y, i) -> Some (array_cell ~arr y i)
   | _ -> None
+
+(* under the array-index pass, a read through a *non-constant* index
+   may return any cell: per-cell taints collapse onto the destination
+   (drop the cell selector the rebase carried over) rather than keep a
+   spurious [<idx:c>] selector on a non-array value *)
+let widen_cell_suffix ~lap (ap : AP.t) : AP.t =
+  let nl = List.length lap.AP.fields in
+  let rec go i = function
+    | [] -> []
+    | f :: rest when i = nl && AP.is_index_field f -> rest
+    | f :: rest -> f :: go (i + 1) rest
+  in
+  { ap with AP.fields = go 0 ap.AP.fields }
 
 (* ---------------- backward spawning (Algorithm 1, line 16) -------- *)
 
@@ -599,10 +627,23 @@ let spawn_alias_search t cx (ni : ninfo) (origin : Taint.t) ap =
 
 (* taints generated across an assignment for an incoming taint *)
 let assign_gen t n lv e (taint : Taint.t) =
-  let lap = ap_of_lvalue lv in
+  let arr = (prec t).Config.array_index in
+  let lap = ap_of_lvalue ~arr lv in
+  (* non-constant array read under the array-index pass: the result
+     may be any cell, so per-cell taints widen to the whole value *)
+  let nonconst_read =
+    arr
+    &&
+    match e with
+    | Stmt.Earray (_, Stmt.Iconst (Stmt.CInt _)) -> false
+    | Stmt.Earray _ -> true
+    | _ -> false
+  in
   let gen_from src_ap =
     match AP.rebase ~k:(k t) ~from:src_ap ~to_:lap taint.Taint.ap with
-    | Some ap -> [ Taint.derive taint ~ap ~at:n ]
+    | Some ap ->
+        let ap = if nonconst_read then widen_cell_suffix ~lap ap else ap in
+        [ Taint.derive taint ~ap ~at:n ]
     | None -> (
         (* a tainted value reachable *below* the read path also flows:
            reading x.f when x is tainted yields a tainted value *)
@@ -617,7 +658,7 @@ let assign_gen t n lv e (taint : Taint.t) =
               [ Taint.derive taint ~ap:lap ~at:n ]
             else [])
   in
-  List.concat_map gen_from (aps_of_expr e)
+  List.concat_map gen_from (aps_of_expr ~arr e)
 
 (* parameter-source taints generated at [ni] under the zero fact
    (callback parameter sources such as onLocationChanged); the result
@@ -652,6 +693,22 @@ let zero_gen t (ni : ninfo) =
       ni.ni_zero_gen <- Some g;
       g
 
+(* must-alias query for the strong-update pass, lazily computing and
+   caching the per-method partition dataflow *)
+let must_alias_at t (ni : ninfo) b x =
+  match ni.ni_minfo.mi_body with
+  | None -> false
+  | Some body ->
+      let ma =
+        match Mkey.Tbl.find_opt t.ma_cache ni.ni_minfo.mi_key with
+        | Some ma -> ma
+        | None ->
+            let ma = Fd_precision.Must_alias.analyze body in
+            Mkey.Tbl.replace t.ma_cache ni.ni_minfo.mi_key ma;
+            ma
+      in
+      Fd_precision.Must_alias.must_alias ma ~at:ni.ni_node.Icfg.n_idx b x
+
 (* forward flow across a non-call statement; returns outgoing facts
    and performs alias-search side effects *)
 let normal_flow t cx (ni : ninfo) (fact : Taint.fact) : Taint.fact list =
@@ -666,14 +723,23 @@ let normal_flow t cx (ni : ninfo) (fact : Taint.fact) : Taint.fact list =
       match stmt.Stmt.s_kind with
       | Stmt.Assign (lv, e) ->
           let killed =
-            (* strong update on locals only: x = ... kills taints
-               rooted at x (heap locations are never strongly
-               updated) *)
+            (* strong update on locals: x = ... kills taints rooted at
+               x.  Heap locations are only strongly updated under the
+               must-alias precision pass: a write x.f := e kills b.f...
+               when b provably holds the same reference as x on every
+               path reaching the write. *)
             match lv with
             | Stmt.Llocal x -> (
                 match taint.Taint.ap.AP.base with
                 | AP.Bloc b -> Stmt.equal_local b x
                 | AP.Bstatic _ -> false)
+            | Stmt.Lfield (x, f) when (prec t).Config.must_alias -> (
+                match
+                  (taint.Taint.ap.AP.base, taint.Taint.ap.AP.fields)
+                with
+                | AP.Bloc b, f0 :: _ ->
+                    Types.equal_field_sig f0 f && must_alias_at t ni b x
+                | _ -> false)
             | _ -> false
           in
           let gens = assign_gen t n lv e taint in
@@ -990,45 +1056,83 @@ let callinfo_of t (ni : ninfo) (inv : Stmt.invoke) =
       ni.ni_call <- Some ci;
       ci
 
+(* rewrite [m.invoke(thisArg, args...)] as the direct virtual call it
+   resolves to (reflection precision pass): the first reflective
+   argument becomes the receiver, the rest the actuals, so the
+   standard [call_flow]/[return_flow] parameter mapping lines up *)
+let transform_reflective (inv : Stmt.invoke) : Stmt.invoke option =
+  match inv.Stmt.i_args with
+  | this_arg :: rest ->
+      let recv =
+        match this_arg with Stmt.Iloc l -> Some l | Stmt.Iconst _ -> None
+      in
+      Some { inv with Stmt.i_kind = Stmt.Virtual; i_recv = recv; i_args = rest }
+  | [] -> None
+
+(* the transformed invoke to map callee exit facts through: reflective
+   edges return through the rewritten call, everything else through
+   the syntactic one *)
+let return_invoke t (c : ninfo) (callee_key : Mkey.t) (inv : Stmt.invoke) :
+    Stmt.invoke =
+  if
+    (prec t).Config.reflection
+    && List.exists (Mkey.equal callee_key)
+         (Icfg.refl_callees t.icfg c.ni_node)
+  then match transform_reflective inv with Some ri -> ri | None -> inv
+  else inv
+
 let process_call_fw t cx (ni : ninfo) (fact : Taint.fact) inv =
   let ci = callinfo_of t ni inv in
   check_sink t ni ci inv fact;
   let callee_list = callees t ni in
   let node_succs = succs t ni in
   (* descend into analysable callees unless a wrapper shortcut is
-     defined (wrappers are exclusive, Section 5) *)
-  if callee_list <> [] && ci.ci_wrapper = None then
-    List.iter
-      (fun (callee : minfo) ->
-        let entry_facts = call_flow t ni inv callee fact in
-        if entry_facts <> [] then begin
-          let s_callee = start_ni t callee in
+     defined (wrappers are exclusive, Section 5); [call_inv] is the
+     invoke to map arguments through (the transformed one for
+     reflective edges) *)
+  let descend call_inv (callee : minfo) =
+    let entry_facts = call_flow t ni call_inv callee fact in
+    if entry_facts <> [] then begin
+      let s_callee = start_ni t callee in
+      List.iter
+        (fun d3 ->
+          let cx_callee = cctx t callee d3 in
+          add_incoming t t.fw cx_callee (ni, cx);
+          propagate_fw t cx_callee s_callee d3;
           List.iter
-            (fun d3 ->
-              let cx_callee = cctx t callee d3 in
-              add_incoming t t.fw cx_callee (ni, cx);
-              propagate_fw t cx_callee s_callee d3;
+            (fun (e, d4) ->
+              M.incr m_summary_apps;
+              let rets =
+                return_flow t ~call:ni ~callee ~exit_ni:e call_inv d4
+              in
               List.iter
-                (fun (e, d4) ->
-                  M.incr m_summary_apps;
-                  let rets =
-                    return_flow t ~call:ni ~callee ~exit_ni:e inv d4
-                  in
+                (fun r ->
                   List.iter
-                    (fun r ->
-                      List.iter
-                        (fun d5 ->
-                          (match d5 with
-                          | Taint.T tt when AP.length tt.Taint.ap > 0 ->
-                              spawn_alias_search t cx ni tt tt.Taint.ap
-                          | _ -> ());
-                          propagate_fw t cx r d5)
-                        rets)
-                    node_succs)
-                (summaries_of t.fw cx_callee))
-            entry_facts
-        end)
-      callee_list;
+                    (fun d5 ->
+                      (match d5 with
+                      | Taint.T tt when AP.length tt.Taint.ap > 0 ->
+                          spawn_alias_search t cx ni tt tt.Taint.ap
+                      | _ -> ());
+                      propagate_fw t cx r d5)
+                    rets)
+                node_succs)
+            (summaries_of t.fw cx_callee))
+        entry_facts
+    end
+  in
+  if callee_list <> [] && ci.ci_wrapper = None then
+    List.iter (descend inv) callee_list;
+  (* reflective descent (precision pass): constant-string-resolved
+     [Method.invoke] targets, analysed through the transformed direct
+     invoke *)
+  (if (prec t).Config.reflection then
+     match Icfg.refl_callees t.icfg ni.ni_node with
+     | [] -> ()
+     | refl_keys -> (
+         match transform_reflective inv with
+         | None -> ()
+         | Some rinv ->
+             List.iter (fun mk -> descend rinv (minfo_of t mk)) refl_keys));
   (* call-to-return: sources, library models, pass-through *)
   M.incr m_flow_c2r;
   let derived =
@@ -1076,12 +1180,13 @@ let process_call_fw t cx (ni : ninfo) (fact : Taint.fact) inv =
     node_succs
 
 let process_exit_fw t cx (ni : ninfo) (fact : Taint.fact) =
-  if add_summary t t.fw cx (ni, fact) then
+  if add_summary t t.fw cx (ni, fact) then begin
     List.iter
       (fun ((c : ninfo), caller_cx) ->
         match c.ni_invoke with
         | None -> ()
         | Some inv ->
+            let inv = return_invoke t c cx.cc_proc.mi_key inv in
             let rets =
               return_flow t ~call:c ~callee:cx.cc_proc ~exit_ni:ni inv fact
             in
@@ -1096,9 +1201,55 @@ let process_exit_fw t cx (ni : ninfo) (fact : Taint.fact) =
                     propagate_fw t caller_cx r d5)
                   rets)
               (succs t c))
-      (incoming_of t.fw cx)
+      (incoming_of t.fw cx);
+    (* <clinit> exits reached through first-use edges (precision pass)
+       have no syntactic call site: relay static-rooted facts,
+       context-insensitively, to the successors of every first-use
+       site (a class initializer runs at most once, before any of
+       them) *)
+    if
+      (prec t).Config.clinit
+      && String.equal ni.ni_node.Icfg.n_method.Mkey.mk_name "<clinit>"
+    then
+      match fact with
+      | Taint.T taint when AP.is_static taint.Taint.ap ->
+          List.iter
+            (fun site ->
+              let sni = ninfo_of t site in
+              let site_cx = cctx t sni.ni_minfo Taint.Zero in
+              List.iter
+                (fun s -> propagate_fw t site_cx s fact)
+                (succs t sni))
+            (Icfg.clinit_sites t.icfg ni.ni_node.Icfg.n_method)
+      | _ -> ()
+  end
+
+(* first-use <clinit> placement (precision pass): seed the class
+   initializer at its trigger site.  The edge is context-insensitive —
+   <clinit> runs at most once per class — so the zero fact and
+   static-rooted taints enter under the callee's own context; exits
+   are handled by {!process_exit_fw} above. *)
+let process_clinit_fw t (ni : ninfo) (fact : Taint.fact) =
+  match Icfg.clinit_callees t.icfg ni.ni_node with
+  | [] -> ()
+  | keys ->
+      let entry =
+        match fact with
+        | Taint.Zero -> Some fact
+        | Taint.T taint ->
+            if AP.is_static taint.Taint.ap then Some fact else None
+      in
+      List.iter
+        (fun mk ->
+          let callee = minfo_of t mk in
+          match (callee.mi_body, entry) with
+          | Some _, Some d ->
+              propagate_fw t (cctx t callee d) (start_ni t callee) d
+          | _ -> ())
+        keys
 
 let process_fw t cx (ni : ninfo) fact =
+  if (prec t).Config.clinit then process_clinit_fw t ni fact;
   if ni.ni_is_exit then begin
     (* sinks can also sit on an exit-adjacent call; exits themselves
        carry no invoke in µJimple *)
@@ -1165,10 +1316,11 @@ let backward_step t cx (mni : ninfo) (taint : Taint.t) =
   M.incr m_bw_steps;
   let m = mni.ni_node in
   let stmt = mni.ni_stmt in
+  let arr = (prec t).Config.array_index in
   let continue_with tt = propagate_bw t cx mni (Taint.T tt) in
   match stmt.Stmt.s_kind with
   | Stmt.Assign (lv, e) -> (
-      let lap = ap_of_lvalue lv in
+      let lap = ap_of_lvalue ~arr lv in
       let strong_def =
         (* only a whole-local definition removes the path upstream *)
         match lv with Stmt.Llocal _ -> true | _ -> false
@@ -1207,7 +1359,7 @@ let backward_step t cx (mni : ninfo) (taint : Taint.t) =
             (* freshly allocated: nothing aliases it upstream *)
             ()
         | _ -> (
-            match alias_ap_of_expr e with
+            match alias_ap_of_expr ~arr e with
             | Some rap -> (
                 match
                   AP.rebase ~k:(k t) ~from:lap ~to_:rap taint.Taint.ap
@@ -1234,7 +1386,7 @@ let backward_step t cx (mni : ninfo) (taint : Taint.t) =
            itself searched backward so chains of heap assignments
            (o.a = c1; c1.a = c2; ...) compose. *)
         ignore strong_def;
-        (match alias_ap_of_expr e with
+        (match alias_ap_of_expr ~arr e with
         | Some rap -> (
             match AP.rebase ~k:(k t) ~from:rap ~to_:lap taint.Taint.ap with
             | Some ap ->

@@ -2,6 +2,75 @@
     switches the benchmark harness sweeps (DESIGN.md experiments
     A1–A3, F3, L3). *)
 
+(** The opt-in precision pass suite (DESIGN.md, precision passes).
+    Every field defaults to [false]; all-flags-off output is
+    bit-identical to the faithful Table 1 reproduction. *)
+type precision = {
+  must_alias : bool;
+      (** flow-sensitive must-alias analysis enabling strong updates:
+          a field write through a must-aliased base kills the old
+          taint (Button2-class FPs) *)
+  array_index : bool;
+      (** constant-index array cells as access-path pseudo-fields,
+          widening to the whole-array summary on non-constant indices
+          (ArrayAccess1/ListAccess1-class FPs) *)
+  reflection : bool;
+      (** constant-string reflection resolution:
+          [Class.forName]/[getMethod]/[invoke] chains with
+          string-constant arguments get real call edges *)
+  clinit : bool;
+      (** first-use-site [<clinit>] placement instead of
+          program-start modelling (StaticInitialization1-class FNs) *)
+}
+
+let no_precision =
+  { must_alias = false; array_index = false; reflection = false; clinit = false }
+
+let all_precision =
+  { must_alias = true; array_index = true; reflection = true; clinit = true }
+
+let precision_enabled p = p <> no_precision
+
+let string_of_precision p =
+  if p = no_precision then "none"
+  else if p = all_precision then "all"
+  else
+    String.concat ","
+      (List.filter_map
+         (fun (on, name) -> if on then Some name else None)
+         [
+           (p.must_alias, "must-alias");
+           (p.array_index, "array-index");
+           (p.reflection, "reflection");
+           (p.clinit, "clinit");
+         ])
+
+(** [precision_of_string s] parses a comma-separated pass list
+    ("must-alias,clinit"), or "all"/"none". *)
+let precision_of_string s =
+  let parts =
+    List.filter_map
+      (fun w -> match String.trim w with "" -> None | w -> Some w)
+      (String.split_on_char ',' s)
+  in
+  List.fold_left
+    (fun acc w ->
+      Result.bind acc (fun p ->
+          match w with
+          | "none" -> Ok p
+          | "all" -> Ok all_precision
+          | "must-alias" -> Ok { p with must_alias = true }
+          | "array-index" -> Ok { p with array_index = true }
+          | "reflection" -> Ok { p with reflection = true }
+          | "clinit" -> Ok { p with clinit = true }
+          | w ->
+              Error
+                (Printf.sprintf
+                   "unknown precision pass %S (expected \
+                    all|none|must-alias|array-index|reflection|clinit)"
+                   w)))
+    (Ok no_precision) parts
+
 type t = {
   max_access_path : int;
       (** maximal access-path length [k]; the paper's default is 5 *)
@@ -31,6 +100,9 @@ type t = {
           unlimited.  Checked cooperatively inside the worklist loops;
           expiry yields a [Deadline_exceeded] outcome with partial
           results rather than an abort. *)
+  precision : precision;
+      (** the opt-in precision pass suite; {!no_precision} (the
+          default) reproduces the paper's documented imprecisions *)
 }
 
 (** [default] is the configuration the paper evaluates: k = 5, full
@@ -48,6 +120,7 @@ let default =
     cg_algorithm = Fd_callgraph.Callgraph.Cha;
     max_propagations = 2_000_000;
     deadline_s = None;
+    precision = no_precision;
   }
 
 (** [degradation_ladder config] is the sequence of progressively

@@ -2,6 +2,34 @@
     switches the benchmark harness sweeps (DESIGN.md experiments
     A1–A3, F3, L3). *)
 
+(** The opt-in precision pass suite.  Every field defaults to [false];
+    with all flags off the engine's output is bit-identical to the
+    faithful Table 1 reproduction (the documented imprecisions are
+    preserved). *)
+type precision = {
+  must_alias : bool;
+      (** strong updates via flow-sensitive must-alias analysis *)
+  array_index : bool;  (** constant-index array cells as pseudo-fields *)
+  reflection : bool;  (** constant-string reflective call edges *)
+  clinit : bool;  (** first-use-site [<clinit>] placement *)
+}
+
+val no_precision : precision
+(** all passes off — the paper-faithful default *)
+
+val all_precision : precision
+(** every pass on *)
+
+val precision_enabled : precision -> bool
+(** at least one pass on *)
+
+val string_of_precision : precision -> string
+(** "none", "all", or the comma-separated enabled passes *)
+
+val precision_of_string : string -> (precision, string) result
+(** parse "all"/"none" or a comma-separated subset of
+    must-alias, array-index, reflection, clinit *)
+
 type t = {
   max_access_path : int;
       (** maximal access-path length [k]; the paper's default is 5 *)
@@ -28,6 +56,9 @@ type t = {
       (** wall-clock deadline for the solve, in seconds; [None] =
           unlimited.  Expiry yields a [Deadline_exceeded] outcome with
           partial results rather than an abort. *)
+  precision : precision;
+      (** the opt-in precision pass suite; {!no_precision} by
+          default *)
 }
 
 val default : t

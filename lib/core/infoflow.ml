@@ -52,16 +52,31 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 let h_analysis = Fd_obs.Metrics.histogram "core.analysis_seconds"
 let h_solve = Fd_obs.Metrics.histogram "ifds.solve_seconds"
 
+(* which opt-in precision passes the run used, visible in --stats-json *)
+let g_prec_must_alias = Fd_obs.Metrics.gauge "precision.must_alias"
+let g_prec_array_index = Fd_obs.Metrics.gauge "precision.array_index"
+let g_prec_reflection = Fd_obs.Metrics.gauge "precision.reflection"
+let g_prec_clinit = Fd_obs.Metrics.gauge "precision.clinit"
+
+let record_precision (p : Config.precision) =
+  let b g v = Fd_obs.Metrics.set_int g (if v then 1 else 0) in
+  b g_prec_must_alias p.Config.must_alias;
+  b g_prec_array_index p.Config.array_index;
+  b g_prec_reflection p.Config.reflection;
+  b g_prec_clinit p.Config.clinit
+
 let run_engine ?(config = Config.default) ?(phase = no_hook) ?budget
     ?(diags = []) ~scene ~mgr ~wrappers ~natives ~entries () =
   Fd_obs.Metrics.time h_analysis @@ fun () ->
+  record_precision config.Config.precision;
   let t0 = Sys.time () in
   Log.debug (fun m ->
       m "analysis starting with %d entry point(s)" (List.length entries));
   phase "build call graph";
   let cg =
     Callgraph.build scene ~entry:entries ~algorithm:config.Config.cg_algorithm
-      ()
+      ~clinit_first_use:config.Config.precision.Config.clinit
+      ~reflection:config.Config.precision.Config.reflection ()
   in
   let icfg = Icfg.create cg in
   phase "perform taint analysis";

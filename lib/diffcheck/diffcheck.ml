@@ -63,20 +63,39 @@ type app_report = {
 let divergences ar =
   List.filter (fun v -> Verdict.is_divergence v.Verdict.v_bucket) ar.ar_verdicts
 
+(** [fixed_of_config config] — the limitation categories whose
+    precision pass is enabled: those keys must no longer be classified
+    as explained by the limitation (they are held to the pass's
+    promise instead). *)
+let fixed_of_config (config : Config.t) : Gen.limitation list =
+  let p = config.Config.precision in
+  List.filter_map
+    (fun (on, l) -> if on then Some l else None)
+    [
+      (p.Config.must_alias, Gen.Lim_strong_update);
+      (p.Config.array_index, Gen.Lim_array_index);
+      (p.Config.reflection, Gen.Lim_reflection);
+      (p.Config.clinit, Gen.Lim_clinit);
+    ]
+
 (** [check_apk ?config ?coverage ~name ~expected ~limits apk] runs
     both engines on one app and classifies every leak key.  A crashing
     static run yields zero static findings (classified accordingly)
     rather than aborting the campaign. *)
-let check_apk ?config ?coverage ~name ~expected ~limits apk : app_report =
+let check_apk ?(config = Config.default) ?coverage ~name ~expected ~limits apk :
+    app_report =
   let t0 = Unix.gettimeofday () in
   let static, outcome =
-    match static_findings ?config apk with
+    match static_findings ~config apk with
     | r -> r
     | exception e ->
         ([], Fd_resilience.Outcome.Crashed (Printexc.to_string e))
   in
   let dynamic = dynamic_findings ?coverage apk in
-  let verdicts = Verdict.classify ~static ~dynamic ~expected ~limits in
+  let verdicts =
+    Verdict.classify ~fixed:(fixed_of_config config) ~static ~dynamic ~expected
+      ~limits
+  in
   let t1 = Unix.gettimeofday () in
   M.incr m_apps;
   let ar =

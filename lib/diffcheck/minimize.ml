@@ -118,7 +118,11 @@ let holds ?config ?coverage ~expected ~limits ~(target : Verdict.leak_verdict)
       && (match
             List.find_opt
               (fun v -> v.Verdict.v_key = target.Verdict.v_key)
-              (Verdict.classify ~static ~dynamic ~expected ~limits)
+              (Verdict.classify
+                 ~fixed:
+                   (Diffcheck.fixed_of_config
+                      (Option.value config ~default:Fd_core.Config.default))
+                 ~static ~dynamic ~expected ~limits)
           with
          | Some v ->
              Verdict.equal_bucket v.Verdict.v_bucket target.Verdict.v_bucket

@@ -45,6 +45,9 @@ type bucket =
   | Explained_fn of Gen.limitation
   | Explained_fp of Gen.limitation
   | Unexercised of Gen.limitation
+  | Fixed of Gen.limitation
+      (** an FP plant whose precision pass is enabled and which the
+          static engine, as promised, no longer reports *)
   | Divergence of divergence
 
 type leak_verdict = {
@@ -68,6 +71,7 @@ let string_of_bucket = function
       Printf.sprintf "explained-FP(%s)" (Gen.string_of_limitation l)
   | Unexercised l ->
       Printf.sprintf "unexercised(%s)" (Gen.string_of_limitation l)
+  | Fixed l -> Printf.sprintf "fixed(%s)" (Gen.string_of_limitation l)
   | Divergence d -> Printf.sprintf "DIVERGENCE(%s)" (string_of_divergence d)
 
 let is_divergence = function Divergence _ -> true | _ -> false
@@ -79,11 +83,19 @@ let string_of_key ((src, snk) : key) =
     (Option.value src ~default:"?")
     (Option.value snk ~default:"?")
 
-(** [classify ~static ~dynamic ~expected ~limits] buckets every key in
-    the union of the four views.  Output is sorted by key, so equal
-    inputs render identically regardless of discovery order. *)
-let classify ~(static : key list) ~(dynamic : key list)
-    ~(expected : (string option * string) list)
+(** [classify ~fixed ~static ~dynamic ~expected ~limits] buckets every
+    key in the union of the four views.  Output is sorted by key, so
+    equal inputs render identically regardless of discovery order.
+
+    [fixed] names the limitation categories whose precision pass is
+    enabled: a disagreement on such a key is no longer {e explained} by
+    the limitation.  A fixed FN plant is a real leak the engine now
+    promises to find, so it is held to ground-truth standards
+    (confirmed when reported, DIVERGENCE when missed); a fixed FP
+    plant must no longer be reported (reported → DIVERGENCE
+    spurious-static, silent → the [Fixed] bucket). *)
+let classify ~(fixed : Gen.limitation list) ~(static : key list)
+    ~(dynamic : key list) ~(expected : (string option * string) list)
     ~(limits : ((string option * string) * Gen.limitation) list) :
     leak_verdict list =
   let truth_keys =
@@ -105,7 +117,20 @@ let classify ~(static : key list) ~(dynamic : key list)
       let s = List.mem k static in
       let d = List.mem k dynamic in
       let gt = List.mem k truth_keys in
-      let lim = limit_of k in
+      let lim0 = limit_of k in
+      let is_fixed =
+        match lim0 with Some l -> List.mem l fixed | None -> false
+      in
+      (* a fixed FN plant is a real leak the engine must now find *)
+      let gt =
+        gt
+        || is_fixed
+           &&
+           match lim0 with
+           | Some l -> not (Gen.limitation_is_fp l)
+           | None -> false
+      in
+      let lim = if is_fixed then None else lim0 in
       let bucket =
         match (s, d) with
         | true, true -> Confirmed
@@ -131,7 +156,13 @@ let classify ~(static : key list) ~(dynamic : key list)
                      model) *)
                   Explained_fn l
               | Some l -> Unexercised l
-              | None -> assert false)
+              | None -> (
+                  match lim0 with
+                  | Some l ->
+                      (* fixed FP plant, correctly silent on both
+                         sides: the precision pass delivered *)
+                      Fixed l
+                  | None -> assert false))
       in
       { v_key = k; v_bucket = bucket; v_static = s; v_dynamic = d; v_truth = gt })
     keys

@@ -14,6 +14,7 @@ module M = Fd_obs.Metrics
 
 let m_units = M.counter "frontend.jimple_units_parsed"
 let m_skipped = M.counter "frontend.units_skipped"
+let m_lint = M.counter "frontend.lint_issues"
 let g_classes = M.gauge "frontend.classes"
 let g_layouts = M.gauge "frontend.layouts"
 let g_components = M.gauge "frontend.components"
@@ -68,16 +69,31 @@ let make_text ?(mode = `Strict) name ~manifest ?(layouts = []) ?(diags = [])
           :: !collected;
         []
   in
+  let lint issues =
+    match mode with
+    | `Strict -> ()
+    | `Lenient ->
+        List.iter
+          (fun (i : Lint.issue) ->
+            M.incr m_lint;
+            collected :=
+              Fd_resilience.Diag.make ?line:i.Lint.li_line ~file:name
+                ("lint: " ^ Lint.string_of_issue i)
+              :: !collected)
+          issues
+  in
   let classes =
     List.concat_map
       (fun src ->
         M.incr m_units;
+        if mode = `Lenient then lint (Lint.lint_source ~file:name src);
         match Parser.parse_string src with
         | cs -> cs
         | exception Parser.Parse_error (line, msg) -> failed ~line "parse" msg
         | exception Lexer.Lex_error (line, msg) -> failed ~line "lex" msg)
       sources
   in
+  if mode = `Lenient then lint (Lint.lint_classes classes);
   make name ~manifest ~layouts ~diags:(diags @ List.rev !collected) classes
 
 (** [of_dir dir] reads an app from disk: [AndroidManifest.xml], every

@@ -1,0 +1,53 @@
+(** Static well-formedness linter for µJimple.
+
+    Three defect classes the parser either cannot see (it synthesizes
+    invoke parameter types from the argument count, so arity drift
+    against the declared signature goes unnoticed) or rejects too
+    late with a hard failure (duplicate and undefined branch labels
+    abort the parse of the whole unit):
+
+    - {b use-before-def}: a local that has at least one definition in
+      its body, but is read on some path before any definition can
+      have executed.  Never-defined locals are deliberately {e not}
+      flagged — µJimple treats them as null-initialised, and the
+      checked-in reproducers rely on that;
+    - {b duplicate / undefined branch labels}: detected token-level on
+      the raw source, so issues are reported per label with line
+      numbers even though the parser would refuse the unit;
+    - {b call-arity mismatch}: an invoke whose statically named class
+      is declared in the app and declares (possibly via a declared
+      superclass) the target method name, but with no overload of the
+      call's argument count.
+
+    The linter never modifies or rejects anything: it reports.  The
+    lenient frontend surfaces its findings as {!Fd_resilience.Diag}
+    warnings; [flowdroid_cli --lint] prints them directly. *)
+
+type kind =
+  | Use_before_def
+  | Duplicate_label
+  | Undefined_label
+  | Arity_mismatch
+
+type issue = {
+  li_kind : kind;
+  li_where : string;  (** file, or [Class.method] for IR-level checks *)
+  li_line : int option;  (** source line for token-level checks *)
+  li_msg : string;
+}
+
+val string_of_kind : kind -> string
+
+val string_of_issue : issue -> string
+(** [where[:line]: kind: msg] — stable, one line. *)
+
+val lint_source : ?file:string -> string -> issue list
+(** Token-level checks on one raw µJimple compilation unit: duplicate
+    and undefined branch labels per method body.  Works on sources the
+    parser rejects; a lexically broken tail merely truncates the scan
+    (the frontend reports the lex error itself). *)
+
+val lint_classes : Jclass.t list -> issue list
+(** IR-level checks over the parsed classes of one app: use-before-def
+    locals (per concrete method body) and call-arity mismatches
+    against the app's declared method signatures. *)

@@ -1,0 +1,32 @@
+(** Intraprocedural constant propagation for strings, class handles
+    and reflective method handles.
+
+    This is the small abstract interpretation behind the
+    constant-string reflection resolver: it tracks which locals hold a
+    known string literal, a [java.lang.Class] handle for a known class
+    name, or a [java.lang.reflect.Method] handle resolved to a known
+    (class, method-name) pair — mirroring the dynamic interpreter's
+    concrete reflection model ([Class.forName] / [getClass] /
+    [getMethod]).  Values meet by equality (differing values on two
+    paths drop to unknown). *)
+
+open Fd_ir
+
+type value =
+  | Vstr of string  (** local holds this exact string literal *)
+  | Vclass of string  (** a [Class] handle for the named class *)
+  | Vmethod of string * string
+      (** a [Method] handle: (target class, method name) *)
+
+type t
+
+val analyze : Body.t -> t
+(** [analyze body] runs the propagation to fixpoint over the CFG. *)
+
+val value_at : t -> at:int -> Stmt.local -> value option
+(** [value_at t ~at l] — the known value of [l] on every path reaching
+    statement index [at] (before it executes), if any. *)
+
+val imm_value : t -> at:int -> Stmt.imm -> value option
+(** [imm_value] on an immediate: constants evaluate directly, locals
+    via {!value_at}. *)

@@ -1,0 +1,28 @@
+(** Intraprocedural flow-sensitive must-alias analysis.
+
+    The abstraction is a partition of the method's locals at every
+    program point: two locals in the same equivalence class are
+    guaranteed to hold the same reference on {e every} execution
+    reaching that point.  The safe direction for a must-analysis is
+    {e fewer} aliases, so the entry state is all-singletons, the join
+    is partition intersection (locals stay together only when both
+    predecessors agree), and any definition whose right-hand side is
+    not a plain copy isolates the defined local.
+
+    The solver uses this to perform strong updates: a field write
+    [x.f := e] may {e kill} an existing taint on [b.f] exactly when
+    [b] must-aliases [x] at the write (DESIGN.md, precision passes). *)
+
+open Fd_ir
+
+type t
+
+val analyze : Body.t -> t
+(** [analyze body] runs the partition dataflow to fixpoint over the
+    body's CFG. *)
+
+val must_alias : t -> at:int -> Stmt.local -> Stmt.local -> bool
+(** [must_alias t ~at x y] — do [x] and [y] hold the same reference on
+    every path reaching statement index [at] (checked on the state
+    {e before} the statement executes)?  Reflexive; [false] for locals
+    the analysis does not know or for unreachable statements. *)

@@ -37,7 +37,7 @@ let test_classify_table () =
     ]
   in
   let verdicts =
-    V.classify
+    V.classify ~fixed:[]
       ~static:[ k "s1" "k1"; k "both" "both"; k "fpsrc" "fpsnk"; k "bad" "bad" ]
       ~dynamic:[ k "both" "both"; k "fnsrc" "fnsnk"; k "ghost" "ghost" ]
       ~expected:((Some "missing", "missing") :: gt)
@@ -64,7 +64,7 @@ let test_classify_table () =
   check (k "cold" "cold") "explained-FN(clinit-placement)";
   (* output is keyed and sorted: classifying twice agrees *)
   let again =
-    V.classify
+    V.classify ~fixed:[]
       ~static:[ k "bad" "bad"; k "fpsrc" "fpsnk"; k "both" "both"; k "s1" "k1" ]
       ~dynamic:[ k "ghost" "ghost"; k "fnsrc" "fnsnk"; k "both" "both" ]
       ~expected:((Some "missing", "missing") :: gt)

@@ -1,0 +1,288 @@
+(* Tests for the µJimple linter: the three defect classes flag on
+   purpose-built bad inputs, and the linter is clean on the full
+   generated corpus and the checked-in example apps — the µJimple
+   idioms those rely on (never-defined locals, branch-dependent
+   initialisation, framework calls) must stay silent. *)
+
+open Fd_ir
+module L = Lint
+module Gen = Fd_appgen.Generator
+module Apk = Fd_frontend.Apk
+
+let kinds issues = List.map (fun i -> i.L.li_kind) issues
+
+let check_kinds msg expected issues =
+  Alcotest.(check (list string))
+    msg
+    (List.map L.string_of_kind expected)
+    (List.map L.string_of_kind (kinds issues))
+
+(* ---------------- labels (token-level) ---------------- *)
+
+let test_duplicate_label () =
+  let src =
+    {|class t.A extends java.lang.Object {
+  method void run() {
+    goto L0;
+  L0:
+    return;
+  L0:
+    return;
+  }
+}|}
+  in
+  let issues = L.lint_source ~file:"t.A.jimple" src in
+  check_kinds "duplicate" [ L.Duplicate_label ] issues;
+  Alcotest.(check (option int))
+    "line of the second definition" (Some 6)
+    (List.hd issues).L.li_line
+
+let test_undefined_label () =
+  let src =
+    {|class t.A extends java.lang.Object {
+  method void run() {
+    goto Lnope;
+  L0:
+    return;
+  }
+}|}
+  in
+  check_kinds "undefined" [ L.Undefined_label ]
+    (L.lint_source ~file:"t.A.jimple" src)
+
+let test_labels_clean () =
+  (* locals, @this identity and well-formed labels all involve colons
+     the scan must not mistake for label definitions *)
+  let src =
+    {|class t.A extends java.lang.Object {
+  method void run() {
+    local x : java.lang.Object;
+    this := @this: t.A;
+    x = "v";
+    goto L1;
+  L0:
+    return;
+  L1:
+    goto L0;
+  }
+}|}
+  in
+  check_kinds "clean" [] (L.lint_source ~file:"t.A.jimple" src);
+  (* and the parser agrees the unit is fine *)
+  Alcotest.(check int) "parses" 1 (List.length (Parser.parse_string src))
+
+(* ---------------- use-before-def (IR-level) ---------------- *)
+
+let parse1 src = Parser.parse_string src
+
+let test_use_before_def () =
+  let cs =
+    parse1
+      {|class t.A extends java.lang.Object {
+  method void run() {
+    local x : java.lang.Object;
+    local y : java.lang.Object;
+    y = x;
+    x = "late";
+    return;
+  }
+}|}
+  in
+  check_kinds "use before def" [ L.Use_before_def ] (L.lint_classes cs)
+
+let test_never_defined_local_ok () =
+  (* never-defined locals are legal µJimple (null-initialised); the
+     checked-in reproducers rely on them *)
+  let cs =
+    parse1
+      {|class t.A extends java.lang.Object {
+  method void run() {
+    local x : java.lang.Object;
+    local y : java.lang.Object;
+    y = x;
+    return;
+  }
+}|}
+  in
+  check_kinds "never defined is silent" [] (L.lint_classes cs)
+
+let test_branch_dependent_def_ok () =
+  (* defined on one path only: a MAY analysis stays silent *)
+  let cs =
+    parse1
+      {|class t.A extends java.lang.Object {
+  method void run(int) {
+    local n : int;
+    local x : java.lang.Object;
+    local y : java.lang.Object;
+    n := @parameter0;
+    if n == 0 goto L0;
+    x = "set";
+  L0:
+    y = x;
+    return;
+  }
+}|}
+  in
+  check_kinds "branch-dependent def is silent" [] (L.lint_classes cs)
+
+(* ---------------- call arity (IR-level) ---------------- *)
+
+let test_arity_mismatch () =
+  let cs =
+    parse1
+      {|class t.A extends java.lang.Object {
+  method void run() {
+    staticinvoke t.A#two("a");
+    return;
+  }
+  method void two(java.lang.String, java.lang.String) {
+    return;
+  }
+}|}
+  in
+  check_kinds "arity" [ L.Arity_mismatch ] (L.lint_classes cs)
+
+let test_arity_framework_ok () =
+  (* calls into undeclared (framework) classes are not ours to judge *)
+  let cs =
+    parse1
+      {|class t.A extends java.lang.Object {
+  method void run() {
+    staticinvoke android.util.Log#i("t", "m");
+    return;
+  }
+}|}
+  in
+  check_kinds "framework silent" [] (L.lint_classes cs)
+
+let test_arity_inherited () =
+  (* the declared superclass chain supplies the signature *)
+  let cs =
+    parse1
+      {|class t.Base extends java.lang.Object {
+  method void two(java.lang.String, java.lang.String) {
+    return;
+  }
+}
+class t.Sub extends t.Base {
+  method void run() {
+    local s : t.Sub;
+    s = new t.Sub;
+    virtualinvoke s.t.Sub#two("only-one");
+    return;
+  }
+}|}
+  in
+  check_kinds "inherited arity" [ L.Arity_mismatch ] (L.lint_classes cs)
+
+(* ---------------- lenient frontend wiring ---------------- *)
+
+let manifest =
+  Apk.simple_manifest ~package:"t" [ (Fd_frontend.Framework.Activity, "t.A", []) ]
+
+let test_lenient_diags () =
+  let src =
+    {|class t.A extends android.app.Activity {
+  method void onCreate(android.os.Bundle) {
+    local x : java.lang.Object;
+    local y : java.lang.Object;
+    y = x;
+    x = "late";
+    return;
+  }
+}|}
+  in
+  let apk = Apk.make_text ~mode:`Lenient "t" ~manifest [ src ] in
+  let has_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let lint_diags =
+    List.filter
+      (fun d -> has_sub (Fd_resilience.Diag.to_string d) "lint: ")
+      apk.Apk.apk_diags
+  in
+  Alcotest.(check int) "one lint diag" 1 (List.length lint_diags);
+  (* strict mode must not lint (and must not fail on lint issues) *)
+  let strict = Apk.make_text ~mode:`Strict "t" ~manifest [ src ] in
+  Alcotest.(check int) "strict: no diags" 0 (List.length strict.Apk.apk_diags)
+
+(* ---------------- cleanliness sweeps ---------------- *)
+
+let lint_apk (apk : Apk.t) =
+  L.lint_classes apk.Apk.apk_classes
+  @ List.concat_map
+      (fun c -> L.lint_source ~file:c.Jclass.c_name (Pretty.class_to_string c))
+      apk.Apk.apk_classes
+
+let test_corpus_clean () =
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun (ga : Gen.gen_app) ->
+          match lint_apk ga.Gen.ga_apk with
+          | [] -> ()
+          | i :: _ ->
+              Alcotest.failf "%s: %s" ga.Gen.ga_name (L.string_of_issue i))
+        (Gen.corpus ~profile ~seed:20140609 40))
+    [ Gen.Play; Gen.Malware ]
+
+let test_examples_clean () =
+  let roots = [ "../examples/apps"; "../examples/repro" ] in
+  let apps =
+    List.concat_map
+      (fun root ->
+        if Sys.file_exists root && Sys.is_directory root then
+          Sys.readdir root |> Array.to_list |> List.sort compare
+          |> List.filter_map (fun d ->
+                 let p = Filename.concat root d in
+                 if
+                   Sys.is_directory p
+                   && Sys.file_exists (Filename.concat p "AndroidManifest.xml")
+                 then Some p
+                 else None)
+        else [])
+      roots
+  in
+  Alcotest.(check bool) "found example apps" true (apps <> []);
+  List.iter
+    (fun dir ->
+      let apk = Apk.of_dir dir in
+      match lint_apk apk with
+      | [] -> ()
+      | i :: _ -> Alcotest.failf "%s: %s" dir (L.string_of_issue i))
+    apps
+
+let () =
+  Alcotest.run "fd_lint"
+    [
+      ( "labels",
+        [
+          Alcotest.test_case "duplicate" `Quick test_duplicate_label;
+          Alcotest.test_case "undefined" `Quick test_undefined_label;
+          Alcotest.test_case "clean" `Quick test_labels_clean;
+        ] );
+      ( "use-before-def",
+        [
+          Alcotest.test_case "flags" `Quick test_use_before_def;
+          Alcotest.test_case "never-defined ok" `Quick
+            test_never_defined_local_ok;
+          Alcotest.test_case "branch-dependent ok" `Quick
+            test_branch_dependent_def_ok;
+        ] );
+      ( "arity",
+        [
+          Alcotest.test_case "flags" `Quick test_arity_mismatch;
+          Alcotest.test_case "framework ok" `Quick test_arity_framework_ok;
+          Alcotest.test_case "inherited" `Quick test_arity_inherited;
+        ] );
+      ( "wiring",
+        [ Alcotest.test_case "lenient diags" `Quick test_lenient_diags ] );
+      ( "clean",
+        [
+          Alcotest.test_case "generated corpus" `Quick test_corpus_clean;
+          Alcotest.test_case "examples" `Quick test_examples_clean;
+        ] );
+    ]

@@ -47,7 +47,7 @@ let prop_dynamic_subset_of_static profile =
       let s = static_findings app.Gen.ga_apk in
       let d = dynamic_findings app.Gen.ga_apk in
       let verdicts =
-        Fd_diffcheck.Verdict.classify ~static:s ~dynamic:d
+        Fd_diffcheck.Verdict.classify ~fixed:[] ~static:s ~dynamic:d
           ~expected:app.Gen.ga_expected ~limits:app.Gen.ga_limits
       in
       List.for_all
