@@ -1,7 +1,17 @@
 #!/bin/sh
 # Smoke test for the observability layer: run one DroidBench case
 # end-to-end through flowdroid_cli with --stats-json/--trace-out and
-# fail unless the emitted JSON carries the required keys.
+# fail unless the emitted JSON carries the required keys.  Then gate
+# the provenance layer:
+#
+#   - the DroidBench table with --provenance is byte-identical to the
+#     default run (recording witnesses must not change any result);
+#   - provenance-on solver time stays under 1.3x the default run;
+#   - --provenance/--profile-out stats carry the new keys (witnesses,
+#     p50/p90/p99, profile) and the collapsed-stack file is well
+#     formed.
+#
+# Writes BENCH_obs2.json at the repo root.
 #
 #   sh bench/check_obs.sh [CASE]        (default case: DirectLeak1)
 #
@@ -63,6 +73,95 @@ if grep -q '"ifds.path_edges": 0,' "$stats"; then
   echo "FAIL: ifds.path_edges is zero — solver was not instrumented"
   fail=1
 fi
+
+# quantile estimates ship with every histogram snapshot
+for key in p50 p90 p99; do
+  require_key "$key" "$stats"
+done
+
+echo "== check_obs: provenance off/on byte-identity (DroidBench table)"
+dune exec --display=quiet bin/droidbench_runner.exe \
+  > "$work/table_off.txt" 2>/dev/null
+dune exec --display=quiet bin/droidbench_runner.exe -- --provenance \
+  > "$work/table_on.txt" 2>/dev/null
+if cmp -s "$work/table_off.txt" "$work/table_on.txt"; then
+  echo "ok: table identical with provenance on"
+  identical=true
+else
+  echo "FAIL: --provenance changed the DroidBench table"
+  diff "$work/table_off.txt" "$work/table_on.txt" | head -20
+  identical=false
+  fail=1
+fi
+
+echo "== check_obs: provenance overhead on the perf workload"
+# solver seconds = the core.analysis_seconds histogram sum across the
+# whole table run; take the best of two runs per config to damp noise
+solve_sum () {
+  dune exec --display=quiet bin/droidbench_runner.exe -- $1 \
+    --stats-json "$work/ov.json" >/dev/null 2>&1
+  python3 -c "import json; print(json.load(open('$work/ov.json'))['histograms']['core.analysis_seconds']['sum'])"
+}
+t_off_1=$(solve_sum "");            t_off_2=$(solve_sum "")
+t_on_1=$(solve_sum "--provenance"); t_on_2=$(solve_sum "--provenance")
+overhead=$(python3 -c "
+off = min($t_off_1, $t_off_2)
+on = min($t_on_1, $t_on_2)
+print('%.3f' % (on / off if off > 0 else 1.0))")
+# 50 ms absolute slack: the whole workload solves in well under a
+# second, where scheduler noise would otherwise dominate the ratio
+ov_ok=$(python3 -c "
+off = min($t_off_1, $t_off_2)
+on = min($t_on_1, $t_on_2)
+print('true' if on <= 1.3 * off + 0.05 else 'false')")
+if [ "$ov_ok" = true ]; then
+  echo "ok: provenance overhead ${overhead}x (limit 1.3x)"
+else
+  echo "FAIL: provenance overhead ${overhead}x exceeds 1.3x"
+  fail=1
+fi
+
+echo "== check_obs: witness + profile outputs"
+pstats="$work/prov_stats.json"
+folded="$work/profile.folded"
+status=0
+dune exec --display=quiet bin/flowdroid_cli.exe -- "$app_dir" \
+  --provenance --profile-out "$folded" --stats-json "$pstats" \
+  >"$work/stdout2.txt" 2>&1 || status=$?
+if [ "$status" != 0 ] && [ "$status" != 2 ]; then
+  echo "FAIL: provenance run exited with status $status"
+  cat "$work/stdout2.txt"
+  exit 1
+fi
+for key in witnesses profile; do
+  require_key "$key" "$pstats"
+done
+witness_count=$(python3 -c "import json; print(len(json.load(open('$pstats'))['witnesses']))")
+if [ "$witness_count" -gt 0 ]; then
+  echo "ok: $witness_count witness(es) recorded"
+else
+  echo "FAIL: no witnesses in $pstats"
+  fail=1
+fi
+if grep -q '^flowdroid;' "$folded"; then
+  echo "ok: collapsed-stack profile written"
+else
+  echo "FAIL: $folded has no flowdroid; frames"
+  fail=1
+fi
+
+cat > BENCH_obs2.json <<EOF
+{
+  "bench": "obs2",
+  "case": "$case_name",
+  "provenance_table_identical": $identical,
+  "provenance_overhead_x": $overhead,
+  "overhead_limit_x": 1.3,
+  "witnesses": $witness_count,
+  "pass": $([ "$fail" = 0 ] && echo true || echo false)
+}
+EOF
+echo "wrote BENCH_obs2.json"
 
 [ "$fail" = 0 ] && echo "== check_obs: PASS" || echo "== check_obs: FAIL"
 exit "$fail"

@@ -89,6 +89,15 @@ else
   echo "FAIL: missing outcome distribution line"
   fail=1
 fi
+# every degraded/partial outcome must carry a flight-recorder dump in
+# its diagnostics (the runner prints flight=MISSING when one does not)
+if grep -q "flight=MISSING" "$work/chaos.txt"; then
+  echo "FAIL: degraded outcome without a flight-recorder dump"
+  grep "flight=MISSING" "$work/chaos.txt"
+  fail=1
+else
+  echo "ok: every non-precise outcome carries a flight-recorder dump"
+fi
 
 require_key () {
   # require_key KEY FILE — KEY must appear as a JSON object key

@@ -32,9 +32,37 @@ let jobs =
               are bit-identical at any job count (default: \
               FLOWDROID_JOBS, else 1).")
 
-let run profile n seed deadline jobs =
+let stats_json_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the observability snapshot of the whole corpus run \
+              as JSON to $(docv) (\"-\" = stdout).")
+
+let trace_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event file to $(docv) (\"-\" = stdout).")
+
+let profile_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:"Profile the solver per method across the corpus and write \
+              a collapsed-stack (flamegraph) file to $(docv) (\"-\" = \
+              stdout).")
+
+let run profile n seed deadline jobs stats_json_out trace_out profile_out =
+  Fd_obs.Metrics.reset ();
+  Fd_obs.Trace.reset ();
+  Fd_obs.Profile.reset ();
   let config =
-    { Fd_core.Config.default with Fd_core.Config.deadline_s = deadline }
+    {
+      Fd_core.Config.default with
+      Fd_core.Config.deadline_s = deadline;
+      Fd_core.Config.profile = profile_out <> None;
+    }
   in
   let t = Fd_eval.Corpus.run ~config ~jobs ~profile ~seed ~n () in
   print_string (Fd_eval.Corpus.render t);
@@ -45,12 +73,37 @@ let run profile n seed deadline jobs =
       then
         Printf.printf "  %-24s outcome: %s\n" s.Fd_eval.Corpus.as_name
           (Fd_resilience.Outcome.to_string s.Fd_eval.Corpus.as_outcome))
-    t.Fd_eval.Corpus.c_stats
+    t.Fd_eval.Corpus.c_stats;
+  let write_out what path =
+    try
+      what ~path;
+      if path <> "-" then Printf.eprintf "wrote %s\n" path
+    with Sys_error msg -> Printf.eprintf "error: %s\n" msg
+  in
+  (match stats_json_out with
+  | Some path ->
+      let extra =
+        if profile_out <> None then
+          [ ("profile", Fd_obs.Profile.to_json ()) ]
+        else []
+      in
+      write_out
+        (fun ~path -> Fd_obs.Export.write_stats_json ~extra ~path ())
+        path
+  | None -> ());
+  (match trace_out with
+  | Some path -> write_out Fd_obs.Export.write_chrome_trace path
+  | None -> ());
+  match profile_out with
+  | Some path -> write_out Fd_obs.Profile.write_collapsed path
+  | None -> ()
 
 let cmd =
   Cmd.v
     (Cmd.info "corpus_runner"
        ~doc:"RQ3 corpus analysis (generated Play/malware apps)")
-    Term.(const run $ profile $ n $ seed $ deadline $ jobs)
+    Term.(
+      const run $ profile $ n $ seed $ deadline $ jobs $ stats_json_out
+      $ trace_out $ profile_out)
 
 let () = exit (Cmd.eval cmd)

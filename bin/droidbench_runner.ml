@@ -3,8 +3,13 @@
 
    Observability options:
      --app NAME         run FlowDroid on one benchmark case only
-     --stats-json FILE  write the metrics snapshot (+ phase durations)
-     --trace-out FILE   write a Chrome trace_event file
+     --stats-json FILE  write the metrics snapshot (+ phase durations);
+                        "-" writes to stdout
+     --trace-out FILE   write a Chrome trace_event file; "-" = stdout
+     --provenance       record provenance edges (witness paths) while
+                        solving
+     --profile-out FILE write a collapsed-stack per-method solver
+                        profile to FILE ("-" = stdout)
      --dump DIR         write the selected app (or every app) to DIR as
                         an on-disk app directory usable with
                         flowdroid_cli
@@ -34,13 +39,16 @@
 let usage () =
   prerr_endline
     "usage: droidbench_runner [--app NAME] [--precision SPEC] [--stats-json \
-     FILE] [--trace-out FILE] [--dump DIR] [--jobs N] [--deadline SECS] \
-     [--outcomes] [--chaos-rate P] [--chaos-seed N]";
+     FILE] [--trace-out FILE] [--provenance] [--profile-out FILE] [--dump \
+     DIR] [--jobs N] [--deadline SECS] [--outcomes] [--chaos-rate P] \
+     [--chaos-seed N]";
   exit 1
 
 let app_name = ref None
 let stats_json = ref None
 let trace_out = ref None
+let provenance = ref false
+let profile_out = ref None
 let dump_dir = ref None
 let deadline = ref None
 let show_outcomes = ref false
@@ -65,6 +73,12 @@ let () =
         parse rest
     | "--trace-out" :: v :: rest ->
         trace_out := Some v;
+        parse rest
+    | "--provenance" :: rest ->
+        provenance := true;
+        parse rest
+    | "--profile-out" :: v :: rest ->
+        profile_out := Some v;
         parse rest
     | "--dump" :: v :: rest ->
         dump_dir := Some v;
@@ -111,6 +125,8 @@ let base_config () =
     Fd_core.Config.default with
     Fd_core.Config.deadline_s = !deadline;
     Fd_core.Config.precision = precision_passes ();
+    Fd_core.Config.provenance = !provenance;
+    Fd_core.Config.profile = !profile_out <> None;
   }
 
 (* mention precision only when a pass is on: default output unchanged *)
@@ -169,6 +185,12 @@ let find_app name =
       exit 1
 
 let run_one (app : Fd_droidbench.Bench_app.t) =
+  (* fresh observability state per app: without this, metrics and
+     phase durations from a previous app bleed into this app's
+     --stats-json / --trace-out snapshot *)
+  Fd_obs.Metrics.reset ();
+  Fd_obs.Trace.reset ();
+  Fd_obs.Profile.reset ();
   let result =
     Fd_core.Infoflow.analyze_apk ~config:(base_config ())
       app.Fd_droidbench.Bench_app.app_apk
@@ -199,6 +221,11 @@ let run_chaos rate =
     (fun (app : Fd_droidbench.Bench_app.t) ->
       let apk = app.Fd_droidbench.Bench_app.app_apk in
       let label = app.Fd_droidbench.Bench_app.app_name in
+      (* the chaos loop is sequential, so per-app resets are safe and
+         keep each app's outcome diagnostics free of its predecessors'
+         metric/trace state *)
+      Fd_obs.Metrics.reset ();
+      Fd_obs.Trace.reset ();
       match
         Fd_resilience.Barrier.protect ~label (fun () ->
             let sources =
@@ -222,9 +249,29 @@ let run_chaos rate =
               fb.Fd_core.Infoflow.fb_completeness
           in
           bump c;
-          Printf.printf "%-28s %-22s %d flow(s), %d diag(s)\n" label c
+          let diags =
+            fb.Fd_core.Infoflow.fb_result.Fd_core.Infoflow.r_diags
+          in
+          (* every degraded/partial outcome must carry a post-mortem:
+             surface the flight-recorder dump count so the CI gate (and
+             a reader) can spot a silent degradation at a glance *)
+          let flight =
+            match fb.Fd_core.Infoflow.fb_completeness with
+            | Fd_core.Infoflow.Precise -> ""
+            | Fd_core.Infoflow.Degraded _ | Fd_core.Infoflow.Partial _ ->
+                let n =
+                  List.length
+                    (List.filter
+                       (fun (d : Fd_resilience.Diag.t) ->
+                         d.Fd_resilience.Diag.d_file = "flight-recorder")
+                       diags)
+                in
+                if n > 0 then Printf.sprintf ", flight=%d" n
+                else ", flight=MISSING"
+          in
+          Printf.printf "%-28s %-22s %d flow(s), %d diag(s)%s\n" label c
             (List.length fb.Fd_core.Infoflow.fb_result.Fd_core.Infoflow.r_findings)
-            (List.length fb.Fd_core.Infoflow.fb_result.Fd_core.Infoflow.r_diags)
+            (List.length diags) flight
       | Error o ->
           (* Fallback_failed lands here: every rung crashed but the
              barrier held — still not an escaped exception *)
@@ -291,13 +338,24 @@ let () =
   let write_out what path =
     try
       what ~path;
-      Printf.eprintf "wrote %s\n" path
+      if path <> "-" then Printf.eprintf "wrote %s\n" path
     with Sys_error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
   in
   (match !stats_json with
-  | Some path -> write_out Fd_obs.Export.write_stats_json path
+  | Some path ->
+      let extra =
+        if !profile_out <> None then
+          [ ("profile", Fd_obs.Profile.to_json ()) ]
+        else []
+      in
+      write_out
+        (fun ~path -> Fd_obs.Export.write_stats_json ~extra ~path ())
+        path
+  | None -> ());
+  (match !profile_out with
+  | Some path -> write_out Fd_obs.Profile.write_collapsed path
   | None -> ());
   match !trace_out with
   | Some path -> write_out Fd_obs.Export.write_chrome_trace path

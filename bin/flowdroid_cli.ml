@@ -136,6 +136,34 @@ let trace_out =
           "Write a Chrome trace_event file of the pipeline phases to \
            $(docv); open it in chrome://tracing or Perfetto.")
 
+let provenance_flag =
+  Arg.(
+    value & flag
+    & info [ "provenance" ]
+        ~doc:
+          "Record provenance edges during solving so each reported flow \
+           carries a witness path (adds a $(b,witnesses) array to \
+           --stats-json).  Off by default; when off the solver output is \
+           byte-identical to a build without this feature.")
+
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print a human-readable source-to-sink witness trace under \
+           each reported flow (implies --provenance).")
+
+let profile_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Profile the solver per method and write a collapsed-stack \
+           file to $(docv) (feed it to flamegraph.pl; \"-\" writes to \
+           stdout).  Also adds a $(b,profile) hot-method table to \
+           --stats-json.")
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -202,9 +230,10 @@ let run_lint dir =
 
 let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
     precision lint sources wrappers show_paths dump_dm xml_out stats_json_out
-    trace_out =
+    trace_out provenance explain profile_out =
   Fd_obs.Metrics.reset ();
   Fd_obs.Trace.reset ();
+  Fd_obs.Profile.reset ();
   if lint then run_lint dir
   else
   match Config.precision_of_string precision with
@@ -224,6 +253,8 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
       Config.cg_algorithm =
         (if rta then Fd_callgraph.Callgraph.Rta else Fd_callgraph.Callgraph.Cha);
       Config.precision;
+      Config.provenance = provenance || explain;
+      Config.profile = profile_out <> None;
     }
   in
   let mode = if lenient then `Lenient else `Strict in
@@ -300,19 +331,38 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
                   (fun n ->
                     Printf.printf "      via %s\n"
                       (Fd_callgraph.Icfg.string_of_node n))
-                  fd.Fd_core.Bidi.f_path)
+                  fd.Fd_core.Bidi.f_path;
+              if explain then
+                match Fd_core.Report.witness_lines fd with
+                | [] -> print_endline "      (no witness recorded)"
+                | lines -> List.iter print_endline lines)
             findings;
           let write_error = ref false in
           let write_out what path =
             try
               what ~path;
-              Printf.eprintf "wrote %s\n" path
+              if path <> "-" then Printf.eprintf "wrote %s\n" path
             with Sys_error msg ->
               Printf.eprintf "error: %s\n" msg;
               write_error := true
           in
+          let extra =
+            (if provenance || explain then
+               [ ("witnesses", Fd_core.Report.witnesses_json findings) ]
+             else [])
+            @
+            if profile_out <> None then
+              [ ("profile", Fd_obs.Profile.to_json ()) ]
+            else []
+          in
           (match stats_json_out with
-          | Some path -> write_out Fd_obs.Export.write_stats_json path
+          | Some path ->
+              write_out
+                (fun ~path -> Fd_obs.Export.write_stats_json ~extra ~path ())
+                path
+          | None -> ());
+          (match profile_out with
+          | Some path -> write_out Fd_obs.Profile.write_collapsed path
           | None -> ());
           (match trace_out with
           | Some path -> write_out Fd_obs.Export.write_chrome_trace path
@@ -387,6 +437,7 @@ let cmd =
       const analyze $ app_dir $ k_len $ deadline $ lenient $ fallback
       $ no_lifecycle $ no_callbacks $ no_alias $ no_activation $ rta
       $ precision $ lint_flag $ sources_file $ wrappers_file $ show_paths
-      $ dump_dummy_main $ xml_out $ stats_json_out $ trace_out)
+      $ dump_dummy_main $ xml_out $ stats_json_out $ trace_out
+      $ provenance_flag $ explain_flag $ profile_out)
 
 let () = exit (Cmd.eval' cmd)

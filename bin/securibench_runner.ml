@@ -75,13 +75,14 @@ let () =
   let write_out what path =
     try
       what ~path;
-      Printf.eprintf "wrote %s\n" path
+      if path <> "-" then Printf.eprintf "wrote %s\n" path
     with Sys_error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
   in
   (match !stats_json with
-  | Some path -> write_out Fd_obs.Export.write_stats_json path
+  | Some path ->
+      write_out (fun ~path -> Fd_obs.Export.write_stats_json ~path ()) path
   | None -> ());
   match !trace_out with
   | Some path -> write_out Fd_obs.Export.write_chrome_trace path

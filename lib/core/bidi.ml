@@ -42,6 +42,8 @@ module SS = Fd_frontend.Sourcesink
    and bidi.* for the bidirectional-specific mechanisms); handles are
    resolved once so hot-path updates are single field increments *)
 module M = Fd_obs.Metrics
+module Prov = Fd_obs.Provenance
+module Flight = Fd_obs.Ring.Flight
 
 let m_path_edges = M.counter "ifds.path_edges"
 let m_worklist_pushes = M.counter "ifds.worklist_pushes"
@@ -60,12 +62,25 @@ let m_bw_steps = M.counter "bidi.backward_steps"
 let m_activations = M.counter "bidi.activations"
 let m_findings = M.counter "core.findings"
 
+(* one step of a provenance witness: the program point, its statement
+   and the solver fact that held there, plus the flow-function kind
+   that derived it from the previous step *)
+type witness_step = {
+  ws_node : Icfg.node;
+  ws_stmt : string;
+  ws_fact : string;
+  ws_kind : string;
+}
+
 type finding = {
   f_source : Taint.source_info;
   f_sink_node : Icfg.node;
   f_sink_tag : string option;
   f_sink_cat : SS.category;
   f_path : Icfg.node list;
+  f_witness : witness_step list;
+      (** source-to-sink derivation reconstructed from provenance
+          edges; [[]] unless {!Config.t.provenance} was on *)
 }
 
 (* ---------------- interned solver state ----------------
@@ -86,6 +101,13 @@ let g_intern_fact_misses = M.gauge "intern.facts.misses"
 let g_intern_nodes = M.gauge "intern.nodes.size"
 let g_intern_methods = M.gauge "intern.methods.size"
 let g_intern_ctxs = M.gauge "intern.ctxs.size"
+
+(* live byte-size accounting for the solver tables (estimates: entry
+   counts times per-entry footprint; see [publish_memory_gauges]) *)
+let g_bytes_fw = M.gauge "mem.fw_tables.bytes"
+let g_bytes_bw = M.gauge "mem.bw_tables.bytes"
+let g_bytes_facts = M.gauge "mem.fact_pool.bytes"
+let g_bytes_prov = M.gauge "mem.provenance.bytes"
 
 module Int_tbl = Hashtbl.Make (Int)
 
@@ -123,6 +145,8 @@ type minfo = {
   mi_exits : int list;
   mutable mi_start_ni : ninfo option;
   mutable mi_exit_nis : ninfo list option;
+  mutable mi_prof : Fd_obs.Profile.cell option;
+      (** cached profiler cell, resolved on first pop when profiling *)
 }
 
 (* per-node view: everything the solver used to recompute on every
@@ -209,6 +233,15 @@ type t = {
   (* per-method must-alias results, computed lazily when the
      strong-update precision pass is on *)
   ma_cache : Fd_precision.Must_alias.t Mkey.Tbl.t;
+  (* provenance: the edge store ([None] = off), the interned id of the
+     zero fact, the node/fact ids of the worklist item currently being
+     processed (every propagation's predecessor), and an id-indexed
+     node view for witness reconstruction *)
+  prov : Prov.t option;
+  zero_fid : int;
+  mutable cur_node : int;
+  mutable cur_fact : int;
+  ninfos_by_id : ninfo Int_tbl.t;
 }
 
 let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
@@ -219,6 +252,14 @@ let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
         Fd_resilience.Budget.create ?deadline_s:config.Config.deadline_s
           ~max_propagations:config.Config.max_propagations ()
   in
+  let facts = Fact_pool.create ~size:512 () in
+  let prov = if config.Config.provenance then Some (Prov.create ()) else None in
+  (* the zero fact's pool id, for witness-prefix trimming; interned
+     only when provenance is on so a default run's pool statistics are
+     untouched *)
+  let zero_fid =
+    match prov with Some _ -> Fact_pool.id facts Taint.Zero | None -> -2
+  in
   {
     cfg = config;
     icfg;
@@ -226,7 +267,7 @@ let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
     mgr;
     wrappers;
     natives;
-    facts = Fact_pool.create ~size:512 ();
+    facts;
     minfos = Mkey.Tbl.create 256;
     n_minfos = 0;
     ninfos = Node_tbl.create 512;
@@ -243,6 +284,11 @@ let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
     results_seen = I2_tbl.create 256;
     budget;
     ma_cache = Mkey.Tbl.create 16;
+    prov;
+    zero_fid;
+    cur_node = -1;
+    cur_fact = -1;
+    ninfos_by_id = Int_tbl.create 512;
   }
 
 let k t = t.cfg.Config.max_access_path
@@ -275,6 +321,7 @@ let minfo_of t mk =
           mi_exits = exits;
           mi_start_ni = None;
           mi_exit_nis = None;
+          mi_prof = None;
         }
       in
       t.n_minfos <- t.n_minfos + 1;
@@ -308,6 +355,7 @@ let ninfo_of t (n : Icfg.node) =
       in
       t.n_ninfos <- t.n_ninfos + 1;
       Node_tbl.replace t.ninfos n ni;
+      Int_tbl.replace t.ninfos_by_id ni.ni_id ni;
       ni
 
 let node_at mi idx = Icfg.{ n_method = mi.mi_key; n_idx = idx }
@@ -404,7 +452,16 @@ let record_result t (ni : ninfo) fid fact =
         cell := taint :: !cell
       end
 
-let propagate t solver cx (ni : ninfo) fact =
+(* profiler cell for a method, resolved once and cached on the minfo *)
+let prof_cell (mi : minfo) =
+  match mi.mi_prof with
+  | Some c -> c
+  | None ->
+      let c = Fd_obs.Profile.cell (Mkey.to_string mi.mi_key) in
+      mi.mi_prof <- Some c;
+      c
+
+let propagate ?(kind = Prov.Normal) t solver cx (ni : ninfo) fact =
   let fid, fact = intern_fact t fact in
   let key = (cx.cc_id, ni.ni_id, fid) in
   if I3_tbl.mem solver.s_edges key then M.incr m_dedup_hits
@@ -416,12 +473,28 @@ let propagate t solver cx (ni : ninfo) fact =
       record_result t ni fid fact
     end
     else M.incr m_bw_props;
+    (match t.prov with
+    | Some prov ->
+        (* first taint derived from the zero fact is the source step,
+           whatever edge carried it (assignment source, call-site
+           return source, parameter source) *)
+        let kind =
+          if
+            t.cur_fact = t.zero_fid && fid <> t.zero_fid
+            && kind <> Prov.Seed
+          then Prov.Source
+          else kind
+        in
+        Prov.record prov ~node:ni.ni_id ~fact:fid ~pred_node:t.cur_node
+          ~pred_fact:t.cur_fact ~kind
+    | None -> ());
+    if t.cfg.Config.profile then Fd_obs.Profile.add_fact (prof_cell ni.ni_minfo);
     I3_tbl.replace solver.s_edges key ();
     Queue.add (cx, ni, fact) solver.s_work
   end
 
-let propagate_fw t cx ni fact = propagate t t.fw cx ni fact
-let propagate_bw t cx ni fact = propagate t t.bw cx ni fact
+let propagate_fw ?kind t cx ni fact = propagate ?kind t t.fw cx ni fact
+let propagate_bw ?kind t cx ni fact = propagate ?kind t t.bw cx ni fact
 
 let int_cell tbl id =
   match Int_tbl.find_opt tbl id with
@@ -436,6 +509,10 @@ let add_incoming t solver cx_callee ((ni : ninfo), (caller_cx : cctx)) =
   let key = (cx_callee.cc_id, ni.ni_id, caller_cx.cc_id) in
   if not (I3_tbl.mem solver.s_inc_seen key) then begin
     I3_tbl.replace solver.s_inc_seen key ();
+    Flight.record (fun () ->
+        Printf.sprintf "call-edge %s -> %s"
+          (Icfg.string_of_node ni.ni_node)
+          (Mkey.to_string cx_callee.cc_proc.mi_key));
     let cell = int_cell solver.s_incoming cx_callee.cc_id in
     cell := (ni, caller_cx) :: !cell
   end
@@ -451,6 +528,10 @@ let add_summary t solver cx_callee ((ni : ninfo), fact) =
   if I3_tbl.mem solver.s_sum_seen key then false
   else begin
     I3_tbl.replace solver.s_sum_seen key ();
+    Flight.record (fun () ->
+        Printf.sprintf "return-edge %s %s"
+          (Icfg.string_of_node ni.ni_node)
+          (Taint.fact_to_string fact));
     let cell = int_cell solver.s_summaries cx_callee.cc_id in
     cell := (ni, fact) :: !cell;
     M.incr m_summaries;
@@ -463,6 +544,36 @@ let summaries_of solver cx_callee =
   | None -> []
 
 (* ---------------- findings ---------------- *)
+
+(* reconstruct the witness for the finding being reported: walk the
+   provenance chain of the (node, fact) pair currently popped (the
+   sink check runs on the popped item, so the ambient cur_node /
+   cur_fact IS the sink endpoint), then trim the zero-fact seed prefix
+   down to its last element — the statement where the source taint was
+   generated *)
+let witness_of_current t =
+  match t.prov with
+  | None -> []
+  | Some prov ->
+      let chain = Prov.trace prov ~node:t.cur_node ~fact:t.cur_fact in
+      let is_zero (_, fid, _) = fid = t.zero_fid in
+      let rec trim = function
+        | a :: (b :: _ as rest) when is_zero a && is_zero b -> trim rest
+        | l -> l
+      in
+      List.filter_map
+        (fun (nid, fid, kind) ->
+          match Int_tbl.find_opt t.ninfos_by_id nid with
+          | None -> None
+          | Some ni ->
+              Some
+                {
+                  ws_node = ni.ni_node;
+                  ws_stmt = Stmt.to_string ni.ni_stmt;
+                  ws_fact = Taint.fact_to_string (Fact_pool.value t.facts fid);
+                  ws_kind = Prov.string_of_kind kind;
+                })
+        (trim chain)
 
 let report t ~(source : Taint.source_info) ~sink_node ~sink_tag ~sink_cat
     ~taint =
@@ -482,6 +593,7 @@ let report t ~(source : Taint.source_info) ~sink_node ~sink_tag ~sink_cat
         f_sink_tag = sink_tag;
         f_sink_cat = sink_cat;
         f_path = Taint.path taint @ [ sink_node ];
+        f_witness = witness_of_current t;
       }
       :: t.findings
   end
@@ -620,7 +732,7 @@ let spawn_alias_search t cx (ni : ninfo) (origin : Taint.t) ap =
            Andromeda-style behaviour) *)
         Taint.active_alias origin ~ap ~at:n
     in
-    propagate_bw t cx ni (Taint.T alias)
+    propagate_bw ~kind:Prov.Alias t cx ni (Taint.T alias)
   end
 
 (* ---------------- forward flow functions ---------------- *)
@@ -1098,7 +1210,7 @@ let process_call_fw t cx (ni : ninfo) (fact : Taint.fact) inv =
         (fun d3 ->
           let cx_callee = cctx t callee d3 in
           add_incoming t t.fw cx_callee (ni, cx);
-          propagate_fw t cx_callee s_callee d3;
+          propagate_fw ~kind:Prov.Call t cx_callee s_callee d3;
           List.iter
             (fun (e, d4) ->
               M.incr m_summary_apps;
@@ -1113,7 +1225,7 @@ let process_call_fw t cx (ni : ninfo) (fact : Taint.fact) inv =
                       | Taint.T tt when AP.length tt.Taint.ap > 0 ->
                           spawn_alias_search t cx ni tt tt.Taint.ap
                       | _ -> ());
-                      propagate_fw t cx r d5)
+                      propagate_fw ~kind:Prov.Return t cx r d5)
                     rets)
                 node_succs)
             (summaries_of t.fw cx_callee))
@@ -1176,7 +1288,9 @@ let process_call_fw t cx (ni : ninfo) (fact : Taint.fact) inv =
   in
   List.iter
     (fun r ->
-      List.iter (fun d -> propagate_fw t cx r d) (pass_through @ derived))
+      List.iter
+        (fun d -> propagate_fw ~kind:Prov.Call_to_return t cx r d)
+        (pass_through @ derived))
     node_succs
 
 let process_exit_fw t cx (ni : ninfo) (fact : Taint.fact) =
@@ -1198,7 +1312,7 @@ let process_exit_fw t cx (ni : ninfo) (fact : Taint.fact) =
                     | Taint.T tt when AP.length tt.Taint.ap > 0 ->
                         spawn_alias_search t caller_cx c tt tt.Taint.ap
                     | _ -> ());
-                    propagate_fw t caller_cx r d5)
+                    propagate_fw ~kind:Prov.Return t caller_cx r d5)
                   rets)
               (succs t c))
       (incoming_of t.fw cx);
@@ -1218,7 +1332,7 @@ let process_exit_fw t cx (ni : ninfo) (fact : Taint.fact) =
               let sni = ninfo_of t site in
               let site_cx = cctx t sni.ni_minfo Taint.Zero in
               List.iter
-                (fun s -> propagate_fw t site_cx s fact)
+                (fun s -> propagate_fw ~kind:Prov.Return t site_cx s fact)
                 (succs t sni))
             (Icfg.clinit_sites t.icfg ni.ni_node.Icfg.n_method)
       | _ -> ()
@@ -1244,7 +1358,7 @@ let process_clinit_fw t (ni : ninfo) (fact : Taint.fact) =
           let callee = minfo_of t mk in
           match (callee.mi_body, entry) with
           | Some _, Some d ->
-              propagate_fw t (cctx t callee d) (start_ni t callee) d
+              propagate_fw ~kind:Prov.Call t (cctx t callee d) (start_ni t callee) d
           | _ -> ())
         keys
 
@@ -1269,7 +1383,7 @@ let process_fw t cx (ni : ninfo) fact =
 (* inject a discovered alias into the forward analysis at node [ni] *)
 let inject_fw t cx (ni : ninfo) (alias : Taint.t) =
   M.incr m_fw_injections;
-  propagate_fw t cx ni (Taint.T alias)
+  propagate_fw ~kind:Prov.Inject t cx ni (Taint.T alias)
 
 (* backward descent into a call's callees for a fact rooted at the
    receiver or an actual argument: the callee may have created aliases
@@ -1292,7 +1406,9 @@ let backward_descend_args t cx (mni : ninfo) (inv : Stmt.invoke)
                 let cx_callee = cctx t callee (Taint.T d) in
                 add_incoming t t.fw cx_callee (mni, cx);
                 List.iter
-                  (fun e_ni -> propagate_bw t cx_callee e_ni (Taint.T d))
+                  (fun e_ni ->
+                    propagate_bw ~kind:Prov.Backward t cx_callee e_ni
+                      (Taint.T d))
                   (exit_nis t callee)
             | None -> ()
           in
@@ -1317,7 +1433,7 @@ let backward_step t cx (mni : ninfo) (taint : Taint.t) =
   let m = mni.ni_node in
   let stmt = mni.ni_stmt in
   let arr = (prec t).Config.array_index in
-  let continue_with tt = propagate_bw t cx mni (Taint.T tt) in
+  let continue_with tt = propagate_bw ~kind:Prov.Backward t cx mni (Taint.T tt) in
   match stmt.Stmt.s_kind with
   | Stmt.Assign (lv, e) -> (
       let lap = ap_of_lvalue ~arr lv in
@@ -1349,7 +1465,8 @@ let backward_step t cx (mni : ninfo) (taint : Taint.t) =
                                 let d = Taint.derive taint ~ap ~at:m in
                                 let cx_callee = cctx t callee (Taint.T d) in
                                 add_incoming t t.fw cx_callee (mni, cx);
-                                propagate_bw t cx_callee e_ni (Taint.T d)
+                                propagate_bw ~kind:Prov.Backward t cx_callee
+                                  e_ni (Taint.T d)
                             | None -> ())
                         | _ -> ())
                       (exit_nis t callee))
@@ -1438,28 +1555,74 @@ let process_bw t cx (ni : ninfo) (fact : Taint.fact) =
 
 (** [run t ~entries] seeds the zero fact at each entry method and runs
     both solvers to exhaustion (or to the propagation budget). *)
+(* rough live byte estimates for the gauges: hash-table entries are
+   costed at key tuple + bucket overhead (8 words for the I3 tables),
+   association-list cells at ~6 words, interned facts at ~16 words *)
+let bytes_of_words w = w * (Sys.word_size / 8)
+
+let solver_bytes s =
+  let i3 tbl = I3_tbl.length tbl * 8 in
+  let lists tbl =
+    Int_tbl.fold (fun _ cell acc -> acc + 2 + (6 * List.length !cell)) tbl 0
+  in
+  bytes_of_words
+    (i3 s.s_edges + i3 s.s_sum_seen + i3 s.s_inc_seen + lists s.s_summaries
+   + lists s.s_incoming)
+
+let publish_memory_gauges t =
+  M.set_int g_bytes_fw (solver_bytes t.fw);
+  M.set_int g_bytes_bw (solver_bytes t.bw);
+  M.set_int g_bytes_facts (bytes_of_words (Fact_pool.size t.facts * 16));
+  M.set_int g_bytes_prov
+    (match t.prov with Some p -> Prov.approx_bytes p | None -> 0)
+
 let run t ~entries =
+  (* arm the flight recorder for this solve: a later dump must never
+     mix events from a previous run, and even a first-tick chaos fault
+     (which can fire before any pop) must find a non-empty ring *)
+  Flight.clear ();
+  Flight.mark (Printf.sprintf "solve.start entries=%d" (List.length entries));
   List.iter
     (fun m ->
       let start = ninfo_of t (Icfg.start_node t.icfg m) in
       let cx = cctx t start.ni_minfo Taint.Zero in
-      propagate_fw t cx start Taint.Zero)
+      propagate_fw ~kind:Prov.Seed t cx start Taint.Zero)
     entries;
+  let profiling = t.cfg.Config.profile in
+  let track = t.prov <> None in
+  let pop_item solver process =
+    let cx, ni, fact = Queue.pop solver.s_work in
+    M.incr m_worklist_pops;
+    (* remember the popped pair: every propagation performed while
+       processing it records this pair as its provenance predecessor *)
+    if track then begin
+      t.cur_node <- ni.ni_id;
+      t.cur_fact <- fst (intern_fact t fact)
+    end;
+    Flight.record (fun () ->
+        Printf.sprintf "%s %s %s"
+          (if solver == t.fw then "fw.pop" else "bw.pop")
+          (Icfg.string_of_node ni.ni_node)
+          (Taint.fact_to_string fact));
+    if profiling then begin
+      let t0 = Fd_obs.Profile.now () in
+      process t cx ni fact;
+      Fd_obs.Profile.add_pop (prof_cell ni.ni_minfo)
+        ~seconds:(Fd_obs.Profile.now () -. t0)
+    end
+    else process t cx ni fact
+  in
   let rec loop () =
     (* cooperative stop: once the budget trips (cap, deadline or
        cancellation) the remaining worklist is abandoned — results so
        far stay valid as a partial under-approximation *)
     if Fd_resilience.Budget.stopped t.budget then ()
     else if not (Queue.is_empty t.fw.s_work) then begin
-      let cx, ni, fact = Queue.pop t.fw.s_work in
-      M.incr m_worklist_pops;
-      process_fw t cx ni fact;
+      pop_item t.fw process_fw;
       loop ()
     end
     else if not (Queue.is_empty t.bw.s_work) then begin
-      let cx, ni, fact = Queue.pop t.bw.s_work in
-      M.incr m_worklist_pops;
-      process_bw t cx ni fact;
+      pop_item t.bw process_bw;
       loop ()
     end
   in
@@ -1471,6 +1634,7 @@ let run t ~entries =
   M.set_int g_intern_nodes t.n_ninfos;
   M.set_int g_intern_methods t.n_minfos;
   M.set_int g_intern_ctxs t.n_cctxs;
+  publish_memory_gauges t;
   t.findings <- List.rev t.findings
 
 (** [findings t] is the reported source-to-sink flows. *)

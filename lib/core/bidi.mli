@@ -15,12 +15,28 @@
 open Fd_ir
 open Fd_callgraph
 
+(** One step of a provenance witness: a program point the derivation
+    visited, its statement text, the solver fact holding there, and
+    the flow-function kind that derived it from the previous step
+    (["seed"], ["source"], ["normal"], ["call"], ["return"],
+    ["call-to-return"], ["alias"], ["backward"], ["inject"]). *)
+type witness_step = {
+  ws_node : Icfg.node;
+  ws_stmt : string;
+  ws_fact : string;
+  ws_kind : string;
+}
+
 type finding = {
   f_source : Taint.source_info;
   f_sink_node : Icfg.node;
   f_sink_tag : string option;
   f_sink_cat : Fd_frontend.Sourcesink.category;
   f_path : Icfg.node list;  (** full propagation path, source first *)
+  f_witness : witness_step list;
+      (** shortest source-to-sink derivation reconstructed from
+          provenance edges, source step first and sink step last;
+          [[]] unless {!Config.t.provenance} was on *)
 }
 
 type t

@@ -103,6 +103,14 @@ type t = {
   precision : precision;
       (** the opt-in precision pass suite; {!no_precision} (the
           default) reproduces the paper's documented imprecisions *)
+  provenance : bool;
+      (** record provenance edges during the solve and attach witness
+          paths to findings ([--explain]); off by default — with it
+          off the solver output is byte-identical to a run without
+          this feature compiled in *)
+  profile : bool;
+      (** attribute worklist pops, facts and time to methods in the
+          per-method profiler ([--profile-out]) *)
 }
 
 (** [default] is the configuration the paper evaluates: k = 5, full
@@ -121,6 +129,8 @@ let default =
     max_propagations = 2_000_000;
     deadline_s = None;
     precision = no_precision;
+    provenance = false;
+    profile = false;
   }
 
 (** [degradation_ladder config] is the sequence of progressively

@@ -59,6 +59,12 @@ type t = {
   precision : precision;
       (** the opt-in precision pass suite; {!no_precision} by
           default *)
+  provenance : bool;
+      (** record provenance edges and attach witness paths to findings
+          ([--explain]); off by default *)
+  profile : bool;
+      (** attribute solver work to methods in the per-method profiler
+          ([--profile-out]) *)
 }
 
 val default : t

@@ -240,5 +240,8 @@ let composed_to_findings cs =
         Bidi.f_sink_tag = c.comp_sink_tag;
         Bidi.f_sink_cat = c.comp_sink_cat;
         Bidi.f_path = c.comp_path;
+        (* composed flows stitch two single-component findings; their
+           witnesses do not concatenate soundly, so none is attached *)
+        Bidi.f_witness = [];
       })
     cs

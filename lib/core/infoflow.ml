@@ -87,10 +87,23 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ?budget
       Fd_obs.Metrics.time h_solve (fun () -> Bidi.run engine ~entries));
   let t1 = Sys.time () in
   let outcome = Bidi.outcome engine in
-  if not (Fd_resilience.Outcome.is_complete outcome) then
-    Log.warn (fun m ->
-        m "solve stopped early (%s): results may be incomplete"
-          (Fd_resilience.Outcome.to_string outcome));
+  let diags =
+    if Fd_resilience.Outcome.is_complete outcome then diags
+    else begin
+      Log.warn (fun m ->
+          m "solve stopped early (%s): results may be incomplete"
+            (Fd_resilience.Outcome.to_string outcome));
+      (* attach the flight recorder's recent-event context: what the
+         solver was doing when the budget tripped *)
+      diags
+      @ [
+          Fd_resilience.Diag.make ~file:"flight-recorder"
+            (Printf.sprintf "%s: %s"
+               (Fd_resilience.Outcome.to_string outcome)
+               (Fd_obs.Ring.Flight.dump_line ~limit:12 ()));
+        ]
+    end
+  in
   Log.debug (fun m ->
       m "done: %d finding(s), %d propagations, %.4fs"
         (List.length (Bidi.findings engine))
@@ -303,13 +316,31 @@ let string_of_completeness = function
 let with_fallback ~(config : Config.t) (run : label:string -> Config.t -> result)
     =
   let ladder = Config.degradation_ladder config in
-  let rec go attempts best = function
+  (* flight-recorder diagnostics of earlier rungs, kept so the final
+     report explains *why* the ladder stepped down; each degraded rung
+     attached its own dump in [run_engine], crashed rungs are captured
+     here before the next rung's solve clears the ring *)
+  let flight_diags result =
+    List.filter
+      (fun d -> String.equal d.Fd_resilience.Diag.d_file "flight-recorder")
+      result.r_diags
+  in
+  let stash_best stash best =
+    match best with
+    | Some (_, prev) -> stash @ flight_diags prev
+    | None -> stash
+  in
+  let with_stash stash result =
+    if stash = [] then result
+    else { result with r_diags = result.r_diags @ stash }
+  in
+  let rec go attempts best stash = function
     | [] -> (
         match best with
         | Some (label, result) ->
             Fd_obs.Metrics.incr m_degraded_runs;
             {
-              fb_result = result;
+              fb_result = with_stash stash result;
               fb_attempts = List.rev attempts;
               fb_completeness = Partial label;
             }
@@ -334,7 +365,7 @@ let with_fallback ~(config : Config.t) (run : label:string -> Config.t -> result
               if List.length attempts > 1 then
                 Fd_obs.Metrics.incr m_degraded_runs;
               {
-                fb_result = result;
+                fb_result = with_stash (stash_best stash best) result;
                 fb_attempts = attempts;
                 fb_completeness =
                   (if List.length attempts = 1 then Precise
@@ -344,8 +375,11 @@ let with_fallback ~(config : Config.t) (run : label:string -> Config.t -> result
             else
               (* keep the partial result in case no rung completes;
                  later rungs overwrite earlier ones (they got further
-                 through their cheaper state space) *)
-              go (at :: attempts) (Some (label, result)) rest
+                 through their cheaper state space) — but the replaced
+                 rung's flight dump survives in the stash *)
+              go (at :: attempts)
+                (Some (label, result))
+                (stash_best stash best) rest
         | Error outcome ->
             let at =
               {
@@ -355,9 +389,17 @@ let with_fallback ~(config : Config.t) (run : label:string -> Config.t -> result
                 at_time = Sys.time () -. t0;
               }
             in
-            go (at :: attempts) best rest)
+            let stash =
+              stash
+              @ [
+                  Fd_resilience.Diag.make ~file:"flight-recorder"
+                    (Printf.sprintf "%s crashed: %s" label
+                       (Fd_obs.Ring.Flight.dump_line ~limit:12 ()));
+                ]
+            in
+            go (at :: attempts) best stash rest)
   in
-  go [] None ladder
+  go [] None [] ladder
 
 (** [analyze_with_fallback ?config ?mode apk] is {!analyze_apk} under
     the degradation ladder: when a run exhausts its budget or crashes,

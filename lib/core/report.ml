@@ -159,3 +159,54 @@ let fallback_summary (fb : Infoflow.fallback) =
               (Fd_resilience.Outcome.to_string a.Infoflow.at_outcome))
           fb.Infoflow.fb_attempts))
     (List.length fb.Infoflow.fb_result.Infoflow.r_findings)
+
+(* ---------------- provenance witnesses ---------------- *)
+
+(** [witness_lines fd] renders a finding's provenance witness for the
+    CLI's [--explain] output, one indented line per step. *)
+let witness_lines (fd : Bidi.finding) =
+  List.map
+    (fun (ws : Bidi.witness_step) ->
+      Printf.sprintf "      [%-14s] %s  %s   {%s}" ws.Bidi.ws_kind
+        (node_attr ws.Bidi.ws_node) ws.Bidi.ws_stmt ws.Bidi.ws_fact)
+    fd.Bidi.f_witness
+
+let json_of_tag = function
+  | Some t -> Fd_obs.Json.String t
+  | None -> Fd_obs.Json.Null
+
+(** [witnesses_json findings] is the [witnesses] array for
+    [--stats-json]: one entry per finding that carries a witness, with
+    the source/sink endpoints and every derivation step. *)
+let witnesses_json findings =
+  Fd_obs.Json.List
+    (List.filter_map
+       (fun (fd : Bidi.finding) ->
+         match fd.Bidi.f_witness with
+         | [] -> None
+         | steps ->
+             Some
+               (Fd_obs.Json.Obj
+                  [
+                    ( "source",
+                      Fd_obs.Json.String (node_attr fd.Bidi.f_source.Taint.si_node)
+                    );
+                    ("source_tag", json_of_tag fd.Bidi.f_source.Taint.si_tag);
+                    ("sink", Fd_obs.Json.String (node_attr fd.Bidi.f_sink_node));
+                    ("sink_tag", json_of_tag fd.Bidi.f_sink_tag);
+                    ( "steps",
+                      Fd_obs.Json.List
+                        (List.map
+                           (fun (ws : Bidi.witness_step) ->
+                             Fd_obs.Json.Obj
+                               [
+                                 ( "node",
+                                   Fd_obs.Json.String (node_attr ws.Bidi.ws_node)
+                                 );
+                                 ("stmt", Fd_obs.Json.String ws.Bidi.ws_stmt);
+                                 ("fact", Fd_obs.Json.String ws.Bidi.ws_fact);
+                                 ("kind", Fd_obs.Json.String ws.Bidi.ws_kind);
+                               ])
+                           steps) );
+                  ]))
+       findings)

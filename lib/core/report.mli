@@ -37,3 +37,13 @@ val outcome_line : Infoflow.result -> string
 val fallback_summary : Infoflow.fallback -> string
 (** one-line digest of a ladder run: completeness, per-rung outcomes,
     final flow count *)
+
+val witness_lines : Bidi.finding -> string list
+(** a finding's provenance witness rendered for the CLI's
+    [--explain] output, one indented line per derivation step; [[]]
+    when the finding carries no witness *)
+
+val witnesses_json : Bidi.finding list -> Fd_obs.Json.t
+(** the [witnesses] array for [--stats-json]: per witnessed finding,
+    the source/sink endpoints (statement ids and tags) and the full
+    step list ([node]/[stmt]/[fact]/[kind] per step) *)

@@ -112,6 +112,121 @@ let check_gen ?config ?coverage (ga : Gen.gen_app) : app_report =
     ~expected:ga.Gen.ga_expected ~limits:ga.Gen.ga_limits ga.Gen.ga_apk
 
 (* ------------------------------------------------------------------ *)
+(* witness validation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [witness_adjacent icfg a b] — whether nodes [a] and [b] can be one
+    solver step apart.  Deliberately generous: besides intra-procedural
+    succ/pred edges it accepts call descents (into callee entry {e or}
+    exit — the backward alias solver enters at exits), return ascents
+    to any successor of the method's call sites, descents launched from
+    a predecessor of the recorded node, and first-use [<clinit>]
+    relays.  A witness that fails even this relation skipped across the
+    ICFG and is definitely broken. *)
+let witness_adjacent (icfg : Fd_callgraph.Icfg.t) a b =
+  let module I = Fd_callgraph.Icfg in
+  let mem n ns = List.exists (I.equal_node n) ns in
+  let callee_entry_exits n =
+    List.concat_map
+      (fun m ->
+        match I.start_node icfg m :: I.exit_nodes icfg m with
+        | ns -> ns
+        | exception Not_found -> [])
+      (I.callees icfg n @ I.clinit_callees icfg n @ I.refl_callees icfg n)
+  in
+  let one_way a b =
+    I.equal_node a b
+    || mem b (I.succs icfg a)
+    || mem b (I.preds icfg a)
+    || mem b (callee_entry_exits a)
+    || List.exists (fun p -> mem b (callee_entry_exits p)) (I.preds icfg a)
+    || (let callers = I.callers icfg a.I.n_method in
+        mem b callers
+        || List.exists (fun c -> mem b (I.succs icfg c)) callers)
+    || mem a (I.clinit_sites icfg b.I.n_method)
+    || mem b (I.clinit_sites icfg a.I.n_method)
+  in
+  (* backward-analysis steps run the same edges in reverse *)
+  one_way a b || one_way b a
+
+type witness_report = {
+  wr_findings : int;  (** findings the provenance-on run reported *)
+  wr_witnessed : int;  (** findings that carried a witness *)
+  wr_dynamic_agree : int;
+      (** witnessed findings whose (source tag, sink tag) the dynamic
+          interpreter also observed leaking — static-only witnesses are
+          expected wherever the static engine over-approximates, so
+          this is reported, not treated as an error *)
+  wr_errors : string list;
+      (** endpoint or adjacency violations; empty = every witness is
+          structurally valid *)
+}
+
+(** [check_witnesses ?config ?coverage ~name apk] re-analyses the app
+    with provenance recording forced on and validates every reported
+    finding's witness: it must exist, start at the finding's source
+    statement, end at its sink statement, and take only ICFG-adjacent
+    steps ({!witness_adjacent}).  Agreement with the dynamic
+    interpreter's observed leaks is counted separately. *)
+let check_witnesses ?(config = Config.default) ?coverage ~name apk :
+    witness_report =
+  let config = { config with Config.provenance = true } in
+  let r = Infoflow.analyze_apk ~config apk in
+  let icfg = r.Infoflow.r_icfg in
+  let dynamic = dynamic_findings ?coverage apk in
+  let errors = ref [] in
+  let witnessed = ref 0 in
+  let agree = ref 0 in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  List.iter
+    (fun (fd : Bidi.finding) ->
+      let where =
+        Printf.sprintf "%s: %s -> %s" name
+          (Fd_callgraph.Icfg.string_of_node fd.Bidi.f_source.Taint.si_node)
+          (Fd_callgraph.Icfg.string_of_node fd.Bidi.f_sink_node)
+      in
+      match fd.Bidi.f_witness with
+      | [] -> err "%s: no witness recorded" where
+      | steps ->
+          incr witnessed;
+          let first = List.hd steps in
+          let last = List.nth steps (List.length steps - 1) in
+          if
+            not
+              (Fd_callgraph.Icfg.equal_node first.Bidi.ws_node
+                 fd.Bidi.f_source.Taint.si_node)
+          then
+            err "%s: witness starts at %s, not at the source" where
+              (Fd_callgraph.Icfg.string_of_node first.Bidi.ws_node);
+          if
+            not
+              (Fd_callgraph.Icfg.equal_node last.Bidi.ws_node
+                 fd.Bidi.f_sink_node)
+          then
+            err "%s: witness ends at %s, not at the sink" where
+              (Fd_callgraph.Icfg.string_of_node last.Bidi.ws_node);
+          let rec walk = function
+            | (a : Bidi.witness_step) :: (b :: _ as rest) ->
+                if not (witness_adjacent icfg a.Bidi.ws_node b.Bidi.ws_node)
+                then
+                  err "%s: non-adjacent witness step %s -> %s" where
+                    (Fd_callgraph.Icfg.string_of_node a.Bidi.ws_node)
+                    (Fd_callgraph.Icfg.string_of_node b.Bidi.ws_node);
+                walk rest
+            | _ -> ()
+          in
+          walk steps;
+          if List.mem (fd.Bidi.f_source.Taint.si_tag, fd.Bidi.f_sink_tag) dynamic
+          then incr agree)
+    r.Infoflow.r_findings;
+  {
+    wr_findings = List.length r.Infoflow.r_findings;
+    wr_witnessed = !witnessed;
+    wr_dynamic_agree = !agree;
+    wr_errors = List.rev !errors;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* campaigns                                                           *)
 (* ------------------------------------------------------------------ *)
 

@@ -29,9 +29,18 @@ type t = {
     (CPU time would aggregate all workers). *)
 let run ?(config = Config.default) ?jobs ~profile ~seed ~n () =
   let apps = Fd_appgen.Generator.corpus ~profile ~seed n in
+  (* per-app observability reset, sequential runs only: with one
+     worker each app's metrics/trace state starts clean instead of
+     accumulating its predecessors'; under parallelism a global reset
+     would race with the other workers, so the registry stays shared *)
+  let sequential = Option.value jobs ~default:(Fd_util.Pool.default_jobs ()) <= 1 in
   let stats =
     Fd_util.Pool.map ?jobs
       (fun (ga : Fd_appgen.Generator.gen_app) ->
+        if sequential then begin
+          Fd_obs.Metrics.reset ();
+          Fd_obs.Trace.reset ()
+        end;
         let t0 = Unix.gettimeofday () in
         let findings, outcome =
           match

@@ -99,6 +99,9 @@ let g_intern_procs = M.gauge "intern.ifds.procs.size"
 let g_intern_facts = M.gauge "intern.ifds.facts.size"
 let g_intern_hits = M.gauge "intern.ifds.facts.hits"
 let g_intern_misses = M.gauge "intern.ifds.facts.misses"
+let g_bytes_tables = M.gauge "mem.ifds_tables.bytes"
+
+module Flight = Fd_obs.Ring.Flight
 
 module Make (P : PROBLEM) = struct
   module Node_pool = Fd_util.Intern.Make (struct
@@ -383,12 +386,29 @@ module Make (P : PROBLEM) = struct
         (P.succs n)
     end
 
-  (** [solve ?budget ~seeds ()] runs the tabulation to a fixed point
-      (or until [budget] trips — check {!outcome} afterwards).  Each
-      seed [(n, d)] asserts that [d] holds just before [n] (typically
-      [(entry, zero)]). *)
-  let solve ?budget ~seeds () =
+  (* rough live byte accounting for the gauge: I4 entries cost key
+     tuple + bucket (~10 words), I2-indexed association cells ~8 words
+     per element *)
+  let table_bytes t =
+    let i4 tbl = I4_tbl.length tbl * 10 in
+    let lists tbl =
+      I2_tbl.fold (fun _ cell acc -> acc + 3 + (8 * List.length !cell)) tbl 0
+    in
+    (i4 t.path_edges + i4 t.sum_seen + i4 t.inc_seen + i4 t.ctx_seen
+    + I2_tbl.length t.results_seen * 8
+    + lists t.end_summaries + lists t.incoming + lists t.incoming_ctx)
+    * (Sys.word_size / 8)
+
+  (** [solve ?budget ?proc_name ~seeds ()] runs the tabulation to a
+      fixed point (or until [budget] trips — check {!outcome}
+      afterwards).  Each seed [(n, d)] asserts that [d] holds just
+      before [n] (typically [(entry, zero)]).  When [proc_name] is
+      given, every pop's processing time is attributed to its
+      procedure in the {!Fd_obs.Profile} registry. *)
+  let solve ?budget ?proc_name ~seeds () =
     let t = create ?budget () in
+    Flight.clear ();
+    Flight.mark (Printf.sprintf "ifds.solve.start seeds=%d" (List.length seeds));
     List.iter
       (fun (n, d) ->
         let sp = P.start_of (P.proc_of n) in
@@ -402,19 +422,40 @@ module Make (P : PROBLEM) = struct
         if not (P.fact_equal d P.zero) then
           propagate t ~sp ~sp_id ~d1:z ~d1_id:z_id n P.zero)
       seeds;
+    (* profiler cells per interned procedure id, resolved lazily *)
+    let prof_cells = Int_tbl.create 64 in
+    let prof_cell name proc =
+      let pid = Proc_pool.id t.procs proc in
+      match Int_tbl.find_opt prof_cells pid with
+      | Some c -> c
+      | None ->
+          let c = Fd_obs.Profile.cell (name proc) in
+          Int_tbl.replace prof_cells pid c;
+          c
+    in
     while
       (not (Queue.is_empty t.worklist))
       && not (Fd_resilience.Budget.stopped t.budget)
     do
       let it = Queue.pop t.worklist in
       M.incr m_worklist_pops;
-      process t it
+      Flight.record (fun () ->
+          Printf.sprintf "ifds.pop n%d d%d" it.it_n_id it.it_d2_id);
+      match proc_name with
+      | None -> process t it
+      | Some name ->
+          let t0 = Fd_obs.Profile.now () in
+          process t it;
+          Fd_obs.Profile.add_pop
+            (prof_cell name (P.proc_of it.it_n))
+            ~seconds:(Fd_obs.Profile.now () -. t0)
     done;
     M.set_int g_intern_nodes (Node_pool.size t.nodes);
     M.set_int g_intern_procs (Proc_pool.size t.procs);
     M.set_int g_intern_facts (Fact_pool.size t.facts);
     M.set_int g_intern_hits (Fact_pool.hits t.facts);
     M.set_int g_intern_misses (Fact_pool.misses t.facts);
+    M.set_int g_bytes_tables (table_bytes t);
     t
 
   (** [outcome t] is the typed termination state of the solve

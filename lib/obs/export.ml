@@ -1,4 +1,4 @@
-let stats_json () =
+let stats_json ?(extra = []) () =
   match Metrics.to_json () with
   | Json.Obj fields ->
       Json.Obj
@@ -13,16 +13,25 @@ let stats_json () =
                          [ ("seconds", Json.Float dur); ("count", Json.Int n) ]
                      ))
                    (Trace.aggregate ())) );
-          ])
+          ]
+        @ extra)
   | other -> other
 
+(* path "-" writes to stdout, the Unix convention the runners expose
+   as [--stats-json -] / [--trace-out -] *)
 let write_file path contents =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+  if String.equal path "-" then begin
+    print_string contents;
+    flush stdout
+  end
+  else begin
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+  end
 
-let write_stats_json ~path =
-  write_file path (Json.to_string ~indent:1 (stats_json ()) ^ "\n")
+let write_stats_json ?extra ~path () =
+  write_file path (Json.to_string ~indent:1 (stats_json ?extra ()) ^ "\n")
 
 let write_chrome_trace ~path = write_file path (Trace.to_chrome_string () ^ "\n")

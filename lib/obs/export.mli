@@ -1,14 +1,19 @@
 (** File export of the observability state, shared by the CLI, the
     benchmark runners and the bench harness. *)
 
-val stats_json : unit -> Json.t
+val stats_json : ?extra:(string * Json.t) list -> unit -> Json.t
 (** one object combining the metric registry snapshot ({!Metrics}) and
     the per-phase aggregate durations ({!Trace.aggregate}):
     [{"counters": …, "gauges": …, "histograms": …, "phases": {name:
-    {"seconds": s, "count": n}}}] *)
+    {"seconds": s, "count": n}}}].  [extra] fields (e.g. witness paths
+    or the profiler's hot-method table) are appended to the object. *)
 
-val write_stats_json : path:string -> unit
-(** write [stats_json ()] pretty-printed to [path] *)
+val write_file : string -> string -> unit
+(** [write_file path contents] writes [contents] to [path]; the path
+    ["-"] writes to stdout instead *)
+
+val write_stats_json : ?extra:(string * Json.t) list -> path:string -> unit -> unit
+(** write [stats_json ()] pretty-printed to [path] (["-"] = stdout) *)
 
 val write_chrome_trace : path:string -> unit
-(** write {!Trace.to_chrome_string} to [path] *)
+(** write {!Trace.to_chrome_string} to [path] (["-"] = stdout) *)

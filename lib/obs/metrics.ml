@@ -130,11 +130,39 @@ and hist_summary = {
   hs_min : float;
   hs_max : float;
   hs_buckets : (float * int) list;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
 }
 
 let sorted_bindings tbl f =
   Hashtbl.fold (fun name v acc -> (name, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* quantile estimate from the log-scale buckets: find the bucket
+   holding the rank-[q·count] sample and interpolate linearly within
+   its (lower, upper] range, clamping to the observed min/max (which
+   are exact).  Must be called with [h.h_lock] held. *)
+let quantile_locked h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let rank = q *. float_of_int h.h_count in
+    let i = ref 0 and cum = ref 0 in
+    while !i < bucket_count - 1 && float_of_int (!cum + h.h_buckets.(!i)) < rank do
+      cum := !cum + h.h_buckets.(!i);
+      i := !i + 1
+    done;
+    let in_bucket = h.h_buckets.(!i) in
+    let est =
+      if in_bucket = 0 then bucket_upper !i
+      else
+        let lower = if !i = 0 then 0. else bucket_upper (!i - 1) in
+        let upper = bucket_upper !i in
+        let frac = (rank -. float_of_int !cum) /. float_of_int in_bucket in
+        lower +. (frac *. (upper -. lower))
+    in
+    Float.min h.h_max (Float.max h.h_min est)
+  end
 
 let snapshot () =
   locked (fun () ->
@@ -151,6 +179,9 @@ let snapshot () =
                   hs_min = (if h.h_count = 0 then 0. else h.h_min);
                   hs_max = (if h.h_count = 0 then 0. else h.h_max);
                   hs_buckets = nonempty_buckets h;
+                  hs_p50 = quantile_locked h 0.50;
+                  hs_p90 = quantile_locked h 0.90;
+                  hs_p99 = quantile_locked h 0.99;
                 }
               in
               Mutex.unlock h.h_lock;
@@ -181,6 +212,9 @@ let snapshot_to_json sn =
                      ("sum", Json.Float hs.hs_sum);
                      ("min", Json.Float hs.hs_min);
                      ("max", Json.Float hs.hs_max);
+                     ("p50", Json.Float hs.hs_p50);
+                     ("p90", Json.Float hs.hs_p90);
+                     ("p99", Json.Float hs.hs_p99);
                      ( "buckets",
                        Json.List
                          (List.map

@@ -65,6 +65,12 @@ and hist_summary = {
   hs_min : float;  (** 0. when empty *)
   hs_max : float;
   hs_buckets : (float * int) list;
+  hs_p50 : float;
+      (** quantile estimates, linearly interpolated within the
+          log-scale bucket holding the rank and clamped to
+          [[min, max]]; 0. when empty *)
+  hs_p90 : float;
+  hs_p99 : float;
 }
 
 val snapshot : unit -> snapshot

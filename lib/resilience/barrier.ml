@@ -9,7 +9,14 @@ let message label exn =
     | Chaos.Fault site -> Printf.sprintf "injected fault at %s" site
     | e -> Printexc.to_string e
   in
-  Printf.sprintf "%s: %s" label base
+  (* append the flight recorder's last-events context so a crash
+     report carries what the solver was doing when it died *)
+  let flight =
+    if Fd_obs.Ring.Flight.recorded () = 0 then ""
+    else
+      Printf.sprintf " [flight: %s]" (Fd_obs.Ring.Flight.dump_line ~limit:6 ())
+  in
+  Printf.sprintf "%s: %s%s" label base flight
 
 let protect ~label f =
   match f () with

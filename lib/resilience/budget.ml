@@ -34,6 +34,9 @@ let unlimited () = create ()
 let stop t reason counter =
   if t.b_stop = None then begin
     t.b_stop <- Some reason;
+    Fd_obs.Ring.Flight.mark
+      (Printf.sprintf "budget.stop %s props=%d" (Outcome.to_string reason)
+         t.b_props);
     Fd_obs.Metrics.incr counter
   end
 
@@ -61,6 +64,9 @@ let tick t =
         t.b_countdown <- t.b_countdown - 1;
         if t.b_countdown <= 0 then begin
           t.b_countdown <- clock_period;
+          (let p = t.b_props in
+           Fd_obs.Ring.Flight.record (fun () ->
+               Printf.sprintf "budget.tick props=%d" p));
           Chaos.fail_point t.b_chaos "solver.step";
           if deadline_passed t then
             stop t Outcome.Deadline_exceeded m_deadline_hits

@@ -4,6 +4,8 @@
 module M = Fd_obs.Metrics
 module T = Fd_obs.Trace
 module J = Fd_obs.Json
+module R = Fd_obs.Ring
+module P = Fd_obs.Profile
 
 (* every test starts from a clean registry and trace so that tests do
    not observe each other's metrics (the reset-isolation contract) *)
@@ -77,6 +79,149 @@ let test_time () =
   (* the observation happens even when the timed function raises *)
   (try M.time h (fun () -> failwith "boom") with Failure _ -> ());
   Alcotest.(check int) "sample on raise" 2 (M.hist_count h)
+
+(* ---------------- quantiles ---------------- *)
+
+let test_quantiles_single_bucket () =
+  fresh ();
+  let h = M.histogram "test.q1" in
+  for _ = 1 to 100 do
+    M.observe h 0.001
+  done;
+  let hs = List.assoc "test.q1" (M.snapshot ()).M.sn_histograms in
+  (* min = max, so the clamp pins every quantile to the exact value *)
+  Alcotest.(check (float 1e-12)) "p50" 0.001 hs.M.hs_p50;
+  Alcotest.(check (float 1e-12)) "p99" 0.001 hs.M.hs_p99
+
+let test_quantiles_spread () =
+  fresh ();
+  let h = M.histogram "test.q2" in
+  for _ = 1 to 90 do
+    M.observe h 0.001
+  done;
+  for _ = 1 to 10 do
+    M.observe h 1.0
+  done;
+  let hs = List.assoc "test.q2" (M.snapshot ()).M.sn_histograms in
+  Alcotest.(check bool) "p50 <= p90" true (hs.M.hs_p50 <= hs.M.hs_p90);
+  Alcotest.(check bool) "p90 <= p99" true (hs.M.hs_p90 <= hs.M.hs_p99);
+  Alcotest.(check bool) "within [min,max]" true
+    (hs.M.hs_p50 >= hs.M.hs_min && hs.M.hs_p99 <= hs.M.hs_max);
+  (* rank 50 falls among the 0.001 samples, rank 99 among the 1.0s *)
+  Alcotest.(check bool) "p50 is small" true (hs.M.hs_p50 <= 0.002);
+  Alcotest.(check bool) "p99 is large" true (hs.M.hs_p99 >= 0.5)
+
+let test_quantiles_empty () =
+  fresh ();
+  let h = M.histogram "test.q3" in
+  ignore h;
+  let hs = List.assoc "test.q3" (M.snapshot ()).M.sn_histograms in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 hs.M.hs_p50;
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 hs.M.hs_p99
+
+(* ---------------- ring buffer and flight recorder ---------------- *)
+
+let test_ring_basics () =
+  let r = R.create ~capacity:4 in
+  Alcotest.(check (list int)) "empty" [] (R.to_list r);
+  R.push r 1;
+  R.push r 2;
+  Alcotest.(check (list int)) "fifo before wrap" [ 1; 2 ] (R.to_list r);
+  List.iter (R.push r) [ 3; 4; 5; 6 ];
+  Alcotest.(check (list int)) "newest cap items, oldest first" [ 3; 4; 5; 6 ]
+    (R.to_list r);
+  Alcotest.(check int) "length" 4 (R.length r);
+  Alcotest.(check int) "pushed is monotonic" 6 (R.pushed r);
+  R.clear r;
+  Alcotest.(check (list int)) "cleared" [] (R.to_list r);
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (R.create ~capacity:0))
+
+(* wrap-around property: for any push sequence and capacity, the ring
+   holds exactly the last [min cap n] values, in push order *)
+let test_ring_wraparound_property =
+  QCheck.Test.make ~name:"ring keeps the suffix" ~count:500
+    QCheck.(pair (int_range 1 20) (small_list small_int))
+    (fun (cap, xs) ->
+      let r = R.create ~capacity:cap in
+      List.iter (R.push r) xs;
+      let n = List.length xs in
+      let expect =
+        List.filteri (fun i _ -> i >= n - min cap n) xs
+      in
+      R.to_list r = expect && R.pushed r = n && R.length r = min cap n)
+
+let test_flight_recorder () =
+  let module F = R.Flight in
+  F.clear ();
+  Alcotest.(check int) "starts empty" 0 (F.recorded ());
+  Alcotest.(check string) "empty dump line" "" (F.dump_line ());
+  F.mark "start";
+  let evaluated = ref 0 in
+  F.record (fun () ->
+      incr evaluated;
+      "lazy event");
+  Alcotest.(check int) "lazy until dumped" 0 !evaluated;
+  Alcotest.(check (list string)) "dump renders" [ "start"; "lazy event" ]
+    (F.dump ());
+  Alcotest.(check int) "recorded" 2 (F.recorded ());
+  (* elision marker: more events than the dump-line limit *)
+  F.clear ();
+  for i = 1 to 5 do
+    F.mark (string_of_int i)
+  done;
+  Alcotest.(check string) "limited dump elides" "4 | 5 (+3 earlier)"
+    (F.dump_line ~limit:2 ());
+  F.clear ();
+  Alcotest.(check int) "cleared" 0 (F.recorded ())
+
+(* ---------------- profiler ---------------- *)
+
+let test_profile_basics () =
+  P.reset ();
+  Alcotest.(check bool) "disabled when empty" false (P.enabled ());
+  let a = P.cell "A.m/1" and b = P.cell "B.n/0" in
+  Alcotest.(check bool) "enabled after registration" true (P.enabled ());
+  P.add_pop a ~seconds:0.002;
+  P.add_pop a ~seconds:0.001;
+  P.add_fact a;
+  P.add_pop b ~seconds:0.010;
+  (match P.entries () with
+  | [ hot; cold ] ->
+      Alcotest.(check string) "hottest first" "B.n/0" hot.P.e_name;
+      Alcotest.(check int) "pops" 1 hot.P.e_pops;
+      Alcotest.(check int) "facts" 1 cold.P.e_facts;
+      Alcotest.(check (float 1e-9)) "time accumulates" 0.003 cold.P.e_seconds
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es));
+  Alcotest.(check int) "top k" 1 (List.length (P.top ~k:1));
+  (* collapsed-stack lines: flowdroid;<method> <usec> *)
+  let lines = String.split_on_char '\n' (String.trim (P.collapsed ())) in
+  Alcotest.(check int) "one line per method" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "frame prefix" true
+        (String.length l > 10 && String.sub l 0 10 = "flowdroid;"))
+    lines;
+  (* same-name lookup returns the same accumulator *)
+  P.add_fact (P.cell "A.m/1");
+  Alcotest.(check int) "cell identity" 2
+    (List.find (fun e -> e.P.e_name = "A.m/1") (P.entries ())).P.e_facts;
+  P.reset ();
+  Alcotest.(check (list string)) "reset drops cells" []
+    (List.map (fun e -> e.P.e_name) (P.entries ()))
+
+let test_profile_json () =
+  P.reset ();
+  P.add_pop (P.cell "Hot.m/0") ~seconds:0.5;
+  (match P.to_json () with
+  | J.List [ J.Obj fields ] ->
+      Alcotest.(check bool) "method field" true
+        (List.assoc_opt "method" fields = Some (J.String "Hot.m/0"));
+      Alcotest.(check bool) "pops field" true
+        (List.assoc_opt "pops" fields = Some (J.Int 1))
+  | j -> Alcotest.failf "unexpected profile JSON %s" (J.to_string j));
+  P.reset ()
 
 (* ---------------- reset isolation ---------------- *)
 
@@ -246,6 +391,60 @@ let test_engine_populates_registry () =
   Alcotest.(check bool) "solve phase traced" true
     (List.exists (fun (n, _, _) -> n = "taint.solve") (T.aggregate ()))
 
+(* with provenance on, the same app yields a witness per finding and
+   the Chrome trace / witnesses JSON stay valid; with it off (the
+   default, exercised above) findings carry no witness *)
+let test_provenance_engine () =
+  fresh ();
+  let app =
+    match Fd_droidbench.Suite.find "DirectLeak1" with
+    | Some a -> a.Fd_droidbench.Bench_app.app_apk
+    | None -> Alcotest.fail "DirectLeak1 missing from the suite"
+  in
+  let plain = Fd_core.Infoflow.analyze_apk app in
+  List.iter
+    (fun (fd : Fd_core.Bidi.finding) ->
+      Alcotest.(check bool) "no witness when provenance is off" true
+        (fd.Fd_core.Bidi.f_witness = []))
+    plain.Fd_core.Infoflow.r_findings;
+  fresh ();
+  let config =
+    { Fd_core.Config.default with Fd_core.Config.provenance = true }
+  in
+  let result = Fd_core.Infoflow.analyze_apk ~config app in
+  let findings = result.Fd_core.Infoflow.r_findings in
+  Alcotest.(check bool) "found the leak" true (findings <> []);
+  List.iter
+    (fun (fd : Fd_core.Bidi.finding) ->
+      Alcotest.(check bool) "witness recorded" true
+        (fd.Fd_core.Bidi.f_witness <> []))
+    findings;
+  Alcotest.(check bool) "provenance does not change the flows" true
+    (List.map
+       (fun (fd : Fd_core.Bidi.finding) ->
+         (fd.Fd_core.Bidi.f_source.Fd_core.Taint.si_tag,
+          fd.Fd_core.Bidi.f_sink_tag))
+       findings
+    = List.map
+        (fun (fd : Fd_core.Bidi.finding) ->
+          (fd.Fd_core.Bidi.f_source.Fd_core.Taint.si_tag,
+           fd.Fd_core.Bidi.f_sink_tag))
+        plain.Fd_core.Infoflow.r_findings);
+  (* the Chrome trace is still valid JSON after a provenance-on run *)
+  (match J.member "traceEvents" (J.parse_string (T.to_chrome_string ())) with
+  | Some (J.List events) ->
+      Alcotest.(check bool) "trace has events" true (events <> [])
+  | _ -> Alcotest.fail "no traceEvents array");
+  (* the witnesses array round-trips through the JSON printer/parser *)
+  let wj = Fd_core.Report.witnesses_json findings in
+  (match wj with
+  | J.List ws ->
+      Alcotest.(check int) "one entry per witnessed finding"
+        (List.length findings) (List.length ws)
+  | _ -> Alcotest.fail "witnesses is not a list");
+  Alcotest.(check bool) "witnesses JSON round-trips" true
+    (J.equal wj (J.parse_string (J.to_string ~indent:1 wj)))
+
 let () =
   Alcotest.run "fd_obs"
     [
@@ -260,6 +459,21 @@ let () =
             test_histogram_extremes;
           Alcotest.test_case "time" `Quick test_time;
           Alcotest.test_case "reset isolates" `Quick test_reset_isolates;
+          Alcotest.test_case "quantiles single bucket" `Quick
+            test_quantiles_single_bucket;
+          Alcotest.test_case "quantiles spread" `Quick test_quantiles_spread;
+          Alcotest.test_case "quantiles empty" `Quick test_quantiles_empty;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "basics" `Quick test_ring_basics;
+          QCheck_alcotest.to_alcotest test_ring_wraparound_property;
+          Alcotest.test_case "flight recorder" `Quick test_flight_recorder;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "basics" `Quick test_profile_basics;
+          Alcotest.test_case "json" `Quick test_profile_json;
         ] );
       ( "trace",
         [
@@ -281,5 +495,7 @@ let () =
         [
           Alcotest.test_case "engine populates registry" `Quick
             test_engine_populates_registry;
+          Alcotest.test_case "provenance engine run" `Quick
+            test_provenance_engine;
         ] );
     ]
