@@ -1,0 +1,78 @@
+#!/bin/sh
+# Serving gate, in two acts:
+#
+#   1. smoke: boot the real flowdroid_serve.exe daemon on a fresh
+#      socket, drive it with flowdroid_client.exe (ping, one analyze
+#      of a generated app, stats), then drain it and require a clean
+#      exit 0 — the full binary-to-binary path, no test harness.
+#   2. load: run serve_bench (which itself boots a fresh daemon per
+#      phase) across {chaos off, chaos on} x concurrency levels plus
+#      the warm/cold amortisation probe, and enforce its gates:
+#        (a) zero requests dropped without a reply, daemon alive;
+#        (b) warm per-request mean >= 3x faster than a cold
+#            per-process run of the same apps;
+#        (c) chaos-on p99 <= 2x chaos-off p99 at each level.
+#
+#   sh bench/check_serve.sh [APPS]          (default APPS: 100)
+#
+# Writes BENCH_serve.json at the repo root and exits non-zero on any
+# gate failure, so it can gate CI.
+set -eu
+
+apps="${1:-100}"
+seed="${SEED:-20140609}"
+concurrency="${CONCURRENCY:-4,16}"
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+work="$(mktemp -d)"
+sock="$work/serve.sock"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+cd "$root"
+
+echo "== check_serve: building"
+dune build --display=quiet \
+  bin/flowdroid_serve.exe bin/flowdroid_client.exe bench/serve_bench.exe
+
+serve=_build/default/bin/flowdroid_serve.exe
+client=_build/default/bin/flowdroid_client.exe
+
+echo "== check_serve: daemon smoke test"
+"$serve" --socket "$sock" --workers 2 --stats-out "$work/stats.json" -q &
+daemon_pid=$!
+
+i=0
+until "$client" ping --socket "$sock" >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 200 ] || { echo "FAIL: daemon never came up"; exit 1; }
+  sleep 0.1
+done
+echo "ok: daemon up, ping answered"
+
+"$client" analyze --socket "$sock" --gen "malware:$seed:3" \
+  > "$work/analyze.json"
+grep -q '"completeness": "precise"' "$work/analyze.json" \
+  || { echo "FAIL: analyze reply not precise:"; cat "$work/analyze.json"; exit 1; }
+echo "ok: analyze round-trip precise"
+
+"$client" stats --socket "$sock" | grep -q '"replies": ' \
+  || { echo "FAIL: stats verb missing counters"; exit 1; }
+
+"$client" drain --socket "$sock" >/dev/null
+wait "$daemon_pid" || { echo "FAIL: daemon exited non-zero on drain"; exit 1; }
+daemon_pid=""
+[ -f "$work/stats.json" ] || { echo "FAIL: --stats-out not written"; exit 1; }
+[ ! -e "$sock" ] || { echo "FAIL: socket not unlinked on shutdown"; exit 1; }
+echo "ok: graceful drain, clean exit, stats exported, socket unlinked"
+
+echo "== check_serve: load + chaos phases ($apps apps, c=$concurrency)"
+dune exec --display=quiet bench/serve_bench.exe -- \
+  --apps "$apps" --seed "$seed" --concurrency "$concurrency" \
+  --out BENCH_serve.json
+
+echo "== check_serve: all gates passed (BENCH_serve.json)"

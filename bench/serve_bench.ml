@@ -1,0 +1,553 @@
+(* Load generator for the serve daemon (bench/check_serve.sh gate).
+
+   Boots a fresh flowdroid_serve.exe daemon process per phase and
+   fires a few hundred generated apps at it from concurrent client
+   lanes, with a planted adversarial tail: hang-like inputs (1 ms deadlines that blow every
+   rung), crashing inputs (malformed strict-mode bundles) and
+   oversized frames.  Phases cover {chaos off, chaos on} at each
+   requested concurrency level.
+
+   Measures, per phase: replies vs requests sent (the exactly-one-
+   reply invariant — a missing reply surfaces as `dropped`), client-
+   observed latency p50/p99, per-outcome counts, worker restarts and
+   retries (counter deltas).  After the first phase it measures the
+   warm per-request cost on the live daemon and compares against cold
+   per-process runs (`--cold-probe` re-executes this binary so each
+   sample pays frontend + framework template construction from
+   scratch).
+
+   Gates (exit 1 when any fails):
+     (a) zero requests dropped without a reply, every phase;
+     (b) warm mean >= WARM_FACTOR x faster than cold mean (default 3);
+     (c) chaos-on p99 <= RATIO x chaos-off p99 per level (default 2).
+
+   Writes the JSON report to --out (default BENCH_serve.json). *)
+
+module Json = Fd_obs.Json
+module Gen = Fd_appgen.Generator
+module Client = Fd_serve.Client
+module Protocol = Fd_serve.Protocol
+module Squeue = Fd_serve.Squeue
+
+let apps_per_phase = ref 100
+let concurrency = ref [ 4; 16 ]
+let seed = ref 20140609
+let chaos_rate = ref 0.1
+let out_path = ref "BENCH_serve.json"
+let warm_factor = ref 3.0
+let p99_ratio_limit = ref 2.0
+let cold_samples = ref 5
+let warm_samples = ref 200
+let warm_lanes = ref 2
+let cold_probe = ref (-1)
+
+let serve_exe =
+  ref
+    (Filename.concat
+       (Filename.dirname Sys.executable_name)
+       "../bin/flowdroid_serve.exe")
+
+let phase_timeout_s = 180.
+
+let speclist =
+  [
+    ("--apps", Arg.Set_int apps_per_phase, "apps per phase (default 100)");
+    ( "--concurrency",
+      Arg.String
+        (fun s ->
+          concurrency :=
+            List.map int_of_string (String.split_on_char ',' s)),
+      "comma-separated client-lane counts (default 4,16)" );
+    ("--seed", Arg.Set_int seed, "corpus seed");
+    ("--chaos-rate", Arg.Set_float chaos_rate, "chaos-on phase rate (0.1)");
+    ("--out", Arg.Set_string out_path, "report path (BENCH_serve.json)");
+    ("--warm-factor", Arg.Set_float warm_factor, "warm-speedup gate (3.0)");
+    ("--p99-ratio", Arg.Set_float p99_ratio_limit, "chaos p99 gate (2.0)");
+    ("--cold-samples", Arg.Set_int cold_samples, "cold probe runs (5)");
+    ( "--cold-probe",
+      Arg.Set_int cold_probe,
+      "internal: analyse one app cold and print milliseconds" );
+    ("--serve-exe", Arg.Set_string serve_exe, "path to flowdroid_serve.exe");
+    ("--warm-lanes", Arg.Set_int warm_lanes, "warm-path client lanes (2)");
+  ]
+
+(* ---------------- daemon process control ---------------- *)
+
+let boot_daemon ~socket ~chaos =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let argv =
+    [|
+      !serve_exe; "--socket"; socket; "--workers"; "4"; "--queue"; "32";
+      "--max-frame-bytes"; string_of_int (256 * 1024); "--deadline-s"; "10";
+      "--chaos-rate"; string_of_float chaos; "--chaos-seed";
+      string_of_int !seed; "-q";
+    |]
+  in
+  let pid =
+    Unix.create_process !serve_exe argv Unix.stdin Unix.stdout Unix.stderr
+  in
+  (* the daemon warms its templates before listening; wait for the
+     socket to answer *)
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec await () =
+    match Client.connect socket with
+    | c ->
+        Client.close c;
+        pid
+    | exception Unix.Unix_error _ ->
+        if Unix.gettimeofday () >= deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          failwith ("daemon did not come up on " ^ socket)
+        end;
+        Thread.delay 0.05;
+        await ()
+  in
+  await ()
+
+let daemon_alive pid =
+  match Unix.waitpid [ Unix.WNOHANG ] pid with
+  | 0, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
+(* graceful shutdown via the protocol; true iff the daemon exits 0 *)
+let shutdown_daemon ~socket pid =
+  (try
+     let c = Client.connect socket in
+     ignore (Client.drain c);
+     Client.close c
+   with _ -> ());
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec await () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () >= deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          false
+        end
+        else begin
+          Thread.delay 0.05;
+          await ()
+        end
+    | _, Unix.WEXITED 0 -> true
+    | _, _ -> false
+    | exception Unix.Unix_error _ -> false
+  in
+  await ()
+
+(* ---------------- cold probe (child process) ---------------- *)
+
+let run_cold_probe index =
+  let t0 = Unix.gettimeofday () in
+  let app = Gen.generate ~profile:Gen.Malware ~seed:!seed index in
+  let loaded = Fd_frontend.Apk.load ~mode:`Lenient app.Gen.ga_apk in
+  let r = Fd_core.Infoflow.analyze_loaded loaded in
+  ignore (List.length r.Fd_core.Infoflow.r_findings);
+  Printf.printf "%.3f\n" ((Unix.gettimeofday () -. t0) *. 1000.)
+
+(* (process wall-clock, analysis-only) in ms.  The process wall-clock
+   is what a cold flowdroid_cli invocation actually costs per app —
+   exec + runtime init + frontend/framework template construction +
+   the analysis — and is the number the warm path amortises. *)
+let cold_probe_ms index =
+  let cmd =
+    Printf.sprintf "%s --cold-probe %d --seed %d"
+      (Filename.quote Sys.executable_name)
+      index !seed
+  in
+  let t0 = Unix.gettimeofday () in
+  let ic = Unix.open_process_in cmd in
+  let line = try input_line ic with End_of_file -> "nan" in
+  ignore (Unix.close_process_in ic);
+  let total = (Unix.gettimeofday () -. t0) *. 1000. in
+  (total, float_of_string line)
+
+(* ---------------- workload ---------------- *)
+
+type job_kind = J_normal | J_hang | J_crash | J_oversized
+
+let job_kind i =
+  if i mod 17 = 13 then J_oversized
+  else if i mod 13 = 7 then J_crash
+  else if i mod 10 = 4 then J_hang
+  else J_normal
+
+let gen_spec i =
+  let profile = if i mod 2 = 0 then Gen.Play else Gen.Malware in
+  Protocol.App_gen { g_profile = profile; g_seed = !seed; g_index = i }
+
+(* an inline bundle whose frame comfortably exceeds the server limit *)
+let oversized_app i =
+  Protocol.App_inline
+    {
+      in_name = Printf.sprintf "oversized%d" i;
+      in_manifest = "<manifest/>";
+      in_layouts = [];
+      in_sources = [ String.make (512 * 1024) 'x' ];
+    }
+
+let crash_app i =
+  Protocol.App_inline
+    {
+      in_name = Printf.sprintf "crash%d" i;
+      in_manifest = "<manifest package=\"bench.crash\"/>";
+      in_layouts = [];
+      in_sources = [ "this is not µJimple {{{" ];
+    }
+
+let job_request i =
+  let kind = job_kind i in
+  let base app =
+    {
+      Protocol.rq_id = Some (Json.Int i);
+      rq_app = app;
+      rq_deadline_ms = None;
+      rq_k = None;
+      rq_rules = "default";
+      rq_strict = false;
+      rq_fresh_metrics = false;
+    }
+  in
+  match kind with
+  | J_normal -> (kind, base (gen_spec i))
+  | J_hang ->
+      (* a 1 ms deadline blows every ladder rung: the daemon must
+         deadline it out and reply partial/failed, never stall *)
+      (kind, { (base (gen_spec i)) with Protocol.rq_deadline_ms = Some 1 })
+  | J_crash -> (kind, { (base (crash_app i)) with Protocol.rq_strict = true })
+  | J_oversized -> (kind, base (oversized_app i))
+
+(* ---------------- one phase ---------------- *)
+
+type phase_result = {
+  ph_name : string;
+  ph_concurrency : int;
+  ph_chaos : float;
+  ph_sent : int;
+  ph_replies : int;
+  ph_outcomes : (string * int) list;
+  ph_p50_ms : float;
+  ph_p99_ms : float;
+  ph_wall_s : float;
+  ph_restarts : int;
+  ph_retries : int;
+  ph_alive : bool;
+}
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let classify reply =
+  match Json.member "ok" reply with
+  | Some (Json.Bool true) -> (
+      match Json.member "completeness" reply with
+      | Some (Json.String c) ->
+          if c = "precise" then "precise"
+          else if has_prefix "degraded" c then "degraded"
+          else if has_prefix "partial" c then "partial"
+          else "ok-other"
+      | _ -> "ok-other")
+  | Some (Json.Bool false) -> (
+      match Json.member "error" reply with
+      | Some (Json.String e) -> e
+      | _ -> "error-other")
+  | _ -> "malformed"
+
+let bump tbl key =
+  let n = try Hashtbl.find tbl key with Not_found -> 0 in
+  Hashtbl.replace tbl key (n + 1)
+
+let stat_int reply key =
+  match Json.member key reply with Some (Json.Int n) -> n | _ -> 0
+
+let query_stats socket =
+  try
+    let c = Client.connect socket in
+    let r = Client.stats c in
+    Client.close c;
+    (stat_int r "worker_restarts", stat_int r "retries")
+  with _ -> (0, 0)
+
+let run_phase ~name ~lanes ~chaos socket =
+  let pid = boot_daemon ~socket ~chaos in
+  let n = !apps_per_phase in
+  let results = Squeue.create ~capacity:(n + lanes) in
+  let lane l =
+    Thread.create
+      (fun () ->
+        let c = Client.connect socket in
+        let rec go i =
+          if i < n then begin
+            let kind, rq = job_request i in
+            let t0 = Unix.gettimeofday () in
+            (* overload rejections are legitimate backpressure: honour
+               retry_after_ms and resubmit, like a real client *)
+            let rec submit attempts =
+              let reply = Client.analyze c rq in
+              match (Json.member "error" reply, attempts) with
+              | Some (Json.String "overloaded"), a when a < 50 ->
+                  (match Json.member "retry_after_ms" reply with
+                  | Some (Json.Int ms) ->
+                      Thread.delay (float_of_int ms /. 1000.)
+                  | _ -> Thread.delay 0.05);
+                  submit (attempts + 1)
+              | _ -> reply
+            in
+            let reply = submit 0 in
+            Squeue.push_force results
+              (kind, reply, (Unix.gettimeofday () -. t0) *. 1000.);
+            go (i + lanes)
+          end
+        in
+        (try go l with _ -> ());
+        Client.close c)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init lanes lane in
+  (* watchdog join: a dropped reply must surface as a count mismatch,
+     not hang the bench *)
+  let deadline = t0 +. phase_timeout_s in
+  while
+    Squeue.length results < n && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.05
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let timed_out = Squeue.length results < n in
+  if not timed_out then List.iter Thread.join threads;
+  Squeue.close results;
+  let rec drain acc =
+    match Squeue.pop results with Some r -> drain (r :: acc) | None -> acc
+  in
+  let replies = drain [] in
+  let outcomes = Hashtbl.create 16 in
+  let latencies =
+    List.map
+      (fun (_kind, reply, ms) ->
+        bump outcomes (classify reply);
+        ms)
+      replies
+  in
+  let sorted = Array.of_list latencies in
+  Array.sort compare sorted;
+  (* each phase gets a fresh daemon, so stats counters ARE the phase
+     deltas; read them before draining *)
+  let restarts, retries = query_stats socket in
+  let alive = daemon_alive pid in
+  let clean_exit = shutdown_daemon ~socket pid in
+  {
+    ph_name = name;
+    ph_concurrency = lanes;
+    ph_chaos = chaos;
+    ph_sent = n;
+    ph_replies = List.length replies;
+    ph_outcomes =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes []
+      |> List.sort compare;
+    ph_p50_ms = percentile sorted 0.50;
+    ph_p99_ms = percentile sorted 0.99;
+    ph_wall_s = wall;
+    ph_restarts = restarts;
+    ph_retries = retries;
+    ph_alive = alive && clean_exit;
+  }
+
+(* ---------------- warm measurement ---------------- *)
+
+(* the cold and warm paths must analyse the same apps, or the
+   comparison measures corpus skew instead of amortisation *)
+let probe_indices () =
+  let stride = max 1 (!apps_per_phase / !cold_samples) in
+  List.init !cold_samples (fun i -> i * stride)
+
+(* per-app cost of serving N well-formed apps through a warm daemon at
+   saturation — the number that amortises the per-process cold cost *)
+let measure_warm socket =
+  let indices = Array.of_list (probe_indices ()) in
+  let pid = boot_daemon ~socket ~chaos:0. in
+  let n = !warm_samples in
+  let lane l =
+    Thread.create
+      (fun () ->
+        let c = Client.connect socket in
+        let i = ref l in
+        while !i < n do
+          let rq =
+            {
+              Protocol.rq_id = None;
+              (* same profile as run_cold_probe — the two sides of the
+                 amortisation comparison must analyse identical apps *)
+              rq_app =
+                Protocol.App_gen
+                  {
+                    g_profile = Gen.Malware;
+                    g_seed = !seed;
+                    g_index = indices.(!i mod Array.length indices);
+                  };
+              rq_deadline_ms = None;
+              rq_k = None;
+              rq_rules = "default";
+              rq_strict = false;
+              rq_fresh_metrics = false;
+            }
+          in
+          ignore (Client.analyze c rq);
+          i := !i + !warm_lanes
+        done;
+        Client.close c)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init !warm_lanes lane in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  ignore (shutdown_daemon ~socket pid);
+  wall *. 1000. /. float_of_int n
+
+(* ---------------- report ---------------- *)
+
+let json_of_phase p =
+  Json.Obj
+    [
+      ("name", Json.String p.ph_name);
+      ("concurrency", Json.Int p.ph_concurrency);
+      ("chaos_rate", Json.Float p.ph_chaos);
+      ("sent", Json.Int p.ph_sent);
+      ("replies", Json.Int p.ph_replies);
+      ("dropped", Json.Int (p.ph_sent - p.ph_replies));
+      ( "outcomes",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) p.ph_outcomes) );
+      ("p50_ms", Json.Float p.ph_p50_ms);
+      ("p99_ms", Json.Float p.ph_p99_ms);
+      ("wall_s", Json.Float p.ph_wall_s);
+      ( "throughput_rps",
+        Json.Float
+          (if p.ph_wall_s > 0. then float_of_int p.ph_replies /. p.ph_wall_s
+           else 0.) );
+      ("worker_restarts", Json.Int p.ph_restarts);
+      ("retries", Json.Int p.ph_retries);
+      ("daemon_alive", Json.Bool p.ph_alive);
+    ]
+
+let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "serve_bench [options]";
+  if !cold_probe >= 0 then begin
+    run_cold_probe !cold_probe;
+    exit 0
+  end;
+  let sock i =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fdbench-%d-%d.sock" (Unix.getpid ()) i)
+  in
+  Printf.printf "== serve_bench: %d apps/phase, concurrency %s\n%!"
+    !apps_per_phase
+    (String.concat "," (List.map string_of_int !concurrency));
+  let phases = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (fun lanes ->
+      List.iter
+        (fun chaos ->
+          incr idx;
+          let name =
+            Printf.sprintf "c%d-%s" lanes
+              (if chaos > 0. then "chaos" else "plain")
+          in
+          Printf.printf "-- phase %s\n%!" name;
+          let p = run_phase ~name ~lanes ~chaos (sock !idx) in
+          Printf.printf
+            "   %d/%d replies, p50 %.1fms p99 %.1fms, %d restarts, %d \
+             retries, %.1fs\n\
+             %!"
+            p.ph_replies p.ph_sent p.ph_p50_ms p.ph_p99_ms p.ph_restarts
+            p.ph_retries p.ph_wall_s;
+          phases := p :: !phases)
+        [ 0.; !chaos_rate ])
+    !concurrency;
+  let phases = List.rev !phases in
+  Printf.printf "-- warm path (%d requests, %d lanes)\n%!" !warm_samples
+    !warm_lanes;
+  let warm_ms = measure_warm (sock 0) in
+  Printf.printf "-- cold path (%d per-process runs)\n%!" !cold_samples;
+  let cold =
+    List.map cold_probe_ms (probe_indices ())
+    |> List.filter (fun (t, _) -> Float.is_finite t)
+  in
+  let mean f =
+    match cold with
+    | [] -> nan
+    | l -> List.fold_left (fun a x -> a +. f x) 0. l /. float_of_int (List.length l)
+  in
+  let cold_ms = mean fst in
+  let cold_analysis_ms = mean snd in
+  let speedup = cold_ms /. warm_ms in
+  Printf.printf
+    "   warm %.2fms vs cold %.2fms/process (%.2fms analysis) -> %.1fx\n%!"
+    warm_ms cold_ms cold_analysis_ms speedup;
+  (* gates *)
+  let dropped_ok =
+    List.for_all (fun p -> p.ph_sent = p.ph_replies && p.ph_alive) phases
+  in
+  let warm_ok = Float.is_finite speedup && speedup >= !warm_factor in
+  let ratios =
+    List.filter_map
+      (fun lanes ->
+        let find c =
+          List.find_opt
+            (fun p -> p.ph_concurrency = lanes && (p.ph_chaos > 0.) = c)
+            phases
+        in
+        match (find false, find true) with
+        | Some off, Some on when off.ph_p99_ms > 0. ->
+            Some (lanes, on.ph_p99_ms /. off.ph_p99_ms)
+        | _ -> None)
+      !concurrency
+  in
+  let chaos_ok =
+    ratios <> [] && List.for_all (fun (_, r) -> r <= !p99_ratio_limit) ratios
+  in
+  let report =
+    Json.Obj
+      [
+        ("bench", Json.String "serve");
+        ("apps_per_phase", Json.Int !apps_per_phase);
+        ("seed", Json.Int !seed);
+        ("phases", Json.List (List.map json_of_phase phases));
+        ("warm_ms_mean", Json.Float warm_ms);
+        ("cold_ms_mean", Json.Float cold_ms);
+        ("cold_analysis_ms_mean", Json.Float cold_analysis_ms);
+        ("warm_speedup", Json.Float speedup);
+        ( "chaos_p99_ratios",
+          Json.Obj
+            (List.map
+               (fun (l, r) -> (Printf.sprintf "c%d" l, Json.Float r))
+               ratios) );
+        ( "gates",
+          Json.Obj
+            [
+              ("zero_dropped", Json.Bool dropped_ok);
+              ( Printf.sprintf "warm_speedup_ge_%.0f" !warm_factor,
+                Json.Bool warm_ok );
+              ( Printf.sprintf "chaos_p99_ratio_le_%.0f" !p99_ratio_limit,
+                Json.Bool chaos_ok );
+            ] );
+        ("pass", Json.Bool (dropped_ok && warm_ok && chaos_ok));
+      ]
+  in
+  Fd_obs.Export.write_file !out_path (Json.to_string ~indent:2 report ^ "\n");
+  Printf.printf "== serve_bench: report -> %s\n%!" !out_path;
+  Printf.printf "   gates: dropped %s, warm %s, chaos-p99 %s\n%!"
+    (if dropped_ok then "ok" else "FAIL")
+    (if warm_ok then "ok" else "FAIL")
+    (if chaos_ok then "ok" else "FAIL");
+  if not (dropped_ok && warm_ok && chaos_ok) then exit 1
+

@@ -57,6 +57,13 @@ let run profile n seed deadline jobs stats_json_out trace_out profile_out =
   Fd_obs.Metrics.reset ();
   Fd_obs.Trace.reset ();
   Fd_obs.Profile.reset ();
+  (* SIGINT/SIGTERM → cooperative cancel: the per-app loop drains with
+     cancelled outcome rows, the partial table prints, and we exit 4 *)
+  let interrupt =
+    Sys.Signal_handle (fun _ -> Fd_resilience.Budget.cancel_all ())
+  in
+  Sys.set_signal Sys.sigint interrupt;
+  Sys.set_signal Sys.sigterm interrupt;
   let config =
     {
       Fd_core.Config.default with
@@ -94,9 +101,16 @@ let run profile n seed deadline jobs stats_json_out trace_out profile_out =
   (match trace_out with
   | Some path -> write_out Fd_obs.Export.write_chrome_trace path
   | None -> ());
-  match profile_out with
+  (match profile_out with
   | Some path -> write_out Fd_obs.Profile.write_collapsed path
-  | None -> ()
+  | None -> ());
+  if Fd_resilience.Budget.cancelling_all () then begin
+    prerr_endline
+      "corpus_runner: interrupted — partial results above (cancelled runs \
+       report outcome: cancelled)";
+    4
+  end
+  else 0
 
 let cmd =
   Cmd.v
@@ -106,4 +120,4 @@ let cmd =
       const run $ profile $ n $ seed $ deadline $ jobs $ stats_json_out
       $ trace_out $ profile_out)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -201,6 +201,15 @@ let run which seed precision count jobs do_min json emit_dir =
       Printf.eprintf "error: --precision: %s\n" msg;
       exit 1
   | Ok passes ->
+  (* SIGINT/SIGTERM → cooperative cancel: the campaign's per-app loop
+     drains, partial verdict tables still print, and we exit 4.
+     Verdicts from cancelled (partial) solves are not divergence
+     evidence, so the divergence gate is skipped on interrupt. *)
+  let interrupt =
+    Sys.Signal_handle (fun _ -> Fd_resilience.Budget.cancel_all ())
+  in
+  Sys.set_signal Sys.sigint interrupt;
+  Sys.set_signal Sys.sigterm interrupt;
   let config = { Config.default with Config.precision = passes } in
   let enabled = Config.precision_enabled passes in
   let profiles =
@@ -228,6 +237,12 @@ let run which seed precision count jobs do_min json emit_dir =
         (fun dir -> emit_explained_repros ~config ~profile ~seed ~count ~dir c)
         emit_dir)
     profiles;
+  if Fd_resilience.Budget.cancelling_all () then begin
+    Printf.eprintf
+      "diff_runner: interrupted — partial verdict tables above; cancelled \
+       solves are under-approximations, so no divergence verdict is issued\n";
+    exit 4
+  end;
   if !n_div > 0 then begin
     Printf.eprintf "diff_runner: %d divergent leak key(s)\n" !n_div;
     exit 1

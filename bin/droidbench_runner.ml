@@ -34,7 +34,11 @@
                         P, analyse leniently under the degradation
                         ladder, and report per-app outcomes (exit 1 if
                         any exception escapes the barrier)
-     --chaos-seed N     PRNG seed for --chaos-rate (default 20140609) *)
+     --chaos-seed N     PRNG seed for --chaos-rate (default 20140609)
+
+   SIGINT/SIGTERM cancel the campaign cooperatively: in-flight solves
+   stop with outcome cancelled, the partial table still prints, and
+   the process exits 4. *)
 
 let usage () =
   prerr_endline
@@ -221,11 +225,11 @@ let run_chaos rate =
     (fun (app : Fd_droidbench.Bench_app.t) ->
       let apk = app.Fd_droidbench.Bench_app.app_apk in
       let label = app.Fd_droidbench.Bench_app.app_name in
-      (* the chaos loop is sequential, so per-app resets are safe and
-         keep each app's outcome diagnostics free of its predecessors'
-         metric/trace state *)
-      Fd_obs.Metrics.reset ();
-      Fd_obs.Trace.reset ();
+      (* no per-app registry reset: the chaos loop happens to be
+         sequential today, but a global reset is unsafe the moment the
+         loop fans out ([Fd_util.Pool]) — per-app scoping is done by
+         snapshot-and-diff ({!Fd_obs.Metrics.with_delta}) where it is
+         actually needed; nothing in this loop reads the registry *)
       match
         Fd_resilience.Barrier.protect ~label (fun () ->
             let sources =
@@ -296,7 +300,28 @@ let run_chaos rate =
     exit 1
   end
 
+(* SIGINT/SIGTERM become a cooperative [Budget.cancel_all]: in-flight
+   solves stop at their next tick with a [Cancelled] outcome, the
+   remaining apps' budgets are born cancelled, and the partial table
+   still prints.  Exit code 4 distinguishes an interrupted campaign
+   from clean (0), error (1) and escaped-chaos (1) exits. *)
+let exit_interrupted = 4
+
+let install_interrupt () =
+  let h = Sys.Signal_handle (fun _ -> Fd_resilience.Budget.cancel_all ()) in
+  Sys.set_signal Sys.sigint h;
+  Sys.set_signal Sys.sigterm h
+
+let finish_interrupted () =
+  if Fd_resilience.Budget.cancelling_all () then begin
+    prerr_endline
+      "droidbench_runner: interrupted — partial results above (cancelled \
+       runs report outcome: cancelled)";
+    exit exit_interrupted
+  end
+
 let () =
+  install_interrupt ();
   (match !dump_dir with
   | Some dir ->
       (match !app_name with
@@ -357,6 +382,7 @@ let () =
   (match !profile_out with
   | Some path -> write_out Fd_obs.Profile.write_collapsed path
   | None -> ());
-  match !trace_out with
+  (match !trace_out with
   | Some path -> write_out Fd_obs.Export.write_chrome_trace path
-  | None -> ()
+  | None -> ());
+  finish_interrupted ()

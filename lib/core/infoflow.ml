@@ -268,6 +268,17 @@ let analyze_plain ?(config = Config.default) ?(synthetic_main = false)
   in
   run_engine ~config ~scene ~mgr ~wrappers ~natives ~entries ()
 
+(** [warm_templates ()] forces every lazily-built shared template the
+    pipeline clones per run — the framework-skeleton scene and the
+    default source/sink, taint-wrapper and native rule sets — so a
+    long-lived server amortises their construction to exactly one
+    payment at startup.  Idempotent and cheap once forced. *)
+let warm_templates () =
+  Fd_frontend.Framework.warm ();
+  ignore (Fd_frontend.Sourcesink.default ());
+  ignore (Fd_frontend.Rules.default_wrappers ());
+  ignore (Fd_frontend.Rules.default_natives ())
+
 (* ------------------------------------------------------------------ *)
 (* Degradation ladder                                                  *)
 (* ------------------------------------------------------------------ *)

@@ -92,6 +92,13 @@ val analyze_plain :
     order (FlowDroid's default entry-point creator) — required when
     flows stage data in static state between entry points. *)
 
+val warm_templates : unit -> unit
+(** Force every lazily-built shared template the pipeline clones per
+    run — the framework-skeleton scene ({!Fd_frontend.Framework}) and
+    the default source/sink, taint-wrapper and native rule sets — so a
+    long-lived server (the serve daemon) pays their construction once
+    at startup instead of on its first request.  Idempotent. *)
+
 (** {1 Degradation ladder}
 
     When a run exhausts its budget (propagation cap or wall-clock

@@ -29,18 +29,15 @@ type t = {
     (CPU time would aggregate all workers). *)
 let run ?(config = Config.default) ?jobs ~profile ~seed ~n () =
   let apps = Fd_appgen.Generator.corpus ~profile ~seed n in
-  (* per-app observability reset, sequential runs only: with one
-     worker each app's metrics/trace state starts clean instead of
-     accumulating its predecessors'; under parallelism a global reset
-     would race with the other workers, so the registry stays shared *)
-  let sequential = Option.value jobs ~default:(Fd_util.Pool.default_jobs ()) <= 1 in
+  (* no per-app [Metrics.reset]/[Trace.reset] here: a global reset
+     under [Pool] fan-out clobbers every concurrent app's baseline
+     (the PR 6 race).  The registry stays process-cumulative; callers
+     wanting per-app scoping snapshot-and-diff around a run instead
+     ({!Fd_obs.Metrics.with_delta}), which never mutates shared
+     state *)
   let stats =
     Fd_util.Pool.map ?jobs
       (fun (ga : Fd_appgen.Generator.gen_app) ->
-        if sequential then begin
-          Fd_obs.Metrics.reset ();
-          Fd_obs.Trace.reset ()
-        end;
         let t0 = Unix.gettimeofday () in
         let findings, outcome =
           match

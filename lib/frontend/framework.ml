@@ -213,6 +213,11 @@ let fresh_scene =
   in
   fun () -> Scene.copy (Lazy.force template)
 
+(** [warm ()] forces the framework-skeleton template eagerly, so a
+    long-lived process (the serve daemon) pays the one-time install
+    cost at startup instead of on its first request. *)
+let warm () = ignore (fresh_scene ())
+
 (** [component_kind_of scene cls] classifies an application class by
     its framework superclass, or [None] if it is not a component. *)
 type component_kind = Activity | Service | Receiver | Provider

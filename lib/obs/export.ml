@@ -18,17 +18,37 @@ let stats_json ?(extra = []) () =
   | other -> other
 
 (* path "-" writes to stdout, the Unix convention the runners expose
-   as [--stats-json -] / [--trace-out -] *)
+   as [--stats-json -] / [--trace-out -].  File writes are atomic:
+   contents land in a temp file in the same directory which is then
+   renamed over the target, so a crash (or SIGKILL) mid-flush leaves
+   either the old file or the new one — never a half-written JSON. *)
 let write_file path contents =
   if String.equal path "-" then begin
     print_string contents;
     flush stdout
   end
   else begin
-    let oc = open_out_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc contents)
+    let dir = Filename.dirname path in
+    let tmp =
+      try Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp"
+      with Sys_error _ ->
+        (* unwritable temp slot in the target directory: surface the
+           target path, not the temp name *)
+        raise (Sys_error (path ^ ": cannot create temporary file in " ^ dir))
+    in
+    let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+    (try
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc contents)
+     with e ->
+       cleanup ();
+       raise e);
+    try Sys.rename tmp path
+    with e ->
+      cleanup ();
+      raise e
   end
 
 let write_stats_json ?extra ~path () =

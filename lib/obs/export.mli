@@ -9,8 +9,10 @@ val stats_json : ?extra:(string * Json.t) list -> unit -> Json.t
     or the profiler's hot-method table) are appended to the object. *)
 
 val write_file : string -> string -> unit
-(** [write_file path contents] writes [contents] to [path]; the path
-    ["-"] writes to stdout instead *)
+(** [write_file path contents] writes [contents] to [path] atomically:
+    a temp file in the same directory is written and then renamed over
+    the target, so a crash or kill mid-flush never leaves a
+    half-written file.  The path ["-"] writes to stdout instead. *)
 
 val write_stats_json : ?extra:(string * Json.t) list -> path:string -> unit -> unit
 (** write [stats_json ()] pretty-printed to [path] (["-"] = stdout) *)

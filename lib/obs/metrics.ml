@@ -194,6 +194,100 @@ let counter_value name =
       | Some c -> Atomic.get c
       | None -> 0)
 
+let histogram_summary name =
+  let sn = snapshot () in
+  List.assoc_opt name sn.sn_histograms
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot difference: per-request/per-app scoping without [reset].   *)
+(* ------------------------------------------------------------------ *)
+
+(* list-based twin of [quantile_locked]: estimate the rank-[q·count]
+   sample from (upper_bound, count) buckets, interpolating linearly
+   inside the bucket holding the rank and clamping to [lo, hi] *)
+let quantile_of_buckets ~count ~lo ~hi buckets q =
+  if count = 0 then 0.
+  else begin
+    let rank = q *. float_of_int count in
+    let rec go cum = function
+      | [] -> hi
+      | (upper, n) :: rest ->
+          if float_of_int (cum + n) >= rank || rest = [] then
+            let lower =
+              (* the log-scale buckets are contiguous powers of two *)
+              if upper <= 0. then 0. else upper /. 2.
+            in
+            if n = 0 then upper
+            else lower +. ((rank -. float_of_int cum) /. float_of_int n
+                           *. (upper -. lower))
+          else go (cum + n) rest
+    in
+    Float.min hi (Float.max lo (go 0 buckets))
+  end
+
+let diff_hist (a : hist_summary) (b : hist_summary) =
+  let count = max 0 (a.hs_count - b.hs_count) in
+  if count = 0 then
+    { hs_count = 0; hs_sum = 0.; hs_min = 0.; hs_max = 0.; hs_buckets = [];
+      hs_p50 = 0.; hs_p90 = 0.; hs_p99 = 0. }
+  else if b.hs_count = 0 then a
+  else begin
+    let buckets =
+      List.filter_map
+        (fun (le, n) ->
+          let before =
+            Option.value (List.assoc_opt le b.hs_buckets) ~default:0
+          in
+          if n - before > 0 then Some (le, n - before) else None)
+        a.hs_buckets
+    in
+    (* exact extrema are lost in a diff: bound them by the surviving
+       buckets' edges (clamped to the cumulative observed range) *)
+    let lo =
+      match buckets with
+      | (le, _) :: _ -> Float.max a.hs_min (if le <= 0. then 0. else le /. 2.)
+      | [] -> a.hs_min
+    in
+    let hi =
+      match List.rev buckets with
+      | (le, _) :: _ -> Float.min a.hs_max le
+      | [] -> a.hs_max
+    in
+    {
+      hs_count = count;
+      hs_sum = Float.max 0. (a.hs_sum -. b.hs_sum);
+      hs_min = lo;
+      hs_max = hi;
+      hs_buckets = buckets;
+      hs_p50 = quantile_of_buckets ~count ~lo ~hi buckets 0.50;
+      hs_p90 = quantile_of_buckets ~count ~lo ~hi buckets 0.90;
+      hs_p99 = quantile_of_buckets ~count ~lo ~hi buckets 0.99;
+    }
+  end
+
+let diff (after : snapshot) (before : snapshot) =
+  {
+    sn_counters =
+      List.map
+        (fun (name, v) ->
+          let b = Option.value (List.assoc_opt name before.sn_counters) ~default:0 in
+          (name, max 0 (v - b)))
+        after.sn_counters;
+    sn_gauges = after.sn_gauges;
+    sn_histograms =
+      List.map
+        (fun (name, hs) ->
+          match List.assoc_opt name before.sn_histograms with
+          | Some b -> (name, diff_hist hs b)
+          | None -> (name, hs))
+        after.sn_histograms;
+  }
+
+let with_delta f =
+  let before = snapshot () in
+  let v = f () in
+  (v, diff (snapshot ()) before)
+
 let snapshot_to_json sn =
   Json.Obj
     [

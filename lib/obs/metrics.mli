@@ -79,6 +79,30 @@ val counter_value : string -> int
 (** [counter_value name] is the current value, 0 when unregistered
     (for tests and contract checks). *)
 
+val histogram_summary : string -> hist_summary option
+(** [histogram_summary name] is the named histogram's current summary
+    (count/sum/extrema/quantiles), or [None] when unregistered — the
+    accessor the service's [stats] verb reports latency from. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before] is the work that happened between the two
+    snapshots: counters and histogram counts/sums/buckets subtract
+    (clamped at zero), gauges keep their [after] value (they are
+    levels, not totals), and histogram quantiles/extrema are
+    re-estimated from the surviving buckets.
+
+    This is the domain-safe replacement for the
+    {!reset}-before-each-unit idiom: [reset] zeroes every concurrent
+    run's baseline, while snapshot-and-diff never mutates the shared
+    registry.  Under concurrency the delta attributes {e all} work in
+    the window — including other domains' — to the window; callers
+    that need exact per-request numbers should read them from the
+    engine's own result record and use the delta for aggregates. *)
+
+val with_delta : (unit -> 'a) -> 'a * snapshot
+(** [with_delta f] runs [f] and returns its result together with
+    [diff] of the registry around it. *)
+
 val snapshot_to_json : snapshot -> Json.t
 val to_json : unit -> Json.t
 (** [to_json ()] = [snapshot_to_json (snapshot ())] *)

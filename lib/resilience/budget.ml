@@ -8,6 +8,17 @@ let m_cancellations = Fd_obs.Metrics.counter "resilience.cancellations"
    checks so zero-second deadlines fire even on tiny apps *)
 let clock_period = 256
 
+(* process-wide cooperative cancellation: set (async-signal-safely)
+   by a SIGINT/SIGTERM handler, observed by every live budget at its
+   next tick and by every budget created afterwards — so an
+   interrupted campaign drains its per-app loop with [Cancelled]
+   outcome rows instead of dying mid-write *)
+let global_cancel = Atomic.make false
+
+let cancel_all () = Atomic.set global_cancel true
+let reset_cancel_all () = Atomic.set global_cancel false
+let cancelling_all () = Atomic.get global_cancel
+
 type t = {
   b_deadline : float option;  (** absolute Unix.gettimeofday value *)
   b_max_props : int;
@@ -48,7 +59,8 @@ let deadline_passed t =
   | None -> false
 
 let observe_cancel t =
-  if t.b_cancel then stop t Outcome.Cancelled m_cancellations
+  if t.b_cancel || Atomic.get global_cancel then
+    stop t Outcome.Cancelled m_cancellations
 
 let tick t =
   observe_cancel t;

@@ -45,6 +45,21 @@ val cancel : t -> unit
     observes it.  Safe to call from a signal handler.  Bumps
     [resilience.cancellations]. *)
 
+val cancel_all : unit -> unit
+(** request process-wide cooperative cancellation: every live budget —
+    and every budget created afterwards — observes it at its next
+    {!tick}/{!stopped}, yielding [Cancelled] outcomes.  Allocation-free
+    and async-signal-safe, so the long-running runners install it as
+    their SIGINT/SIGTERM handler and still print partial outcome
+    tables. *)
+
+val cancelling_all : unit -> bool
+(** whether {!cancel_all} has been requested *)
+
+val reset_cancel_all : unit -> unit
+(** clear the process-wide cancellation (for tests and multi-campaign
+    drivers that survive an interrupt) *)
+
 val outcome : t -> Outcome.t
 (** [Complete] while live; the stop reason once stopped *)
 

@@ -1,0 +1,35 @@
+module Json = Fd_obs.Json
+
+type t = { cl_fd : Unix.file_descr; mutable cl_closed : bool }
+
+let connect path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { cl_fd = fd; cl_closed = false }
+
+let close c =
+  if not c.cl_closed then begin
+    c.cl_closed <- true;
+    try Unix.close c.cl_fd with Unix.Unix_error _ -> ()
+  end
+
+let request c v =
+  Protocol.write_frame c.cl_fd v;
+  match Protocol.read_frame c.cl_fd with
+  | Some reply -> reply
+  | None -> raise Protocol.Closed
+
+let verb c name = request c (Json.Obj [ ("verb", Json.String name) ])
+
+let ping c =
+  match verb c "ping" with
+  | Json.Obj _ as r -> Json.member "ok" r = Some (Json.Bool true)
+  | _ -> false
+
+let health c = verb c "health"
+let stats c = verb c "stats"
+let drain c = verb c "drain"
+let analyze c a = request c (Protocol.json_of_analyze a)

@@ -1,0 +1,28 @@
+(** A minimal synchronous client for the serve daemon: one request in
+    flight per call, replies matched by arrival order.  Used by
+    [flowdroid_client], the serve test-suite and the load bench (which
+    opens one client per concurrent lane). *)
+
+type t
+
+val connect : string -> t
+(** [connect socket_path]
+    @raise Unix.Unix_error when the daemon is not listening. *)
+
+val close : t -> unit
+(** idempotent *)
+
+val request : t -> Fd_obs.Json.t -> Fd_obs.Json.t
+(** [request c v] writes one frame and blocks for the next reply
+    frame.
+    @raise Protocol.Closed when the daemon hung up first. *)
+
+val ping : t -> bool
+val health : t -> Fd_obs.Json.t
+val stats : t -> Fd_obs.Json.t
+
+val drain : t -> Fd_obs.Json.t
+(** ask the daemon to drain (it keeps serving in-flight work) *)
+
+val analyze : t -> Protocol.analyze -> Fd_obs.Json.t
+(** encode with {!Protocol.json_of_analyze}, send, await the reply *)

@@ -1,0 +1,103 @@
+(** The fault-tolerant analysis-as-a-service daemon core.
+
+    A long-lived Unix-socket server speaking the length-prefixed JSON
+    protocol of {!Protocol}, built from the existing resilience
+    primitives:
+
+    - {b warm templates}: rule sets are parsed once at startup and the
+      framework-skeleton scene template is forced eagerly
+      ({!Fd_core.Infoflow.warm_templates}), so each request pays only
+      a [Scene.copy] instead of the whole frontend+framework cost;
+    - {b admission control}: requests enter a bounded {!Squeue}; a
+      full queue rejects immediately with [overloaded] and a
+      [retry_after_ms] estimate instead of buffering unbounded work;
+    - {b worker supervision}: [sv_workers] analysis workers run on
+      their own domains, each request wrapped in
+      {!Fd_resilience.Barrier} + a per-request
+      {!Fd_resilience.Budget} deadline.  A worker that dies (an
+      exception outside the barrier, e.g. service-level chaos) is
+      restarted by the supervisor and its request re-admitted;
+    - {b graceful degradation}: a failed attempt (crash or blown
+      deadline) is retried — after a capped exponential backoff — on
+      the next rung of {!Fd_core.Config.degradation_ladder}, so a
+      poisoned input yields a [degraded]/[partial] outcome row rather
+      than taking the daemon down.  Every admitted request receives
+      {e exactly one} reply;
+    - {b graceful drain}: {!drain} (the protocol [drain] verb, or
+      SIGTERM/SIGINT in the daemon binary) stops admitting, lets
+      in-flight and queued work finish within a grace period, then
+      deadline-outs the rest via cooperative budget cancellation.
+
+    Operational state is published under [serve.*] metric names
+    ([serve.requests], [serve.rejected_overloaded], [serve.retries],
+    [serve.worker_restarts], [serve.queue_depth], [serve.in_flight],
+    [serve.request_seconds], [serve.queue_wait_seconds],
+    [serve.outcome.*]) and reported by the [health]/[stats] verbs. *)
+
+type ruleset = {
+  rs_defs : Fd_frontend.Sourcesink.t;
+  rs_wrappers : Fd_frontend.Rules.t;
+  rs_natives : Fd_frontend.Rules.t;
+}
+
+val default_ruleset : unit -> ruleset
+(** the built-in SuSi-style defaults, parsed once *)
+
+type config = {
+  sv_socket : string;  (** Unix-domain socket path *)
+  sv_workers : int;  (** analysis worker domains *)
+  sv_queue_capacity : int;  (** admission bound *)
+  sv_max_frame_bytes : int;  (** oversized-request guard *)
+  sv_default_deadline_s : float;
+      (** per-request wall-clock deadline unless the request overrides *)
+  sv_max_attempts : int;  (** 2 = one degraded retry *)
+  sv_backoff_base_s : float;  (** retry backoff: base·2^(attempt-1) *)
+  sv_backoff_cap_s : float;  (** …capped here *)
+  sv_drain_grace_s : float;  (** drain allowance before cancellation *)
+  sv_chaos_rate : float;
+      (** service-level fault injection rate; 0 = off.  Faults are
+          injected both at worker pickup (killing the worker, proving
+          supervision) and as solver-step faults through each
+          request's budget (driving the degradation ladder). *)
+  sv_chaos_seed : int;
+  sv_base_config : Fd_core.Config.t;  (** per-request analysis base *)
+  sv_rules : (string * ruleset) list;
+      (** named rule-sets; ["default"] is always available *)
+  sv_attempt_hook : (string -> int -> unit) option;
+      (** test seam, called with (app name, attempt number) outside
+          the barrier before each attempt: a raise here kills the
+          worker exactly like a real supervision fault *)
+}
+
+val default_config : socket:string -> config
+(** 2 workers, queue capacity 64, 8 MiB frames, 30 s deadline, one
+    retry, 10 ms backoff base / 1 s cap, 5 s drain grace, chaos off *)
+
+type t
+
+val start : config -> t
+(** Boot the daemon: bind the socket (replacing a stale file), warm
+    the templates, spawn workers, supervisor and accept loop, and
+    return immediately.  Ignores SIGPIPE (client disconnects must not
+    kill the daemon).
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val drain : t -> unit
+(** stop admitting analyze requests; in-flight and already-queued work
+    continues.  Idempotent. *)
+
+val draining : t -> bool
+
+val running : t -> bool
+(** [true] until {!stop} completes *)
+
+val queue_depth : t -> int
+
+val in_flight : t -> int
+
+val stop : ?grace_s:float -> t -> unit
+(** Graceful shutdown: {!drain}, wait up to the grace period (default
+    [sv_drain_grace_s]) for queued + in-flight work, then cancel the
+    stragglers' budgets cooperatively, reply to anything still queued,
+    join every worker, and remove the socket.  Every admitted request
+    has received its reply when [stop] returns.  Idempotent. *)

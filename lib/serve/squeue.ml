@@ -1,0 +1,79 @@
+(** Bounded MPMC blocking queue (see the .mli for the policy). *)
+
+type 'a t = {
+  q_lock : Mutex.t;
+  q_nonempty : Condition.t;
+  q_items : 'a Queue.t;
+  mutable q_front : 'a list;  (** retry lane, drained before q_items *)
+  q_capacity : int;
+  mutable q_closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Squeue.create: capacity < 1";
+  {
+    q_lock = Mutex.create ();
+    q_nonempty = Condition.create ();
+    q_items = Queue.create ();
+    q_front = [];
+    q_capacity = capacity;
+    q_closed = false;
+  }
+
+let capacity q = q.q_capacity
+
+let locked q f =
+  Mutex.lock q.q_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.q_lock) f
+
+let depth q = List.length q.q_front + Queue.length q.q_items
+let length q = locked q (fun () -> depth q)
+
+let try_push q x =
+  locked q (fun () ->
+      if q.q_closed || depth q >= q.q_capacity then false
+      else begin
+        Queue.push x q.q_items;
+        Condition.signal q.q_nonempty;
+        true
+      end)
+
+let push_force q x =
+  locked q (fun () ->
+      if not q.q_closed then begin
+        Queue.push x q.q_items;
+        Condition.signal q.q_nonempty
+      end)
+
+let push_front q x =
+  locked q (fun () ->
+      if not q.q_closed then begin
+        q.q_front <- x :: q.q_front;
+        Condition.signal q.q_nonempty
+      end)
+
+let pop q =
+  locked q (fun () ->
+      let rec wait () =
+        match q.q_front with
+        | x :: rest ->
+            q.q_front <- rest;
+            Some x
+        | [] -> (
+            match Queue.take_opt q.q_items with
+            | Some x -> Some x
+            | None ->
+                if q.q_closed then None
+                else begin
+                  Condition.wait q.q_nonempty q.q_lock;
+                  wait ()
+                end)
+      in
+      wait ())
+
+let close q =
+  locked q (fun () ->
+      q.q_closed <- true;
+      Condition.broadcast q.q_nonempty)
+
+let closed q = locked q (fun () -> q.q_closed)

@@ -1,0 +1,56 @@
+(** A bounded, multi-producer/multi-consumer blocking queue — the
+    admission-controlled work queue of the serve daemon.
+
+    The two push flavours encode the daemon's backpressure policy:
+
+    - {!try_push} is the {e admission} path: it never blocks and never
+      buffers beyond [capacity] — a full queue means the caller must
+      reject the request immediately (with a [retry_after_ms] hint)
+      instead of queueing unbounded work;
+    - {!push_force} is the {e supervision} path: a request already
+      admitted (a retry after a worker death or a degraded-rung
+      re-run) may transiently exceed capacity, because dropping it
+      would violate the exactly-one-reply guarantee.
+
+    Domain-safe: producers and consumers may live on any mix of
+    threads and domains ([Mutex]/[Condition] from the OCaml 5
+    stdlib). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty queue admitting at most
+    [capacity] items through {!try_push}.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** current depth (admitted + forced items) *)
+
+val try_push : 'a t -> 'a -> bool
+(** [try_push q x] enqueues [x] unless the queue is at capacity or
+    {!close}d; [false] means the item was {e not} enqueued. *)
+
+val push_force : 'a t -> 'a -> unit
+(** [push_force q x] enqueues [x] even beyond capacity (retries must
+    not be dropped).  On a {!close}d queue this is a no-op — shutdown
+    replies are the caller's responsibility. *)
+
+val push_front : 'a t -> 'a -> unit
+(** like {!push_force}, but [x] is dequeued before everything already
+    queued.  The daemon's retry path uses this so a request that
+    already lost an attempt (worker death, blown rung) does not also
+    requeue behind fresh arrivals — it bounds the latency tail under
+    fault injection. *)
+
+val pop : 'a t -> 'a option
+(** [pop q] blocks until an item is available and dequeues it, or
+    returns [None] once the queue is closed {e and} drained — the
+    worker-loop termination signal. *)
+
+val close : 'a t -> unit
+(** stop accepting pushes and wake every blocked {!pop}; already
+    queued items still drain *)
+
+val closed : 'a t -> bool
