@@ -53,7 +53,17 @@ let profile_out =
               a collapsed-stack (flamegraph) file to $(docv) (\"-\" = \
               stdout).")
 
-let run profile n seed deadline jobs stats_json_out trace_out profile_out =
+let summary_store =
+  Arg.(
+    value & opt (some string) None
+    & info [ "summary-store" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "FLOWDROID_SUMMARY_STORE")
+        ~doc:"Reuse (and extend) the persistent cross-app summary store \
+              at $(docv); results are bit-identical with the store hot \
+              or cold.")
+
+let run profile n seed deadline jobs stats_json_out trace_out profile_out
+    summary_store =
   Fd_obs.Metrics.reset ();
   Fd_obs.Trace.reset ();
   Fd_obs.Profile.reset ();
@@ -64,11 +74,13 @@ let run profile n seed deadline jobs stats_json_out trace_out profile_out =
   in
   Sys.set_signal Sys.sigint interrupt;
   Sys.set_signal Sys.sigterm interrupt;
+  if summary_store <> None then Fd_store.Store.install ();
   let config =
     {
       Fd_core.Config.default with
       Fd_core.Config.deadline_s = deadline;
       Fd_core.Config.profile = profile_out <> None;
+      Fd_core.Config.summary_store = summary_store;
     }
   in
   let t = Fd_eval.Corpus.run ~config ~jobs ~profile ~seed ~n () in
@@ -104,6 +116,10 @@ let run profile n seed deadline jobs stats_json_out trace_out profile_out =
   (match profile_out with
   | Some path -> write_out Fd_obs.Profile.write_collapsed path
   | None -> ());
+  List.iter
+    (fun (d : Fd_resilience.Diag.t) ->
+      Printf.eprintf "summary-store: %s\n" d.Fd_resilience.Diag.d_msg)
+    (Fd_store.Store.drain_diags ());
   if Fd_resilience.Budget.cancelling_all () then begin
     prerr_endline
       "corpus_runner: interrupted — partial results above (cancelled runs \
@@ -118,6 +134,6 @@ let cmd =
        ~doc:"RQ3 corpus analysis (generated Play/malware apps)")
     Term.(
       const run $ profile $ n $ seed $ deadline $ jobs $ stats_json_out
-      $ trace_out $ profile_out)
+      $ trace_out $ profile_out $ summary_store)
 
 let () = exit (Cmd.eval' cmd)

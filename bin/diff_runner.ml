@@ -194,7 +194,16 @@ let emit_explained_repros ~config ~profile ~seed ~count ~dir (c : Dc.campaign) =
         ar.Dc.ar_verdicts)
     c.Dc.cp_reports
 
-let run which seed precision count jobs do_min json emit_dir =
+let summary_store =
+  Arg.(
+    value & opt (some string) None
+    & info [ "summary-store" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "FLOWDROID_SUMMARY_STORE")
+        ~doc:"Reuse (and extend) the persistent cross-app summary store \
+              at $(docv); verdicts and digests are bit-identical with \
+              the store hot or cold.")
+
+let run which seed precision count jobs do_min json emit_dir summary_store =
   let module Config = Fd_core.Config in
   match Config.precision_of_string precision with
   | Error msg ->
@@ -210,7 +219,12 @@ let run which seed precision count jobs do_min json emit_dir =
   in
   Sys.set_signal Sys.sigint interrupt;
   Sys.set_signal Sys.sigterm interrupt;
-  let config = { Config.default with Config.precision = passes } in
+  if summary_store <> None then Fd_store.Store.install ();
+  let config =
+    { Config.default with
+      Config.precision = passes;
+      Config.summary_store }
+  in
   let enabled = Config.precision_enabled passes in
   let profiles =
     match which with One p -> [ p ] | Both -> [ Gen.Play; Gen.Malware ]
@@ -237,6 +251,10 @@ let run which seed precision count jobs do_min json emit_dir =
         (fun dir -> emit_explained_repros ~config ~profile ~seed ~count ~dir c)
         emit_dir)
     profiles;
+  List.iter
+    (fun (d : Fd_resilience.Diag.t) ->
+      Printf.eprintf "summary-store: %s\n" d.Fd_resilience.Diag.d_msg)
+    (Fd_store.Store.drain_diags ());
   if Fd_resilience.Budget.cancelling_all () then begin
     Printf.eprintf
       "diff_runner: interrupted — partial verdict tables above; cancelled \
@@ -256,6 +274,6 @@ let cmd =
           vs planted ground truth over generated corpora.")
     Term.(
       const run $ profile $ seed $ precision $ count $ jobs $ minimize_flag
-      $ json $ emit_explained)
+      $ json $ emit_explained $ summary_store)
 
 let () = exit (Cmd.eval cmd)

@@ -25,6 +25,11 @@
      --jobs N           fan the per-app loop out over N domains
                         (default: $FLOWDROID_JOBS, else 1); the table
                         is bit-identical at any job count
+     --summary-store DIR
+                        reuse (and extend) the persistent cross-app
+                        summary store at DIR (default:
+                        $FLOWDROID_SUMMARY_STORE, else off); the table
+                        is bit-identical with the store hot or cold
 
    Resilience options:
      --deadline SECS    wall-clock deadline per analysis run
@@ -45,7 +50,7 @@ let usage () =
     "usage: droidbench_runner [--app NAME] [--precision SPEC] [--stats-json \
      FILE] [--trace-out FILE] [--provenance] [--profile-out FILE] [--dump \
      DIR] [--jobs N] [--deadline SECS] [--outcomes] [--chaos-rate P] \
-     [--chaos-seed N]";
+     [--chaos-seed N] [--summary-store DIR]";
   exit 1
 
 let app_name = ref None
@@ -56,6 +61,13 @@ let profile_out = ref None
 let dump_dir = ref None
 let deadline = ref None
 let show_outcomes = ref false
+
+let summary_store =
+  ref
+    (match Sys.getenv_opt "FLOWDROID_SUMMARY_STORE" with
+    | Some s when s <> "" -> Some s
+    | _ -> None)
+
 let chaos_rate = ref None
 let chaos_seed = ref 20140609
 let jobs = ref (Fd_util.Pool.default_jobs ())
@@ -113,6 +125,9 @@ let () =
     | "--precision" :: v :: rest ->
         precision := v;
         parse rest
+    | "--summary-store" :: v :: rest ->
+        summary_store := Some v;
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -125,12 +140,14 @@ let precision_passes () =
       exit 1
 
 let base_config () =
+  if !summary_store <> None then Fd_store.Store.install ();
   {
     Fd_core.Config.default with
     Fd_core.Config.deadline_s = !deadline;
     Fd_core.Config.precision = precision_passes ();
     Fd_core.Config.provenance = !provenance;
     Fd_core.Config.profile = !profile_out <> None;
+    Fd_core.Config.summary_store = !summary_store;
   }
 
 (* mention precision only when a pass is on: default output unchanged *)
@@ -385,4 +402,8 @@ let () =
   (match !trace_out with
   | Some path -> write_out Fd_obs.Export.write_chrome_trace path
   | None -> ());
+  List.iter
+    (fun (d : Fd_resilience.Diag.t) ->
+      Printf.eprintf "summary-store: %s\n" d.Fd_resilience.Diag.d_msg)
+    (Fd_store.Store.drain_diags ());
   finish_interrupted ()

@@ -164,6 +164,20 @@ let profile_out =
            stdout).  Also adds a $(b,profile) hot-method table to \
            --stats-json.")
 
+let summary_store =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summary-store" ]
+        ~env:(Cmd.Env.info "FLOWDROID_SUMMARY_STORE")
+        ~docv:"DIR"
+        ~doc:
+          "Persistent cross-app summary store: reuse end summaries of \
+           methods whose code digest and analysis configuration match a \
+           previous run, and persist freshly computed ones to $(docv).  \
+           Off by default; with the flag unset the output is \
+           byte-identical to a store-free run.")
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -230,7 +244,7 @@ let run_lint dir =
 
 let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
     precision lint sources wrappers show_paths dump_dm xml_out stats_json_out
-    trace_out provenance explain profile_out =
+    trace_out provenance explain profile_out summary_store =
   Fd_obs.Metrics.reset ();
   Fd_obs.Trace.reset ();
   Fd_obs.Profile.reset ();
@@ -255,8 +269,10 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
       Config.precision;
       Config.provenance = provenance || explain;
       Config.profile = profile_out <> None;
+      Config.summary_store = summary_store;
     }
   in
+  if summary_store <> None then Fd_store.Store.install ();
   let mode = if lenient then `Lenient else `Strict in
   let defs =
     match sources with
@@ -304,6 +320,12 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
             (fun d ->
               Printf.eprintf "warning: %s\n" (Fd_resilience.Diag.to_string d))
             result.Fd_core.Infoflow.r_diags;
+          if summary_store <> None then
+            List.iter
+              (fun d ->
+                Printf.eprintf "warning: %s\n"
+                  (Fd_resilience.Diag.to_string d))
+              (Fd_store.Store.drain_diags ());
           let findings = result.Fd_core.Infoflow.r_findings in
           (* only mention precision when a pass is on: the default
              output stays bit-identical *)
@@ -438,6 +460,6 @@ let cmd =
       $ no_lifecycle $ no_callbacks $ no_alias $ no_activation $ rta
       $ precision $ lint_flag $ sources_file $ wrappers_file $ show_paths
       $ dump_dummy_main $ xml_out $ stats_json_out $ trace_out
-      $ provenance_flag $ explain_flag $ profile_out)
+      $ provenance_flag $ explain_flag $ profile_out $ summary_store)
 
 let () = exit (Cmd.eval' cmd)

@@ -59,6 +59,16 @@ let chaos_rate_arg =
 let chaos_seed_arg =
   Arg.(value & opt int 42 & info [ "chaos-seed" ] ~doc:"Fault-injection seed.")
 
+let summary_store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summary-store" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "FLOWDROID_SUMMARY_STORE")
+        ~doc:"Reuse (and extend) the persistent cross-app summary store \
+              at $(docv); replies are bit-identical with the store hot \
+              or cold.")
+
 let stats_out_arg =
   Arg.(
     value
@@ -71,7 +81,8 @@ let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No startup banner.")
 
 let run socket workers queue deadline max_frame grace chaos_rate chaos_seed
-    stats_out quiet =
+    summary_store stats_out quiet =
+  if summary_store <> None then Fd_store.Store.install ();
   let cfg =
     {
       (Server.default_config ~socket) with
@@ -82,6 +93,11 @@ let run socket workers queue deadline max_frame grace chaos_rate chaos_seed
       sv_drain_grace_s = grace;
       sv_chaos_rate = chaos_rate;
       sv_chaos_seed = chaos_seed;
+      sv_base_config =
+        {
+          Fd_core.Config.default with
+          Fd_core.Config.summary_store = summary_store;
+        };
     }
   in
   let server =
@@ -124,6 +140,6 @@ let cmd =
     Term.(
       const run $ socket_arg $ workers_arg $ queue_arg $ deadline_arg
       $ max_frame_arg $ grace_arg $ chaos_rate_arg $ chaos_seed_arg
-      $ stats_out_arg $ quiet_arg)
+      $ summary_store_arg $ stats_out_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

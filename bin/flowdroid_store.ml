@@ -1,0 +1,110 @@
+(** Maintenance CLI for the persistent summary store.
+
+    - [ls]     entry count, total bytes and a per-config breakdown
+    - [verify] full checksum walk; exit 1 when any entry is damaged
+    - [gc]     evict least-recently-used entries down to [--max-mb]
+
+    The store is just files: every subcommand works on a directory
+    that analyses may be writing to concurrently (entries are atomic;
+    a concurrent writer can at worst re-create an entry gc just
+    evicted). *)
+
+open Cmdliner
+module Store = Fd_store.Store
+
+let store_dir =
+  Arg.(
+    required
+    & pos 0 (some dir) None
+    & info [] ~docv:"STORE_DIR" ~doc:"Summary-store directory.")
+
+let human_bytes n =
+  if n >= 1_048_576 then Printf.sprintf "%.1f MiB" (float_of_int n /. 1_048_576.)
+  else if n >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
+  else Printf.sprintf "%d B" n
+
+let run_ls dir =
+  let entries = Store.scan dir in
+  let total = List.fold_left (fun a e -> a + e.Store.ei_bytes) 0 entries in
+  Printf.printf "%s: %d entr%s, %s\n" dir (List.length entries)
+    (if List.length entries = 1 then "y" else "ies")
+    (human_bytes total);
+  let by_config = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let n, b =
+        Option.value
+          (Hashtbl.find_opt by_config e.Store.ei_config)
+          ~default:(0, 0)
+      in
+      Hashtbl.replace by_config e.Store.ei_config
+        (n + 1, b + e.Store.ei_bytes))
+    entries;
+  Hashtbl.fold (fun cfg nb acc -> (cfg, nb) :: acc) by_config []
+  |> List.sort compare
+  |> List.iter (fun (cfg, (n, b)) ->
+         Printf.printf "  config %s  %6d entries  %s\n" cfg n (human_bytes b));
+  0
+
+let run_verify dir =
+  let entries = Store.scan dir in
+  let bad = ref 0 in
+  List.iter
+    (fun e ->
+      match Store.verify_entry e with
+      | Ok () -> ()
+      | Error reason ->
+          incr bad;
+          Printf.printf "BAD %s: %s\n" e.Store.ei_path reason)
+    entries;
+  Printf.printf "verified %d entr%s: %d damaged\n" (List.length entries)
+    (if List.length entries = 1 then "y" else "ies")
+    !bad;
+  if !bad = 0 then 0 else 1
+
+let max_mb =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "max-mb" ] ~docv:"MB"
+        ~doc:"Target store size; least-recently-used entries are evicted \
+              until the store fits.")
+
+let run_gc dir max_mb =
+  if max_mb < 0 then begin
+    Printf.eprintf "error: --max-mb must be non-negative\n";
+    1
+  end
+  else begin
+    let deleted, freed = Store.gc dir ~max_bytes:(max_mb * 1_048_576) in
+    Printf.printf "gc: evicted %d entr%s, freed %s\n" deleted
+      (if deleted = 1 then "y" else "ies")
+      (human_bytes freed);
+    0
+  end
+
+let ls_cmd =
+  Cmd.v
+    (Cmd.info "ls" ~doc:"List store contents (per-config breakdown).")
+    Term.(const run_ls $ store_dir)
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-validate every entry (header framing, digests, checksum, \
+          payload).  Exit 1 when any entry is damaged.")
+    Term.(const run_verify $ store_dir)
+
+let gc_cmd =
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Evict least-recently-used entries down to --max-mb.")
+    Term.(const run_gc $ store_dir $ max_mb)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "flowdroid_store"
+       ~doc:"Inspect and maintain a persistent summary store directory.")
+    [ ls_cmd; verify_cmd; gc_cmd ]
+
+let () = exit (Cmd.eval' cmd)

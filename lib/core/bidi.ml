@@ -242,9 +242,17 @@ type t = {
   mutable cur_node : int;
   mutable cur_fact : int;
   ninfos_by_id : ninfo Int_tbl.t;
+  (* persistent summary store ([None] = off, the default): the solver
+     hooks, the sink reports recorded per context (captured before
+     global dedup so a stored context is self-contained), and the
+     contexts whose summaries came from the store (replayed, never
+     re-persisted) *)
+  store : Summary.hooks option;
+  cx_reports : Summary.sink_report list ref Int_tbl.t;
+  injected_cxs : unit Int_tbl.t;
 }
 
-let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
+let create ?budget ?store ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
   let budget =
     match budget with
     | Some b -> b
@@ -289,6 +297,9 @@ let create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives () =
     cur_node = -1;
     cur_fact = -1;
     ninfos_by_id = Int_tbl.create 512;
+    store;
+    cx_reports = Int_tbl.create 64;
+    injected_cxs = Int_tbl.create 64;
   }
 
 let k t = t.cfg.Config.max_access_path
@@ -575,8 +586,27 @@ let witness_of_current t =
                 })
         (trim chain)
 
-let report t ~(source : Taint.source_info) ~sink_node ~sink_tag ~sink_cat
-    ~taint =
+let report t ~cx ?taint ~(source : Taint.source_info) ~sink_node ~sink_tag
+    ~sink_cat () =
+  (* capture for the summary store *before* the global dedup: a stored
+     context must carry every leak of its subtree, even when another
+     context already reported the same flow.  [taint] is absent for
+     store replays — their paths were not walked in this process. *)
+  (match t.store with
+  | None -> ()
+  | Some _ ->
+      let r =
+        { Summary.sr_source = source; sr_sink = sink_node; sr_tag = sink_tag;
+          sr_cat = sink_cat }
+      in
+      let cell = int_cell t.cx_reports cx.cc_id in
+      let rkey = Summary.report_key r in
+      if
+        not
+          (List.exists
+             (fun x -> String.equal (Summary.report_key x) rkey)
+             !cell)
+      then cell := r :: !cell);
   let key =
     Printf.sprintf "%s|%s|%s"
       (Icfg.string_of_node source.Taint.si_node)
@@ -592,7 +622,10 @@ let report t ~(source : Taint.source_info) ~sink_node ~sink_tag ~sink_cat
         f_sink_node = sink_node;
         f_sink_tag = sink_tag;
         f_sink_cat = sink_cat;
-        f_path = Taint.path taint @ [ sink_node ];
+        f_path =
+          (match taint with
+          | Some taint -> Taint.path taint @ [ sink_node ]
+          | None -> [ sink_node ]);
         f_witness = witness_of_current t;
       }
       :: t.findings
@@ -636,6 +669,64 @@ let act_method_implies t ~activation mk =
      match Node_tbl.find_opt t.act_methods activation with
      | Some s -> Mkey.Tbl.mem s mk
      | None -> false)
+
+(* ---------------- summary-store injection ---------------- *)
+
+(* On a store hit for (callee, entry fact), install the decoded end
+   summaries and replay the subtree's sink reports instead of seeding
+   the callee — the caller's summary-application loop then maps them
+   through [return_flow] exactly as if the subtree had been analysed.
+   Returns true when the descent seed must be skipped.  Two pieces of
+   cold-run bookkeeping are reproduced explicitly:
+
+   - every decoded inactive fact's activation statement is associated
+     with the callee ([act_methods]), the invariant the skipped
+     returns would have established bottom-up, so [return_flow]'s
+     activation-site registration fires for the caller as usual;
+   - replayed reports are recorded under the *injected* context, so a
+     store-eligible ancestor persisting its own subtree still sees
+     them. *)
+let inject_stored_summaries t (cx_callee : cctx) =
+  match t.store with
+  | None -> false
+  | Some h -> (
+      if Int_tbl.mem t.injected_cxs cx_callee.cc_id then true
+      else if not (Summary.eligible_entry cx_callee.cc_fact) then false
+      else
+        match
+          h.Summary.h_lookup ~callee:cx_callee.cc_proc.mi_key
+            ~entry:cx_callee.cc_fact
+        with
+        | None -> false
+        | Some inj ->
+            Int_tbl.replace t.injected_cxs cx_callee.cc_id ();
+            let exits = exit_nis t cx_callee.cc_proc in
+            List.iter
+              (fun (idx, f) ->
+                match
+                  List.find_opt
+                    (fun (e : ninfo) -> e.ni_node.Icfg.n_idx = idx)
+                    exits
+                with
+                | None -> ()
+                | Some eni ->
+                    (match f with
+                    | Taint.T tt when not tt.Taint.active -> (
+                        match tt.Taint.activation with
+                        | Some a ->
+                            mkey_set_add t.act_methods a
+                              cx_callee.cc_proc.mi_key
+                        | None -> ())
+                    | _ -> ());
+                    ignore (add_summary t t.fw cx_callee (eni, f)))
+              inj.Summary.inj_summaries;
+            List.iter
+              (fun (r : Summary.sink_report) ->
+                report t ~cx:cx_callee ~source:r.Summary.sr_source
+                  ~sink_node:r.Summary.sr_sink ~sink_tag:r.Summary.sr_tag
+                  ~sink_cat:r.Summary.sr_cat ())
+              inj.Summary.inj_reports;
+            true)
 
 (* activate an outgoing taint when it crosses its activation node or a
    call site associated with it *)
@@ -995,7 +1086,7 @@ let return_flow t ~call:(cni : ninfo) ~(callee : minfo) ~exit_ni:(eni : ninfo)
           List.map (fun tt -> Taint.T tt) !out)
 
 (* sink detection at a call site *)
-let check_sink t (ni : ninfo) (ci : callinfo) (inv : Stmt.invoke)
+let check_sink t cx (ni : ninfo) (ci : callinfo) (inv : Stmt.invoke)
     (fact : Taint.fact) =
   match fact with
   | Taint.Zero -> ()
@@ -1016,8 +1107,9 @@ let check_sink t (ni : ninfo) (ci : callinfo) (inv : Stmt.invoke)
                 inv.Stmt.i_args
             in
             if hits then
-              report t ~source:taint.Taint.source ~sink_node:ni.ni_node
-                ~sink_tag:ni.ni_stmt.Stmt.s_tag ~sink_cat:cat ~taint
+              report t ~cx ~taint ~source:taint.Taint.source
+                ~sink_node:ni.ni_node ~sink_tag:ni.ni_stmt.Stmt.s_tag
+                ~sink_cat:cat ()
       end
 
 (* source generation at a call site (return-value and UI sources);
@@ -1195,7 +1287,7 @@ let return_invoke t (c : ninfo) (callee_key : Mkey.t) (inv : Stmt.invoke) :
 
 let process_call_fw t cx (ni : ninfo) (fact : Taint.fact) inv =
   let ci = callinfo_of t ni inv in
-  check_sink t ni ci inv fact;
+  check_sink t cx ni ci inv fact;
   let callee_list = callees t ni in
   let node_succs = succs t ni in
   (* descend into analysable callees unless a wrapper shortcut is
@@ -1210,7 +1302,8 @@ let process_call_fw t cx (ni : ninfo) (fact : Taint.fact) inv =
         (fun d3 ->
           let cx_callee = cctx t callee d3 in
           add_incoming t t.fw cx_callee (ni, cx);
-          propagate_fw ~kind:Prov.Call t cx_callee s_callee d3;
+          if not (inject_stored_summaries t cx_callee) then
+            propagate_fw ~kind:Prov.Call t cx_callee s_callee d3;
           List.iter
             (fun (e, d4) ->
               M.incr m_summary_apps;
@@ -1576,6 +1669,85 @@ let publish_memory_gauges t =
   M.set_int g_bytes_prov
     (match t.prov with Some p -> Prov.approx_bytes p | None -> 0)
 
+(* ---------------- summary-store persistence ---------------- *)
+
+(* Write-behind persistence after a [Complete] solve: hand every
+   store-eligible context's end summaries — plus the sink reports
+   recorded anywhere in its context subtree (the calls it descended
+   into, transitively) — to the store hooks.  Contexts whose summaries
+   were themselves injected are skipped: the store already holds them.
+   Partial solves persist nothing; a truncated summary would replay as
+   the wrong answer. *)
+let persist_summaries t (h : Summary.hooks) =
+  (* invert the incoming-call relation into context children *)
+  let children : cctx list ref Int_tbl.t = Int_tbl.create 256 in
+  I2_tbl.iter
+    (fun _ cx_callee ->
+      List.iter
+        (fun ((_ : ninfo), (caller_cx : cctx)) ->
+          let cell = int_cell children caller_cx.cc_id in
+          cell := cx_callee :: !cell)
+        (incoming_of t.fw cx_callee))
+    t.cctxs;
+  let reports_in_subtree cx =
+    let seen_cx = Int_tbl.create 16 in
+    let seen_r = Hashtbl.create 8 in
+    let acc = ref [] in
+    let rec go (c : cctx) =
+      if not (Int_tbl.mem seen_cx c.cc_id) then begin
+        Int_tbl.replace seen_cx c.cc_id ();
+        (match Int_tbl.find_opt t.cx_reports c.cc_id with
+        | Some rs ->
+            List.iter
+              (fun r ->
+                let key = Summary.report_key r in
+                if not (Hashtbl.mem seen_r key) then begin
+                  Hashtbl.replace seen_r key ();
+                  acc := r :: !acc
+                end)
+              (List.rev !rs)
+        | None -> ());
+        match Int_tbl.find_opt children c.cc_id with
+        | Some cs -> List.iter go !cs
+        | None -> ()
+      end
+    in
+    go cx;
+    List.rev !acc
+  in
+  let per_method : Summary.persist_context list ref Mkey.Tbl.t =
+    Mkey.Tbl.create 64
+  in
+  I2_tbl.iter
+    (fun _ cx ->
+      if
+        (not (Int_tbl.mem t.injected_cxs cx.cc_id))
+        && Summary.eligible_entry cx.cc_fact
+        && h.Summary.h_eligible cx.cc_proc.mi_key
+      then begin
+        let pc =
+          {
+            Summary.pc_entry = cx.cc_fact;
+            pc_summaries =
+              List.map
+                (fun ((ni : ninfo), f) -> (ni.ni_node.Icfg.n_idx, f))
+                (summaries_of t.fw cx);
+            pc_reports = reports_in_subtree cx;
+          }
+        in
+        let cell =
+          match Mkey.Tbl.find_opt per_method cx.cc_proc.mi_key with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Mkey.Tbl.replace per_method cx.cc_proc.mi_key c;
+              c
+        in
+        cell := pc :: !cell
+      end)
+    t.cctxs;
+  Mkey.Tbl.iter (fun mk cell -> h.Summary.h_persist ~callee:mk !cell) per_method
+
 let run t ~entries =
   (* arm the flight recorder for this solve: a later dump must never
      mix events from a previous run, and even a first-tick chaos fault
@@ -1627,6 +1799,12 @@ let run t ~entries =
     end
   in
   loop ();
+  (match t.store with
+  | Some h
+    when Fd_resilience.Outcome.is_complete
+           (Fd_resilience.Budget.outcome t.budget) ->
+      persist_summaries t h
+  | _ -> ());
   (* publish pool statistics so the interning layer is observable *)
   M.set_int g_intern_facts (Fact_pool.size t.facts);
   M.set_int g_intern_fact_hits (Fact_pool.hits t.facts);

@@ -43,6 +43,7 @@ type t
 
 val create :
   ?budget:Fd_resilience.Budget.t ->
+  ?store:Summary.hooks ->
   config:Config.t ->
   icfg:Icfg.t ->
   scene:Scene.t ->
@@ -54,7 +55,12 @@ val create :
 (** [create ~config … ()] builds an engine.  Without [?budget] one is
     derived from the config ([max_propagations] plus [deadline_s]);
     pass an explicit budget to share a deadline across phases or to
-    enable cooperative cancellation / chaos injection. *)
+    enable cooperative cancellation / chaos injection.  [?store]
+    connects the persistent summary store (see {!Summary.make_hooks}):
+    stored callee summaries are injected in place of descents, and
+    freshly solved contexts are persisted write-behind after a
+    complete solve.  Absent hooks ⇒ behaviour and output are
+    byte-identical to a store-free build. *)
 
 val run : t -> entries:Mkey.t list -> unit
 (** [run t ~entries] seeds the zero fact at each entry method's start

@@ -111,6 +111,11 @@ type t = {
   profile : bool;
       (** attribute worklist pops, facts and time to methods in the
           per-method profiler ([--profile-out]) *)
+  summary_store : string option;
+      (** directory of the persistent cross-app summary store
+          ([--summary-store DIR]); [None] (the default) disables the
+          store entirely — output is byte-identical to a build without
+          the store compiled in *)
 }
 
 (** [default] is the configuration the paper evaluates: k = 5, full
@@ -131,6 +136,7 @@ let default =
     precision = no_precision;
     provenance = false;
     profile = false;
+    summary_store = None;
   }
 
 (** [degradation_ladder config] is the sequence of progressively

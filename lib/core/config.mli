@@ -65,6 +65,11 @@ type t = {
   profile : bool;
       (** attribute solver work to methods in the per-method profiler
           ([--profile-out]) *)
+  summary_store : string option;
+      (** directory of the persistent cross-app summary store
+          ([--summary-store DIR]); [None] (the default) disables the
+          store — output is then byte-identical to a build without the
+          store compiled in *)
 }
 
 val default : t

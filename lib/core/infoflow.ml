@@ -80,8 +80,15 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ?budget
   in
   let icfg = Icfg.create cg in
   phase "perform taint analysis";
+  (* persistent summary store: hooks resolve to [None] unless
+     [config.summary_store] is set, the config is store-compatible and
+     a backend library is linked — the solver is then untouched *)
+  let store =
+    Summary.make_hooks ~icfg ~config ~sources:(Srcsink_mgr.defs mgr) ~wrappers
+      ~natives
+  in
   let engine =
-    Bidi.create ?budget ~config ~icfg ~scene ~mgr ~wrappers ~natives ()
+    Bidi.create ?budget ?store ~config ~icfg ~scene ~mgr ~wrappers ~natives ()
   in
   Fd_obs.Trace.with_span "taint.solve" (fun () ->
       Fd_obs.Metrics.time h_solve (fun () -> Bidi.run engine ~entries));

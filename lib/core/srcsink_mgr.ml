@@ -19,6 +19,10 @@ type t = {
 
 let create ~scene ~defs ~layout = { scene; defs; layout }
 
+(** [defs t] is the configured source/sink list (the summary store
+    digests it into the analysis-config key). *)
+let defs t = t.defs
+
 (** [create_plain ~scene ~defs] is a manager with no layout (plain
     Java programs: SecuriBench, the paper's listings). *)
 let create_plain ~scene ~defs =

@@ -16,6 +16,10 @@ val create :
 val create_plain : scene:Scene.t -> defs:SS.t -> t
 (** no layout: plain Java programs (SecuriBench, the listings) *)
 
+val defs : t -> SS.t
+(** the configured source/sink list (digested into the summary
+    store's analysis-config key) *)
+
 val return_source : t -> Stmt.invoke -> SS.category option
 (** is the call a return-value source? *)
 

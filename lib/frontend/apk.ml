@@ -163,7 +163,7 @@ let of_dir ?(mode = `Strict) dir =
     with a structured diagnostic and the rest of the app is loaded.
     @raise Load_error on inconsistencies (strict mode), or when even
     lenient loading cannot recover (e.g. a layout batch failure). *)
-let load ?(mode = `Strict) apk =
+let load ?(mode = `Strict) ?template apk =
   Fd_obs.Trace.with_span "frontend.load" @@ fun () ->
   let diags = ref [] in
   let diag ?line ~file msg =
@@ -215,7 +215,15 @@ let load ?(mode = `Strict) apk =
            (Printf.sprintf "%s: layout XML error at offset %d: %s" apk.apk_name
               pos msg))
   in
-  let scene = Framework.fresh_scene () in
+  (* [template] lets a long-lived host (the serve daemon's per-rule-set
+     template cache) supply its own pre-warmed skeleton scene; the copy
+     keeps the template immutable, so the result is indistinguishable
+     from a [Framework.fresh_scene] clone *)
+  let scene =
+    match template with
+    | Some t -> Scene.copy t
+    | None -> Framework.fresh_scene ()
+  in
   List.iter
     (fun c ->
       try Scene.add_class scene c

@@ -64,13 +64,17 @@ val of_dir : ?mode:mode -> string -> t
     @raise Load_error when the manifest is missing, the directory is
     unreadable, or code is malformed (strict mode). *)
 
-val load : ?mode:mode -> t -> loaded
+val load : ?mode:mode -> ?template:Scene.t -> t -> loaded
 (** [load apk] runs the frontend and validates that every enabled
     manifest component resolves to a class with the right framework
     superclass.  In lenient mode a malformed manifest component, an
     unparsable layout, a duplicate class, or a component failing
     validation is skipped with a diagnostic ([loaded.diags]) and the
     rest of the app is loaded.
+
+    [template] supplies a pre-warmed skeleton scene to clone instead
+    of {!Framework.fresh_scene} — the serve daemon's per-rule-set
+    template cache uses this; results are identical either way.
     @raise Load_error on inconsistencies (strict mode). *)
 
 val res_id : loaded -> string -> int

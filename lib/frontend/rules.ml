@@ -40,6 +40,35 @@ let lookup t ~cls ~mname = Hashtbl.find_opt t.rules (cls, mname)
 (** [mem t ~cls ~mname] is [lookup <> None]. *)
 let mem t ~cls ~mname = Hashtbl.mem t.rules (cls, mname)
 
+(** [digest t] is a stable MD5 of a canonical rendering of the rule
+    set: one line per (class, method) in sorted order, independent of
+    insertion order and hash-table layout.  The persistent summary
+    store folds it into its analysis-config key — two rule sets with
+    the same digest induce the same wrapper transfer functions. *)
+let digest t =
+  let target_str = function
+    | To_ret -> "ret"
+    | To_recv -> "recv"
+    | To_arg i -> "arg" ^ string_of_int i
+  in
+  let origin_str = function
+    | From_recv -> "recv"
+    | From_any_arg -> "args"
+    | From_arg i -> "arg" ^ string_of_int i
+  in
+  let lines =
+    Hashtbl.fold
+      (fun (cls, mname) effects acc ->
+        let effs =
+          List.map
+            (fun e -> target_str e.eff_to ^ "<-" ^ origin_str e.eff_from)
+            effects
+        in
+        (cls ^ " " ^ mname ^ " : " ^ String.concat ", " effs) :: acc)
+      t.rules []
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" (List.sort compare lines)))
+
 (* ------------------------------------------------------------------ *)
 (* Textual format                                                      *)
 (* ------------------------------------------------------------------ *)

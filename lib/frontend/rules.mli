@@ -28,6 +28,11 @@ val lookup : t -> cls:string -> mname:string -> effect list option
 
 val mem : t -> cls:string -> mname:string -> bool
 
+val digest : t -> string
+(** stable MD5 hex of a canonical, sorted rendering of the rule set —
+    independent of insertion order; part of the persistent summary
+    store's analysis-config key *)
+
 exception Bad_rule of int * string
 
 val parse_string : string -> (string * string * effect list) list

@@ -106,6 +106,35 @@ let param_source t ~cls ~mname = Hashtbl.find_opt t.param_sources (cls, mname)
     list. *)
 let is_sink t ~cls ~mname = Hashtbl.find_opt t.sinks (cls, mname)
 
+(** [digest t] is a stable MD5 of a canonical rendering of the
+    source/sink lists: sorted lines, independent of insertion order
+    and hash-table layout.  The persistent summary store folds it into
+    its analysis-config key. *)
+let digest t =
+  let lines = ref [] in
+  Hashtbl.iter
+    (fun (cls, mname) cat ->
+      lines :=
+        Printf.sprintf "ret %s %s %s" cls mname (string_of_category cat)
+        :: !lines)
+    t.ret_sources;
+  Hashtbl.iter
+    (fun (cls, mname) (params, cat) ->
+      lines :=
+        Printf.sprintf "param %s %s [%s] %s" cls mname
+          (String.concat ";"
+             (List.map string_of_int (List.sort compare params)))
+          (string_of_category cat)
+        :: !lines)
+    t.param_sources;
+  Hashtbl.iter
+    (fun (cls, mname) cat ->
+      lines :=
+        Printf.sprintf "sink %s %s %s" cls mname (string_of_category cat)
+        :: !lines)
+    t.sinks;
+  Digest.to_hex (Digest.string (String.concat "\n" (List.sort compare !lines)))
+
 (* ------------------------------------------------------------------ *)
 (* Textual format                                                      *)
 (* ------------------------------------------------------------------ *)

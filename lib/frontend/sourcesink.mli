@@ -41,6 +41,11 @@ val is_return_source : t -> cls:string -> mname:string -> category option
 val param_source : t -> cls:string -> mname:string -> (int list * category) option
 val is_sink : t -> cls:string -> mname:string -> category option
 
+val digest : t -> string
+(** stable MD5 hex of a canonical, sorted rendering of the
+    source/sink lists — part of the persistent summary store's
+    analysis-config key *)
+
 exception Bad_line of int * string
 
 val parse_line : int -> string -> def option

@@ -160,6 +160,18 @@ module Make (P : PROBLEM) = struct
     it_d2_id : int;
   }
 
+  (** external summary provider — the persistent-store integration
+      point of the generic solver: [sh_lookup callee entry] returns the
+      already-known end summaries of a (callee, entry-fact) context, in
+      which case the tabulation installs them and skips seeding the
+      callee; [sh_persist] observes every freshly discovered end
+      summary (write-behind).  [None] everywhere ⇒ the classic
+      tabulation, bit for bit. *)
+  type summary_hooks = {
+    sh_lookup : P.proc -> P.fact -> (P.node * P.fact) list option;
+    sh_persist : P.proc -> P.fact -> exit:P.node -> P.fact -> unit;
+  }
+
   type t = {
     nodes : Node_pool.pool;
     procs : Proc_pool.pool;
@@ -188,9 +200,14 @@ module Make (P : PROBLEM) = struct
     worklist : item Queue.t;
     mutable edge_count : int;
     budget : Fd_resilience.Budget.t;
+    (* external summaries: the hooks and the (callee, entry fact)
+       contexts whose summaries were injected — skipped when seeding
+       and never handed back to [sh_persist] *)
+    hooks : summary_hooks option;
+    injected : unit I2_tbl.t;
   }
 
-  let create ?(budget = Fd_resilience.Budget.unlimited ()) () =
+  let create ?(budget = Fd_resilience.Budget.unlimited ()) ?hooks () =
     {
       nodes = Node_pool.create ~size:512 ();
       procs = Proc_pool.create ~size:64 ();
@@ -207,6 +224,8 @@ module Make (P : PROBLEM) = struct
       worklist = Queue.create ();
       edge_count = 0;
       budget;
+      hooks;
+      injected = I2_tbl.create 16;
     }
 
   let int_cell tbl key =
@@ -312,11 +331,36 @@ module Make (P : PROBLEM) = struct
               (* remember the caller context for later summaries *)
               add_incoming t callee_key (n, it.it_n_id, d2, it.it_d2_id);
               add_ctx t (it.it_n_id, it.it_d2_id) (sp, sp_id, d1, d1_id);
-              (* seed the callee *)
-              let sc_id = Node_pool.id t.nodes s_callee in
-              let s_callee = Node_pool.value t.nodes sc_id in
-              propagate t ~sp:s_callee ~sp_id:sc_id ~d1:d3 ~d1_id:d3_id
-                s_callee d3;
+              (* seed the callee — unless an external provider already
+                 knows this context's end summaries, which are then
+                 installed in place of the descent *)
+              let injected =
+                match t.hooks with
+                | None -> false
+                | Some h -> (
+                    if I2_tbl.mem t.injected callee_key then true
+                    else
+                      match h.sh_lookup callee d3 with
+                      | None -> false
+                      | Some sums ->
+                          I2_tbl.replace t.injected callee_key ();
+                          List.iter
+                            (fun (e, d4) ->
+                              let e_id = Node_pool.id t.nodes e in
+                              let e = Node_pool.value t.nodes e_id in
+                              let d4_id = Fact_pool.id t.facts d4 in
+                              let d4 = Fact_pool.value t.facts d4_id in
+                              ignore
+                                (add_summary t callee_key (e, e_id, d4, d4_id)))
+                            sums;
+                          true)
+              in
+              if not injected then begin
+                let sc_id = Node_pool.id t.nodes s_callee in
+                let s_callee = Node_pool.value t.nodes sc_id in
+                propagate t ~sp:s_callee ~sp_id:sc_id ~d1:d3 ~d1_id:d3_id
+                  s_callee d3
+              end;
               (* apply already-known summaries *)
               match I2_tbl.find_opt t.end_summaries callee_key with
               | None -> ()
@@ -349,6 +393,10 @@ module Make (P : PROBLEM) = struct
       let callee_id = Proc_pool.id t.procs callee in
       let callee_key = (callee_id, d1_id) in
       if add_summary t callee_key (n, it.it_n_id, d2, it.it_d2_id) then begin
+        (match t.hooks with
+        | Some h when not (I2_tbl.mem t.injected callee_key) ->
+            h.sh_persist callee d1 ~exit:n d2
+        | _ -> ());
         match I2_tbl.find_opt t.incoming callee_key with
         | None -> ()
         | Some inc ->
@@ -405,8 +453,8 @@ module Make (P : PROBLEM) = struct
       before [n] (typically [(entry, zero)]).  When [proc_name] is
       given, every pop's processing time is attributed to its
       procedure in the {!Fd_obs.Profile} registry. *)
-  let solve ?budget ?proc_name ~seeds () =
-    let t = create ?budget () in
+  let solve ?budget ?proc_name ?summaries ~seeds () =
+    let t = create ?budget ?hooks:summaries () in
     Flight.clear ();
     Flight.mark (Printf.sprintf "ifds.solve.start seeds=%d" (List.length seeds));
     List.iter

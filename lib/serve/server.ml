@@ -47,6 +47,8 @@ let m_out_degraded = Metrics.counter "serve.outcome.degraded"
 let m_out_partial = Metrics.counter "serve.outcome.partial"
 let m_out_failed = Metrics.counter "serve.outcome.failed"
 let m_out_cancelled = Metrics.counter "serve.outcome.cancelled"
+let m_template_hits = Metrics.counter "serve.template_hits"
+let m_template_misses = Metrics.counter "serve.template_misses"
 let g_queue_depth = Metrics.gauge "serve.queue_depth"
 let g_in_flight = Metrics.gauge "serve.in_flight"
 let h_request = Metrics.histogram "serve.request_seconds"
@@ -69,6 +71,65 @@ let default_ruleset () =
     rs_wrappers = Fd_frontend.Rules.default_wrappers ();
     rs_natives = Fd_frontend.Rules.default_natives ();
   }
+
+(* ------------------------------------------------------------------ *)
+(* per-rule-set warm Scene templates                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyed by the rule set's content digest, so two names binding
+   identical rules share one warm template.  A worker picking up a
+   request clones the cached template ([Apk.load ~template]) instead
+   of re-deriving one from the framework skeleton; the first request
+   under a digest pays the derivation (a miss), every later one is a
+   hit.  [serve.template_{hits,misses}] make the amortisation visible
+   in the [stats] verb. *)
+
+let rules_digest rs =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          [
+            Fd_frontend.Sourcesink.digest rs.rs_defs;
+            Fd_frontend.Rules.digest rs.rs_wrappers;
+            Fd_frontend.Rules.digest rs.rs_natives;
+          ]))
+
+type templates = {
+  tc_lock : Mutex.t;
+  tc_scenes : (string, Fd_ir.Scene.t) Hashtbl.t;  (** digest → template *)
+  tc_digests : (string, string) Hashtbl.t;  (** rule-set name → digest *)
+}
+
+let templates_make () =
+  {
+    tc_lock = Mutex.create ();
+    tc_scenes = Hashtbl.create 4;
+    tc_digests = Hashtbl.create 4;
+  }
+
+let template_for tc ~rules_name rs =
+  Mutex.lock tc.tc_lock;
+  let digest =
+    match Hashtbl.find_opt tc.tc_digests rules_name with
+    | Some d -> d
+    | None ->
+        let d = rules_digest rs in
+        Hashtbl.add tc.tc_digests rules_name d;
+        d
+  in
+  let scene =
+    match Hashtbl.find_opt tc.tc_scenes digest with
+    | Some s ->
+        Metrics.incr m_template_hits;
+        s
+    | None ->
+        Metrics.incr m_template_misses;
+        let s = Fd_frontend.Framework.fresh_scene () in
+        Hashtbl.add tc.tc_scenes digest s;
+        s
+  in
+  Mutex.unlock tc.tc_lock;
+  scene
 
 type config = {
   sv_socket : string;
@@ -204,6 +265,7 @@ type t = {
   t_serial : int Atomic.t;
   t_started : float;
   t_listen : Unix.file_descr;
+  t_templates : templates;
   t_inflight : req option Atomic.t array;
   t_domains : unit Domain.t option array;
   t_dom_lock : Mutex.t;  (** guards t_domains (start/supervisor/stop) *)
@@ -502,7 +564,11 @@ let process t req =
       match realize_apk req.q_spec ~mode with
       | exception Apk.Load_error msg -> `Bad msg
       | apk ->
-          let loaded = Apk.load ~mode apk in
+          let template =
+            template_for t.t_templates ~rules_name:req.q_spec.rq_rules
+              req.q_rules
+          in
+          let loaded = Apk.load ~mode ~template apk in
           `Res
             (Infoflow.analyze_loaded ~config:cfg
                ~defs:req.q_rules.rs_defs ~wrappers:req.q_rules.rs_wrappers
@@ -662,6 +728,12 @@ let stats_fields t =
           ] );
       ("retries", Json.Int (Metrics.value m_retries));
       ("client_gone", Json.Int (Metrics.value m_client_gone));
+      ( "template_cache",
+        Json.Obj
+          [
+            ("hits", Json.Int (Metrics.value m_template_hits));
+            ("misses", Json.Int (Metrics.value m_template_misses));
+          ] );
       ("latency", quantiles_json "serve.request_seconds");
       ("queue_wait", quantiles_json "serve.queue_wait_seconds");
       ("solve", quantiles_json "serve.solve_seconds");
@@ -808,6 +880,7 @@ let start cfg =
       t_serial = Atomic.make 0;
       t_started = Unix.gettimeofday ();
       t_listen = listen;
+      t_templates = templates_make ();
       t_inflight = Array.init cfg.sv_workers (fun _ -> Atomic.make None);
       t_domains = Array.make cfg.sv_workers None;
       t_dom_lock = Mutex.create ();
@@ -817,6 +890,12 @@ let start cfg =
       t_stopped = false;
     }
   in
+  (* pre-warm one Scene template per configured rule set (plus the
+     default), so the first request under each digest is already a
+     template hit; the startup derivations are the only misses *)
+  List.iter
+    (fun (name, rs) -> ignore (template_for t.t_templates ~rules_name:name rs))
+    (("default", default_ruleset ()) :: cfg.sv_rules);
   for slot = 0 to cfg.sv_workers - 1 do
     spawn_worker t slot
   done;

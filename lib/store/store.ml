@@ -1,0 +1,377 @@
+(** The on-disk backend of the persistent summary store.
+
+    Layout (content-addressed, one file per method):
+    {v
+    DIR/format-v1/<config-digest>/<dd>/<method-digest>.fdss
+    v}
+    where [<dd>] is the first two hex digits of the method digest (a
+    fan-out shard, keeping directories small at fleet scale).  Every
+    entry is self-describing:
+    {v
+    FDSS1 <config-digest> <method-digest> <md5-of-payload>
+    <payload JSON>
+    v}
+    The header pins the format version and both halves of the key, so
+    a file that was truncated, bit-rotted, renamed or produced by an
+    incompatible build is detected before its payload is trusted; any
+    such damage is a {e miss} plus a diagnostic — never a crash and
+    never a wrong summary.
+
+    Writes are read-merge-write with an atomic same-directory
+    temp-and-rename, so concurrent writers ([--jobs] domains, daemon
+    workers, whole fleets sharing one directory) can race freely:
+    readers only ever observe complete entries, and the losing
+    writer's contexts are merely re-computed next time.  An unwritable
+    store degrades to read-only with a warning — analyses never fail
+    because the cache is full or readonly. *)
+
+module Json = Fd_obs.Json
+module Summary = Fd_core.Summary
+
+let log_src = Logs.Src.create "flowdroid.store" ~doc:"persistent summary store"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let magic = "FDSS1"
+let entry_ext = ".fdss"
+let format_dir = Printf.sprintf "format-v%d" Summary.format_version
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* bounded, process-wide anomaly log, drained by the maintenance CLI
+   and the tests; every entry is also a [Logs] warning *)
+let diag_lock = Mutex.create ()
+let diag_cap = 100
+let diags_rev : Fd_resilience.Diag.t list ref = ref []
+let diag_count = ref 0
+
+let push_diag d =
+  Log.warn (fun m -> m "%s" d.Fd_resilience.Diag.d_msg);
+  Mutex.lock diag_lock;
+  if !diag_count < diag_cap then begin
+    diags_rev := d :: !diags_rev;
+    incr diag_count
+  end;
+  Mutex.unlock diag_lock
+
+let drain_diags () =
+  Mutex.lock diag_lock;
+  let ds = List.rev !diags_rev in
+  diags_rev := [];
+  diag_count := 0;
+  Mutex.unlock diag_lock;
+  ds
+
+let diag fmt =
+  Printf.ksprintf
+    (fun msg -> push_diag (Fd_resilience.Diag.make ~file:"summary-store" msg))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Paths and low-level I/O                                             *)
+(* ------------------------------------------------------------------ *)
+
+let shard_of digest = if String.length digest >= 2 then String.sub digest 0 2 else "xx"
+
+let entry_path ~dir ~config_digest ~method_digest =
+  Filename.concat
+    (Filename.concat
+       (Filename.concat dir format_dir)
+       config_digest)
+    (Filename.concat (shard_of method_digest) (method_digest ^ entry_ext))
+
+let rec mkdir_p path =
+  if Sys.file_exists path then Sys.is_directory path
+  else begin
+    let parent = Filename.dirname path in
+    (if String.length parent < String.length path then ignore (mkdir_p parent));
+    match Unix.mkdir path 0o755 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Sys.is_directory path
+    | exception Unix.Unix_error _ -> false
+  end
+
+let read_file path =
+  let ic = In_channel.open_bin path in
+  Fun.protect
+    ~finally:(fun () -> In_channel.close ic)
+    (fun () -> In_channel.input_all ic)
+
+(* atomic write: temp file in the target directory, fsync-free rename *)
+let write_atomic path contents =
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:dir
+      ("." ^ Filename.basename path) ".tmp"
+  in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  match
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc contents)
+  with
+  | () -> ( match Sys.rename tmp path with () -> () | exception e -> cleanup (); raise e)
+  | exception e ->
+      cleanup ();
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Entry framing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let frame ~config_digest ~method_digest payload_str =
+  Printf.sprintf "%s %s %s %s\n%s" magic config_digest method_digest
+    (Digest.to_hex (Digest.string payload_str))
+    payload_str
+
+(** parse and fully validate an entry's bytes; [Error reason] on any
+    damage *)
+let parse_entry ~config_digest ~method_digest bytes =
+  match String.index_opt bytes '\n' with
+  | None -> Error "truncated entry (no header line)"
+  | Some nl -> (
+      let header = String.sub bytes 0 nl in
+      let payload = String.sub bytes (nl + 1) (String.length bytes - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ m; cfg; md; sum ] ->
+          if not (String.equal m magic) then
+            Error (Printf.sprintf "bad magic %S (format-version mismatch)" m)
+          else if not (String.equal cfg config_digest) then
+            Error "config-digest mismatch"
+          else if not (String.equal md method_digest) then
+            Error "method-digest mismatch (misplaced entry)"
+          else if
+            not (String.equal sum (Digest.to_hex (Digest.string payload)))
+          then Error "checksum mismatch (corrupt payload)"
+          else (
+            match Json.parse_string payload with
+            | j -> Ok j
+            | exception Json.Parse_error (line, msg) ->
+                Error (Printf.sprintf "unparsable payload (line %d: %s)" line msg))
+      | _ -> Error "malformed header"
+  )
+
+(* ------------------------------------------------------------------ *)
+(* Backend                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type backend_state = {
+  bs_dir : string;
+  bs_cfg : string;
+  mutable bs_read_only : bool;  (** set on the first failed write *)
+  bs_write_lock : Mutex.t;  (** serialises read-merge-write per process *)
+}
+
+(* lazily registered so a store-off run's metric export is untouched *)
+let m_bytes_read () = Fd_obs.Metrics.counter "store.bytes_read"
+let m_bytes_written () = Fd_obs.Metrics.counter "store.bytes_written"
+
+let load st ~method_digest =
+  let path =
+    entry_path ~dir:st.bs_dir ~config_digest:st.bs_cfg ~method_digest
+  in
+  if not (Sys.file_exists path) then None
+  else
+    match read_file path with
+    | exception Sys_error msg ->
+        diag "unreadable entry %s: %s (treated as a miss)" path msg;
+        None
+    | bytes -> (
+        Fd_obs.Metrics.add (m_bytes_read ()) (String.length bytes);
+        match
+          parse_entry ~config_digest:st.bs_cfg ~method_digest bytes
+        with
+        | Ok payload -> Some payload
+        | Error reason ->
+            diag "invalid entry %s: %s (treated as a miss)" path reason;
+            None)
+
+(* merge two context maps, keeping the existing binding on collisions:
+   the established entry may come from a richer analysis of the same
+   digest, and hot/cold equivalence only needs agreed keys to agree *)
+let merge_contexts ~existing ~fresh =
+  let keys = List.map fst existing in
+  existing
+  @ List.filter (fun (k, _) -> not (List.mem k keys)) fresh
+
+let contexts_of payload =
+  match Json.member "cxs" payload with Some (Json.Obj kvs) -> kvs | _ -> []
+
+let store st ~method_digest ~payload =
+  if not st.bs_read_only then begin
+    let path =
+      entry_path ~dir:st.bs_dir ~config_digest:st.bs_cfg ~method_digest
+    in
+    Mutex.lock st.bs_write_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock st.bs_write_lock)
+      (fun () ->
+        let merged =
+          match load st ~method_digest with
+          | None -> payload
+          | Some existing ->
+              let cxs =
+                merge_contexts ~existing:(contexts_of existing)
+                  ~fresh:(contexts_of payload)
+              in
+              let meta =
+                match Json.member "m" payload with
+                | Some m -> [ ("m", m) ]
+                | None -> []
+              in
+              Json.Obj
+                (meta
+                @ [ ("cxs", Json.Obj (List.sort compare cxs)) ])
+        in
+        let body = Json.to_string merged in
+        let framed =
+          frame ~config_digest:st.bs_cfg ~method_digest body
+        in
+        if not (mkdir_p (Filename.dirname path)) then begin
+          diag "cannot create %s: store is now read-only"
+            (Filename.dirname path);
+          st.bs_read_only <- true
+        end
+        else
+          match write_atomic path framed with
+          | () ->
+              Fd_obs.Metrics.add (m_bytes_written ()) (String.length framed)
+          | exception Sys_error msg ->
+              diag "write failed for %s: %s — store is now read-only" path msg;
+              st.bs_read_only <- true)
+  end
+
+(* one backend per (dir, config digest), shared across the apps of a
+   campaign so read-only degradation sticks for the whole process *)
+let backends : (string * string, backend_state) Hashtbl.t = Hashtbl.create 4
+let backends_lock = Mutex.create ()
+
+let backend ~dir ~config_digest =
+  Mutex.lock backends_lock;
+  let st =
+    match Hashtbl.find_opt backends (dir, config_digest) with
+    | Some st -> st
+    | None ->
+        let st =
+          {
+            bs_dir = dir;
+            bs_cfg = config_digest;
+            bs_read_only = false;
+            bs_write_lock = Mutex.create ();
+          }
+        in
+        (* probe writability once up front; a read-only cache is still
+           a useful cache *)
+        if
+          not
+            (mkdir_p
+               (Filename.concat (Filename.concat dir format_dir) config_digest))
+        then begin
+          diag "summary store %s is not writable: running read-only" dir;
+          st.bs_read_only <- true
+        end;
+        Hashtbl.replace backends (dir, config_digest) st;
+        st
+  in
+  Mutex.unlock backends_lock;
+  Some
+    {
+      Summary.be_load = (fun ~method_digest -> load st ~method_digest);
+      be_store =
+        (fun ~method_digest ~payload -> store st ~method_digest ~payload);
+      be_diag = push_diag;
+    }
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Summary.provider := fun ~dir ~config_digest -> backend ~dir ~config_digest
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance (the flowdroid_store CLI)                               *)
+(* ------------------------------------------------------------------ *)
+
+type entry_info = {
+  ei_path : string;
+  ei_config : string;  (** config-digest directory the entry lives in *)
+  ei_method : string;  (** method digest, from the file name *)
+  ei_bytes : int;
+  ei_mtime : float;
+}
+
+(** every entry file under [dir], across all config digests *)
+let scan dir =
+  let acc = ref [] in
+  let root = Filename.concat dir format_dir in
+  let safe_readdir d = try Sys.readdir d with Sys_error _ -> [||] in
+  if Sys.file_exists root && Sys.is_directory root then
+    Array.iter
+      (fun cfg ->
+        let cfg_dir = Filename.concat root cfg in
+        if Sys.is_directory cfg_dir then
+          Array.iter
+            (fun shard ->
+              let shard_dir = Filename.concat cfg_dir shard in
+              if Sys.is_directory shard_dir then
+                Array.iter
+                  (fun f ->
+                    if Filename.check_suffix f entry_ext then begin
+                      let path = Filename.concat shard_dir f in
+                      match Unix.stat path with
+                      | st ->
+                          acc :=
+                            {
+                              ei_path = path;
+                              ei_config = cfg;
+                              ei_method = Filename.chop_suffix f entry_ext;
+                              ei_bytes = st.Unix.st_size;
+                              ei_mtime = st.Unix.st_mtime;
+                            }
+                            :: !acc
+                      | exception Unix.Unix_error _ -> ()
+                    end)
+                  (safe_readdir shard_dir))
+            (safe_readdir cfg_dir))
+      (safe_readdir root);
+  List.sort (fun a b -> compare a.ei_path b.ei_path) !acc
+
+(** re-validate one entry on disk (header, digests, checksum, JSON) *)
+let verify_entry (ei : entry_info) =
+  match read_file ei.ei_path with
+  | exception Sys_error msg -> Error msg
+  | bytes -> (
+      match
+        parse_entry ~config_digest:ei.ei_config ~method_digest:ei.ei_method
+          bytes
+      with
+      | Ok _ -> Ok ()
+      | Error reason -> Error reason)
+
+(** evict least-recently-used entries (by mtime) until the store fits
+    [max_bytes]; returns (deleted entries, freed bytes) *)
+let gc dir ~max_bytes =
+  let entries = scan dir in
+  let total = List.fold_left (fun a e -> a + e.ei_bytes) 0 entries in
+  if total <= max_bytes then (0, 0)
+  else begin
+    let by_age =
+      List.sort (fun a b -> compare a.ei_mtime b.ei_mtime) entries
+    in
+    let deleted = ref 0 and freed = ref 0 in
+    let excess = ref (total - max_bytes) in
+    List.iter
+      (fun e ->
+        if !excess > 0 then
+          match Sys.remove e.ei_path with
+          | () ->
+              incr deleted;
+              freed := !freed + e.ei_bytes;
+              excess := !excess - e.ei_bytes
+          | exception Sys_error _ -> ())
+      by_age;
+    (!deleted, !freed)
+  end
