@@ -288,6 +288,49 @@ let perf_summary () =
                  per-app loops out over N domains\n";
   print_newline ()
 
+(* the targeted-mode summary: one full-vs-targeted pass over a small
+   generated corpus, querying the SMS sink only.  The full gate (the
+   one-offender fleet, jobs-determinism, store separation,
+   BENCH_targeted.json) is [sh bench/check_targeted.sh]. *)
+let targeted_summary () =
+  section "Targeted mode: gate workload (see bench/check_targeted.sh)";
+  let sink = "SmsManager.sendTextMessage" in
+  let apks =
+    List.map
+      (fun ga -> ga.Fd_appgen.Generator.ga_apk)
+      (Fd_appgen.Generator.corpus ~profile:Fd_appgen.Generator.Malware
+         ~seed:20140609 12)
+  in
+  let time config =
+    let t0 = Unix.gettimeofday () in
+    let findings =
+      List.concat_map
+        (fun apk ->
+          let r = Fd_core.Infoflow.analyze_apk ~config apk in
+          if config.Fd_core.Config.targeted <> [] then
+            r.Fd_core.Infoflow.r_findings
+          else
+            Fd_core.Infoflow.restrict_findings
+              ~icfg:r.Fd_core.Infoflow.r_icfg ~patterns:[ sink ]
+              r.Fd_core.Infoflow.r_findings)
+        apks
+    in
+    (Unix.gettimeofday () -. t0, List.length findings)
+  in
+  let full_s, full_n = time Fd_core.Config.default in
+  Fd_obs.Metrics.reset ();
+  let targ_s, targ_n =
+    time { Fd_core.Config.default with Fd_core.Config.targeted = [ sink ] }
+  in
+  Printf.printf
+    "corpus(12 apps), sink %s:\n  full %.4f s (%d flows into sink), targeted \
+     %.4f s (%d flows) = %.2fx\n"
+    sink full_s full_n targ_s targ_n (full_s /. targ_s);
+  Printf.printf "  targeted.index_probes=%d entries kept/dropped via \
+                 targeted.entries_* gauges\n"
+    (Fd_obs.Metrics.counter_value "targeted.index_probes");
+  print_newline ()
+
 let () =
   with_obs "table1" table1;
   with_obs "table2" table2;
@@ -298,5 +341,6 @@ let () =
   with_obs "dynamic" dynamic_comparison;
   figures ();
   perf_summary ();
+  targeted_summary ();
   benchmark ();
   write_obs_json "BENCH_obs.json"

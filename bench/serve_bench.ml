@@ -206,6 +206,7 @@ let job_request i =
       rq_rules = "default";
       rq_strict = false;
       rq_fresh_metrics = false;
+      rq_targeted = [];
     }
   in
   match kind with
@@ -395,6 +396,7 @@ let measure_warm socket =
               rq_rules = "default";
               rq_strict = false;
               rq_fresh_metrics = false;
+              rq_targeted = [];
             }
           in
           ignore (Client.analyze c rq);

@@ -62,8 +62,28 @@ let summary_store =
               at $(docv); results are bit-identical with the store hot \
               or cold.")
 
+let targeted =
+  Arg.(
+    value & opt_all string []
+    & info [ "targeted" ] ~docv:"SIG"
+        ~env:(Cmd.Env.info "FLOWDROID_TARGETED")
+        ~doc:"Demand-driven targeted mode: only analyse flows into \
+              sinks matching $(docv) (substring of \"Class.method\", \
+              supertypes included; repeatable, or comma-separated in \
+              the env var).")
+
+let split_targeted specs =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun p ->
+          let p = String.trim p in
+          if p = "" then None else Some p)
+        (String.split_on_char ',' s))
+    specs
+
 let run profile n seed deadline jobs stats_json_out trace_out profile_out
-    summary_store =
+    summary_store targeted =
   Fd_obs.Metrics.reset ();
   Fd_obs.Trace.reset ();
   Fd_obs.Profile.reset ();
@@ -81,6 +101,7 @@ let run profile n seed deadline jobs stats_json_out trace_out profile_out
       Fd_core.Config.deadline_s = deadline;
       Fd_core.Config.profile = profile_out <> None;
       Fd_core.Config.summary_store = summary_store;
+      Fd_core.Config.targeted = split_targeted targeted;
     }
   in
   let t = Fd_eval.Corpus.run ~config ~jobs ~profile ~seed ~n () in
@@ -134,6 +155,6 @@ let cmd =
        ~doc:"RQ3 corpus analysis (generated Play/malware apps)")
     Term.(
       const run $ profile $ n $ seed $ deadline $ jobs $ stats_json_out
-      $ trace_out $ profile_out $ summary_store)
+      $ trace_out $ profile_out $ summary_store $ targeted)
 
 let () = exit (Cmd.eval' cmd)

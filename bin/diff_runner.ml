@@ -203,7 +203,28 @@ let summary_store =
               at $(docv); verdicts and digests are bit-identical with \
               the store hot or cold.")
 
-let run which seed precision count jobs do_min json emit_dir summary_store =
+let targeted =
+  Arg.(
+    value & opt_all string []
+    & info [ "targeted" ] ~docv:"SIG"
+        ~env:(Cmd.Env.info "FLOWDROID_TARGETED")
+        ~doc:"Demand-driven targeted mode: only analyse flows into \
+              sinks matching $(docv) (substring of \"Class.method\", \
+              supertypes included; repeatable, or comma-separated in \
+              the env var).")
+
+let split_targeted specs =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun p ->
+          let p = String.trim p in
+          if p = "" then None else Some p)
+        (String.split_on_char ',' s))
+    specs
+
+let run which seed precision count jobs do_min json emit_dir summary_store
+    targeted =
   let module Config = Fd_core.Config in
   match Config.precision_of_string precision with
   | Error msg ->
@@ -223,7 +244,8 @@ let run which seed precision count jobs do_min json emit_dir summary_store =
   let config =
     { Config.default with
       Config.precision = passes;
-      Config.summary_store }
+      Config.summary_store;
+      Config.targeted = split_targeted targeted }
   in
   let enabled = Config.precision_enabled passes in
   let profiles =
@@ -274,6 +296,6 @@ let cmd =
           vs planted ground truth over generated corpora.")
     Term.(
       const run $ profile $ seed $ precision $ count $ jobs $ minimize_flag
-      $ json $ emit_explained $ summary_store)
+      $ json $ emit_explained $ summary_store $ targeted)
 
 let () = exit (Cmd.eval cmd)

@@ -50,7 +50,7 @@ let usage () =
     "usage: droidbench_runner [--app NAME] [--precision SPEC] [--stats-json \
      FILE] [--trace-out FILE] [--provenance] [--profile-out FILE] [--dump \
      DIR] [--jobs N] [--deadline SECS] [--outcomes] [--chaos-rate P] \
-     [--chaos-seed N] [--summary-store DIR]";
+     [--chaos-seed N] [--summary-store DIR] [--targeted SIG]";
   exit 1
 
 let app_name = ref None
@@ -71,6 +71,20 @@ let summary_store =
 let chaos_rate = ref None
 let chaos_seed = ref 20140609
 let jobs = ref (Fd_util.Pool.default_jobs ())
+
+(* --targeted SIG (repeatable, or comma-separated in the env var) *)
+let split_targeted s =
+  List.filter_map
+    (fun p ->
+      let p = String.trim p in
+      if p = "" then None else Some p)
+    (String.split_on_char ',' s)
+
+let targeted =
+  ref
+    (match Sys.getenv_opt "FLOWDROID_TARGETED" with
+    | Some s when s <> "" -> split_targeted s
+    | _ -> [])
 
 let precision =
   ref
@@ -128,6 +142,9 @@ let () =
     | "--summary-store" :: v :: rest ->
         summary_store := Some v;
         parse rest
+    | "--targeted" :: v :: rest ->
+        targeted := !targeted @ split_targeted v;
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -148,6 +165,7 @@ let base_config () =
     Fd_core.Config.provenance = !provenance;
     Fd_core.Config.profile = !profile_out <> None;
     Fd_core.Config.summary_store = !summary_store;
+    Fd_core.Config.targeted = !targeted;
   }
 
 (* mention precision only when a pass is on: default output unchanged *)

@@ -178,6 +178,32 @@ let summary_store =
            Off by default; with the flag unset the output is \
            byte-identical to a store-free run.")
 
+let targeted =
+  Arg.(
+    value & opt_all string []
+    & info [ "targeted" ]
+        ~env:(Cmd.Env.info "FLOWDROID_TARGETED")
+        ~docv:"SIG"
+        ~doc:
+          "Demand-driven targeted mode: only analyse flows into sinks \
+           matching $(docv) (substring of \"Class.method\", supertypes \
+           included; repeatable, or comma-separated in \
+           $(b,FLOWDROID_TARGETED)).  Slices backward from matching \
+           sink sites and extends the call graph only along the \
+           slice — often orders of magnitude faster when most of the \
+           app cannot reach the sink.")
+
+(* repeatable flag + comma-separated lists (the env-var form) *)
+let split_targeted specs =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun p ->
+          let p = String.trim p in
+          if p = "" then None else Some p)
+        (String.split_on_char ',' s))
+    specs
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -244,7 +270,7 @@ let run_lint dir =
 
 let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
     precision lint sources wrappers show_paths dump_dm xml_out stats_json_out
-    trace_out provenance explain profile_out summary_store =
+    trace_out provenance explain profile_out summary_store targeted =
   Fd_obs.Metrics.reset ();
   Fd_obs.Trace.reset ();
   Fd_obs.Profile.reset ();
@@ -270,6 +296,7 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
       Config.provenance = provenance || explain;
       Config.profile = profile_out <> None;
       Config.summary_store = summary_store;
+      Config.targeted = split_targeted targeted;
     }
   in
   if summary_store <> None then Fd_store.Store.install ();
@@ -460,6 +487,7 @@ let cmd =
       $ no_lifecycle $ no_callbacks $ no_alias $ no_activation $ rta
       $ precision $ lint_flag $ sources_file $ wrappers_file $ show_paths
       $ dump_dummy_main $ xml_out $ stats_json_out $ trace_out
-      $ provenance_flag $ explain_flag $ profile_out $ summary_store)
+      $ provenance_flag $ explain_flag $ profile_out $ summary_store
+      $ targeted)
 
 let () = exit (Cmd.eval' cmd)

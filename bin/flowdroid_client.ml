@@ -59,6 +59,25 @@ let id_arg =
 let strict_arg =
   Arg.(value & flag & info [ "strict" ] ~doc:"Strict frontend parsing.")
 
+let targeted_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "targeted" ] ~docv:"SIG"
+        ~env:(Cmd.Env.info "FLOWDROID_TARGETED")
+        ~doc:"Demand-driven targeted mode for this request: only \
+              analyse flows into sinks matching $(docv) (repeatable, \
+              or comma-separated in the env var).")
+
+let split_targeted specs =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun p ->
+          let p = String.trim p in
+          if p = "" then None else Some p)
+        (String.split_on_char ',' s))
+    specs
+
 let parse_gen s =
   match String.split_on_char ':' s with
   | [ profile; seed; index ] -> (
@@ -80,7 +99,7 @@ let parse_gen s =
       | _ -> Error ("bad --gen spec: " ^ s))
   | _ -> Error ("bad --gen spec: " ^ s)
 
-let run socket verb dir gen deadline_ms k id strict =
+let run socket verb dir gen deadline_ms k id strict targeted =
   let with_client f =
     match Client.connect socket with
     | exception Unix.Unix_error (e, _, _) ->
@@ -131,6 +150,7 @@ let run socket verb dir gen deadline_ms k id strict =
                      rq_rules = "default";
                      rq_strict = strict;
                      rq_fresh_metrics = false;
+                     rq_targeted = split_targeted targeted;
                    })))
 
 let cmd =
@@ -138,6 +158,6 @@ let cmd =
     (Cmd.info "flowdroid_client" ~doc:"Client for the flowdroid_serve daemon")
     Term.(
       const run $ socket_arg $ verb_arg $ dir_arg $ gen_arg $ deadline_arg
-      $ k_arg $ id_arg $ strict_arg)
+      $ k_arg $ id_arg $ strict_arg $ targeted_arg)
 
 let () = exit (Cmd.eval' cmd)

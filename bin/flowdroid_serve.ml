@@ -69,6 +69,27 @@ let summary_store_arg =
               at $(docv); replies are bit-identical with the store hot \
               or cold.")
 
+let targeted_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "targeted" ] ~docv:"SIG"
+        ~env:(Cmd.Env.info "FLOWDROID_TARGETED")
+        ~doc:"Default demand-driven targeted mode for every request: \
+              only analyse flows into sinks matching $(docv) \
+              (substring of \"Class.method\", supertypes included; \
+              repeatable, or comma-separated in the env var).  A \
+              request's own \"targeted\" field overrides this.")
+
+let split_targeted specs =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun p ->
+          let p = String.trim p in
+          if p = "" then None else Some p)
+        (String.split_on_char ',' s))
+    specs
+
 let stats_out_arg =
   Arg.(
     value
@@ -81,7 +102,7 @@ let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No startup banner.")
 
 let run socket workers queue deadline max_frame grace chaos_rate chaos_seed
-    summary_store stats_out quiet =
+    summary_store targeted stats_out quiet =
   if summary_store <> None then Fd_store.Store.install ();
   let cfg =
     {
@@ -97,6 +118,7 @@ let run socket workers queue deadline max_frame grace chaos_rate chaos_seed
         {
           Fd_core.Config.default with
           Fd_core.Config.summary_store = summary_store;
+          Fd_core.Config.targeted = split_targeted targeted;
         };
     }
   in
@@ -140,6 +162,6 @@ let cmd =
     Term.(
       const run $ socket_arg $ workers_arg $ queue_arg $ deadline_arg
       $ max_frame_arg $ grace_arg $ chaos_rate_arg $ chaos_seed_arg
-      $ summary_store_arg $ stats_out_arg $ quiet_arg)
+      $ summary_store_arg $ targeted_arg $ stats_out_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -63,3 +63,9 @@ val edge_count : t -> int
 
 val cg_scene : t -> Scene.t
 (** the scene the graph was built over *)
+
+val static_use_classes : Fd_ir.Stmt.t -> string list
+(** the classes whose static members one statement touches — the JVM's
+    [<clinit>] trigger events (JLS 12.4.1).  Shared with
+    {!Ondemand}'s reverse indices so targeted slicing over-approximates
+    exactly the edges first-use clinit placement can add. *)

@@ -1,0 +1,30 @@
+(** Demand-driven targeted slicing (BackDroid-style): text-index the
+    scene for sink invoke sites matching the [--targeted] patterns,
+    then close the caller slice backwards under conservative reverse
+    indices — (name, arity) call sites, [<clinit>] trigger events and
+    reflective [Method.invoke] holders.  Entry points outside the
+    slice can never reach a targeted sink, so the driver drops them
+    before building the call graph; inside the slice the analysis is
+    unchanged.  Publishes the [targeted.*] metrics. *)
+
+open Fd_ir
+
+type t
+
+val compute : Scene.t -> patterns:string list -> t
+(** one linear pass over every method body plus the closure walk; no
+    call-graph construction happens here *)
+
+val mem : t -> Mkey.t -> bool
+(** is the method inside the backward slice? *)
+
+val invoke_matches : Scene.t -> patterns:string list -> Stmt.invoke -> bool
+(** does this invoke site call a targeted sink (substring match on
+    ["Class.method"], supertypes of the static receiver included)?
+    Used to find seeds and to post-filter findings. *)
+
+val sliced_methods : t -> int
+val total_methods : t -> int
+val sink_sites : t -> int
+val index_probes : t -> int
+val patterns : t -> string list

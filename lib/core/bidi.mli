@@ -44,6 +44,7 @@ type t
 val create :
   ?budget:Fd_resilience.Budget.t ->
   ?store:Summary.hooks ->
+  ?in_slice:(Fd_callgraph.Mkey.t -> bool) ->
   config:Config.t ->
   icfg:Icfg.t ->
   scene:Scene.t ->
@@ -60,7 +61,10 @@ val create :
     stored callee summaries are injected in place of descents, and
     freshly solved contexts are persisted write-behind after a
     complete solve.  Absent hooks ⇒ behaviour and output are
-    byte-identical to a store-free build. *)
+    byte-identical to a store-free build.  [?in_slice] is the targeted
+    mode's membership predicate: both worklist loops (and the clinit /
+    reflection descents) skip callees outside it; the default accepts
+    everything and takes no new code path. *)
 
 val run : t -> entries:Mkey.t list -> unit
 (** [run t ~entries] seeds the zero fact at each entry method's start

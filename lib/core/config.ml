@@ -116,6 +116,14 @@ type t = {
           ([--summary-store DIR]); [None] (the default) disables the
           store entirely — output is byte-identical to a build without
           the store compiled in *)
+  targeted : string list;
+      (** demand-driven targeted mode ([--targeted SIG]): sink
+          signature patterns (substring match on ["Class.method"],
+          supertypes included).  When non-empty the analysis slices
+          backward from matching sink invoke sites, extends the call
+          graph only along the slice and reports only flows into
+          matching sinks.  [[]] (the default) runs the full analysis
+          with byte-identical output to a build without this mode. *)
 }
 
 (** [default] is the configuration the paper evaluates: k = 5, full
@@ -137,6 +145,7 @@ let default =
     provenance = false;
     profile = false;
     summary_store = None;
+    targeted = [];
   }
 
 (** [degradation_ladder config] is the sequence of progressively

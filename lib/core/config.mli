@@ -70,6 +70,12 @@ type t = {
           ([--summary-store DIR]); [None] (the default) disables the
           store — output is then byte-identical to a build without the
           store compiled in *)
+  targeted : string list;
+      (** demand-driven targeted mode ([--targeted SIG]): sink
+          signature patterns (substring match on ["Class.method"],
+          supertypes included).  Non-empty = slice backward from
+          matching sinks and only report flows into them; [[]] (the
+          default) = full analysis, byte-identical output. *)
 }
 
 val default : t

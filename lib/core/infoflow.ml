@@ -65,6 +65,24 @@ let record_precision (p : Config.precision) =
   b g_prec_reflection p.Config.reflection;
   b g_prec_clinit p.Config.clinit
 
+(* targeted-mode entry metrics *)
+let g_entries_kept = Fd_obs.Metrics.gauge "targeted.entries_kept"
+let g_entries_dropped = Fd_obs.Metrics.gauge "targeted.entries_dropped"
+
+(** [restrict_findings ~icfg ~patterns findings] keeps the findings
+    whose sink invoke site matches one of the targeted patterns — the
+    projection targeted mode applies to its own output, exported so
+    the verdict-identity gate can apply the {e same} projection to a
+    full-mode run before comparing. *)
+let restrict_findings ~icfg ~patterns findings =
+  let scene = Callgraph.cg_scene icfg.Icfg.cg in
+  List.filter
+    (fun (f : Bidi.finding) ->
+      match Icfg.invoke icfg f.Bidi.f_sink_node with
+      | Some inv -> Ondemand.invoke_matches scene ~patterns inv
+      | None -> false)
+    findings
+
 let run_engine ?(config = Config.default) ?(phase = no_hook) ?budget
     ?(diags = []) ~scene ~mgr ~wrappers ~natives ~entries () =
   Fd_obs.Metrics.time h_analysis @@ fun () ->
@@ -72,6 +90,34 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ?budget
   let t0 = Sys.time () in
   Log.debug (fun m ->
       m "analysis starting with %d entry point(s)" (List.length entries));
+  (* demand-driven targeted mode: text-index the scene for matching
+     sink sites and keep only the entry points inside the backward
+     slice.  Building the call graph from those entries alone IS the
+     on-the-fly extension: edges are discovered along the slice and
+     nowhere else.  With [targeted = []] (the default) none of this
+     runs and the output is byte-identical to previous releases. *)
+  let slice =
+    match config.Config.targeted with
+    | [] -> None
+    | patterns ->
+        phase "targeted sink search";
+        Some (Ondemand.compute scene ~patterns)
+  in
+  let entries =
+    match slice with
+    | None -> entries
+    | Some sl ->
+        let kept, dropped = List.partition (Ondemand.mem sl) entries in
+        Fd_obs.Metrics.set_int g_entries_kept (List.length kept);
+        Fd_obs.Metrics.set_int g_entries_dropped (List.length dropped);
+        Log.debug (fun m ->
+            m "targeted slice: %d/%d methods, %d sink site(s), %d/%d entries kept"
+              (Ondemand.sliced_methods sl)
+              (Ondemand.total_methods sl)
+              (Ondemand.sink_sites sl) (List.length kept)
+              (List.length kept + List.length dropped));
+        kept
+  in
   phase "build call graph";
   let cg =
     Callgraph.build scene ~entry:entries ~algorithm:config.Config.cg_algorithm
@@ -87,8 +133,19 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ?budget
     Summary.make_hooks ~icfg ~config ~sources:(Srcsink_mgr.defs mgr) ~wrappers
       ~natives
   in
+  (* the slice membership predicate handed to the worklist loops is
+     restricted-call-graph reachability — every callee the restricted
+     graph resolves already satisfies it, so within the kept entries
+     the solve is bit-identical to full mode, while structurally
+     guaranteeing no descent outside the slice *)
+  let in_slice =
+    match slice with
+    | None -> None
+    | Some _ -> Some (fun k -> Callgraph.is_reachable cg k)
+  in
   let engine =
-    Bidi.create ?budget ?store ~config ~icfg ~scene ~mgr ~wrappers ~natives ()
+    Bidi.create ?budget ?store ?in_slice ~config ~icfg ~scene ~mgr ~wrappers
+      ~natives ()
   in
   Fd_obs.Trace.with_span "taint.solve" (fun () ->
       Fd_obs.Metrics.time h_solve (fun () -> Bidi.run engine ~entries));
@@ -111,13 +168,23 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ?budget
         ]
     end
   in
+  (* targeted mode only reports flows into the targeted sinks; other
+     rule-set sinks inside the slice are analysed (the worklists don't
+     know which sink a fact will reach) but projected out here *)
+  let findings =
+    match slice with
+    | None -> Bidi.findings engine
+    | Some sl ->
+        restrict_findings ~icfg ~patterns:(Ondemand.patterns sl)
+          (Bidi.findings engine)
+  in
   Log.debug (fun m ->
       m "done: %d finding(s), %d propagations, %.4fs"
-        (List.length (Bidi.findings engine))
+        (List.length findings)
         (Bidi.propagation_count engine)
         (t1 -. t0));
   {
-    r_findings = Bidi.findings engine;
+    r_findings = findings;
     r_entries = entries;
     r_stats =
       {

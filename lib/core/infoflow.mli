@@ -92,6 +92,14 @@ val analyze_plain :
     order (FlowDroid's default entry-point creator) — required when
     flows stage data in static state between entry points. *)
 
+val restrict_findings :
+  icfg:Icfg.t -> patterns:string list -> Bidi.finding list -> Bidi.finding list
+(** keep the findings whose sink invoke site matches one of the
+    [--targeted] patterns — exactly the projection targeted mode
+    applies to its own output.  Exported so the verdict-identity gate
+    can apply the same projection to a full-mode run before
+    comparing. *)
+
 val warm_templates : unit -> unit
 (** Force every lazily-built shared template the pipeline clones per
     run — the framework-skeleton scene ({!Fd_frontend.Framework}) and

@@ -274,6 +274,11 @@ let config_digest ~(config : Config.t) ~sources ~wrappers ~natives =
       "srcs=" ^ SS.digest sources;
       "wrap=" ^ Fd_frontend.Rules.digest wrappers;
       "nat=" ^ Fd_frontend.Rules.digest natives;
+      (* targeted mode restricts which sinks are even considered, so
+         hot entries must never cross between modes (or between
+         different targeted sink sets) *)
+      "targeted="
+      ^ String.concat "," (List.sort_uniq compare config.Config.targeted);
     ]
   in
   Digest.to_hex (Digest.string (String.concat ";" parts))

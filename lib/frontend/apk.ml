@@ -289,11 +289,13 @@ let res_id loaded name =
     raise (Load_error (Printf.sprintf "%s: unknown resource id %S" loaded.name name))
 
 (** [layout_id loaded name] is the [R.layout] integer for a layout
-    file. *)
+    file.
+    @raise Load_error when the layout is unknown. *)
 let layout_id loaded name =
-  try Layout.layout_id loaded.layout name
-  with Not_found ->
-    raise (Load_error (Printf.sprintf "%s: unknown layout %S" loaded.name name))
+  match Layout.layout_id loaded.layout name with
+  | Some id -> id
+  | None ->
+      raise (Load_error (Printf.sprintf "%s: unknown layout %S" loaded.name name))
 
 (* ------------------------------------------------------------------ *)
 (* Manifest-construction helpers for benchmark apps                    *)

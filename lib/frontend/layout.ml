@@ -145,8 +145,11 @@ let res_id t name =
   | Some c -> c.ctl_id
   | None -> raise Not_found
 
-(** [layout_id t name] is the generated [R.layout.*] integer. *)
-let layout_id t name = List.assoc name t.layouts
+(** [layout_id t name] is the generated [R.layout.*] integer, or
+    [None] when no layout [name] was parsed.  Returning an option (and
+    never raising [Not_found]) lets lenient callers degrade an unknown
+    layout reference to a diag instead of an escaping exception. *)
+let layout_id t name = List.assoc_opt name t.layouts
 
 (** [controls_in t layout] is the controls declared in [layout]. *)
 let controls_in t layout =

@@ -43,8 +43,9 @@ val control_by_name : t -> string -> control option
 val res_id : t -> string -> int
 (** @raise Not_found when no control declares the symbolic id *)
 
-val layout_id : t -> string -> int
-(** @raise Not_found for unknown layout names *)
+val layout_id : t -> string -> int option
+(** [None] for unknown layout names; never raises, so lenient callers
+    can turn a dangling layout reference into a diag *)
 
 val controls_in : t -> string -> control list
 (** the controls declared in one layout *)

@@ -205,9 +205,13 @@ module Make (P : PROBLEM) = struct
        and never handed back to [sh_persist] *)
     hooks : summary_hooks option;
     injected : unit I2_tbl.t;
+    (* targeted-mode slice membership: calls whose callee falls
+       outside it are treated like unanalysable calls (call-to-return
+       only).  [None] — the default — takes no new code path. *)
+    in_slice : (P.proc -> bool) option;
   }
 
-  let create ?(budget = Fd_resilience.Budget.unlimited ()) ?hooks () =
+  let create ?(budget = Fd_resilience.Budget.unlimited ()) ?hooks ?in_slice () =
     {
       nodes = Node_pool.create ~size:512 ();
       procs = Proc_pool.create ~size:64 ();
@@ -226,6 +230,7 @@ module Make (P : PROBLEM) = struct
       budget;
       hooks;
       injected = I2_tbl.create 16;
+      in_slice;
     }
 
   let int_cell tbl key =
@@ -314,7 +319,11 @@ module Make (P : PROBLEM) = struct
     and d1_id = it.it_d1_id in
     let n = it.it_n and d2 = it.it_d2 in
     let propagate_src = propagate t ~sp ~sp_id ~d1 ~d1_id in
-    let callees = P.callees n in
+    let callees =
+      match t.in_slice with
+      | None -> P.callees n
+      | Some keep -> List.filter keep (P.callees n)
+    in
     if callees <> [] then begin
       (* a call node with analysable targets *)
       List.iter
@@ -452,9 +461,11 @@ module Make (P : PROBLEM) = struct
       afterwards).  Each seed [(n, d)] asserts that [d] holds just
       before [n] (typically [(entry, zero)]).  When [proc_name] is
       given, every pop's processing time is attributed to its
-      procedure in the {!Fd_obs.Profile} registry. *)
-  let solve ?budget ?proc_name ?summaries ~seeds () =
-    let t = create ?budget ?hooks:summaries () in
+      procedure in the {!Fd_obs.Profile} registry.  [?in_slice]
+      restricts descent to procedures inside the targeted slice; calls
+      outside it degrade to call-to-return flow only. *)
+  let solve ?budget ?proc_name ?summaries ?in_slice ~seeds () =
+    let t = create ?budget ?hooks:summaries ?in_slice () in
     Flight.clear ();
     Flight.mark (Printf.sprintf "ifds.solve.start seeds=%d" (List.length seeds));
     List.iter

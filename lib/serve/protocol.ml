@@ -107,6 +107,9 @@ type analyze = {
   rq_rules : string;
   rq_strict : bool;
   rq_fresh_metrics : bool;
+  rq_targeted : string list;
+      (** demand-driven targeted mode: sink signature patterns
+          ([\[\]] = full analysis) *)
 }
 
 type request = Ping | Health | Stats | Drain | Analyze of analyze
@@ -196,6 +199,10 @@ let request_of_json v =
                      rq_fresh_metrics =
                        Option.value (member_bool "fresh_metrics" v)
                          ~default:false;
+                     rq_targeted =
+                       (match Json.member "targeted" v with
+                       | Some (Json.List ts) -> List.filter_map str ts
+                       | _ -> []);
                    })))
   | Some other -> Error ("unknown verb: " ^ other)
 
@@ -239,8 +246,12 @@ let json_of_analyze a =
     @ (if a.rq_rules <> "default" then [ ("rules", Json.String a.rq_rules) ]
        else [])
     @ (if a.rq_strict then [ ("strict", Json.Bool true) ] else [])
+    @ (if a.rq_fresh_metrics then [ ("fresh_metrics", Json.Bool true) ]
+       else [])
     @
-    if a.rq_fresh_metrics then [ ("fresh_metrics", Json.Bool true) ] else [])
+    if a.rq_targeted <> [] then
+      [ ("targeted", Json.List (List.map (fun s -> Json.String s) a.rq_targeted)) ]
+    else [])
 
 (* ------------------------------------------------------------------ *)
 (* response builders                                                   *)

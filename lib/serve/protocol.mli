@@ -80,6 +80,9 @@ type analyze = {
   rq_strict : bool;  (** strict frontend (default: lenient) *)
   rq_fresh_metrics : bool;
       (** include a per-request metric delta in the reply *)
+  rq_targeted : string list;
+      (** demand-driven targeted mode (["targeted":\["SIG",…\]]):
+          sink signature patterns; [[]] (absent) = full analysis *)
 }
 
 type request =

@@ -292,13 +292,21 @@ let publish_gauges t =
   Metrics.set_int g_in_flight (in_flight t)
 
 (* mean observed service time × queue position ÷ workers, clamped to
-   [50 ms, 10 s] — a rough but monotone backpressure hint *)
+   [50 ms, 10 s] — a rough but monotone backpressure hint.  The
+   per-request estimate is clamped into [0.05 s, 10 s] BEFORE any
+   arithmetic: on a freshly-booted daemon the histogram is empty (or
+   holds a single degenerate 0/NaN sample) and an unclamped mean would
+   poison the product below. *)
 let retry_after_ms t =
   let per_request =
     match Metrics.histogram_summary "serve.request_seconds" with
     | Some hs when hs.Metrics.hs_count > 0 ->
         hs.Metrics.hs_sum /. float_of_int hs.Metrics.hs_count
     | _ -> 0.1
+  in
+  let per_request =
+    if Float.is_nan per_request then 0.1
+    else Float.min 10. (Float.max 0.05 per_request)
   in
   let est =
     per_request
@@ -458,6 +466,13 @@ let build_req t conn (a : Protocol.analyze) =
           match a.rq_k with
           | Some k -> { cfg.sv_base_config with Config.max_access_path = k }
           | None -> cfg.sv_base_config
+        in
+        (* per-request targeted mode; the summary-store digest already
+           incorporates the pattern set so hot entries never cross
+           between targeted and full requests *)
+        let base =
+          if a.rq_targeted = [] then base
+          else { base with Config.targeted = a.rq_targeted }
         in
         let deadline_s =
           match a.rq_deadline_ms with

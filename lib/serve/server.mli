@@ -95,6 +95,13 @@ val queue_depth : t -> int
 
 val in_flight : t -> int
 
+val retry_after_ms : t -> int
+(** backpressure hint sent with rejections: mean observed service time
+    × queue position ÷ workers.  Always within [50, 10_000] ms — the
+    per-request estimate is clamped before any arithmetic, so a
+    freshly-booted daemon with an empty service-time histogram still
+    returns a sane value. *)
+
 val stop : ?grace_s:float -> t -> unit
 (** Graceful shutdown: {!drain}, wait up to the grace period (default
     [sv_drain_grace_s]) for queued + in-flight work, then cancel the

@@ -351,15 +351,20 @@ let verify_entry (ei : entry_info) =
       | Ok _ -> Ok ()
       | Error reason -> Error reason)
 
-(** evict least-recently-used entries (by mtime) until the store fits
-    [max_bytes]; returns (deleted entries, freed bytes) *)
+(** evict least-recently-used entries (by mtime, ties broken by path)
+    until the store fits [max_bytes]; returns (deleted entries, freed
+    bytes).  The (mtime, path) key makes eviction deterministic: two
+    shards gc'ing the same store agree on the survivors even though
+    [readdir] enumerates in different orders. *)
 let gc dir ~max_bytes =
   let entries = scan dir in
   let total = List.fold_left (fun a e -> a + e.ei_bytes) 0 entries in
   if total <= max_bytes then (0, 0)
   else begin
     let by_age =
-      List.sort (fun a b -> compare a.ei_mtime b.ei_mtime) entries
+      List.sort
+        (fun a b -> compare (a.ei_mtime, a.ei_path) (b.ei_mtime, b.ei_path))
+        entries
     in
     let deleted = ref 0 and freed = ref 0 in
     let excess = ref (total - max_bytes) in

@@ -34,7 +34,9 @@ val verify_entry : entry_info -> (unit, string) result
 
 val gc : string -> max_bytes:int -> int * int
 (** evict least-recently-used entries until the store fits;
-    [(deleted, freed_bytes)] *)
+    [(deleted, freed_bytes)].  Candidates are ordered by (mtime, path)
+    so eviction is deterministic regardless of directory enumeration
+    order — concurrent shards keep the same survivors. *)
 
 (**/**)
 

@@ -86,7 +86,9 @@ let decode_entities st s =
                         else int_of_string (String.sub name 1 (String.length name - 1))
                       with _ -> fail st ("bad character reference &" ^ name ^ ";")
                     in
-                    if code < 0x80 then String.make 1 (Char.chr code)
+                    if code >= 0 && code < 0x80 then String.make 1 (Char.chr code)
+                    else if code < 0 then
+                      fail st ("bad character reference &" ^ name ^ ";")
                     else fail st "non-ASCII character references are not supported"
                   else fail st ("unknown entity &" ^ name ^ ";")
             in

@@ -95,7 +95,7 @@ let test_layout_parse () =
   (* ids are dense from the aapt-style base, in declaration order *)
   Alcotest.(check int) "first id" Layout.id_base user.Layout.ctl_id;
   Alcotest.(check int) "second id" (Layout.id_base + 1) pwd.Layout.ctl_id;
-  Alcotest.(check int) "layout id" Layout.layout_id_base
+  Alcotest.(check (option int)) "layout id" (Some Layout.layout_id_base)
     (Layout.layout_id l "activity_main");
   match Layout.control_by_id l (Layout.id_base + 1) with
   | Some c -> Alcotest.(check string) "lookup by id" "pwdString" c.Layout.ctl_name

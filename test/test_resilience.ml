@@ -241,8 +241,8 @@ let test_lenient_bad_layout () =
        loaded.Apk.diags);
   Alcotest.(check bool) "good layout survived" true
     (match Fd_frontend.Layout.layout_id loaded.Apk.layout "good" with
-    | _ -> true
-    | exception Not_found -> false)
+    | Some _ -> true
+    | None -> false)
 
 (* ---------------- I/O errors are Load_error, never Sys_error ----- *)
 

@@ -31,6 +31,7 @@ let analyze_req ?id ?deadline_ms app =
     rq_rules = "default";
     rq_strict = false;
     rq_fresh_metrics = false;
+    rq_targeted = [];
   }
 
 let member_str k v =
@@ -147,6 +148,36 @@ let with_server cfg f =
 let with_client socket f =
   let c = Client.connect socket in
   Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* ---------------- cold-start backpressure hint ---------------- *)
+
+(* on a freshly-booted daemon the latency histogram is empty (and the
+   first samples can be degenerate 0s); the retry_after_ms estimate
+   must still land inside its documented [50 ms, 10 s] envelope *)
+let test_retry_after_cold_start () =
+  let socket = fresh_socket () in
+  Fd_obs.Metrics.reset ();
+  with_server (base_cfg socket) (fun server ->
+      let check_bounds label =
+        let ms = Server.retry_after_ms server in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %d ms within [50, 10000]" label ms)
+          true
+          (ms >= 50 && ms <= 10_000)
+      in
+      (* empty histogram *)
+      check_bounds "cold start";
+      (* degenerate zero-duration samples: mean 0 must clamp up *)
+      let h = Fd_obs.Metrics.histogram "serve.request_seconds" in
+      Fd_obs.Metrics.observe h 0.;
+      check_bounds "zero-duration sample";
+      (* pathological huge sample: mean must clamp down, not overflow *)
+      Fd_obs.Metrics.observe h 1e12;
+      check_bounds "huge sample";
+      (* after real traffic it stays bounded too *)
+      with_client socket (fun c ->
+          ignore (Client.analyze c (analyze_req (gen_app 0))));
+      check_bounds "after a real request")
 
 (* ---------------- round-trip ---------------- *)
 
@@ -408,6 +439,8 @@ let () =
             test_server_roundtrip;
           Alcotest.test_case "bad requests don't wedge" `Quick
             test_server_bad_requests;
+          Alcotest.test_case "retry_after_ms bounded from cold start" `Quick
+            test_retry_after_cold_start;
           Alcotest.test_case "queue-full rejection" `Quick
             test_queue_full_rejection;
           Alcotest.test_case "worker crash lands degraded" `Quick

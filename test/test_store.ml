@@ -268,6 +268,62 @@ let test_read_only_degradation () =
     (Store.drain_diags () <> [])
 
 (* ------------------------------------------------------------------ *)
+(* gc determinism                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* with every mtime tied, eviction order is decided purely by the
+   (mtime, path) sort — the survivor set must match a replay of that
+   policy, independent of readdir order *)
+let test_gc_deterministic () =
+  let dir = temp_dir "fdstore-gc" in
+  Fd_store.Store.install ();
+  List.iter
+    (fun ga -> ignore (analyze ~dir ga.Gen.ga_apk))
+    (Gen.corpus ~profile:Gen.Malware ~seed:777 4);
+  let entries = Store.scan dir in
+  Alcotest.(check bool) "enough entries to evict" true
+    (List.length entries >= 4);
+  (* force ties: identical mtimes everywhere *)
+  let t = Unix.time () -. 1000. in
+  List.iter (fun e -> Unix.utimes e.Store.ei_path t t) entries;
+  let entries = Store.scan dir in
+  let total = List.fold_left (fun a e -> a + e.Store.ei_bytes) 0 entries in
+  let max_bytes = total / 2 in
+  (* replay the documented policy: sort by (mtime, path), evict from
+     the front until the excess is gone *)
+  let expected_survivors =
+    let by_age =
+      List.sort
+        (fun a b ->
+          compare
+            (a.Store.ei_mtime, a.Store.ei_path)
+            (b.Store.ei_mtime, b.Store.ei_path))
+        entries
+    in
+    let excess = ref (total - max_bytes) in
+    List.filter
+      (fun e ->
+        if !excess > 0 then begin
+          excess := !excess - e.Store.ei_bytes;
+          false
+        end
+        else true)
+      by_age
+    |> List.map (fun e -> e.Store.ei_path)
+    |> List.sort compare
+  in
+  let deleted, freed = Store.gc dir ~max_bytes in
+  Alcotest.(check bool) "something evicted" true (deleted > 0 && freed > 0);
+  let survivors =
+    Store.scan dir |> List.map (fun e -> e.Store.ei_path) |> List.sort compare
+  in
+  Alcotest.(check (list string)) "survivors match (mtime, path) policy"
+    expected_survivors survivors;
+  (* idempotent second pass: already under budget *)
+  Alcotest.(check (pair int int)) "second gc is a no-op" (0, 0)
+    (Store.gc dir ~max_bytes:total)
+
+(* ------------------------------------------------------------------ *)
 (* concurrent writers                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -326,6 +382,8 @@ let () =
             test_corruption;
           Alcotest.test_case "unwritable dir degrades to read-only" `Quick
             test_read_only_degradation;
+          Alcotest.test_case "gc evicts in (mtime, path) order" `Quick
+            test_gc_deterministic;
           Alcotest.test_case "concurrent writers under Pool.map" `Slow
             test_concurrent_writers;
         ] );

@@ -1,0 +1,170 @@
+(* Demand-driven targeted mode (DESIGN.md §14):
+
+   - verdict identity: targeted findings are exactly the full-mode
+     findings restricted to the targeted sinks, over generated Play
+     and Malware apps;
+   - empty slice: a pattern matching no sink site drops every entry
+     point — zero findings, zero reachable methods, near-zero work;
+   - the slice is a sound over-approximation: every full-mode finding
+     into a targeted sink survives targeting (no lost leaks);
+   - [Summary.config_digest] incorporates the targeted sink set, so
+     hot store entries never leak across modes;
+   - [targeted.*] metrics are published;
+   - default mode ([targeted = []]) takes no new code path. *)
+
+module Config = Fd_core.Config
+module Infoflow = Fd_core.Infoflow
+module Summary = Fd_core.Summary
+module Taint = Fd_core.Taint
+module Gen = Fd_appgen.Generator
+module Ondemand = Fd_callgraph.Ondemand
+
+let gen_apk ~profile ~seed index =
+  (Gen.generate ~profile ~seed index).Gen.ga_apk
+
+(* order-insensitive finding key: source tag, sink statement, sink tag *)
+let keys_of_findings findings =
+  List.map
+    (fun (f : Fd_core.Bidi.finding) ->
+      ( f.Fd_core.Bidi.f_source.Taint.si_tag,
+        Fd_callgraph.Icfg.string_of_node f.Fd_core.Bidi.f_sink_node,
+        f.Fd_core.Bidi.f_sink_tag ))
+    findings
+  |> List.sort_uniq compare
+
+let analyze ?(targeted = []) apk =
+  let config = { Config.default with Config.targeted = targeted } in
+  Infoflow.analyze_apk ~config apk
+
+(* the generated apps' SMS sink; Log sinks remain untargeted *)
+let sms = "SmsManager.sendTextMessage"
+
+(* ---------------- verdict identity ------------------------------- *)
+
+let test_verdict_identity () =
+  let apps =
+    [ (Gen.Play, 7, 0); (Gen.Play, 7, 1); (Gen.Malware, 11, 0);
+      (Gen.Malware, 11, 1); (Gen.Malware, 13, 2) ]
+  in
+  List.iter
+    (fun (profile, seed, idx) ->
+      let apk = gen_apk ~profile ~seed idx in
+      let full = analyze apk in
+      let expected =
+        keys_of_findings
+          (Infoflow.restrict_findings
+             ~icfg:full.Infoflow.r_icfg ~patterns:[ sms ]
+             full.Infoflow.r_findings)
+      in
+      let targeted = analyze ~targeted:[ sms ] apk in
+      Alcotest.(check (list (triple (option string) string (option string))))
+        (Printf.sprintf "verdicts %s/%d/%d"
+           (match profile with Gen.Play -> "play" | Gen.Malware -> "malware")
+           seed idx)
+        expected
+        (keys_of_findings targeted.Infoflow.r_findings))
+    apps
+
+(* every full-mode finding into the targeted sink survives targeting:
+   same assertion as identity, spelled as the soundness direction over
+   a wider sweep *)
+let test_no_lost_leaks () =
+  for idx = 0 to 5 do
+    let apk = gen_apk ~profile:Gen.Malware ~seed:23 idx in
+    let full = analyze apk in
+    let expected =
+      keys_of_findings
+        (Infoflow.restrict_findings ~icfg:full.Infoflow.r_icfg
+           ~patterns:[ sms ] full.Infoflow.r_findings)
+    in
+    let got =
+      keys_of_findings (analyze ~targeted:[ sms ] apk).Infoflow.r_findings
+    in
+    List.iter
+      (fun k ->
+        Alcotest.(check bool)
+          (Printf.sprintf "leak %s kept (app %d)"
+             (let a, b, _ = k in Option.value a ~default:"?" ^ "->" ^ b)
+             idx)
+          true (List.mem k got))
+      expected
+  done
+
+(* ---------------- empty slice fast path -------------------------- *)
+
+let test_empty_slice () =
+  let apk = gen_apk ~profile:Gen.Malware ~seed:5 0 in
+  let r = analyze ~targeted:[ "no.such.Class.noSuchSink" ] apk in
+  Alcotest.(check int) "no findings" 0 (List.length r.Infoflow.r_findings);
+  Alcotest.(check int) "no entries" 0 (List.length r.Infoflow.r_entries);
+  Alcotest.(check int) "no reachable methods" 0
+    r.Infoflow.r_stats.Infoflow.st_reachable
+
+(* ---------------- slice computation ------------------------------ *)
+
+let test_slice_counts () =
+  let apk = gen_apk ~profile:Gen.Malware ~seed:5 0 in
+  (* reuse the analysed scene (includes the generated dummy main) *)
+  let full = analyze apk in
+  let scene =
+    Fd_callgraph.Callgraph.cg_scene full.Infoflow.r_icfg.Fd_callgraph.Icfg.cg
+  in
+  let sl = Ondemand.compute scene ~patterns:[ sms ] in
+  Alcotest.(check bool) "sink sites found" true (Ondemand.sink_sites sl > 0);
+  Alcotest.(check bool) "probes counted" true (Ondemand.index_probes sl > 0);
+  Alcotest.(check bool) "slice is a strict subset" true
+    (Ondemand.sliced_methods sl > 0
+    && Ondemand.sliced_methods sl <= Ondemand.total_methods sl);
+  (* entries (the dummy main) are inside the slice: the app does reach
+     the SMS sink *)
+  Alcotest.(check bool) "entries in slice" true
+    (List.for_all (Ondemand.mem sl) full.Infoflow.r_entries);
+  let none = Ondemand.compute scene ~patterns:[ "no.such.Sink.api" ] in
+  Alcotest.(check int) "gibberish pattern: empty slice" 0
+    (Ondemand.sliced_methods none)
+
+let test_metrics_published () =
+  let apk = gen_apk ~profile:Gen.Malware ~seed:5 1 in
+  Fd_obs.Metrics.reset ();
+  ignore (analyze ~targeted:[ sms ] apk);
+  Alcotest.(check bool) "index probes metric" true
+    (Fd_obs.Metrics.counter_value "targeted.index_probes" > 0)
+
+(* ---------------- store digest separation ------------------------ *)
+
+let test_digest_separation () =
+  let sources = Fd_frontend.Sourcesink.default () in
+  let wrappers = Fd_frontend.Rules.default_wrappers () in
+  let natives = Fd_frontend.Rules.default_natives () in
+  let digest targeted =
+    Summary.config_digest
+      ~config:{ Config.default with Config.targeted }
+      ~sources ~wrappers ~natives
+  in
+  Alcotest.(check bool) "full vs targeted differ" true
+    (digest [] <> digest [ sms ]);
+  Alcotest.(check bool) "different sink sets differ" true
+    (digest [ sms ] <> digest [ "Log.i" ]);
+  Alcotest.(check string) "pattern order is canonicalised"
+    (digest [ sms; "Log.i" ])
+    (digest [ "Log.i"; sms ])
+
+let () =
+  Alcotest.run "fd_targeted"
+    [
+      ( "targeted",
+        [
+          Alcotest.test_case "verdict identity vs full mode" `Quick
+            test_verdict_identity;
+          Alcotest.test_case "no lost leaks across a sweep" `Quick
+            test_no_lost_leaks;
+          Alcotest.test_case "empty slice drops every entry" `Quick
+            test_empty_slice;
+          Alcotest.test_case "slice counts and membership" `Quick
+            test_slice_counts;
+          Alcotest.test_case "targeted.* metrics" `Quick
+            test_metrics_published;
+          Alcotest.test_case "store digest separation" `Quick
+            test_digest_separation;
+        ] );
+    ]
