@@ -201,11 +201,13 @@ let job_request i =
     {
       Protocol.rq_id = Some (Json.Int i);
       rq_app = app;
+      rq_apps = [];
       rq_deadline_ms = None;
       rq_k = None;
       rq_rules = "default";
       rq_strict = false;
       rq_fresh_metrics = false;
+      rq_icc = false;
       rq_targeted = [];
     }
   in
@@ -391,11 +393,13 @@ let measure_warm socket =
                     g_seed = !seed;
                     g_index = indices.(!i mod Array.length indices);
                   };
+              rq_apps = [];
               rq_deadline_ms = None;
               rq_k = None;
               rq_rules = "default";
               rq_strict = false;
               rq_fresh_metrics = false;
+              rq_icc = false;
               rq_targeted = [];
             }
           in

@@ -6,10 +6,11 @@ let profile =
   let profile_conv =
     Arg.enum
       [ ("play", Fd_appgen.Generator.Play);
-        ("malware", Fd_appgen.Generator.Malware) ]
+        ("malware", Fd_appgen.Generator.Malware);
+        ("icc", Fd_appgen.Generator.Icc) ]
   in
   Arg.(value & opt profile_conv Fd_appgen.Generator.Malware
-       & info [ "profile" ] ~doc:"Corpus profile: play or malware.")
+       & info [ "profile" ] ~doc:"Corpus profile: play, malware or icc.")
 
 let n =
   Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of apps to generate.")

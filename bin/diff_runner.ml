@@ -13,11 +13,19 @@ type which = One of Gen.profile | Both
 let profile =
   let which_conv =
     Arg.enum
-      [ ("play", One Gen.Play); ("malware", One Gen.Malware); ("both", Both) ]
+      [
+        ("play", One Gen.Play);
+        ("malware", One Gen.Malware);
+        ("icc", One Gen.Icc);
+        ("both", Both);
+      ]
   in
   Arg.(
     value & opt which_conv Both
-    & info [ "profile" ] ~doc:"Corpus profile: play, malware, or both.")
+    & info [ "profile" ]
+        ~doc:
+          "Corpus profile: play, malware, icc (intent-heavy ICC \
+           scenarios), or both (play + malware).")
 
 let seed =
   Arg.(value & opt int 20140609 & info [ "seed" ] ~doc:"Corpus seed.")
@@ -213,6 +221,26 @@ let targeted =
               supertypes included; repeatable, or comma-separated in \
               the env var).")
 
+let icc_flag =
+  Arg.(
+    value & flag
+    & info [ "icc" ]
+        ~env:(Cmd.Env.info "FLOWDROID_ICC")
+        ~doc:"Enable the inter-component taint tier in the static \
+              engine (and concrete intent dispatch in the dynamic \
+              oracle).  Verdict classification follows: icc-send and \
+              icc-stitch are no longer accepted explanations for a \
+              disagreement.")
+
+let pairs =
+  Arg.(
+    value & opt int 0
+    & info [ "pairs" ] ~docv:"N"
+        ~doc:"Also run a collusion-pair campaign: $(docv) generated \
+              sender/receiver app pairs analysed in one merged Scene \
+              each, validated against the planted cross-app ground \
+              truth.")
+
 let split_targeted specs =
   List.concat_map
     (fun s ->
@@ -224,7 +252,7 @@ let split_targeted specs =
     specs
 
 let run which seed precision count jobs do_min json emit_dir summary_store
-    targeted =
+    targeted icc pairs =
   let module Config = Fd_core.Config in
   match Config.precision_of_string precision with
   | Error msg ->
@@ -245,7 +273,8 @@ let run which seed precision count jobs do_min json emit_dir summary_store
     { Config.default with
       Config.precision = passes;
       Config.summary_store;
-      Config.targeted = split_targeted targeted }
+      Config.targeted = split_targeted targeted;
+      Config.icc = icc }
   in
   let enabled = Config.precision_enabled passes in
   let profiles =
@@ -273,6 +302,19 @@ let run which seed precision count jobs do_min json emit_dir summary_store
         (fun dir -> emit_explained_repros ~config ~profile ~seed ~count ~dir c)
         emit_dir)
     profiles;
+  if pairs > 0 then begin
+    let c = Dc.pair_campaign ~config ~jobs ~seed ~n:pairs () in
+    n_div :=
+      !n_div
+      + List.fold_left
+          (fun a ar -> a + List.length (Dc.divergences ar))
+          0 c.Dc.cp_reports;
+    if json then print_endline (campaign_json ~passes c)
+    else begin
+      Printf.printf "collusion pairs (merged two-app scenes):\n";
+      print_string (Dc.render c)
+    end
+  end;
   List.iter
     (fun (d : Fd_resilience.Diag.t) ->
       Printf.eprintf "summary-store: %s\n" d.Fd_resilience.Diag.d_msg)
@@ -296,6 +338,6 @@ let cmd =
           vs planted ground truth over generated corpora.")
     Term.(
       const run $ profile $ seed $ precision $ count $ jobs $ minimize_flag
-      $ json $ emit_explained $ summary_store $ targeted)
+      $ json $ emit_explained $ summary_store $ targeted $ icc_flag $ pairs)
 
 let () = exit (Cmd.eval cmd)

@@ -20,6 +20,11 @@
                         array-index, reflection, clinit; default:
                         $FLOWDROID_PRECISION, else none); reported in
                         the output only when a pass is enabled
+     --icc              enable the ICC link-resolution tier: resolve
+                        intent sends against the manifest, stitch
+                        cross-component flows, drop deliverable sends,
+                        synthesise setResult leaks (closes the
+                        IntentSink1 row); default off, table unchanged
 
    Performance options:
      --jobs N           fan the per-app loop out over N domains
@@ -50,7 +55,7 @@ let usage () =
     "usage: droidbench_runner [--app NAME] [--precision SPEC] [--stats-json \
      FILE] [--trace-out FILE] [--provenance] [--profile-out FILE] [--dump \
      DIR] [--jobs N] [--deadline SECS] [--outcomes] [--chaos-rate P] \
-     [--chaos-seed N] [--summary-store DIR] [--targeted SIG]";
+     [--chaos-seed N] [--summary-store DIR] [--targeted SIG] [--icc]";
   exit 1
 
 let app_name = ref None
@@ -91,6 +96,8 @@ let precision =
     (match Sys.getenv_opt "FLOWDROID_PRECISION" with
     | Some s when s <> "" -> s
     | _ -> "none")
+
+let icc = ref (Sys.getenv_opt "FLOWDROID_ICC" = Some "1")
 
 let () =
   let rec parse = function
@@ -145,6 +152,9 @@ let () =
     | "--targeted" :: v :: rest ->
         targeted := !targeted @ split_targeted v;
         parse rest
+    | "--icc" :: rest ->
+        icc := true;
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -166,6 +176,7 @@ let base_config () =
     Fd_core.Config.profile = !profile_out <> None;
     Fd_core.Config.summary_store = !summary_store;
     Fd_core.Config.targeted = !targeted;
+    Fd_core.Config.icc = !icc;
   }
 
 (* mention precision only when a pass is on: default output unchanged *)

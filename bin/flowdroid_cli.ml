@@ -7,12 +7,23 @@ module Config = Fd_core.Config
 
 let app_dir =
   Arg.(
-    required
+    value
     & pos 0 (some dir) None
     & info [] ~docv:"APP_DIR"
         ~doc:
           "App directory: AndroidManifest.xml, res/layout/*.xml and µJimple \
            (.jimple) source files.")
+
+let apk_dirs =
+  Arg.(
+    value & opt_all dir []
+    & info [ "apk" ] ~docv:"APP_DIR"
+        ~doc:
+          "Additional app directory (repeatable).  With two or more apps \
+           in total they are loaded into one merged Scene and analysed \
+           together — the inter-app setting where, under $(b,--icc), \
+           intents cross APK boundaries into exported components and \
+           collusion flows are stitched end to end.")
 
 let k_len =
   Arg.(
@@ -193,6 +204,20 @@ let targeted =
            slice — often orders of magnitude faster when most of the \
            app cannot reach the sink.")
 
+let icc_flag =
+  Arg.(
+    value & flag
+    & info [ "icc" ]
+        ~env:(Cmd.Env.info "FLOWDROID_ICC")
+        ~doc:
+          "Inter-component taint tracking: resolve intent sends against \
+           the manifest's intent filters (Android's intent-resolution \
+           rules, exported gate included) and stitch sending-side flows \
+           to reception-side flows — per extra key where the constant \
+           analysis can separate them.  Off by default; with the flag \
+           unset the output is byte-identical to a build without this \
+           tier.")
+
 (* repeatable flag + comma-separated lists (the env-var form) *)
 let split_targeted specs =
   List.concat_map
@@ -268,13 +293,21 @@ let run_lint dir =
     1
   end
 
-let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
-    precision lint sources wrappers show_paths dump_dm xml_out stats_json_out
-    trace_out provenance explain profile_out summary_store targeted =
+let analyze dir apk_dirs icc k deadline lenient fallback no_lc no_cb no_alias
+    no_act rta precision lint sources wrappers show_paths dump_dm xml_out
+    stats_json_out trace_out provenance explain profile_out summary_store
+    targeted =
   Fd_obs.Metrics.reset ();
   Fd_obs.Trace.reset ();
   Fd_obs.Profile.reset ();
-  if lint then run_lint dir
+  let dirs = (match dir with Some d -> [ d ] | None -> []) @ apk_dirs in
+  match dirs with
+  | [] ->
+      Printf.eprintf "error: no app directory given (positional or --apk)\n";
+      1
+  | _ :: _ ->
+  if lint then
+    List.fold_left (fun acc d -> max acc (run_lint d)) 0 dirs
   else
   match Config.precision_of_string precision with
   | Error msg ->
@@ -297,6 +330,7 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
       Config.profile = profile_out <> None;
       Config.summary_store = summary_store;
       Config.targeted = split_targeted targeted;
+      Config.icc = icc;
     }
   in
   if summary_store <> None then Fd_store.Store.install ();
@@ -312,23 +346,37 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
     | None -> Fd_frontend.Rules.default_wrappers ()
   in
   let phase p = Printf.eprintf "[phase] %s\n%!" p in
-  match Fd_frontend.Apk.of_dir ~mode dir with
-  | exception Fd_frontend.Apk.Load_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-  | apk -> (
+  (
       let run () =
-        if fallback then begin
-          let fb =
-            Fd_core.Infoflow.analyze_with_fallback ~config ~defs ~wrappers
-              ~phase ~mode apk
-          in
-          (fb.Fd_core.Infoflow.fb_result, Some fb)
-        end
-        else
-          ( Fd_core.Infoflow.analyze_apk ~config ~defs ~wrappers ~phase ~mode
-              apk,
-            None )
+        match dirs with
+        | [ dir ] ->
+            let apk = Fd_frontend.Apk.of_dir ~mode dir in
+            if fallback then begin
+              let fb =
+                Fd_core.Infoflow.analyze_with_fallback ~config ~defs ~wrappers
+                  ~phase ~mode apk
+              in
+              (fb.Fd_core.Infoflow.fb_result, Some fb)
+            end
+            else
+              ( Fd_core.Infoflow.analyze_apk ~config ~defs ~wrappers ~phase
+                  ~mode apk,
+                None )
+        | dirs ->
+            (* the merged multi-app Scene: collusion analysis *)
+            if fallback then
+              Printf.eprintf
+                "warning: --fallback applies to single-app analysis; ignored\n";
+            let apks = List.map (Fd_frontend.Apk.of_dir ~mode) dirs in
+            let merged = Fd_frontend.Apk.load_merged ~mode apks in
+            List.iter
+              (fun d ->
+                Printf.eprintf "warning: %s\n"
+                  (Fd_resilience.Diag.to_string d))
+              merged.Fd_frontend.Apk.m_loaded.Fd_frontend.Apk.diags;
+            ( Fd_core.Infoflow.analyze_merged ~config ~defs ~wrappers ~phase
+                merged,
+              None )
       in
       match run () with
       | exception Fd_frontend.Apk.Load_error msg ->
@@ -364,7 +412,8 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
           in
           Printf.printf
             "%d flow(s) found in %s (%.3f s, %d reachable methods%s)\n"
-            (List.length findings) dir
+            (List.length findings)
+            (String.concat " + " dirs)
             result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_time
             result.Fd_core.Infoflow.r_stats.Fd_core.Infoflow.st_reachable
             precision_note;
@@ -386,6 +435,26 @@ let analyze dir k deadline lenient fallback no_lc no_cb no_alias no_act rta
                 | [] -> print_endline "      (no witness recorded)"
                 | lines -> List.iter print_endline lines)
             findings;
+          (match result.Fd_core.Infoflow.r_icc with
+          | None -> ()
+          | Some rep ->
+              Printf.printf
+                "icc: %d send site(s), %d resolved, %d stitched flow(s), %d \
+                 setResult leak(s)\n"
+                rep.Fd_core.Icc.ic_send_sites rep.Fd_core.Icc.ic_resolved
+                (List.length rep.Fd_core.Icc.ic_stitched)
+                (List.length rep.Fd_core.Icc.ic_result_leaks);
+              List.iter
+                (fun (app, cls) ->
+                  Printf.printf "  exported: %s [%s]\n" cls app)
+                rep.Fd_core.Icc.ic_exported;
+              List.iter
+                (fun (e : Fd_core.Icc.surface_entry) ->
+                  Printf.printf "  surface: %s in %s (%s)\n"
+                    (Fd_callgraph.Icfg.string_of_node e.Fd_core.Icc.su_node)
+                    e.Fd_core.Icc.su_method
+                    (Fd_core.Icc.string_of_reason e.Fd_core.Icc.su_reason))
+                rep.Fd_core.Icc.ic_surface);
           let write_error = ref false in
           let write_out what path =
             try
@@ -483,11 +552,11 @@ let cmd =
               under-approximation), 1 on errors.";
          ])
     Term.(
-      const analyze $ app_dir $ k_len $ deadline $ lenient $ fallback
-      $ no_lifecycle $ no_callbacks $ no_alias $ no_activation $ rta
-      $ precision $ lint_flag $ sources_file $ wrappers_file $ show_paths
-      $ dump_dummy_main $ xml_out $ stats_json_out $ trace_out
-      $ provenance_flag $ explain_flag $ profile_out $ summary_store
-      $ targeted)
+      const analyze $ app_dir $ apk_dirs $ icc_flag $ k_len $ deadline
+      $ lenient $ fallback $ no_lifecycle $ no_callbacks $ no_alias
+      $ no_activation $ rta $ precision $ lint_flag $ sources_file
+      $ wrappers_file $ show_paths $ dump_dummy_main $ xml_out
+      $ stats_json_out $ trace_out $ provenance_flag $ explain_flag
+      $ profile_out $ summary_store $ targeted)
 
 let () = exit (Cmd.eval' cmd)

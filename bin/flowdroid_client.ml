@@ -31,12 +31,21 @@ let dir_arg =
     & opt (some string) None
     & info [ "dir" ] ~docv:"APP" ~doc:"App directory to analyze.")
 
+let apk_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "apk" ] ~docv:"APP"
+        ~doc:"App directory (repeatable).  Two or more apps in total \
+              make the request a batch analysed in one merged \
+              multi-app Scene — with $(b,--icc), the inter-app \
+              collusion setting.")
+
 let gen_arg =
   Arg.(
-    value
-    & opt (some string) None
+    value & opt_all string []
     & info [ "gen" ] ~docv:"PROFILE:SEED:INDEX"
-        ~doc:"Generated-corpus app, e.g. play:2014:7.")
+        ~doc:"Generated-corpus app, e.g. play:2014:7 (repeatable; \
+              profiles: play, malware, icc).")
 
 let deadline_arg =
   Arg.(
@@ -58,6 +67,13 @@ let id_arg =
 
 let strict_arg =
   Arg.(value & flag & info [ "strict" ] ~doc:"Strict frontend parsing.")
+
+let icc_arg =
+  Arg.(
+    value & flag
+    & info [ "icc" ]
+        ~env:(Cmd.Env.info "FLOWDROID_ICC")
+        ~doc:"Enable the inter-component taint tier for this request.")
 
 let targeted_arg =
   Arg.(
@@ -96,10 +112,15 @@ let parse_gen s =
             (Protocol.App_gen
                { g_profile = Fd_appgen.Generator.Malware; g_seed = seed;
                  g_index = index })
+      | "icc", Some seed, Some index ->
+          Ok
+            (Protocol.App_gen
+               { g_profile = Fd_appgen.Generator.Icc; g_seed = seed;
+                 g_index = index })
       | _ -> Error ("bad --gen spec: " ^ s))
   | _ -> Error ("bad --gen spec: " ^ s)
 
-let run socket verb dir gen deadline_ms k id strict targeted =
+let run socket verb dir apks gens deadline_ms k id strict icc targeted =
   let with_client f =
     match Client.connect socket with
     | exception Unix.Unix_error (e, _, _) ->
@@ -127,17 +148,33 @@ let run socket verb dir gen deadline_ms k id strict targeted =
   | `Stats -> with_client (fun c -> print_reply (Client.stats c))
   | `Drain -> with_client (fun c -> print_reply (Client.drain c))
   | `Analyze -> (
-      let app =
-        match (dir, gen) with
-        | Some d, None -> Ok (Protocol.App_dir d)
-        | None, Some g -> parse_gen g
-        | _ -> Error "analyze needs exactly one of --dir or --gen"
+      let specs =
+        let dirs =
+          (match dir with Some d -> [ d ] | None -> []) @ apks
+        in
+        match
+          List.fold_right
+            (fun g acc ->
+              match (acc, parse_gen g) with
+              | Error e, _ -> Error e
+              | _, Error e -> Error e
+              | Ok rest, Ok a -> Ok (a :: rest))
+            gens (Ok [])
+        with
+        | Error e -> Error e
+        | Ok gspecs ->
+            Ok (List.map (fun d -> Protocol.App_dir d) dirs @ gspecs)
       in
-      match app with
+      match specs with
       | Error msg ->
           Printf.eprintf "flowdroid_client: %s\n%!" msg;
           2
-      | Ok rq_app ->
+      | Ok [] ->
+          Printf.eprintf
+            "flowdroid_client: analyze needs at least one of --dir, --apk \
+             or --gen\n%!";
+          2
+      | Ok (rq_app :: rq_apps) ->
           with_client (fun c ->
               print_reply
                 (Client.analyze c
@@ -145,11 +182,13 @@ let run socket verb dir gen deadline_ms k id strict targeted =
                      Protocol.rq_id =
                        Option.map (fun s -> Json.String s) id;
                      rq_app;
+                     rq_apps;
                      rq_deadline_ms = deadline_ms;
                      rq_k = k;
                      rq_rules = "default";
                      rq_strict = strict;
                      rq_fresh_metrics = false;
+                     rq_icc = icc;
                      rq_targeted = split_targeted targeted;
                    })))
 
@@ -157,7 +196,7 @@ let cmd =
   Cmd.v
     (Cmd.info "flowdroid_client" ~doc:"Client for the flowdroid_serve daemon")
     Term.(
-      const run $ socket_arg $ verb_arg $ dir_arg $ gen_arg $ deadline_arg
-      $ k_arg $ id_arg $ strict_arg $ targeted_arg)
+      const run $ socket_arg $ verb_arg $ dir_arg $ apk_arg $ gen_arg
+      $ deadline_arg $ k_arg $ id_arg $ strict_arg $ icc_arg $ targeted_arg)
 
 let () = exit (Cmd.eval' cmd)

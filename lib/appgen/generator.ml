@@ -26,9 +26,12 @@ module T = Types
 module FW = Fd_frontend.Framework
 module Apk = Fd_frontend.Apk
 
-type profile = Play | Malware
+type profile = Play | Malware | Icc
 
-let string_of_profile = function Play -> "play" | Malware -> "malware"
+let string_of_profile = function
+  | Play -> "play"
+  | Malware -> "malware"
+  | Icc -> "icc"
 
 (** The documented Table 1 limitation categories (DESIGN.md §5).  The
     generator plants constructs exercising each one, tagged so the
@@ -48,18 +51,36 @@ type limitation =
   | Lim_reflection
       (** no reflective call edges → static FN on constant-string
           [Method.invoke] dispatch *)
+  | Lim_icc_send
+      (** send = sink over-approximation: a deliverable tainted
+          intent-send is reported as a leak by itself → static FP,
+          fixed by the {!Fd_core.Config.t.icc} tier (the resolver
+          drops sends with in-scene receivers) *)
+  | Lim_icc_stitch
+      (** reception = source over-approximation: the end-to-end
+          source→receiver-sink flow is not composed → static FN, fixed
+          by the ICC tier's link stitching (also covers tainted
+          [setResult] payloads, the DroidBench IntentSink1 miss) *)
+  | Lim_icc_rx
+      (** the reception-source finding inside a receiver (read the
+          arriving intent → sink) is static-only in {e both} tiers:
+          the receiver leaks whatever arrives, which the concrete
+          monitor only sees when a tainted intent actually lands *)
 
 let string_of_limitation = function
   | Lim_array_index -> "array-index"
   | Lim_strong_update -> "strong-update"
   | Lim_clinit -> "clinit-placement"
   | Lim_reflection -> "reflection"
+  | Lim_icc_send -> "icc-send"
+  | Lim_icc_stitch -> "icc-stitch"
+  | Lim_icc_rx -> "icc-rx"
 
 (** [limitation_is_fp l] — the category manifests as a spurious static
     finding; otherwise it manifests as a missed real leak. *)
 let limitation_is_fp = function
-  | Lim_array_index | Lim_strong_update -> true
-  | Lim_clinit | Lim_reflection -> false
+  | Lim_array_index | Lim_strong_update | Lim_icc_send | Lim_icc_rx -> true
+  | Lim_clinit | Lim_reflection | Lim_icc_stitch -> false
 
 type gen_app = {
   ga_name : string;
@@ -337,6 +358,585 @@ let lim_reflection_target ~j ~snk_tag =
       lim_sink m ~tag:snk_tag (B.v p))
 
 (* ------------------------------------------------------------------ *)
+(* ICC profile                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each ICC scenario is one sender component plus receiver components
+   connected only through the manifest.  The three ICC limitation
+   categories split the planted keys per tier:
+
+   - [(src, send)]  — the tainted send is a leak tier-off (send =
+     sink, on both sides of the differential fence) and silent
+     tier-on ([Lim_icc_send], fixed by the resolver);
+   - [(src, snk)]   — the stitched end-to-end flow, missed tier-off
+     and recovered tier-on ([Lim_icc_stitch]);
+   - [(rx, snk)]    — the reception-source finding inside the
+     receiver, static-only in both tiers ([Lim_icc_rx]): at runtime
+     an *external* launch carries no extra under the read key.
+
+   A per-key separation bug (a flow stitched through the wrong extra
+   key) therefore surfaces as an unexplained [Spurious_static]
+   divergence — no accounting entry hides it. *)
+
+type icc_scenario =
+  | Sc_explicit  (** new Intent(Recv.class) → startActivity *)
+  | Sc_action  (** setAction + sendBroadcast, filter-matched *)
+  | Sc_data  (** action + data URI; host-matched filter + decoy *)
+  | Sc_keysplit  (** tainted and clean extras under different keys *)
+  | Sc_unmatched  (** a send no component receives: a real leak *)
+  | Sc_result  (** tainted [setResult] payload *)
+  | Sc_relay  (** two hops: the receiver re-sends to a second one *)
+
+let intent_t = T.Ref "android.content.Intent"
+
+(* a manifest component entry with intent filters; a filter is
+   (actions, data specs (scheme, host)) *)
+type icc_mcomp = {
+  mc_kind : FW.component_kind;
+  mc_cls : string;
+  mc_main : bool;
+  mc_exported : bool option;  (** the explicit [android:exported] *)
+  mc_filters : (string list * (string * string) list) list;
+}
+
+let icc_comp ?(main = false) ?exported ?(filters = []) kind cls =
+  {
+    mc_kind = kind;
+    mc_cls = cls;
+    mc_main = main;
+    mc_exported = exported;
+    mc_filters = filters;
+  }
+
+let icc_manifest ~package comps =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n\
+        <manifest package=\"%s\">\n\
+       \  <application>\n"
+       package);
+  List.iter
+    (fun c ->
+      let tag = FW.string_of_component_kind c.mc_kind in
+      let exp =
+        match c.mc_exported with
+        | Some b -> Printf.sprintf " android:exported=\"%b\"" b
+        | None -> ""
+      in
+      if c.mc_filters = [] && not c.mc_main then
+        Buffer.add_string buf
+          (Printf.sprintf "    <%s android:name=\"%s\"%s/>\n" tag c.mc_cls exp)
+      else begin
+        Buffer.add_string buf
+          (Printf.sprintf "    <%s android:name=\"%s\"%s>\n" tag c.mc_cls exp);
+        if c.mc_main then
+          Buffer.add_string buf
+            "      <intent-filter>\n\
+            \        <action android:name=\"android.intent.action.MAIN\"/>\n\
+            \        <category \
+             android:name=\"android.intent.category.LAUNCHER\"/>\n\
+            \      </intent-filter>\n";
+        List.iter
+          (fun (actions, datas) ->
+            Buffer.add_string buf "      <intent-filter>\n";
+            List.iter
+              (fun a ->
+                Buffer.add_string buf
+                  (Printf.sprintf "        <action android:name=\"%s\"/>\n" a))
+              actions;
+            List.iter
+              (fun (s, h) ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "        <data android:scheme=\"%s\" \
+                      android:host=\"%s\"/>\n"
+                     s h))
+              datas;
+            Buffer.add_string buf "      </intent-filter>\n")
+          c.mc_filters;
+        Buffer.add_string buf (Printf.sprintf "    </%s>\n" tag)
+      end)
+    comps;
+  Buffer.add_string buf "  </application>\n</manifest>\n";
+  Buffer.contents buf
+
+(* ICC emitters.  Locals are namespaced by the scenario index [j];
+   every scenario lives in its own component classes. *)
+
+let icc_source m ~tag j =
+  let tm =
+    B.local m (Printf.sprintf "itm%d" j)
+      ~ty:(T.Ref "android.telephony.TelephonyManager")
+  in
+  B.newobj m tm "android.telephony.TelephonyManager";
+  let x = B.local m (Printf.sprintf "ix%d" j) in
+  B.vcall m ~tag ~ret:x tm "android.telephony.TelephonyManager" "getDeviceId"
+    [];
+  x
+
+let icc_intent m ?to_cls j suffix =
+  let i = B.local m (Printf.sprintf "ii%d%s" j suffix) ~ty:intent_t in
+  (match to_cls with
+  | Some c ->
+      B.newc m i "android.content.Intent" [ Stmt.Iconst (Stmt.CClassRef c) ]
+  | None -> B.newc m i "android.content.Intent" []);
+  i
+
+let icc_put m ~key iv data =
+  B.vcall m iv "android.content.Intent" "putExtra" [ B.s key; data ]
+
+let icc_start m ~tag this iv =
+  B.vcall m ~tag this "android.app.Activity" "startActivity" [ B.v iv ]
+
+let icc_broadcast m ~tag j iv =
+  let ctx =
+    B.local m (Printf.sprintf "ictx%d" j) ~ty:(T.Ref "android.content.Context")
+  in
+  B.newobj m ctx "android.content.Context";
+  B.vcall m ~tag ctx "android.content.Context" "sendBroadcast" [ B.v iv ]
+
+let icc_sink m ~tag y =
+  B.scall m ~tag "android.util.Log" "i" [ B.s "icc"; B.v y ]
+
+let icc_sender_activity cls emit =
+  B.cls cls ~super:"android.app.Activity"
+    [
+      B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+          let this = B.this m in
+          let _ = B.param m 0 "b" in
+          emit m this);
+    ]
+
+(* an activity that reads extra [key] from its launch intent; [after]
+   decides what happens to the value (sink it, relay it, …) *)
+let icc_recv_activity cls ~j ~key ~rx_tag after =
+  B.cls cls ~super:"android.app.Activity"
+    [
+      B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+          let this = B.this m in
+          let _ = B.param m 0 "b" in
+          let it = B.local m (Printf.sprintf "rit%d" j) ~ty:intent_t in
+          B.vcall m ~ret:it this "android.app.Activity" "getIntent" [];
+          let y = B.local m (Printf.sprintf "ry%d" j) in
+          B.vcall m ~tag:rx_tag ~ret:y it "android.content.Intent"
+            "getStringExtra" [ B.s key ];
+          after m this y);
+    ]
+
+let icc_recv_receiver cls ~j ~key ~rx_tag ~snk_tag =
+  B.cls cls ~super:"android.content.BroadcastReceiver"
+    [
+      B.meth "onReceive"
+        ~params:[ T.Ref "android.content.Context"; intent_t ]
+        (fun m ->
+          let _this = B.this m in
+          let _c = B.param m 0 "c" in
+          let it = B.param m 1 "it" ~ty:intent_t in
+          let y = B.local m (Printf.sprintf "ry%d" j) in
+          B.vcall m ~tag:rx_tag ~ret:y it "android.content.Intent"
+            "getStringExtra" [ B.s key ];
+          icc_sink m ~tag:snk_tag y);
+    ]
+
+type icc_parts = {
+  ip_classes : Jclass.t list;
+  ip_comps : icc_mcomp list;
+  ip_expected : (string option * string) list;
+  ip_limits : ((string option * string) * limitation) list;
+}
+
+let icc_scenario ~pkg ~j kind =
+  let src = Printf.sprintf "isrc%d" j in
+  let snd_ = Printf.sprintf "isnd%d" j in
+  let sndb = Printf.sprintf "isnd%db" j in
+  let rx = Printf.sprintf "irx%d" j in
+  let rxb = Printf.sprintf "irx%db" j in
+  let rxd = Printf.sprintf "irx%dd" j in
+  let snk = Printf.sprintf "isnk%d" j in
+  let snkb = Printf.sprintf "isnk%db" j in
+  let snkd = Printf.sprintf "isnk%dd" j in
+  let res = Printf.sprintf "ires%d" j in
+  let key = Printf.sprintf "k%d" j in
+  let keyb = Printf.sprintf "k%db" j in
+  let sender_cls = Printf.sprintf "%s.Send%d" pkg j in
+  let recv_cls = Printf.sprintf "%s.Recv%d" pkg j in
+  let recvb_cls = Printf.sprintf "%s.RecvB%d" pkg j in
+  let action = Printf.sprintf "%s.ACT%d" pkg j in
+  let host = Printf.sprintf "h%d" j in
+  let sender_comp = icc_comp FW.Activity sender_cls in
+  let sink_after tag = fun m _this y -> icc_sink m ~tag y in
+  match kind with
+  | Sc_explicit ->
+      let sender =
+        icc_sender_activity sender_cls (fun m this ->
+            let x = icc_source m ~tag:src j in
+            let i = icc_intent m ~to_cls:recv_cls j "" in
+            icc_put m ~key i (B.v x);
+            icc_start m ~tag:snd_ this i)
+      in
+      let recv = icc_recv_activity recv_cls ~j ~key ~rx_tag:rx (sink_after snk) in
+      {
+        ip_classes = [ sender; recv ];
+        ip_comps =
+          [
+            sender_comp;
+            (* explicitly unexported: intra-app explicit delivery must
+               ignore the exported gate *)
+            icc_comp ~exported:false FW.Activity recv_cls;
+          ];
+        ip_expected = [];
+        ip_limits =
+          [
+            ((Some src, snd_), Lim_icc_send);
+            ((Some src, snk), Lim_icc_stitch);
+            ((Some rx, snk), Lim_icc_rx);
+          ];
+      }
+  | Sc_action ->
+      let sender =
+        icc_sender_activity sender_cls (fun m _this ->
+            let x = icc_source m ~tag:src j in
+            let i = icc_intent m j "" in
+            B.vcall m i "android.content.Intent" "setAction" [ B.s action ];
+            icc_put m ~key i (B.v x);
+            icc_broadcast m ~tag:snd_ j i)
+      in
+      let recv = icc_recv_receiver recv_cls ~j ~key ~rx_tag:rx ~snk_tag:snk in
+      {
+        ip_classes = [ sender; recv ];
+        ip_comps =
+          [
+            sender_comp;
+            icc_comp ~filters:[ ([ action ], []) ] FW.Receiver recv_cls;
+          ];
+        ip_expected = [];
+        ip_limits =
+          [
+            ((Some src, snd_), Lim_icc_send);
+            ((Some src, snk), Lim_icc_stitch);
+            ((Some rx, snk), Lim_icc_rx);
+            (* the untagged [onReceive] param1 source is the other face
+               of the reception over-approximation *)
+            ((None, snk), Lim_icc_rx);
+          ];
+      }
+  | Sc_data ->
+      let sender =
+        icc_sender_activity sender_cls (fun m this ->
+            let x = icc_source m ~tag:src j in
+            let i = icc_intent m j "" in
+            B.vcall m i "android.content.Intent" "setAction" [ B.s action ];
+            B.vcall m i "android.content.Intent" "setData"
+              [ B.s (Printf.sprintf "app://%s/x" host) ];
+            icc_put m ~key i (B.v x);
+            icc_start m ~tag:snd_ this i)
+      in
+      let recv = icc_recv_activity recv_cls ~j ~key ~rx_tag:rx (sink_after snk) in
+      (* the decoy matches the action but not the data host: it must
+         receive nothing, statically or dynamically *)
+      let decoy =
+        icc_recv_activity recvb_cls ~j ~key ~rx_tag:rxd (sink_after snkd)
+      in
+      {
+        ip_classes = [ sender; recv; decoy ];
+        ip_comps =
+          [
+            sender_comp;
+            icc_comp
+              ~filters:[ ([ action ], [ ("app", host) ]) ]
+              FW.Activity recv_cls;
+            icc_comp
+              ~filters:[ ([ action ], [ ("app", host ^ "x") ]) ]
+              FW.Activity recvb_cls;
+          ];
+        ip_expected = [];
+        ip_limits =
+          [
+            ((Some src, snd_), Lim_icc_send);
+            ((Some src, snk), Lim_icc_stitch);
+            ((Some rx, snk), Lim_icc_rx);
+            ((Some rxd, snkd), Lim_icc_rx);
+          ];
+      }
+  | Sc_keysplit ->
+      (* both intents carry the tainted extra under [key] and a clean
+         one under [keyb]; only the receiver reading [key] leaks.  A
+         stitch onto the clean-key receiver would surface as an
+         unexplained Spurious_static divergence *)
+      let sender =
+        icc_sender_activity sender_cls (fun m this ->
+            let x = icc_source m ~tag:src j in
+            let i1 = icc_intent m ~to_cls:recv_cls j "" in
+            icc_put m ~key i1 (B.v x);
+            icc_put m ~key:keyb i1 (B.s "clean");
+            icc_start m ~tag:snd_ this i1;
+            let i2 = icc_intent m ~to_cls:recvb_cls j "b" in
+            icc_put m ~key i2 (B.v x);
+            icc_put m ~key:keyb i2 (B.s "clean");
+            icc_start m ~tag:sndb this i2)
+      in
+      let recv = icc_recv_activity recv_cls ~j ~key ~rx_tag:rx (sink_after snk) in
+      let recvb =
+        icc_recv_activity recvb_cls ~j ~key:keyb ~rx_tag:rxb (sink_after snkb)
+      in
+      {
+        ip_classes = [ sender; recv; recvb ];
+        ip_comps =
+          [
+            sender_comp;
+            icc_comp FW.Activity recv_cls;
+            icc_comp FW.Activity recvb_cls;
+          ];
+        ip_expected = [];
+        ip_limits =
+          [
+            ((Some src, snd_), Lim_icc_send);
+            ((Some src, sndb), Lim_icc_send);
+            ((Some src, snk), Lim_icc_stitch);
+            ((Some rx, snk), Lim_icc_rx);
+            ((Some rxb, snkb), Lim_icc_rx);
+          ];
+      }
+  | Sc_unmatched ->
+      (* resolves nowhere: the send stays a real leak in both tiers,
+         and tier-on also reports it as attack surface *)
+      let sender =
+        icc_sender_activity sender_cls (fun m _this ->
+            let x = icc_source m ~tag:src j in
+            let i = icc_intent m j "" in
+            B.vcall m i "android.content.Intent" "setAction"
+              [ B.s (action ^ ".NOBODY") ];
+            icc_put m ~key i (B.v x);
+            icc_broadcast m ~tag:snd_ j i)
+      in
+      {
+        ip_classes = [ sender ];
+        ip_comps = [ sender_comp ];
+        ip_expected = [ (Some src, snd_) ];
+        ip_limits = [];
+      }
+  | Sc_result ->
+      let sender =
+        icc_sender_activity sender_cls (fun m this ->
+            let x = icc_source m ~tag:src j in
+            let i = icc_intent m j "" in
+            icc_put m ~key i (B.v x);
+            B.vcall m ~tag:res this "android.app.Activity" "setResult"
+              [ B.i 1; B.v i ])
+      in
+      {
+        ip_classes = [ sender ];
+        ip_comps = [ sender_comp ];
+        ip_expected = [];
+        ip_limits = [ ((Some src, res), Lim_icc_stitch) ];
+      }
+  | Sc_relay ->
+      (* sender → relay (reads, re-wraps, re-sends) → final sink: the
+         stitch fixpoint must compose across the intermediate hop *)
+      let sender =
+        icc_sender_activity sender_cls (fun m this ->
+            let x = icc_source m ~tag:src j in
+            let i = icc_intent m ~to_cls:recv_cls j "" in
+            icc_put m ~key i (B.v x);
+            icc_start m ~tag:snd_ this i)
+      in
+      let relay =
+        icc_recv_activity recv_cls ~j ~key ~rx_tag:rx (fun m this y ->
+            let i2 = icc_intent m ~to_cls:recvb_cls j "b" in
+            icc_put m ~key:keyb i2 (B.v y);
+            icc_start m ~tag:sndb this i2)
+      in
+      let final =
+        icc_recv_activity recvb_cls ~j ~key:keyb ~rx_tag:rxb (sink_after snkb)
+      in
+      {
+        ip_classes = [ sender; relay; final ];
+        ip_comps =
+          [
+            sender_comp;
+            icc_comp FW.Activity recv_cls;
+            icc_comp FW.Activity recvb_cls;
+          ];
+        ip_expected = [];
+        ip_limits =
+          [
+            ((Some src, snd_), Lim_icc_send);
+            ((Some src, snkb), Lim_icc_stitch);
+            ((Some rx, sndb), Lim_icc_rx);
+            ((Some rx, snkb), Lim_icc_rx);
+            ((Some rxb, snkb), Lim_icc_rx);
+          ];
+      }
+
+let generate_icc ~seed index =
+  let rng = Prng.create (Intern.combine seed index) in
+  let pkg = Printf.sprintf "gen.icc.app%d" index in
+  let n_scen = Prng.range rng 2 4 in
+  let kinds =
+    List.init n_scen (fun _ ->
+        Prng.choose rng
+          [
+            Sc_explicit; Sc_action; Sc_data; Sc_keysplit; Sc_unmatched;
+            Sc_result; Sc_relay;
+          ])
+  in
+  let parts = List.mapi (fun j k -> icc_scenario ~pkg ~j k) kinds in
+  let main_cls = pkg ^ ".Main" in
+  let main =
+    B.cls main_cls ~super:"android.app.Activity"
+      [
+        B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+            let _this = B.this m in
+            let _ = B.param m 0 "b" in
+            let a = B.local m "ben" in
+            B.const m a (B.s "hello");
+            B.scall m "android.util.Log" "d" [ B.s "t"; B.v a ]);
+      ]
+  in
+  let comps =
+    icc_comp ~main:true FW.Activity main_cls
+    :: List.concat_map (fun p -> p.ip_comps) parts
+  in
+  let classes = main :: List.concat_map (fun p -> p.ip_classes) parts in
+  {
+    ga_name = Printf.sprintf "icc-%04d" index;
+    ga_profile = Icc;
+    ga_apk =
+      Apk.make
+        (Printf.sprintf "icc%d" index)
+        ~manifest:(icc_manifest ~package:pkg comps)
+        classes;
+    ga_expected = List.concat_map (fun p -> p.ip_expected) parts;
+    ga_limits = List.concat_map (fun p -> p.ip_limits) parts;
+    ga_classes = List.length classes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* collusion pairs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A two-app collusion campaign unit: app A harvests and broadcasts,
+    app B's {e exported} component forwards to a sink.  Only a merged
+    Scene ({!Fd_core.Infoflow.analyze_pair}) sees the flow. *)
+type gen_pair = {
+  gp_name : string;
+  gp_sender : gen_app;  (** per-app fields describe the app alone *)
+  gp_receiver : gen_app;
+  gp_expected : (string option * string) list;
+      (** merged-scene ground truth *)
+  gp_limits : ((string option * string) * limitation) list;
+}
+
+let collusion_pair ~seed index =
+  let rng = Prng.create (Intern.combine (Intern.combine seed 0x1cc) index) in
+  let pkga = Printf.sprintf "gen.iccpair.a%d" index in
+  let pkgb = Printf.sprintf "gen.iccpair.b%d" index in
+  let action = Printf.sprintf "gen.pair%d.LEAK" index in
+  let key = "payload" in
+  let src = "psrc" and snd_ = "psnd" in
+  let rx = "prx" and snk = "psnk" in
+  let rxd = "prxd" and snkd = "psnkd" in
+  let via_activity = Prng.bool rng in
+  (* app A: harvest, wrap, send into the blind *)
+  let sa_cls = pkga ^ ".Main" in
+  let sender_cls =
+    icc_sender_activity sa_cls (fun m this ->
+        let x = icc_source m ~tag:src 0 in
+        let i = icc_intent m 0 "" in
+        B.vcall m i "android.content.Intent" "setAction" [ B.s action ];
+        icc_put m ~key i (B.v x);
+        if via_activity then icc_start m ~tag:snd_ this i
+        else icc_broadcast m ~tag:snd_ 0 i)
+  in
+  let sender_app =
+    {
+      ga_name = Printf.sprintf "iccpairA-%04d" index;
+      ga_profile = Icc;
+      ga_apk =
+        Apk.make
+          (Printf.sprintf "iccpairA%d" index)
+          ~manifest:
+            (icc_manifest ~package:pkga
+               [ icc_comp ~main:true FW.Activity sa_cls ])
+          [ sender_cls ];
+      ga_expected = [];
+      ga_limits = [];
+      ga_classes = 1;
+    }
+  in
+  (* app B: an exported receiver (filter present, attribute absent —
+     the Android 12 rule makes it exported) plus an explicitly
+     unexported decoy with the same filter, which must receive
+     nothing across the app boundary *)
+  let sb_main = pkgb ^ ".Main" in
+  let sb_recv = pkgb ^ ".Recv" in
+  let sb_decoy = pkgb ^ ".Decoy" in
+  let main_b =
+    B.cls sb_main ~super:"android.app.Activity"
+      [
+        B.meth "onCreate" ~params:[ T.Ref "android.os.Bundle" ] (fun m ->
+            let _this = B.this m in
+            let _ = B.param m 0 "b" in
+            B.scall m "android.util.Log" "d" [ B.s "t"; B.s "b" ]);
+      ]
+  in
+  let recv_kind = if via_activity then FW.Activity else FW.Receiver in
+  let recv_b, decoy_b =
+    if via_activity then
+      ( icc_recv_activity sb_recv ~j:0 ~key ~rx_tag:rx (fun m _this y ->
+            icc_sink m ~tag:snk y),
+        icc_recv_activity sb_decoy ~j:1 ~key ~rx_tag:rxd (fun m _this y ->
+            icc_sink m ~tag:snkd y) )
+    else
+      ( icc_recv_receiver sb_recv ~j:0 ~key ~rx_tag:rx ~snk_tag:snk,
+        icc_recv_receiver sb_decoy ~j:1 ~key ~rx_tag:rxd ~snk_tag:snkd )
+  in
+  let receiver_app =
+    {
+      ga_name = Printf.sprintf "iccpairB-%04d" index;
+      ga_profile = Icc;
+      ga_apk =
+        Apk.make
+          (Printf.sprintf "iccpairB%d" index)
+          ~manifest:
+            (icc_manifest ~package:pkgb
+               [
+                 icc_comp ~main:true FW.Activity sb_main;
+                 icc_comp ~filters:[ ([ action ], []) ] recv_kind sb_recv;
+                 icc_comp ~exported:false
+                   ~filters:[ ([ action ], []) ]
+                   recv_kind sb_decoy;
+               ])
+          [ main_b; recv_b; decoy_b ];
+      ga_expected = [];
+      ga_limits = [];
+      ga_classes = 3;
+    }
+  in
+  {
+    gp_name = Printf.sprintf "iccpair-%04d" index;
+    gp_sender = sender_app;
+    gp_receiver = receiver_app;
+    gp_expected = [];
+    gp_limits =
+      [
+        ((Some src, snd_), Lim_icc_send);
+        ((Some src, snk), Lim_icc_stitch);
+        ((Some rx, snk), Lim_icc_rx);
+        ((Some rxd, snkd), Lim_icc_rx);
+      ]
+      @
+      (* broadcast receivers also carry the untagged [onReceive]
+         param1 reception source *)
+      (if via_activity then []
+       else [ ((None, snk), Lim_icc_rx); ((None, snkd), Lim_icc_rx) ]);
+  }
+
+(** [collusion_pairs ~seed n] — a deterministic fleet of [n] pairs. *)
+let collusion_pairs ~seed n = List.init n (collusion_pair ~seed)
+
+(* ------------------------------------------------------------------ *)
 (* app assembly                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -346,9 +946,9 @@ let profile_params = function
          sink choices, benign statements per method) *)
       `Params (10, 28, 5, `PlayLeaks, [ `Log; `Prefs ], 8)
   | Malware -> `Params (1, 5, 2, `Poisson 1.85, [ `Sms; `Http; `Log ], 2)
+  | Icc -> assert false (* dispatched to [generate_icc] *)
 
-(** [generate ~profile ~seed index] produces one deterministic app. *)
-let generate ~profile ~seed index =
+let generate_std ~profile ~seed index =
   (* mix, don't add: [seed + index * 7919] collides for distinct
      pairs — (s + 7919, 0) and (s, 1) yielded identical apps.
      [Intern.combine] is asymmetric and non-linear, so every
@@ -442,7 +1042,11 @@ let generate ~profile ~seed index =
             emit_lim_strong_update m ~box_cls ~j ~src_tag ~snk_tag
         | Lim_clinit ->
             emit_lim_clinit m ~cls ~helper:(helper_for j) ~j ~src_tag
-        | Lim_reflection -> emit_lim_reflection m ~j ~src_tag)
+        | Lim_reflection -> emit_lim_reflection m ~j ~src_tag
+        | Lim_icc_send | Lim_icc_stitch | Lim_icc_rx ->
+            (* ICC categories are planted by the Icc profile's
+               scenario machinery, never by the std plant table *)
+            assert false)
       (lims_for cls)
   in
   let lim_extra_methods cls =
@@ -555,6 +1159,12 @@ let generate ~profile ~seed index =
     ga_limits = ga_limits;
     ga_classes = List.length classes;
   }
+
+(** [generate ~profile ~seed index] produces one deterministic app. *)
+let generate ~profile ~seed index =
+  match profile with
+  | Icc -> generate_icc ~seed index
+  | Play | Malware -> generate_std ~profile ~seed index
 
 (** [corpus ~profile ~seed n] is a deterministic corpus of [n] apps. *)
 let corpus ~profile ~seed n = List.init n (generate ~profile ~seed)

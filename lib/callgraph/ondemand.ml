@@ -59,24 +59,84 @@ let contains ~sub s =
     !found
   end
 
+(* A [--targeted] pattern is either a free substring or an anchored
+   SuSi-style signature [<Class: ret name(args)>] — the exact shape
+   {!Types.string_of_method_sig} prints.  Anchored patterns compare
+   signature components (class up to supertypes, exact name, return
+   and parameter types), so [<android.util.Log: int i(...)>] cannot
+   accidentally catch [Login.io] the way a substring would. *)
+type matcher =
+  | Substring of string
+  | Anchored of Types.method_sig
+
+let compile p =
+  let substring () = Substring p in
+  let n = String.length p in
+  if n < 2 || p.[0] <> '<' || p.[n - 1] <> '>' then substring ()
+  else
+    match String.index_opt p ':' with
+    | None -> substring ()
+    | Some ci when ci <= 1 -> substring ()
+    | Some ci -> (
+        let cls = String.sub p 1 (ci - 1) in
+        let rest = String.trim (String.sub p (ci + 1) (n - ci - 2)) in
+        let rl = String.length rest in
+        match String.index_opt rest '(' with
+        | Some oi when oi > 0 && rl > 0 && rest.[rl - 1] = ')' -> (
+            let head = String.trim (String.sub rest 0 oi) in
+            let args_s = String.trim (String.sub rest (oi + 1) (rl - oi - 2)) in
+            match String.rindex_opt head ' ' with
+            | None -> substring ()
+            | Some si ->
+                let ret = String.sub head 0 si in
+                let name =
+                  String.sub head (si + 1) (String.length head - si - 1)
+                in
+                if cls = "" || name = "" || ret = "" then substring ()
+                else
+                  let params =
+                    if args_s = "" then []
+                    else
+                      List.map
+                        (fun a -> Types.typ_of_string (String.trim a))
+                        (String.split_on_char ',' args_s)
+                  in
+                  Anchored
+                    (Types.mk_method ~params ~ret:(Types.typ_of_string ret) cls
+                       name))
+        | _ -> substring ())
+
+let compile_patterns patterns = List.map compile patterns
+
 (* Does any pattern match the statically named callee, tested against
    the named class and each of its supertypes?  A sink declared on
    [java.io.OutputStream] must match a call through a
    [FileOutputStream]-typed receiver — mirroring how
    [Srcsink_mgr.with_supertypes] resolves rules at analysis time. *)
-let sig_matches scene ~patterns cls name =
+let sig_matches_compiled scene ~matchers (sg : Types.method_sig) =
+  let cls = sg.Types.m_class in
   let candidates = cls :: List.filter (( <> ) cls) (Scene.supertypes scene cls) in
   List.exists
-    (fun p ->
-      List.exists (fun c -> contains ~sub:p (c ^ "." ^ name)) candidates)
-    patterns
+    (fun m ->
+      match m with
+      | Substring p ->
+          List.exists
+            (fun c -> contains ~sub:p (c ^ "." ^ sg.Types.m_name))
+            candidates
+      | Anchored a ->
+          String.equal a.Types.m_name sg.Types.m_name
+          && Types.equal_typ a.Types.m_ret sg.Types.m_ret
+          && List.length a.Types.m_params = List.length sg.Types.m_params
+          && List.for_all2 Types.equal_typ a.Types.m_params sg.Types.m_params
+          && List.exists (String.equal a.Types.m_class) candidates)
+    matchers
 
 (** [invoke_matches scene ~patterns inv] — does this invoke site call
     a targeted sink?  Also used by the driver to post-filter findings
     to the targeted sinks. *)
 let invoke_matches scene ~patterns (inv : Stmt.invoke) =
-  sig_matches scene ~patterns inv.Stmt.i_sig.Types.m_class
-    inv.Stmt.i_sig.Types.m_name
+  sig_matches_compiled scene ~matchers:(compile_patterns patterns)
+    inv.Stmt.i_sig
 
 (** [compute scene ~patterns] — index the scene and close the slice.
     Cost is one linear pass over every statement plus the closure
@@ -94,17 +154,18 @@ let compute scene ~patterns =
   let static_users : (string, Mkey.t list) Hashtbl.t = Hashtbl.create 256 in
   (* methods containing a reflective Method.invoke site *)
   let refl_holders = ref [] in
-  (* memoise the matcher per statically named callee *)
-  let match_cache : (string * string, bool) Hashtbl.t = Hashtbl.create 512 in
+  let matchers = compile_patterns patterns in
+  (* memoise the matcher per statically named callee; anchored
+     patterns discriminate overloads, so key on the full signature *)
+  let match_cache : (string, bool) Hashtbl.t = Hashtbl.create 512 in
   let site_matches (inv : Stmt.invoke) =
     incr probes;
-    let key =
-      (inv.Stmt.i_sig.Types.m_class, inv.Stmt.i_sig.Types.m_name)
-    in
+    let sg = inv.Stmt.i_sig in
+    let key = Types.string_of_method_sig sg in
     match Hashtbl.find_opt match_cache key with
     | Some r -> r
     | None ->
-        let r = sig_matches scene ~patterns (fst key) (snd key) in
+        let r = sig_matches_compiled scene ~matchers sg in
         Hashtbl.add match_cache key r;
         r
   in

@@ -19,9 +19,12 @@ val mem : t -> Mkey.t -> bool
 (** is the method inside the backward slice? *)
 
 val invoke_matches : Scene.t -> patterns:string list -> Stmt.invoke -> bool
-(** does this invoke site call a targeted sink (substring match on
-    ["Class.method"], supertypes of the static receiver included)?
-    Used to find seeds and to post-filter findings. *)
+(** does this invoke site call a targeted sink?  A pattern shaped
+    [<Class: ret name(args)>] (the SuSi list form) is matched anchored
+    — exact name, return and parameter types, class up to supertypes
+    of the static receiver; any other pattern keeps the substring
+    match on ["Class.method"] (supertypes included).  Used to find
+    seeds and to post-filter findings. *)
 
 val sliced_methods : t -> int
 val total_methods : t -> int

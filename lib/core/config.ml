@@ -124,6 +124,15 @@ type t = {
           graph only along the slice and reports only flows into
           matching sinks.  [[]] (the default) runs the full analysis
           with byte-identical output to a build without this mode. *)
+  icc : bool;
+      (** the ICC link-resolution tier ([--icc]): resolve intent send
+          sites against manifest intent filters (IccTA-style), replace
+          resolved intent-send sink findings with stitched end-to-end
+          source→sink flows into the receiving component, report
+          tainted [setResult] payloads handed to external callers, and
+          surface the exported-component attack surface.  [false] (the
+          default) keeps the paper's over-approximation — send = sink,
+          reception = source — with byte-identical output. *)
 }
 
 (** [default] is the configuration the paper evaluates: k = 5, full
@@ -146,6 +155,7 @@ let default =
     profile = false;
     summary_store = None;
     targeted = [];
+    icc = false;
   }
 
 (** [degradation_ladder config] is the sequence of progressively

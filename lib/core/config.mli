@@ -76,6 +76,12 @@ type t = {
           supertypes included).  Non-empty = slice backward from
           matching sinks and only report flows into them; [[]] (the
           default) = full analysis, byte-identical output. *)
+  icc : bool;
+      (** the ICC link-resolution tier ([--icc]): stitch resolved
+          intent sends to their receiving components (IccTA-style) and
+          report the exported attack surface; [false] (the default)
+          keeps the paper's send = sink / reception = source
+          over-approximation with byte-identical output. *)
 }
 
 val default : t

@@ -1,50 +1,97 @@
-(** EPICC-lite: inter-component communication resolution — the paper's
-    stated future work ("we plan to integrate FlowDroid with EPICC").
+(** The ICC link resolver (the {!Config.t.icc} tier): EPICC/IccTA-style
+    inter-component and inter-app flow stitching.
 
-    A constant-propagation-style intent analysis resolves each
-    intent-send site's possible target components (explicit constant
-    targets, or constant action strings matched against the manifest's
-    intent filters); flow composition then stitches a sending-side
-    flow [src → send(i)] to every receiving-side flow
-    [reception → sink] inside the resolved target, yielding transitive
-    leaks spanning components. *)
+    An intent constant analysis (driven by
+    {!Fd_precision.Const_prop}) abstracts each intent local's
+    [setAction] / [setClass] / [setData] / [putExtra] chains; the link
+    resolver matches the result against the manifests' intent filters
+    with Android's resolution rules (cross-app targets must be
+    exported); flow composition stitches sending-side flows to
+    reception-sourced flows in the resolved targets, refined per
+    constant extra key.  Resolved sends stop being leaks by
+    themselves; unresolved sends stay sinks and feed the
+    attack-surface report, and tainted [setResult] payloads become
+    leaks to the external caller. *)
 
 open Fd_callgraph
 
-type target =
-  | Explicit of string  (** target component class *)
-  | Action of string  (** implicit: intent action string *)
+val send_methods : string list
+(** the framework methods that launch an intent *)
 
 type send_site = {
   ss_node : Icfg.node;  (** the startActivity / sendBroadcast call *)
-  ss_targets : string list;  (** resolved in-app receiving components *)
+  ss_method : string;  (** the send method's name *)
+  ss_descs : Fd_frontend.Manifest.intent_desc list option;
+      (** possible intents; [None] = unknown (the send stays a sink) *)
+  ss_extras : (string * Icfg.node) list;
+      (** constant extra key → the [putExtra] site that wrote it *)
+  ss_extras_unknown : bool;
+      (** a [putExtra] with non-constant key, or [putExtras] *)
 }
 
-val send_sites : Icfg.t -> Fd_frontend.Manifest.t -> send_site list
-(** every intent-send call site in the analysed code, with its
-    resolved in-app targets *)
+val send_sites :
+  Icfg.t -> send_site list * (Icfg.node * Fd_ir.Stmt.local * string option) list
+(** every intent-send call site among the reachable methods with its
+    abstract intent, plus every [setResult] site as
+    [(node, intent local, statement tag)] *)
 
-type composed = {
-  comp_source : Taint.source_info;  (** the original sending-side source *)
-  comp_via : Icfg.node;  (** the resolved intent-send site *)
-  comp_target : string;  (** receiving component *)
-  comp_sink_node : Icfg.node;
-  comp_sink_tag : string option;
-  comp_sink_cat : Fd_frontend.Sourcesink.category;
-  comp_path : Icfg.node list;  (** concatenated sending+receiving path *)
+type stitched = {
+  st_finding : Bidi.finding;  (** the composed end-to-end flow *)
+  st_via : Icfg.node;  (** the resolved intent-send site *)
+  st_target : string;  (** receiving component class *)
+  st_key : string option;  (** matched extra key; [None] = whole intent *)
 }
 
-val compose :
+type surface_reason =
+  | Unknown_intent  (** the constant analysis could not pin the target *)
+  | No_match  (** a known intent no declared component receives *)
+  | External of string  (** explicit target class outside the scene *)
+
+type surface_entry = {
+  su_node : Icfg.node;
+  su_method : string;
+  su_reason : surface_reason;
+}
+
+val string_of_reason : surface_reason -> string
+
+type report = {
+  ic_send_sites : int;
+  ic_resolved : int;  (** sites with ≥ 1 in-scene receiving component *)
+  ic_stitched : stitched list;
+  ic_result_leaks : Bidi.finding list;
+      (** tainted [setResult] payloads handed to the external caller *)
+  ic_dropped : Bidi.finding list;
+      (** resolved send-as-sink findings replaced by stitched flows *)
+  ic_surface : surface_entry list;  (** sends that leave the scene *)
+  ic_exported : (string * string) list;
+      (** the exported attack surface: (app, component class) *)
+}
+
+val analyze :
   icfg:Icfg.t ->
   scene:Fd_ir.Scene.t ->
-  manifest:Fd_frontend.Manifest.t ->
+  engine:Bidi.t ->
+  provenance:bool ->
+  apps:(string * Fd_frontend.Manifest.t) list ->
+  app_of:(string -> string option) ->
   Bidi.finding list ->
-  composed list
-(** [compose findings] resolves intent sends among [findings] and
-    stitches them to reception-sourced flows.  The caller decides
-    whether to keep the raw send-as-sink findings (FlowDroid's
-    over-approximation) alongside. *)
+  report
+(** [analyze ~icfg ~scene ~engine ~provenance ~apps ~app_of findings]
+    runs the resolver over a solved engine: resolves the send sites
+    against [apps]' manifests ([app_of] maps a class to its owning app
+    for the exported-across-apps gate), stitches flows (iterating so
+    relayed intents A→B→C compose transitively, with per-extra-key
+    refinement on the first hop), synthesises [setResult] leaks and
+    the attack surface, and records the [icc.*] gauges.  Stitched
+    witnesses concatenate the sender's and receiver's witnesses with
+    the boundary step re-kinded to ["icc"] (only when [provenance]). *)
 
-val composed_to_findings : composed list -> Bidi.finding list
-(** view composed flows as ordinary findings for uniform
-    scoring/reporting *)
+val added : report -> Bidi.finding list
+(** the findings the tier adds (stitched flows plus [setResult]
+    leaks), deterministically ordered *)
+
+val apply : report -> Bidi.finding list -> Bidi.finding list
+(** the tier-on view of a finding list: base findings minus the
+    resolved send-as-sink ones, plus {!added} (base order preserved,
+    additions appended) *)

@@ -36,6 +36,9 @@ type result = {
   r_diags : Fd_resilience.Diag.t list;
       (** frontend diagnostics (lenient-mode skips); [[]] in strict
           mode *)
+  r_icc : Icc.report option;
+      (** the ICC resolver's report when the {!Config.t.icc} tier ran
+          (its findings are already merged into [r_findings]) *)
 }
 
 type phase_hook = string -> unit
@@ -198,6 +201,7 @@ let run_engine ?(config = Config.default) ?(phase = no_hook) ?budget
     r_engine = engine;
     r_icfg = icfg;
     r_diags = diags;
+    r_icc = None;
   }
 
 (** [android_entries ~config loaded] computes the entry points for an
@@ -292,13 +296,34 @@ let android_entries ~(config : Config.t) ~phase
       ccs
     |> List.sort_uniq Mkey.compare
 
-(** [analyze_loaded ?config ?defs ?wrappers ?natives ?phase loaded]
-    analyses an already-loaded APK. *)
-let analyze_loaded ?(config = Config.default)
+(* run the ICC link resolver over the solved engine and fold its
+   stitched/dropped findings into the result (the {!Config.t.icc}
+   tier).  Re-snapshots the metrics so the [icc.*] gauges reach
+   [--stats-json]. *)
+let apply_icc ~(config : Config.t) ~phase ~scene ~apps ~app_of (r : result) =
+  if not config.Config.icc then r
+  else begin
+    phase "icc link resolution";
+    let report =
+      Icc.analyze ~icfg:r.r_icfg ~scene ~engine:r.r_engine
+        ~provenance:config.Config.provenance ~apps ~app_of r.r_findings
+    in
+    {
+      r with
+      r_findings = Icc.apply report r.r_findings;
+      r_icc = Some report;
+      r_stats = { r.r_stats with st_metrics = Fd_obs.Metrics.snapshot () };
+    }
+  end
+
+(* the shared Android pipeline body; [apps]/[app_of] parameterise the
+   ICC resolver's manifest view (one app, or the per-app manifests of
+   a merged scene) *)
+let analyze_loaded_gen ?(config = Config.default)
     ?(defs = Fd_frontend.Sourcesink.default ())
     ?(wrappers = Fd_frontend.Rules.default_wrappers ())
     ?(natives = Fd_frontend.Rules.default_natives ()) ?(phase = no_hook)
-    ?budget (loaded : Fd_frontend.Apk.loaded) =
+    ?budget ~apps ~app_of (loaded : Fd_frontend.Apk.loaded) =
   let scene = loaded.Fd_frontend.Apk.scene in
   let mgr =
     Srcsink_mgr.create ~scene ~defs ~layout:loaded.Fd_frontend.Apk.layout
@@ -306,6 +331,34 @@ let analyze_loaded ?(config = Config.default)
   let entries = android_entries ~config ~phase loaded in
   run_engine ~config ~phase ?budget ~diags:loaded.Fd_frontend.Apk.diags ~scene
     ~mgr ~wrappers ~natives ~entries ()
+  |> apply_icc ~config ~phase ~scene ~apps ~app_of
+
+(** [analyze_loaded ?config ?defs ?wrappers ?natives ?phase loaded]
+    analyses an already-loaded APK. *)
+let analyze_loaded ?config ?defs ?wrappers ?natives ?phase ?budget
+    (loaded : Fd_frontend.Apk.loaded) =
+  analyze_loaded_gen ?config ?defs ?wrappers ?natives ?phase ?budget
+    ~apps:[ (loaded.Fd_frontend.Apk.name, loaded.Fd_frontend.Apk.manifest) ]
+    ~app_of:(fun _ -> Some loaded.Fd_frontend.Apk.name)
+    loaded
+
+(** [analyze_merged ?config m] analyses several apps sharing one
+    merged Scene — the inter-app setting.  The dummy main exercises
+    every app's components; with the {!Config.t.icc} tier on, the
+    resolver consults the per-app manifests, applies the exported gate
+    across app boundaries, and stitches collusion flows. *)
+let analyze_merged ?config ?defs ?wrappers ?natives ?phase ?budget
+    (m : Fd_frontend.Apk.merged) =
+  analyze_loaded_gen ?config ?defs ?wrappers ?natives ?phase ?budget
+    ~apps:m.Fd_frontend.Apk.m_apps ~app_of:m.Fd_frontend.Apk.m_app_of
+    m.Fd_frontend.Apk.m_loaded
+
+(** [analyze_pair ?config a b] loads two apps into one merged scene
+    and analyses them together — the two-app collusion setting of the
+    ICC campaign. *)
+let analyze_pair ?config ?defs ?wrappers ?natives ?phase ?mode ?budget a b =
+  analyze_merged ?config ?defs ?wrappers ?natives ?phase ?budget
+    (Fd_frontend.Apk.load_merged ?mode [ a; b ])
 
 (** [analyze_apk ?config ?mode apk] runs the full pipeline from an APK
     bundle; [mode] selects strict (default) or lenient frontend

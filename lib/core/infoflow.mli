@@ -35,6 +35,9 @@ type result = {
   r_diags : Fd_resilience.Diag.t list;
       (** frontend diagnostics (lenient-mode skips); [[]] in strict
           mode *)
+  r_icc : Icc.report option;
+      (** the ICC resolver's report when the {!Config.t.icc} tier ran
+          (its findings are already merged into [r_findings]) *)
 }
 
 type phase_hook = string -> unit
@@ -74,6 +77,35 @@ val analyze_loaded :
   Fd_frontend.Apk.loaded ->
   result
 (** [analyze_loaded loaded] analyses an already-loaded APK. *)
+
+val analyze_merged :
+  ?config:Config.t ->
+  ?defs:Fd_frontend.Sourcesink.t ->
+  ?wrappers:Fd_frontend.Rules.t ->
+  ?natives:Fd_frontend.Rules.t ->
+  ?phase:phase_hook ->
+  ?budget:Fd_resilience.Budget.t ->
+  Fd_frontend.Apk.merged ->
+  result
+(** [analyze_merged m] analyses several apps sharing one merged Scene
+    — the inter-app setting.  With the {!Config.t.icc} tier on, the
+    resolver consults the per-app manifests, applies the exported gate
+    across app boundaries, and stitches collusion flows. *)
+
+val analyze_pair :
+  ?config:Config.t ->
+  ?defs:Fd_frontend.Sourcesink.t ->
+  ?wrappers:Fd_frontend.Rules.t ->
+  ?natives:Fd_frontend.Rules.t ->
+  ?phase:phase_hook ->
+  ?mode:Fd_frontend.Apk.mode ->
+  ?budget:Fd_resilience.Budget.t ->
+  Fd_frontend.Apk.t ->
+  Fd_frontend.Apk.t ->
+  result
+(** [analyze_pair a b] loads two apps into one merged scene and
+    analyses them together — the two-app collusion setting.
+    @raise Fd_frontend.Apk.Load_error on clashes (strict mode). *)
 
 val analyze_plain :
   ?config:Config.t ->

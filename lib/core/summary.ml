@@ -245,11 +245,15 @@ let entry_source = function
       skipped subtree cannot reproduce;
     - no first-use [<clinit>] placement: clinit exit relays jump to
       first-use sites {e outside} the caller's subtree, breaking the
-      containment the store relies on. *)
+      containment the store relies on;
+    - no ICC tier: the resolver reads per-site [putExtra] taints from
+      the solved engine, and a store-skipped subtree has no per-node
+      results to read. *)
 let config_allows (c : Config.t) =
   c.Config.activation_statements && c.Config.context_injection
   && c.Config.alias_search && (not c.Config.provenance)
-  && not c.Config.precision.Config.clinit
+  && (not c.Config.precision.Config.clinit)
+  && not c.Config.icc
 
 let string_of_algorithm = function Callgraph.Cha -> "cha" | Callgraph.Rta -> "rta"
 
@@ -279,6 +283,9 @@ let config_digest ~(config : Config.t) ~sources ~wrappers ~natives =
          different targeted sink sets) *)
       "targeted="
       ^ String.concat "," (List.sort_uniq compare config.Config.targeted);
+      (* the ICC tier adds/drops findings post-solve; digests must not
+         cross between tiers even though the solver is unchanged *)
+      "icc=" ^ b config.Config.icc;
     ]
   in
   Digest.to_hex (Digest.string (String.concat ";" parts))

@@ -39,15 +39,17 @@ let static_findings ?(config = Config.default) apk :
          r.Infoflow.r_findings),
     r.Infoflow.r_stats.Infoflow.st_outcome )
 
-(** [dynamic_findings ?coverage apk] — the interpreter's observed
-    leaks as deduplicated keys.  An unloadable app observes nothing. *)
-let dynamic_findings ?(coverage = Fd_interp.Droid_runner.Thorough) apk :
-    Verdict.key list =
+(** [dynamic_findings ?coverage ?icc apk] — the interpreter's observed
+    leaks as deduplicated keys.  [icc] turns on concrete intent
+    dispatch, mirroring the static tier so the differential fence
+    stays aligned.  An unloadable app observes nothing. *)
+let dynamic_findings ?(coverage = Fd_interp.Droid_runner.Thorough)
+    ?(icc = false) apk : Verdict.key list =
   match Fd_frontend.Apk.load apk with
   | exception Fd_frontend.Apk.Load_error _ -> []
   | loaded ->
       Fd_interp.Droid_runner.findings
-        (Fd_interp.Droid_runner.run ~coverage loaded)
+        (Fd_interp.Droid_runner.run ~coverage ~icc loaded)
 
 (* ------------------------------------------------------------------ *)
 (* per-app check                                                       *)
@@ -76,6 +78,12 @@ let fixed_of_config (config : Config.t) : Gen.limitation list =
       (p.Config.array_index, Gen.Lim_array_index);
       (p.Config.reflection, Gen.Lim_reflection);
       (p.Config.clinit, Gen.Lim_clinit);
+      (* the ICC tier drops deliverable sends (FP side) and stitches
+         the end-to-end flows (FN side); the reception-source finding
+         inside a receiver stays static-only in both tiers, so
+         [Lim_icc_rx] is never fixed *)
+      (config.Config.icc, Gen.Lim_icc_send);
+      (config.Config.icc, Gen.Lim_icc_stitch);
     ]
 
 (** [check_apk ?config ?coverage ~name ~expected ~limits apk] runs
@@ -91,7 +99,7 @@ let check_apk ?(config = Config.default) ?coverage ~name ~expected ~limits apk :
     | exception e ->
         ([], Fd_resilience.Outcome.Crashed (Printexc.to_string e))
   in
-  let dynamic = dynamic_findings ?coverage apk in
+  let dynamic = dynamic_findings ?coverage ~icc:config.Config.icc apk in
   let verdicts =
     Verdict.classify ~fixed:(fixed_of_config config) ~static ~dynamic ~expected
       ~limits
@@ -110,6 +118,58 @@ let check_apk ?(config = Config.default) ?coverage ~name ~expected ~limits apk :
 let check_gen ?config ?coverage (ga : Gen.gen_app) : app_report =
   check_apk ?config ?coverage ~name:ga.Gen.ga_name
     ~expected:ga.Gen.ga_expected ~limits:ga.Gen.ga_limits ga.Gen.ga_apk
+
+(** [check_pair ?config ?coverage gp] — the inter-app differential
+    check: both engines run over the {e merged} two-app Scene, and the
+    pair's collusion ground truth (meaningful only merged) classifies
+    the keys.  With the ICC tier off, the collusion flow shows up as
+    an explained FN; with it on, as a confirmed stitched leak. *)
+let check_pair ?(config = Config.default) ?coverage (gp : Gen.gen_pair) :
+    app_report =
+  let t0 = Unix.gettimeofday () in
+  let merged =
+    match
+      Fd_frontend.Apk.load_merged
+        [ gp.Gen.gp_sender.Gen.ga_apk; gp.Gen.gp_receiver.Gen.ga_apk ]
+    with
+    | m -> Some m
+    | exception Fd_frontend.Apk.Load_error _ -> None
+  in
+  let static, outcome =
+    match merged with
+    | None -> ([], Fd_resilience.Outcome.Crashed "unloadable pair")
+    | Some m -> (
+        match Infoflow.analyze_merged ~config m with
+        | r ->
+            ( List.sort_uniq compare
+                (List.map
+                   (fun (fd : Bidi.finding) ->
+                     (fd.Bidi.f_source.Taint.si_tag, fd.Bidi.f_sink_tag))
+                   r.Infoflow.r_findings),
+              r.Infoflow.r_stats.Infoflow.st_outcome )
+        | exception e ->
+            ([], Fd_resilience.Outcome.Crashed (Printexc.to_string e)))
+  in
+  let dynamic =
+    match merged with
+    | None -> []
+    | Some m ->
+        Fd_interp.Droid_runner.findings
+          (Fd_interp.Droid_runner.run_merged ?coverage
+             ~icc:config.Config.icc m)
+  in
+  let verdicts =
+    Verdict.classify ~fixed:(fixed_of_config config) ~static ~dynamic
+      ~expected:gp.Gen.gp_expected ~limits:gp.Gen.gp_limits
+  in
+  let t1 = Unix.gettimeofday () in
+  M.incr m_apps;
+  let ar =
+    { ar_name = gp.Gen.gp_name; ar_verdicts = verdicts; ar_outcome = outcome;
+      ar_time = t1 -. t0 }
+  in
+  if divergences ar <> [] then M.incr m_divergent;
+  ar
 
 (* ------------------------------------------------------------------ *)
 (* witness validation                                                  *)
@@ -173,7 +233,7 @@ let check_witnesses ?(config = Config.default) ?coverage ~name apk :
   let config = { config with Config.provenance = true } in
   let r = Infoflow.analyze_apk ~config apk in
   let icfg = r.Infoflow.r_icfg in
-  let dynamic = dynamic_findings ?coverage apk in
+  let dynamic = dynamic_findings ?coverage ~icc:config.Config.icc apk in
   let errors = ref [] in
   let witnessed = ref 0 in
   let agree = ref 0 in
@@ -207,7 +267,11 @@ let check_witnesses ?(config = Config.default) ?coverage ~name apk :
               (Fd_callgraph.Icfg.string_of_node last.Bidi.ws_node);
           let rec walk = function
             | (a : Bidi.witness_step) :: (b :: _ as rest) ->
-                if not (witness_adjacent icfg a.Bidi.ws_node b.Bidi.ws_node)
+                (* an "icc"-kind step is a framework hand-off (intent
+                   delivery): the stitch boundary is not an ICFG edge *)
+                if
+                  b.Bidi.ws_kind <> "icc"
+                  && not (witness_adjacent icfg a.Bidi.ws_node b.Bidi.ws_node)
                 then
                   err "%s: non-adjacent witness step %s -> %s" where
                     (Fd_callgraph.Icfg.string_of_node a.Bidi.ws_node)
@@ -246,6 +310,17 @@ let campaign ?config ?jobs ?coverage ~profile ~seed ~n () : campaign =
     cp_profile = profile;
     cp_seed = seed;
     cp_reports = Fd_util.Pool.map ?jobs (check_gen ?config ?coverage) apps;
+  }
+
+(** [pair_campaign ?config ?jobs ~seed ~n ()] — the collusion fleet:
+    [n] deterministic two-app pairs, each cross-checked over its
+    merged Scene.  Same determinism contract as {!campaign}. *)
+let pair_campaign ?config ?jobs ?coverage ~seed ~n () : campaign =
+  let pairs = Gen.collusion_pairs ~seed n in
+  {
+    cp_profile = Gen.Icc;
+    cp_seed = seed;
+    cp_reports = Fd_util.Pool.map ?jobs (check_pair ?config ?coverage) pairs;
   }
 
 (** [verdict_lines c] — the canonical textual form of every verdict,

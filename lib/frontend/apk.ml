@@ -163,6 +163,47 @@ let of_dir ?(mode = `Strict) dir =
     with a structured diagnostic and the rest of the app is loaded.
     @raise Load_error on inconsistencies (strict mode), or when even
     lenient loading cannot recover (e.g. a layout batch failure). *)
+(* Ok () / Error msg, without the apk-name prefix *)
+let component_check scene (c : Manifest.component) =
+  match Scene.find_class scene c.Manifest.comp_class with
+  | None ->
+      Error
+        (Printf.sprintf "manifest declares missing class %s"
+           c.Manifest.comp_class)
+  | Some _ -> (
+      match Framework.component_kind_of scene c.Manifest.comp_class with
+      | Some k when k = c.Manifest.comp_kind -> Ok ()
+      | Some k ->
+          Error
+            (Printf.sprintf "%s declared as %s but extends the %s base class"
+               c.Manifest.comp_class
+               (Framework.string_of_component_kind c.Manifest.comp_kind)
+               (Framework.string_of_component_kind k))
+      | None ->
+          Error
+            (Printf.sprintf
+               "%s declared as %s but extends no component base class"
+               c.Manifest.comp_class
+               (Framework.string_of_component_kind c.Manifest.comp_kind)))
+
+let parse_manifest ~mode ~name ~diag src =
+  match mode with
+  | `Strict -> (
+      try Manifest.parse src with
+      | Manifest.Malformed msg ->
+          raise (Load_error (Printf.sprintf "%s: bad manifest: %s" name msg))
+      | Fd_xml.Xml.Parse_error (pos, msg) ->
+          raise
+            (Load_error
+               (Printf.sprintf "%s: manifest XML error at offset %d: %s" name
+                  pos msg)))
+  | `Lenient ->
+      let m, skipped = Manifest.parse_lenient src in
+      List.iter
+        (fun msg -> diag ~file:(name ^ "/AndroidManifest.xml") msg)
+        skipped;
+      m
+
 let load ?(mode = `Strict) ?template apk =
   Fd_obs.Trace.with_span "frontend.load" @@ fun () ->
   let diags = ref [] in
@@ -171,24 +212,8 @@ let load ?(mode = `Strict) ?template apk =
     diags := Fd_resilience.Diag.make ?line ~file msg :: !diags
   in
   let manifest =
-    match mode with
-    | `Strict -> (
-        try Manifest.parse apk.apk_manifest with
-        | Manifest.Malformed msg ->
-            raise
-              (Load_error
-                 (Printf.sprintf "%s: bad manifest: %s" apk.apk_name msg))
-        | Fd_xml.Xml.Parse_error (pos, msg) ->
-            raise
-              (Load_error
-                 (Printf.sprintf "%s: manifest XML error at offset %d: %s"
-                    apk.apk_name pos msg)))
-    | `Lenient ->
-        let m, skipped = Manifest.parse_lenient apk.apk_manifest in
-        List.iter
-          (fun msg -> diag ~file:(apk.apk_name ^ "/AndroidManifest.xml") msg)
-          skipped;
-        m
+    parse_manifest ~mode ~name:apk.apk_name ~diag:(fun ~file msg -> diag ~file msg)
+      apk.apk_manifest
   in
   let layout_srcs =
     match mode with
@@ -237,33 +262,10 @@ let load ?(mode = `Strict) ?template apk =
             diag ~file:apk.apk_name
               (Printf.sprintf "skipped duplicate class %s" n)))
     apk.apk_classes;
-  (* Ok () / Error msg, without the apk-name prefix *)
-  let component_check (c : Manifest.component) =
-    match Scene.find_class scene c.Manifest.comp_class with
-    | None ->
-        Error
-          (Printf.sprintf "manifest declares missing class %s"
-             c.Manifest.comp_class)
-    | Some _ -> (
-        match Framework.component_kind_of scene c.Manifest.comp_class with
-        | Some k when k = c.Manifest.comp_kind -> Ok ()
-        | Some k ->
-            Error
-              (Printf.sprintf "%s declared as %s but extends the %s base class"
-                 c.Manifest.comp_class
-                 (Framework.string_of_component_kind c.Manifest.comp_kind)
-                 (Framework.string_of_component_kind k))
-        | None ->
-            Error
-              (Printf.sprintf
-                 "%s declared as %s but extends no component base class"
-                 c.Manifest.comp_class
-                 (Framework.string_of_component_kind c.Manifest.comp_kind)))
-  in
   let components =
     List.filter
       (fun (c : Manifest.component) ->
-        match component_check c with
+        match component_check scene c with
         | Ok () -> true
         | Error msg -> (
             match mode with
@@ -279,6 +281,140 @@ let load ?(mode = `Strict) ?template apk =
   M.set_int g_components (List.length components);
   { name = apk.apk_name; manifest; layout; scene; components;
     diags = apk.apk_diags @ List.rev !diags }
+
+(* ------------------------------------------------------------------ *)
+(* Merged multi-app Scenes (inter-app / collusion analysis)            *)
+(* ------------------------------------------------------------------ *)
+
+type merged = {
+  m_loaded : loaded;
+      (** one Scene holding every app's classes, one component list
+          spanning all apps (the co-installed-device model) *)
+  m_apps : (string * Manifest.t) list;  (** per-app manifests, load order *)
+  m_app_of : string -> string option;
+      (** which app contributed a class (for the exported-across-apps
+          resolution gate) *)
+}
+
+(** [load_merged apks] loads several apps into one merged Scene — the
+    co-installed-device model for inter-app (collusion) analysis.  The
+    merged [loaded] carries a synthetic manifest concatenating every
+    app's components; the per-app manifests survive in [m_apps] so the
+    ICC resolver can gate cross-app links on exported components.
+    Class names must be disjoint across apps (strict mode raises,
+    lenient skips).  Layout names clashing across apps keep the first
+    app's file. *)
+let load_merged ?(mode = `Strict) ?template apks =
+  if apks = [] then raise (Load_error "load_merged: empty app list");
+  Fd_obs.Trace.with_span "frontend.load_merged" @@ fun () ->
+  let diags = ref [] in
+  let diag ?line ~file msg =
+    M.incr m_skipped;
+    diags := Fd_resilience.Diag.make ?line ~file msg :: !diags
+  in
+  let parsed =
+    List.map
+      (fun apk ->
+        ( apk,
+          parse_manifest ~mode ~name:apk.apk_name
+            ~diag:(fun ~file msg -> diag ~file msg)
+            apk.apk_manifest ))
+      apks
+  in
+  let scene =
+    match template with
+    | Some t -> Scene.copy t
+    | None -> Framework.fresh_scene ()
+  in
+  let class_app : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ((apk : t), _) ->
+      List.iter
+        (fun (c : Jclass.t) ->
+          match Scene.add_class scene c with
+          | () -> Hashtbl.replace class_app c.Jclass.c_name apk.apk_name
+          | exception Scene.Duplicate_class n -> (
+              match mode with
+              | `Strict ->
+                  raise
+                    (Load_error
+                       (Printf.sprintf "%s: duplicate class %s across apps"
+                          apk.apk_name n))
+              | `Lenient ->
+                  diag ~file:apk.apk_name
+                    (Printf.sprintf "skipped duplicate class %s" n)))
+        apk.apk_classes)
+    parsed;
+  let components =
+    List.concat_map
+      (fun ((apk : t), m) ->
+        List.filter
+          (fun (c : Manifest.component) ->
+            match component_check scene c with
+            | Ok () -> true
+            | Error msg -> (
+                match mode with
+                | `Strict -> raise (Load_error (apk.apk_name ^ ": " ^ msg))
+                | `Lenient ->
+                    diag ~file:(apk.apk_name ^ "/AndroidManifest.xml")
+                      ("skipped component: " ^ msg);
+                    false))
+          (Manifest.enabled_components m))
+      parsed
+  in
+  let layout_srcs =
+    List.fold_left
+      (fun acc ((apk : t), _) ->
+        List.fold_left
+          (fun acc (lname, src) ->
+            if List.mem_assoc lname acc then begin
+              diag ~file:(apk.apk_name ^ "/res/layout/" ^ lname ^ ".xml")
+                "layout name clashes across apps; first app wins";
+              acc
+            end
+            else acc @ [ (lname, src) ])
+          acc apk.apk_layouts)
+      [] parsed
+  in
+  let name = String.concat "+" (List.map (fun a -> a.apk_name) apks) in
+  let layout =
+    try Layout.parse layout_srcs
+    with Fd_xml.Xml.Parse_error (pos, msg) ->
+      raise
+        (Load_error
+           (Printf.sprintf "%s: layout XML error at offset %d: %s" name pos msg))
+  in
+  let manifest =
+    {
+      Manifest.package = "";
+      Manifest.components =
+        List.concat_map (fun (_, (m : Manifest.t)) -> m.Manifest.components)
+          parsed;
+      Manifest.permissions =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (_, (m : Manifest.t)) -> m.Manifest.permissions)
+             parsed);
+    }
+  in
+  M.set_int g_classes
+    (List.fold_left (fun n (a : t) -> n + List.length a.apk_classes) 0 apks);
+  M.set_int g_layouts (List.length layout_srcs);
+  M.set_int g_components (List.length components);
+  {
+    m_loaded =
+      {
+        name;
+        manifest;
+        layout;
+        scene;
+        components;
+        diags =
+          List.concat_map (fun (a : t) -> a.apk_diags) apks @ List.rev !diags;
+      };
+    m_apps = List.map (fun ((a : t), m) -> (a.apk_name, m)) parsed;
+    m_app_of = (fun cls -> Hashtbl.find_opt class_app cls);
+  }
 
 (** [res_id loaded name] is the integer resource id of the layout
     control with symbolic id [name].

@@ -77,6 +77,24 @@ val load : ?mode:mode -> ?template:Scene.t -> t -> loaded
     template cache uses this; results are identical either way.
     @raise Load_error on inconsistencies (strict mode). *)
 
+type merged = {
+  m_loaded : loaded;
+      (** the merged view: one scene holding every app's classes, a
+          synthetic manifest concatenating all components *)
+  m_apps : (string * Manifest.t) list;  (** per-app manifests, load order *)
+  m_app_of : string -> string option;
+      (** which app declared a class (for the cross-app exported gate) *)
+}
+
+val load_merged : ?mode:mode -> ?template:Scene.t -> t list -> merged
+(** [load_merged apks] loads several apps into one merged Scene — the
+    inter-app setting where intents cross APK boundaries.  Classes
+    must be globally unique (strict mode raises on a duplicate;
+    lenient keeps the first and records a diagnostic); layouts merge
+    first-wins.  The ICC resolver consumes [m_apps] and [m_app_of] to
+    apply the exported gate between apps.
+    @raise Load_error on an empty list or inconsistencies (strict). *)
+
 val res_id : loaded -> string -> int
 (** the integer resource id of the layout control with the given
     symbolic id.  @raise Load_error when no layout declares it. *)

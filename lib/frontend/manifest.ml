@@ -8,12 +8,25 @@
 
 module X = Fd_xml.Xml
 
+type data_spec = {
+  d_scheme : string option;
+  d_host : string option;
+  d_mime : string option;  (** mimeType; ["image/*"] wildcards allowed *)
+}
+
+type intent_filter = {
+  if_actions : string list;
+  if_categories : string list;
+  if_data : data_spec list;
+}
+
 type component = {
   comp_kind : Framework.component_kind;
   comp_class : string;  (** fully-qualified class name *)
   comp_enabled : bool;
   comp_exported : bool;
-  comp_actions : string list;  (** intent-filter actions *)
+  comp_filters : intent_filter list;  (** one entry per <intent-filter> *)
+  comp_actions : string list;  (** union of filter actions (legacy view) *)
   comp_categories : string list;
   comp_main : bool;  (** carries MAIN/LAUNCHER intent filter *)
 }
@@ -43,27 +56,48 @@ let bool_attr e name ~default =
   | Some v -> raise (Malformed (Printf.sprintf "attribute %s=%S is not a boolean" name v))
   | None -> default
 
+let parse_filter e =
+  let named tag =
+    List.filter_map (fun n -> X.attr n "android:name") (X.children_named e tag)
+  in
+  {
+    if_actions = named "action";
+    if_categories = named "category";
+    if_data =
+      List.map
+        (fun d ->
+          {
+            d_scheme = X.attr d "android:scheme";
+            d_host = X.attr d "android:host";
+            d_mime = X.attr d "android:mimeType";
+          })
+        (X.children_named e "data");
+  }
+
 let parse_component ~package kind e =
   let name =
     match X.attr e "android:name" with
     | Some n -> resolve_class ~package n
     | None -> raise (Malformed "component without android:name")
   in
-  let actions =
-    List.filter_map
-      (fun a -> X.attr a "android:name")
-      (X.descendants_named e "action")
-  in
-  let categories =
-    List.filter_map
-      (fun c -> X.attr c "android:name")
-      (X.descendants_named e "category")
+  let filters = List.map parse_filter (X.children_named e "intent-filter") in
+  let actions = List.concat_map (fun f -> f.if_actions) filters in
+  let categories = List.concat_map (fun f -> f.if_categories) filters in
+  (* Android 12 exported semantics: an explicit android:exported
+     attribute wins; absent one, a component is exported iff it
+     declares at least one intent filter (it wants to be found).  A
+     filterless component without the attribute is NOT exported. *)
+  let exported =
+    match X.attr e "android:exported" with
+    | Some _ -> bool_attr e "android:exported" ~default:false
+    | None -> filters <> []
   in
   {
     comp_kind = kind;
     comp_class = name;
     comp_enabled = bool_attr e "android:enabled" ~default:true;
-    comp_exported = bool_attr e "android:exported" ~default:false;
+    comp_exported = exported;
+    comp_filters = filters;
     comp_actions = actions;
     comp_categories = categories;
     comp_main =
@@ -155,3 +189,91 @@ let launcher m =
 
 (** [find m cls] is the component entry for class [cls], if any. *)
 let find m cls = List.find_opt (fun c -> c.comp_class = cls) m.components
+
+(* ------------------------------------------------------------------ *)
+(* Intent resolution (Android's three filter tests)                    *)
+(* ------------------------------------------------------------------ *)
+
+type intent_desc = {
+  it_class : string option;  (** explicit target component class *)
+  it_action : string option;
+  it_categories : string list;
+  it_scheme : string option;
+  it_host : string option;
+  it_mime : string option;
+}
+
+let blank_intent =
+  {
+    it_class = None;
+    it_action = None;
+    it_categories = [];
+    it_scheme = None;
+    it_host = None;
+    it_mime = None;
+  }
+
+(* mimeType matching with the "type/*" and "*/*" filter wildcards *)
+let mime_matches ~filter ~intent =
+  filter = intent || filter = "*/*"
+  ||
+  match String.index_opt filter '/' with
+  | Some i when String.sub filter (i + 1) (String.length filter - i - 1) = "*"
+    -> (
+      let prefix = String.sub filter 0 (i + 1) in
+      String.length intent > i + 1 && String.sub intent 0 (i + 1) = prefix)
+  | _ -> false
+
+(* the action test: the filter must list the intent's action; an
+   actionless intent passes any filter that has at least one action *)
+let action_test f (it : intent_desc) =
+  match it.it_action with
+  | Some a -> List.mem a f.if_actions
+  | None -> f.if_actions <> []
+
+(* the category test: every category of the intent must appear in the
+   filter (an intent with no categories always passes) *)
+let category_test f (it : intent_desc) =
+  List.for_all (fun c -> List.mem c f.if_categories) it.it_categories
+
+(* the data test: an intent with neither data URI nor type passes only
+   filters that declare no data; otherwise some <data> spec must match
+   every dimension the intent carries *)
+let data_test f (it : intent_desc) =
+  match (it.it_scheme, it.it_host, it.it_mime) with
+  | None, None, None -> f.if_data = []
+  | _ ->
+      List.exists
+        (fun d ->
+          (match (it.it_scheme, d.d_scheme) with
+          | Some s, Some fs -> s = fs
+          | Some _, None -> false
+          | None, _ -> true)
+          && (match (it.it_host, d.d_host) with
+             | Some h, Some fh -> h = fh
+             | Some _, None -> false
+             | None, _ -> true)
+          &&
+          match (it.it_mime, d.d_mime) with
+          | Some m, Some fm -> mime_matches ~filter:fm ~intent:m
+          | Some _, None -> false
+          | None, Some _ -> false
+          | None, None -> true)
+        f.if_data
+
+let filter_matches f it = action_test f it && category_test f it && data_test f it
+
+(** [component_receives c it] — can component [c] receive intent [it]?
+    Explicit targets match by class name alone (filters are bypassed);
+    implicit intents must pass some declared filter. *)
+let component_receives c (it : intent_desc) =
+  c.comp_enabled
+  &&
+  match it.it_class with
+  | Some cls -> cls = c.comp_class
+  | None -> List.exists (fun f -> filter_matches f it) c.comp_filters
+
+(** [resolve_intent m it] — the enabled components of [m] that can
+    receive [it], in declaration order. *)
+let resolve_intent m it =
+  List.filter (fun c -> component_receives c it) m.components

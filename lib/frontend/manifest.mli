@@ -5,12 +5,28 @@
     enabled (disabled activities are filtered from the dummy main),
     and which activity is the launcher. *)
 
+type data_spec = {
+  d_scheme : string option;
+  d_host : string option;
+  d_mime : string option;  (** mimeType; ["image/*"] wildcards allowed *)
+}
+
+type intent_filter = {
+  if_actions : string list;
+  if_categories : string list;
+  if_data : data_spec list;
+}
+
 type component = {
   comp_kind : Framework.component_kind;
   comp_class : string;  (** fully-qualified class name *)
   comp_enabled : bool;
   comp_exported : bool;
-  comp_actions : string list;  (** intent-filter actions *)
+      (** Android 12 semantics: an explicit [android:exported]
+          attribute wins; absent one, exported iff the component
+          declares at least one intent filter *)
+  comp_filters : intent_filter list;  (** one entry per <intent-filter> *)
+  comp_actions : string list;  (** union of filter actions (legacy view) *)
   comp_categories : string list;
   comp_main : bool;  (** carries a MAIN/LAUNCHER intent filter *)
 }
@@ -45,3 +61,34 @@ val launcher : t -> component option
 
 val find : t -> string -> component option
 (** the component entry for a class, if any *)
+
+(** An abstract intent for resolution: what the sender set (or, for
+    the static resolver, what the constant analysis proved it sets). *)
+type intent_desc = {
+  it_class : string option;  (** explicit target component class *)
+  it_action : string option;
+  it_categories : string list;
+  it_scheme : string option;
+  it_host : string option;
+  it_mime : string option;
+}
+
+val blank_intent : intent_desc
+(** no target, no action, no categories, no data *)
+
+val filter_matches : intent_filter -> intent_desc -> bool
+(** Android's three intent-filter tests (action, category, data):
+    - action: the filter must list the intent's action; an actionless
+      intent passes any filter with at least one action;
+    - category: every intent category must appear in the filter;
+    - data: an intent without URI/type passes only data-less filters;
+      otherwise some [<data>] spec must match every dimension the
+      intent carries (mimeType supports ["type/*"] wildcards). *)
+
+val component_receives : component -> intent_desc -> bool
+(** can this component receive the intent?  Explicit class targets
+    bypass the filters; implicit intents must pass one. *)
+
+val resolve_intent : t -> intent_desc -> component list
+(** the enabled components able to receive the intent, in declaration
+    order *)

@@ -39,6 +39,24 @@ let payload_of st (recv : tvalue option) =
   | Some { v = Vobj id; _ } -> Some (Interp.obj st id)
   | _ -> None
 
+(* Intent target setters keep their state under reserved "__" keys in
+   the intent's map payload; the ICC driver reads them back to build a
+   concrete intent description for resolution.  App extras never start
+   with "__", so the namespaces cannot collide. *)
+let intent_put st recv key v =
+  match payload_of st recv with
+  | Some { h_payload = Pmap m; _ } ->
+      m := (key, v) :: List.remove_assoc key !m
+  | _ -> ()
+
+let intent_get st recv key =
+  match payload_of st recv with
+  | Some { h_payload = Pmap m; _ } -> (
+      match List.assoc_opt key !m with
+      | Some { v = Vstr s; _ } -> Some s
+      | _ -> None)
+  | _ -> None
+
 (* lazily create the view object for a layout control *)
 let view_for st (ctl : Fd_frontend.Layout.control) =
   match Hashtbl.find_opt st.Interp.views ctl.Fd_frontend.Layout.ctl_id with
@@ -177,21 +195,83 @@ let call st ~tag ~cls ~runtime_cls ~mname ~recv ~args : tvalue option =
   (* ---------------- intents / bundles ---------------- *)
   | "<init>"
     when either_cls "android.content.Intent"
-         || either_cls "android.os.Bundle" -> (
-      match payload_of st recv with
+         || either_cls "android.os.Bundle" ->
+      (match payload_of st recv with
       | Some o -> (
           match o.h_payload with
-          | Pmap _ -> Some vnull
-          | _ ->
+          | Pmap _ -> ()
+          | _ -> (
               (* re-allocate with a map payload: constructor ran on a
                  plain allocation *)
-              (match recv with
+              match recv with
               | Some { v = Vobj id; _ } ->
                   Hashtbl.replace st.Interp.heap_objs id
                     { o with h_payload = Pmap (ref []) }
-              | _ -> ());
-              Some vnull)
-      | None -> Some vnull)
+              | _ -> ()))
+      | None -> ());
+      (* new Intent(action) / new Intent(ctx, C.class): mirror the
+         static abstraction — a string with ':' is a data URI, a
+         dotted string is readable as action or explicit class (the
+         dispatcher tries the class reading first) *)
+      if either_cls "android.content.Intent" then
+        List.iter
+          (fun (a : tvalue) ->
+            match a.v with
+            | Vstr s when String.contains s ':' ->
+                intent_put st recv "__data" a
+            | Vstr s ->
+                intent_put st recv "__action" a;
+                if String.contains s '.' then intent_put st recv "__class" a
+            | _ -> ())
+          args;
+      Some vnull
+  | "setClass" | "setClassName" | "setComponent"
+    when either_cls "android.content.Intent" ->
+      (* the target class is the last string argument (setClassName
+         takes the context or package name first) *)
+      (match
+         List.fold_left
+           (fun acc (a : tvalue) ->
+             match a.v with Vstr _ -> Some a | _ -> acc)
+           None args
+       with
+      | Some a -> intent_put st recv "__class" a
+      | None -> ());
+      Some (Option.value recv ~default:vnull)
+  | "setAction" when either_cls "android.content.Intent" ->
+      (match args with
+      | a :: _ -> intent_put st recv "__action" a
+      | [] -> ());
+      Some (Option.value recv ~default:vnull)
+  | "addCategory" when either_cls "android.content.Intent" ->
+      (match args with
+      | a :: _ ->
+          let prev =
+            match intent_get st recv "__categories" with
+            | Some s -> s ^ "\n"
+            | None -> ""
+          in
+          intent_put st recv "__categories"
+            (untainted (Vstr (prev ^ string_of_tv a)))
+      | [] -> ());
+      Some (Option.value recv ~default:vnull)
+  | "setData" when either_cls "android.content.Intent" ->
+      (match args with
+      | a :: _ -> intent_put st recv "__data" a
+      | [] -> ());
+      Some (Option.value recv ~default:vnull)
+  | "setType" when either_cls "android.content.Intent" ->
+      (match args with
+      | a :: _ -> intent_put st recv "__mime" a
+      | [] -> ());
+      Some (Option.value recv ~default:vnull)
+  | "setDataAndType" when either_cls "android.content.Intent" ->
+      (match args with
+      | d :: t :: _ ->
+          intent_put st recv "__data" d;
+          intent_put st recv "__mime" t
+      | _ -> ());
+      Some (Option.value recv ~default:vnull)
   | "putExtra" | "putExtras" -> (
       match (payload_of st recv, args) with
       | Some { h_payload = Pmap m; _ }, [ k; v ] ->

@@ -25,6 +25,7 @@ open Fd_ir
 open Value
 module SS = Fd_frontend.Sourcesink
 module FW = Fd_frontend.Framework
+module M = Fd_frontend.Manifest
 
 type coverage = Basic | Thorough
 
@@ -72,17 +73,26 @@ let arg_for st (ty : Types.typ) =
       untainted (Vobj (Interp.alloc_obj st "android.content.Context"))
   | _ -> untainted Vnull
 
-let call_lc st inst _cls (m : Jclass.jmethod) =
-  let args = List.map (arg_for st) m.Jclass.jm_sig.Types.m_params in
+let call_lc st ?intent inst _cls (m : Jclass.jmethod) =
+  let args =
+    List.map
+      (fun ty ->
+        match (ty, intent) with
+        (* a concretely dispatched intent reaches the receiver's
+           parameters (onReceive, onStartCommand, onNewIntent) *)
+        | Types.Ref "android.content.Intent", Some tv -> tv
+        | _ -> arg_for st ty)
+      m.Jclass.jm_sig.Types.m_params
+  in
   try
     ignore
       (Interp.exec_body st m.Jclass.jm_sig (Option.get m.Jclass.jm_body)
          ~this:(Some inst) ~args)
   with Interp.Runtime_error _ -> ()
 
-let lc st scene inst cls name =
+let lc st scene ?intent inst cls name =
   match Scene.resolve_concrete_named scene cls name with
-  | Some (_, m) when Jclass.has_body m -> call_lc st inst cls m
+  | Some (_, m) when Jclass.has_body m -> call_lc st ?intent inst cls m
   | _ -> ()
 
 (* fire the component's callbacks, on the component instance or fresh
@@ -193,17 +203,20 @@ let teardown_fragments st scene frags =
         [ "onPause"; "onStop"; "onDestroyView"; "onDestroy"; "onDetach" ])
     frags
 
-let run_component st scene ~coverage
+let run_component st scene ~coverage ?intent
     (cc : Fd_lifecycle.Callbacks.component_callbacks) =
   let cls = cc.Fd_lifecycle.Callbacks.cc_component in
   let inst = Interp.new_instance st cls in
-  (* attach an external intent for getIntent *)
+  (* attach the dispatched intent (or a fresh external one) for
+     getIntent *)
   (match inst.v with
   | Vobj id ->
       Hashtbl.replace (Interp.obj st id).h_fields "__intent"
-        (make_external_intent st)
+        (match intent with
+        | Some tv -> tv
+        | None -> make_external_intent st)
   | _ -> ());
-  let l = lc st scene inst cls in
+  let l = lc st scene ?intent inst cls in
   match cc.Fd_lifecycle.Callbacks.cc_kind with
   | FW.Activity -> (
       l "onCreate";
@@ -236,8 +249,8 @@ let run_component st scene ~coverage
   | FW.Service -> (
       l "onCreate";
       (match Scene.resolve_concrete_named scene cls "onStartCommand" with
-      | Some (_, m) when Jclass.has_body m -> call_lc st inst cls m
-      | _ -> lc st scene inst cls "onStart");
+      | Some (_, m) when Jclass.has_body m -> call_lc st ?intent inst cls m
+      | _ -> lc st scene ?intent inst cls "onStart");
       match coverage with
       | Basic -> ()
       | Thorough ->
@@ -257,9 +270,107 @@ let run_component st scene ~coverage
           List.iter l [ "query"; "insert"; "update"; "delete" ];
           fire_callbacks st scene inst cc)
 
-(** [run ?coverage ?max_steps loaded] dynamically executes the app
-    under the given coverage policy and returns the observed leaks. *)
-let run ?(coverage = Thorough) ?(max_steps = 2_000_000)
+(* ------------------------------------------------------------------ *)
+(* Concrete intent dispatch (the ICC driver)                           *)
+(* ------------------------------------------------------------------ *)
+
+let send_methods =
+  [ "startActivity"; "startService"; "sendBroadcast"; "startActivityForResult" ]
+
+(* "scheme://host/path" or "scheme:rest" → (scheme, host); mirrors the
+   static resolver's reading so both sides agree on URI intents *)
+let parse_uri s =
+  match String.index_opt s ':' with
+  | None -> (None, None)
+  | Some i ->
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let host =
+        if String.length rest >= 2 && String.sub rest 0 2 = "//" then
+          let h = String.sub rest 2 (String.length rest - 2) in
+          match String.index_opt h '/' with
+          | Some j -> Some (String.sub h 0 j)
+          | None -> Some h
+        else None
+      in
+      (Some scheme, host)
+
+(* read a sent intent's reserved "__" keys back into intent
+   descriptions — the explicit-class reading plus the implicit one,
+   the same duality the static abstraction uses *)
+let descs_of_sent st (tv : tvalue) : M.intent_desc list =
+  match tv.v with
+  | Vobj id -> (
+      match (Interp.obj st id).h_payload with
+      | Pmap m ->
+          let find k =
+            match List.assoc_opt k !m with
+            | Some { v = Vstr s; _ } -> Some s
+            | _ -> None
+          in
+          let cats =
+            match find "__categories" with
+            | Some s -> String.split_on_char '\n' s
+            | None -> []
+          in
+          let scheme, host =
+            match find "__data" with
+            | Some u -> parse_uri u
+            | None -> (None, None)
+          in
+          let mime = find "__mime" in
+          let explicit =
+            match find "__class" with
+            | Some c -> [ { M.blank_intent with M.it_class = Some c } ]
+            | None -> []
+          in
+          let implicit =
+            match find "__action" with
+            | Some a ->
+                [
+                  {
+                    M.blank_intent with
+                    M.it_action = Some a;
+                    M.it_categories = cats;
+                    M.it_scheme = scheme;
+                    M.it_host = host;
+                    M.it_mime = mime;
+                  };
+                ]
+            | None ->
+                if scheme <> None || mime <> None then
+                  [
+                    {
+                      M.blank_intent with
+                      M.it_categories = cats;
+                      M.it_scheme = scheme;
+                      M.it_host = host;
+                      M.it_mime = mime;
+                    };
+                  ]
+                else []
+          in
+          explicit @ implicit
+      | _ -> [])
+  | _ -> []
+
+(* the components able to receive any of [descs]: cross-app targets
+   must be exported (the sender's own app sees everything) *)
+let receivers_of ~apps ~sender_app descs =
+  List.concat_map
+    (fun (app, (m : M.t)) ->
+      List.filter_map
+        (fun (c : M.component) ->
+          if
+            (sender_app = Some app || c.M.comp_exported)
+            && List.exists (M.component_receives c) descs
+          then Some c.M.comp_class
+          else None)
+        m.M.components)
+    apps
+  |> List.sort_uniq compare
+
+let run_gen ~coverage ~max_steps ~icc ~apps ~app_of
     (loaded : Fd_frontend.Apk.loaded) =
   let scene = loaded.Fd_frontend.Apk.scene in
   let st =
@@ -268,13 +379,101 @@ let run ?(coverage = Thorough) ?(max_steps = 2_000_000)
   in
   Builtins.install st;
   let ccs = Fd_lifecycle.Callbacks.discover_all loaded in
+  let current_app = ref None in
+  if icc then begin
+    (* a deliverable send is not a leak by itself — the monitor
+       follows the intent into the receiver instead (the dynamic
+       counterpart of the static tier dropping resolved sends) *)
+    st.Interp.sink_filter <-
+      (fun mname args ->
+        List.mem mname send_methods
+        &&
+        match args with
+        | intent :: _ ->
+            receivers_of ~apps ~sender_app:!current_app
+              (descs_of_sent st intent)
+            <> []
+        | [] -> false);
+    (* a tainted setResult payload is handed back to the external
+       caller: a leak the plain driver does not monitor *)
+    let base = st.Interp.builtin in
+    st.Interp.builtin <-
+      (fun st ~tag ~cls ~runtime_cls ~mname ~recv ~args ->
+        (match mname with
+        | "setResult" ->
+            let labels =
+              List.fold_left
+                (fun acc a -> join acc (Interp.deep_labels st a))
+                Labels.empty args
+            in
+            if not (Labels.is_empty labels) then
+              Interp.record_leak st ~labels ~sink_tag:tag
+                ~sink_cat:SS.Intent_data
+                ~where:"android.app.Activity.setResult"
+        | _ -> ());
+        base st ~tag ~cls ~runtime_cls ~mname ~recv ~args)
+  end;
+  (* bounded concrete dispatch: drain the intents a component sent,
+     resolve them against the manifests and run the receivers with the
+     very intent object (taint flows through the shared heap) *)
+  let dispatch_budget = ref 64 in
+  let rec run_one ~depth ?intent (cc : Fd_lifecycle.Callbacks.component_callbacks) =
+    let sender = app_of cc.Fd_lifecycle.Callbacks.cc_component in
+    current_app := sender;
+    st.Interp.sent_intents <- [];
+    run_component st scene ~coverage ?intent cc;
+    if icc && depth < 4 then begin
+      let pending = List.rev st.Interp.sent_intents in
+      st.Interp.sent_intents <- [];
+      List.iter
+        (fun (_mname, itv) ->
+          List.iter
+            (fun target ->
+              if !dispatch_budget > 0 then begin
+                decr dispatch_budget;
+                match
+                  List.find_opt
+                    (fun c ->
+                      c.Fd_lifecycle.Callbacks.cc_component = target)
+                    ccs
+                with
+                | Some rcc -> run_one ~depth:(depth + 1) ~intent:itv rcc
+                | None -> ()
+              end)
+            (receivers_of ~apps ~sender_app:sender (descs_of_sent st itv)))
+        pending;
+      current_app := sender
+    end
+  in
   let rounds = match coverage with Basic -> 1 | Thorough -> 2 in
   (try
      for _round = 1 to rounds do
-       List.iter (run_component st scene ~coverage) ccs
+       List.iter (run_one ~depth:0) ccs
      done
    with Interp.Budget_exhausted -> ());
   Interp.leaks st
+
+(** [run ?coverage ?max_steps ?icc loaded] dynamically executes the
+    app under the given coverage policy and returns the observed
+    leaks.  With [~icc:true] the driver concretely dispatches sent
+    intents to their resolved receivers (taint rides the intent
+    object), suppresses deliverable sends as sinks, and monitors
+    [setResult] payloads. *)
+let run ?(coverage = Thorough) ?(max_steps = 2_000_000) ?(icc = false)
+    (loaded : Fd_frontend.Apk.loaded) =
+  run_gen ~coverage ~max_steps ~icc
+    ~apps:
+      [ (loaded.Fd_frontend.Apk.name, loaded.Fd_frontend.Apk.manifest) ]
+    ~app_of:(fun _ -> Some loaded.Fd_frontend.Apk.name)
+    loaded
+
+(** [run_merged ?coverage ?max_steps ?icc m] dynamically executes
+    several apps sharing one merged scene — collusion pairs: intents
+    cross app boundaries only into exported components. *)
+let run_merged ?(coverage = Thorough) ?(max_steps = 2_000_000) ?(icc = false)
+    (m : Fd_frontend.Apk.merged) =
+  run_gen ~coverage ~max_steps ~icc ~apps:m.Fd_frontend.Apk.m_apps
+    ~app_of:m.Fd_frontend.Apk.m_app_of m.Fd_frontend.Apk.m_loaded
 
 (** [run_plain ~classes ~entries ~defs ()] dynamically executes a
     plain (non-Android) program: each entry method is invoked once on

@@ -38,6 +38,11 @@ type state = {
   clinit_done : (string, unit) Hashtbl.t;
   views : (int, obj_id) Hashtbl.t;  (** resource id -> view object *)
   mutable sent_intents : (string * tvalue) list;  (** send method, intent *)
+  mutable sink_filter : string -> tvalue list -> bool;
+      (** [sink_filter mname args = true] suppresses the generic sink
+          event for this call — the ICC driver uses it to stop
+          counting a deliverable intent-send as a leak by itself (the
+          leak is observed at the real sink in the receiver) *)
   mutable builtin : builtin_fn;
       (** the framework model, installed by {!Builtins.install} (kept
           as a state field to break the module cycle) *)
@@ -69,6 +74,7 @@ let create ?(max_steps = 2_000_000) ~scene ~defs ~layout () =
     clinit_done = Hashtbl.create 16;
     views = Hashtbl.create 16;
     sent_intents = [];
+    sink_filter = (fun _ _ -> false);
     builtin = (fun _ ~tag:_ ~cls:_ ~runtime_cls:_ ~mname:_ ~recv:_ ~args:_ -> None);
   }
 
@@ -356,14 +362,14 @@ and invoke st fr (inv : Stmt.invoke) ~tag : tvalue =
   let mname = inv.Stmt.i_sig.Types.m_name in
   (* sink check first: the monitor sits at the framework boundary *)
   (match sink_category st ~cls:static_cls ~mname with
-  | Some cat ->
+  | Some cat when not (st.sink_filter mname args) ->
       let labels =
         List.fold_left (fun acc a -> join acc (deep_labels st a)) Labels.empty args
       in
       if not (Labels.is_empty labels) then
         record_leak st ~labels ~sink_tag:tag ~sink_cat:cat
           ~where:(Printf.sprintf "%s.%s" static_cls mname)
-  | None -> ());
+  | Some _ | None -> ());
   (* dispatch: the receiver's runtime class for virtual calls *)
   let runtime_cls =
     match (inv.Stmt.i_kind, recv) with

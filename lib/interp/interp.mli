@@ -25,6 +25,10 @@ type state = {
   clinit_done : (string, unit) Hashtbl.t;
   views : (int, obj_id) Hashtbl.t;  (** resource id -> view object *)
   mutable sent_intents : (string * tvalue) list;
+  mutable sink_filter : string -> tvalue list -> bool;
+      (** [sink_filter mname args = true] suppresses the generic sink
+          event for this call — the ICC driver uses it to stop
+          counting a deliverable intent-send as a leak by itself *)
   mutable builtin : builtin_fn;  (** installed by {!Builtins.install} *)
 }
 
@@ -50,6 +54,17 @@ val alloc_obj : state -> ?payload:payload -> string -> obj_id
 val alloc_arr : state -> Types.typ -> int -> obj_id
 val obj : state -> obj_id -> hobj
 val arr : state -> obj_id -> harr
+
+val record_leak :
+  state ->
+  labels:Labels.t ->
+  sink_tag:string option ->
+  sink_cat:Fd_frontend.Sourcesink.category ->
+  where:string ->
+  unit
+(** record one leak per label (deduplicated on source tag, sink tag
+    and location) — the ICC driver uses it for [setResult] payloads
+    handed back to the external caller *)
 
 val deep_labels : state -> tvalue -> Labels.t
 (** labels reachable through object fields, payloads and array cells

@@ -102,11 +102,15 @@ let app_name = function
 type analyze = {
   rq_id : Json.t option;
   rq_app : app_spec;
+  rq_apps : app_spec list;
+      (** additional apps beyond [rq_app]: a non-empty list makes the
+          request a batch analysed in one merged multi-app Scene *)
   rq_deadline_ms : int option;
   rq_k : int option;
   rq_rules : string;
   rq_strict : bool;
   rq_fresh_metrics : bool;
+  rq_icc : bool;  (** enable the inter-component taint tier *)
   rq_targeted : string list;
       (** demand-driven targeted mode: sink signature patterns
           ([\[\]] = full analysis) *)
@@ -141,8 +145,11 @@ let app_of_json v =
               | "malware" ->
                   Ok (App_gen { g_profile = Gen.Malware; g_seed = seed;
                                 g_index = index })
+              | "icc" ->
+                  Ok (App_gen { g_profile = Gen.Icc; g_seed = seed;
+                                g_index = index })
               | other -> Error ("unknown gen profile: " ^ other))
-          | _ -> Error "app.gen needs profile (play|malware), seed, index")
+          | _ -> Error "app.gen needs profile (play|malware|icc), seed, index")
       | None -> (
           match (member_str "name" v, member_str "manifest" v) with
           | Some name, Some manifest ->
@@ -179,31 +186,52 @@ let request_of_json v =
   | Some "stats" -> Ok Stats
   | Some "drain" -> Ok Drain
   | Some "analyze" -> (
-      match Json.member "app" v with
-      | None -> Error "analyze: missing \"app\""
-      | Some app -> (
-          match app_of_json app with
-          | Error e -> Error ("analyze: " ^ e)
-          | Ok rq_app ->
-              Ok
-                (Analyze
-                   {
-                     rq_id = Json.member "id" v;
-                     rq_app;
-                     rq_deadline_ms = member_int "deadline_ms" v;
-                     rq_k = member_int "k" v;
-                     rq_rules =
-                       Option.value (member_str "rules" v) ~default:"default";
-                     rq_strict =
-                       Option.value (member_bool "strict" v) ~default:false;
-                     rq_fresh_metrics =
-                       Option.value (member_bool "fresh_metrics" v)
-                         ~default:false;
-                     rq_targeted =
-                       (match Json.member "targeted" v with
-                       | Some (Json.List ts) -> List.filter_map str ts
-                       | _ -> []);
-                   })))
+      (* "app": one spec, or "apps": a non-empty list — a batch
+         analysed in one merged multi-app Scene *)
+      let specs =
+        match (Json.member "app" v, Json.member "apps" v) with
+        | Some app, None -> (
+            match app_of_json app with
+            | Error e -> Error ("analyze: " ^ e)
+            | Ok a -> Ok [ a ])
+        | None, Some (Json.List apps) ->
+            List.fold_right
+              (fun app acc ->
+                match (acc, app_of_json app) with
+                | Error e, _ -> Error e
+                | _, Error e -> Error ("analyze: " ^ e)
+                | Ok rest, Ok a -> Ok (a :: rest))
+              apps (Ok [])
+        | None, Some _ -> Error "analyze: \"apps\" must be a list"
+        | Some _, Some _ -> Error "analyze: give \"app\" or \"apps\", not both"
+        | None, None -> Error "analyze: missing \"app\" (or \"apps\")"
+      in
+      match specs with
+      | Error e -> Error e
+      | Ok [] -> Error "analyze: \"apps\" must be non-empty"
+      | Ok (rq_app :: rq_apps) ->
+          Ok
+            (Analyze
+               {
+                 rq_id = Json.member "id" v;
+                 rq_app;
+                 rq_apps;
+                 rq_deadline_ms = member_int "deadline_ms" v;
+                 rq_k = member_int "k" v;
+                 rq_rules =
+                   Option.value (member_str "rules" v) ~default:"default";
+                 rq_strict =
+                   Option.value (member_bool "strict" v) ~default:false;
+                 rq_fresh_metrics =
+                   Option.value (member_bool "fresh_metrics" v)
+                     ~default:false;
+                 rq_icc =
+                   Option.value (member_bool "icc" v) ~default:false;
+                 rq_targeted =
+                   (match Json.member "targeted" v with
+                   | Some (Json.List ts) -> List.filter_map str ts
+                   | _ -> []);
+               }))
   | Some other -> Error ("unknown verb: " ^ other)
 
 let json_of_app = function
@@ -238,7 +266,11 @@ let json_of_analyze a =
   Json.Obj
     ((("verb", Json.String "analyze")
       :: (match a.rq_id with Some id -> [ ("id", id) ] | None -> []))
-    @ [ ("app", json_of_app a.rq_app) ]
+    @ (match a.rq_apps with
+      | [] -> [ ("app", json_of_app a.rq_app) ]
+      | more ->
+          [ ("apps",
+             Json.List (List.map json_of_app (a.rq_app :: more))) ])
     @ (match a.rq_deadline_ms with
       | Some ms -> [ ("deadline_ms", Json.Int ms) ]
       | None -> [])
@@ -248,6 +280,7 @@ let json_of_analyze a =
     @ (if a.rq_strict then [ ("strict", Json.Bool true) ] else [])
     @ (if a.rq_fresh_metrics then [ ("fresh_metrics", Json.Bool true) ]
        else [])
+    @ (if a.rq_icc then [ ("icc", Json.Bool true) ] else [])
     @
     if a.rq_targeted <> [] then
       [ ("targeted", Json.List (List.map (fun s -> Json.String s) a.rq_targeted)) ]

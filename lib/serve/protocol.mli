@@ -25,10 +25,13 @@
     on-disk app directory), [{"gen":{"profile":…,"seed":…,"index":…}}]
     (a deterministic generated-corpus app), or an inline bundle
     [{"name":…,"manifest":XML,"layouts":[{"name":…,"xml":…}],
-    "sources":[µJimple…]}].  Optional analyze fields: ["id"] (echoed
-    verbatim in the reply), ["deadline_ms"], ["k"], ["rules"] (named
-    rule-set), ["strict"] (disable the default lenient frontend),
-    ["fresh_metrics"] (report per-request metric deltas). *)
+    "sources":[µJimple…]}].  Giving ["apps":[APP,…]] instead of
+    ["app"] analyses the batch in one merged multi-app Scene (the
+    inter-app collusion setting).  Optional analyze fields: ["id"]
+    (echoed verbatim in the reply), ["deadline_ms"], ["k"], ["rules"]
+    (named rule-set), ["strict"] (disable the default lenient
+    frontend), ["fresh_metrics"] (report per-request metric deltas),
+    ["icc"] (enable the inter-component taint tier). *)
 
 exception Oversized of int
 (** a frame declared more bytes than the reader's limit; the payload
@@ -74,12 +77,18 @@ val app_name : app_spec -> string
 type analyze = {
   rq_id : Fd_obs.Json.t option;  (** echoed verbatim when present *)
   rq_app : app_spec;
+  rq_apps : app_spec list;
+      (** additional apps (["apps":\[…\]] wire form): a non-empty
+          list makes the request a batch analysed in one merged
+          multi-app Scene — the inter-app collusion setting *)
   rq_deadline_ms : int option;  (** per-request deadline override *)
   rq_k : int option;  (** max access-path length override *)
   rq_rules : string;  (** named rule-set, default ["default"] *)
   rq_strict : bool;  (** strict frontend (default: lenient) *)
   rq_fresh_metrics : bool;
       (** include a per-request metric delta in the reply *)
+  rq_icc : bool;
+      (** enable the inter-component taint tier (["icc":true]) *)
   rq_targeted : string list;
       (** demand-driven targeted mode (["targeted":\["SIG",…\]]):
           sink signature patterns; [[]] (absent) = full analysis *)

@@ -474,6 +474,9 @@ let build_req t conn (a : Protocol.analyze) =
           if a.rq_targeted = [] then base
           else { base with Config.targeted = a.rq_targeted }
         in
+        (* per-request inter-component tier (the config digest covers
+           it, so summaries never cross between icc-on and icc-off) *)
+        let base = if a.rq_icc then { base with Config.icc = true } else base in
         let deadline_s =
           match a.rq_deadline_ms with
           | Some ms -> float_of_int ms /. 1000.
@@ -498,7 +501,9 @@ let build_req t conn (a : Protocol.analyze) =
         Ok
           {
             q_serial = serial;
-            q_name = Protocol.app_name a.rq_app;
+            q_name =
+              String.concat "+"
+                (List.map Protocol.app_name (a.rq_app :: a.rq_apps));
             q_spec = a;
             q_rules = rules;
             q_deadline_s = deadline_s;
@@ -522,8 +527,8 @@ let build_req t conn (a : Protocol.analyze) =
 (* workers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let realize_apk (a : Protocol.analyze) ~mode =
-  match a.rq_app with
+let realize_one (spec : Protocol.app_spec) ~mode =
+  match spec with
   | Protocol.App_dir d -> Apk.of_dir ~mode d
   | Protocol.App_inline i ->
       Apk.make_text ~mode i.Protocol.in_name ~manifest:i.Protocol.in_manifest
@@ -576,18 +581,35 @@ let process t req =
     Atomic.set req.q_budget (Some budget);
     let t0 = Unix.gettimeofday () in
     let run () =
-      match realize_apk req.q_spec ~mode with
+      match
+        List.map
+          (fun spec -> realize_one spec ~mode)
+          (req.q_spec.Protocol.rq_app :: req.q_spec.Protocol.rq_apps)
+      with
       | exception Apk.Load_error msg -> `Bad msg
-      | apk ->
+      | apks -> (
           let template =
             template_for t.t_templates ~rules_name:req.q_spec.rq_rules
               req.q_rules
           in
-          let loaded = Apk.load ~mode ~template apk in
-          `Res
-            (Infoflow.analyze_loaded ~config:cfg
-               ~defs:req.q_rules.rs_defs ~wrappers:req.q_rules.rs_wrappers
-               ~natives:req.q_rules.rs_natives ~budget loaded)
+          match apks with
+          | [ apk ] ->
+              let loaded = Apk.load ~mode ~template apk in
+              `Res
+                (Infoflow.analyze_loaded ~config:cfg
+                   ~defs:req.q_rules.rs_defs ~wrappers:req.q_rules.rs_wrappers
+                   ~natives:req.q_rules.rs_natives ~budget loaded)
+          | apks -> (
+              (* batch: one merged multi-app Scene (the inter-app
+                 setting); load clashes are the client's fault *)
+              match Apk.load_merged ~mode ~template apks with
+              | exception Apk.Load_error msg -> `Bad msg
+              | merged ->
+                  `Res
+                    (Infoflow.analyze_merged ~config:cfg
+                       ~defs:req.q_rules.rs_defs
+                       ~wrappers:req.q_rules.rs_wrappers
+                       ~natives:req.q_rules.rs_natives ~budget merged)))
     in
     let res =
       if req.q_spec.rq_fresh_metrics then begin

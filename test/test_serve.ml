@@ -26,11 +26,13 @@ let analyze_req ?id ?deadline_ms app =
   {
     Protocol.rq_id = Option.map (fun s -> Json.String s) id;
     rq_app = app;
+    rq_apps = [];
     rq_deadline_ms = deadline_ms;
     rq_k = None;
     rq_rules = "default";
     rq_strict = false;
     rq_fresh_metrics = false;
+    rq_icc = false;
     rq_targeted = [];
   }
 

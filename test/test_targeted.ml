@@ -59,7 +59,7 @@ let test_verdict_identity () =
       let targeted = analyze ~targeted:[ sms ] apk in
       Alcotest.(check (list (triple (option string) string (option string))))
         (Printf.sprintf "verdicts %s/%d/%d"
-           (match profile with Gen.Play -> "play" | Gen.Malware -> "malware")
+           (Gen.string_of_profile profile)
            seed idx)
         expected
         (keys_of_findings targeted.Infoflow.r_findings))
@@ -130,6 +130,83 @@ let test_metrics_published () =
   Alcotest.(check bool) "index probes metric" true
     (Fd_obs.Metrics.counter_value "targeted.index_probes" > 0)
 
+(* ---------------- anchored SuSi signatures ----------------------- *)
+
+(* The generated apps' SMS sink spelled as the anchored SuSi form
+   [<Class: ret name(args)>].  [Fd_ir.Build] types every invoke
+   parameter — and the discarded return — as [java.lang.Object], so
+   that is what the anchored pattern must declare. *)
+let obj = "java.lang.Object"
+
+let sms_anchored =
+  Printf.sprintf "<android.telephony.SmsManager: %s sendTextMessage(%s)>" obj
+    (String.concat "," [ obj; obj; obj; obj; obj ])
+
+(* anchored and substring spellings of the same sink select the same
+   flows: the substring behaviour is unchanged, and the anchored form
+   is not weaker *)
+let test_anchored_equals_substring () =
+  List.iter
+    (fun (seed, idx) ->
+      let apk = gen_apk ~profile:Gen.Malware ~seed idx in
+      let via_substring =
+        keys_of_findings (analyze ~targeted:[ sms ] apk).Infoflow.r_findings
+      in
+      let via_anchored =
+        keys_of_findings
+          (analyze ~targeted:[ sms_anchored ] apk).Infoflow.r_findings
+      in
+      Alcotest.(check (list (triple (option string) string (option string))))
+        (Printf.sprintf "anchored = substring (malware/%d/%d)" seed idx)
+        via_substring via_anchored)
+    [ (11, 0); (11, 1); (23, 2) ]
+
+(* anchored patterns discriminate on components a substring cannot:
+   wrong arity, wrong return type or wrong name match nothing *)
+let test_anchored_discriminates () =
+  let apk = gen_apk ~profile:Gen.Malware ~seed:5 0 in
+  let empty_for what pattern =
+    let r = analyze ~targeted:[ pattern ] apk in
+    Alcotest.(check int) (what ^ ": no findings") 0
+      (List.length r.Infoflow.r_findings);
+    Alcotest.(check int) (what ^ ": no entries") 0
+      (List.length r.Infoflow.r_entries)
+  in
+  empty_for "wrong arity"
+    (Printf.sprintf "<android.telephony.SmsManager: %s sendTextMessage(%s)>"
+       obj obj);
+  empty_for "wrong return type"
+    (Printf.sprintf "<android.telephony.SmsManager: void sendTextMessage(%s)>"
+       (String.concat "," [ obj; obj; obj; obj; obj ]));
+  empty_for "wrong name"
+    (Printf.sprintf "<android.telephony.SmsManager: %s sendDataMessage(%s)>"
+       obj
+       (String.concat "," [ obj; obj; obj; obj; obj ]));
+  empty_for "wrong class"
+    (Printf.sprintf "<android.telephony.Other: %s sendTextMessage(%s)>" obj
+       (String.concat "," [ obj; obj; obj; obj; obj ]))
+
+(* a pattern that merely looks anchored (no "ret name" head) falls
+   back to plain substring matching — same result as any other
+   non-matching substring, never a parse error *)
+let test_malformed_anchor_is_substring () =
+  let apk = gen_apk ~profile:Gen.Malware ~seed:5 1 in
+  let r =
+    analyze
+      ~targeted:[ "<android.telephony.SmsManager: sendTextMessage(...)>" ]
+      apk
+  in
+  Alcotest.(check int) "malformed anchor: substring semantics" 0
+    (List.length r.Infoflow.r_findings);
+  (* and a plain substring containing no signature punctuation still
+     matches as before *)
+  let sub = analyze ~targeted:[ "sendTextMessage" ] apk in
+  let named = analyze ~targeted:[ sms ] apk in
+  Alcotest.(check (list (triple (option string) string (option string))))
+    "bare-name substring unchanged"
+    (keys_of_findings named.Infoflow.r_findings)
+    (keys_of_findings sub.Infoflow.r_findings)
+
 (* ---------------- store digest separation ------------------------ *)
 
 let test_digest_separation () =
@@ -164,6 +241,12 @@ let () =
             test_slice_counts;
           Alcotest.test_case "targeted.* metrics" `Quick
             test_metrics_published;
+          Alcotest.test_case "anchored signature = substring result" `Quick
+            test_anchored_equals_substring;
+          Alcotest.test_case "anchored signatures discriminate" `Quick
+            test_anchored_discriminates;
+          Alcotest.test_case "malformed anchor falls back to substring" `Quick
+            test_malformed_anchor_is_substring;
           Alcotest.test_case "store digest separation" `Quick
             test_digest_separation;
         ] );
